@@ -1,0 +1,64 @@
+"""Ablation A1: epoch-interval length (Definition 2).
+
+BMPQ's distinguishing feature over single-shot MPQ is the periodic
+re-evaluation of the bit assignment.  The ablation sweeps the epoch interval
+(re-assign every epoch, every 2 epochs, only once) under the same total epoch
+budget and reports accuracy, final assignment and the number of ILP rounds.
+"""
+
+from __future__ import annotations
+
+from harness import SCALE, bmpq_config, build_bench_model, dataset_loaders, emit
+from repro import BMPQTrainer
+from repro.analysis import ResultTable, format_bit_vector
+
+EPOCHS = 4
+INTERVALS = [1, 2, EPOCHS]  # the last value yields zero mid-training re-assignments
+
+
+def test_ablation_epoch_interval(benchmark):
+    """Sweep ep_int under a fixed training budget."""
+
+    def run():
+        outcomes = {}
+        for interval in INTERVALS:
+            train, test, num_classes, image_size = dataset_loaders("cifar10")
+            model = build_bench_model("vgg16", num_classes, image_size, seed=0)
+            config = bmpq_config(target_average_bits=3.0, epochs=EPOCHS, epoch_interval=interval)
+            result = BMPQTrainer(model, train, test, config).train()
+            outcomes[interval] = result
+        return outcomes
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = ResultTable(
+        title="Ablation A1 — epoch interval",
+        columns=["ep_int", "ILP rounds", "best acc (%)", "compression", "final bit vector"],
+    )
+    for interval, result in outcomes.items():
+        rounds = sum(1 for record in result.history if record.reassigned)
+        table.add_row(
+            ep_int=interval,
+            **{
+                "ILP rounds": rounds,
+                "best acc (%)": 100.0 * result.best_test_accuracy,
+                "compression": result.compression_ratio_fp32,
+                "final bit vector": format_bit_vector(result.final_bit_vector),
+            },
+        )
+    emit("ablation epoch interval", table.render())
+
+    # Shorter intervals mean more ILP rounds.
+    rounds_by_interval = {
+        interval: sum(1 for record in result.history if record.reassigned)
+        for interval, result in outcomes.items()
+    }
+    assert rounds_by_interval[1] > rounds_by_interval[2] >= rounds_by_interval[EPOCHS]
+    assert rounds_by_interval[EPOCHS] == 0
+
+    # With no re-assignment the model stays at the warm-up (max support bits)
+    # assignment, so its compression cannot exceed the re-assigned runs'.
+    no_reassign = outcomes[EPOCHS]
+    assert no_reassign.compression_ratio_fp32 <= min(
+        outcomes[1].compression_ratio_fp32, outcomes[2].compression_ratio_fp32
+    ) + 1e-6

@@ -1,0 +1,73 @@
+"""Ablation A4: warm-up epochs and the support bit-width set Sq.
+
+Section III-D trains the first ep_w epochs at max(Sq) bits before the first
+re-assignment, and all main experiments use Sq = [4, 2].  The ablation varies
+both knobs and reports accuracy / compression / final assignment so a user
+can see how the choices interact with the budget.
+"""
+
+from __future__ import annotations
+
+from harness import bmpq_config, build_bench_model, dataset_loaders, emit
+from repro import BMPQTrainer
+from repro.analysis import ResultTable, format_bit_vector
+
+EPOCHS = 4
+
+CONFIGURATIONS = [
+    {"label": "Sq=[4,2], warmup=0", "support_bits": (4, 2), "warmup_epochs": 0},
+    {"label": "Sq=[4,2], warmup=1", "support_bits": (4, 2), "warmup_epochs": 1},
+    {"label": "Sq=[8,4,2], warmup=0", "support_bits": (8, 4, 2), "warmup_epochs": 0},
+]
+
+
+def test_ablation_warmup_and_support_bits(benchmark):
+    """Sweep warm-up length and the support bit-width set under one budget."""
+
+    def run():
+        outcomes = {}
+        for configuration in CONFIGURATIONS:
+            train, test, num_classes, image_size = dataset_loaders("cifar10")
+            model = build_bench_model("simple_cnn_proxy", num_classes, image_size) if False else build_bench_model(
+                "vgg16", num_classes, image_size, seed=0
+            )
+            config = bmpq_config(
+                target_average_bits=4.0,
+                epochs=EPOCHS,
+                epoch_interval=1,
+                support_bits=configuration["support_bits"],
+                warmup_epochs=configuration["warmup_epochs"],
+            )
+            result = BMPQTrainer(model, train, test, config).train()
+            outcomes[configuration["label"]] = (configuration, result)
+        return outcomes
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = ResultTable(
+        title="Ablation A4 — warm-up epochs and support bit widths",
+        columns=["configuration", "best acc (%)", "compression", "ILP rounds", "final bit vector"],
+    )
+    for label, (configuration, result) in outcomes.items():
+        table.add_row(
+            configuration=label,
+            **{
+                "best acc (%)": 100.0 * result.best_test_accuracy,
+                "compression": result.compression_ratio_fp32,
+                "ILP rounds": sum(1 for record in result.history if record.reassigned),
+                "final bit vector": format_bit_vector(result.final_bit_vector),
+            },
+        )
+    emit("ablation warmup support bits", table.render())
+
+    # Warm-up delays the first ILP round, so the warmed-up run has fewer rounds.
+    rounds_no_warmup = sum(1 for r in outcomes["Sq=[4,2], warmup=0"][1].history if r.reassigned)
+    rounds_warmup = sum(1 for r in outcomes["Sq=[4,2], warmup=1"][1].history if r.reassigned)
+    assert rounds_warmup < rounds_no_warmup
+
+    # A richer support set can only use bit widths from that set; every run
+    # respects the pinned 16-bit first/last layers and the budget.
+    for label, (configuration, result) in outcomes.items():
+        allowed = set(configuration["support_bits"]) | {16}
+        assert set(result.final_bit_vector).issubset(allowed)
+        assert result.final_bit_vector[0] == 16 and result.final_bit_vector[-1] == 16

@@ -1,0 +1,82 @@
+"""Fig. 1: the evalENBG step pipeline, benchmarked stage by stage.
+
+Fig. 1 of the paper is the step-wise description of one bit-width evaluation:
+quantize weights, take the loss gradient w.r.t. the quantized weights,
+decompose over two's-complement bit positions, reduce to a per-layer NBG,
+average into the ENBG, and feed the ILP.  This benchmark runs that exact
+pipeline on a scaled VGG16 batch and times the two compute-heavy stages
+(bit-gradient evaluation and the ILP solve), asserting the numerical
+consistency between the explicit matrix formulation and the closed form the
+trainer uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from harness import build_bench_model, dataset_loaders, emit
+from repro.analysis import ResultTable
+from repro.core import (
+    BitWidthPolicy,
+    bit_gradient_matrix,
+    collect_layer_bit_gradients,
+    layer_nbg_from_grad,
+    normalized_bit_gradient,
+)
+from repro.nn import CrossEntropyLoss, Tensor
+
+
+def _one_backward_pass():
+    train, _test, num_classes, image_size = dataset_loaders("cifar10")
+    model = build_bench_model("vgg16", num_classes, image_size)
+    inputs, targets = next(iter(train))
+    loss = CrossEntropyLoss()(model(Tensor(inputs)), targets)
+    loss.backward()
+    return model
+
+
+def test_fig1_bit_gradient_stage(benchmark):
+    """Stage timing: NBG of every layer from one backward pass (steps 1-4)."""
+    model = _one_backward_pass()
+    layers = model.quantizable_layers()
+
+    def compute_nbg():
+        return collect_layer_bit_gradients(layers, qmax=4, exact=False)
+
+    results = benchmark(compute_nbg)
+    table = ResultTable(title="Fig. 1 — per-layer NBG after one step", columns=["layer", "bits", "NBG"])
+    for record in results:
+        table.add_row(layer=record.layer_name, bits=record.bits, NBG=record.nbg)
+    emit("fig1 nbg stage", table.render())
+
+    # The closed form must agree with the explicit d_l x q_max matrix (Eq. 6-7).
+    for name, layer in layers.items():
+        grad_wq, _codes, scale = layer.weight_bit_gradient_inputs()
+        explicit = normalized_bit_gradient(bit_gradient_matrix(grad_wq, scale, 4))
+        closed = layer_nbg_from_grad(grad_wq, scale, 4)
+        assert closed == pytest.approx(explicit, rel=1e-9)
+    assert all(record.nbg >= 0 for record in results)
+
+
+def test_fig1_ilp_stage(benchmark):
+    """Stage timing: the ILP re-assignment given an ENBG vector (steps 5-6)."""
+    model = _one_backward_pass()
+    records = collect_layer_bit_gradients(model.quantizable_layers(), qmax=4)
+    enbg = {record.layer_name: record.nbg for record in records}
+    policy = BitWidthPolicy(model.layer_specs(), support_bits=(4, 2), target_average_bits=3.5)
+
+    def solve():
+        return policy.assign(enbg)
+
+    bits_by_layer, result = benchmark(solve)
+    emit(
+        "fig1 ilp stage",
+        f"budget_bits={policy.budget_bits:.0f}\n"
+        f"assignment={[bits_by_layer[name] for name in model.main_layer_names()]}\n"
+        f"objective={result.total_value:.6g} cost={result.total_cost:.0f} optimal={result.optimal}",
+    )
+    assert result.optimal
+    assert result.total_cost <= policy.budget_bits + 1e-6
+    # Pinned first/last layers keep 16 bits through the whole pipeline.
+    assert bits_by_layer["conv0"] == 16 and bits_by_layer["classifier"] == 16

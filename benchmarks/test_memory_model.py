@@ -1,0 +1,125 @@
+"""Section IV-D memory model: Eq. 10-12 evaluated on the paper's exact rows.
+
+Unlike the training benchmarks, this harness uses the *full-width* VGG16 and
+ResNet18 architectures (no forward passes are needed), so the compression
+ratios in column 5 of Table I can be reproduced from the paper's published
+layer-wise bit-width vectors and compared against the reported values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from harness import emit
+from repro.analysis import ResultTable, compression_summary, format_bit_vector
+from repro.models import resnet18, vgg16
+
+# Layer-wise bit widths exactly as printed in Table I.
+PAPER_ROWS = [
+    {
+        "model": "vgg16",
+        "dataset": "CIFAR-10",
+        "bits": [16, 4, 4, 4, 4, 4, 4, 4, 4, 4, 2, 2, 2, 2, 4, 16],
+        "paper_ratio": 10.5,
+    },
+    {
+        "model": "vgg16",
+        "dataset": "CIFAR-10",
+        "bits": [16, 4, 2, 4, 4, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 16],
+        "paper_ratio": 15.4,
+    },
+    {
+        "model": "resnet18",
+        "dataset": "CIFAR-10",
+        "bits": [16, 2, 2, 4, 2, 4, 4, 2, 2, 4, 4, 4, 2, 2, 2, 2, 2, 16],
+        "paper_ratio": 13.4,
+    },
+    {
+        "model": "resnet18",
+        "dataset": "CIFAR-100",
+        "bits": [16, 2, 2, 4, 2, 4, 4, 4, 2, 4, 4, 2, 4, 4, 4, 4, 2, 16],
+        "paper_ratio": 9.4,
+    },
+    {
+        "model": "vgg16",
+        "dataset": "Tiny-ImageNet",
+        "bits": [16, 4, 4, 4, 4, 4, 4, 2, 4, 4, 2, 2, 4, 2, 4, 16],
+        "paper_ratio": 10.0,
+    },
+    {
+        "model": "resnet18",
+        "dataset": "Tiny-ImageNet",
+        "bits": [16, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 4, 4, 4, 4, 4, 16],
+        "paper_ratio": 8.8,
+    },
+]
+
+NUM_CLASSES = {"CIFAR-10": 10, "CIFAR-100": 100, "Tiny-ImageNet": 200}
+INPUT_SIZE = {"CIFAR-10": 32, "CIFAR-100": 32, "Tiny-ImageNet": 64}
+
+
+def _build_full_width(model_name: str, dataset: str):
+    classes = NUM_CLASSES[dataset]
+    if model_name == "vgg16":
+        return vgg16(num_classes=classes, input_size=INPUT_SIZE[dataset], seed=0)
+    return resnet18(num_classes=classes, seed=0)
+
+
+def _ratio_for_row(row) -> float:
+    model = _build_full_width(row["model"], row["dataset"])
+    order = model.main_layer_names()
+    assert len(order) == len(row["bits"])
+    bits = {name: bit for name, bit in zip(order, row["bits"])}
+    # Tied downsample layers follow their leader, as in the paper's setup.
+    for spec in model.layer_specs():
+        if spec.name not in bits:
+            bits[spec.name] = bits[spec.tie_to]
+    return compression_summary(model.layer_specs(), bits)
+
+
+def test_memory_model_reproduces_table1_column5(benchmark):
+    """Compression ratios from the paper's bit vectors land near the paper's column 5."""
+
+    def run():
+        return [(row, _ratio_for_row(row)) for row in PAPER_ROWS]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = ResultTable(
+        title="Table I column 5 — memory model (Eq. 10-12)",
+        columns=["model", "dataset", "bit vector", "measured ratio", "paper ratio", "size (MB)"],
+    )
+    for row, summary in results:
+        table.add_row(
+            model=row["model"],
+            dataset=row["dataset"],
+            **{
+                "bit vector": format_bit_vector(row["bits"]),
+                "measured ratio": summary.compression_ratio_fp32,
+                "paper ratio": row["paper_ratio"],
+                "size (MB)": summary.quantized_megabytes,
+            },
+        )
+    emit("memory model table1 column5", table.render())
+
+    for row, summary in results:
+        measured = summary.compression_ratio_fp32
+        # The storage model matches the paper's reported ratios to within 20%
+        # (residual differences come from classifier-head geometry choices the
+        # paper does not fully specify).
+        assert measured == pytest.approx(row["paper_ratio"], rel=0.20), row
+        # r16 = 0.5 * r32 exactly (Eq. 12).
+        assert summary.compression_ratio_fp16 == pytest.approx(0.5 * measured)
+
+
+def test_memory_model_ranks_rows_like_the_paper(benchmark):
+    """The relative ordering of compression ratios matches the paper."""
+
+    def run():
+        return {index: _ratio_for_row(row).compression_ratio_fp32 for index, row in enumerate(PAPER_ROWS)}
+
+    ratios = benchmark.pedantic(run, rounds=1, iterations=1)
+    paper = {index: row["paper_ratio"] for index, row in enumerate(PAPER_ROWS)}
+    measured_order = sorted(ratios, key=ratios.get)
+    paper_order = sorted(paper, key=paper.get)
+    assert measured_order == paper_order

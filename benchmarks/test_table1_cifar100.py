@@ -1,0 +1,91 @@
+"""Table I (CIFAR-100 rows): BMPQ vs FP-32 for VGG16 and ResNet18."""
+
+from __future__ import annotations
+
+from harness import (
+    PAPER_TABLE1,
+    build_bench_model,
+    dataset_loaders,
+    emit,
+    qat_config,
+    run_bmpq,
+)
+from repro.analysis import ResultTable, table1_row
+from repro.baselines import train_fp32_baseline
+
+TABLE_COLUMNS = [
+    "dataset",
+    "model",
+    "layer-wise bit width",
+    "test acc (%)",
+    "compression ratio",
+    "paper acc (%)",
+    "paper ratio",
+]
+
+DATASET = "cifar100"
+
+
+def test_table1_cifar100_vgg16(benchmark):
+    """VGG16/CIFAR-100 rows: FP-32 reference plus two BMPQ budgets."""
+    table = ResultTable(title=f"Table I — {DATASET} / VGG16", columns=TABLE_COLUMNS)
+
+    def run():
+        train, test, num_classes, image_size = dataset_loaders(DATASET)
+        model = build_bench_model("vgg16", num_classes, image_size)
+        fp32 = train_fp32_baseline(model, train, test, qat_config())
+        paper_fp32 = PAPER_TABLE1[(DATASET, "vgg16", "fp32")]
+        table.add_row(
+            **table1_row(DATASET, "vgg16", None, fp32.best_test_accuracy,
+                         fp32.compression.compression_ratio_fp32,
+                         paper_fp32["acc"], paper_fp32["ratio"])
+        )
+        results = {}
+        for key, ratio in (("high", 14.6), ("low", 15.4)):
+            result, _model = run_bmpq(
+                "vgg16", DATASET, {"target_average_bits": None, "target_compression_ratio": ratio}
+            )
+            paper = PAPER_TABLE1[(DATASET, "vgg16", key)]
+            table.add_row(
+                **table1_row(DATASET, "vgg16", result.final_bit_vector,
+                             result.best_test_accuracy, result.compression_ratio_fp32,
+                             paper["acc"], paper["ratio"])
+            )
+            results[key] = result
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("table1 cifar100 vgg16", table.render())
+    assert results["low"].compression_ratio_fp32 >= results["high"].compression_ratio_fp32
+    assert all(b in (2, 4, 16) for b in results["low"].final_bit_vector)
+
+
+def test_table1_cifar100_resnet18(benchmark):
+    """ResNet18/CIFAR-100 rows: FP-32 reference plus one BMPQ budget."""
+    table = ResultTable(title=f"Table I — {DATASET} / ResNet18", columns=TABLE_COLUMNS)
+
+    def run():
+        train, test, num_classes, image_size = dataset_loaders(DATASET)
+        model = build_bench_model("resnet18", num_classes, image_size)
+        fp32 = train_fp32_baseline(model, train, test, qat_config())
+        paper_fp32 = PAPER_TABLE1[(DATASET, "resnet18", "fp32")]
+        table.add_row(
+            **table1_row(DATASET, "resnet18", None, fp32.best_test_accuracy,
+                         fp32.compression.compression_ratio_fp32,
+                         paper_fp32["acc"], paper_fp32["ratio"])
+        )
+        result, _model = run_bmpq(
+            "resnet18", DATASET, {"target_average_bits": None, "target_compression_ratio": 9.4}
+        )
+        paper = PAPER_TABLE1[(DATASET, "resnet18", "high")]
+        table.add_row(
+            **table1_row(DATASET, "resnet18", result.final_bit_vector,
+                         result.best_test_accuracy, result.compression_ratio_fp32,
+                         paper["acc"], paper["ratio"])
+        )
+        return result
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("table1 cifar100 resnet18", table.render())
+    assert result.compression_ratio_fp32 >= 9.4 - 1e-6
+    assert result.final_bit_vector[0] == 16 and result.final_bit_vector[-1] == 16

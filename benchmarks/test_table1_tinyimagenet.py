@@ -1,0 +1,97 @@
+"""Table I (Tiny-ImageNet rows): BMPQ vs FP-32 for VGG16 and ResNet18.
+
+The paper trains Tiny-ImageNet for 100 epochs with LR decay at 40/70; the
+benchmark keeps that *relative* schedule (shorter run, decay at the same
+fractions) on the synthetic Tiny-ImageNet substitute.
+"""
+
+from __future__ import annotations
+
+from harness import (
+    PAPER_TABLE1,
+    SCALE,
+    build_bench_model,
+    dataset_loaders,
+    emit,
+    qat_config,
+    run_bmpq,
+)
+from repro.analysis import ResultTable, table1_row
+from repro.baselines import train_fp32_baseline
+
+TABLE_COLUMNS = [
+    "dataset",
+    "model",
+    "layer-wise bit width",
+    "test acc (%)",
+    "compression ratio",
+    "paper acc (%)",
+    "paper ratio",
+]
+
+DATASET = "tiny_imagenet"
+
+
+def test_table1_tinyimagenet_vgg16(benchmark):
+    """VGG16/Tiny-ImageNet rows: FP-32 reference plus BMPQ at the 10x budget."""
+    table = ResultTable(title=f"Table I — {DATASET} / VGG16", columns=TABLE_COLUMNS)
+
+    def run():
+        train, test, num_classes, image_size = dataset_loaders(DATASET)
+        model = build_bench_model("vgg16", num_classes, image_size)
+        fp32 = train_fp32_baseline(model, train, test, qat_config())
+        paper_fp32 = PAPER_TABLE1[(DATASET, "vgg16", "fp32")]
+        table.add_row(
+            **table1_row(DATASET, "vgg16", None, fp32.best_test_accuracy,
+                         fp32.compression.compression_ratio_fp32,
+                         paper_fp32["acc"], paper_fp32["ratio"])
+        )
+        result, _model = run_bmpq(
+            "vgg16", DATASET, {"target_average_bits": None, "target_compression_ratio": 10.0}
+        )
+        paper = PAPER_TABLE1[(DATASET, "vgg16", "high")]
+        table.add_row(
+            **table1_row(DATASET, "vgg16", result.final_bit_vector,
+                         result.best_test_accuracy, result.compression_ratio_fp32,
+                         paper["acc"], paper["ratio"])
+        )
+        return fp32, result
+
+    fp32, result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("table1 tinyimagenet vgg16", table.render())
+    assert result.compression_ratio_fp32 >= 10.0 - 1e-6
+    assert fp32.compression.compression_ratio_fp32 == 1.0
+
+
+def test_table1_tinyimagenet_resnet18(benchmark):
+    """ResNet18/Tiny-ImageNet rows: FP-32 reference plus BMPQ at the 8.8x budget."""
+    table = ResultTable(title=f"Table I — {DATASET} / ResNet18", columns=TABLE_COLUMNS)
+
+    def run():
+        train, test, num_classes, image_size = dataset_loaders(DATASET)
+        model = build_bench_model("resnet18", num_classes, image_size)
+        fp32 = train_fp32_baseline(model, train, test, qat_config())
+        paper_fp32 = PAPER_TABLE1[(DATASET, "resnet18", "fp32")]
+        table.add_row(
+            **table1_row(DATASET, "resnet18", None, fp32.best_test_accuracy,
+                         fp32.compression.compression_ratio_fp32,
+                         paper_fp32["acc"], paper_fp32["ratio"])
+        )
+        result, model = run_bmpq(
+            "resnet18", DATASET, {"target_average_bits": None, "target_compression_ratio": 8.8}
+        )
+        paper = PAPER_TABLE1[(DATASET, "resnet18", "high")]
+        table.add_row(
+            **table1_row(DATASET, "resnet18", result.final_bit_vector,
+                         result.best_test_accuracy, result.compression_ratio_fp32,
+                         paper["acc"], paper["ratio"])
+        )
+        return result, model
+
+    result, model = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("table1 tinyimagenet resnet18", table.render())
+    # Downsample layers must follow their tied leader, as in the paper setup.
+    bits = result.final_bits_by_layer
+    for spec in model.layer_specs():
+        if spec.tie_to is not None:
+            assert bits[spec.name] == bits[spec.tie_to]

@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Compare BMPQ against the baselines the paper evaluates.
+
+Trains four configurations of the same ResNet18 (reduced width) on the same
+synthetic CIFAR-100-like data and prints a combined Table I / Table II view:
+
+* FP-32 full precision (the reference rows of Table I),
+* homogeneous 4-bit and 2-bit quantization (HPQ),
+* activation-density single-shot MPQ (the AD baseline of Table II),
+* BMPQ (this paper).
+
+Usage::
+
+    python examples/compare_baselines.py [--epochs 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import BMPQConfig, BMPQTrainer, build_model
+from repro.analysis import ResultTable, format_bit_vector
+from repro.baselines import (
+    QATConfig,
+    train_ad_baseline,
+    train_fp32_baseline,
+    train_hpq_baseline,
+)
+from repro.data import DataLoader, SyntheticImageClassification, standard_augmentation
+
+
+def build_loaders(args):
+    train_set = SyntheticImageClassification(
+        args.train_samples, num_classes=args.classes, image_size=32, seed=args.seed
+    )
+    test_set = SyntheticImageClassification(
+        args.test_samples, num_classes=args.classes, image_size=32, seed=args.seed + 10_000
+    )
+    train_loader = DataLoader(
+        train_set, batch_size=64, shuffle=True, transform=standard_augmentation(32), seed=args.seed
+    )
+    return train_loader, DataLoader(test_set, batch_size=64)
+
+
+def fresh_model(args):
+    return build_model(
+        "resnet18", num_classes=args.classes, width_multiplier=args.width, seed=args.seed
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--epochs", type=int, default=3)
+    parser.add_argument("--classes", type=int, default=20)
+    parser.add_argument("--width", type=float, default=0.125)
+    parser.add_argument("--train-samples", type=int, default=512)
+    parser.add_argument("--test-samples", type=int, default=128)
+    parser.add_argument("--average-bits", type=float, default=3.0,
+                        help="BMPQ memory budget in mean bits per weight")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    train_loader, test_loader = build_loaders(args)
+    qat_config = QATConfig(epochs=args.epochs, learning_rate=0.05, lr_milestones=(max(args.epochs - 1, 1),))
+
+    table = ResultTable(
+        title="BMPQ vs baselines (same data, same epochs)",
+        columns=["method", "best acc (%)", "compression", "bit widths"],
+    )
+
+    print("[1/5] FP-32 baseline ...")
+    fp32 = train_fp32_baseline(fresh_model(args), train_loader, test_loader, qat_config)
+    table.add_row(method="FP-32", **{
+        "best acc (%)": 100 * fp32.best_test_accuracy,
+        "compression": fp32.compression.compression_ratio_fp32,
+        "bit widths": "full precision",
+    })
+
+    for bits in (4, 2):
+        print(f"[{'2' if bits == 4 else '3'}/5] HPQ {bits}-bit ...")
+        hpq = train_hpq_baseline(fresh_model(args), train_loader, test_loader, bits=bits, config=qat_config)
+        table.add_row(method=f"HPQ {bits}-bit", **{
+            "best acc (%)": 100 * hpq.best_test_accuracy,
+            "compression": hpq.compression.compression_ratio_fp32,
+            "bit widths": f"homogeneous {bits}-bit (16-bit first/last)",
+        })
+
+    print("[4/5] AD single-shot MPQ ...")
+    ad_result, ad_info = train_ad_baseline(
+        fresh_model(args), train_loader, test_loader, calibration_batches=4, config=qat_config
+    )
+    model_for_order = fresh_model(args)
+    ad_vector = [ad_result.bits_by_layer[name] for name in model_for_order.main_layer_names()]
+    table.add_row(method="AD (single-shot)", **{
+        "best acc (%)": 100 * ad_result.best_test_accuracy,
+        "compression": ad_result.compression.compression_ratio_fp32,
+        "bit widths": format_bit_vector(ad_vector),
+    })
+
+    print("[5/5] BMPQ ...")
+    bmpq_model = fresh_model(args)
+    bmpq_config = BMPQConfig(
+        epochs=args.epochs,
+        epoch_interval=1,
+        learning_rate=0.05,
+        lr_milestones=(max(args.epochs - 1, 1),),
+        support_bits=(4, 2),
+        target_average_bits=args.average_bits,
+    )
+    bmpq = BMPQTrainer(bmpq_model, train_loader, test_loader, bmpq_config).train()
+    table.add_row(method="BMPQ (this paper)", **{
+        "best acc (%)": 100 * bmpq.best_test_accuracy,
+        "compression": bmpq.compression_ratio_fp32,
+        "bit widths": format_bit_vector(bmpq.final_bit_vector),
+    })
+
+    print()
+    print(table.render())
+    print(
+        "\nPaper reference (Table II, ResNet18/CIFAR-100): "
+        "AD 71.51% vs BMPQ 73.96% with 2.2x better compression."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Train with BMPQ, save the mixed-precision checkpoint, reload and serve it.
+
+The paper's motivation is on-device deployment: a model trained once (without
+a pre-trained FP-32 baseline) whose weights can be shipped at mixed precision.
+This example walks the deployment path:
+
+1. train a ResNet18 (reduced width) with BMPQ,
+2. save the checkpoint (shadow weights + per-layer bit assignment + metadata),
+3. reload it into a freshly constructed model,
+4. verify the reloaded model reproduces the trained model's predictions, and
+5. report the storage footprint of the shipped weights (Eq. 10-12).
+
+Usage::
+
+    python examples/deploy_quantized_model.py [--epochs 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+
+import numpy as np
+
+from repro import BMPQConfig, BMPQTrainer, build_model, evaluate_model
+from repro.analysis import compression_summary, format_bit_vector
+from repro.data import DataLoader, SyntheticImageClassification
+from repro.nn import Tensor
+from repro.utils import load_checkpoint, save_checkpoint
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--epochs", type=int, default=3)
+    parser.add_argument("--classes", type=int, default=10)
+    parser.add_argument("--width", type=float, default=0.125)
+    parser.add_argument("--checkpoint", type=str, default="bmpq_resnet18_deploy.npz")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    train_set = SyntheticImageClassification(384, num_classes=args.classes, image_size=32, seed=args.seed)
+    test_set = SyntheticImageClassification(128, num_classes=args.classes, image_size=32, seed=args.seed + 10_000)
+    train_loader = DataLoader(train_set, batch_size=64, shuffle=True, seed=args.seed)
+    test_loader = DataLoader(test_set, batch_size=64)
+
+    # --- 1. train ----------------------------------------------------------
+    model = build_model("resnet18", num_classes=args.classes, width_multiplier=args.width, seed=args.seed)
+    config = BMPQConfig(
+        epochs=args.epochs,
+        epoch_interval=1,
+        learning_rate=0.05,
+        lr_milestones=(max(args.epochs - 1, 1),),
+        target_average_bits=3.0,
+    )
+    result = BMPQTrainer(model, train_loader, test_loader, config).train()
+    print(f"trained: acc={100 * result.best_test_accuracy:.2f}%  "
+          f"bits={format_bit_vector(result.final_bit_vector)}")
+
+    # --- 2. save ------------------------------------------------------------
+    path = save_checkpoint(
+        args.checkpoint,
+        model,
+        metadata={"arch": "resnet18", "classes": args.classes, "width": args.width},
+    )
+    print(f"checkpoint: {path} ({os.path.getsize(path) / 2**20:.2f} MB on disk, FP-32 shadow weights)")
+
+    # --- 3. reload into a fresh model ---------------------------------------
+    _state, bits, metadata = load_checkpoint(path)
+    served = build_model(
+        metadata["arch"],
+        num_classes=int(metadata["classes"]),
+        width_multiplier=float(metadata["width"]),
+        seed=123,  # different init; weights come from the checkpoint
+    )
+    load_checkpoint(path, served)
+    print(f"reloaded model bit assignment matches: {served.current_assignment() == bits}")
+
+    # --- 4. verify predictions match ----------------------------------------
+    model.eval()
+    served.eval()
+    probe, _ = next(iter(test_loader))
+    reference = model(Tensor(probe)).data
+    reproduced = served(Tensor(probe)).data
+    max_difference = float(np.abs(reference - reproduced).max())
+    print(f"max |logit difference| between trained and reloaded model: {max_difference:.3e}")
+
+    loss, accuracy = evaluate_model(served, test_loader)
+    print(f"served model: loss={loss:.4f} accuracy={100 * accuracy:.2f}%")
+
+    # --- 5. shipped-weight storage (Eq. 10-12) -------------------------------
+    summary = compression_summary(served.layer_specs(), served.current_assignment())
+    print(
+        f"shipped weights: {summary.quantized_megabytes:.3f} MB "
+        f"(FP-32 would be {summary.fp32_megabytes:.3f} MB, "
+        f"r32={summary.compression_ratio_fp32:.1f}x, r16={summary.compression_ratio_fp16:.1f}x, "
+        f"average {summary.average_bits:.2f} bits/weight)"
+    )
+
+
+if __name__ == "__main__":
+    main()

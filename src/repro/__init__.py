@@ -1,0 +1,62 @@
+"""repro — a full reproduction of BMPQ (DATE 2022).
+
+BMPQ: Bit-Gradient Sensitivity-Driven Mixed-Precision Quantization of DNNs
+from Scratch (Kundu et al.).  The package contains the paper's contribution
+(:mod:`repro.core`) together with every substrate it depends on: a NumPy
+autodiff/CNN stack (:mod:`repro.nn`), quantizers and PACT (:mod:`repro.quant`),
+quantizable VGG/ResNet models (:mod:`repro.models`), datasets and loaders
+(:mod:`repro.data`), the baselines the paper compares against
+(:mod:`repro.baselines`) and analysis/reporting helpers
+(:mod:`repro.analysis`).
+
+Quickstart::
+
+    from repro import BMPQConfig, BMPQTrainer, build_model
+    from repro.data import DataLoader, synthetic_cifar10
+
+    model = build_model("vgg16", width_multiplier=0.125, num_classes=10)
+    train = DataLoader(synthetic_cifar10(True), batch_size=64, shuffle=True)
+    test = DataLoader(synthetic_cifar10(False), batch_size=64)
+    config = BMPQConfig(epochs=6, epoch_interval=2, target_average_bits=4.0)
+    result = BMPQTrainer(model, train, test, config).train()
+    print(result.final_bit_vector, result.compression_ratio_fp32)
+"""
+
+from . import analysis, baselines, core, data, models, nn, quant, utils
+from .core import (
+    BMPQConfig,
+    BMPQResult,
+    BMPQTrainer,
+    BitWidthPolicy,
+    EpochIntervalSchedule,
+    LayerSpec,
+    SensitivityTracker,
+    evaluate_model,
+    solve_bit_assignment,
+)
+from .models import build_model, available_models
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "baselines",
+    "core",
+    "data",
+    "models",
+    "nn",
+    "quant",
+    "utils",
+    "BMPQConfig",
+    "BMPQResult",
+    "BMPQTrainer",
+    "BitWidthPolicy",
+    "EpochIntervalSchedule",
+    "LayerSpec",
+    "SensitivityTracker",
+    "evaluate_model",
+    "solve_bit_assignment",
+    "build_model",
+    "available_models",
+    "__version__",
+]

@@ -1,0 +1,43 @@
+"""Analysis helpers: storage/compression math and result formatting."""
+
+from .compression import (
+    CompressionSummary,
+    average_bits_per_weight,
+    compression_ratio,
+    compression_summary,
+    fp32_model_megabytes,
+    quantized_model_megabytes,
+)
+from .figures import (
+    Fig2Data,
+    assignment_evolution,
+    extract_fig2_data,
+    layers_changed_between,
+)
+from .reporting import (
+    ResultTable,
+    TableRow,
+    figure_series,
+    format_bit_vector,
+    table1_row,
+    table2_row,
+)
+
+__all__ = [
+    "CompressionSummary",
+    "average_bits_per_weight",
+    "compression_ratio",
+    "compression_summary",
+    "fp32_model_megabytes",
+    "quantized_model_megabytes",
+    "Fig2Data",
+    "assignment_evolution",
+    "extract_fig2_data",
+    "layers_changed_between",
+    "ResultTable",
+    "TableRow",
+    "figure_series",
+    "format_bit_vector",
+    "table1_row",
+    "table2_row",
+]

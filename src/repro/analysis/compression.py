@@ -1,0 +1,96 @@
+"""Model-storage accounting and compression ratios (Eq. 10-12 of the paper).
+
+For an L-layer model with ``p_l`` parameters in layer ``l``:
+
+    M_fp32  = 4 * Σ_l p_l / 2^20                          (MB, Eq. 10)
+    M_BMPQ  = (4/32) * Σ_l p_l * q_l / 2^20               (MB, Eq. 11)
+    r32_M   = M_fp32 / M_BMPQ,   r16_M = 0.5 * r32_M       (Eq. 12)
+
+Per-layer FP-32 scaling factors are a negligible overhead and ignored, as in
+the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence
+
+__all__ = [
+    "CompressionSummary",
+    "fp32_model_megabytes",
+    "quantized_model_megabytes",
+    "compression_ratio",
+    "compression_summary",
+    "average_bits_per_weight",
+]
+
+_MB = float(2 ** 20)
+
+
+@dataclass(frozen=True)
+class CompressionSummary:
+    """Storage footprint of a mixed-precision assignment."""
+
+    total_params: int
+    fp32_megabytes: float
+    quantized_megabytes: float
+    compression_ratio_fp32: float
+    compression_ratio_fp16: float
+    average_bits: float
+    bits_by_layer: Dict[str, int]
+
+
+def _layer_params(layers: Sequence) -> Dict[str, int]:
+    params: Dict[str, int] = {}
+    for layer in layers:
+        params[layer.name] = int(layer.num_params)
+    return params
+
+
+def fp32_model_megabytes(layers: Sequence) -> float:
+    """Eq. (10): FP-32 weight storage in MB."""
+    total = sum(int(layer.num_params) for layer in layers)
+    return 4.0 * total / _MB
+
+
+def quantized_model_megabytes(layers: Sequence, bits_by_layer: Mapping[str, int]) -> float:
+    """Eq. (11): mixed-precision weight storage in MB."""
+    total_bits = 0.0
+    for layer in layers:
+        if layer.name not in bits_by_layer:
+            raise KeyError(f"no bit assignment for layer {layer.name!r}")
+        total_bits += int(layer.num_params) * int(bits_by_layer[layer.name])
+    return (4.0 / 32.0) * total_bits / _MB
+
+
+def compression_ratio(layers: Sequence, bits_by_layer: Mapping[str, int]) -> float:
+    """Eq. (12): r32_M, the FP-32 to mixed-precision storage ratio."""
+    quantized = quantized_model_megabytes(layers, bits_by_layer)
+    if quantized == 0.0:
+        raise ZeroDivisionError("quantized model size is zero")
+    return fp32_model_megabytes(layers) / quantized
+
+
+def average_bits_per_weight(layers: Sequence, bits_by_layer: Mapping[str, int]) -> float:
+    """Mean number of bits per stored weight under the assignment."""
+    total_params = sum(int(layer.num_params) for layer in layers)
+    if total_params == 0:
+        raise ValueError("model has no parameters")
+    total_bits = sum(int(layer.num_params) * int(bits_by_layer[layer.name]) for layer in layers)
+    return total_bits / total_params
+
+
+def compression_summary(layers: Sequence, bits_by_layer: Mapping[str, int]) -> CompressionSummary:
+    """Full storage summary used by the trainer result and benchmark tables."""
+    fp32_mb = fp32_model_megabytes(layers)
+    quant_mb = quantized_model_megabytes(layers, bits_by_layer)
+    ratio32 = fp32_mb / quant_mb
+    return CompressionSummary(
+        total_params=int(sum(int(layer.num_params) for layer in layers)),
+        fp32_megabytes=fp32_mb,
+        quantized_megabytes=quant_mb,
+        compression_ratio_fp32=ratio32,
+        compression_ratio_fp16=0.5 * ratio32,
+        average_bits=average_bits_per_weight(layers, bits_by_layer),
+        bits_by_layer={layer.name: int(bits_by_layer[layer.name]) for layer in layers},
+    )

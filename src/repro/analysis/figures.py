@@ -1,0 +1,127 @@
+"""Figure-data extraction from BMPQ training results.
+
+The paper's Fig. 2 plots per-layer ENBG sensitivities at several training
+epochs.  This module turns a :class:`~repro.core.trainer.BMPQResult` (or a raw
+list of :class:`~repro.core.sensitivity.EnbgSnapshot`) into structured figure
+data — normalized per-layer series per snapshot, rank-correlation between
+snapshots, and the bit-width evolution across ILP rounds — so benchmarks,
+examples and downstream notebooks share one implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .reporting import figure_series
+
+__all__ = ["Fig2Data", "extract_fig2_data", "assignment_evolution", "layers_changed_between"]
+
+
+@dataclass
+class Fig2Data:
+    """Structured data behind a Fig. 2-style sensitivity plot."""
+
+    layer_names: List[str]
+    epochs: List[int]
+    normalized_enbg: np.ndarray  # shape (num_snapshots, num_layers)
+    raw_enbg: np.ndarray         # same shape, unnormalized
+
+    def series(self) -> Dict[str, List[float]]:
+        """One named series per snapshot, keyed like the paper's legend (ep20, ep40...)."""
+        return {
+            f"ep{epoch + 1}": self.normalized_enbg[index].tolist()
+            for index, epoch in enumerate(self.epochs)
+        }
+
+    def render(self, title: str = "Fig. 2 — ENBG layer sensitivity") -> str:
+        """Aligned text block of the figure data."""
+        return figure_series(
+            title,
+            "layer index",
+            "normalized ENBG",
+            list(range(len(self.layer_names))),
+            self.series(),
+        )
+
+    def rank_correlation(self, first: int, second: int) -> float:
+        """Spearman rank correlation of the layer ordering between two snapshots."""
+        a = self.raw_enbg[first]
+        b = self.raw_enbg[second]
+        ranks_a = np.argsort(np.argsort(a))
+        ranks_b = np.argsort(np.argsort(b))
+        if np.std(ranks_a) == 0 or np.std(ranks_b) == 0:
+            return 1.0 if np.array_equal(ranks_a, ranks_b) else 0.0
+        return float(np.corrcoef(ranks_a, ranks_b)[0, 1])
+
+    def most_sensitive_layers(self, snapshot_index: int, top_k: int = 3) -> List[str]:
+        """Names of the ``top_k`` most sensitive layers in one snapshot."""
+        order = np.argsort(-self.raw_enbg[snapshot_index])
+        return [self.layer_names[i] for i in order[:top_k]]
+
+
+def extract_fig2_data(snapshots: Sequence, layer_order: Optional[Sequence[str]] = None) -> Fig2Data:
+    """Build :class:`Fig2Data` from ENBG snapshots.
+
+    ``layer_order`` defaults to the key order of the first snapshot; pass the
+    model's ``main_layer_names()`` to match the paper's layer indexing.
+    """
+    if not snapshots:
+        raise ValueError("at least one ENBG snapshot is required")
+    names = list(layer_order) if layer_order is not None else list(snapshots[0].enbg.keys())
+    raw = np.array([[snap.enbg.get(name, 0.0) for name in names] for snap in snapshots])
+    peaks = raw.max(axis=1, keepdims=True)
+    normalized = np.divide(raw, np.where(peaks > 0, peaks, 1.0))
+    return Fig2Data(
+        layer_names=names,
+        epochs=[snap.epoch for snap in snapshots],
+        normalized_enbg=normalized,
+        raw_enbg=raw,
+    )
+
+
+def assignment_evolution(
+    assignments_over_time: Sequence[Tuple[int, Mapping[str, int]]],
+    layer_order: Sequence[str],
+) -> Dict[str, List[int]]:
+    """Per-layer bit-width trajectory across ILP rounds.
+
+    Returns a mapping from layer name to its bit width at each recorded
+    assignment (warm-up first), which is the data needed to reproduce the
+    paper's observation of layers moving between 2-b and 4-b.
+    """
+    if not assignments_over_time:
+        raise ValueError("assignments_over_time is empty")
+    evolution: Dict[str, List[int]] = {name: [] for name in layer_order}
+    for _epoch, assignment in assignments_over_time:
+        for name in layer_order:
+            if name not in assignment:
+                raise KeyError(f"assignment missing layer {name!r}")
+            evolution[name].append(int(assignment[name]))
+    return evolution
+
+
+def layers_changed_between(
+    assignments_over_time: Sequence[Tuple[int, Mapping[str, int]]],
+    first: int,
+    second: int,
+) -> List[Tuple[str, int, int]]:
+    """Layers whose bit width differs between two recorded assignments.
+
+    Returns ``(layer, bits_before, bits_after)`` tuples, e.g. the paper's
+    example of the 10th and 14th VGG16 layers swapping 2-b and 4-b between
+    epochs 100 and 120.
+    """
+    total = len(assignments_over_time)
+    if not (0 <= first < total and 0 <= second < total):
+        raise IndexError("assignment index out of range")
+    _epoch_a, before = assignments_over_time[first]
+    _epoch_b, after = assignments_over_time[second]
+    changes = []
+    for name, bits_before in before.items():
+        bits_after = after.get(name, bits_before)
+        if bits_before != bits_after:
+            changes.append((name, int(bits_before), int(bits_after)))
+    return changes

@@ -1,0 +1,145 @@
+"""Result-table and figure-data formatting for the benchmark harness.
+
+The benchmark modules regenerate the paper's tables and figures as plain-text
+rows with the same columns as the publication; this module centralizes the
+formatting so every benchmark prints a consistent layout and EXPERIMENTS.md
+can quote the output verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = [
+    "TableRow",
+    "ResultTable",
+    "format_bit_vector",
+    "table1_row",
+    "table2_row",
+    "figure_series",
+]
+
+
+def format_bit_vector(bits: Sequence[int]) -> str:
+    """Format a layer-wise bit-width vector like the paper's Table I."""
+    return "[" + ", ".join(str(int(b)) for b in bits) + "]"
+
+
+@dataclass
+class TableRow:
+    """One row of a result table: ordered column-name to value mapping."""
+
+    values: Dict[str, object]
+
+    def formatted(self, columns: Sequence[str]) -> List[str]:
+        out = []
+        for column in columns:
+            value = self.values.get(column, "")
+            if isinstance(value, float):
+                out.append(f"{value:.2f}")
+            else:
+                out.append(str(value))
+        return out
+
+
+@dataclass
+class ResultTable:
+    """A titled collection of rows rendered as an aligned text table."""
+
+    title: str
+    columns: List[str]
+    rows: List[TableRow] = field(default_factory=list)
+
+    def add_row(self, **values: object) -> None:
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise KeyError(f"unknown columns {sorted(unknown)}; table has {self.columns}")
+        self.rows.append(TableRow(values=dict(values)))
+
+    def render(self) -> str:
+        formatted_rows = [row.formatted(self.columns) for row in self.rows]
+        widths = [
+            max(len(self.columns[i]), *(len(row[i]) for row in formatted_rows)) if formatted_rows else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        lines = [self.title]
+        header = " | ".join(name.ljust(width) for name, width in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-+-".join("-" * width for width in widths))
+        for row in formatted_rows:
+            lines.append(" | ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+        return "\n".join(lines)
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        """Rows as plain dictionaries (for EXPERIMENTS.md generation)."""
+        return [dict(row.values) for row in self.rows]
+
+
+def table1_row(
+    dataset: str,
+    model: str,
+    bit_vector: Optional[Sequence[int]],
+    test_accuracy: float,
+    compression_ratio: float,
+    paper_accuracy: Optional[float] = None,
+    paper_compression: Optional[float] = None,
+) -> Dict[str, object]:
+    """A Table-I-shaped row: dataset, model, bit widths, accuracy, ratio."""
+    return {
+        "dataset": dataset,
+        "model": model,
+        "layer-wise bit width": format_bit_vector(bit_vector) if bit_vector is not None else "Full precision",
+        "test acc (%)": 100.0 * test_accuracy,
+        "compression ratio": compression_ratio,
+        "paper acc (%)": paper_accuracy if paper_accuracy is not None else "",
+        "paper ratio": paper_compression if paper_compression is not None else "",
+    }
+
+
+def table2_row(
+    model: str,
+    dataset: str,
+    ad_accuracy: float,
+    bmpq_accuracy: float,
+    compression_improvement: float,
+    paper_ad_accuracy: Optional[float] = None,
+    paper_bmpq_accuracy: Optional[float] = None,
+    paper_compression_improvement: Optional[float] = None,
+) -> Dict[str, object]:
+    """A Table-II-shaped row: AD vs BMPQ accuracy and relative compression."""
+    return {
+        "model": model,
+        "dataset": dataset,
+        "AD acc (%)": 100.0 * ad_accuracy,
+        "BMPQ acc (%)": 100.0 * bmpq_accuracy,
+        "improved compression": compression_improvement,
+        "paper AD acc (%)": paper_ad_accuracy if paper_ad_accuracy is not None else "",
+        "paper BMPQ acc (%)": paper_bmpq_accuracy if paper_bmpq_accuracy is not None else "",
+        "paper improved compression": paper_compression_improvement
+        if paper_compression_improvement is not None
+        else "",
+    }
+
+
+def figure_series(
+    name: str,
+    x_label: str,
+    y_label: str,
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+) -> str:
+    """Render figure data (e.g. Fig. 2 ENBG curves) as an aligned text block."""
+    lines = [f"{name}  ({x_label} vs {y_label})"]
+    header = [x_label] + list(series.keys())
+    rows = []
+    for index, x in enumerate(x_values):
+        row = [f"{x}"]
+        for key in series:
+            row.append(f"{series[key][index]:.6g}")
+        rows.append(row)
+    widths = [max(len(header[i]), *(len(r[i]) for r in rows)) if rows else len(header[i]) for i in range(len(header))]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)

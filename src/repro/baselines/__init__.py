@@ -1,0 +1,29 @@
+"""Baselines the paper compares against: FP-32, HPQ, AD and Hessian metrics."""
+
+from .activation_density import (
+    ActivationDensityResult,
+    activation_density_assignment,
+    density_to_bits,
+    measure_activation_density,
+    train_ad_baseline,
+)
+from .fp32 import train_fp32_baseline
+from .hessian import hessian_assignment, hessian_trace_sensitivity
+from .hpq import homogeneous_assignment, train_hpq_baseline
+from .qat import FixedAssignmentTrainer, QATConfig, QATResult
+
+__all__ = [
+    "ActivationDensityResult",
+    "activation_density_assignment",
+    "density_to_bits",
+    "measure_activation_density",
+    "train_ad_baseline",
+    "train_fp32_baseline",
+    "hessian_assignment",
+    "hessian_trace_sensitivity",
+    "homogeneous_assignment",
+    "train_hpq_baseline",
+    "FixedAssignmentTrainer",
+    "QATConfig",
+    "QATResult",
+]

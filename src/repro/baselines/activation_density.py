@@ -1,0 +1,137 @@
+"""Activation-density (AD) single-shot MPQ baseline (Vasquez et al., DATE 2021).
+
+The AD method estimates layer importance from the *activation density* — the
+fraction of non-zero outputs a layer produces — measured during a short
+calibration phase, and assigns higher bit widths to denser (more active)
+layers.  It is a single-shot scheme: bits are assigned once and never
+re-evaluated, and the assignment is not constrained by a hardware budget
+(both limitations the BMPQ paper calls out and that Table II quantifies).
+
+The reproduction follows that description:
+
+1. train (or run) the model for a few calibration epochs/batches with density
+   recording enabled on each PACT activation;
+2. normalize densities to [0, 1] and map them onto the support bit widths by
+   thresholding at evenly spaced quantiles (densest layers get the most bits);
+3. train to convergence with the fixed assignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn import Tensor, no_grad
+from .qat import FixedAssignmentTrainer, QATConfig, QATResult
+
+__all__ = [
+    "ActivationDensityResult",
+    "measure_activation_density",
+    "density_to_bits",
+    "activation_density_assignment",
+    "train_ad_baseline",
+]
+
+
+@dataclass
+class ActivationDensityResult:
+    """Densities and the resulting single-shot bit assignment."""
+
+    density_by_layer: Dict[str, float]
+    bits_by_layer: Dict[str, int]
+
+
+def measure_activation_density(model, loader, max_batches: int = 8) -> Dict[str, float]:
+    """Record the mean activation density of every PACT-equipped layer.
+
+    Layers without an attached PACT activation (the pinned first/last layers)
+    are reported with density 1.0 — they are not re-assigned anyway.
+    """
+    layers = model.quantizable_layers()
+    for layer in layers.values():
+        if layer.activation is not None:
+            layer.activation.reset_density()
+            layer.activation.record_density = True
+
+    model.eval()
+    with no_grad():
+        for batch_index, (inputs, _targets) in enumerate(loader):
+            if batch_index >= max_batches:
+                break
+            model(Tensor(inputs))
+    model.train()
+
+    densities: Dict[str, float] = {}
+    for name, layer in layers.items():
+        if layer.activation is not None:
+            densities[name] = layer.activation.mean_density
+            layer.activation.record_density = False
+        else:
+            densities[name] = 1.0
+    return densities
+
+
+def density_to_bits(
+    density_by_layer: Dict[str, float],
+    support_bits: Sequence[int],
+    free_layers: Sequence[str],
+) -> Dict[str, int]:
+    """Map normalized densities onto the support bit widths by quantile.
+
+    The densest fraction of free layers receives the largest bit width, the
+    next fraction the next width, and so on — a faithful rendering of
+    "higher activation density implies higher precision" without a hardware
+    constraint.
+    """
+    support = sorted(set(int(b) for b in support_bits), reverse=True)
+    if not support:
+        raise ValueError("support_bits must not be empty")
+    free = [name for name in free_layers if name in density_by_layer]
+    if not free:
+        return {}
+    values = np.array([density_by_layer[name] for name in free], dtype=np.float64)
+    order = np.argsort(-values)  # densest first
+    bits: Dict[str, int] = {}
+    buckets = np.array_split(order, len(support))
+    for bucket, width in zip(buckets, support):
+        for position in bucket:
+            bits[free[int(position)]] = width
+    return bits
+
+
+def activation_density_assignment(
+    model,
+    loader,
+    support_bits: Sequence[int] = (4, 2),
+    max_batches: int = 8,
+) -> ActivationDensityResult:
+    """Single-shot AD bit assignment for ``model`` using ``loader`` batches."""
+    densities = measure_activation_density(model, loader, max_batches=max_batches)
+    layers = model.quantizable_layers()
+    free_layers = [name for name, layer in layers.items() if not layer.pinned]
+    bits = density_to_bits(densities, support_bits, free_layers)
+    assignment: Dict[str, int] = {}
+    for name, layer in layers.items():
+        if layer.pinned:
+            assignment[name] = layer.bits
+        else:
+            assignment[name] = bits.get(name, max(support_bits))
+    return ActivationDensityResult(density_by_layer=densities, bits_by_layer=assignment)
+
+
+def train_ad_baseline(
+    model,
+    train_loader,
+    test_loader,
+    support_bits: Sequence[int] = (4, 2),
+    calibration_batches: int = 8,
+    config: Optional[QATConfig] = None,
+) -> Tuple[QATResult, ActivationDensityResult]:
+    """Run the full AD pipeline: calibrate, assign once, train to convergence."""
+    ad = activation_density_assignment(
+        model, train_loader, support_bits=support_bits, max_batches=calibration_batches
+    )
+    trainer = FixedAssignmentTrainer(model, train_loader, test_loader, ad.bits_by_layer, config)
+    return trainer.train(), ad

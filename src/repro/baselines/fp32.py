@@ -1,0 +1,31 @@
+"""FP-32 "full precision" baseline (the reference rows of Table I).
+
+The baseline trains the same quantizable architecture with every layer set to
+32 bits, which the quantizer treats as a pure pass-through, so the run is an
+ordinary full-precision training job.  Its accuracy and 1x compression ratio
+anchor the comparison against the BMPQ-generated models.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .qat import FixedAssignmentTrainer, QATConfig, QATResult
+
+__all__ = ["train_fp32_baseline"]
+
+
+def train_fp32_baseline(
+    model,
+    train_loader,
+    test_loader,
+    config: Optional[QATConfig] = None,
+) -> QATResult:
+    """Train ``model`` at full precision and return the QAT result summary.
+
+    Every layer (including the normally 16-bit pinned first/last layers) is
+    set to 32 bits; the reported compression ratio is therefore exactly 1.0.
+    """
+    assignment = {name: 32 for name in model.quantizable_layers()}
+    trainer = FixedAssignmentTrainer(model, train_loader, test_loader, assignment, config)
+    return trainer.train()

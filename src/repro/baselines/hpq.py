@@ -1,0 +1,41 @@
+"""Homogeneous-precision quantization (HPQ) baseline.
+
+Every free layer gets the same bit width (the paper's related-work framing of
+BNN/XNOR-style homogeneous quantization, generalized to k bits); the first and
+last layers keep their 16-bit pinning as in the BMPQ setup so that the
+comparison isolates the effect of *mixed* precision.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .qat import FixedAssignmentTrainer, QATConfig, QATResult
+
+__all__ = ["homogeneous_assignment", "train_hpq_baseline"]
+
+
+def homogeneous_assignment(model, bits: int, pin_first_last: bool = True) -> Dict[str, int]:
+    """Uniform ``bits`` assignment; pinned layers keep their pinned width."""
+    if bits < 2:
+        raise ValueError(f"bit width must be >= 2, got {bits}")
+    assignment: Dict[str, int] = {}
+    for name, layer in model.quantizable_layers().items():
+        if layer.pinned and pin_first_last:
+            assignment[name] = layer.bits
+        else:
+            assignment[name] = int(bits)
+    return assignment
+
+
+def train_hpq_baseline(
+    model,
+    train_loader,
+    test_loader,
+    bits: int,
+    config: Optional[QATConfig] = None,
+) -> QATResult:
+    """Train ``model`` with a homogeneous ``bits`` assignment."""
+    assignment = homogeneous_assignment(model, bits)
+    trainer = FixedAssignmentTrainer(model, train_loader, test_loader, assignment, config)
+    return trainer.train()

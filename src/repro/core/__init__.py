@@ -1,0 +1,74 @@
+"""BMPQ core: bit-gradient sensitivity, ILP assignment and the trainer."""
+
+from .costs import (
+    BitOpsCost,
+    EnergyCost,
+    LayerCostModel,
+    MemoryCost,
+    budget_from_fraction,
+    conv_macs,
+)
+from .bit_gradients import (
+    LayerBitGradient,
+    bit_gradient_matrix,
+    collect_layer_bit_gradients,
+    layer_nbg_from_grad,
+    normalized_bit_gradient,
+)
+from .ilp import (
+    AssignmentProblem,
+    AssignmentResult,
+    InfeasibleBudgetError,
+    LayerChoices,
+    solve_bit_assignment,
+    solve_branch_and_bound,
+    solve_brute_force,
+    solve_greedy,
+    solve_scipy_milp,
+)
+from .policy import (
+    BitWidthPolicy,
+    LayerSpec,
+    budget_from_average_bits,
+    budget_from_compression_ratio,
+    model_weight_bits,
+)
+from .schedule import EpochIntervalSchedule
+from .sensitivity import EnbgSnapshot, SensitivityTracker
+from .trainer import BMPQConfig, BMPQResult, BMPQTrainer, EpochRecord, evaluate_model
+
+__all__ = [
+    "BitOpsCost",
+    "EnergyCost",
+    "LayerCostModel",
+    "MemoryCost",
+    "budget_from_fraction",
+    "conv_macs",
+    "LayerBitGradient",
+    "bit_gradient_matrix",
+    "collect_layer_bit_gradients",
+    "layer_nbg_from_grad",
+    "normalized_bit_gradient",
+    "AssignmentProblem",
+    "AssignmentResult",
+    "InfeasibleBudgetError",
+    "LayerChoices",
+    "solve_bit_assignment",
+    "solve_branch_and_bound",
+    "solve_brute_force",
+    "solve_greedy",
+    "solve_scipy_milp",
+    "BitWidthPolicy",
+    "LayerSpec",
+    "budget_from_average_bits",
+    "budget_from_compression_ratio",
+    "model_weight_bits",
+    "EpochIntervalSchedule",
+    "EnbgSnapshot",
+    "SensitivityTracker",
+    "BMPQConfig",
+    "BMPQResult",
+    "BMPQTrainer",
+    "EpochRecord",
+    "evaluate_model",
+]

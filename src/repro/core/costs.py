@@ -1,0 +1,133 @@
+"""Hardware cost models for the ILP constraint Φ of Eq. (9).
+
+The paper formulates the bit-width assignment constraint generically: Φ maps a
+layer's bit width to a cost, and the budget ``C`` bounds the total.  The main
+experiments use a *memory* constraint (parameter bits, Eq. 10-12), but the
+formulation supports any per-layer cost that is a function of the assigned bit
+width.  This module provides three such models:
+
+* :class:`MemoryCost` — ``p_l · q_l`` parameter bits (the paper's choice);
+* :class:`BitOpsCost` — ``MAC_l · q_l · q_a`` bit-operations, the standard
+  compute proxy used by mixed-precision NAS works (HAQ, DNAS); because BMPQ
+  ties the activation bit width to the weight bit width, this is
+  ``MAC_l · q_l²`` for free layers;
+* :class:`EnergyCost` — a simple technology-scaled energy proxy combining MAC
+  energy (quadratic in bit width) and DRAM access energy for the weights
+  (linear in bit width), in the spirit of the Horowitz energy tables used by
+  quantization papers.
+
+Each model maps a :class:`~repro.core.policy.LayerSpec` plus a bit width to a
+scalar cost, and can translate a relative budget ("at most X% of the
+maximum-precision cost") into the absolute budget the ILP consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence
+
+__all__ = ["LayerCostModel", "MemoryCost", "BitOpsCost", "EnergyCost", "budget_from_fraction"]
+
+
+class LayerCostModel:
+    """Interface of a per-layer cost model Φ."""
+
+    name = "abstract"
+
+    def layer_cost(self, spec, bits: int) -> float:  # pragma: no cover - interface
+        """Cost contribution of one layer at ``bits`` precision."""
+        raise NotImplementedError
+
+    def total_cost(self, specs: Sequence, bits_by_layer: Mapping[str, int]) -> float:
+        """Total cost of an assignment over all layers."""
+        return float(sum(self.layer_cost(spec, int(bits_by_layer[spec.name])) for spec in specs))
+
+    def max_cost(self, specs: Sequence, max_bits_by_layer: Mapping[str, int]) -> float:
+        """Cost when every layer uses its maximum candidate precision."""
+        return self.total_cost(specs, max_bits_by_layer)
+
+
+@dataclass(frozen=True)
+class MemoryCost(LayerCostModel):
+    """Weight-storage cost in parameter bits (the paper's Φ)."""
+
+    name: str = "memory_bits"
+
+    def layer_cost(self, spec, bits: int) -> float:
+        return float(spec.num_params * bits)
+
+
+@dataclass(frozen=True)
+class BitOpsCost(LayerCostModel):
+    """Compute cost in bit-operations: MACs × weight bits × activation bits.
+
+    Parameters
+    ----------
+    macs_by_layer:
+        Multiply-accumulate count of each layer for one input sample.  For a
+        convolution this is ``out_h · out_w · out_c · in_c · k_h · k_w``; the
+        helper :func:`conv_macs` computes it from the layer geometry.
+    activation_bits_follow_weights:
+        BMPQ quantizes activations with the layer's weight bit width, so the
+        default cost is ``MAC · q_l²``; set ``False`` to charge a fixed
+        ``activation_bits`` instead.
+    """
+
+    macs_by_layer: Mapping[str, float] = None
+    activation_bits_follow_weights: bool = True
+    activation_bits: int = 8
+    name: str = "bit_ops"
+
+    def layer_cost(self, spec, bits: int) -> float:
+        if self.macs_by_layer is None or spec.name not in self.macs_by_layer:
+            raise KeyError(f"no MAC count registered for layer {spec.name!r}")
+        act_bits = bits if self.activation_bits_follow_weights else self.activation_bits
+        return float(self.macs_by_layer[spec.name] * bits * act_bits)
+
+
+@dataclass(frozen=True)
+class EnergyCost(LayerCostModel):
+    """Energy proxy: MAC energy (∝ q²) plus weight DRAM traffic (∝ p · q).
+
+    The absolute scale is arbitrary (picojoule-like units); only relative
+    costs matter to the ILP.  ``mac_energy_per_bit2`` and
+    ``dram_energy_per_bit`` default to the commonly used 45nm ratios where a
+    32-bit DRAM access costs roughly two orders of magnitude more than a MAC.
+    """
+
+    macs_by_layer: Mapping[str, float] = None
+    mac_energy_per_bit2: float = 0.0002
+    dram_energy_per_bit: float = 0.02
+    name: str = "energy"
+
+    def layer_cost(self, spec, bits: int) -> float:
+        if self.macs_by_layer is None or spec.name not in self.macs_by_layer:
+            raise KeyError(f"no MAC count registered for layer {spec.name!r}")
+        compute = self.macs_by_layer[spec.name] * self.mac_energy_per_bit2 * bits * bits
+        traffic = spec.num_params * self.dram_energy_per_bit * bits
+        return float(compute + traffic)
+
+
+def conv_macs(out_spatial: int, out_channels: int, in_channels: int, kernel: int) -> float:
+    """MAC count of a square convolution layer for one input sample."""
+    return float(out_spatial * out_spatial * out_channels * in_channels * kernel * kernel)
+
+
+def budget_from_fraction(
+    cost_model: LayerCostModel,
+    specs: Sequence,
+    fraction: float,
+    max_bits: int = 4,
+    pinned_bits: int = 16,
+) -> float:
+    """Budget equal to ``fraction`` of the all-at-``max_bits`` cost.
+
+    Pinned layers are charged at their pinned width in the reference cost, so
+    a fraction of 1.0 is always feasible.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    reference = {
+        spec.name: (spec.pinned_bits if spec.pinned else max_bits) for spec in specs
+    }
+    return fraction * cost_model.total_cost(specs, reference)

@@ -1,0 +1,387 @@
+"""ILP-driven bit-width assignment (Section III-C, Eq. 8-9).
+
+At each epoch-interval boundary BMPQ chooses one bit width per layer so that
+the total sensitivity-weighted allocation is maximized subject to a hardware
+cost budget:
+
+    maximize   Σ_l  ENBG_l · q_l              (equivalently, minimize Σ_l (−ENBG_l)·Ω_l)
+    subject to Σ_l  Φ(q_l) ≤ C                with q_l ∈ Sq  (pinned layers fixed)
+
+where Φ translates a bit width into a cost — for a memory budget it is
+``p_l · q_l`` parameter bits.  With one discrete choice per layer this is a
+*multiple-choice knapsack problem* (MCKP).  The module provides:
+
+* an exact branch-and-bound solver with an LP-relaxation bound (no external
+  dependencies),
+* an exact backend on top of :func:`scipy.optimize.milp`,
+* a greedy incremental-efficiency heuristic (used as an ablation baseline and
+  as the branch-and-bound warm start),
+* a tiny brute-force solver used by the test-suite as ground truth.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "LayerChoices",
+    "AssignmentProblem",
+    "AssignmentResult",
+    "InfeasibleBudgetError",
+    "solve_greedy",
+    "solve_branch_and_bound",
+    "solve_scipy_milp",
+    "solve_brute_force",
+    "solve_bit_assignment",
+]
+
+
+class InfeasibleBudgetError(ValueError):
+    """Raised when even the cheapest assignment exceeds the budget."""
+
+
+@dataclass(frozen=True)
+class LayerChoices:
+    """Bit-width options of one layer in the assignment problem.
+
+    Attributes
+    ----------
+    name:
+        Layer identifier (matches the trainer's layer naming).
+    bit_options:
+        Candidate bit widths, e.g. ``(2, 4)``.  A pinned layer has a single
+        option.
+    values:
+        Objective contribution of each option (ENBG · bits for BMPQ).
+    costs:
+        Budget consumption of each option (parameter bits for a memory
+        budget).
+    """
+
+    name: str
+    bit_options: Tuple[int, ...]
+    values: Tuple[float, ...]
+    costs: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.bit_options:
+            raise ValueError(f"layer {self.name!r} has no bit-width options")
+        if not (len(self.bit_options) == len(self.values) == len(self.costs)):
+            raise ValueError(f"layer {self.name!r}: options, values and costs must align")
+        if any(cost < 0 for cost in self.costs):
+            raise ValueError(f"layer {self.name!r}: negative costs are not allowed")
+
+
+@dataclass
+class AssignmentProblem:
+    """A complete MCKP instance: one :class:`LayerChoices` per layer plus a budget."""
+
+    layers: List[LayerChoices]
+    budget: float
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise ValueError("assignment problem needs at least one layer")
+        if self.budget <= 0:
+            raise ValueError(f"budget must be positive, got {self.budget}")
+
+    @property
+    def min_cost(self) -> float:
+        return sum(min(layer.costs) for layer in self.layers)
+
+    @property
+    def max_cost(self) -> float:
+        return sum(max(layer.costs) for layer in self.layers)
+
+    def check_feasible(self) -> None:
+        if self.min_cost > self.budget + 1e-9:
+            raise InfeasibleBudgetError(
+                f"cheapest assignment costs {self.min_cost:.1f} which exceeds the "
+                f"budget {self.budget:.1f}"
+            )
+
+
+@dataclass
+class AssignmentResult:
+    """Solution of an :class:`AssignmentProblem`."""
+
+    bits_by_layer: Dict[str, int]
+    total_value: float
+    total_cost: float
+    optimal: bool
+    method: str
+
+    def bit_vector(self, layer_order: Sequence[str]) -> List[int]:
+        """Bit widths in a caller-specified layer order (for table printing)."""
+        return [self.bits_by_layer[name] for name in layer_order]
+
+
+def _selection_to_result(
+    problem: AssignmentProblem, selection: Sequence[int], optimal: bool, method: str
+) -> AssignmentResult:
+    bits = {}
+    total_value = 0.0
+    total_cost = 0.0
+    for layer, choice in zip(problem.layers, selection):
+        bits[layer.name] = layer.bit_options[choice]
+        total_value += layer.values[choice]
+        total_cost += layer.costs[choice]
+    return AssignmentResult(
+        bits_by_layer=bits,
+        total_value=total_value,
+        total_cost=total_cost,
+        optimal=optimal,
+        method=method,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# greedy heuristic (incremental efficiency)
+# --------------------------------------------------------------------------- #
+def solve_greedy(problem: AssignmentProblem) -> AssignmentResult:
+    """Greedy MCKP: start at the cheapest option, apply best upgrades first.
+
+    The greedy solution is feasible but not necessarily optimal; it serves as
+    the ablation baseline (A2) and as the branch-and-bound incumbent.
+    """
+    problem.check_feasible()
+    selection = [int(np.argmin(layer.costs)) for layer in problem.layers]
+    used = sum(layer.costs[sel] for layer, sel in zip(problem.layers, selection))
+
+    improved = True
+    while improved:
+        improved = False
+        best_gain = 0.0
+        best_move: Optional[Tuple[int, int]] = None
+        for index, layer in enumerate(problem.layers):
+            current = selection[index]
+            for choice in range(len(layer.bit_options)):
+                delta_cost = layer.costs[choice] - layer.costs[current]
+                delta_value = layer.values[choice] - layer.values[current]
+                if delta_value <= 0:
+                    continue
+                if used + delta_cost > problem.budget + 1e-9:
+                    continue
+                gain = delta_value / delta_cost if delta_cost > 0 else float("inf")
+                if gain > best_gain:
+                    best_gain = gain
+                    best_move = (index, choice)
+        if best_move is not None:
+            index, choice = best_move
+            used += problem.layers[index].costs[choice] - problem.layers[index].costs[selection[index]]
+            selection[index] = choice
+            improved = True
+
+    return _selection_to_result(problem, selection, optimal=False, method="greedy")
+
+
+# --------------------------------------------------------------------------- #
+# LP-relaxation bound used by branch and bound
+# --------------------------------------------------------------------------- #
+def _lp_dominant_choices(layer: LayerChoices) -> List[int]:
+    """Indices of LP-undominated choices sorted by increasing cost."""
+    order = sorted(range(len(layer.bit_options)), key=lambda i: (layer.costs[i], -layer.values[i]))
+    # Remove dominated choices (higher cost, lower-or-equal value).
+    filtered: List[int] = []
+    best_value = -float("inf")
+    for index in order:
+        if layer.values[index] > best_value + 1e-15:
+            filtered.append(index)
+            best_value = layer.values[index]
+    # Remove LP-dominated choices (not on the upper convex hull).
+    hull: List[int] = []
+    for index in filtered:
+        while len(hull) >= 2:
+            a, b = hull[-2], hull[-1]
+            eff_ab = (layer.values[b] - layer.values[a]) / max(layer.costs[b] - layer.costs[a], 1e-15)
+            eff_bc = (layer.values[index] - layer.values[b]) / max(layer.costs[index] - layer.costs[b], 1e-15)
+            if eff_bc >= eff_ab:
+                hull.pop()
+            else:
+                break
+        hull.append(index)
+    return hull
+
+
+def _lp_relaxation_bound(layers: Sequence[LayerChoices], budget: float) -> float:
+    """Upper bound on the best achievable value with fractional choices."""
+    base_value = 0.0
+    base_cost = 0.0
+    upgrades: List[Tuple[float, float, float]] = []  # (efficiency, delta_cost, delta_value)
+    for layer in layers:
+        hull = _lp_dominant_choices(layer)
+        first = hull[0]
+        base_value += layer.values[first]
+        base_cost += layer.costs[first]
+        for prev, nxt in zip(hull, hull[1:]):
+            delta_cost = layer.costs[nxt] - layer.costs[prev]
+            delta_value = layer.values[nxt] - layer.values[prev]
+            efficiency = delta_value / max(delta_cost, 1e-15)
+            upgrades.append((efficiency, delta_cost, delta_value))
+    remaining = budget - base_cost
+    if remaining < -1e-9:
+        return -float("inf")
+    value = base_value
+    for efficiency, delta_cost, delta_value in sorted(upgrades, reverse=True):
+        if remaining <= 0:
+            break
+        if delta_cost <= remaining:
+            value += delta_value
+            remaining -= delta_cost
+        else:
+            value += efficiency * remaining
+            remaining = 0.0
+    return value
+
+
+# --------------------------------------------------------------------------- #
+# exact branch and bound
+# --------------------------------------------------------------------------- #
+def solve_branch_and_bound(problem: AssignmentProblem, node_limit: int = 2_000_000) -> AssignmentResult:
+    """Exact MCKP solver via depth-first branch and bound.
+
+    The incumbent is initialized with the greedy solution; each node is
+    bounded with the LP relaxation of the remaining layers, which keeps the
+    search tree small for the layer counts that arise from VGG/ResNet models.
+    """
+    problem.check_feasible()
+    incumbent = solve_greedy(problem)
+    best_value = incumbent.total_value
+    best_selection = [
+        layer.bit_options.index(incumbent.bits_by_layer[layer.name]) for layer in problem.layers
+    ]
+
+    layers = problem.layers
+    num_layers = len(layers)
+    # Suffix minimum cost lets us prune infeasible branches early.
+    suffix_min_cost = np.zeros(num_layers + 1)
+    for index in range(num_layers - 1, -1, -1):
+        suffix_min_cost[index] = suffix_min_cost[index + 1] + min(layers[index].costs)
+
+    nodes_visited = 0
+    certified_optimal = True
+
+    def recurse(index: int, used_cost: float, value: float, selection: List[int]) -> None:
+        nonlocal best_value, best_selection, nodes_visited, certified_optimal
+        nodes_visited += 1
+        if nodes_visited > node_limit:
+            certified_optimal = False
+            return
+        if index == num_layers:
+            if value > best_value + 1e-12:
+                best_value = value
+                best_selection = selection.copy()
+            return
+        remaining_budget = problem.budget - used_cost
+        if suffix_min_cost[index] > remaining_budget + 1e-9:
+            return
+        bound = value + _lp_relaxation_bound(layers[index:], remaining_budget)
+        if bound <= best_value + 1e-12:
+            return
+        layer = layers[index]
+        # Explore higher-value choices first to tighten the incumbent quickly.
+        order = sorted(range(len(layer.bit_options)), key=lambda i: -layer.values[i])
+        for choice in order:
+            cost = layer.costs[choice]
+            if used_cost + cost + suffix_min_cost[index + 1] > problem.budget + 1e-9:
+                continue
+            selection.append(choice)
+            recurse(index + 1, used_cost + cost, value + layer.values[choice], selection)
+            selection.pop()
+
+    recurse(0, 0.0, 0.0, [])
+    return _selection_to_result(
+        problem, best_selection, optimal=certified_optimal, method="branch_and_bound"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# scipy MILP backend
+# --------------------------------------------------------------------------- #
+def solve_scipy_milp(problem: AssignmentProblem) -> AssignmentResult:
+    """Exact solution using :func:`scipy.optimize.milp` (HiGHS)."""
+    from scipy.optimize import LinearConstraint, milp
+
+    problem.check_feasible()
+    num_vars = sum(len(layer.bit_options) for layer in problem.layers)
+    values = np.zeros(num_vars)
+    costs = np.zeros(num_vars)
+    offsets: List[Tuple[int, int]] = []
+    cursor = 0
+    for layer in problem.layers:
+        count = len(layer.bit_options)
+        values[cursor : cursor + count] = layer.values
+        costs[cursor : cursor + count] = layer.costs
+        offsets.append((cursor, count))
+        cursor += count
+
+    # One-hot selection constraint per layer.
+    selection_matrix = np.zeros((len(problem.layers), num_vars))
+    for row, (start, count) in enumerate(offsets):
+        selection_matrix[row, start : start + count] = 1.0
+    constraints = [
+        LinearConstraint(selection_matrix, lb=np.ones(len(problem.layers)), ub=np.ones(len(problem.layers))),
+        LinearConstraint(costs[None, :], lb=-np.inf, ub=problem.budget),
+    ]
+    result = milp(
+        c=-values,  # milp minimizes; we maximize value
+        constraints=constraints,
+        integrality=np.ones(num_vars),
+        bounds=None,
+    )
+    if not result.success:
+        raise RuntimeError(f"scipy.milp failed: {result.message}")
+
+    selection: List[int] = []
+    for start, count in offsets:
+        chosen = int(np.argmax(result.x[start : start + count]))
+        selection.append(chosen)
+    return _selection_to_result(problem, selection, optimal=True, method="scipy_milp")
+
+
+# --------------------------------------------------------------------------- #
+# brute force (tests only)
+# --------------------------------------------------------------------------- #
+def solve_brute_force(problem: AssignmentProblem) -> AssignmentResult:
+    """Enumerate every assignment; intended for small test instances only."""
+    problem.check_feasible()
+    best_value = -float("inf")
+    best_selection: Optional[Tuple[int, ...]] = None
+    ranges = [range(len(layer.bit_options)) for layer in problem.layers]
+    for selection in itertools.product(*ranges):
+        cost = sum(layer.costs[c] for layer, c in zip(problem.layers, selection))
+        if cost > problem.budget + 1e-9:
+            continue
+        value = sum(layer.values[c] for layer, c in zip(problem.layers, selection))
+        if value > best_value:
+            best_value = value
+            best_selection = selection
+    if best_selection is None:
+        raise InfeasibleBudgetError("no feasible assignment found")
+    return _selection_to_result(problem, list(best_selection), optimal=True, method="brute_force")
+
+
+# --------------------------------------------------------------------------- #
+# dispatcher
+# --------------------------------------------------------------------------- #
+def solve_bit_assignment(problem: AssignmentProblem, method: str = "auto") -> AssignmentResult:
+    """Solve the bit-width assignment ILP with the requested backend.
+
+    ``method`` is one of ``"auto"``, ``"branch_and_bound"``, ``"scipy"``,
+    ``"greedy"`` or ``"brute_force"``.  ``"auto"`` uses the in-repo exact
+    branch-and-bound solver and falls back to greedy only if the node limit is
+    hit (which does not occur for paper-scale models).
+    """
+    if method == "auto" or method == "branch_and_bound":
+        return solve_branch_and_bound(problem)
+    if method == "scipy":
+        return solve_scipy_milp(problem)
+    if method == "greedy":
+        return solve_greedy(problem)
+    if method == "brute_force":
+        return solve_brute_force(problem)
+    raise ValueError(f"unknown ILP method {method!r}")

@@ -1,0 +1,248 @@
+"""Bit-width assignment policy: support bits, pinning, tying, budgets.
+
+This module turns the model structure plus the ENBG sensitivities into the
+MCKP instance solved by :mod:`repro.core.ilp`, following the paper's
+conventions:
+
+* support bit widths ``Sq`` (Definition 1) apply to every quantizable layer
+  *except* the first and last layers, which are pinned to 16 bits;
+* for ResNet models the 1×1 downsampling convolutions are *tied* to their
+  block's input layer and always receive the same bit width (Section IV-A);
+* the constraint function Φ of Eq. (9) is a memory budget measured in
+  parameter bits (``p_l · q_l``), and the budget ``C`` can be specified
+  directly, as an average bit width, or as a target compression ratio with
+  respect to the FP-32 model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .ilp import AssignmentProblem, AssignmentResult, LayerChoices, solve_bit_assignment
+
+__all__ = [
+    "LayerSpec",
+    "BitWidthPolicy",
+    "budget_from_average_bits",
+    "budget_from_compression_ratio",
+    "model_weight_bits",
+]
+
+DEFAULT_SUPPORT_BITS: Tuple[int, ...] = (4, 2)
+PINNED_BITS = 16
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """Static description of one quantizable layer for the policy.
+
+    Attributes
+    ----------
+    name:
+        Layer identifier (stable across training).
+    num_params:
+        Number of weight scalars in the layer.
+    pinned:
+        When ``True`` the layer keeps ``pinned_bits`` bits (first/last layer).
+    pinned_bits:
+        Bit width of a pinned layer (16 in the paper).
+    tie_to:
+        Name of another layer whose bit width this layer must copy (used for
+        ResNet downsampling convolutions).  Tied layers are merged into their
+        leader's decision variable.
+    """
+
+    name: str
+    num_params: int
+    pinned: bool = False
+    pinned_bits: int = PINNED_BITS
+    tie_to: Optional[str] = None
+
+
+def model_weight_bits(layers: Sequence[LayerSpec], bits_by_layer: Mapping[str, int]) -> float:
+    """Total parameter-bit count of a model under a given assignment."""
+    return float(sum(layer.num_params * bits_by_layer[layer.name] for layer in layers))
+
+
+def budget_from_average_bits(layers: Sequence[LayerSpec], average_bits: float) -> float:
+    """Budget ``C`` such that the mean bits/parameter equals ``average_bits``."""
+    if average_bits <= 0:
+        raise ValueError(f"average_bits must be positive, got {average_bits}")
+    total_params = sum(layer.num_params for layer in layers)
+    return float(total_params * average_bits)
+
+
+def budget_from_compression_ratio(layers: Sequence[LayerSpec], ratio: float) -> float:
+    """Budget ``C`` for a target compression ratio ``r32`` (Eq. 12).
+
+    ``ratio`` is the desired FP-32-bits / quantized-bits ratio; the returned
+    budget is in parameter bits.
+    """
+    if ratio <= 0:
+        raise ValueError(f"compression ratio must be positive, got {ratio}")
+    total_params = sum(layer.num_params for layer in layers)
+    return float(total_params * 32.0 / ratio)
+
+
+class BitWidthPolicy:
+    """Builds and solves the per-interval bit-width assignment problem."""
+
+    def __init__(
+        self,
+        layers: Sequence[LayerSpec],
+        support_bits: Sequence[int] = DEFAULT_SUPPORT_BITS,
+        budget_bits: Optional[float] = None,
+        target_compression_ratio: Optional[float] = None,
+        target_average_bits: Optional[float] = None,
+        ilp_method: str = "auto",
+        cost_model: Optional[object] = None,
+        cost_budget: Optional[float] = None,
+    ) -> None:
+        if not layers:
+            raise ValueError("policy requires at least one layer spec")
+        self.layers = list(layers)
+        self.support_bits = tuple(sorted(set(int(b) for b in support_bits), reverse=True))
+        if any(b < 2 for b in self.support_bits):
+            raise ValueError(f"support bits must be >= 2, got {self.support_bits}")
+        self.ilp_method = ilp_method
+        self._by_name = {layer.name: layer for layer in self.layers}
+        self._validate_ties()
+
+        if cost_model is not None:
+            # Generic Φ from Eq. (9): a LayerCostModel plus its own budget.
+            if cost_budget is None:
+                raise ValueError("cost_budget is required when a cost_model is given")
+            if any(src is not None for src in (budget_bits, target_compression_ratio, target_average_bits)):
+                raise ValueError("memory budgets cannot be combined with a custom cost_model")
+            self.cost_model = cost_model
+            self.budget_bits = float(cost_budget)
+            self._check_budget_reachable()
+            return
+
+        from .costs import MemoryCost
+
+        self.cost_model = MemoryCost()
+        budget_sources = [
+            budget_bits is not None,
+            target_compression_ratio is not None,
+            target_average_bits is not None,
+        ]
+        if sum(budget_sources) != 1:
+            raise ValueError(
+                "exactly one of budget_bits, target_compression_ratio or "
+                "target_average_bits must be provided"
+            )
+        if budget_bits is not None:
+            self.budget_bits = float(budget_bits)
+        elif target_compression_ratio is not None:
+            self.budget_bits = budget_from_compression_ratio(self.layers, target_compression_ratio)
+        else:
+            self.budget_bits = budget_from_average_bits(self.layers, float(target_average_bits))
+        self._check_budget_reachable()
+
+    # ------------------------------------------------------------------ #
+    # structure helpers
+    # ------------------------------------------------------------------ #
+    def _validate_ties(self) -> None:
+        for layer in self.layers:
+            if layer.tie_to is None:
+                continue
+            if layer.tie_to not in self._by_name:
+                raise ValueError(f"layer {layer.name!r} is tied to unknown layer {layer.tie_to!r}")
+            leader = self._by_name[layer.tie_to]
+            if leader.tie_to is not None:
+                raise ValueError(
+                    f"layer {layer.name!r} ties to {leader.name!r} which is itself tied; "
+                    "chained ties are not supported"
+                )
+            if leader.pinned != layer.pinned:
+                raise ValueError(
+                    f"tied layers {layer.name!r} and {leader.name!r} must share pinning"
+                )
+
+    def _check_budget_reachable(self) -> None:
+        minimum = 0.0
+        for layer in self.layers:
+            bits = layer.pinned_bits if layer.pinned else min(self.support_bits)
+            minimum += self.cost_model.layer_cost(layer, bits)
+        if minimum > self.budget_bits + 1e-6:
+            raise ValueError(
+                f"budget of {self.budget_bits:.0f} ({self.cost_model.name}) is below the minimum "
+                f"achievable {minimum:.0f} (all free layers at {min(self.support_bits)} bits, "
+                f"pinned layers at their pinned width)"
+            )
+
+    def decision_groups(self) -> List[List[LayerSpec]]:
+        """Group layers so tied layers share one decision variable."""
+        groups: Dict[str, List[LayerSpec]] = {}
+        order: List[str] = []
+        for layer in self.layers:
+            leader = layer.tie_to if layer.tie_to is not None else layer.name
+            if leader not in groups:
+                groups[leader] = []
+                order.append(leader)
+            groups[leader].append(layer)
+        # Make sure the leader itself is first in each group.
+        result = []
+        for leader in order:
+            members = groups[leader]
+            members.sort(key=lambda spec: 0 if spec.name == leader else 1)
+            result.append(members)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # problem construction and solving
+    # ------------------------------------------------------------------ #
+    def build_problem(self, enbg: Mapping[str, float]) -> AssignmentProblem:
+        """Build the MCKP instance of Eq. (8)-(9) from ENBG sensitivities.
+
+        Pinned groups get a single (fixed) choice; their cost still counts
+        against the budget, exactly as in the paper's memory model.
+        """
+        choices: List[LayerChoices] = []
+        for group in self.decision_groups():
+            leader = group[0]
+            group_enbg = float(sum(enbg.get(member.name, 0.0) for member in group))
+            if leader.pinned:
+                bits = (leader.pinned_bits,)
+            else:
+                bits = self.support_bits
+            values = tuple(group_enbg * b for b in bits)
+            costs = tuple(
+                float(sum(self.cost_model.layer_cost(member, b) for member in group)) for b in bits
+            )
+            choices.append(
+                LayerChoices(name=leader.name, bit_options=bits, values=values, costs=costs)
+            )
+        return AssignmentProblem(layers=choices, budget=self.budget_bits)
+
+    def assign(self, enbg: Mapping[str, float]) -> Tuple[Dict[str, int], AssignmentResult]:
+        """Solve the assignment and expand tied groups back to all layers."""
+        problem = self.build_problem(enbg)
+        result = solve_bit_assignment(problem, method=self.ilp_method)
+        bits_by_layer: Dict[str, int] = {}
+        for group in self.decision_groups():
+            leader = group[0]
+            assigned = result.bits_by_layer[leader.name]
+            for member in group:
+                bits_by_layer[member.name] = assigned
+        return bits_by_layer, result
+
+    def uniform_assignment(self, bits: int) -> Dict[str, int]:
+        """Homogeneous assignment (pinned layers keep their pinned width)."""
+        return {
+            layer.name: (layer.pinned_bits if layer.pinned else int(bits)) for layer in self.layers
+        }
+
+    def describe(self) -> str:
+        """One-line summary used in trainer logs."""
+        free = sum(1 for layer in self.layers if not layer.pinned and layer.tie_to is None)
+        tied = sum(1 for layer in self.layers if layer.tie_to is not None)
+        pinned = sum(1 for layer in self.layers if layer.pinned)
+        return (
+            f"BitWidthPolicy(support={list(self.support_bits)}, budget_bits={self.budget_bits:.0f}, "
+            f"free={free}, tied={tied}, pinned={pinned})"
+        )

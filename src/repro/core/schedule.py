@@ -1,0 +1,113 @@
+"""Epoch-interval schedules for BMPQ (Definition 2 of the paper).
+
+BMPQ re-evaluates the ILP bit-width assignment at the end of every *epoch
+interval*.  The paper uses a periodic interval of 20 epochs; aperiodic
+schedules (an explicit list of interval lengths) are also supported, as is a
+warm-up phase during which all free layers train at the maximum support bit
+width and no re-assignment takes place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+__all__ = ["EpochIntervalSchedule"]
+
+
+@dataclass
+class EpochIntervalSchedule:
+    """Defines warm-up and bit-width re-assignment epochs.
+
+    Parameters
+    ----------
+    total_epochs:
+        Length of the training run.
+    interval:
+        Periodic epoch-interval length ``ep_int`` (20 in the paper).  Ignored
+        when ``intervals`` is given.
+    intervals:
+        Optional explicit (aperiodic) list of interval lengths.
+    warmup_epochs:
+        Number of initial epochs trained at ``max(Sq)`` bits before the first
+        sensitivity collection starts counting toward an ENBG.
+    """
+
+    total_epochs: int
+    interval: int = 20
+    intervals: Optional[Sequence[int]] = None
+    warmup_epochs: int = 0
+
+    def __post_init__(self) -> None:
+        if self.total_epochs <= 0:
+            raise ValueError(f"total_epochs must be positive, got {self.total_epochs}")
+        if self.warmup_epochs < 0:
+            raise ValueError(f"warmup_epochs must be >= 0, got {self.warmup_epochs}")
+        if self.warmup_epochs >= self.total_epochs:
+            raise ValueError(
+                f"warmup_epochs ({self.warmup_epochs}) must be smaller than "
+                f"total_epochs ({self.total_epochs})"
+            )
+        if self.intervals is not None:
+            if any(length <= 0 for length in self.intervals):
+                raise ValueError("aperiodic interval lengths must be positive")
+            self.intervals = list(self.intervals)
+        elif self.interval <= 0:
+            raise ValueError(f"interval must be positive, got {self.interval}")
+
+    # ------------------------------------------------------------------ #
+    # boundary queries
+    # ------------------------------------------------------------------ #
+    def reassignment_epochs(self) -> List[int]:
+        """Epochs (0-based, end-of-epoch) at which the ILP re-assignment runs.
+
+        The k-th interval starts right after warm-up; a boundary that falls on
+        or after the final epoch is dropped because there is no training left
+        that could benefit from a new assignment.
+        """
+        boundaries: List[int] = []
+        epoch = self.warmup_epochs
+        for length in self._interval_lengths():
+            epoch += length
+            if epoch >= self.total_epochs:
+                break
+            boundaries.append(epoch - 1)
+        return boundaries
+
+    def _interval_lengths(self) -> Iterator[int]:
+        if self.intervals is not None:
+            yield from self.intervals
+            return
+        while True:
+            yield self.interval
+
+    def is_reassignment_epoch(self, epoch: int) -> bool:
+        """True when the ILP should run at the end of 0-based ``epoch``."""
+        return epoch in set(self.reassignment_epochs())
+
+    def is_warmup_epoch(self, epoch: int) -> bool:
+        """True while the model is still in the warm-up phase."""
+        return epoch < self.warmup_epochs
+
+    def interval_index_of(self, epoch: int) -> int:
+        """Index of the epoch interval containing 0-based ``epoch``.
+
+        Warm-up epochs belong to interval ``-1``.
+        """
+        if epoch < self.warmup_epochs:
+            return -1
+        cursor = self.warmup_epochs
+        for index, length in enumerate(self._interval_lengths()):
+            cursor += length
+            if epoch < cursor:
+                return index
+            if cursor >= self.total_epochs:
+                return index
+        return 0  # pragma: no cover - unreachable for valid schedules
+
+    def describe(self) -> str:
+        kind = f"aperiodic{list(self.intervals)}" if self.intervals is not None else f"periodic({self.interval})"
+        return (
+            f"EpochIntervalSchedule(total={self.total_epochs}, warmup={self.warmup_epochs}, "
+            f"{kind}, reassignment_epochs={self.reassignment_epochs()})"
+        )

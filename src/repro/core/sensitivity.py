@@ -1,0 +1,153 @@
+"""Epoch-normalized bit gradient (ENBG) tracking.
+
+The paper's layer-sensitivity metric is the ENBG: the mean of a layer's NBG
+values collected over the epochs of the current *epoch interval*
+(Definition 2).  :class:`SensitivityTracker` accumulates per-step NBG values,
+aggregates them per epoch, and produces an ENBG snapshot at each interval
+boundary.  Snapshots are retained so the Fig. 2 analysis (sensitivity
+re-ordering across training) can be regenerated.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["EnbgSnapshot", "SensitivityTracker"]
+
+
+@dataclass
+class EnbgSnapshot:
+    """ENBG values of every tracked layer at one epoch-interval boundary."""
+
+    epoch: int
+    interval_index: int
+    enbg: Dict[str, float]
+
+    def ranked_layers(self) -> List[str]:
+        """Layer names sorted from most to least sensitive."""
+        return sorted(self.enbg, key=self.enbg.get, reverse=True)
+
+    def normalized(self) -> Dict[str, float]:
+        """ENBG values scaled so the most sensitive layer is 1.0."""
+        peak = max(self.enbg.values()) if self.enbg else 0.0
+        if peak <= 0.0:
+            return {name: 0.0 for name in self.enbg}
+        return {name: value / peak for name, value in self.enbg.items()}
+
+
+class SensitivityTracker:
+    """Accumulates NBG observations and produces ENBG snapshots.
+
+    Usage::
+
+        tracker = SensitivityTracker(layer_names)
+        # every training step, after backward():
+        tracker.record_step({"features.0": 0.12, ...})
+        # at each epoch end:
+        tracker.end_epoch(epoch)
+        # at each epoch-interval boundary:
+        snapshot = tracker.finalize_interval(epoch)
+    """
+
+    def __init__(self, layer_names: Sequence[str]) -> None:
+        if not layer_names:
+            raise ValueError("SensitivityTracker requires at least one layer name")
+        self.layer_names = list(layer_names)
+        self._step_sums: Dict[str, float] = defaultdict(float)
+        self._step_counts: Dict[str, int] = defaultdict(int)
+        self._epoch_nbg: Dict[str, List[float]] = {name: [] for name in self.layer_names}
+        self.snapshots: List[EnbgSnapshot] = []
+        self._interval_index = 0
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+    def record_step(self, nbg_by_layer: Mapping[str, float]) -> None:
+        """Record the NBG of each layer for one training step (mini-batch)."""
+        for name, value in nbg_by_layer.items():
+            if name not in self._epoch_nbg:
+                raise KeyError(f"unknown layer {name!r}; tracked layers: {self.layer_names}")
+            if not np.isfinite(value):
+                raise ValueError(f"non-finite NBG {value!r} for layer {name!r}")
+            self._step_sums[name] += float(value)
+            self._step_counts[name] += 1
+
+    def end_epoch(self, epoch: int) -> Dict[str, float]:
+        """Aggregate the step NBGs collected this epoch into a per-epoch NBG."""
+        epoch_values: Dict[str, float] = {}
+        for name in self.layer_names:
+            count = self._step_counts.get(name, 0)
+            if count == 0:
+                continue
+            value = self._step_sums[name] / count
+            self._epoch_nbg[name].append(value)
+            epoch_values[name] = value
+        self._step_sums.clear()
+        self._step_counts.clear()
+        return epoch_values
+
+    # ------------------------------------------------------------------ #
+    # ENBG snapshots
+    # ------------------------------------------------------------------ #
+    def has_observations(self) -> bool:
+        """True when at least one epoch of NBG data is pending aggregation."""
+        return any(self._epoch_nbg[name] for name in self.layer_names)
+
+    def current_enbg(self) -> Dict[str, float]:
+        """ENBG over the epochs recorded since the last interval boundary."""
+        enbg: Dict[str, float] = {}
+        for name in self.layer_names:
+            values = self._epoch_nbg[name]
+            enbg[name] = float(np.mean(values)) if values else 0.0
+        return enbg
+
+    def finalize_interval(self, epoch: int) -> EnbgSnapshot:
+        """Produce an ENBG snapshot and reset the per-epoch accumulators."""
+        snapshot = EnbgSnapshot(
+            epoch=epoch,
+            interval_index=self._interval_index,
+            enbg=self.current_enbg(),
+        )
+        self.snapshots.append(snapshot)
+        self._interval_index += 1
+        for name in self.layer_names:
+            self._epoch_nbg[name] = []
+        return snapshot
+
+    # ------------------------------------------------------------------ #
+    # analysis helpers (Fig. 2)
+    # ------------------------------------------------------------------ #
+    def snapshot_at_epoch(self, epoch: int) -> Optional[EnbgSnapshot]:
+        """Return the snapshot finalized at ``epoch`` if one exists."""
+        for snapshot in self.snapshots:
+            if snapshot.epoch == epoch:
+                return snapshot
+        return None
+
+    def sensitivity_matrix(self) -> np.ndarray:
+        """Matrix of shape (num_snapshots, num_layers) of ENBG values."""
+        rows = [
+            [snapshot.enbg.get(name, 0.0) for name in self.layer_names]
+            for snapshot in self.snapshots
+        ]
+        return np.asarray(rows, dtype=np.float64)
+
+    def rank_correlation(self, first: int, second: int) -> float:
+        """Spearman rank correlation between two snapshots' layer orderings.
+
+        Used by the Fig. 2 analysis to quantify how much the sensitivity
+        ordering changes between training stages.
+        """
+        if not (0 <= first < len(self.snapshots) and 0 <= second < len(self.snapshots)):
+            raise IndexError("snapshot index out of range")
+        a = np.array([self.snapshots[first].enbg[name] for name in self.layer_names])
+        b = np.array([self.snapshots[second].enbg[name] for name in self.layer_names])
+        ranks_a = np.argsort(np.argsort(a))
+        ranks_b = np.argsort(np.argsort(b))
+        if np.std(ranks_a) == 0 or np.std(ranks_b) == 0:
+            return 1.0 if np.array_equal(ranks_a, ranks_b) else 0.0
+        return float(np.corrcoef(ranks_a, ranks_b)[0, 1])

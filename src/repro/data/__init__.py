@@ -1,0 +1,39 @@
+"""Datasets, augmentation and batch loading."""
+
+from .augmentation import (
+    Compose,
+    Cutout,
+    Normalize,
+    RandomCrop,
+    RandomHorizontalFlip,
+    standard_augmentation,
+)
+from .datasets import (
+    ArrayDataset,
+    CIFAR10Pickle,
+    Dataset,
+    SyntheticImageClassification,
+    synthetic_cifar10,
+    synthetic_cifar100,
+    synthetic_tiny_imagenet,
+    train_test_datasets,
+)
+from .loader import DataLoader
+
+__all__ = [
+    "Compose",
+    "Cutout",
+    "Normalize",
+    "RandomCrop",
+    "RandomHorizontalFlip",
+    "standard_augmentation",
+    "ArrayDataset",
+    "CIFAR10Pickle",
+    "Dataset",
+    "SyntheticImageClassification",
+    "synthetic_cifar10",
+    "synthetic_cifar100",
+    "synthetic_tiny_imagenet",
+    "train_test_datasets",
+    "DataLoader",
+]

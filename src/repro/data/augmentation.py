@@ -1,0 +1,132 @@
+"""Training-time data augmentation.
+
+The paper uses "standard data augmentations (horizontal flip and random crop
+with reflective padding)".  Transforms here operate on single (C, H, W)
+float32 images and compose with :class:`Compose`; the
+:class:`~repro.data.loader.DataLoader` applies them per sample when building
+training batches.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Compose",
+    "RandomHorizontalFlip",
+    "RandomCrop",
+    "Normalize",
+    "Cutout",
+    "standard_augmentation",
+]
+
+Transform = Callable[[np.ndarray, np.random.Generator], np.ndarray]
+
+
+class Compose:
+    """Apply a sequence of transforms in order."""
+
+    def __init__(self, transforms: Sequence[Transform]) -> None:
+        self.transforms = list(transforms)
+
+    def __call__(self, image: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        for transform in self.transforms:
+            image = transform(image, rng)
+        return image
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(t) for t in self.transforms)
+        return f"Compose([{inner}])"
+
+
+class RandomHorizontalFlip:
+    """Flip the image left-right with probability ``p``."""
+
+    def __init__(self, p: float = 0.5) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"flip probability must be in [0, 1], got {p}")
+        self.p = p
+
+    def __call__(self, image: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if rng.random() < self.p:
+            return image[:, :, ::-1].copy()
+        return image
+
+    def __repr__(self) -> str:
+        return f"RandomHorizontalFlip(p={self.p})"
+
+
+class RandomCrop:
+    """Random crop after reflective padding, as in the paper's recipe."""
+
+    def __init__(self, size: int, padding: int = 4) -> None:
+        if size <= 0 or padding < 0:
+            raise ValueError(f"invalid crop size {size} / padding {padding}")
+        self.size = size
+        self.padding = padding
+
+    def __call__(self, image: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self.padding > 0:
+            image = np.pad(
+                image,
+                ((0, 0), (self.padding, self.padding), (self.padding, self.padding)),
+                mode="reflect",
+            )
+        _, height, width = image.shape
+        if height < self.size or width < self.size:
+            raise ValueError(
+                f"padded image ({height}x{width}) is smaller than crop size {self.size}"
+            )
+        top = rng.integers(0, height - self.size + 1)
+        left = rng.integers(0, width - self.size + 1)
+        return image[:, top : top + self.size, left : left + self.size].copy()
+
+    def __repr__(self) -> str:
+        return f"RandomCrop(size={self.size}, padding={self.padding})"
+
+
+class Normalize:
+    """Per-channel normalization ``(x - mean) / std``."""
+
+    def __init__(self, mean: Sequence[float], std: Sequence[float]) -> None:
+        self.mean = np.asarray(mean, dtype=np.float32).reshape(-1, 1, 1)
+        self.std = np.asarray(std, dtype=np.float32).reshape(-1, 1, 1)
+        if np.any(self.std == 0):
+            raise ValueError("std must be non-zero")
+
+    def __call__(self, image: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return (image - self.mean) / self.std
+
+    def __repr__(self) -> str:
+        return f"Normalize(mean={self.mean.ravel().tolist()}, std={self.std.ravel().tolist()})"
+
+
+class Cutout:
+    """Zero out a random square patch (an optional stronger augmentation)."""
+
+    def __init__(self, length: int) -> None:
+        if length <= 0:
+            raise ValueError(f"cutout length must be positive, got {length}")
+        self.length = length
+
+    def __call__(self, image: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        _, height, width = image.shape
+        cy = int(rng.integers(0, height))
+        cx = int(rng.integers(0, width))
+        top = max(0, cy - self.length // 2)
+        bottom = min(height, cy + self.length // 2)
+        left = max(0, cx - self.length // 2)
+        right = min(width, cx + self.length // 2)
+        out = image.copy()
+        out[:, top:bottom, left:right] = 0.0
+        return out
+
+    def __repr__(self) -> str:
+        return f"Cutout(length={self.length})"
+
+
+def standard_augmentation(image_size: int, padding: int = 4, flip_probability: float = 0.5) -> Compose:
+    """The paper's training augmentation: random crop (reflect pad) + h-flip."""
+    return Compose([RandomCrop(image_size, padding=padding), RandomHorizontalFlip(flip_probability)])

@@ -1,0 +1,329 @@
+"""Datasets for the BMPQ reproduction.
+
+The paper trains on CIFAR-10, CIFAR-100 and Tiny-ImageNet.  Those datasets
+cannot be downloaded in the offline reproduction environment, so this module
+provides:
+
+* :class:`SyntheticImageClassification` — a deterministic generator of
+  structured, learnable image-classification problems.  Every class has a
+  distinct texture (orientation/frequency of a sinusoidal grating), a color
+  bias and a blob location, corrupted with per-sample noise, random phase and
+  brightness jitter.  A small CNN can reach well-above-chance accuracy, which
+  is what the compression-vs-accuracy trade-off experiments need, while chance
+  level is ``1/num_classes``.
+* Factory functions ``synthetic_cifar10`` / ``synthetic_cifar100`` /
+  ``synthetic_tiny_imagenet`` matching the three datasets' class counts and
+  image geometry (scaled-down sample counts by default).
+* :class:`CIFAR10Pickle` — a reader for the real CIFAR-10/100 python pickle
+  batches, used automatically when the archives are present on disk so the
+  genuine data path stays available.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Dataset",
+    "ArrayDataset",
+    "SyntheticImageClassification",
+    "synthetic_cifar10",
+    "synthetic_cifar100",
+    "synthetic_tiny_imagenet",
+    "CIFAR10Pickle",
+    "train_test_datasets",
+]
+
+
+class Dataset:
+    """Minimal dataset interface: length + integer indexing."""
+
+    def __len__(self) -> int:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    @property
+    def num_classes(self) -> int:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class ArrayDataset(Dataset):
+    """Dataset backed by in-memory arrays of images (N, C, H, W) and labels."""
+
+    def __init__(self, images: np.ndarray, labels: np.ndarray, num_classes: Optional[int] = None) -> None:
+        if len(images) != len(labels):
+            raise ValueError(f"images ({len(images)}) and labels ({len(labels)}) length mismatch")
+        if images.ndim != 4:
+            raise ValueError(f"images must be (N, C, H, W), got shape {images.shape}")
+        self.images = np.asarray(images, dtype=np.float32)
+        self.labels = np.asarray(labels, dtype=np.int64)
+        self._num_classes = int(num_classes) if num_classes is not None else int(self.labels.max()) + 1
+
+    def __len__(self) -> int:
+        return len(self.images)
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:
+        return self.images[index], int(self.labels[index])
+
+    @property
+    def num_classes(self) -> int:
+        return self._num_classes
+
+
+@dataclass(frozen=True)
+class _ClassPrototype:
+    """Deterministic per-class generative parameters."""
+
+    orientation: float
+    frequency: float
+    color: np.ndarray
+    blob_center: Tuple[float, float]
+    blob_radius: float
+
+
+class SyntheticImageClassification(ArrayDataset):
+    """Structured synthetic image classification with controllable difficulty.
+
+    Parameters
+    ----------
+    num_samples:
+        Number of images to generate.
+    num_classes:
+        Number of classes; prototypes are evenly spread over orientation,
+        frequency, color and blob-position space.
+    image_size:
+        Spatial resolution (square images).
+    channels:
+        Number of color channels (3 for the CIFAR/Tiny-ImageNet substitutes).
+    noise_std:
+        Standard deviation of the additive Gaussian pixel noise; larger values
+        make the problem harder.
+    seed:
+        Seed of the deterministic generator; the same seed always produces
+        the same dataset.
+    """
+
+    def __init__(
+        self,
+        num_samples: int,
+        num_classes: int = 10,
+        image_size: int = 32,
+        channels: int = 3,
+        noise_std: float = 0.25,
+        seed: int = 0,
+    ) -> None:
+        if num_samples <= 0:
+            raise ValueError(f"num_samples must be positive, got {num_samples}")
+        if num_classes < 2:
+            raise ValueError(f"num_classes must be >= 2, got {num_classes}")
+        rng = np.random.default_rng(seed)
+        prototypes = self._make_prototypes(num_classes, channels)
+        labels = rng.integers(0, num_classes, size=num_samples)
+        images = np.empty((num_samples, channels, image_size, image_size), dtype=np.float32)
+        grid = np.linspace(0.0, 1.0, image_size, dtype=np.float32)
+        yy, xx = np.meshgrid(grid, grid, indexing="ij")
+        for index in range(num_samples):
+            images[index] = self._render(
+                prototypes[labels[index]], xx, yy, channels, noise_std, rng
+            )
+        super().__init__(images, labels, num_classes=num_classes)
+        self.prototypes = prototypes
+        self.image_size = image_size
+        self.channels = channels
+
+    @staticmethod
+    def _make_prototypes(num_classes: int, channels: int) -> List[_ClassPrototype]:
+        prototypes: List[_ClassPrototype] = []
+        for class_index in range(num_classes):
+            fraction = class_index / num_classes
+            orientation = np.pi * fraction
+            frequency = 2.0 + 6.0 * ((class_index * 7) % num_classes) / num_classes
+            # Prototypes depend only on the class index (not on the dataset
+            # seed), so train and test splits generated with different seeds
+            # share the same class-conditional distribution.
+            color_rng = np.random.default_rng(9_000_000 + class_index)
+            color = 0.25 + 0.75 * color_rng.random(channels)
+            blob_center = (
+                0.2 + 0.6 * ((class_index * 3) % num_classes) / num_classes,
+                0.2 + 0.6 * ((class_index * 5) % num_classes) / num_classes,
+            )
+            blob_radius = 0.12 + 0.1 * fraction
+            prototypes.append(
+                _ClassPrototype(
+                    orientation=float(orientation),
+                    frequency=float(frequency),
+                    color=color.astype(np.float32),
+                    blob_center=blob_center,
+                    blob_radius=float(blob_radius),
+                )
+            )
+        return prototypes
+
+    @staticmethod
+    def _render(
+        proto: _ClassPrototype,
+        xx: np.ndarray,
+        yy: np.ndarray,
+        channels: int,
+        noise_std: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        phase = rng.uniform(0.0, 2.0 * np.pi)
+        brightness = rng.uniform(0.8, 1.2)
+        rotated = xx * np.cos(proto.orientation) + yy * np.sin(proto.orientation)
+        grating = 0.5 + 0.5 * np.sin(2.0 * np.pi * proto.frequency * rotated + phase)
+        cy, cx = proto.blob_center
+        jitter = rng.uniform(-0.05, 0.05, size=2)
+        blob = np.exp(
+            -(((yy - cy - jitter[0]) ** 2 + (xx - cx - jitter[1]) ** 2) / (2 * proto.blob_radius ** 2))
+        )
+        base = 0.6 * grating + 0.4 * blob
+        image = np.stack([base * proto.color[c] for c in range(channels)], axis=0)
+        image = brightness * image + rng.normal(0.0, noise_std, size=image.shape)
+        # Normalize to roughly zero mean / unit scale, as after standard
+        # CIFAR channel normalization.
+        image = (image - image.mean()) / (image.std() + 1e-6)
+        return image.astype(np.float32)
+
+
+def synthetic_cifar10(
+    train: bool = True,
+    num_samples: Optional[int] = None,
+    image_size: int = 32,
+    noise_std: float = 0.25,
+    seed: int = 0,
+) -> SyntheticImageClassification:
+    """CIFAR-10 substitute: 10 classes of 32x32 RGB images."""
+    samples = num_samples if num_samples is not None else (2000 if train else 500)
+    return SyntheticImageClassification(
+        num_samples=samples,
+        num_classes=10,
+        image_size=image_size,
+        channels=3,
+        noise_std=noise_std,
+        seed=seed if train else seed + 10_000,
+    )
+
+
+def synthetic_cifar100(
+    train: bool = True,
+    num_samples: Optional[int] = None,
+    image_size: int = 32,
+    noise_std: float = 0.25,
+    seed: int = 1,
+) -> SyntheticImageClassification:
+    """CIFAR-100 substitute: 100 classes of 32x32 RGB images."""
+    samples = num_samples if num_samples is not None else (4000 if train else 1000)
+    return SyntheticImageClassification(
+        num_samples=samples,
+        num_classes=100,
+        image_size=image_size,
+        channels=3,
+        noise_std=noise_std,
+        seed=seed if train else seed + 10_000,
+    )
+
+
+def synthetic_tiny_imagenet(
+    train: bool = True,
+    num_samples: Optional[int] = None,
+    image_size: int = 64,
+    noise_std: float = 0.25,
+    seed: int = 2,
+) -> SyntheticImageClassification:
+    """Tiny-ImageNet substitute: 200 classes of 64x64 RGB images."""
+    samples = num_samples if num_samples is not None else (4000 if train else 1000)
+    return SyntheticImageClassification(
+        num_samples=samples,
+        num_classes=200,
+        image_size=image_size,
+        channels=3,
+        noise_std=noise_std,
+        seed=seed if train else seed + 10_000,
+    )
+
+
+class CIFAR10Pickle(ArrayDataset):
+    """Reader for the real CIFAR-10 python pickle batches.
+
+    Expects the extracted ``cifar-10-batches-py`` directory layout.  The class
+    exists so that a user with the real dataset on disk exercises the genuine
+    data path; the synthetic datasets are used when the files are absent.
+    """
+
+    TRAIN_BATCHES = [f"data_batch_{i}" for i in range(1, 6)]
+    TEST_BATCHES = ["test_batch"]
+
+    def __init__(self, root: str, train: bool = True, normalize: bool = True) -> None:
+        batch_names = self.TRAIN_BATCHES if train else self.TEST_BATCHES
+        images: List[np.ndarray] = []
+        labels: List[np.ndarray] = []
+        for name in batch_names:
+            path = os.path.join(root, name)
+            if not os.path.exists(path):
+                raise FileNotFoundError(f"CIFAR-10 batch not found: {path}")
+            with open(path, "rb") as handle:
+                batch = pickle.load(handle, encoding="bytes")
+            data = batch[b"data"].reshape(-1, 3, 32, 32).astype(np.float32) / 255.0
+            images.append(data)
+            labels.append(np.asarray(batch[b"labels"], dtype=np.int64))
+        stacked = np.concatenate(images)
+        if normalize:
+            mean = np.array([0.4914, 0.4822, 0.4465], dtype=np.float32).reshape(1, 3, 1, 1)
+            std = np.array([0.2470, 0.2435, 0.2616], dtype=np.float32).reshape(1, 3, 1, 1)
+            stacked = (stacked - mean) / std
+        super().__init__(stacked, np.concatenate(labels), num_classes=10)
+
+    @staticmethod
+    def is_available(root: str) -> bool:
+        """True when the extracted CIFAR-10 batches exist under ``root``."""
+        return all(
+            os.path.exists(os.path.join(root, name))
+            for name in CIFAR10Pickle.TRAIN_BATCHES + CIFAR10Pickle.TEST_BATCHES
+        )
+
+
+def train_test_datasets(
+    name: str,
+    train_samples: Optional[int] = None,
+    test_samples: Optional[int] = None,
+    image_size: Optional[int] = None,
+    seed: int = 0,
+    data_root: Optional[str] = None,
+) -> Tuple[Dataset, Dataset]:
+    """Build (train, test) datasets for a paper dataset by name.
+
+    ``name`` is one of ``"cifar10"``, ``"cifar100"`` or ``"tiny_imagenet"``.
+    When ``data_root`` points at a real extracted CIFAR-10 directory the
+    genuine data is used for that dataset; otherwise the synthetic substitutes
+    are returned.
+    """
+    key = name.lower().replace("-", "_")
+    if key == "cifar10":
+        if data_root is not None and CIFAR10Pickle.is_available(data_root):
+            return CIFAR10Pickle(data_root, train=True), CIFAR10Pickle(data_root, train=False)
+        size = image_size if image_size is not None else 32
+        return (
+            synthetic_cifar10(True, train_samples, image_size=size, seed=seed),
+            synthetic_cifar10(False, test_samples, image_size=size, seed=seed),
+        )
+    if key == "cifar100":
+        size = image_size if image_size is not None else 32
+        return (
+            synthetic_cifar100(True, train_samples, image_size=size, seed=seed),
+            synthetic_cifar100(False, test_samples, image_size=size, seed=seed),
+        )
+    if key in ("tiny_imagenet", "tinyimagenet"):
+        size = image_size if image_size is not None else 64
+        return (
+            synthetic_tiny_imagenet(True, train_samples, image_size=size, seed=seed),
+            synthetic_tiny_imagenet(False, test_samples, image_size=size, seed=seed),
+        )
+    raise KeyError(f"unknown dataset {name!r}; expected cifar10, cifar100 or tiny_imagenet")

@@ -1,0 +1,81 @@
+"""Mini-batch data loader.
+
+Yields ``(images, labels)`` NumPy batches from a :class:`~repro.data.datasets.Dataset`,
+with optional shuffling and per-sample transforms.  Batch size 128 is the
+paper's setting; the benchmarks use smaller batches to keep CPU wall-clock
+reasonable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from .augmentation import Compose
+from .datasets import Dataset
+
+__all__ = ["DataLoader"]
+
+
+class DataLoader:
+    """Iterate over a dataset in mini-batches.
+
+    Parameters
+    ----------
+    dataset:
+        Source dataset.
+    batch_size:
+        Number of samples per batch.
+    shuffle:
+        Reshuffle the sample order at the start of every epoch.
+    transform:
+        Optional per-sample transform (e.g. the standard augmentation).
+    drop_last:
+        Drop the final incomplete batch.
+    seed:
+        Seed of the loader's private RNG (shuffling and augmentation noise).
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int = 128,
+        shuffle: bool = False,
+        transform: Optional[Compose] = None,
+        drop_last: bool = False,
+        seed: int = 0,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.transform = transform
+        self.drop_last = drop_last
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        """Number of batches per epoch."""
+        full, remainder = divmod(len(self.dataset), self.batch_size)
+        if remainder and not self.drop_last:
+            return full + 1
+        return full
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        indices = np.arange(len(self.dataset))
+        if self.shuffle:
+            self._rng.shuffle(indices)
+        for start in range(0, len(indices), self.batch_size):
+            batch_indices = indices[start : start + self.batch_size]
+            if self.drop_last and len(batch_indices) < self.batch_size:
+                break
+            images = []
+            labels = np.empty(len(batch_indices), dtype=np.int64)
+            for position, index in enumerate(batch_indices):
+                image, label = self.dataset[int(index)]
+                if self.transform is not None:
+                    image = self.transform(image, self._rng)
+                images.append(image)
+                labels[position] = label
+            yield np.stack(images).astype(np.float32), labels

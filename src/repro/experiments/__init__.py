@@ -1,0 +1,13 @@
+"""Declarative experiment registry, runner and CLI."""
+
+from .configs import EXPERIMENT_REGISTRY, ExperimentConfig, get_experiment, list_experiments
+from .runner import ExperimentOutcome, run_experiment
+
+__all__ = [
+    "EXPERIMENT_REGISTRY",
+    "ExperimentConfig",
+    "get_experiment",
+    "list_experiments",
+    "ExperimentOutcome",
+    "run_experiment",
+]

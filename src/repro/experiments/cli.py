@@ -1,0 +1,102 @@
+"""Command-line interface for the experiment registry.
+
+Usage::
+
+    python -m repro.experiments list [prefix]
+    python -m repro.experiments describe table1/cifar10/vgg16/bmpq-10.5x
+    python -m repro.experiments run table1/cifar10/vgg16/bmpq-10.5x [--epochs N]
+    python -m repro.experiments run-prefix table1/cifar10 [--epochs N]
+
+``run`` executes the benchmark-scale configuration by default; ``--paper-scale``
+switches to the full-width model and the paper's schedule, and ``--data-root``
+points at a real CIFAR-10 directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+from typing import List, Optional
+
+from .configs import get_experiment, list_experiments
+from .runner import run_experiment
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro.experiments", description=__doc__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("list", help="list registered experiments")
+    list_parser.add_argument("prefix", nargs="?", default="", help="optional name prefix filter")
+
+    describe_parser = subparsers.add_parser("describe", help="show one experiment's configuration")
+    describe_parser.add_argument("name")
+
+    for command in ("run", "run-prefix"):
+        run_parser = subparsers.add_parser(
+            command,
+            help="run one experiment" if command == "run" else "run every experiment with a name prefix",
+        )
+        run_parser.add_argument("name", help="experiment name" if command == "run" else "name prefix")
+        run_parser.add_argument("--epochs", type=int, default=None, help="override the epoch count")
+        run_parser.add_argument("--seed", type=int, default=None, help="override the seed")
+        run_parser.add_argument("--data-root", type=str, default=None,
+                                help="directory with real cifar-10-batches-py data")
+        run_parser.add_argument("--paper-scale", action="store_true",
+                                help="full-width model and paper schedule")
+        run_parser.add_argument("--quiet", action="store_true", help="suppress per-epoch logging")
+    return parser
+
+
+def _apply_overrides(config, args):
+    overrides = {}
+    if args.epochs is not None:
+        overrides["epochs"] = args.epochs
+        overrides["lr_milestones"] = (max(args.epochs - 1, 1),)
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+    if args.paper_scale:
+        config = config.scaled_to_paper()
+    return config
+
+
+def _run_one(name: str, args) -> str:
+    config = _apply_overrides(get_experiment(name), args)
+    log_fn = None if args.quiet else print
+    outcome = run_experiment(config, data_root=args.data_root, log_fn=log_fn)
+    return outcome.summary_line()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for name in list_experiments(args.prefix):
+            print(name)
+        return 0
+
+    if args.command == "describe":
+        config = get_experiment(args.name)
+        for field in dataclasses.fields(config):
+            print(f"{field.name:>26}: {getattr(config, field.name)}")
+        return 0
+
+    if args.command == "run":
+        print(_run_one(args.name, args))
+        return 0
+
+    if args.command == "run-prefix":
+        names = list_experiments(args.name)
+        if not names:
+            print(f"no experiments match prefix {args.name!r}", file=sys.stderr)
+            return 1
+        for name in names:
+            print(_run_one(name, args))
+        return 0
+
+    return 1  # pragma: no cover - argparse enforces valid commands

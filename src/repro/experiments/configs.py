@@ -1,0 +1,197 @@
+"""Declarative experiment configurations.
+
+Every experiment of the paper's evaluation (and the reproduction's ablations)
+is described by an :class:`ExperimentConfig`: which architecture, which
+dataset, which method (BMPQ or a baseline), the budget, and the schedule.  The
+registry maps experiment identifiers such as ``"table1/cifar10/vgg16/bmpq-10.5x"``
+to configurations; :mod:`repro.experiments.runner` executes them and
+:mod:`repro.experiments.cli` exposes them as a command line.
+
+Two scale presets exist:
+
+* ``"bench"`` — the CPU-sized scale the benchmark harness uses;
+* ``"paper"`` — the full-width models and the paper's epoch schedule (only
+  sensible on a much larger machine; provided so the configuration is explicit
+  and auditable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["ExperimentConfig", "EXPERIMENT_REGISTRY", "list_experiments", "get_experiment"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """A single runnable experiment."""
+
+    name: str
+    description: str
+    arch: str = "vgg16"
+    dataset: str = "cifar10"
+    method: str = "bmpq"  # bmpq | fp32 | hpq | ad
+    # Budget (BMPQ): exactly one of these should be set.
+    target_compression_ratio: Optional[float] = None
+    target_average_bits: Optional[float] = None
+    # HPQ bit width.
+    hpq_bits: int = 4
+    support_bits: Tuple[int, ...] = (4, 2)
+    epochs: int = 3
+    epoch_interval: int = 1
+    warmup_epochs: int = 0
+    learning_rate: float = 0.08
+    lr_milestones: Tuple[int, ...] = (2,)
+    batch_size: int = 32
+    train_samples: int = 192
+    test_samples: int = 96
+    num_classes: Optional[int] = None   # None -> dataset default (capped at bench scale)
+    image_size: Optional[int] = None
+    width_multiplier: float = 0.0625
+    seed: int = 0
+    # Paper reference values for reporting (acc in %, ratio as printed).
+    paper_accuracy: Optional[float] = None
+    paper_compression: Optional[float] = None
+
+    def scaled_to_paper(self) -> "ExperimentConfig":
+        """Return the same experiment at the paper's full scale."""
+        is_tiny = self.dataset == "tiny_imagenet"
+        return replace(
+            self,
+            epochs=100 if is_tiny else 200,
+            epoch_interval=20,
+            learning_rate=0.1,
+            lr_milestones=(40, 70) if is_tiny else (80, 140),
+            batch_size=128,
+            train_samples=100_000 if is_tiny else 50_000,
+            test_samples=10_000,
+            width_multiplier=1.0,
+            num_classes=None,
+            image_size=None,
+        )
+
+
+def _table1_entries() -> List[ExperimentConfig]:
+    rows = [
+        ("cifar10", "vgg16", 10.5, 93.56),
+        ("cifar10", "vgg16", 15.4, 93.21),
+        ("cifar10", "resnet18", 13.4, 94.54),
+        ("cifar100", "vgg16", 14.6, 72.2),
+        ("cifar100", "vgg16", 15.4, 71.26),
+        ("cifar100", "resnet18", 9.4, 75.98),
+        ("tiny_imagenet", "vgg16", 10.0, 59.29),
+        ("tiny_imagenet", "resnet18", 8.8, 63.27),
+    ]
+    entries: List[ExperimentConfig] = []
+    for dataset, arch, ratio, paper_acc in rows:
+        entries.append(
+            ExperimentConfig(
+                name=f"table1/{dataset}/{arch}/bmpq-{ratio:g}x",
+                description=f"Table I: BMPQ {arch} on {dataset} at a {ratio:g}x memory budget",
+                arch=arch,
+                dataset=dataset,
+                method="bmpq",
+                target_compression_ratio=ratio,
+                paper_accuracy=paper_acc,
+                paper_compression=ratio,
+            )
+        )
+    fp32_rows = [
+        ("cifar10", "vgg16", 93.9),
+        ("cifar10", "resnet18", 95.14),
+        ("cifar100", "vgg16", 73.0),
+        ("cifar100", "resnet18", 77.5),
+        ("tiny_imagenet", "vgg16", 60.82),
+        ("tiny_imagenet", "resnet18", 64.15),
+    ]
+    for dataset, arch, paper_acc in fp32_rows:
+        entries.append(
+            ExperimentConfig(
+                name=f"table1/{dataset}/{arch}/fp32",
+                description=f"Table I: FP-32 reference for {arch} on {dataset}",
+                arch=arch,
+                dataset=dataset,
+                method="fp32",
+                paper_accuracy=paper_acc,
+                paper_compression=1.0,
+            )
+        )
+    return entries
+
+
+def _table2_entries() -> List[ExperimentConfig]:
+    rows = [
+        ("vgg16", "cifar10", 91.62, 92.28),
+        ("resnet18", "cifar100", 71.51, 73.96),
+        ("resnet18", "tiny_imagenet", 44.0, 58.54),
+    ]
+    entries: List[ExperimentConfig] = []
+    for arch, dataset, ad_acc, bmpq_acc in rows:
+        entries.append(
+            ExperimentConfig(
+                name=f"table2/{dataset}/{arch}/ad",
+                description=f"Table II: activation-density single-shot baseline ({arch}, {dataset})",
+                arch=arch,
+                dataset=dataset,
+                method="ad",
+                paper_accuracy=ad_acc,
+            )
+        )
+        entries.append(
+            ExperimentConfig(
+                name=f"table2/{dataset}/{arch}/bmpq",
+                description=f"Table II: BMPQ counterpart ({arch}, {dataset})",
+                arch=arch,
+                dataset=dataset,
+                method="bmpq",
+                target_average_bits=3.0,
+                paper_accuracy=bmpq_acc,
+            )
+        )
+    return entries
+
+
+def _extra_entries() -> List[ExperimentConfig]:
+    return [
+        ExperimentConfig(
+            name="baseline/hpq4",
+            description="Homogeneous 4-bit quantization baseline (VGG16, CIFAR-10)",
+            method="hpq",
+            hpq_bits=4,
+        ),
+        ExperimentConfig(
+            name="baseline/hpq2",
+            description="Homogeneous 2-bit quantization baseline (VGG16, CIFAR-10)",
+            method="hpq",
+            hpq_bits=2,
+        ),
+        ExperimentConfig(
+            name="quick/smoke",
+            description="Fast smoke experiment on the compact CNN",
+            arch="simple_cnn",
+            dataset="cifar10",
+            method="bmpq",
+            target_average_bits=4.0,
+            epochs=2,
+            num_classes=4,
+            image_size=12,
+        ),
+    ]
+
+
+EXPERIMENT_REGISTRY: Dict[str, ExperimentConfig] = {
+    config.name: config for config in (*_table1_entries(), *_table2_entries(), *_extra_entries())
+}
+
+
+def list_experiments(prefix: str = "") -> List[str]:
+    """Names of registered experiments, optionally filtered by prefix."""
+    return sorted(name for name in EXPERIMENT_REGISTRY if name.startswith(prefix))
+
+
+def get_experiment(name: str) -> ExperimentConfig:
+    """Look up one experiment configuration by name."""
+    if name not in EXPERIMENT_REGISTRY:
+        raise KeyError(f"unknown experiment {name!r}; see list_experiments()")
+    return EXPERIMENT_REGISTRY[name]

@@ -1,0 +1,177 @@
+"""Execute declarative experiment configurations.
+
+:func:`run_experiment` turns an :class:`~repro.experiments.configs.ExperimentConfig`
+into data loaders, a model and the right trainer (BMPQ or a baseline), runs
+it, and returns a flat :class:`ExperimentOutcome` that the CLI and downstream
+analysis can print or compare against the paper's reference values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..analysis import compression_summary, format_bit_vector
+from ..baselines import QATConfig, train_ad_baseline, train_fp32_baseline, train_hpq_baseline
+from ..core import BMPQConfig, BMPQTrainer
+from ..data import DataLoader, SyntheticImageClassification, standard_augmentation, train_test_datasets
+from ..models import build_model
+from .configs import ExperimentConfig
+
+__all__ = ["ExperimentOutcome", "run_experiment"]
+
+_DATASET_CLASSES = {"cifar10": 10, "cifar100": 100, "tiny_imagenet": 200}
+_DATASET_SIZE = {"cifar10": 32, "cifar100": 32, "tiny_imagenet": 64}
+_BENCH_CLASS_CAP = 20
+
+
+@dataclass
+class ExperimentOutcome:
+    """Flat summary of one experiment run."""
+
+    name: str
+    method: str
+    arch: str
+    dataset: str
+    best_accuracy: float
+    final_accuracy: float
+    compression_ratio: float
+    bit_vector: Optional[List[int]]
+    bits_by_layer: Dict[str, int]
+    paper_accuracy: Optional[float]
+    paper_compression: Optional[float]
+
+    def summary_line(self) -> str:
+        bits = format_bit_vector(self.bit_vector) if self.bit_vector else "full precision"
+        paper = ""
+        if self.paper_accuracy is not None:
+            paper = f"  [paper: {self.paper_accuracy:.2f}%"
+            if self.paper_compression is not None:
+                paper += f", {self.paper_compression:g}x"
+            paper += "]"
+        return (
+            f"{self.name}: acc={100 * self.best_accuracy:.2f}% "
+            f"ratio={self.compression_ratio:.1f}x bits={bits}{paper}"
+        )
+
+
+def _build_loaders(config: ExperimentConfig, data_root: Optional[str] = None):
+    num_classes = config.num_classes
+    image_size = config.image_size
+    if num_classes is None:
+        num_classes = min(_DATASET_CLASSES[config.dataset], _BENCH_CLASS_CAP)
+    if image_size is None:
+        image_size = min(_DATASET_SIZE[config.dataset], 40)
+
+    if data_root is not None:
+        train_set, test_set = train_test_datasets(config.dataset, data_root=data_root)
+        num_classes = train_set.num_classes
+        image_size = train_set[0][0].shape[-1]
+    else:
+        train_set = SyntheticImageClassification(
+            config.train_samples, num_classes=num_classes, image_size=image_size, seed=config.seed
+        )
+        test_set = SyntheticImageClassification(
+            config.test_samples,
+            num_classes=num_classes,
+            image_size=image_size,
+            seed=config.seed + 10_000,
+        )
+    train_loader = DataLoader(
+        train_set,
+        batch_size=config.batch_size,
+        shuffle=True,
+        transform=standard_augmentation(image_size, padding=2),
+        seed=config.seed,
+    )
+    test_loader = DataLoader(test_set, batch_size=config.batch_size)
+    return train_loader, test_loader, num_classes, image_size
+
+
+def _build_model(config: ExperimentConfig, num_classes: int, image_size: int):
+    kwargs = dict(num_classes=num_classes, seed=config.seed)
+    if config.arch == "simple_cnn":
+        kwargs["input_size"] = image_size
+    else:
+        kwargs["width_multiplier"] = config.width_multiplier
+        if config.arch.startswith("vgg"):
+            kwargs["input_size"] = image_size
+    return build_model(config.arch, **kwargs)
+
+
+def run_experiment(
+    config: ExperimentConfig,
+    data_root: Optional[str] = None,
+    log_fn=None,
+) -> ExperimentOutcome:
+    """Run one experiment end to end and summarize it."""
+    train_loader, test_loader, num_classes, image_size = _build_loaders(config, data_root)
+    model = _build_model(config, num_classes, image_size)
+    specs = model.layer_specs()
+
+    if config.method == "bmpq":
+        bmpq_config = BMPQConfig(
+            epochs=config.epochs,
+            epoch_interval=config.epoch_interval,
+            warmup_epochs=config.warmup_epochs,
+            learning_rate=config.learning_rate,
+            lr_milestones=config.lr_milestones,
+            support_bits=config.support_bits,
+            target_compression_ratio=config.target_compression_ratio,
+            target_average_bits=config.target_average_bits,
+            log_fn=log_fn,
+        )
+        result = BMPQTrainer(model, train_loader, test_loader, bmpq_config).train()
+        return ExperimentOutcome(
+            name=config.name,
+            method=config.method,
+            arch=config.arch,
+            dataset=config.dataset,
+            best_accuracy=result.best_test_accuracy,
+            final_accuracy=result.final_test_accuracy,
+            compression_ratio=result.compression_ratio_fp32,
+            bit_vector=result.final_bit_vector,
+            bits_by_layer=result.final_bits_by_layer,
+            paper_accuracy=config.paper_accuracy,
+            paper_compression=config.paper_compression,
+        )
+
+    qat_config = QATConfig(
+        epochs=config.epochs,
+        learning_rate=config.learning_rate,
+        lr_milestones=config.lr_milestones,
+        log_fn=log_fn,
+    )
+    if config.method == "fp32":
+        result = train_fp32_baseline(model, train_loader, test_loader, qat_config)
+        bit_vector = None
+    elif config.method == "hpq":
+        result = train_hpq_baseline(model, train_loader, test_loader, config.hpq_bits, qat_config)
+        bit_vector = [result.bits_by_layer[name] for name in model.main_layer_names()]
+    elif config.method == "ad":
+        result, _ad = train_ad_baseline(
+            model,
+            train_loader,
+            test_loader,
+            support_bits=config.support_bits,
+            calibration_batches=2,
+            config=qat_config,
+        )
+        bit_vector = [result.bits_by_layer[name] for name in model.main_layer_names()]
+    else:
+        raise ValueError(f"unknown experiment method {config.method!r}")
+
+    summary = compression_summary(specs, result.bits_by_layer)
+    return ExperimentOutcome(
+        name=config.name,
+        method=config.method,
+        arch=config.arch,
+        dataset=config.dataset,
+        best_accuracy=result.best_test_accuracy,
+        final_accuracy=result.final_test_accuracy,
+        compression_ratio=summary.compression_ratio_fp32,
+        bit_vector=bit_vector,
+        bits_by_layer=dict(result.bits_by_layer),
+        paper_accuracy=config.paper_accuracy,
+        paper_compression=config.paper_compression,
+    )

@@ -1,0 +1,27 @@
+"""Quantizable model zoo: VGG, ResNet and a compact test CNN."""
+
+from .base import QuantizableModel
+from .registry import MODEL_REGISTRY, available_models, build_model
+from .resnet import BasicBlock, ResNet, resnet18, resnet20, resnet34
+from .simple import SimpleQuantCNN, simple_cnn
+from .vgg import VGG, VGG_PLANS, vgg11, vgg13, vgg16, vgg19
+
+__all__ = [
+    "QuantizableModel",
+    "MODEL_REGISTRY",
+    "available_models",
+    "build_model",
+    "BasicBlock",
+    "ResNet",
+    "resnet18",
+    "resnet20",
+    "resnet34",
+    "SimpleQuantCNN",
+    "simple_cnn",
+    "VGG",
+    "VGG_PLANS",
+    "vgg11",
+    "vgg13",
+    "vgg16",
+    "vgg19",
+]

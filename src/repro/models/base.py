@@ -1,0 +1,125 @@
+"""Base class for quantizable models.
+
+A *quantizable model* is a :class:`~repro.nn.Module` whose weight layers are
+:class:`~repro.quant.qmodules.QuantizedLayer` instances registered by name.
+The BMPQ trainer and the assignment policy interact with models exclusively
+through this interface:
+
+* :meth:`QuantizableModel.quantizable_layers` — ordered mapping of layer name
+  to quantized layer (forward order);
+* :meth:`QuantizableModel.layer_specs` — static :class:`LayerSpec` list
+  describing parameter counts, pinning and bit-width ties;
+* :meth:`QuantizableModel.main_layer_names` — the layer order used when the
+  paper prints a bit-width vector (downsample layers are folded into their
+  tied leader and not listed separately);
+* :meth:`QuantizableModel.bit_vector` — current bit widths in that order.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Mapping, Optional
+
+from ..core.policy import LayerSpec
+from ..nn.modules import Module
+from ..quant.qmodules import QuantizedLayer
+
+__all__ = ["QuantizableModel"]
+
+
+class QuantizableModel(Module):
+    """Module with named quantized layers and bit-width bookkeeping."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._qlayers: "OrderedDict[str, QuantizedLayer]" = OrderedDict()
+        self._specs: List[LayerSpec] = []
+        self._main_names: List[str] = []
+
+    # ------------------------------------------------------------------ #
+    # registration (used by concrete model constructors)
+    # ------------------------------------------------------------------ #
+    def register_qlayer(
+        self,
+        name: str,
+        layer: QuantizedLayer,
+        pinned: bool = False,
+        pinned_bits: int = 16,
+        tie_to: Optional[str] = None,
+        main: bool = True,
+    ) -> QuantizedLayer:
+        """Register a quantized layer and its static spec.
+
+        ``main`` controls whether the layer appears in the printed bit-width
+        vector; tied downsample layers pass ``main=False``.
+        """
+        if name in self._qlayers:
+            raise ValueError(f"duplicate quantizable layer name {name!r}")
+        self._qlayers[name] = layer
+        self._specs.append(
+            LayerSpec(
+                name=name,
+                num_params=layer.num_weight_params,
+                pinned=pinned,
+                pinned_bits=pinned_bits,
+                tie_to=tie_to,
+            )
+        )
+        if main:
+            self._main_names.append(name)
+        return layer
+
+    # ------------------------------------------------------------------ #
+    # interface consumed by the trainer / policy / analysis
+    # ------------------------------------------------------------------ #
+    def quantizable_layers(self) -> "OrderedDict[str, QuantizedLayer]":
+        return OrderedDict(self._qlayers)
+
+    def layer_specs(self) -> List[LayerSpec]:
+        return list(self._specs)
+
+    def main_layer_names(self) -> List[str]:
+        return list(self._main_names)
+
+    def num_quantizable_layers(self) -> int:
+        return len(self._qlayers)
+
+    def bit_vector(self) -> List[int]:
+        """Current bit widths in the paper's layer order."""
+        return [self._qlayers[name].bits for name in self._main_names]
+
+    def current_assignment(self) -> Dict[str, int]:
+        return {name: layer.bits for name, layer in self._qlayers.items()}
+
+    def apply_assignment(self, bits_by_layer: Mapping[str, int]) -> None:
+        """Set bit widths for every non-pinned registered layer."""
+        for name, bits in bits_by_layer.items():
+            layer = self._qlayers[name]
+            if layer.pinned:
+                continue
+            layer.set_bits(int(bits))
+
+    def set_uniform_bits(self, bits: int) -> None:
+        """Homogeneous assignment of ``bits`` to every non-pinned layer."""
+        for layer in self._qlayers.values():
+            if not layer.pinned:
+                layer.set_bits(int(bits))
+
+    def estimate_macs(self, input_shape) -> Dict[str, float]:
+        """Per-layer multiply-accumulate counts for one input sample.
+
+        Runs a single probe forward pass (no gradients) so convolution output
+        sizes are known, then reads each quantized layer's MAC count.  Used by
+        the compute/energy cost models of :mod:`repro.core.costs`.
+        """
+        import numpy as np
+
+        from ..nn.tensor import Tensor, no_grad
+
+        probe = Tensor(np.zeros((1, *input_shape), dtype=np.float32))
+        was_training = self.training
+        self.eval()
+        with no_grad():
+            self(probe)
+        self.train(was_training)
+        return {name: layer.macs_per_sample() for name, layer in self._qlayers.items()}

@@ -1,0 +1,45 @@
+"""Model registry: build quantizable models by name.
+
+The benchmark harness and the examples construct models through this
+registry so that experiment configurations can be expressed as plain strings
+("vgg16", "resnet18", ...) exactly like the paper's tables.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .base import QuantizableModel
+from .resnet import resnet18, resnet20, resnet34
+from .simple import simple_cnn
+from .vgg import vgg11, vgg13, vgg16, vgg19
+
+__all__ = ["MODEL_REGISTRY", "available_models", "build_model"]
+
+MODEL_REGISTRY: Dict[str, Callable[..., QuantizableModel]] = {
+    "simple_cnn": simple_cnn,
+    "vgg11": vgg11,
+    "vgg13": vgg13,
+    "vgg16": vgg16,
+    "vgg19": vgg19,
+    "resnet18": resnet18,
+    "resnet20": resnet20,
+    "resnet34": resnet34,
+}
+
+
+def available_models() -> List[str]:
+    """Names accepted by :func:`build_model`."""
+    return sorted(MODEL_REGISTRY)
+
+
+def build_model(name: str, **kwargs) -> QuantizableModel:
+    """Construct a registered quantizable model.
+
+    Keyword arguments are forwarded to the model factory (``num_classes``,
+    ``width_multiplier``, ``input_size``, ``seed``, ...).
+    """
+    key = name.lower()
+    if key not in MODEL_REGISTRY:
+        raise KeyError(f"unknown model {name!r}; available: {available_models()}")
+    return MODEL_REGISTRY[key](**kwargs)

@@ -1,0 +1,70 @@
+"""NumPy-based deep-learning substrate used by the BMPQ reproduction.
+
+The subpackage provides a self-contained replacement for the pieces of
+PyTorch the paper depends on: a reverse-mode autodiff :class:`Tensor`, CNN
+layers, losses, optimizers and learning-rate schedules.
+"""
+
+from .tensor import Tensor, no_grad, is_grad_enabled, unbroadcast
+from . import functional
+from . import init
+from .modules import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+)
+from .loss import CrossEntropyLoss, MSELoss, accuracy, topk_accuracy
+from .optim import (
+    SGD,
+    Adam,
+    ConstantLR,
+    CosineAnnealingLR,
+    LRScheduler,
+    MultiStepLR,
+    Optimizer,
+    StepLR,
+)
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "unbroadcast",
+    "functional",
+    "init",
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Conv2d",
+    "Linear",
+    "BatchNorm2d",
+    "ReLU",
+    "Identity",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "Dropout",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "accuracy",
+    "topk_accuracy",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "LRScheduler",
+    "StepLR",
+    "MultiStepLR",
+    "CosineAnnealingLR",
+    "ConstantLR",
+]

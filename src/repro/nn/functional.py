@@ -1,0 +1,414 @@
+"""Differentiable neural-network operators built on :class:`repro.nn.Tensor`.
+
+The operators here implement the forward/backward math needed by quantized
+CNN training: im2col-based 2-D convolution, max/average pooling, linear
+layers, batch normalization, softmax/log-softmax and cross-entropy.  Each
+function returns a new :class:`Tensor` whose backward closure scatters the
+incoming gradient to its inputs, so they compose freely with the elementwise
+primitives defined in :mod:`repro.nn.tensor`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from .tensor import Tensor, is_grad_enabled
+
+__all__ = [
+    "im2col",
+    "col2im",
+    "conv2d",
+    "linear",
+    "max_pool2d",
+    "avg_pool2d",
+    "global_avg_pool2d",
+    "batch_norm",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "nll_loss",
+    "dropout",
+    "conv_output_size",
+]
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+def _pair(value: IntPair) -> Tuple[int, int]:
+    if isinstance(value, tuple):
+        return value
+    return (int(value), int(value))
+
+
+def _result(data: np.ndarray, parents: Tuple[Tensor, ...], backward) -> Tensor:
+    """Create an output tensor wired into the autograd graph."""
+    requires = is_grad_enabled() and any(p.requires_grad for p in parents)
+    out = Tensor(data, requires_grad=requires)
+    if requires:
+        out._parents = parents
+        out._backward = backward
+    return out
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution/pooling window."""
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+# --------------------------------------------------------------------------- #
+# im2col / col2im
+# --------------------------------------------------------------------------- #
+def im2col(
+    x: np.ndarray, kernel: Tuple[int, int], stride: Tuple[int, int], padding: Tuple[int, int]
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Unfold ``x`` (N, C, H, W) into columns of shape (N, C*kh*kw, oh*ow).
+
+    Returns the column matrix together with the output spatial size.
+    """
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    oh = conv_output_size(h, kh, sh, ph)
+    ow = conv_output_size(w, kw, sw, pw)
+    if ph or pw:
+        x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)), mode="constant")
+
+    strides = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, oh, ow, kh, kw),
+        strides=(strides[0], strides[1], strides[2] * sh, strides[3] * sw, strides[2], strides[3]),
+        writeable=False,
+    )
+    # (N, C, kh, kw, oh, ow) -> (N, C*kh*kw, oh*ow)
+    cols = windows.transpose(0, 1, 4, 5, 2, 3).reshape(n, c * kh * kw, oh * ow)
+    return np.ascontiguousarray(cols), (oh, ow)
+
+
+def col2im(
+    cols: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> np.ndarray:
+    """Fold columns produced by :func:`im2col` back into an image gradient."""
+    n, c, h, w = input_shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    oh = conv_output_size(h, kh, sh, ph)
+    ow = conv_output_size(w, kw, sw, pw)
+
+    padded = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=cols.dtype)
+    cols = cols.reshape(n, c, kh, kw, oh, ow)
+    for i in range(kh):
+        h_end = i + sh * oh
+        for j in range(kw):
+            w_end = j + sw * ow
+            padded[:, :, i:h_end:sh, j:w_end:sw] += cols[:, :, i, j, :, :]
+    if ph or pw:
+        return padded[:, :, ph : ph + h, pw : pw + w]
+    return padded
+
+
+# --------------------------------------------------------------------------- #
+# convolution and linear
+# --------------------------------------------------------------------------- #
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: IntPair = 1,
+    padding: IntPair = 0,
+) -> Tensor:
+    """2-D convolution over an (N, C, H, W) input.
+
+    ``weight`` has shape (out_channels, in_channels, kh, kw).
+    """
+    stride = _pair(stride)
+    padding = _pair(padding)
+    n, c, h, w = x.data.shape
+    oc, ic, kh, kw = weight.data.shape
+    if ic != c:
+        raise ValueError(f"conv2d channel mismatch: input has {c}, weight expects {ic}")
+
+    cols, (oh, ow) = im2col(x.data, (kh, kw), stride, padding)
+    w_mat = weight.data.reshape(oc, -1)
+    # (N, oc, oh*ow) = (oc, C*kh*kw) @ (N, C*kh*kw, oh*ow)
+    out = np.einsum("of,nfp->nop", w_mat, cols, optimize=True)
+    if bias is not None:
+        out = out + bias.data.reshape(1, oc, 1)
+    out = out.reshape(n, oc, oh, ow)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad: np.ndarray) -> None:
+        grad_mat = grad.reshape(n, oc, oh * ow)
+        if weight.requires_grad:
+            grad_w = np.einsum("nop,nfp->of", grad_mat, cols, optimize=True)
+            weight._accumulate(grad_w.reshape(weight.data.shape))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad_mat.sum(axis=(0, 2)))
+        if x.requires_grad:
+            grad_cols = np.einsum("of,nop->nfp", w_mat, grad_mat, optimize=True)
+            x._accumulate(col2im(grad_cols, x.data.shape, (kh, kw), stride, padding))
+
+    return _result(out, parents, backward)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine transform ``x @ weight.T + bias`` for (N, in_features) inputs."""
+    out = x.data @ weight.data.T
+    if bias is not None:
+        out = out + bias.data
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad @ weight.data)
+        if weight.requires_grad:
+            weight._accumulate(grad.T @ x.data)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=0))
+
+    return _result(out, parents, backward)
+
+
+# --------------------------------------------------------------------------- #
+# pooling
+# --------------------------------------------------------------------------- #
+def max_pool2d(x: Tensor, kernel_size: IntPair, stride: Optional[IntPair] = None) -> Tensor:
+    """Max pooling over non-overlapping or strided windows."""
+    kh, kw = _pair(kernel_size)
+    sh, sw = _pair(stride if stride is not None else kernel_size)
+    n, c, h, w = x.data.shape
+    oh = conv_output_size(h, kh, sh, 0)
+    ow = conv_output_size(w, kw, sw, 0)
+
+    strides = x.data.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x.data,
+        shape=(n, c, oh, ow, kh, kw),
+        strides=(strides[0], strides[1], strides[2] * sh, strides[3] * sw, strides[2], strides[3]),
+        writeable=False,
+    )
+    flat = windows.reshape(n, c, oh, ow, kh * kw)
+    argmax = flat.argmax(axis=-1)
+    out = np.take_along_axis(flat, argmax[..., None], axis=-1)[..., 0]
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        grad_input = np.zeros_like(x.data)
+        # Scatter each window's gradient back to its argmax location.
+        ki = argmax // kw
+        kj = argmax % kw
+        n_idx, c_idx, i_idx, j_idx = np.indices((n, c, oh, ow))
+        rows = i_idx * sh + ki
+        cols = j_idx * sw + kj
+        np.add.at(grad_input, (n_idx, c_idx, rows, cols), grad)
+        x._accumulate(grad_input)
+
+    return _result(out, (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel_size: IntPair, stride: Optional[IntPair] = None) -> Tensor:
+    """Average pooling over strided windows."""
+    kh, kw = _pair(kernel_size)
+    sh, sw = _pair(stride if stride is not None else kernel_size)
+    n, c, h, w = x.data.shape
+    oh = conv_output_size(h, kh, sh, 0)
+    ow = conv_output_size(w, kw, sw, 0)
+
+    strides = x.data.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x.data,
+        shape=(n, c, oh, ow, kh, kw),
+        strides=(strides[0], strides[1], strides[2] * sh, strides[3] * sw, strides[2], strides[3]),
+        writeable=False,
+    )
+    out = windows.mean(axis=(-1, -2))
+    scale = 1.0 / (kh * kw)
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        grad_input = np.zeros_like(x.data)
+        scaled = grad * scale
+        for i in range(kh):
+            for j in range(kw):
+                grad_input[:, :, i : i + sh * oh : sh, j : j + sw * ow : sw] += scaled
+        x._accumulate(grad_input)
+
+    return _result(out, (x,), backward)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Average over all spatial positions, producing (N, C) output."""
+    return x.mean(axis=(2, 3))
+
+
+# --------------------------------------------------------------------------- #
+# normalization
+# --------------------------------------------------------------------------- #
+def batch_norm(
+    x: Tensor,
+    gamma: Tensor,
+    beta: Tensor,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    training: bool,
+    momentum: float = 0.1,
+    eps: float = 1e-5,
+) -> Tensor:
+    """Batch normalization over the channel axis of (N, C, H, W) or (N, C).
+
+    ``running_mean``/``running_var`` are updated in place during training so
+    that module state mirrors PyTorch semantics.
+    """
+    if x.data.ndim == 4:
+        axes = (0, 2, 3)
+        shape = (1, -1, 1, 1)
+    elif x.data.ndim == 2:
+        axes = (0,)
+        shape = (1, -1)
+    else:
+        raise ValueError(f"batch_norm expects 2-D or 4-D input, got {x.data.ndim}-D")
+
+    if training:
+        mean = x.data.mean(axis=axes)
+        var = x.data.var(axis=axes)
+        count = x.data.size / x.data.shape[1]
+        unbiased = var * count / max(count - 1.0, 1.0)
+        running_mean *= 1.0 - momentum
+        running_mean += momentum * mean
+        running_var *= 1.0 - momentum
+        running_var += momentum * unbiased
+    else:
+        mean = running_mean
+        var = running_var
+
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = (x.data - mean.reshape(shape)) * inv_std.reshape(shape)
+    out = gamma.data.reshape(shape) * x_hat + beta.data.reshape(shape)
+
+    def backward(grad: np.ndarray) -> None:
+        if gamma.requires_grad:
+            gamma._accumulate((grad * x_hat).sum(axis=axes))
+        if beta.requires_grad:
+            beta._accumulate(grad.sum(axis=axes))
+        if not x.requires_grad:
+            return
+        g = gamma.data.reshape(shape)
+        if training:
+            m = x.data.size / x.data.shape[1]
+            dxhat = grad * g
+            term1 = dxhat
+            term2 = dxhat.mean(axis=axes, keepdims=True)
+            term3 = x_hat * (dxhat * x_hat).mean(axis=axes, keepdims=True)
+            dx = (term1 - term2 - term3) * inv_std.reshape(shape)
+        else:
+            dx = grad * g * inv_std.reshape(shape)
+        x._accumulate(dx)
+
+    return _result(out, (x, gamma, beta), backward)
+
+
+# --------------------------------------------------------------------------- #
+# softmax / losses
+# --------------------------------------------------------------------------- #
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    out = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        dot = (grad * out).sum(axis=axis, keepdims=True)
+        x._accumulate(out * (grad - dot))
+
+    return _result(out, (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out = shifted - log_sum
+    probs = np.exp(out)
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        x._accumulate(grad - probs * grad.sum(axis=axis, keepdims=True))
+
+    return _result(out, (x,), backward)
+
+
+def nll_loss(log_probs: Tensor, targets: np.ndarray, reduction: str = "mean") -> Tensor:
+    """Negative log-likelihood of integer class ``targets``."""
+    targets = np.asarray(targets, dtype=np.int64)
+    n = log_probs.data.shape[0]
+    picked = log_probs.data[np.arange(n), targets]
+    if reduction == "mean":
+        value = -picked.mean()
+        scale = 1.0 / n
+    elif reduction == "sum":
+        value = -picked.sum()
+        scale = 1.0
+    else:
+        raise ValueError(f"unknown reduction {reduction!r}")
+
+    def backward(grad: np.ndarray) -> None:
+        if not log_probs.requires_grad:
+            return
+        g = np.zeros_like(log_probs.data)
+        g[np.arange(n), targets] = -scale
+        log_probs._accumulate(g * grad)
+
+    return _result(np.asarray(value, dtype=np.float32), (log_probs,), backward)
+
+
+def cross_entropy(
+    logits: Tensor,
+    targets: np.ndarray,
+    label_smoothing: float = 0.0,
+    reduction: str = "mean",
+) -> Tensor:
+    """Cross-entropy between logits and integer class targets.
+
+    Supports optional label smoothing; gradients flow only to ``logits``.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    log_probs = log_softmax(logits, axis=-1)
+    if label_smoothing <= 0.0:
+        return nll_loss(log_probs, targets, reduction=reduction)
+
+    num_classes = logits.data.shape[-1]
+    smooth = label_smoothing / num_classes
+    confident = 1.0 - label_smoothing
+    n = logits.data.shape[0]
+    target_term = nll_loss(log_probs, targets, reduction="sum") * confident
+    uniform_term = log_probs.sum() * (-smooth)
+    total = target_term + uniform_term
+    if reduction == "mean":
+        return total * (1.0 / n)
+    return total
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout; identity when not training or ``p == 0``."""
+    if not training or p <= 0.0:
+        return x
+    gen = rng if rng is not None else np.random.default_rng()
+    mask = (gen.random(x.data.shape) >= p).astype(x.data.dtype) / (1.0 - p)
+    out = x.data * mask
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * mask)
+
+    return _result(out, (x,), backward)

@@ -1,0 +1,64 @@
+"""Loss functions and classification metrics.
+
+Thin class wrappers around :mod:`repro.nn.functional` losses so training code
+can hold a configured criterion object, plus the accuracy metrics reported in
+the paper's tables.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from . import functional as F
+from .tensor import Tensor
+
+__all__ = ["CrossEntropyLoss", "MSELoss", "accuracy", "topk_accuracy"]
+
+
+class CrossEntropyLoss:
+    """Cross-entropy over logits with optional label smoothing."""
+
+    def __init__(self, label_smoothing: float = 0.0, reduction: str = "mean") -> None:
+        if not 0.0 <= label_smoothing < 1.0:
+            raise ValueError(f"label_smoothing must be in [0, 1), got {label_smoothing}")
+        self.label_smoothing = label_smoothing
+        self.reduction = reduction
+
+    def __call__(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        return F.cross_entropy(
+            logits,
+            targets,
+            label_smoothing=self.label_smoothing,
+            reduction=self.reduction,
+        )
+
+
+class MSELoss:
+    """Mean squared error between a prediction tensor and a target array."""
+
+    def __call__(self, prediction: Tensor, target: np.ndarray) -> Tensor:
+        diff = prediction - Tensor(np.asarray(target, dtype=np.float32))
+        return (diff * diff).mean()
+
+
+def accuracy(logits: Tensor, targets: np.ndarray) -> float:
+    """Top-1 classification accuracy in [0, 1]."""
+    predictions = logits.data.argmax(axis=-1)
+    targets = np.asarray(targets)
+    return float((predictions == targets).mean())
+
+
+def topk_accuracy(logits: Tensor, targets: np.ndarray, ks: Sequence[int] = (1, 5)) -> dict:
+    """Top-k accuracy for each ``k`` in ``ks`` (k capped at the class count)."""
+    targets = np.asarray(targets)
+    scores = logits.data
+    num_classes = scores.shape[-1]
+    order = np.argsort(-scores, axis=-1)
+    results = {}
+    for k in ks:
+        k_eff = min(k, num_classes)
+        hits = (order[:, :k_eff] == targets[:, None]).any(axis=1)
+        results[k] = float(hits.mean())
+    return results

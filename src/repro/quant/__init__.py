@@ -1,0 +1,80 @@
+"""Quantization substrate: quantizers, PACT, bit representation, Q-layers."""
+
+from .bitrep import (
+    bit_position_weights,
+    code_range,
+    from_twos_complement_bits,
+    to_twos_complement_bits,
+)
+from .alternatives import (
+    AsymmetricQuantizerOutput,
+    asymmetric_quantize,
+    asymmetric_quantize_ste,
+    dorefa_quantize_weights,
+    dorefa_quantize_weights_ste,
+)
+from .integer_inference import (
+    IntegerInferenceSession,
+    QuantizedLayerExport,
+    export_model,
+    integer_conv2d,
+    integer_linear,
+)
+from .pact import PACT, pact
+from .perchannel import (
+    PerChannelQuantizerOutput,
+    per_channel_scales,
+    per_tensor_vs_per_channel_error,
+    quantize_per_channel_array,
+    quantize_per_channel_ste,
+)
+from .qmodules import QConv2d, QLinear, QuantizedLayer
+from .quantizers import (
+    QuantizerOutput,
+    integer_levels,
+    quantize_symmetric_array,
+    quantize_tensor_for_bits,
+    quantize_ternary_ste,
+    quantize_weights_ste,
+    symmetric_scale,
+    ternary_quantize_array,
+    ternary_threshold_and_scale,
+    uniform_quantize_activation,
+)
+
+__all__ = [
+    "AsymmetricQuantizerOutput",
+    "asymmetric_quantize",
+    "asymmetric_quantize_ste",
+    "dorefa_quantize_weights",
+    "dorefa_quantize_weights_ste",
+    "IntegerInferenceSession",
+    "QuantizedLayerExport",
+    "export_model",
+    "integer_conv2d",
+    "integer_linear",
+    "PerChannelQuantizerOutput",
+    "per_channel_scales",
+    "per_tensor_vs_per_channel_error",
+    "quantize_per_channel_array",
+    "quantize_per_channel_ste",
+    "bit_position_weights",
+    "code_range",
+    "from_twos_complement_bits",
+    "to_twos_complement_bits",
+    "PACT",
+    "pact",
+    "QConv2d",
+    "QLinear",
+    "QuantizedLayer",
+    "QuantizerOutput",
+    "integer_levels",
+    "quantize_symmetric_array",
+    "quantize_tensor_for_bits",
+    "quantize_ternary_ste",
+    "quantize_weights_ste",
+    "symmetric_scale",
+    "ternary_quantize_array",
+    "ternary_threshold_and_scale",
+    "uniform_quantize_activation",
+]

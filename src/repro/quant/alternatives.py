@@ -1,0 +1,115 @@
+"""Alternative quantizers used as ablation material.
+
+The paper quantizes weights with the symmetric max-scaled quantizer of Eq. (3)
+and activations with PACT.  The quantization literature it builds on offers
+several alternatives; two widely used ones are provided here so that the
+"choice of quantizer" ablation can be run without touching the BMPQ core:
+
+* :func:`dorefa_quantize_weights` — the DoReFa-Net weight transform
+  (tanh-normalized weights mapped to ``[0, 1]``, uniformly quantized, then
+  rescaled to ``[-1, 1]``), a common alternative to max-scaling;
+* :func:`asymmetric_quantize` — unsigned affine (scale + zero-point)
+  quantization of an arbitrary-range tensor, the standard deployment scheme
+  for activations that are not clipped at zero.
+
+Both come with STE wrappers so they can be dropped into a training loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..nn.tensor import Tensor, is_grad_enabled
+
+__all__ = [
+    "AsymmetricQuantizerOutput",
+    "dorefa_quantize_weights",
+    "dorefa_quantize_weights_ste",
+    "asymmetric_quantize",
+    "asymmetric_quantize_ste",
+]
+
+
+@dataclass(frozen=True)
+class AsymmetricQuantizerOutput:
+    """Affine quantization result: ``quantized = (codes - zero_point) * scale``."""
+
+    quantized: np.ndarray
+    codes: np.ndarray
+    scale: float
+    zero_point: int
+
+
+def dorefa_quantize_weights(weights: np.ndarray, bits: int) -> np.ndarray:
+    """DoReFa-Net weight quantization to ``bits`` levels in ``[-1, 1]``.
+
+    ``w_n = tanh(w) / (2 max|tanh(w)|) + 0.5`` is uniformly quantized to
+    ``2^k - 1`` steps and mapped back to ``2 w_q - 1``.
+    """
+    if bits < 2:
+        raise ValueError(f"DoReFa weight quantization requires >= 2 bits, got {bits}")
+    transformed = np.tanh(weights.astype(np.float64))
+    max_abs = np.abs(transformed).max()
+    if max_abs == 0.0:
+        return np.zeros_like(weights, dtype=np.float32)
+    normalized = transformed / (2.0 * max_abs) + 0.5
+    levels = 2 ** bits - 1
+    quantized01 = np.round(normalized * levels) / levels
+    return (2.0 * quantized01 - 1.0).astype(np.float32)
+
+
+def dorefa_quantize_weights_ste(shadow: Tensor, bits: int) -> Tensor:
+    """DoReFa weight quantization with a straight-through backward pass."""
+    quantized = dorefa_quantize_weights(shadow.data, bits)
+
+    def backward(grad: np.ndarray) -> None:
+        shadow._accumulate(grad)
+
+    requires = is_grad_enabled() and shadow.requires_grad
+    out = Tensor(quantized, requires_grad=requires)
+    if requires:
+        out._parents = (shadow,)
+        out._backward = backward
+    return out
+
+
+def asymmetric_quantize(values: np.ndarray, bits: int) -> AsymmetricQuantizerOutput:
+    """Unsigned affine quantization of an arbitrary-range tensor.
+
+    The scale and zero point are chosen so that the observed ``[min, max]``
+    range maps onto ``[0, 2^bits - 1]`` with zero exactly representable
+    (the standard TFLite/ONNX convention).
+    """
+    if bits < 2:
+        raise ValueError(f"asymmetric quantization requires >= 2 bits, got {bits}")
+    levels = 2 ** bits - 1
+    low = float(min(values.min(initial=0.0), 0.0))
+    high = float(max(values.max(initial=0.0), 0.0))
+    if high == low:
+        high = low + 1.0
+    scale = (high - low) / levels
+    zero_point = int(round(-low / scale))
+    zero_point = int(np.clip(zero_point, 0, levels))
+    codes = np.clip(np.round(values / scale) + zero_point, 0, levels).astype(np.float32)
+    quantized = ((codes - zero_point) * scale).astype(np.float32)
+    return AsymmetricQuantizerOutput(
+        quantized=quantized, codes=codes, scale=float(scale), zero_point=zero_point
+    )
+
+
+def asymmetric_quantize_ste(x: Tensor, bits: int) -> Tuple[Tensor, AsymmetricQuantizerOutput]:
+    """Asymmetric quantization with a straight-through backward pass."""
+    info = asymmetric_quantize(x.data, bits)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad)
+
+    requires = is_grad_enabled() and x.requires_grad
+    out = Tensor(info.quantized, requires_grad=requires)
+    if requires:
+        out._parents = (x,)
+        out._backward = backward
+    return out, info

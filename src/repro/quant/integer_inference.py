@@ -1,0 +1,172 @@
+"""Integer-domain inference for BMPQ-trained models.
+
+The point of mixed-precision quantization is that deployment hardware stores
+and multiplies small integer codes, not floats.  This module executes a
+trained quantizable model's convolution/linear layers **in the integer code
+domain**: weights are exported once as signed integer codes plus a per-layer
+scale (exactly what Eq. 3-5 stores), the integer accumulations are carried out
+exactly, and the result is rescaled to the real axis afterwards.  Because the
+integer path computes ``(codes · S_w) ⊛ x`` by distributing the scale out of
+the accumulation, its outputs must match the float quantized-weight forward
+pass to floating-point round-off — which the test suite asserts.  It provides
+
+* :class:`QuantizedLayerExport` / :func:`export_model` — the deployable
+  artefact (codes, scales, bit widths, storage size);
+* :func:`integer_conv2d` / :func:`integer_linear` — integer-accumulation
+  reference kernels;
+* :class:`IntegerInferenceSession` — replays an exported model layer by layer
+  using the integer kernels, re-using the float model's non-quantized pieces
+  (batch norm, pooling, PACT) for the surrounding operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.tensor import Tensor, no_grad
+from .qmodules import QConv2d, QLinear, QuantizedLayer
+
+__all__ = [
+    "QuantizedLayerExport",
+    "export_model",
+    "integer_conv2d",
+    "integer_linear",
+    "IntegerInferenceSession",
+]
+
+
+@dataclass
+class QuantizedLayerExport:
+    """Deployable form of one quantized layer."""
+
+    name: str
+    kind: str  # "conv2d" | "linear"
+    codes: np.ndarray  # signed integer codes (int32)
+    scale: float
+    bits: int
+    bias: Optional[np.ndarray]
+    stride: Tuple[int, int] = (1, 1)
+    padding: Tuple[int, int] = (0, 0)
+
+    @property
+    def storage_bits(self) -> int:
+        """Parameter bits needed to store this layer's codes."""
+        return int(self.codes.size * self.bits)
+
+
+def _pair(value) -> Tuple[int, int]:
+    return value if isinstance(value, tuple) else (int(value), int(value))
+
+
+def export_layer(name: str, layer: QuantizedLayer) -> QuantizedLayerExport:
+    """Quantize a layer's shadow weights and package the integer artefact."""
+    _tensor, info = layer.quantized_weight()
+    codes = np.round(info.codes).astype(np.int32)
+    bias = None if layer.bias is None else layer.bias.data.copy()
+    if isinstance(layer, QConv2d):
+        return QuantizedLayerExport(
+            name=name,
+            kind="conv2d",
+            codes=codes,
+            scale=float(info.scale),
+            bits=layer.bits,
+            bias=bias,
+            stride=_pair(layer.stride),
+            padding=_pair(layer.padding),
+        )
+    if isinstance(layer, QLinear):
+        return QuantizedLayerExport(
+            name=name, kind="linear", codes=codes, scale=float(info.scale), bits=layer.bits, bias=bias
+        )
+    raise TypeError(f"unsupported quantized layer type {type(layer).__name__}")
+
+
+def export_model(model) -> Dict[str, QuantizedLayerExport]:
+    """Export every quantized layer of a model."""
+    return {name: export_layer(name, layer) for name, layer in model.quantizable_layers().items()}
+
+
+def integer_conv2d(x: np.ndarray, export: QuantizedLayerExport) -> np.ndarray:
+    """Convolution with integer weight codes; rescale after accumulation."""
+    if export.kind != "conv2d":
+        raise ValueError(f"layer {export.name!r} is not a convolution")
+    cols, (oh, ow) = F.im2col(
+        x.astype(np.float64), export.codes.shape[2:], export.stride, export.padding
+    )
+    weight_matrix = export.codes.reshape(export.codes.shape[0], -1).astype(np.float64)
+    accumulated = np.einsum("of,nfp->nop", weight_matrix, cols, optimize=True)
+    out = accumulated * export.scale
+    if export.bias is not None:
+        out = out + export.bias.reshape(1, -1, 1)
+    n = x.shape[0]
+    return out.reshape(n, export.codes.shape[0], oh, ow).astype(np.float32)
+
+
+def integer_linear(x: np.ndarray, export: QuantizedLayerExport) -> np.ndarray:
+    """Fully connected layer with integer weight codes."""
+    if export.kind != "linear":
+        raise ValueError(f"layer {export.name!r} is not a linear layer")
+    accumulated = x.astype(np.float64) @ export.codes.astype(np.float64).T
+    out = accumulated * export.scale
+    if export.bias is not None:
+        out = out + export.bias
+    return out.astype(np.float32)
+
+
+class _IntegerLayerProxy:
+    """Drop-in replacement for a quantized layer during integer inference."""
+
+    def __init__(self, export: QuantizedLayerExport) -> None:
+        self.export = export
+
+    def __call__(self, x: Tensor) -> Tensor:
+        if self.export.kind == "conv2d":
+            return Tensor(integer_conv2d(x.data, self.export))
+        return Tensor(integer_linear(x.data, self.export))
+
+
+class IntegerInferenceSession:
+    """Run a quantizable model with its weight layers replaced by integer kernels.
+
+    The session temporarily swaps every quantized layer's ``forward`` for an
+    integer-code proxy, runs the model in eval mode under ``no_grad``, and
+    restores the original behaviour afterwards, so the float training model is
+    untouched.
+    """
+
+    def __init__(self, model) -> None:
+        self.model = model
+        self.exports = export_model(model)
+        self.total_storage_bits = sum(export.storage_bits for export in self.exports.values())
+
+    def run(self, inputs: np.ndarray) -> np.ndarray:
+        """Return the model's logits for ``inputs`` using integer arithmetic."""
+        layers = self.model.quantizable_layers()
+        original_forwards = {}
+        try:
+            for name, layer in layers.items():
+                proxy = _IntegerLayerProxy(self.exports[name])
+                original_forwards[name] = layer.forward
+                layer.forward = proxy  # type: ignore[assignment]
+            was_training = self.model.training
+            self.model.eval()
+            with no_grad():
+                logits = self.model(Tensor(inputs.astype(np.float32)))
+            self.model.train(was_training)
+            return logits.data
+        finally:
+            for name, layer in layers.items():
+                if name in original_forwards:
+                    layer.forward = original_forwards[name]
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        """Class predictions from the integer-domain forward pass."""
+        return self.run(inputs).argmax(axis=-1)
+
+    def storage_megabytes(self) -> float:
+        """Weight storage of the exported integer model (codes only), in MB."""
+        return self.total_storage_bits / 8.0 / 2 ** 20

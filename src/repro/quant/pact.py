@@ -1,0 +1,110 @@
+"""PACT: parameterized clipping activation (Choi et al., 2018).
+
+BMPQ uses PACT for every intermediate layer whose activations are quantized
+to low precision; the clipping level ``alpha`` is a learnable per-layer
+parameter.  Equation (1) of the paper defines the forward clip and Eq. (2)
+the linear quantization of the clipped output; the gradient with respect to
+``alpha`` flows through the straight-through estimator (non-zero only where
+the input saturates at ``alpha``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn.modules import Module, Parameter
+from ..nn.tensor import Tensor, is_grad_enabled
+from .quantizers import uniform_quantize_activation
+
+__all__ = ["pact", "PACT"]
+
+
+def pact(x: Tensor, alpha: Tensor, bits: int) -> Tensor:
+    """Apply the PACT non-linearity followed by ``bits``-level quantization.
+
+    Forward (Eq. 1):  ``y = clip(x, 0, alpha)``
+    Quantization (Eq. 2): ``y_q = round(y * (2^k - 1)/alpha) * alpha/(2^k - 1)``
+
+    Backward:
+      * w.r.t. ``x``  — STE inside the clipping range, zero outside;
+      * w.r.t. ``alpha`` — 1 where the input saturated (``x >= alpha``), as in
+        the PACT paper.
+    """
+    alpha_value = float(alpha.data.reshape(-1)[0])
+    if alpha_value <= 0:
+        raise ValueError(f"PACT clipping level must be positive, got {alpha_value}")
+
+    clipped = np.clip(x.data, 0.0, alpha_value)
+    below = x.data < 0.0
+    above = x.data >= alpha_value
+    inside = ~(below | above)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * inside)
+        if alpha.requires_grad:
+            alpha._accumulate(np.array([float((grad * above).sum())], dtype=np.float32))
+
+    requires = is_grad_enabled() and (x.requires_grad or alpha.requires_grad)
+    out = Tensor(clipped, requires_grad=requires)
+    if requires:
+        out._parents = (x, alpha)
+        out._backward = backward
+
+    return uniform_quantize_activation(out, bits, alpha_value)
+
+
+class PACT(Module):
+    """PACT activation module with a learnable clipping level.
+
+    Parameters
+    ----------
+    bits:
+        Activation bit width.  BMPQ ties this to the weight bit width of the
+        layer feeding the activation; :class:`repro.quant.qmodules.QConv2d`
+        updates it whenever the ILP re-assigns the layer.
+    alpha_init:
+        Initial clipping level (10.0 in the PACT paper).
+    """
+
+    def __init__(self, bits: int = 4, alpha_init: float = 10.0) -> None:
+        super().__init__()
+        if alpha_init <= 0:
+            raise ValueError(f"alpha_init must be positive, got {alpha_init}")
+        self.bits = int(bits)
+        self.alpha = Parameter(np.array([alpha_init], dtype=np.float32), name="alpha")
+        # Activation-density bookkeeping used by the AD baseline
+        # (Vasquez et al., DATE 2021): fraction of non-zero outputs.
+        self.record_density = False
+        self._density_sum = 0.0
+        self._density_batches = 0
+
+    def set_bits(self, bits: int) -> None:
+        """Update the activation bit width (called on ILP re-assignment)."""
+        self.bits = int(bits)
+
+    # ------------------------------------------------------------------ #
+    # activation-density statistics (AD baseline support)
+    # ------------------------------------------------------------------ #
+    def reset_density(self) -> None:
+        """Clear accumulated activation-density statistics."""
+        self._density_sum = 0.0
+        self._density_batches = 0
+
+    @property
+    def mean_density(self) -> float:
+        """Mean fraction of non-zero activations over recorded batches."""
+        if self._density_batches == 0:
+            return 0.0
+        return self._density_sum / self._density_batches
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.record_density:
+            self._density_sum += float((x.data > 0).mean())
+            self._density_batches += 1
+        return pact(x, self.alpha, self.bits)
+
+    def __repr__(self) -> str:
+        return f"PACT(bits={self.bits}, alpha={float(self.alpha.data[0]):.3f})"

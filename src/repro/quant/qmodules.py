@@ -1,0 +1,199 @@
+"""Quantized layers: convolution and linear layers with mutable bit widths.
+
+These modules hold FP-32 *shadow* weights (updated by the optimizer) and
+quantize them on every forward pass to the layer's current bit width.  The
+bit width is mutable state: BMPQ's ILP re-assigns it at each epoch-interval
+boundary via :meth:`QuantizedLayer.set_bits`, and any attached PACT activation
+follows the weight bit width as required by the paper (Section III-D).
+
+The last quantization result (integer codes, scale, and the autograd tensor of
+the quantized weights) is retained after each forward pass so that the
+bit-gradient analysis in :mod:`repro.core.bit_gradients` can compute
+``∂L/∂w_q`` and decompose it over bit positions without re-running the layer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn import init
+from ..nn.modules import Module, Parameter
+from ..nn.tensor import Tensor
+from .pact import PACT
+from .quantizers import QuantizerOutput, quantize_tensor_for_bits
+
+__all__ = ["QuantizedLayer", "QConv2d", "QLinear"]
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+class QuantizedLayer(Module):
+    """Common state and interface of weight-quantized layers.
+
+    Attributes
+    ----------
+    bits:
+        Current weight bit width of the layer.
+    pinned:
+        When ``True`` the bit width may not be changed by the assignment
+        policy (used for the 16-bit first and last layers).
+    """
+
+    def __init__(self, bits: int, pinned: bool = False) -> None:
+        super().__init__()
+        self._bits = int(bits)
+        self.pinned = bool(pinned)
+        self.activation: Optional[PACT] = None
+        self.last_quant_info: Optional[QuantizerOutput] = None
+        self.last_quantized_weight: Optional[Tensor] = None
+        self.weight: Parameter  # set by subclasses
+
+    # ------------------------------------------------------------------ #
+    # bit-width management
+    # ------------------------------------------------------------------ #
+    @property
+    def bits(self) -> int:
+        return self._bits
+
+    def set_bits(self, bits: int, force: bool = False) -> None:
+        """Change the weight (and tied activation) bit width.
+
+        Pinned layers refuse the change unless ``force`` is given, protecting
+        the paper's convention of 16-bit first/last layers.
+        """
+        bits = int(bits)
+        if bits < 2:
+            raise ValueError(f"bit width must be >= 2, got {bits}")
+        if self.pinned and not force:
+            raise ValueError(
+                f"layer is pinned to {self._bits} bits; pass force=True to override"
+            )
+        self._bits = bits
+        if self.activation is not None:
+            self.activation.set_bits(bits)
+
+    def attach_activation(self, activation: PACT) -> PACT:
+        """Tie a PACT activation's bit width to this layer's weight bits."""
+        self.activation = activation
+        activation.set_bits(self._bits)
+        return activation
+
+    # ------------------------------------------------------------------ #
+    # introspection used by the assignment policy and compression model
+    # ------------------------------------------------------------------ #
+    @property
+    def num_weight_params(self) -> int:
+        """Number of quantized weight scalars (bias excluded, as in Eq. 11)."""
+        return int(self.weight.data.size)
+
+    def quantized_weight(self) -> Tuple[Tensor, QuantizerOutput]:
+        """Quantize the shadow weights at the current bit width."""
+        qweight, info = quantize_tensor_for_bits(self.weight, self._bits)
+        self.last_quant_info = info
+        self.last_quantized_weight = qweight
+        return qweight, info
+
+    def weight_bit_gradient_inputs(self) -> Tuple[np.ndarray, np.ndarray, float]:
+        """Return ``(grad_wq, codes, scale)`` from the last backward pass.
+
+        ``grad_wq`` is the gradient of the loss with respect to the quantized
+        weights; it is read off the quantized-weight tensor produced by the
+        most recent forward pass.
+        """
+        if self.last_quantized_weight is None or self.last_quant_info is None:
+            raise RuntimeError("no forward pass has been recorded for this layer yet")
+        if self.last_quantized_weight.grad is None:
+            raise RuntimeError(
+                "no gradient available on the quantized weights; run backward() "
+                "before collecting bit gradients"
+            )
+        return (
+            self.last_quantized_weight.grad,
+            self.last_quant_info.codes,
+            self.last_quant_info.scale,
+        )
+
+
+class QConv2d(QuantizedLayer):
+    """2-D convolution with quantized weights and mutable precision."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: IntPair,
+        stride: IntPair = 1,
+        padding: IntPair = 0,
+        bias: bool = False,
+        bits: int = 4,
+        pinned: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(bits=bits, pinned=pinned)
+        gen = rng if rng is not None else np.random.default_rng()
+        kh, kw = (kernel_size, kernel_size) if isinstance(kernel_size, int) else kernel_size
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = (kh, kw)
+        self.stride = stride
+        self.padding = padding
+        self.weight = Parameter(init.kaiming_normal((out_channels, in_channels, kh, kw), gen), name="weight")
+        self.bias = Parameter(init.zeros((out_channels,)), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        qweight, _ = self.quantized_weight()
+        out = F.conv2d(x, qweight, self.bias, stride=self.stride, padding=self.padding)
+        self.last_output_shape = out.shape
+        return out
+
+    def macs_per_sample(self) -> float:
+        """Multiply-accumulate count for one input sample (needs a prior forward)."""
+        if getattr(self, "last_output_shape", None) is None:
+            raise RuntimeError("run a forward pass before querying MACs")
+        _n, _oc, oh, ow = self.last_output_shape
+        kh, kw = self.kernel_size
+        return float(oh * ow * self.out_channels * self.in_channels * kh * kw)
+
+    def __repr__(self) -> str:
+        pin = ", pinned" if self.pinned else ""
+        return (
+            f"QConv2d({self.in_channels}, {self.out_channels}, kernel_size={self.kernel_size}, "
+            f"stride={self.stride}, padding={self.padding}, bits={self.bits}{pin})"
+        )
+
+
+class QLinear(QuantizedLayer):
+    """Fully connected layer with quantized weights and mutable precision."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        bits: int = 4,
+        pinned: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(bits=bits, pinned=pinned)
+        gen = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.kaiming_uniform((out_features, in_features), gen), name="weight")
+        self.bias = Parameter(init.zeros((out_features,)), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        qweight, _ = self.quantized_weight()
+        out = F.linear(x, qweight, self.bias)
+        self.last_output_shape = out.shape
+        return out
+
+    def macs_per_sample(self) -> float:
+        """Multiply-accumulate count for one input sample."""
+        return float(self.in_features * self.out_features)
+
+    def __repr__(self) -> str:
+        pin = ", pinned" if self.pinned else ""
+        return f"QLinear({self.in_features}, {self.out_features}, bits={self.bits}{pin})"

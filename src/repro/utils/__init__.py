@@ -1,0 +1,19 @@
+"""Shared utilities: seeding, logging, checkpoints, timing."""
+
+from .logging import LogEntry, RunLogger
+from .rng import SeedSequenceFactory, seed_everything, spawn_generators
+from .serialization import checkpoint_bits, load_checkpoint, save_checkpoint
+from .timing import StopwatchRegistry, Timer
+
+__all__ = [
+    "LogEntry",
+    "RunLogger",
+    "SeedSequenceFactory",
+    "seed_everything",
+    "spawn_generators",
+    "checkpoint_bits",
+    "load_checkpoint",
+    "save_checkpoint",
+    "StopwatchRegistry",
+    "Timer",
+]

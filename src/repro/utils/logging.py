@@ -1,0 +1,71 @@
+"""Lightweight experiment logging.
+
+A :class:`RunLogger` collects timestamped messages and scalar metrics in
+memory (optionally mirroring them to stdout or a file), so the benchmark
+harness can attach training traces to its printed tables without pulling in a
+heavyweight logging dependency.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TextIO
+
+__all__ = ["LogEntry", "RunLogger"]
+
+
+@dataclass
+class LogEntry:
+    """One logged message with an elapsed-seconds timestamp."""
+
+    elapsed: float
+    message: str
+
+
+class RunLogger:
+    """Collects messages and named scalar series for one experiment run."""
+
+    def __init__(self, name: str = "run", stream: Optional[TextIO] = None, echo: bool = False) -> None:
+        self.name = name
+        self._start = time.perf_counter()
+        self.entries: List[LogEntry] = []
+        self.metrics: Dict[str, List[float]] = {}
+        self._stream = stream
+        self._echo = echo
+
+    # ------------------------------------------------------------------ #
+    # messages
+    # ------------------------------------------------------------------ #
+    def log(self, message: str) -> None:
+        entry = LogEntry(elapsed=time.perf_counter() - self._start, message=message)
+        self.entries.append(entry)
+        line = f"[{self.name} +{entry.elapsed:8.2f}s] {message}"
+        if self._echo:
+            print(line, file=sys.stdout)
+        if self._stream is not None:
+            self._stream.write(line + "\n")
+
+    def __call__(self, message: str) -> None:
+        self.log(message)
+
+    # ------------------------------------------------------------------ #
+    # metrics
+    # ------------------------------------------------------------------ #
+    def record_metric(self, name: str, value: float) -> None:
+        self.metrics.setdefault(name, []).append(float(value))
+
+    def metric_series(self, name: str) -> List[float]:
+        return list(self.metrics.get(name, []))
+
+    def last_metric(self, name: str) -> Optional[float]:
+        series = self.metrics.get(name)
+        return series[-1] if series else None
+
+    def summary(self) -> str:
+        """One line per metric: name, count, last value."""
+        lines = [f"RunLogger({self.name}): {len(self.entries)} messages"]
+        for name, series in self.metrics.items():
+            lines.append(f"  {name}: n={len(series)} last={series[-1]:.6g}")
+        return "\n".join(lines)

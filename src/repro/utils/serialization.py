@@ -1,0 +1,82 @@
+"""Checkpoint serialization for quantizable models.
+
+Checkpoints are plain ``.npz`` archives holding the model's state dict (shadow
+FP-32 weights, batch-norm buffers, PACT clipping levels) plus the current
+per-layer bit assignment, so a BMPQ run can be saved and resumed or a trained
+mixed-precision model can be shipped for inference.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["save_checkpoint", "load_checkpoint", "checkpoint_bits"]
+
+_BITS_KEY = "__bits_by_layer_json__"
+_META_KEY = "__metadata_json__"
+
+
+def save_checkpoint(
+    path: str,
+    model,
+    bits_by_layer: Optional[Dict[str, int]] = None,
+    metadata: Optional[Dict[str, object]] = None,
+) -> str:
+    """Write the model state, bit assignment and metadata to ``path``.
+
+    Returns the path written (with ``.npz`` appended if missing).
+    """
+    state = model.state_dict()
+    payload = {key: np.asarray(value) for key, value in state.items()}
+    if bits_by_layer is None and hasattr(model, "current_assignment"):
+        bits_by_layer = model.current_assignment()
+    payload[_BITS_KEY] = np.frombuffer(
+        json.dumps(bits_by_layer or {}).encode("utf-8"), dtype=np.uint8
+    )
+    payload[_META_KEY] = np.frombuffer(
+        json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8
+    )
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    # np.savez appends .npz itself when missing; keep names consistent.
+    np.savez(path[:-4] if path.endswith(".npz") else path, **payload)
+    return path
+
+
+def load_checkpoint(path: str, model=None) -> Tuple[Dict[str, np.ndarray], Dict[str, int], Dict[str, object]]:
+    """Load a checkpoint; optionally restore it into ``model`` in place.
+
+    Returns ``(state_dict, bits_by_layer, metadata)``.
+    """
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    if not os.path.exists(path):
+        raise FileNotFoundError(f"checkpoint not found: {path}")
+    archive = np.load(path, allow_pickle=False)
+    state: Dict[str, np.ndarray] = {}
+    bits: Dict[str, int] = {}
+    metadata: Dict[str, object] = {}
+    for key in archive.files:
+        if key == _BITS_KEY:
+            bits = {k: int(v) for k, v in json.loads(archive[key].tobytes().decode("utf-8")).items()}
+        elif key == _META_KEY:
+            metadata = json.loads(archive[key].tobytes().decode("utf-8"))
+        else:
+            state[key] = archive[key]
+    if model is not None:
+        model.load_state_dict(state)
+        if bits and hasattr(model, "apply_assignment"):
+            model.apply_assignment(bits)
+    return state, bits, metadata
+
+
+def checkpoint_bits(path: str) -> Dict[str, int]:
+    """Read only the bit assignment stored in a checkpoint."""
+    _state, bits, _meta = load_checkpoint(path)
+    return bits

@@ -1,0 +1,86 @@
+"""Storage model (Eq. 10-12): sizes, compression ratios, paper cross-checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    average_bits_per_weight,
+    compression_ratio,
+    compression_summary,
+    fp32_model_megabytes,
+    quantized_model_megabytes,
+)
+from repro.core import LayerSpec
+from repro.models import vgg16
+
+
+def two_layer_specs():
+    return [LayerSpec("a", 2 ** 20), LayerSpec("b", 2 ** 20)]
+
+
+class TestEquations:
+    def test_fp32_size_eq10(self):
+        # 2 * 2^20 parameters at 4 bytes each = 8 MB.
+        assert fp32_model_megabytes(two_layer_specs()) == pytest.approx(8.0)
+
+    def test_quantized_size_eq11(self):
+        bits = {"a": 4, "b": 2}
+        # (4/32) * (2^20*4 + 2^20*2) / 2^20 = 0.75 MB
+        assert quantized_model_megabytes(two_layer_specs(), bits) == pytest.approx(0.75)
+
+    def test_compression_ratio_eq12(self):
+        bits = {"a": 4, "b": 2}
+        ratio = compression_ratio(two_layer_specs(), bits)
+        assert ratio == pytest.approx(8.0 / 0.75)
+
+    def test_uniform_bits_ratio_is_32_over_q(self):
+        specs = two_layer_specs()
+        assert compression_ratio(specs, {"a": 4, "b": 4}) == pytest.approx(8.0)
+        assert compression_ratio(specs, {"a": 2, "b": 2}) == pytest.approx(16.0)
+        assert compression_ratio(specs, {"a": 32, "b": 32}) == pytest.approx(1.0)
+
+    def test_average_bits(self):
+        assert average_bits_per_weight(two_layer_specs(), {"a": 4, "b": 2}) == pytest.approx(3.0)
+
+    def test_missing_layer_raises(self):
+        with pytest.raises(KeyError):
+            quantized_model_megabytes(two_layer_specs(), {"a": 4})
+
+    def test_summary_fields_consistent(self):
+        summary = compression_summary(two_layer_specs(), {"a": 4, "b": 2})
+        assert summary.total_params == 2 ** 21
+        assert summary.compression_ratio_fp16 == pytest.approx(summary.compression_ratio_fp32 / 2.0)
+        assert summary.average_bits == pytest.approx(3.0)
+        assert summary.bits_by_layer == {"a": 4, "b": 2}
+
+
+class TestPaperCrossCheck:
+    """Check the storage model against the paper's Table I VGG16 rows."""
+
+    PAPER_VGG16_ROW1 = [16, 4, 4, 4, 4, 4, 4, 4, 4, 4, 2, 2, 2, 2, 4, 16]  # 10.5x
+    PAPER_VGG16_ROW2 = [16, 4, 2, 4, 4, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 16]  # 15.4x
+
+    def _paper_ratio(self, bit_vector):
+        model = vgg16(num_classes=10, seed=0)  # full-width, CIFAR-10 head
+        specs = model.layer_specs()
+        order = model.main_layer_names()
+        bits = {name: bit for name, bit in zip(order, bit_vector)}
+        return compression_ratio(specs, bits)
+
+    def test_row1_ratio_close_to_paper(self):
+        """Paper reports 10.5x; the storage model should land within ~15%.
+
+        The residual difference comes from the classifier-head geometry
+        (the paper's exact FC sizes for CIFAR VGG16 are not specified).
+        """
+        ratio = self._paper_ratio(self.PAPER_VGG16_ROW1)
+        assert ratio == pytest.approx(10.5, rel=0.15)
+
+    def test_row2_ratio_close_to_paper(self):
+        ratio = self._paper_ratio(self.PAPER_VGG16_ROW2)
+        assert ratio == pytest.approx(15.4, rel=0.15)
+
+    def test_row2_compresses_more_than_row1(self):
+        assert self._paper_ratio(self.PAPER_VGG16_ROW2) > self._paper_ratio(self.PAPER_VGG16_ROW1)

@@ -1,0 +1,108 @@
+"""Fig. 2 data extraction and bit-assignment evolution analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    Fig2Data,
+    assignment_evolution,
+    extract_fig2_data,
+    layers_changed_between,
+)
+from repro.core.sensitivity import EnbgSnapshot
+
+
+def make_snapshots():
+    return [
+        EnbgSnapshot(epoch=19, interval_index=0, enbg={"a": 4.0, "b": 2.0, "c": 1.0}),
+        EnbgSnapshot(epoch=39, interval_index=1, enbg={"a": 1.0, "b": 2.0, "c": 4.0}),
+    ]
+
+
+class TestExtractFig2Data:
+    def test_shapes_and_normalization(self):
+        data = extract_fig2_data(make_snapshots())
+        assert data.layer_names == ["a", "b", "c"]
+        assert data.epochs == [19, 39]
+        assert data.normalized_enbg.shape == (2, 3)
+        np.testing.assert_allclose(data.normalized_enbg[0], [1.0, 0.5, 0.25])
+        np.testing.assert_allclose(data.raw_enbg[1], [1.0, 2.0, 4.0])
+
+    def test_explicit_layer_order(self):
+        data = extract_fig2_data(make_snapshots(), layer_order=["c", "a", "b"])
+        np.testing.assert_allclose(data.raw_enbg[0], [1.0, 4.0, 2.0])
+
+    def test_series_keys_match_paper_legend(self):
+        series = extract_fig2_data(make_snapshots()).series()
+        assert set(series) == {"ep20", "ep40"}
+        assert len(series["ep20"]) == 3
+
+    def test_render_contains_all_series(self):
+        text = extract_fig2_data(make_snapshots()).render()
+        assert "ep20" in text and "ep40" in text
+
+    def test_rank_correlation_detects_reversal(self):
+        data = extract_fig2_data(make_snapshots())
+        assert data.rank_correlation(0, 0) == pytest.approx(1.0)
+        assert data.rank_correlation(0, 1) == pytest.approx(-1.0)
+
+    def test_most_sensitive_layers(self):
+        data = extract_fig2_data(make_snapshots())
+        assert data.most_sensitive_layers(0, top_k=2) == ["a", "b"]
+        assert data.most_sensitive_layers(1, top_k=1) == ["c"]
+
+    def test_zero_snapshot_rejected(self):
+        with pytest.raises(ValueError):
+            extract_fig2_data([])
+
+    def test_all_zero_snapshot_normalizes_to_zero(self):
+        snapshot = EnbgSnapshot(epoch=0, interval_index=0, enbg={"a": 0.0, "b": 0.0})
+        data = extract_fig2_data([snapshot])
+        np.testing.assert_allclose(data.normalized_enbg, 0.0)
+
+
+class TestAssignmentEvolution:
+    ASSIGNMENTS = [
+        (0, {"a": 4, "b": 4, "c": 16}),
+        (2, {"a": 4, "b": 2, "c": 16}),
+        (4, {"a": 2, "b": 4, "c": 16}),
+    ]
+
+    def test_per_layer_trajectories(self):
+        evolution = assignment_evolution(self.ASSIGNMENTS, ["a", "b", "c"])
+        assert evolution["a"] == [4, 4, 2]
+        assert evolution["b"] == [4, 2, 4]
+        assert evolution["c"] == [16, 16, 16]
+
+    def test_missing_layer_rejected(self):
+        with pytest.raises(KeyError):
+            assignment_evolution(self.ASSIGNMENTS, ["a", "missing"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            assignment_evolution([], ["a"])
+
+    def test_layers_changed_between(self):
+        changes = layers_changed_between(self.ASSIGNMENTS, 1, 2)
+        assert ("a", 4, 2) in changes and ("b", 2, 4) in changes
+        assert all(name != "c" for name, _b, _a in changes)
+
+    def test_layers_changed_index_validation(self):
+        with pytest.raises(IndexError):
+            layers_changed_between(self.ASSIGNMENTS, 0, 9)
+
+
+class TestIntegrationWithTrainerResult:
+    def test_fig2_from_real_run(self, tiny_model, tiny_train_loader, tiny_test_loader):
+        from repro.core import BMPQConfig, BMPQTrainer
+
+        config = BMPQConfig(
+            epochs=2, epoch_interval=1, lr_milestones=(5,), target_average_bits=5.0
+        )
+        result = BMPQTrainer(tiny_model, tiny_train_loader, tiny_test_loader, config).train()
+        data = extract_fig2_data(result.snapshots, layer_order=tiny_model.main_layer_names())
+        assert data.raw_enbg.shape[1] == len(tiny_model.main_layer_names())
+        evolution = assignment_evolution(result.assignments_over_time, tiny_model.main_layer_names())
+        assert all(len(track) == len(result.assignments_over_time) for track in evolution.values())

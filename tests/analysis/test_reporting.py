@@ -1,0 +1,95 @@
+"""Result-table and figure-data formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    ResultTable,
+    figure_series,
+    format_bit_vector,
+    table1_row,
+    table2_row,
+)
+
+
+class TestFormatting:
+    def test_format_bit_vector_matches_paper_style(self):
+        text = format_bit_vector([16, 4, 2, 16])
+        assert text == "[16, 4, 2, 16]"
+
+    def test_table1_row_fields(self):
+        row = table1_row(
+            dataset="CIFAR-10",
+            model="VGG16",
+            bit_vector=[16, 4, 16],
+            test_accuracy=0.9356,
+            compression_ratio=10.5,
+            paper_accuracy=93.56,
+            paper_compression=10.5,
+        )
+        assert row["dataset"] == "CIFAR-10"
+        assert row["test acc (%)"] == pytest.approx(93.56)
+        assert row["layer-wise bit width"] == "[16, 4, 16]"
+
+    def test_table1_row_full_precision(self):
+        row = table1_row("CIFAR-10", "VGG16", None, 0.939, 1.0)
+        assert row["layer-wise bit width"] == "Full precision"
+
+    def test_table2_row_fields(self):
+        row = table2_row(
+            model="VGG16",
+            dataset="CIFAR-10",
+            ad_accuracy=0.9162,
+            bmpq_accuracy=0.9228,
+            compression_improvement=2.1,
+            paper_ad_accuracy=91.62,
+            paper_bmpq_accuracy=92.28,
+            paper_compression_improvement=2.1,
+        )
+        assert row["AD acc (%)"] == pytest.approx(91.62)
+        assert row["improved compression"] == pytest.approx(2.1)
+
+
+class TestResultTable:
+    def _table(self):
+        table = ResultTable(title="Table I", columns=["dataset", "model", "acc"])
+        table.add_row(dataset="CIFAR-10", model="VGG16", acc=93.56)
+        table.add_row(dataset="CIFAR-10", model="ResNet18", acc=94.54)
+        return table
+
+    def test_render_contains_all_cells(self):
+        text = self._table().render()
+        assert "Table I" in text
+        assert "VGG16" in text and "ResNet18" in text
+        assert "93.56" in text and "94.54" in text
+
+    def test_unknown_column_rejected(self):
+        table = ResultTable(title="T", columns=["a"])
+        with pytest.raises(KeyError):
+            table.add_row(b=1)
+
+    def test_to_dicts_roundtrip(self):
+        dicts = self._table().to_dicts()
+        assert dicts[0]["model"] == "VGG16"
+        assert len(dicts) == 2
+
+    def test_render_empty_table(self):
+        table = ResultTable(title="empty", columns=["x", "y"])
+        text = table.render()
+        assert "empty" in text and "x" in text
+
+
+class TestFigureSeries:
+    def test_renders_all_series(self):
+        text = figure_series(
+            name="Fig. 2(a)",
+            x_label="layer",
+            y_label="ENBG",
+            x_values=[1, 2, 3],
+            series={"ep20": [0.1, 0.2, 0.3], "ep40": [0.3, 0.2, 0.1]},
+        )
+        assert "Fig. 2(a)" in text
+        assert "ep20" in text and "ep40" in text
+        assert "0.3" in text
+        assert len(text.splitlines()) == 5

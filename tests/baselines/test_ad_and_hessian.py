@@ -1,0 +1,103 @@
+"""Activation-density (AD) baseline and Hessian-trace sensitivity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    QATConfig,
+    activation_density_assignment,
+    density_to_bits,
+    hessian_assignment,
+    hessian_trace_sensitivity,
+    measure_activation_density,
+    train_ad_baseline,
+)
+from repro.models import simple_cnn
+
+
+class TestDensityMeasurement:
+    def test_densities_in_unit_interval(self, tiny_model, tiny_train_loader):
+        densities = measure_activation_density(tiny_model, tiny_train_loader, max_batches=2)
+        assert set(densities) == set(tiny_model.quantizable_layers())
+        assert all(0.0 <= value <= 1.0 for value in densities.values())
+
+    def test_pinned_layers_report_full_density(self, tiny_model, tiny_train_loader):
+        densities = measure_activation_density(tiny_model, tiny_train_loader, max_batches=1)
+        assert densities["conv0"] == 1.0
+        assert densities["classifier"] == 1.0
+
+    def test_recording_disabled_after_measurement(self, tiny_model, tiny_train_loader):
+        measure_activation_density(tiny_model, tiny_train_loader, max_batches=1)
+        for layer in tiny_model.quantizable_layers().values():
+            if layer.activation is not None:
+                assert not layer.activation.record_density
+
+
+class TestDensityToBits:
+    def test_densest_layers_get_most_bits(self):
+        densities = {"a": 0.9, "b": 0.5, "c": 0.1, "d": 0.7}
+        bits = density_to_bits(densities, (4, 2), ["a", "b", "c", "d"])
+        assert bits["a"] == 4 and bits["d"] == 4
+        assert bits["b"] == 2 and bits["c"] == 2
+
+    def test_three_level_support(self):
+        densities = {name: value for name, value in zip("abcdef", [0.9, 0.8, 0.6, 0.5, 0.2, 0.1])}
+        bits = density_to_bits(densities, (8, 4, 2), list("abcdef"))
+        assert bits["a"] == 8 and bits["f"] == 2
+
+    def test_empty_free_layers(self):
+        assert density_to_bits({"a": 0.5}, (4, 2), []) == {}
+
+    def test_empty_support_rejected(self):
+        with pytest.raises(ValueError):
+            density_to_bits({"a": 0.5}, (), ["a"])
+
+
+class TestADBaseline:
+    def test_assignment_covers_all_layers(self, tiny_model, tiny_train_loader):
+        result = activation_density_assignment(tiny_model, tiny_train_loader, max_batches=2)
+        assert set(result.bits_by_layer) == set(tiny_model.quantizable_layers())
+        assert result.bits_by_layer["conv0"] == 16
+        for name, layer in tiny_model.quantizable_layers().items():
+            if not layer.pinned:
+                assert result.bits_by_layer[name] in (2, 4)
+
+    def test_single_shot_training_runs(self, tiny_train_loader, tiny_test_loader):
+        model = simple_cnn(num_classes=4, input_size=12, channels=4, seed=0)
+        config = QATConfig(epochs=1, lr_milestones=(10,))
+        result, ad = train_ad_baseline(
+            model, tiny_train_loader, tiny_test_loader, calibration_batches=1, config=config
+        )
+        assert result.bits_by_layer == ad.bits_by_layer
+        assert 0.0 <= result.final_test_accuracy <= 1.0
+
+
+class TestHessianSensitivity:
+    def test_returns_finite_values_for_every_layer(self, tiny_model, tiny_train_loader):
+        traces = hessian_trace_sensitivity(tiny_model, tiny_train_loader, num_probes=1, max_batches=1)
+        assert set(traces) == set(tiny_model.quantizable_layers())
+        assert all(np.isfinite(value) for value in traces.values())
+
+    def test_weights_restored_after_estimation(self, tiny_model, tiny_train_loader):
+        before = {name: layer.weight.data.copy() for name, layer in tiny_model.quantizable_layers().items()}
+        hessian_trace_sensitivity(tiny_model, tiny_train_loader, num_probes=1, max_batches=1)
+        for name, layer in tiny_model.quantizable_layers().items():
+            np.testing.assert_array_equal(layer.weight.data, before[name])
+
+    def test_empty_loader_rejected(self, tiny_model, tiny_train_dataset):
+        from repro.data import DataLoader
+
+        empty_loader = DataLoader(tiny_train_dataset, batch_size=8)
+        with pytest.raises(ValueError):
+            hessian_trace_sensitivity(tiny_model, empty_loader, max_batches=0)
+
+    def test_hessian_assignment_respects_budget_and_pinning(self, tiny_model, tiny_train_loader):
+        bits = hessian_assignment(
+            tiny_model, tiny_train_loader, target_average_bits=5.0, num_probes=1, max_batches=1
+        )
+        assert bits["conv0"] == 16 and bits["classifier"] == 16
+        specs = tiny_model.layer_specs()
+        total_bits = sum(spec.num_params * bits[spec.name] for spec in specs)
+        assert total_bits <= sum(spec.num_params for spec in specs) * 5.0 + 1e-6

@@ -1,0 +1,83 @@
+"""Fixed-assignment QAT trainer, FP-32 baseline and HPQ baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    FixedAssignmentTrainer,
+    QATConfig,
+    homogeneous_assignment,
+    train_fp32_baseline,
+    train_hpq_baseline,
+)
+from repro.models import simple_cnn
+
+
+def quick_config(**overrides) -> QATConfig:
+    base = dict(epochs=2, learning_rate=0.05, lr_milestones=(10,), evaluate_every_epoch=True)
+    base.update(overrides)
+    return QATConfig(**base)
+
+
+class TestFixedAssignmentTrainer:
+    def test_missing_layer_in_assignment_rejected(self, tiny_model, tiny_train_loader, tiny_test_loader):
+        with pytest.raises(ValueError):
+            FixedAssignmentTrainer(tiny_model, tiny_train_loader, tiny_test_loader, {"conv1": 4}, quick_config())
+
+    def test_assignment_applied_and_never_changed(self, tiny_model, tiny_train_loader, tiny_test_loader):
+        assignment = {"conv0": 16, "conv1": 2, "conv2": 4, "fc1": 2, "classifier": 16}
+        trainer = FixedAssignmentTrainer(tiny_model, tiny_train_loader, tiny_test_loader, assignment, quick_config())
+        result = trainer.train()
+        assert result.bits_by_layer == assignment
+        assert tiny_model.current_assignment() == assignment
+        assert all(not record.reassigned for record in result.history)
+
+    def test_history_and_accuracy_recorded(self, tiny_model, tiny_train_loader, tiny_test_loader):
+        assignment = {name: (16 if layer.pinned else 4) for name, layer in tiny_model.quantizable_layers().items()}
+        result = FixedAssignmentTrainer(
+            tiny_model, tiny_train_loader, tiny_test_loader, assignment, quick_config()
+        ).train()
+        assert len(result.history) == 2
+        assert 0.0 <= result.final_test_accuracy <= 1.0
+        assert result.accuracy_at_epoch(0) is not None
+
+
+class TestFP32Baseline:
+    def test_compression_ratio_is_one(self, tiny_train_loader, tiny_test_loader):
+        model = simple_cnn(num_classes=4, input_size=12, channels=4, seed=0)
+        result = train_fp32_baseline(model, tiny_train_loader, tiny_test_loader, quick_config(epochs=1))
+        assert result.compression.compression_ratio_fp32 == pytest.approx(1.0)
+        assert all(bits == 32 for bits in result.bits_by_layer.values())
+
+    def test_weights_are_not_quantized(self, tiny_train_loader, tiny_test_loader):
+        model = simple_cnn(num_classes=4, input_size=12, channels=4, seed=0)
+        train_fp32_baseline(model, tiny_train_loader, tiny_test_loader, quick_config(epochs=1))
+        layer = model.quantizable_layers()["conv1"]
+        qweight, info = layer.quantized_weight()
+        np.testing.assert_array_equal(qweight.data, layer.weight.data)
+        assert info.scale == 1.0
+
+
+class TestHPQBaseline:
+    def test_homogeneous_assignment_respects_pinning(self, tiny_model):
+        assignment = homogeneous_assignment(tiny_model, 2)
+        assert assignment["conv0"] == 16 and assignment["classifier"] == 16
+        assert assignment["conv1"] == 2 and assignment["fc1"] == 2
+
+    def test_homogeneous_assignment_without_pinning(self, tiny_model):
+        assignment = homogeneous_assignment(tiny_model, 4, pin_first_last=False)
+        assert set(assignment.values()) == {4}
+
+    def test_invalid_bits_rejected(self, tiny_model):
+        with pytest.raises(ValueError):
+            homogeneous_assignment(tiny_model, 1)
+
+    def test_hpq_training_compression_exceeds_mixed_minimum(self, tiny_train_loader, tiny_test_loader):
+        model = simple_cnn(num_classes=4, input_size=12, channels=4, seed=0)
+        result = train_hpq_baseline(model, tiny_train_loader, tiny_test_loader, bits=2, config=quick_config(epochs=1))
+        # 2-bit homogeneous gives a higher compression ratio than 4-bit.
+        model4 = simple_cnn(num_classes=4, input_size=12, channels=4, seed=0)
+        result4 = train_hpq_baseline(model4, tiny_train_loader, tiny_test_loader, bits=4, config=quick_config(epochs=1))
+        assert result.compression.compression_ratio_fp32 > result4.compression.compression_ratio_fp32

@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite.
+
+All fixtures are deliberately tiny (few samples, small images, narrow models)
+so the full suite runs quickly on CPU while still exercising every code path
+of the library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import DataLoader, SyntheticImageClassification
+from repro.models import simple_cnn
+
+
+NUMERIC_RTOL = 1e-3
+NUMERIC_ATOL = 1e-4
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator for test-local randomness."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def tiny_train_dataset() -> SyntheticImageClassification:
+    return SyntheticImageClassification(96, num_classes=4, image_size=12, seed=7)
+
+
+@pytest.fixture
+def tiny_test_dataset() -> SyntheticImageClassification:
+    return SyntheticImageClassification(48, num_classes=4, image_size=12, seed=7 + 10_000)
+
+
+@pytest.fixture
+def tiny_train_loader(tiny_train_dataset) -> DataLoader:
+    return DataLoader(tiny_train_dataset, batch_size=32, shuffle=True, seed=3)
+
+
+@pytest.fixture
+def tiny_test_loader(tiny_test_dataset) -> DataLoader:
+    return DataLoader(tiny_test_dataset, batch_size=32, shuffle=False, seed=4)
+
+
+@pytest.fixture
+def tiny_model():
+    """A 5-layer quantizable CNN matched to the tiny datasets."""
+    return simple_cnn(num_classes=4, input_size=12, channels=4, seed=0)
+
+
+def numeric_gradient(fn, array: np.ndarray, index, eps: float = 1e-3) -> float:
+    """Central finite-difference derivative of ``fn`` w.r.t. ``array[index]``."""
+    original = array[index]
+    array[index] = original + eps
+    plus = fn()
+    array[index] = original - eps
+    minus = fn()
+    array[index] = original
+    return (plus - minus) / (2.0 * eps)

@@ -1,0 +1,118 @@
+"""Bit-gradient matrix, NBG closed form, and per-layer collection (Eq. 6-7)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import (
+    bit_gradient_matrix,
+    collect_layer_bit_gradients,
+    layer_nbg_from_grad,
+    normalized_bit_gradient,
+)
+from repro.nn import Tensor
+from repro.quant import QConv2d, QLinear
+
+
+class TestBitGradientMatrix:
+    def test_matrix_shape(self, rng):
+        grad = rng.standard_normal((4, 3)).astype(np.float32)
+        matrix = bit_gradient_matrix(grad, scale=0.1, qmax=4)
+        assert matrix.shape == (12, 4)
+
+    def test_columns_are_scaled_weight_gradients(self):
+        grad = np.array([2.0, -1.0])
+        matrix = bit_gradient_matrix(grad, scale=0.5, qmax=3)
+        # Positional weights for 3 bits: [-4, 2, 1] scaled by 0.5.
+        np.testing.assert_allclose(matrix[0], [2.0 * -2.0, 2.0 * 1.0, 2.0 * 0.5])
+        np.testing.assert_allclose(matrix[1], [-1.0 * -2.0, -1.0 * 1.0, -1.0 * 0.5])
+
+    def test_nbg_of_known_matrix(self):
+        grad = np.array([1.0, -1.0])
+        matrix = bit_gradient_matrix(grad, scale=1.0, qmax=2)
+        # Positional weights [-2, 1]; per-weight |.| sum = 3 for both weights.
+        assert normalized_bit_gradient(matrix) == pytest.approx(3.0)
+
+    def test_nbg_empty_matrix(self):
+        assert normalized_bit_gradient(np.zeros((0, 4))) == 0.0
+
+    def test_closed_form_matches_explicit_matrix(self, rng):
+        grad = rng.standard_normal((5, 7)).astype(np.float32)
+        scale = 0.037
+        qmax = 4
+        explicit = normalized_bit_gradient(bit_gradient_matrix(grad, scale, qmax))
+        closed = layer_nbg_from_grad(grad, scale, qmax)
+        assert closed == pytest.approx(explicit, rel=1e-10)
+
+    def test_closed_form_scaling_with_qmax(self):
+        grad = np.ones(10)
+        # Positional |.| sum is (2^q - 1) * scale.
+        assert layer_nbg_from_grad(grad, 1.0, 2) == pytest.approx(3.0)
+        assert layer_nbg_from_grad(grad, 1.0, 4) == pytest.approx(15.0)
+        assert layer_nbg_from_grad(grad, 0.5, 4) == pytest.approx(7.5)
+
+    def test_empty_gradient(self):
+        assert layer_nbg_from_grad(np.zeros(0), 1.0, 4) == 0.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        grad=hnp.arrays(
+            np.float64,
+            st.integers(1, 50),
+            elements=st.floats(-5, 5, allow_nan=False),
+        ),
+        scale=st.floats(1e-3, 2.0),
+        qmax=st.integers(2, 8),
+    )
+    def test_property_closed_form_equals_matrix(self, grad, scale, qmax):
+        explicit = normalized_bit_gradient(bit_gradient_matrix(grad, scale, qmax))
+        closed = layer_nbg_from_grad(grad, scale, qmax)
+        assert closed == pytest.approx(explicit, rel=1e-9, abs=1e-12)
+
+    def test_nbg_nonnegative_and_monotone_in_gradient_magnitude(self, rng):
+        grad = rng.standard_normal(100)
+        small = layer_nbg_from_grad(grad, 0.1, 4)
+        large = layer_nbg_from_grad(grad * 10.0, 0.1, 4)
+        assert small >= 0
+        assert large == pytest.approx(small * 10.0, rel=1e-9)
+
+
+class TestCollectLayerBitGradients:
+    def _run_backward(self, layers, rng):
+        x = Tensor(rng.standard_normal((2, 2, 6, 6)).astype(np.float32))
+        out = layers["conv"](x)
+        out = out.flatten(1)
+        out = layers["fc"](out)
+        out.sum().backward()
+
+    def test_collects_every_layer(self, rng):
+        conv = QConv2d(2, 3, 3, padding=1, bits=4, rng=rng)
+        fc = QLinear(3 * 36, 5, bits=2, rng=rng)
+        layers = {"conv": conv, "fc": fc}
+        self._run_backward(layers, rng)
+        results = collect_layer_bit_gradients(layers, qmax=4)
+        assert [r.layer_name for r in results] == ["conv", "fc"]
+        assert all(r.nbg >= 0 for r in results)
+        assert results[0].bits == 4 and results[1].bits == 2
+        assert results[0].num_weights == conv.num_weight_params
+
+    def test_exact_and_fast_paths_agree(self, rng):
+        conv = QConv2d(1, 2, 3, padding=1, bits=4, rng=rng)
+        fc = QLinear(2 * 16, 3, bits=4, rng=rng)
+        layers = {"conv": conv, "fc": fc}
+        x = Tensor(rng.standard_normal((1, 1, 4, 4)).astype(np.float32))
+        fc(conv(x).flatten(1)).sum().backward()
+        fast = collect_layer_bit_gradients(layers, qmax=4, exact=False)
+        exact = collect_layer_bit_gradients(layers, qmax=4, exact=True)
+        for a, b in zip(fast, exact):
+            assert a.nbg == pytest.approx(b.nbg, rel=1e-9)
+
+    def test_requires_backward_pass(self, rng):
+        conv = QConv2d(1, 1, 3, bits=4, rng=rng)
+        conv(Tensor(rng.standard_normal((1, 1, 4, 4)).astype(np.float32)))
+        with pytest.raises(RuntimeError):
+            collect_layer_bit_gradients({"conv": conv}, qmax=4)

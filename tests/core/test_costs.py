@@ -1,0 +1,164 @@
+"""Hardware cost models for the generic Φ of Eq. (9): memory, BitOPs, energy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BitOpsCost,
+    BitWidthPolicy,
+    EnergyCost,
+    LayerSpec,
+    MemoryCost,
+    budget_from_fraction,
+    conv_macs,
+)
+from repro.models import simple_cnn
+
+
+def specs():
+    return [
+        LayerSpec("first", 100, pinned=True, pinned_bits=16),
+        LayerSpec("big", 10_000),
+        LayerSpec("small", 1_000),
+        LayerSpec("last", 200, pinned=True, pinned_bits=16),
+    ]
+
+
+MACS = {"first": 1e4, "big": 8e6, "small": 5e5, "last": 1e4}
+
+
+class TestMemoryCost:
+    def test_layer_cost_is_param_bits(self):
+        model = MemoryCost()
+        assert model.layer_cost(specs()[1], 4) == 40_000
+
+    def test_total_cost(self):
+        model = MemoryCost()
+        bits = {"first": 16, "big": 2, "small": 4, "last": 16}
+        expected = 100 * 16 + 10_000 * 2 + 1_000 * 4 + 200 * 16
+        assert model.total_cost(specs(), bits) == pytest.approx(expected)
+
+
+class TestBitOpsCost:
+    def test_cost_quadratic_when_activations_follow_weights(self):
+        model = BitOpsCost(macs_by_layer=MACS)
+        assert model.layer_cost(specs()[1], 4) == pytest.approx(8e6 * 16)
+        assert model.layer_cost(specs()[1], 2) == pytest.approx(8e6 * 4)
+
+    def test_fixed_activation_bits(self):
+        model = BitOpsCost(macs_by_layer=MACS, activation_bits_follow_weights=False, activation_bits=8)
+        assert model.layer_cost(specs()[1], 4) == pytest.approx(8e6 * 32)
+
+    def test_missing_mac_count_raises(self):
+        model = BitOpsCost(macs_by_layer={"big": 1.0})
+        with pytest.raises(KeyError):
+            model.layer_cost(specs()[2], 4)
+
+    def test_conv_macs_helper(self):
+        # 32x32 output, 64 out channels, 3 in channels, 3x3 kernel.
+        assert conv_macs(32, 64, 3, 3) == pytest.approx(32 * 32 * 64 * 3 * 9)
+
+
+class TestEnergyCost:
+    def test_energy_increases_with_bits(self):
+        model = EnergyCost(macs_by_layer=MACS)
+        assert model.layer_cost(specs()[1], 4) > model.layer_cost(specs()[1], 2)
+
+    def test_energy_has_compute_and_traffic_terms(self):
+        model = EnergyCost(macs_by_layer=MACS, mac_energy_per_bit2=1.0, dram_energy_per_bit=0.0)
+        compute_only = model.layer_cost(specs()[1], 2)
+        assert compute_only == pytest.approx(8e6 * 4)
+        model = EnergyCost(macs_by_layer=MACS, mac_energy_per_bit2=0.0, dram_energy_per_bit=1.0)
+        traffic_only = model.layer_cost(specs()[1], 2)
+        assert traffic_only == pytest.approx(10_000 * 2)
+
+
+class TestBudgetFromFraction:
+    def test_full_fraction_covers_max_precision(self):
+        model = MemoryCost()
+        budget = budget_from_fraction(model, specs(), 1.0, max_bits=4)
+        reference = {"first": 16, "big": 4, "small": 4, "last": 16}
+        assert budget == pytest.approx(model.total_cost(specs(), reference))
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            budget_from_fraction(MemoryCost(), specs(), 0.0)
+
+
+class TestPolicyWithCostModels:
+    def test_bitops_budget_drives_assignment(self):
+        cost_model = BitOpsCost(macs_by_layer=MACS)
+        budget = budget_from_fraction(cost_model, specs(), 0.6, max_bits=4)
+        policy = BitWidthPolicy(specs(), support_bits=(4, 2), cost_model=cost_model, cost_budget=budget)
+        bits, result = policy.assign({"first": 0, "big": 1.0, "small": 0.9, "last": 0})
+        assert result.total_cost <= budget + 1e-6
+        assert bits["first"] == 16 and bits["last"] == 16
+        assert set(bits[name] for name in ("big", "small")).issubset({2, 4})
+
+    def test_cost_model_requires_budget(self):
+        with pytest.raises(ValueError):
+            BitWidthPolicy(specs(), cost_model=MemoryCost())
+
+    def test_cost_model_excludes_memory_budget_arguments(self):
+        with pytest.raises(ValueError):
+            BitWidthPolicy(
+                specs(), cost_model=MemoryCost(), cost_budget=1e9, target_average_bits=4.0
+            )
+
+    def test_memory_cost_model_equals_legacy_budget(self):
+        """Explicit MemoryCost + budget matches the budget_bits path exactly."""
+        legacy = BitWidthPolicy(specs(), budget_bits=60_000.0)
+        explicit = BitWidthPolicy(specs(), cost_model=MemoryCost(), cost_budget=60_000.0)
+        enbg = {"first": 0, "big": 0.7, "small": 0.4, "last": 0}
+        legacy_bits, _ = legacy.assign(enbg)
+        explicit_bits, _ = explicit.assign(enbg)
+        assert legacy_bits == explicit_bits
+
+    def test_bitops_vs_memory_can_disagree(self):
+        """A compute budget favours small-MAC layers; a memory budget favours small-param layers."""
+        local_specs = [
+            LayerSpec("first", 10, pinned=True, pinned_bits=16),
+            # Few parameters but many MACs (early conv layer).
+            LayerSpec("early", 1_000),
+            # Many parameters but few MACs (late fully connected layer).
+            LayerSpec("late", 100_000),
+            LayerSpec("last", 10, pinned=True, pinned_bits=16),
+        ]
+        macs = {"first": 1e4, "early": 5e8, "late": 1e5, "last": 1e4}
+        enbg = {"first": 0, "early": 0.5, "late": 0.5, "last": 0}
+
+        memory_budget = MemoryCost().total_cost(local_specs, {"first": 16, "early": 2, "late": 4, "last": 16})
+        memory_policy = BitWidthPolicy(local_specs, cost_model=MemoryCost(), cost_budget=memory_budget)
+        memory_bits, _ = memory_policy.assign(enbg)
+
+        bitops_model = BitOpsCost(macs_by_layer=macs)
+        bitops_budget = bitops_model.total_cost(local_specs, {"first": 16, "early": 2, "late": 4, "last": 16})
+        bitops_policy = BitWidthPolicy(local_specs, cost_model=bitops_model, cost_budget=bitops_budget)
+        bitops_bits, _ = bitops_policy.assign(enbg)
+
+        # Under the memory budget the cheap-to-store early layer gets 4 bits;
+        # under the compute budget it is the expensive one and gets 2 bits.
+        assert memory_bits["early"] == 4
+        assert bitops_bits["early"] == 2
+        assert bitops_bits["late"] == 4
+
+
+class TestModelMacEstimation:
+    def test_estimate_macs_covers_all_layers(self):
+        model = simple_cnn(num_classes=4, input_size=12, channels=4, seed=0)
+        macs = model.estimate_macs((3, 12, 12))
+        assert set(macs) == set(model.quantizable_layers())
+        assert all(value > 0 for value in macs.values())
+        # conv1 operates on a 6x6 map with 4->8 channels and 3x3 kernels.
+        assert macs["conv1"] == pytest.approx(6 * 6 * 8 * 4 * 9)
+        # The classifier is a plain matrix multiply.
+        assert macs["classifier"] == pytest.approx(16 * 4)
+
+    def test_macs_require_forward_for_conv(self):
+        from repro.quant import QConv2d
+
+        conv = QConv2d(1, 2, 3, rng=np.random.default_rng(0))
+        with pytest.raises(RuntimeError):
+            conv.macs_per_sample()

@@ -1,0 +1,165 @@
+"""ILP bit-width assignment: all solver backends, optimality, edge cases."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AssignmentProblem,
+    InfeasibleBudgetError,
+    LayerChoices,
+    solve_bit_assignment,
+    solve_branch_and_bound,
+    solve_brute_force,
+    solve_greedy,
+    solve_scipy_milp,
+)
+
+
+def make_problem(num_layers, budget_fraction, seed=0, bit_options=(2, 4)):
+    """Random MCKP instance with ENBG-like values and parameter-bit costs."""
+    rng = np.random.default_rng(seed)
+    layers = []
+    for index in range(num_layers):
+        params = int(rng.integers(10, 500))
+        enbg = float(rng.random())
+        layers.append(
+            LayerChoices(
+                name=f"layer{index}",
+                bit_options=tuple(bit_options),
+                values=tuple(enbg * b for b in bit_options),
+                costs=tuple(float(params * b) for b in bit_options),
+            )
+        )
+    min_cost = sum(min(l.costs) for l in layers)
+    max_cost = sum(max(l.costs) for l in layers)
+    budget = min_cost + budget_fraction * (max_cost - min_cost)
+    return AssignmentProblem(layers, budget=budget)
+
+
+class TestProblemValidation:
+    def test_layer_choices_validation(self):
+        with pytest.raises(ValueError):
+            LayerChoices("x", (), (), ())
+        with pytest.raises(ValueError):
+            LayerChoices("x", (2, 4), (1.0,), (2.0, 4.0))
+        with pytest.raises(ValueError):
+            LayerChoices("x", (2,), (1.0,), (-1.0,))
+
+    def test_problem_validation(self):
+        layer = LayerChoices("x", (2,), (1.0,), (2.0,))
+        with pytest.raises(ValueError):
+            AssignmentProblem([], budget=10)
+        with pytest.raises(ValueError):
+            AssignmentProblem([layer], budget=0)
+
+    def test_infeasible_budget_detected(self):
+        layer = LayerChoices("x", (2, 4), (1.0, 2.0), (100.0, 200.0))
+        problem = AssignmentProblem([layer], budget=50.0)
+        with pytest.raises(InfeasibleBudgetError):
+            solve_branch_and_bound(problem)
+
+    def test_min_max_cost(self):
+        problem = make_problem(4, 0.5, seed=1)
+        assert problem.min_cost < problem.max_cost
+
+
+class TestSolverAgreement:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("budget_fraction", [0.0, 0.3, 0.7, 1.0])
+    def test_branch_and_bound_matches_brute_force(self, seed, budget_fraction):
+        problem = make_problem(7, budget_fraction, seed=seed)
+        exact = solve_brute_force(problem)
+        bnb = solve_branch_and_bound(problem)
+        assert bnb.total_value == pytest.approx(exact.total_value, rel=1e-9)
+        assert bnb.total_cost <= problem.budget + 1e-6
+        assert bnb.optimal
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_scipy_matches_brute_force(self, seed):
+        problem = make_problem(6, 0.5, seed=seed)
+        exact = solve_brute_force(problem)
+        milp = solve_scipy_milp(problem)
+        assert milp.total_value == pytest.approx(exact.total_value, rel=1e-7)
+
+    def test_three_choice_layers(self):
+        problem = make_problem(6, 0.5, seed=9, bit_options=(2, 4, 8))
+        exact = solve_brute_force(problem)
+        bnb = solve_branch_and_bound(problem)
+        assert bnb.total_value == pytest.approx(exact.total_value, rel=1e-9)
+
+    def test_greedy_is_feasible_and_not_better_than_optimal(self):
+        problem = make_problem(10, 0.4, seed=2)
+        greedy = solve_greedy(problem)
+        optimal = solve_branch_and_bound(problem)
+        assert greedy.total_cost <= problem.budget + 1e-6
+        assert greedy.total_value <= optimal.total_value + 1e-9
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), fraction=st.floats(0.0, 1.0))
+    def test_property_bnb_optimal_and_feasible(self, seed, fraction):
+        problem = make_problem(5, fraction, seed=seed)
+        exact = solve_brute_force(problem)
+        bnb = solve_branch_and_bound(problem)
+        assert bnb.total_value == pytest.approx(exact.total_value, rel=1e-9)
+        assert bnb.total_cost <= problem.budget + 1e-6
+
+
+class TestBehaviour:
+    def test_tight_budget_selects_all_minimum_bits(self):
+        problem = make_problem(6, 0.0, seed=3)
+        result = solve_branch_and_bound(problem)
+        assert all(bits == 2 for bits in result.bits_by_layer.values())
+
+    def test_loose_budget_selects_all_maximum_bits(self):
+        problem = make_problem(6, 1.0, seed=3)
+        result = solve_branch_and_bound(problem)
+        assert all(bits == 4 for bits in result.bits_by_layer.values())
+
+    def test_higher_sensitivity_layer_wins_the_upgrade(self):
+        # Two identical-size layers, budget allows upgrading exactly one.
+        layers = [
+            LayerChoices("low", (2, 4), (0.1 * 2, 0.1 * 4), (200.0, 400.0)),
+            LayerChoices("high", (2, 4), (0.9 * 2, 0.9 * 4), (200.0, 400.0)),
+        ]
+        problem = AssignmentProblem(layers, budget=600.0)
+        result = solve_branch_and_bound(problem)
+        assert result.bits_by_layer["high"] == 4
+        assert result.bits_by_layer["low"] == 2
+
+    def test_single_choice_layers_are_respected(self):
+        layers = [
+            LayerChoices("pinned", (16,), (1.6,), (1600.0,)),
+            LayerChoices("free", (2, 4), (0.2, 0.4), (100.0, 200.0)),
+        ]
+        problem = AssignmentProblem(layers, budget=1800.0)
+        result = solve_branch_and_bound(problem)
+        assert result.bits_by_layer["pinned"] == 16
+        assert result.bits_by_layer["free"] == 4
+
+    def test_bit_vector_ordering(self):
+        problem = make_problem(4, 1.0, seed=0)
+        result = solve_branch_and_bound(problem)
+        order = [layer.name for layer in problem.layers]
+        vector = result.bit_vector(order)
+        assert vector == [result.bits_by_layer[name] for name in order]
+
+    def test_dispatcher_methods(self):
+        problem = make_problem(5, 0.5, seed=4)
+        for method in ("auto", "branch_and_bound", "scipy", "greedy", "brute_force"):
+            result = solve_bit_assignment(problem, method=method)
+            assert result.total_cost <= problem.budget + 1e-6
+        with pytest.raises(ValueError):
+            solve_bit_assignment(problem, method="magic")
+
+    def test_zero_sensitivity_layers_prefer_cheap_bits_under_pressure(self):
+        layers = [
+            LayerChoices("dead", (2, 4), (0.0, 0.0), (500.0, 1000.0)),
+            LayerChoices("alive", (2, 4), (1.0 * 2, 1.0 * 4), (500.0, 1000.0)),
+        ]
+        problem = AssignmentProblem(layers, budget=1500.0)
+        result = solve_branch_and_bound(problem)
+        assert result.bits_by_layer["alive"] == 4

@@ -1,0 +1,159 @@
+"""Bit-width policy: budgets, pinning, tying, ILP-problem construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BitWidthPolicy,
+    LayerSpec,
+    budget_from_average_bits,
+    budget_from_compression_ratio,
+    model_weight_bits,
+)
+
+
+def make_specs():
+    return [
+        LayerSpec("first", 100, pinned=True, pinned_bits=16),
+        LayerSpec("mid1", 1000),
+        LayerSpec("mid2", 2000),
+        LayerSpec("mid2.down", 50, tie_to="mid2"),
+        LayerSpec("last", 200, pinned=True, pinned_bits=16),
+    ]
+
+
+class TestBudgets:
+    def test_average_bits_budget(self):
+        specs = make_specs()
+        budget = budget_from_average_bits(specs, 4.0)
+        assert budget == pytest.approx(sum(s.num_params for s in specs) * 4.0)
+
+    def test_compression_ratio_budget(self):
+        specs = make_specs()
+        budget = budget_from_compression_ratio(specs, 8.0)
+        assert budget == pytest.approx(sum(s.num_params for s in specs) * 4.0)
+
+    def test_invalid_budgets(self):
+        specs = make_specs()
+        with pytest.raises(ValueError):
+            budget_from_average_bits(specs, 0.0)
+        with pytest.raises(ValueError):
+            budget_from_compression_ratio(specs, -1.0)
+
+    def test_model_weight_bits(self):
+        specs = [LayerSpec("a", 10), LayerSpec("b", 20)]
+        bits = {"a": 4, "b": 2}
+        assert model_weight_bits(specs, bits) == pytest.approx(10 * 4 + 20 * 2)
+
+
+class TestPolicyConstruction:
+    def test_exactly_one_budget_source_required(self):
+        specs = make_specs()
+        with pytest.raises(ValueError):
+            BitWidthPolicy(specs, target_average_bits=4.0, target_compression_ratio=8.0)
+        with pytest.raises(ValueError):
+            BitWidthPolicy(specs)
+
+    def test_unreachable_budget_rejected(self):
+        specs = make_specs()
+        # All free layers at 2 bits plus pinned at 16 already exceeds 1 bit/param.
+        with pytest.raises(ValueError):
+            BitWidthPolicy(specs, target_average_bits=1.0)
+
+    def test_unknown_tie_rejected(self):
+        specs = [LayerSpec("a", 10), LayerSpec("b", 10, tie_to="missing")]
+        with pytest.raises(ValueError):
+            BitWidthPolicy(specs, target_average_bits=4.0)
+
+    def test_chained_tie_rejected(self):
+        specs = [
+            LayerSpec("a", 10),
+            LayerSpec("b", 10, tie_to="a"),
+            LayerSpec("c", 10, tie_to="b"),
+        ]
+        with pytest.raises(ValueError):
+            BitWidthPolicy(specs, target_average_bits=4.0)
+
+    def test_support_bits_validation(self):
+        specs = make_specs()
+        with pytest.raises(ValueError):
+            BitWidthPolicy(specs, support_bits=(1, 4), target_average_bits=4.0)
+
+    def test_empty_layers_rejected(self):
+        with pytest.raises(ValueError):
+            BitWidthPolicy([], target_average_bits=4.0)
+
+    def test_describe_mentions_counts(self):
+        policy = BitWidthPolicy(make_specs(), target_average_bits=5.0)
+        text = policy.describe()
+        assert "pinned=2" in text and "tied=1" in text
+
+
+class TestDecisionGroups:
+    def test_tied_layers_grouped_with_leader_first(self):
+        policy = BitWidthPolicy(make_specs(), target_average_bits=5.0)
+        groups = policy.decision_groups()
+        names = [[spec.name for spec in group] for group in groups]
+        assert ["mid2", "mid2.down"] in names
+        assert ["first"] in names
+
+    def test_problem_has_one_choice_per_group(self):
+        policy = BitWidthPolicy(make_specs(), target_average_bits=5.0)
+        problem = policy.build_problem({spec.name: 1.0 for spec in make_specs()})
+        assert len(problem.layers) == 4  # first, mid1, mid2(+down), last
+
+    def test_pinned_groups_have_single_option(self):
+        policy = BitWidthPolicy(make_specs(), target_average_bits=5.0)
+        problem = policy.build_problem({spec.name: 1.0 for spec in make_specs()})
+        by_name = {layer.name: layer for layer in problem.layers}
+        assert by_name["first"].bit_options == (16,)
+        assert by_name["mid1"].bit_options == (4, 2)
+
+    def test_group_cost_includes_tied_member(self):
+        policy = BitWidthPolicy(make_specs(), target_average_bits=5.0)
+        problem = policy.build_problem({spec.name: 1.0 for spec in make_specs()})
+        by_name = {layer.name: layer for layer in problem.layers}
+        # mid2 group has 2000 + 50 params; 4-bit option cost = 2050 * 4.
+        assert by_name["mid2"].costs[0] == pytest.approx(2050 * 4)
+
+
+class TestAssignment:
+    def test_assignment_expands_to_tied_layers(self):
+        policy = BitWidthPolicy(make_specs(), target_average_bits=5.0)
+        enbg = {"first": 0.0, "mid1": 0.9, "mid2": 0.1, "mid2.down": 0.0, "last": 0.0}
+        bits, result = policy.assign(enbg)
+        assert bits["mid2.down"] == bits["mid2"]
+        assert bits["first"] == 16 and bits["last"] == 16
+        assert result.total_cost <= policy.budget_bits + 1e-6
+
+    def test_budget_drives_mix(self):
+        specs = make_specs()
+        enbg = {"first": 0.0, "mid1": 0.5, "mid2": 0.5, "mid2.down": 0.0, "last": 0.0}
+        tight = BitWidthPolicy(specs, target_average_bits=3.5)
+        loose = BitWidthPolicy(specs, target_average_bits=8.0)
+        tight_bits, _ = tight.assign(enbg)
+        loose_bits, _ = loose.assign(enbg)
+        tight_total = model_weight_bits(specs, tight_bits)
+        loose_total = model_weight_bits(specs, loose_bits)
+        assert tight_total <= loose_total
+        assert all(loose_bits[name] == 4 for name in ("mid1", "mid2"))
+
+    def test_higher_enbg_layer_gets_more_bits_under_tight_budget(self):
+        specs = [
+            LayerSpec("first", 10, pinned=True),
+            LayerSpec("a", 1000),
+            LayerSpec("b", 1000),
+            LayerSpec("last", 10, pinned=True),
+        ]
+        # Budget allows one of a/b at 4 bits.
+        budget = 10 * 16 * 2 + 1000 * 4 + 1000 * 2
+        policy = BitWidthPolicy(specs, budget_bits=float(budget))
+        bits, _ = policy.assign({"first": 0, "a": 0.9, "b": 0.2, "last": 0})
+        assert bits["a"] == 4 and bits["b"] == 2
+
+    def test_uniform_assignment_respects_pinning(self):
+        policy = BitWidthPolicy(make_specs(), target_average_bits=5.0)
+        uniform = policy.uniform_assignment(4)
+        assert uniform["first"] == 16 and uniform["mid1"] == 4

@@ -1,0 +1,89 @@
+"""Epoch-interval schedule: periodic, aperiodic and warm-up handling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import EpochIntervalSchedule
+
+
+class TestValidation:
+    def test_positive_total_epochs(self):
+        with pytest.raises(ValueError):
+            EpochIntervalSchedule(total_epochs=0)
+
+    def test_negative_warmup(self):
+        with pytest.raises(ValueError):
+            EpochIntervalSchedule(total_epochs=10, warmup_epochs=-1)
+
+    def test_warmup_must_leave_training_epochs(self):
+        with pytest.raises(ValueError):
+            EpochIntervalSchedule(total_epochs=5, warmup_epochs=5)
+
+    def test_positive_interval(self):
+        with pytest.raises(ValueError):
+            EpochIntervalSchedule(total_epochs=10, interval=0)
+
+    def test_aperiodic_lengths_positive(self):
+        with pytest.raises(ValueError):
+            EpochIntervalSchedule(total_epochs=10, intervals=[5, 0])
+
+
+class TestPeriodic:
+    def test_paper_configuration(self):
+        """200 epochs with ep_int=20: re-assignments every 20 epochs."""
+        schedule = EpochIntervalSchedule(total_epochs=200, interval=20)
+        expected = [19, 39, 59, 79, 99, 119, 139, 159, 179]
+        assert schedule.reassignment_epochs() == expected
+
+    def test_no_boundary_at_or_after_final_epoch(self):
+        schedule = EpochIntervalSchedule(total_epochs=40, interval=20)
+        assert schedule.reassignment_epochs() == [19]
+
+    def test_interval_one_reassigns_every_epoch(self):
+        schedule = EpochIntervalSchedule(total_epochs=5, interval=1)
+        assert schedule.reassignment_epochs() == [0, 1, 2, 3]
+
+    def test_is_reassignment_epoch(self):
+        schedule = EpochIntervalSchedule(total_epochs=10, interval=3)
+        assert schedule.is_reassignment_epoch(2)
+        assert not schedule.is_reassignment_epoch(3)
+
+    def test_interval_index_of(self):
+        schedule = EpochIntervalSchedule(total_epochs=12, interval=4)
+        assert schedule.interval_index_of(0) == 0
+        assert schedule.interval_index_of(3) == 0
+        assert schedule.interval_index_of(4) == 1
+        assert schedule.interval_index_of(11) == 2
+
+
+class TestWarmup:
+    def test_warmup_shifts_boundaries(self):
+        schedule = EpochIntervalSchedule(total_epochs=20, interval=5, warmup_epochs=3)
+        assert schedule.reassignment_epochs() == [7, 12, 17]
+
+    def test_is_warmup_epoch(self):
+        schedule = EpochIntervalSchedule(total_epochs=10, interval=2, warmup_epochs=2)
+        assert schedule.is_warmup_epoch(0) and schedule.is_warmup_epoch(1)
+        assert not schedule.is_warmup_epoch(2)
+
+    def test_warmup_epochs_have_interval_minus_one(self):
+        schedule = EpochIntervalSchedule(total_epochs=10, interval=2, warmup_epochs=2)
+        assert schedule.interval_index_of(0) == -1
+        assert schedule.interval_index_of(2) == 0
+
+
+class TestAperiodic:
+    def test_explicit_intervals(self):
+        schedule = EpochIntervalSchedule(total_epochs=30, intervals=[5, 10, 10])
+        assert schedule.reassignment_epochs() == [4, 14, 24]
+
+    def test_intervals_exhausted_before_total(self):
+        schedule = EpochIntervalSchedule(total_epochs=100, intervals=[10])
+        assert schedule.reassignment_epochs() == [9]
+
+    def test_describe_mentions_kind(self):
+        periodic = EpochIntervalSchedule(total_epochs=10, interval=5)
+        aperiodic = EpochIntervalSchedule(total_epochs=10, intervals=[2, 3])
+        assert "periodic(5)" in periodic.describe()
+        assert "aperiodic" in aperiodic.describe()

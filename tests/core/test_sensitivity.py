@@ -1,0 +1,127 @@
+"""ENBG sensitivity tracker: accumulation, snapshots, ranking (Definition 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SensitivityTracker
+
+
+class TestRecording:
+    def test_requires_layer_names(self):
+        with pytest.raises(ValueError):
+            SensitivityTracker([])
+
+    def test_unknown_layer_rejected(self):
+        tracker = SensitivityTracker(["a"])
+        with pytest.raises(KeyError):
+            tracker.record_step({"b": 1.0})
+
+    def test_non_finite_rejected(self):
+        tracker = SensitivityTracker(["a"])
+        with pytest.raises(ValueError):
+            tracker.record_step({"a": float("nan")})
+
+    def test_epoch_nbg_is_mean_of_steps(self):
+        tracker = SensitivityTracker(["a", "b"])
+        tracker.record_step({"a": 1.0, "b": 4.0})
+        tracker.record_step({"a": 3.0, "b": 0.0})
+        epoch = tracker.end_epoch(0)
+        assert epoch["a"] == pytest.approx(2.0)
+        assert epoch["b"] == pytest.approx(2.0)
+
+    def test_end_epoch_resets_step_accumulators(self):
+        tracker = SensitivityTracker(["a"])
+        tracker.record_step({"a": 5.0})
+        tracker.end_epoch(0)
+        tracker.record_step({"a": 1.0})
+        epoch = tracker.end_epoch(1)
+        assert epoch["a"] == pytest.approx(1.0)
+
+
+class TestEnbg:
+    def test_enbg_is_mean_over_epochs(self):
+        tracker = SensitivityTracker(["a"])
+        for epoch, value in enumerate([1.0, 2.0, 6.0]):
+            tracker.record_step({"a": value})
+            tracker.end_epoch(epoch)
+        assert tracker.current_enbg()["a"] == pytest.approx(3.0)
+
+    def test_finalize_interval_resets_and_snapshots(self):
+        tracker = SensitivityTracker(["a", "b"])
+        tracker.record_step({"a": 2.0, "b": 1.0})
+        tracker.end_epoch(0)
+        snapshot = tracker.finalize_interval(0)
+        assert snapshot.interval_index == 0
+        assert snapshot.enbg["a"] == pytest.approx(2.0)
+        assert not tracker.has_observations()
+        # Next interval starts fresh.
+        tracker.record_step({"a": 10.0, "b": 20.0})
+        tracker.end_epoch(1)
+        second = tracker.finalize_interval(1)
+        assert second.interval_index == 1
+        assert second.enbg["a"] == pytest.approx(10.0)
+
+    def test_missing_layer_gets_zero_enbg(self):
+        tracker = SensitivityTracker(["a", "b"])
+        tracker.record_step({"a": 1.0})
+        tracker.end_epoch(0)
+        enbg = tracker.current_enbg()
+        assert enbg["b"] == 0.0
+
+    def test_has_observations(self):
+        tracker = SensitivityTracker(["a"])
+        assert not tracker.has_observations()
+        tracker.record_step({"a": 1.0})
+        tracker.end_epoch(0)
+        assert tracker.has_observations()
+
+
+class TestSnapshots:
+    def _build_tracker(self):
+        tracker = SensitivityTracker(["a", "b", "c"])
+        for epoch, values in enumerate([{"a": 3.0, "b": 2.0, "c": 1.0}, {"a": 1.0, "b": 2.0, "c": 3.0}]):
+            tracker.record_step(values)
+            tracker.end_epoch(epoch)
+            tracker.finalize_interval(epoch)
+        return tracker
+
+    def test_ranked_layers(self):
+        tracker = self._build_tracker()
+        assert tracker.snapshots[0].ranked_layers() == ["a", "b", "c"]
+        assert tracker.snapshots[1].ranked_layers() == ["c", "b", "a"]
+
+    def test_normalized_peaks_at_one(self):
+        tracker = self._build_tracker()
+        normalized = tracker.snapshots[0].normalized()
+        assert max(normalized.values()) == pytest.approx(1.0)
+        assert normalized["c"] == pytest.approx(1.0 / 3.0)
+
+    def test_normalized_all_zero(self):
+        tracker = SensitivityTracker(["a"])
+        tracker.record_step({"a": 0.0})
+        tracker.end_epoch(0)
+        snapshot = tracker.finalize_interval(0)
+        assert snapshot.normalized()["a"] == 0.0
+
+    def test_snapshot_at_epoch(self):
+        tracker = self._build_tracker()
+        assert tracker.snapshot_at_epoch(1) is tracker.snapshots[1]
+        assert tracker.snapshot_at_epoch(99) is None
+
+    def test_sensitivity_matrix_shape(self):
+        tracker = self._build_tracker()
+        matrix = tracker.sensitivity_matrix()
+        assert matrix.shape == (2, 3)
+        np.testing.assert_allclose(matrix[0], [3.0, 2.0, 1.0])
+
+    def test_rank_correlation_detects_reordering(self):
+        tracker = self._build_tracker()
+        assert tracker.rank_correlation(0, 0) == pytest.approx(1.0)
+        assert tracker.rank_correlation(0, 1) == pytest.approx(-1.0)
+
+    def test_rank_correlation_index_validation(self):
+        tracker = self._build_tracker()
+        with pytest.raises(IndexError):
+            tracker.rank_correlation(0, 5)

@@ -1,0 +1,156 @@
+"""Integration tests of the BMPQ trainer on a tiny model and dataset."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import compression_summary
+from repro.core import BMPQConfig, BMPQTrainer, evaluate_model
+from repro.models import simple_cnn
+
+
+def make_config(**overrides) -> BMPQConfig:
+    base = dict(
+        epochs=3,
+        epoch_interval=1,
+        warmup_epochs=0,
+        learning_rate=0.05,
+        lr_milestones=(2,),
+        target_average_bits=5.0,
+        evaluate_every_epoch=True,
+    )
+    base.update(overrides)
+    return BMPQConfig(**base)
+
+
+@pytest.fixture
+def trained_result(tiny_model, tiny_train_loader, tiny_test_loader):
+    trainer = BMPQTrainer(tiny_model, tiny_train_loader, tiny_test_loader, make_config())
+    return trainer.train(), tiny_model
+
+
+class TestTrainerSetup:
+    def test_rejects_model_without_quantizable_layers(self, tiny_train_loader, tiny_test_loader):
+        class Empty:
+            def quantizable_layers(self):
+                return {}
+
+            def layer_specs(self):
+                return []
+
+            def parameters(self):
+                return []
+
+        with pytest.raises(ValueError):
+            BMPQTrainer(Empty(), tiny_train_loader, tiny_test_loader, make_config())
+
+    def test_warmup_assignment_uses_max_support_bits(self, tiny_model, tiny_train_loader, tiny_test_loader):
+        trainer = BMPQTrainer(tiny_model, tiny_train_loader, tiny_test_loader, make_config())
+        warmup = trainer.warmup_assignment()
+        assert warmup["conv1"] == 4
+        assert warmup["conv0"] == 16
+
+    def test_qmax_is_max_support_bits(self):
+        assert make_config(support_bits=(8, 4, 2)).qmax() == 8
+
+
+class TestTrainingRun:
+    def test_history_and_assignment_records(self, trained_result):
+        result, model = trained_result
+        assert len(result.history) == 3
+        # Re-assignment happens at epoch-interval boundaries (interval=1 ->
+        # epochs 0 and 1; the final epoch has no boundary).
+        reassigned = [record.epoch for record in result.history if record.reassigned]
+        assert reassigned == [0, 1]
+        # At least the initial assignment plus one per boundary.
+        assert len(result.assignments_over_time) == 3
+
+    def test_final_bits_respect_pinning_and_support(self, trained_result):
+        result, model = trained_result
+        bits = result.final_bits_by_layer
+        assert bits["conv0"] == 16 and bits["classifier"] == 16
+        for name in ("conv1", "conv2", "fc1"):
+            assert bits[name] in (2, 4)
+
+    def test_budget_respected(self, trained_result, tiny_model):
+        result, model = trained_result
+        specs = model.layer_specs()
+        total_bits = sum(
+            spec.num_params * result.final_bits_by_layer[spec.name] for spec in specs
+        )
+        budget = sum(spec.num_params for spec in specs) * 5.0
+        assert total_bits <= budget + 1e-6
+
+    def test_compression_summary_consistent(self, trained_result):
+        result, model = trained_result
+        summary = compression_summary(model.layer_specs(), result.final_bits_by_layer)
+        assert result.compression_ratio_fp32 == pytest.approx(summary.compression_ratio_fp32)
+        assert result.compression_ratio_fp16 == pytest.approx(0.5 * summary.compression_ratio_fp32)
+        assert result.compression_ratio_fp32 > 1.0
+
+    def test_snapshots_collected_per_interval(self, trained_result):
+        result, _model = trained_result
+        assert len(result.snapshots) >= 2
+        for snapshot in result.snapshots:
+            assert set(snapshot.enbg) == {"conv0", "conv1", "conv2", "fc1", "classifier"}
+            assert all(value >= 0 for value in snapshot.enbg.values())
+
+    def test_model_bits_match_result(self, trained_result):
+        result, model = trained_result
+        assert model.current_assignment() == result.final_bits_by_layer
+
+    def test_accuracy_fields_populated(self, trained_result):
+        result, _model = trained_result
+        assert 0.0 <= result.final_test_accuracy <= 1.0
+        assert result.best_test_accuracy >= result.final_test_accuracy - 1e-9
+        assert result.accuracy_at_epoch(0) is not None
+        assert result.accuracy_at_epoch(99) is None
+
+
+class TestSchedulingVariants:
+    def test_warmup_delays_first_reassignment(self, tiny_model, tiny_train_loader, tiny_test_loader):
+        config = make_config(epochs=4, warmup_epochs=2, epoch_interval=1)
+        trainer = BMPQTrainer(tiny_model, tiny_train_loader, tiny_test_loader, config)
+        result = trainer.train()
+        reassigned = [record.epoch for record in result.history if record.reassigned]
+        assert all(epoch >= 2 for epoch in reassigned)
+
+    def test_no_reassignment_when_interval_exceeds_epochs(
+        self, tiny_model, tiny_train_loader, tiny_test_loader
+    ):
+        config = make_config(epochs=2, epoch_interval=10)
+        trainer = BMPQTrainer(tiny_model, tiny_train_loader, tiny_test_loader, config)
+        result = trainer.train()
+        assert all(not record.reassigned for record in result.history)
+        # Final assignment stays at the warm-up (max support bits) level.
+        assert result.final_bits_by_layer["conv1"] == 4
+
+    def test_aperiodic_intervals(self, tiny_model, tiny_train_loader, tiny_test_loader):
+        config = make_config(epochs=4, aperiodic_intervals=(1, 2))
+        trainer = BMPQTrainer(tiny_model, tiny_train_loader, tiny_test_loader, config)
+        result = trainer.train()
+        reassigned = [record.epoch for record in result.history if record.reassigned]
+        assert reassigned == [0, 2]
+
+    def test_compression_budget_configuration(self, tiny_train_loader, tiny_test_loader):
+        model = simple_cnn(num_classes=4, input_size=12, channels=4, seed=3)
+        config = make_config(target_average_bits=None, target_compression_ratio=6.0, epochs=2)
+        trainer = BMPQTrainer(model, tiny_train_loader, tiny_test_loader, config)
+        result = trainer.train()
+        assert result.compression_ratio_fp32 >= 6.0 - 1e-6
+
+
+class TestEvaluate:
+    def test_evaluate_model_bounds(self, tiny_model, tiny_test_loader):
+        loss, accuracy = evaluate_model(tiny_model, tiny_test_loader)
+        assert loss > 0.0
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_training_improves_over_untrained(self, trained_result, tiny_test_loader):
+        result, model = trained_result
+        untrained = simple_cnn(num_classes=4, input_size=12, channels=4, seed=77)
+        _, untrained_acc = evaluate_model(untrained, tiny_test_loader)
+        # Trained accuracy should at least match an untrained model's chance level
+        # (this is a smoke-level sanity check, not a benchmark assertion).
+        assert result.best_test_accuracy >= untrained_acc - 0.15

@@ -1,0 +1,143 @@
+"""Synthetic datasets: determinism, geometry, learnability, factories."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ArrayDataset,
+    CIFAR10Pickle,
+    SyntheticImageClassification,
+    synthetic_cifar10,
+    synthetic_cifar100,
+    synthetic_tiny_imagenet,
+    train_test_datasets,
+)
+
+
+class TestArrayDataset:
+    def test_basic_indexing(self, rng):
+        images = rng.standard_normal((10, 3, 8, 8)).astype(np.float32)
+        labels = rng.integers(0, 4, size=10)
+        dataset = ArrayDataset(images, labels)
+        image, label = dataset[3]
+        assert image.shape == (3, 8, 8)
+        assert label == labels[3]
+        assert len(dataset) == 10
+
+    def test_length_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            ArrayDataset(rng.standard_normal((5, 1, 4, 4)), np.zeros(4))
+
+    def test_rank_validation(self, rng):
+        with pytest.raises(ValueError):
+            ArrayDataset(rng.standard_normal((5, 4, 4)), np.zeros(5))
+
+    def test_num_classes_inferred(self, rng):
+        dataset = ArrayDataset(rng.standard_normal((6, 1, 2, 2)), np.array([0, 1, 2, 2, 1, 0]))
+        assert dataset.num_classes == 3
+
+
+class TestSyntheticImages:
+    def test_shapes_and_labels(self):
+        dataset = SyntheticImageClassification(20, num_classes=5, image_size=16, seed=0)
+        image, label = dataset[0]
+        assert image.shape == (3, 16, 16)
+        assert 0 <= label < 5
+        assert dataset.num_classes == 5
+
+    def test_determinism_for_same_seed(self):
+        a = SyntheticImageClassification(10, num_classes=3, image_size=8, seed=42)
+        b = SyntheticImageClassification(10, num_classes=3, image_size=8, seed=42)
+        np.testing.assert_array_equal(a.images, b.images)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        a = SyntheticImageClassification(10, num_classes=3, image_size=8, seed=1)
+        b = SyntheticImageClassification(10, num_classes=3, image_size=8, seed=2)
+        assert not np.array_equal(a.images, b.images)
+
+    def test_images_are_normalized(self):
+        dataset = SyntheticImageClassification(30, num_classes=4, image_size=12, seed=0)
+        means = dataset.images.reshape(30, -1).mean(axis=1)
+        stds = dataset.images.reshape(30, -1).std(axis=1)
+        np.testing.assert_allclose(means, 0.0, atol=1e-3)
+        np.testing.assert_allclose(stds, 1.0, rtol=1e-2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticImageClassification(0, num_classes=4)
+        with pytest.raises(ValueError):
+            SyntheticImageClassification(4, num_classes=1)
+
+    def test_classes_are_distinguishable_by_nearest_prototype(self):
+        """Per-class mean images separate the classes well above chance."""
+        train = SyntheticImageClassification(200, num_classes=4, image_size=12, noise_std=0.2, seed=0)
+        test = SyntheticImageClassification(80, num_classes=4, image_size=12, noise_std=0.2, seed=10_000)
+        prototypes = np.stack(
+            [train.images[train.labels == c].mean(axis=0).ravel() for c in range(4)]
+        )
+        correct = 0
+        for image, label in zip(test.images, test.labels):
+            distances = ((prototypes - image.ravel()) ** 2).sum(axis=1)
+            correct += int(distances.argmin() == label)
+        accuracy = correct / len(test)
+        assert accuracy > 0.5  # chance is 0.25
+
+
+class TestFactories:
+    def test_cifar10_substitute(self):
+        dataset = synthetic_cifar10(True, num_samples=12)
+        assert dataset.num_classes == 10
+        assert dataset[0][0].shape == (3, 32, 32)
+
+    def test_cifar100_substitute(self):
+        dataset = synthetic_cifar100(True, num_samples=12)
+        assert dataset.num_classes == 100
+
+    def test_tiny_imagenet_substitute(self):
+        dataset = synthetic_tiny_imagenet(True, num_samples=6)
+        assert dataset.num_classes == 200
+        assert dataset[0][0].shape == (3, 64, 64)
+
+    def test_train_and_test_splits_differ(self):
+        train = synthetic_cifar10(True, num_samples=8, seed=5)
+        test = synthetic_cifar10(False, num_samples=8, seed=5)
+        assert not np.array_equal(train.images, test.images)
+
+    def test_train_test_datasets_dispatch(self):
+        for name, classes in (("cifar10", 10), ("cifar100", 100), ("tiny_imagenet", 200)):
+            train, test = train_test_datasets(name, train_samples=6, test_samples=4, image_size=16)
+            assert train.num_classes == classes
+            assert len(test) == 4
+
+    def test_train_test_datasets_unknown_name(self):
+        with pytest.raises(KeyError):
+            train_test_datasets("imagenet21k")
+
+
+class TestCIFARPickle:
+    def test_missing_directory_reports_unavailable(self, tmp_path):
+        assert not CIFAR10Pickle.is_available(str(tmp_path))
+        with pytest.raises(FileNotFoundError):
+            CIFAR10Pickle(str(tmp_path))
+
+    def test_reads_pickled_batches(self, tmp_path, rng):
+        import pickle
+
+        for name in CIFAR10Pickle.TRAIN_BATCHES + CIFAR10Pickle.TEST_BATCHES:
+            payload = {
+                b"data": (rng.integers(0, 256, size=(4, 3 * 32 * 32))).astype(np.uint8),
+                b"labels": rng.integers(0, 10, size=4).tolist(),
+            }
+            with open(tmp_path / name, "wb") as handle:
+                pickle.dump(payload, handle)
+        assert CIFAR10Pickle.is_available(str(tmp_path))
+        train = CIFAR10Pickle(str(tmp_path), train=True)
+        test = CIFAR10Pickle(str(tmp_path), train=False)
+        assert len(train) == 20 and len(test) == 4
+        assert train[0][0].shape == (3, 32, 32)
+        # The real-data path is selected automatically by the dispatcher.
+        auto_train, _auto_test = train_test_datasets("cifar10", data_root=str(tmp_path))
+        assert isinstance(auto_train, CIFAR10Pickle)

@@ -1,0 +1,73 @@
+"""DataLoader: batching, shuffling, drop_last, transform application."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset, Compose, DataLoader, Normalize
+
+
+@pytest.fixture
+def dataset(rng):
+    images = rng.standard_normal((25, 3, 8, 8)).astype(np.float32)
+    labels = np.arange(25) % 5
+    return ArrayDataset(images, labels)
+
+
+class TestBatching:
+    def test_number_of_batches(self, dataset):
+        assert len(DataLoader(dataset, batch_size=10)) == 3
+        assert len(DataLoader(dataset, batch_size=10, drop_last=True)) == 2
+        assert len(DataLoader(dataset, batch_size=25)) == 1
+
+    def test_batch_shapes_and_types(self, dataset):
+        loader = DataLoader(dataset, batch_size=10)
+        batches = list(loader)
+        assert batches[0][0].shape == (10, 3, 8, 8)
+        assert batches[0][0].dtype == np.float32
+        assert batches[0][1].dtype == np.int64
+        assert batches[-1][0].shape[0] == 5  # remainder batch
+
+    def test_drop_last_removes_remainder(self, dataset):
+        loader = DataLoader(dataset, batch_size=10, drop_last=True)
+        assert all(images.shape[0] == 10 for images, _ in loader)
+
+    def test_invalid_batch_size(self, dataset):
+        with pytest.raises(ValueError):
+            DataLoader(dataset, batch_size=0)
+
+    def test_covers_every_sample_once(self, dataset):
+        loader = DataLoader(dataset, batch_size=7, shuffle=True, seed=0)
+        labels = np.concatenate([batch_labels for _, batch_labels in loader])
+        assert sorted(labels.tolist()) == sorted(dataset.labels.tolist())
+
+
+class TestShuffling:
+    def test_unshuffled_order_is_stable(self, dataset):
+        loader = DataLoader(dataset, batch_size=25, shuffle=False)
+        _, labels_a = next(iter(loader))
+        _, labels_b = next(iter(loader))
+        np.testing.assert_array_equal(labels_a, labels_b)
+        np.testing.assert_array_equal(labels_a, dataset.labels)
+
+    def test_shuffle_changes_order_between_epochs(self, dataset):
+        loader = DataLoader(dataset, batch_size=25, shuffle=True, seed=0)
+        _, first_epoch = next(iter(loader))
+        _, second_epoch = next(iter(loader))
+        assert not np.array_equal(first_epoch, second_epoch)
+
+    def test_same_seed_gives_same_first_epoch(self, dataset):
+        a = DataLoader(dataset, batch_size=25, shuffle=True, seed=11)
+        b = DataLoader(dataset, batch_size=25, shuffle=True, seed=11)
+        np.testing.assert_array_equal(next(iter(a))[1], next(iter(b))[1])
+
+
+class TestTransforms:
+    def test_transform_applied_per_sample(self, dataset):
+        transform = Compose([Normalize([0.0, 0.0, 0.0], [2.0, 2.0, 2.0])])
+        plain = DataLoader(dataset, batch_size=25)
+        transformed = DataLoader(dataset, batch_size=25, transform=transform)
+        plain_images, _ = next(iter(plain))
+        transformed_images, _ = next(iter(transformed))
+        np.testing.assert_allclose(transformed_images, plain_images / 2.0, rtol=1e-6)

@@ -1,0 +1,62 @@
+"""Model registry and the compact SimpleQuantCNN."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    QuantizableModel,
+    available_models,
+    build_model,
+    simple_cnn,
+)
+from repro.nn import Tensor
+
+
+class TestRegistry:
+    def test_available_models_contains_paper_architectures(self):
+        names = available_models()
+        assert "vgg16" in names and "resnet18" in names and "simple_cnn" in names
+
+    def test_build_model_forwards_kwargs(self):
+        model = build_model("simple_cnn", num_classes=7, input_size=8, channels=2, seed=1)
+        assert model.num_classes == 7
+
+    def test_build_model_case_insensitive(self):
+        model = build_model("SIMPLE_CNN", num_classes=3, input_size=8, channels=2)
+        assert isinstance(model, QuantizableModel)
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            build_model("alexnet")
+
+    def test_every_registered_model_constructs(self):
+        for name in available_models():
+            model = build_model(name, width_multiplier=0.0625, num_classes=4, seed=0) if name != "simple_cnn" else build_model(name, num_classes=4)
+            assert model.num_quantizable_layers() >= 5
+
+
+class TestSimpleCNN:
+    def test_layer_roles(self):
+        model = simple_cnn(num_classes=4, input_size=12, channels=4, seed=0)
+        layers = model.quantizable_layers()
+        assert layers["conv0"].pinned and layers["classifier"].pinned
+        assert not layers["conv1"].pinned
+
+    def test_forward_and_backward(self):
+        model = simple_cnn(num_classes=4, input_size=12, channels=4, seed=0)
+        x = Tensor(np.random.default_rng(0).standard_normal((3, 3, 12, 12)).astype(np.float32))
+        out = model(x)
+        assert out.shape == (3, 4)
+        out.sum().backward()
+        assert all(layer.weight.grad is not None for layer in model.quantizable_layers().values())
+
+    def test_bit_vector_layout(self):
+        model = simple_cnn(num_classes=4, input_size=12, channels=4, seed=0)
+        assert model.bit_vector() == [16, 4, 4, 4, 16]
+
+    def test_duplicate_registration_rejected(self):
+        model = simple_cnn(num_classes=4)
+        with pytest.raises(ValueError):
+            model.register_qlayer("conv0", model.conv0)

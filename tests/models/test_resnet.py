@@ -1,0 +1,96 @@
+"""Quantizable ResNet: layer counts, downsample tying, residual forward."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import resnet18, resnet20, resnet34
+from repro.nn import Tensor
+
+
+def tiny_resnet18(**kwargs):
+    defaults = dict(width_multiplier=0.0625, num_classes=10, seed=0)
+    defaults.update(kwargs)
+    return resnet18(**defaults)
+
+
+class TestStructure:
+    def test_resnet18_has_eighteen_main_layers(self):
+        model = tiny_resnet18()
+        assert len(model.main_layer_names()) == 18
+
+    def test_downsample_layers_registered_but_not_main(self):
+        model = tiny_resnet18()
+        all_names = set(model.quantizable_layers())
+        main_names = set(model.main_layer_names())
+        downsample_names = all_names - main_names
+        # ResNet18 has three stride-2 stage transitions.
+        assert len(downsample_names) == 3
+        assert all(name.endswith(".downsample") for name in downsample_names)
+
+    def test_downsample_layers_are_tied_to_block_conv1(self):
+        model = tiny_resnet18()
+        specs = {spec.name: spec for spec in model.layer_specs()}
+        for name, spec in specs.items():
+            if name.endswith(".downsample"):
+                assert spec.tie_to == name.replace(".downsample", ".conv1")
+            else:
+                assert spec.tie_to is None
+
+    def test_first_and_last_pinned(self):
+        model = tiny_resnet18()
+        layers = model.quantizable_layers()
+        assert layers["stem"].pinned and layers["stem"].bits == 16
+        assert layers["classifier"].pinned and layers["classifier"].bits == 16
+
+    def test_resnet20_and_34_layer_counts(self):
+        # main layers = 1 stem + 2*blocks + 1 classifier
+        assert len(resnet20(width_multiplier=0.25, seed=0).main_layer_names()) == 1 + 2 * 9 + 1
+        assert len(resnet34(width_multiplier=0.0625, seed=0).main_layer_names()) == 1 + 2 * 16 + 1
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            resnet18(width_multiplier=-1.0)
+
+    def test_full_width_parameter_count_magnitude(self):
+        model = resnet18(num_classes=10, seed=0)
+        # The CIFAR ResNet18 has ~11.2M parameters.
+        assert 10_000_000 < model.num_parameters() < 12_500_000
+
+
+class TestForward:
+    def test_output_shape(self):
+        model = tiny_resnet18()
+        x = Tensor(np.zeros((2, 3, 32, 32), dtype=np.float32))
+        assert model(x).shape == (2, 10)
+
+    def test_tiny_imagenet_geometry(self):
+        model = resnet18(width_multiplier=0.0625, num_classes=200, seed=0)
+        x = Tensor(np.zeros((1, 3, 64, 64), dtype=np.float32))
+        assert model(x).shape == (1, 200)
+
+    def test_backward_reaches_all_layers_including_downsample(self):
+        model = tiny_resnet18()
+        x = Tensor(np.random.default_rng(0).standard_normal((2, 3, 32, 32)).astype(np.float32))
+        model(x).sum().backward()
+        for name, layer in model.quantizable_layers().items():
+            assert layer.weight.grad is not None, name
+
+    def test_apply_assignment_with_tied_layers(self):
+        model = tiny_resnet18()
+        assignment = model.current_assignment()
+        # Assign 2 bits to a block whose downsample is tied to it.
+        assignment["layer2.0.conv1"] = 2
+        assignment["layer2.0.downsample"] = 2
+        model.apply_assignment(assignment)
+        layers = model.quantizable_layers()
+        assert layers["layer2.0.conv1"].bits == 2
+        assert layers["layer2.0.downsample"].bits == 2
+
+    def test_eval_mode_forward(self):
+        model = tiny_resnet18()
+        x = Tensor(np.zeros((1, 3, 32, 32), dtype=np.float32))
+        model(x)  # populate batch-norm running stats
+        model.eval()
+        assert model(x).shape == (1, 10)

@@ -1,0 +1,105 @@
+"""Quantizable VGG: structure, pinning, bit vectors, forward pass."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import VGG_PLANS, vgg11, vgg13, vgg16, vgg19
+from repro.nn import Tensor
+
+
+def tiny_vgg16(**kwargs):
+    defaults = dict(width_multiplier=0.0625, num_classes=10, input_size=32, seed=0)
+    defaults.update(kwargs)
+    return vgg16(**defaults)
+
+
+class TestStructure:
+    def test_vgg16_has_sixteen_weight_layers(self):
+        model = tiny_vgg16()
+        assert len(model.main_layer_names()) == 16
+        assert model.num_quantizable_layers() == 16
+
+    @pytest.mark.parametrize(
+        "builder,expected_convs",
+        [(vgg11, 8), (vgg13, 10), (vgg16, 13), (vgg19, 16)],
+    )
+    def test_variant_conv_counts(self, builder, expected_convs):
+        model = builder(width_multiplier=0.0625, num_classes=10, seed=0)
+        conv_names = [name for name in model.main_layer_names() if name.startswith("conv")]
+        assert len(conv_names) == expected_convs
+
+    def test_first_and_last_layers_pinned_to_16(self):
+        model = tiny_vgg16()
+        layers = model.quantizable_layers()
+        assert layers["conv0"].pinned and layers["conv0"].bits == 16
+        assert layers["classifier"].pinned and layers["classifier"].bits == 16
+        assert not layers["conv5"].pinned
+
+    def test_bit_vector_matches_paper_layout(self):
+        model = tiny_vgg16()
+        vector = model.bit_vector()
+        assert len(vector) == 16
+        assert vector[0] == 16 and vector[-1] == 16
+        assert all(bits == 4 for bits in vector[1:-1])
+
+    def test_layer_specs_match_layers(self):
+        model = tiny_vgg16()
+        specs = {spec.name: spec for spec in model.layer_specs()}
+        for name, layer in model.quantizable_layers().items():
+            assert specs[name].num_params == layer.num_weight_params
+            assert specs[name].pinned == layer.pinned
+
+    def test_width_multiplier_scales_parameters(self):
+        small = tiny_vgg16(width_multiplier=0.0625)
+        large = tiny_vgg16(width_multiplier=0.125)
+        assert large.num_parameters() > small.num_parameters()
+
+    def test_full_width_vgg16_channel_plan(self):
+        """The default width reproduces the paper's channel plan (no forward)."""
+        model = vgg16(num_classes=10, seed=0)
+        layers = model.quantizable_layers()
+        assert layers["conv0"].out_channels == 64
+        assert layers["conv12"].out_channels == 512
+        # 13 convs + 2 hidden FCs + classifier.
+        assert model.num_quantizable_layers() == 16
+        assert model.num_parameters() > 14_000_000
+
+    def test_invalid_width_multiplier(self):
+        with pytest.raises(ValueError):
+            vgg16(width_multiplier=0.0)
+
+
+class TestForward:
+    def test_output_shape_cifar(self):
+        model = tiny_vgg16()
+        x = Tensor(np.zeros((2, 3, 32, 32), dtype=np.float32))
+        assert model(x).shape == (2, 10)
+
+    def test_output_shape_tiny_imagenet_geometry(self):
+        model = vgg16(width_multiplier=0.0625, num_classes=200, input_size=64, seed=0)
+        x = Tensor(np.zeros((1, 3, 64, 64), dtype=np.float32))
+        assert model(x).shape == (1, 200)
+
+    def test_backward_reaches_all_quantized_layers(self):
+        model = tiny_vgg16()
+        x = Tensor(np.random.default_rng(0).standard_normal((2, 3, 32, 32)).astype(np.float32))
+        model(x).sum().backward()
+        for name, layer in model.quantizable_layers().items():
+            assert layer.weight.grad is not None, name
+            grad_wq, _codes, _scale = layer.weight_bit_gradient_inputs()
+            assert np.isfinite(grad_wq).all()
+
+    def test_assignment_round_trip(self):
+        model = tiny_vgg16()
+        assignment = {name: (16 if layer.pinned else 2) for name, layer in model.quantizable_layers().items()}
+        model.apply_assignment(assignment)
+        assert model.bit_vector()[1:-1] == [2] * 14
+        model.set_uniform_bits(4)
+        assert model.bit_vector()[1:-1] == [4] * 14
+
+    def test_dropout_variant_constructs(self):
+        model = vgg16(width_multiplier=0.0625, num_classes=10, dropout=0.3, seed=0)
+        x = Tensor(np.zeros((1, 3, 32, 32), dtype=np.float32))
+        assert model(x).shape == (1, 10)

@@ -1,0 +1,138 @@
+"""Convolution, im2col/col2im and linear layers: forward and backward checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+from ..conftest import numeric_gradient
+
+
+def naive_conv2d(x: np.ndarray, w: np.ndarray, bias, stride: int, padding: int) -> np.ndarray:
+    """Straightforward loop convolution used as the reference implementation."""
+    n, c, h, width = x.shape
+    oc, _, kh, kw = w.shape
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    oh = (x.shape[2] - kh) // stride + 1
+    ow = (x.shape[3] - kw) // stride + 1
+    out = np.zeros((n, oc, oh, ow), dtype=np.float64)
+    for b in range(n):
+        for o in range(oc):
+            for i in range(oh):
+                for j in range(ow):
+                    patch = x[b, :, i * stride : i * stride + kh, j * stride : j * stride + kw]
+                    out[b, o, i, j] = (patch * w[o]).sum()
+            if bias is not None:
+                out[b, o] += bias[o]
+    return out
+
+
+class TestConvForward:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1), (2, 0)])
+    def test_matches_naive_convolution(self, rng, stride, padding):
+        x = rng.standard_normal((2, 3, 7, 7)).astype(np.float32)
+        w = rng.standard_normal((4, 3, 3, 3)).astype(np.float32)
+        b = rng.standard_normal(4).astype(np.float32)
+        out = F.conv2d(Tensor(x), Tensor(w), Tensor(b), stride=stride, padding=padding)
+        expected = naive_conv2d(x, w, b, stride, padding)
+        np.testing.assert_allclose(out.data, expected, rtol=1e-4, atol=1e-4)
+
+    def test_output_spatial_size(self, rng):
+        x = Tensor(rng.standard_normal((1, 2, 8, 8)).astype(np.float32))
+        w = Tensor(rng.standard_normal((5, 2, 3, 3)).astype(np.float32))
+        out = F.conv2d(x, w, stride=2, padding=1)
+        assert out.shape == (1, 5, 4, 4)
+
+    def test_channel_mismatch_raises(self, rng):
+        x = Tensor(rng.standard_normal((1, 3, 4, 4)).astype(np.float32))
+        w = Tensor(rng.standard_normal((2, 4, 3, 3)).astype(np.float32))
+        with pytest.raises(ValueError):
+            F.conv2d(x, w)
+
+    def test_conv_output_size_helper(self):
+        assert F.conv_output_size(32, 3, 1, 1) == 32
+        assert F.conv_output_size(32, 3, 2, 1) == 16
+        assert F.conv_output_size(8, 2, 2, 0) == 4
+
+
+class TestConvBackward:
+    def test_weight_gradient_matches_numeric(self, rng):
+        x_data = rng.standard_normal((2, 2, 5, 5)).astype(np.float32)
+        w_data = rng.standard_normal((3, 2, 3, 3)).astype(np.float32)
+        weight = Tensor(w_data, requires_grad=True)
+        out = F.conv2d(Tensor(x_data), weight, stride=1, padding=1)
+        (out * out).mean().backward()
+
+        def objective() -> float:
+            o = F.conv2d(Tensor(x_data), Tensor(w_data)).data if False else F.conv2d(
+                Tensor(x_data), Tensor(w_data), stride=1, padding=1
+            ).data
+            return float((o * o).mean())
+
+        for index in [(0, 0, 0, 0), (1, 1, 2, 2), (2, 0, 1, 1)]:
+            numeric = numeric_gradient(objective, w_data, index)
+            assert weight.grad[index] == pytest.approx(numeric, rel=2e-2, abs=1e-3)
+
+    def test_input_gradient_matches_numeric(self, rng):
+        x_data = rng.standard_normal((1, 2, 5, 5)).astype(np.float32)
+        w_data = rng.standard_normal((2, 2, 3, 3)).astype(np.float32)
+        x = Tensor(x_data, requires_grad=True)
+        out = F.conv2d(x, Tensor(w_data), stride=2, padding=1)
+        (out * out).mean().backward()
+
+        def objective() -> float:
+            o = F.conv2d(Tensor(x_data), Tensor(w_data), stride=2, padding=1).data
+            return float((o * o).mean())
+
+        for index in [(0, 0, 0, 0), (0, 1, 2, 3), (0, 0, 4, 4)]:
+            numeric = numeric_gradient(objective, x_data, index)
+            assert x.grad[index] == pytest.approx(numeric, rel=2e-2, abs=1e-3)
+
+    def test_bias_gradient_is_output_sum(self, rng):
+        x = Tensor(rng.standard_normal((2, 1, 4, 4)).astype(np.float32))
+        w = Tensor(rng.standard_normal((3, 1, 3, 3)).astype(np.float32))
+        bias = Tensor(np.zeros(3, dtype=np.float32), requires_grad=True)
+        F.conv2d(x, w, bias, padding=1).sum().backward()
+        np.testing.assert_allclose(bias.grad, np.full(3, 2 * 4 * 4), rtol=1e-5)
+
+
+class TestIm2Col:
+    def test_im2col_shapes(self, rng):
+        x = rng.standard_normal((2, 3, 6, 6)).astype(np.float32)
+        cols, (oh, ow) = F.im2col(x, (3, 3), (1, 1), (1, 1))
+        assert (oh, ow) == (6, 6)
+        assert cols.shape == (2, 3 * 9, 36)
+
+    def test_col2im_adjoint_property(self, rng):
+        """col2im is the adjoint of im2col: <im2col(x), y> == <x, col2im(y)>."""
+        x = rng.standard_normal((1, 2, 5, 5)).astype(np.float64)
+        cols, _ = F.im2col(x, (3, 3), (2, 2), (1, 1))
+        y = rng.standard_normal(cols.shape)
+        lhs = float((cols * y).sum())
+        back = F.col2im(y, x.shape, (3, 3), (2, 2), (1, 1))
+        rhs = float((x * back).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+
+class TestLinear:
+    def test_linear_forward(self, rng):
+        x = rng.standard_normal((4, 3)).astype(np.float32)
+        w = rng.standard_normal((5, 3)).astype(np.float32)
+        b = rng.standard_normal(5).astype(np.float32)
+        out = F.linear(Tensor(x), Tensor(w), Tensor(b))
+        np.testing.assert_allclose(out.data, x @ w.T + b, rtol=1e-5)
+
+    def test_linear_gradients(self, rng):
+        x_data = rng.standard_normal((4, 3)).astype(np.float32)
+        w_data = rng.standard_normal((2, 3)).astype(np.float32)
+        x = Tensor(x_data, requires_grad=True)
+        w = Tensor(w_data, requires_grad=True)
+        b = Tensor(np.zeros(2, dtype=np.float32), requires_grad=True)
+        F.linear(x, w, b).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((4, 2)) @ w_data, rtol=1e-5)
+        np.testing.assert_allclose(w.grad, np.ones((4, 2)).T @ x_data, rtol=1e-5)
+        np.testing.assert_allclose(b.grad, np.full(2, 4.0))

@@ -1,0 +1,192 @@
+"""Pooling, batch norm, softmax/log-softmax, cross-entropy and dropout."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+from ..conftest import numeric_gradient
+
+
+class TestMaxPool:
+    def test_forward_matches_reference(self, rng):
+        x = rng.standard_normal((2, 3, 4, 4)).astype(np.float32)
+        out = F.max_pool2d(Tensor(x), 2)
+        expected = x.reshape(2, 3, 2, 2, 2, 2).max(axis=(3, 5))
+        np.testing.assert_allclose(out.data, expected)
+
+    def test_gradient_routes_to_argmax(self):
+        x_data = np.array([[[[1.0, 2.0], [3.0, 4.0]]]], dtype=np.float32)
+        x = Tensor(x_data, requires_grad=True)
+        F.max_pool2d(x, 2).sum().backward()
+        np.testing.assert_allclose(x.grad, [[[[0, 0], [0, 1]]]])
+
+    def test_strided_pooling_shape(self, rng):
+        x = Tensor(rng.standard_normal((1, 2, 8, 8)).astype(np.float32))
+        assert F.max_pool2d(x, 3, stride=2).shape == (1, 2, 3, 3)
+
+
+class TestAvgPool:
+    def test_forward_matches_mean(self, rng):
+        x = rng.standard_normal((2, 2, 4, 4)).astype(np.float32)
+        out = F.avg_pool2d(Tensor(x), 2)
+        expected = x.reshape(2, 2, 2, 2, 2, 2).mean(axis=(3, 5))
+        np.testing.assert_allclose(out.data, expected, rtol=1e-6)
+
+    def test_gradient_is_uniform(self, rng):
+        x = Tensor(rng.standard_normal((1, 1, 4, 4)).astype(np.float32), requires_grad=True)
+        F.avg_pool2d(x, 2).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((1, 1, 4, 4), 0.25))
+
+    def test_global_avg_pool_shape_and_value(self, rng):
+        x = rng.standard_normal((3, 5, 4, 4)).astype(np.float32)
+        out = F.global_avg_pool2d(Tensor(x))
+        assert out.shape == (3, 5)
+        np.testing.assert_allclose(out.data, x.mean(axis=(2, 3)), rtol=1e-5)
+
+
+class TestBatchNorm:
+    def test_training_normalizes_batch(self, rng):
+        x = rng.standard_normal((8, 3, 4, 4)).astype(np.float32) * 3.0 + 1.0
+        gamma = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        beta = Tensor(np.zeros(3, dtype=np.float32), requires_grad=True)
+        running_mean = np.zeros(3, dtype=np.float32)
+        running_var = np.ones(3, dtype=np.float32)
+        out = F.batch_norm(Tensor(x), gamma, beta, running_mean, running_var, training=True)
+        assert abs(out.data.mean()) < 1e-5
+        assert out.data.std() == pytest.approx(1.0, rel=1e-2)
+
+    def test_running_statistics_updated(self, rng):
+        x = rng.standard_normal((16, 2, 3, 3)).astype(np.float32) + 5.0
+        gamma = Tensor(np.ones(2, dtype=np.float32))
+        beta = Tensor(np.zeros(2, dtype=np.float32))
+        running_mean = np.zeros(2, dtype=np.float32)
+        running_var = np.ones(2, dtype=np.float32)
+        F.batch_norm(Tensor(x), gamma, beta, running_mean, running_var, training=True, momentum=1.0)
+        np.testing.assert_allclose(running_mean, x.mean(axis=(0, 2, 3)), rtol=1e-4)
+
+    def test_eval_uses_running_statistics(self, rng):
+        x = rng.standard_normal((4, 2, 3, 3)).astype(np.float32)
+        gamma = Tensor(np.ones(2, dtype=np.float32))
+        beta = Tensor(np.zeros(2, dtype=np.float32))
+        running_mean = np.full(2, 10.0, dtype=np.float32)
+        running_var = np.full(2, 4.0, dtype=np.float32)
+        out = F.batch_norm(Tensor(x), gamma, beta, running_mean, running_var, training=False)
+        expected = (x - 10.0) / np.sqrt(4.0 + 1e-5)
+        np.testing.assert_allclose(out.data, expected, rtol=1e-4)
+
+    def test_input_gradient_matches_numeric(self, rng):
+        x_data = rng.standard_normal((4, 2, 2, 2)).astype(np.float32)
+        gamma_data = np.array([1.5, 0.7], dtype=np.float32)
+        beta_data = np.array([0.1, -0.2], dtype=np.float32)
+
+        def forward(data):
+            gamma = Tensor(gamma_data)
+            beta = Tensor(beta_data)
+            rm = np.zeros(2, dtype=np.float32)
+            rv = np.ones(2, dtype=np.float32)
+            out = F.batch_norm(Tensor(data), gamma, beta, rm, rv, training=True)
+            return float((out.data ** 2).sum())
+
+        x = Tensor(x_data.copy(), requires_grad=True)
+        gamma = Tensor(gamma_data, requires_grad=True)
+        beta = Tensor(beta_data, requires_grad=True)
+        rm = np.zeros(2, dtype=np.float32)
+        rv = np.ones(2, dtype=np.float32)
+        out = F.batch_norm(x, gamma, beta, rm, rv, training=True)
+        (out * out).sum().backward()
+        for index in [(0, 0, 0, 0), (2, 1, 1, 0)]:
+            numeric = numeric_gradient(lambda: forward(x_data), x_data, index, eps=1e-2)
+            assert x.grad[index] == pytest.approx(numeric, rel=5e-2, abs=5e-3)
+
+    def test_2d_input_supported(self, rng):
+        x = rng.standard_normal((10, 4)).astype(np.float32)
+        gamma = Tensor(np.ones(4, dtype=np.float32))
+        beta = Tensor(np.zeros(4, dtype=np.float32))
+        out = F.batch_norm(Tensor(x), gamma, beta, np.zeros(4, np.float32), np.ones(4, np.float32), True)
+        assert out.shape == (10, 4)
+
+    def test_invalid_rank_raises(self, rng):
+        x = Tensor(rng.standard_normal((2, 3, 4)).astype(np.float32))
+        with pytest.raises(ValueError):
+            F.batch_norm(x, Tensor(np.ones(3)), Tensor(np.zeros(3)), np.zeros(3), np.ones(3), True)
+
+
+class TestSoftmaxAndLosses:
+    def test_softmax_rows_sum_to_one(self, rng):
+        x = Tensor(rng.standard_normal((5, 7)).astype(np.float32))
+        out = F.softmax(x)
+        np.testing.assert_allclose(out.data.sum(axis=1), np.ones(5), rtol=1e-5)
+
+    def test_log_softmax_equals_log_of_softmax(self, rng):
+        x_data = rng.standard_normal((3, 4)).astype(np.float32)
+        log_sm = F.log_softmax(Tensor(x_data)).data
+        sm = F.softmax(Tensor(x_data)).data
+        np.testing.assert_allclose(log_sm, np.log(sm), rtol=1e-4, atol=1e-5)
+
+    def test_softmax_invariant_to_shift(self, rng):
+        x_data = rng.standard_normal((2, 6)).astype(np.float32)
+        np.testing.assert_allclose(
+            F.softmax(Tensor(x_data)).data, F.softmax(Tensor(x_data + 100.0)).data, rtol=1e-4
+        )
+
+    def test_cross_entropy_matches_manual(self, rng):
+        logits_data = rng.standard_normal((4, 3)).astype(np.float32)
+        targets = np.array([0, 2, 1, 1])
+        loss = F.cross_entropy(Tensor(logits_data), targets)
+        shifted = logits_data - logits_data.max(axis=1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        expected = -log_probs[np.arange(4), targets].mean()
+        assert loss.item() == pytest.approx(expected, rel=1e-5)
+
+    def test_cross_entropy_gradient_is_softmax_minus_onehot(self, rng):
+        logits_data = rng.standard_normal((4, 5)).astype(np.float32)
+        targets = np.array([1, 0, 3, 4])
+        logits = Tensor(logits_data, requires_grad=True)
+        F.cross_entropy(logits, targets).backward()
+        probs = F.softmax(Tensor(logits_data)).data
+        onehot = np.zeros_like(probs)
+        onehot[np.arange(4), targets] = 1.0
+        np.testing.assert_allclose(logits.grad, (probs - onehot) / 4.0, rtol=1e-4, atol=1e-5)
+
+    def test_label_smoothing_increases_loss_for_confident_predictions(self):
+        logits = np.zeros((1, 4), dtype=np.float32)
+        logits[0, 0] = 10.0
+        targets = np.array([0])
+        plain = F.cross_entropy(Tensor(logits), targets).item()
+        smoothed = F.cross_entropy(Tensor(logits), targets, label_smoothing=0.2).item()
+        assert smoothed > plain
+
+    def test_nll_sum_reduction(self, rng):
+        logits = Tensor(rng.standard_normal((3, 4)).astype(np.float32))
+        targets = np.array([0, 1, 2])
+        log_probs = F.log_softmax(logits)
+        mean_loss = F.nll_loss(log_probs, targets, reduction="mean").item()
+        sum_loss = F.nll_loss(F.log_softmax(logits), targets, reduction="sum").item()
+        assert sum_loss == pytest.approx(mean_loss * 3.0, rel=1e-5)
+
+    def test_nll_unknown_reduction_raises(self, rng):
+        logits = Tensor(rng.standard_normal((2, 3)).astype(np.float32))
+        with pytest.raises(ValueError):
+            F.nll_loss(F.log_softmax(logits), np.array([0, 1]), reduction="median")
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, rng):
+        x = Tensor(rng.standard_normal((4, 4)).astype(np.float32))
+        assert F.dropout(x, 0.5, training=False) is x
+
+    def test_training_scales_survivors(self, rng):
+        x = Tensor(np.ones((1000,), dtype=np.float32), requires_grad=True)
+        out = F.dropout(x, 0.5, training=True, rng=np.random.default_rng(0))
+        kept = out.data != 0
+        np.testing.assert_allclose(out.data[kept], 2.0)
+        # Expectation is preserved approximately.
+        assert out.data.mean() == pytest.approx(1.0, abs=0.1)
+
+    def test_zero_probability_is_identity(self, rng):
+        x = Tensor(np.ones(5, dtype=np.float32))
+        assert F.dropout(x, 0.0, training=True) is x

@@ -1,0 +1,229 @@
+"""Gradient correctness of the elementwise and reduction Tensor operations.
+
+Every analytic gradient produced by the autograd engine is checked against a
+central finite-difference approximation on random inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, no_grad, is_grad_enabled
+
+from ..conftest import numeric_gradient
+
+
+def _check_unary(op, rng, positive_only: bool = False, rtol: float = 1e-2) -> None:
+    data = rng.standard_normal((3, 4)).astype(np.float32)
+    if positive_only:
+        data = np.abs(data) + 0.5
+    x = Tensor(data.copy(), requires_grad=True)
+    out = op(x).sum()
+    out.backward()
+
+    def objective() -> float:
+        return float(op(Tensor(data)).sum().item())
+
+    for index in [(0, 0), (1, 2), (2, 3)]:
+        numeric = numeric_gradient(objective, data, index)
+        assert x.grad[index] == pytest.approx(numeric, rel=rtol, abs=1e-3)
+
+
+class TestUnaryOps:
+    def test_exp_gradient(self, rng):
+        _check_unary(lambda t: t.exp(), rng)
+
+    def test_log_gradient(self, rng):
+        _check_unary(lambda t: t.log(), rng, positive_only=True)
+
+    def test_sqrt_gradient(self, rng):
+        _check_unary(lambda t: t.sqrt(), rng, positive_only=True)
+
+    def test_tanh_gradient(self, rng):
+        _check_unary(lambda t: t.tanh(), rng)
+
+    def test_sigmoid_gradient(self, rng):
+        _check_unary(lambda t: t.sigmoid(), rng)
+
+    def test_abs_gradient(self, rng):
+        _check_unary(lambda t: t.abs(), rng)
+
+    def test_relu_gradient_masks_negatives(self, rng):
+        data = np.array([[-1.0, 2.0], [3.0, -4.0]], dtype=np.float32)
+        x = Tensor(data, requires_grad=True)
+        x.relu().sum().backward()
+        np.testing.assert_allclose(x.grad, [[0.0, 1.0], [1.0, 0.0]])
+
+    def test_neg_gradient(self, rng):
+        x = Tensor(rng.standard_normal((2, 2)).astype(np.float32), requires_grad=True)
+        (-x).sum().backward()
+        np.testing.assert_allclose(x.grad, -np.ones((2, 2)))
+
+    def test_pow_gradient(self, rng):
+        data = np.abs(rng.standard_normal((3, 3)).astype(np.float32)) + 0.5
+        x = Tensor(data.copy(), requires_grad=True)
+        (x ** 3).sum().backward()
+        np.testing.assert_allclose(x.grad, 3 * data ** 2, rtol=1e-5)
+
+    def test_clip_gradient_zero_outside_range(self):
+        data = np.array([-2.0, 0.5, 3.0], dtype=np.float32)
+        x = Tensor(data, requires_grad=True)
+        x.clip(0.0, 1.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+
+class TestBinaryOps:
+    def test_add_broadcast_gradients(self, rng):
+        a = Tensor(rng.standard_normal((3, 4)).astype(np.float32), requires_grad=True)
+        b = Tensor(rng.standard_normal((4,)).astype(np.float32), requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((3, 4)))
+        np.testing.assert_allclose(b.grad, np.full((4,), 3.0))
+
+    def test_mul_gradients(self, rng):
+        a_data = rng.standard_normal((2, 3)).astype(np.float32)
+        b_data = rng.standard_normal((2, 3)).astype(np.float32)
+        a = Tensor(a_data, requires_grad=True)
+        b = Tensor(b_data, requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, b_data, rtol=1e-6)
+        np.testing.assert_allclose(b.grad, a_data, rtol=1e-6)
+
+    def test_div_gradients(self, rng):
+        a_data = rng.standard_normal((2, 2)).astype(np.float32)
+        b_data = np.abs(rng.standard_normal((2, 2)).astype(np.float32)) + 1.0
+        a = Tensor(a_data.copy(), requires_grad=True)
+        b = Tensor(b_data.copy(), requires_grad=True)
+        (a / b).sum().backward()
+        np.testing.assert_allclose(a.grad, 1.0 / b_data, rtol=1e-5)
+        np.testing.assert_allclose(b.grad, -a_data / b_data ** 2, rtol=1e-5)
+
+    def test_sub_and_rsub(self, rng):
+        a = Tensor(np.ones((2, 2), dtype=np.float32), requires_grad=True)
+        out = 3.0 - a
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, -np.ones((2, 2)))
+        np.testing.assert_allclose(out.data, 2.0 * np.ones((2, 2)))
+
+    def test_matmul_gradients(self, rng):
+        a_data = rng.standard_normal((3, 4)).astype(np.float32)
+        b_data = rng.standard_normal((4, 2)).astype(np.float32)
+        a = Tensor(a_data.copy(), requires_grad=True)
+        b = Tensor(b_data.copy(), requires_grad=True)
+        (a @ b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((3, 2)) @ b_data.T, rtol=1e-5)
+        np.testing.assert_allclose(b.grad, a_data.T @ np.ones((3, 2)), rtol=1e-5)
+
+    def test_maximum_gradient_split(self):
+        a = Tensor(np.array([1.0, 5.0], dtype=np.float32), requires_grad=True)
+        b = Tensor(np.array([2.0, 3.0], dtype=np.float32), requires_grad=True)
+        a.maximum(b).sum().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0])
+        np.testing.assert_allclose(b.grad, [1.0, 0.0])
+
+
+class TestReductions:
+    def test_sum_axis_keepdims(self, rng):
+        data = rng.standard_normal((2, 3, 4)).astype(np.float32)
+        x = Tensor(data.copy(), requires_grad=True)
+        out = x.sum(axis=1, keepdims=True)
+        assert out.shape == (2, 1, 4)
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones_like(data))
+
+    def test_mean_gradient_scaling(self, rng):
+        data = rng.standard_normal((4, 5)).astype(np.float32)
+        x = Tensor(data.copy(), requires_grad=True)
+        x.mean().backward()
+        np.testing.assert_allclose(x.grad, np.full_like(data, 1.0 / data.size), rtol=1e-6)
+
+    def test_max_gradient_goes_to_argmax(self):
+        data = np.array([[1.0, 3.0, 2.0], [5.0, 4.0, 0.0]], dtype=np.float32)
+        x = Tensor(data, requires_grad=True)
+        x.max(axis=1).sum().backward()
+        np.testing.assert_allclose(x.grad, [[0, 1, 0], [1, 0, 0]])
+
+    def test_max_ties_split_gradient(self):
+        data = np.array([[2.0, 2.0]], dtype=np.float32)
+        x = Tensor(data, requires_grad=True)
+        x.max(axis=1).sum().backward()
+        np.testing.assert_allclose(x.grad, [[0.5, 0.5]])
+
+    def test_var_matches_numpy(self, rng):
+        data = rng.standard_normal((6, 7)).astype(np.float32)
+        x = Tensor(data)
+        np.testing.assert_allclose(x.var().item(), data.var(), rtol=1e-4)
+
+
+class TestBackwardSemantics:
+    def test_gradient_accumulates_across_backward_calls(self, rng):
+        x = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        (x * 2.0).sum().backward()
+        (x * 2.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [4.0, 4.0, 4.0])
+
+    def test_backward_requires_scalar_without_grad(self):
+        x = Tensor(np.ones((2, 2), dtype=np.float32), requires_grad=True)
+        with pytest.raises(ValueError):
+            (x * 1.0).backward()
+
+    def test_zero_grad_resets(self):
+        x = Tensor(np.ones(2, dtype=np.float32), requires_grad=True)
+        x.sum().backward()
+        assert x.grad is not None
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_detach_stops_gradient(self):
+        x = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        y = x.detach()
+        assert not y.requires_grad
+
+    def test_no_grad_context_disables_graph(self):
+        x = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        with no_grad():
+            assert not is_grad_enabled()
+            y = (x * 2.0).sum()
+        assert is_grad_enabled()
+        assert not y.requires_grad
+
+    def test_diamond_graph_gradient(self):
+        # y = a*x, z = b*x, loss = y + z should give dL/dx = a + b.
+        x = Tensor(np.array([2.0], dtype=np.float32), requires_grad=True)
+        y = x * 3.0
+        z = x * 4.0
+        (y + z).sum().backward()
+        np.testing.assert_allclose(x.grad, [7.0])
+
+    def test_deep_chain_does_not_overflow_recursion(self):
+        x = Tensor(np.array([1.0], dtype=np.float32), requires_grad=True)
+        out = x
+        for _ in range(2000):
+            out = out + 1.0
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0])
+
+
+class TestConstructors:
+    def test_zeros_ones_randn_shapes(self, rng):
+        assert Tensor.zeros(2, 3).shape == (2, 3)
+        assert Tensor.ones(4).data.sum() == 4.0
+        assert Tensor.randn(2, 2, rng=rng).shape == (2, 2)
+
+    def test_stack_and_cat_gradients(self):
+        a = Tensor(np.array([1.0, 2.0], dtype=np.float32), requires_grad=True)
+        b = Tensor(np.array([3.0, 4.0], dtype=np.float32), requires_grad=True)
+        Tensor.stack([a, b]).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])
+        np.testing.assert_allclose(b.grad, [1.0, 1.0])
+        a.zero_grad()
+        b.zero_grad()
+        Tensor.cat([a, b]).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])
+        np.testing.assert_allclose(b.grad, [1.0, 1.0])
+
+    def test_repr_mentions_shape_and_grad_flag(self):
+        x = Tensor(np.zeros((2, 2)), requires_grad=True, name="w")
+        text = repr(x)
+        assert "(2, 2)" in text and "requires_grad" in text and "w" in text

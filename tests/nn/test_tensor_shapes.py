@@ -1,0 +1,108 @@
+"""Shape-manipulation operations: reshape, transpose, pad, indexing, flatten."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, unbroadcast
+
+
+class TestReshapeTranspose:
+    def test_reshape_roundtrip_gradient(self, rng):
+        data = rng.standard_normal((2, 3, 4)).astype(np.float32)
+        x = Tensor(data.copy(), requires_grad=True)
+        y = x.reshape(6, 4)
+        assert y.shape == (6, 4)
+        (y * 2.0).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full_like(data, 2.0))
+
+    def test_reshape_accepts_tuple(self, rng):
+        x = Tensor(rng.standard_normal((4, 4)).astype(np.float32))
+        assert x.reshape((2, 8)).shape == (2, 8)
+
+    def test_transpose_default_reverses_axes(self, rng):
+        x = Tensor(rng.standard_normal((2, 3, 4)).astype(np.float32), requires_grad=True)
+        y = x.transpose()
+        assert y.shape == (4, 3, 2)
+        y.sum().backward()
+        assert x.grad.shape == (2, 3, 4)
+
+    def test_transpose_explicit_axes_gradient(self, rng):
+        data = rng.standard_normal((2, 3, 4)).astype(np.float32)
+        x = Tensor(data.copy(), requires_grad=True)
+        y = x.transpose(1, 0, 2)
+        assert y.shape == (3, 2, 4)
+        (y * Tensor(np.ones((3, 2, 4), dtype=np.float32))).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones_like(data))
+
+    def test_flatten_keeps_batch_dimension(self, rng):
+        x = Tensor(rng.standard_normal((5, 2, 3, 3)).astype(np.float32))
+        assert x.flatten(1).shape == (5, 18)
+        assert x.flatten(2).shape == (5, 2, 9)
+
+
+class TestPadAndIndex:
+    def test_pad2d_shape_and_gradient(self, rng):
+        data = rng.standard_normal((1, 1, 3, 3)).astype(np.float32)
+        x = Tensor(data.copy(), requires_grad=True)
+        y = x.pad2d((1, 2))
+        assert y.shape == (1, 1, 5, 7)
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones_like(data))
+
+    def test_pad2d_zero_padding_is_identity(self, rng):
+        x = Tensor(rng.standard_normal((1, 1, 3, 3)).astype(np.float32))
+        assert x.pad2d((0, 0)) is x
+
+    def test_getitem_slice_gradient(self, rng):
+        data = rng.standard_normal((4, 4)).astype(np.float32)
+        x = Tensor(data.copy(), requires_grad=True)
+        x[1:3, :].sum().backward()
+        expected = np.zeros_like(data)
+        expected[1:3, :] = 1.0
+        np.testing.assert_allclose(x.grad, expected)
+
+    def test_getitem_integer_row(self, rng):
+        data = rng.standard_normal((3, 3)).astype(np.float32)
+        x = Tensor(data.copy(), requires_grad=True)
+        x[0].sum().backward()
+        expected = np.zeros_like(data)
+        expected[0] = 1.0
+        np.testing.assert_allclose(x.grad, expected)
+
+
+class TestUnbroadcast:
+    def test_unbroadcast_sums_leading_axes(self):
+        grad = np.ones((5, 3, 4))
+        reduced = unbroadcast(grad, (3, 4))
+        np.testing.assert_allclose(reduced, np.full((3, 4), 5.0))
+
+    def test_unbroadcast_sums_singleton_axes(self):
+        grad = np.ones((3, 4))
+        reduced = unbroadcast(grad, (3, 1))
+        np.testing.assert_allclose(reduced, np.full((3, 1), 4.0))
+
+    def test_unbroadcast_noop_when_shapes_match(self):
+        grad = np.ones((2, 2))
+        assert unbroadcast(grad, (2, 2)) is grad
+
+    def test_unbroadcast_scalar_target(self):
+        grad = np.ones((2, 3))
+        np.testing.assert_allclose(unbroadcast(grad, ()), 6.0)
+
+
+class TestProperties:
+    def test_len_size_ndim_dtype(self, rng):
+        x = Tensor(rng.standard_normal((4, 5)).astype(np.float32))
+        assert len(x) == 4
+        assert x.size == 20
+        assert x.ndim == 2
+        assert x.dtype == np.float32
+
+    def test_item_on_scalar(self):
+        assert Tensor(np.array([3.5], dtype=np.float32)).item() == pytest.approx(3.5)
+
+    def test_numpy_returns_underlying_array(self):
+        data = np.zeros((2, 2), dtype=np.float32)
+        assert Tensor(data).numpy() is not None

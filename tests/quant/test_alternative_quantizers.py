@@ -1,0 +1,103 @@
+"""Alternative quantizers: DoReFa weights and asymmetric (affine) activations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor
+from repro.quant import (
+    asymmetric_quantize,
+    asymmetric_quantize_ste,
+    dorefa_quantize_weights,
+    dorefa_quantize_weights_ste,
+)
+
+
+class TestDoReFa:
+    def test_output_range_is_unit_interval(self, rng):
+        weights = rng.standard_normal(500).astype(np.float32) * 3.0
+        quantized = dorefa_quantize_weights(weights, 4)
+        assert quantized.min() >= -1.0 - 1e-6
+        assert quantized.max() <= 1.0 + 1e-6
+
+    def test_number_of_levels(self, rng):
+        weights = rng.standard_normal(2000).astype(np.float32)
+        quantized = dorefa_quantize_weights(weights, 3)
+        assert len(np.unique(quantized)) <= 2 ** 3
+
+    def test_monotone_in_input(self, rng):
+        weights = np.linspace(-2, 2, 101).astype(np.float32)
+        quantized = dorefa_quantize_weights(weights, 4)
+        assert np.all(np.diff(quantized) >= -1e-7)
+
+    def test_zero_tensor(self):
+        np.testing.assert_array_equal(dorefa_quantize_weights(np.zeros(8, np.float32), 4), 0.0)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            dorefa_quantize_weights(np.ones(4, np.float32), 1)
+
+    def test_more_bits_reduce_error_to_tanh_target(self, rng):
+        weights = rng.standard_normal(1000).astype(np.float32)
+        target = np.tanh(weights) / np.abs(np.tanh(weights)).max()
+        error3 = np.abs(dorefa_quantize_weights(weights, 3) - target).mean()
+        error6 = np.abs(dorefa_quantize_weights(weights, 6) - target).mean()
+        assert error6 < error3
+
+    def test_ste_gradient(self, rng):
+        shadow = Tensor(rng.standard_normal((4, 4)).astype(np.float32), requires_grad=True)
+        dorefa_quantize_weights_ste(shadow, 4).sum().backward()
+        np.testing.assert_allclose(shadow.grad, np.ones((4, 4)))
+
+
+class TestAsymmetric:
+    def test_zero_is_exactly_representable(self, rng):
+        values = rng.uniform(-3.0, 5.0, size=400).astype(np.float32)
+        result = asymmetric_quantize(values, 8)
+        zero_code = result.zero_point
+        reconstructed_zero = (zero_code - result.zero_point) * result.scale
+        assert reconstructed_zero == 0.0
+        assert 0 <= result.zero_point <= 2 ** 8 - 1
+
+    def test_codes_within_unsigned_range(self, rng):
+        values = rng.uniform(-1.0, 2.0, size=300).astype(np.float32)
+        result = asymmetric_quantize(values, 4)
+        assert result.codes.min() >= 0
+        assert result.codes.max() <= 15
+
+    def test_reconstruction_error_bounded_by_step(self, rng):
+        values = rng.uniform(-2.0, 2.0, size=500).astype(np.float32)
+        result = asymmetric_quantize(values, 8)
+        assert np.abs(result.quantized - values).max() <= result.scale * 0.5 + 1e-6
+
+    def test_constant_tensor_handled(self):
+        result = asymmetric_quantize(np.full(10, 0.0, dtype=np.float32), 4)
+        assert np.isfinite(result.quantized).all()
+
+    def test_positive_only_range_keeps_zero_point_zero(self, rng):
+        values = rng.uniform(0.0, 4.0, size=200).astype(np.float32)
+        result = asymmetric_quantize(values, 6)
+        assert result.zero_point == 0
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            asymmetric_quantize(np.ones(4, np.float32), 1)
+
+    def test_ste_gradient(self, rng):
+        x = Tensor(rng.uniform(-1, 1, size=20).astype(np.float32), requires_grad=True)
+        out, info = asymmetric_quantize_ste(x, 4)
+        (out * 2.0).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full(20, 2.0))
+        assert info.scale > 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10_000), bits=st.integers(2, 8))
+    def test_property_reconstruction_error(self, seed, bits):
+        values = np.random.default_rng(seed).uniform(-5, 5, size=64).astype(np.float32)
+        result = asymmetric_quantize(values, bits)
+        levels = 2 ** bits - 1
+        assert result.codes.min() >= 0 and result.codes.max() <= levels
+        assert np.abs(result.quantized - values).max() <= result.scale * 0.5 + 1e-5

@@ -1,0 +1,105 @@
+"""Two's-complement bit-plane representation (Eq. 5) including property tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant import (
+    bit_position_weights,
+    code_range,
+    from_twos_complement_bits,
+    to_twos_complement_bits,
+)
+
+
+class TestCodeRange:
+    def test_known_ranges(self):
+        assert code_range(2) == (-2, 1)
+        assert code_range(4) == (-8, 7)
+        assert code_range(8) == (-128, 127)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            code_range(0)
+
+
+class TestBitPositionWeights:
+    def test_matches_eq5_ordering(self):
+        weights = bit_position_weights(4)
+        np.testing.assert_allclose(weights, [-8.0, 4.0, 2.0, 1.0])
+
+    def test_scale_applied(self):
+        weights = bit_position_weights(3, scale=0.5)
+        np.testing.assert_allclose(weights, [-2.0, 1.0, 0.5])
+
+    def test_single_bit(self):
+        np.testing.assert_allclose(bit_position_weights(1), [-1.0])
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            bit_position_weights(0)
+
+
+class TestTwosComplement:
+    def test_known_decompositions(self):
+        bits = to_twos_complement_bits(np.array([3, -1, -8, 7, 0]), 4)
+        expected = np.array(
+            [
+                [0, 0, 1, 1],   # 3
+                [1, 1, 1, 1],   # -1
+                [1, 0, 0, 0],   # -8
+                [0, 1, 1, 1],   # 7
+                [0, 0, 0, 0],   # 0
+            ],
+            dtype=np.float32,
+        )
+        np.testing.assert_array_equal(bits, expected)
+
+    def test_roundtrip_full_range(self):
+        for width in (2, 3, 4, 6, 8):
+            low, high = code_range(width)
+            codes = np.arange(low, high + 1)
+            planes = to_twos_complement_bits(codes, width)
+            recovered = from_twos_complement_bits(planes, width)
+            np.testing.assert_array_equal(recovered, codes)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            to_twos_complement_bits(np.array([100]), 4)
+
+    def test_shape_preserved(self, rng):
+        codes = rng.integers(-8, 8, size=(3, 4, 5))
+        planes = to_twos_complement_bits(codes, 4)
+        assert planes.shape == (3, 4, 5, 4)
+
+    def test_recompose_rejects_wrong_width(self):
+        planes = np.zeros((3, 4))
+        with pytest.raises(ValueError):
+            from_twos_complement_bits(planes, 5)
+
+    def test_eq5_identity_on_quantized_codes(self, rng):
+        """w_q/S_w recomposed from its bit planes equals the original code."""
+        codes = rng.integers(-7, 8, size=100).astype(np.float64)
+        planes = to_twos_complement_bits(codes, 4)
+        weights = bit_position_weights(4)
+        recomposed = planes @ weights
+        np.testing.assert_allclose(recomposed, codes)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        width=st.integers(2, 10),
+        data=st.data(),
+    )
+    def test_property_roundtrip(self, width, data):
+        low, high = code_range(width)
+        codes = np.array(
+            data.draw(st.lists(st.integers(low, high), min_size=1, max_size=40))
+        )
+        planes = to_twos_complement_bits(codes, width)
+        assert planes.shape == codes.shape + (width,)
+        assert set(np.unique(planes)).issubset({0.0, 1.0})
+        recovered = from_twos_complement_bits(planes, width)
+        np.testing.assert_array_equal(recovered, codes)

@@ -1,0 +1,147 @@
+"""Per-channel quantization and integer-domain inference."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import simple_cnn
+from repro.nn import Tensor
+from repro.quant import (
+    IntegerInferenceSession,
+    QConv2d,
+    QLinear,
+    export_model,
+    integer_conv2d,
+    integer_levels,
+    integer_linear,
+    per_channel_scales,
+    per_tensor_vs_per_channel_error,
+    quantize_per_channel_array,
+    quantize_per_channel_ste,
+)
+from repro.quant.integer_inference import export_layer
+
+
+class TestPerChannelQuantizer:
+    def test_scales_per_output_channel(self, rng):
+        weights = rng.standard_normal((4, 3, 3, 3)).astype(np.float32)
+        weights[2] *= 10.0  # one channel with a much larger range
+        scales = per_channel_scales(weights, 4)
+        assert scales.shape == (4,)
+        assert scales[2] > 5 * scales[0]
+
+    def test_codes_within_range_per_channel(self, rng):
+        weights = rng.standard_normal((5, 8)).astype(np.float32) * 3.0
+        result = quantize_per_channel_array(weights, 3)
+        low, high = integer_levels(3)
+        assert result.codes.min() >= low and result.codes.max() <= high
+        # Dequantized values reconstruct codes * per-channel scale.
+        np.testing.assert_allclose(
+            result.quantized, result.codes * result.scales[:, None], rtol=1e-6
+        )
+
+    def test_requires_two_dimensions(self):
+        with pytest.raises(ValueError):
+            quantize_per_channel_array(np.zeros(5, dtype=np.float32), 4)
+
+    def test_zero_channel_handled(self):
+        weights = np.zeros((2, 4), dtype=np.float32)
+        weights[1] = 1.0
+        result = quantize_per_channel_array(weights, 4)
+        assert np.isfinite(result.quantized).all()
+
+    def test_per_channel_error_never_worse_than_per_tensor(self, rng):
+        weights = rng.standard_normal((8, 16)).astype(np.float32)
+        weights[0] *= 20.0  # outlier channel makes the per-tensor scale coarse
+        tensor_mse, channel_mse = per_tensor_vs_per_channel_error(weights, 4)
+        assert channel_mse <= tensor_mse + 1e-12
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000), bits=st.integers(2, 8))
+    def test_property_error_ordering(self, seed, bits):
+        weights = np.random.default_rng(seed).standard_normal((4, 10)).astype(np.float32)
+        tensor_mse, channel_mse = per_tensor_vs_per_channel_error(weights, bits)
+        assert channel_mse <= tensor_mse + 1e-12
+
+    def test_ste_gradient_passthrough(self, rng):
+        shadow = Tensor(rng.standard_normal((3, 5)).astype(np.float32), requires_grad=True)
+        quantized, info = quantize_per_channel_ste(shadow, 4)
+        (quantized * 3.0).sum().backward()
+        np.testing.assert_allclose(shadow.grad, np.full((3, 5), 3.0))
+        assert info.scales.shape == (3,)
+
+
+class TestIntegerKernels:
+    def test_integer_conv_matches_float_quantized_conv(self, rng):
+        conv = QConv2d(3, 4, 3, stride=2, padding=1, bias=True, bits=4, rng=rng)
+        x = rng.standard_normal((2, 3, 9, 9)).astype(np.float32)
+        float_out = conv(Tensor(x)).data
+        export = export_layer("conv", conv)
+        integer_out = integer_conv2d(x, export)
+        np.testing.assert_allclose(integer_out, float_out, rtol=1e-4, atol=1e-5)
+
+    def test_integer_linear_matches_float_quantized_linear(self, rng):
+        layer = QLinear(10, 6, bits=2, rng=rng)
+        x = rng.standard_normal((5, 10)).astype(np.float32)
+        float_out = layer(Tensor(x)).data
+        export = export_layer("fc", layer)
+        integer_out = integer_linear(x, export)
+        np.testing.assert_allclose(integer_out, float_out, rtol=1e-4, atol=1e-5)
+
+    def test_export_codes_are_integers(self, rng):
+        conv = QConv2d(2, 2, 3, bits=4, rng=rng)
+        export = export_layer("conv", conv)
+        assert export.codes.dtype == np.int32
+        assert export.storage_bits == conv.num_weight_params * 4
+
+    def test_kind_mismatch_rejected(self, rng):
+        conv_export = export_layer("conv", QConv2d(1, 1, 3, bits=4, rng=rng))
+        with pytest.raises(ValueError):
+            integer_linear(np.zeros((1, 9), dtype=np.float32), conv_export)
+
+
+class TestIntegerInferenceSession:
+    @pytest.fixture
+    def model(self, rng):
+        model = simple_cnn(num_classes=4, input_size=12, channels=4, seed=0)
+        # Populate batch-norm running statistics so eval mode is meaningful.
+        model(Tensor(rng.standard_normal((8, 3, 12, 12)).astype(np.float32)))
+        model.eval()
+        return model
+
+    def test_matches_float_forward(self, model, rng):
+        x = rng.standard_normal((4, 3, 12, 12)).astype(np.float32)
+        session = IntegerInferenceSession(model)
+        integer_logits = session.run(x)
+        float_logits = model(Tensor(x)).data
+        np.testing.assert_allclose(integer_logits, float_logits, rtol=1e-3, atol=1e-4)
+
+    def test_model_behaviour_restored_after_session(self, model, rng):
+        x = rng.standard_normal((2, 3, 12, 12)).astype(np.float32)
+        before = model(Tensor(x)).data
+        IntegerInferenceSession(model).run(x)
+        after = model(Tensor(x)).data
+        np.testing.assert_allclose(after, before, rtol=1e-5)
+
+    def test_predictions_and_storage(self, model, rng):
+        x = rng.standard_normal((6, 3, 12, 12)).astype(np.float32)
+        session = IntegerInferenceSession(model)
+        predictions = session.predict(x)
+        assert predictions.shape == (6,)
+        assert session.total_storage_bits > 0
+        assert session.storage_megabytes() == pytest.approx(session.total_storage_bits / 8 / 2 ** 20)
+
+    def test_storage_tracks_bit_assignment(self, rng):
+        model = simple_cnn(num_classes=4, input_size=12, channels=4, seed=0)
+        session_4bit = IntegerInferenceSession(model)
+        model.apply_assignment({name: (layer.bits if layer.pinned else 2)
+                                for name, layer in model.quantizable_layers().items()})
+        session_2bit = IntegerInferenceSession(model)
+        assert session_2bit.total_storage_bits < session_4bit.total_storage_bits
+
+    def test_exports_cover_all_layers(self, model):
+        exports = export_model(model)
+        assert set(exports) == set(model.quantizable_layers())

@@ -1,0 +1,105 @@
+"""Quantized convolution/linear layers: forward equivalence, bit state, pinning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+from repro.quant import PACT, QConv2d, QLinear, quantize_symmetric_array
+
+
+class TestQConv2d:
+    def test_forward_uses_quantized_weights(self, rng):
+        conv = QConv2d(2, 3, 3, padding=1, bits=4, rng=rng)
+        x = Tensor(rng.standard_normal((1, 2, 5, 5)).astype(np.float32))
+        out = conv(x)
+        expected_weights = quantize_symmetric_array(conv.weight.data, 4).quantized
+        expected = F.conv2d(Tensor(x.data), Tensor(expected_weights), None, stride=1, padding=1)
+        np.testing.assert_allclose(out.data, expected.data, rtol=1e-5)
+
+    def test_two_bit_layer_uses_ternary_weights(self, rng):
+        conv = QConv2d(2, 2, 3, bits=2, rng=rng)
+        conv.quantized_weight()
+        assert len(np.unique(conv.last_quant_info.codes)) <= 3
+
+    def test_gradient_flows_to_shadow_weights(self, rng):
+        conv = QConv2d(1, 2, 3, bits=4, rng=rng)
+        x = Tensor(rng.standard_normal((2, 1, 4, 4)).astype(np.float32))
+        conv(x).sum().backward()
+        assert conv.weight.grad is not None
+        assert conv.weight.grad.shape == conv.weight.data.shape
+
+    def test_quantized_weight_gradient_recorded(self, rng):
+        conv = QConv2d(1, 2, 3, bits=4, rng=rng)
+        x = Tensor(rng.standard_normal((1, 1, 5, 5)).astype(np.float32))
+        conv(x).sum().backward()
+        grad_wq, codes, scale = conv.weight_bit_gradient_inputs()
+        assert grad_wq.shape == conv.weight.data.shape
+        assert codes.shape == conv.weight.data.shape
+        assert scale > 0
+
+    def test_bit_gradient_inputs_require_forward_and_backward(self, rng):
+        conv = QConv2d(1, 1, 3, bits=4, rng=rng)
+        with pytest.raises(RuntimeError):
+            conv.weight_bit_gradient_inputs()
+        conv(Tensor(rng.standard_normal((1, 1, 4, 4)).astype(np.float32)))
+        with pytest.raises(RuntimeError):
+            conv.weight_bit_gradient_inputs()
+
+    def test_num_weight_params_excludes_bias(self, rng):
+        conv = QConv2d(3, 4, 3, bias=True, rng=rng)
+        assert conv.num_weight_params == 4 * 3 * 9
+
+    def test_repr_mentions_bits(self, rng):
+        assert "bits=4" in repr(QConv2d(1, 1, 3, bits=4, rng=rng))
+
+
+class TestQLinear:
+    def test_forward_matches_quantized_linear(self, rng):
+        layer = QLinear(6, 4, bits=4, rng=rng)
+        x = Tensor(rng.standard_normal((3, 6)).astype(np.float32))
+        out = layer(x)
+        qweights = quantize_symmetric_array(layer.weight.data, 4).quantized
+        expected = x.data @ qweights.T + layer.bias.data
+        np.testing.assert_allclose(out.data, expected, rtol=1e-5)
+
+    def test_gradients_flow_through_ste(self, rng):
+        layer = QLinear(5, 2, bits=2, rng=rng)
+        x = Tensor(rng.standard_normal((4, 5)).astype(np.float32))
+        layer(x).sum().backward()
+        assert layer.weight.grad is not None
+
+
+class TestBitWidthManagement:
+    def test_set_bits_changes_quantization(self, rng):
+        layer = QLinear(8, 8, bits=4, rng=rng)
+        layer.set_bits(2)
+        assert layer.bits == 2
+        layer.quantized_weight()
+        assert len(np.unique(layer.last_quant_info.codes)) <= 3
+
+    def test_pinned_layer_rejects_set_bits(self, rng):
+        layer = QConv2d(1, 1, 3, bits=16, pinned=True, rng=rng)
+        with pytest.raises(ValueError):
+            layer.set_bits(4)
+        layer.set_bits(4, force=True)
+        assert layer.bits == 4
+
+    def test_set_bits_below_two_rejected(self, rng):
+        layer = QLinear(4, 4, rng=rng)
+        with pytest.raises(ValueError):
+            layer.set_bits(1)
+
+    def test_attached_activation_follows_weight_bits(self, rng):
+        layer = QConv2d(1, 1, 3, bits=4, rng=rng)
+        activation = layer.attach_activation(PACT(bits=8))
+        assert activation.bits == 4
+        layer.set_bits(2)
+        assert activation.bits == 2
+
+    def test_activation_unchanged_without_attachment(self, rng):
+        layer = QConv2d(1, 1, 3, bits=4, rng=rng)
+        layer.set_bits(2)
+        assert layer.activation is None

@@ -1,0 +1,108 @@
+"""Experiment registry, runner and CLI."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENT_REGISTRY,
+    ExperimentConfig,
+    get_experiment,
+    list_experiments,
+    run_experiment,
+)
+from repro.experiments.cli import build_parser, main
+
+
+class TestRegistry:
+    def test_every_table1_row_registered(self):
+        table1 = list_experiments("table1/")
+        # 8 BMPQ rows + 6 FP-32 reference rows.
+        assert len(table1) == 14
+        assert "table1/cifar10/vgg16/bmpq-10.5x" in table1
+        assert "table1/tiny_imagenet/resnet18/fp32" in table1
+
+    def test_every_table2_row_registered(self):
+        table2 = list_experiments("table2/")
+        assert len(table2) == 6  # AD + BMPQ per (model, dataset) pair
+
+    def test_get_experiment_and_unknown(self):
+        config = get_experiment("table1/cifar10/vgg16/bmpq-10.5x")
+        assert config.target_compression_ratio == pytest.approx(10.5)
+        assert config.paper_accuracy == pytest.approx(93.56)
+        with pytest.raises(KeyError):
+            get_experiment("table9/unknown")
+
+    def test_prefix_filter(self):
+        assert all(name.startswith("baseline/") for name in list_experiments("baseline/"))
+
+    def test_names_are_unique_and_match_keys(self):
+        for name, config in EXPERIMENT_REGISTRY.items():
+            assert name == config.name
+
+    def test_paper_scale_preset(self):
+        config = get_experiment("table1/cifar10/vgg16/bmpq-10.5x").scaled_to_paper()
+        assert config.epochs == 200
+        assert config.epoch_interval == 20
+        assert config.lr_milestones == (80, 140)
+        assert config.width_multiplier == 1.0
+        tiny = get_experiment("table1/tiny_imagenet/resnet18/bmpq-8.8x").scaled_to_paper()
+        assert tiny.epochs == 100 and tiny.lr_milestones == (40, 70)
+
+
+class TestRunner:
+    def _quick(self, **overrides) -> ExperimentConfig:
+        base = get_experiment("quick/smoke")
+        return dataclasses.replace(base, **overrides)
+
+    def test_run_bmpq_smoke(self):
+        outcome = run_experiment(self._quick())
+        assert outcome.method == "bmpq"
+        assert outcome.compression_ratio > 1.0
+        assert outcome.bit_vector is not None
+        assert outcome.bit_vector[0] == 16 and outcome.bit_vector[-1] == 16
+        assert "acc=" in outcome.summary_line()
+
+    def test_run_fp32_smoke(self):
+        outcome = run_experiment(self._quick(name="quick/fp32", method="fp32", epochs=1))
+        assert outcome.compression_ratio == pytest.approx(1.0)
+        assert outcome.bit_vector is None
+        assert "full precision" in outcome.summary_line()
+
+    def test_run_hpq_smoke(self):
+        outcome = run_experiment(self._quick(name="quick/hpq", method="hpq", hpq_bits=2, epochs=1))
+        assert set(outcome.bit_vector[1:-1]) == {2}
+
+    def test_run_ad_smoke(self):
+        outcome = run_experiment(self._quick(name="quick/ad", method="ad", epochs=1))
+        assert set(outcome.bit_vector).issubset({2, 4, 16})
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            run_experiment(self._quick(name="quick/bad", method="magic"))
+
+
+class TestCLI:
+    def test_list_command(self, capsys):
+        assert main(["list", "table2/"]) == 0
+        out = capsys.readouterr().out
+        assert "table2/cifar10/vgg16/ad" in out
+
+    def test_describe_command(self, capsys):
+        assert main(["describe", "quick/smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "simple_cnn" in out and "target_average_bits" in out
+
+    def test_run_command_with_overrides(self, capsys):
+        assert main(["run", "quick/smoke", "--epochs", "1", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "quick/smoke" in out and "ratio=" in out
+
+    def test_run_prefix_unknown(self, capsys):
+        assert main(["run-prefix", "doesnotexist/"]) == 1
+
+    def test_parser_rejects_missing_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

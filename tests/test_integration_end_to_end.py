@@ -1,0 +1,136 @@
+"""End-to-end integration: BMPQ vs baselines on a small but real workload.
+
+These tests exercise the complete public API the way the benchmark harness
+does — model registry, synthetic data, augmentation, BMPQ training, baseline
+training, compression accounting and reporting — and assert the qualitative
+relationships the paper's evaluation relies on (budgets respected, mixed
+precision achieved, sensitivity snapshots usable for Fig. 2-style analysis).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import BMPQConfig, BMPQTrainer, build_model
+from repro.analysis import ResultTable, compression_summary, table1_row
+from repro.baselines import QATConfig, train_ad_baseline, train_hpq_baseline
+from repro.data import DataLoader, SyntheticImageClassification, standard_augmentation
+from repro.utils import save_checkpoint, load_checkpoint
+
+
+@pytest.fixture(scope="module")
+def loaders():
+    train_ds = SyntheticImageClassification(192, num_classes=4, image_size=16, noise_std=0.12, seed=0)
+    test_ds = SyntheticImageClassification(64, num_classes=4, image_size=16, noise_std=0.12, seed=10_000)
+    train = DataLoader(
+        train_ds, batch_size=32, shuffle=True, transform=standard_augmentation(16, padding=2), seed=1
+    )
+    test = DataLoader(test_ds, batch_size=32)
+    return train, test
+
+
+@pytest.fixture(scope="module")
+def bmpq_run(loaders):
+    train, test = loaders
+    model = build_model("simple_cnn", num_classes=4, input_size=16, channels=6, seed=0)
+    config = BMPQConfig(
+        epochs=5,
+        epoch_interval=1,
+        learning_rate=0.08,
+        lr_milestones=(4,),
+        target_average_bits=5.0,
+        support_bits=(4, 2),
+    )
+    trainer = BMPQTrainer(model, train, test, config)
+    return trainer.train(), model
+
+
+class TestBMPQEndToEnd:
+    def test_training_learns_above_chance(self, bmpq_run):
+        result, _model = bmpq_run
+        assert result.best_test_accuracy > 0.3  # chance is 0.25
+
+    def test_mixed_precision_produced_within_budget(self, bmpq_run):
+        result, model = bmpq_run
+        free_bits = [
+            bits
+            for name, bits in result.final_bits_by_layer.items()
+            if not model.quantizable_layers()[name].pinned
+        ]
+        assert set(free_bits).issubset({2, 4})
+        specs = model.layer_specs()
+        used = sum(spec.num_params * result.final_bits_by_layer[spec.name] for spec in specs)
+        assert used <= sum(spec.num_params for spec in specs) * 5.0 + 1e-6
+        assert result.compression_ratio_fp32 > 32.0 / 5.0 - 1e-6
+
+    def test_sensitivity_snapshots_support_fig2_analysis(self, bmpq_run):
+        result, _model = bmpq_run
+        assert len(result.snapshots) >= 2
+        first, last = result.snapshots[0], result.snapshots[-1]
+        assert set(first.enbg) == set(last.enbg)
+        assert max(first.normalized().values()) == pytest.approx(1.0)
+
+    def test_checkpoint_roundtrip_preserves_assignment(self, bmpq_run, tmp_path):
+        result, model = bmpq_run
+        path = save_checkpoint(str(tmp_path / "bmpq"), model, metadata={"experiment": "integration"})
+        fresh = build_model("simple_cnn", num_classes=4, input_size=16, channels=6, seed=5)
+        load_checkpoint(path, fresh)
+        assert fresh.current_assignment() == result.final_bits_by_layer
+
+
+class TestBaselineComparison:
+    def test_bmpq_budget_not_larger_than_hpq4(self, bmpq_run, loaders):
+        """BMPQ at avg 5 bits stores no more than homogeneous 4-bit + pinned layers."""
+        result, model = bmpq_run
+        train, test = loaders
+        hpq_model = build_model("simple_cnn", num_classes=4, input_size=16, channels=6, seed=0)
+        hpq = train_hpq_baseline(hpq_model, train, test, bits=4, config=QATConfig(epochs=1, lr_milestones=(10,)))
+        # Identical architecture: compare parameter-bit totals directly.
+        specs = model.layer_specs()
+        bmpq_bits = sum(s.num_params * result.final_bits_by_layer[s.name] for s in specs)
+        hpq_bits = sum(s.num_params * hpq.bits_by_layer[s.name] for s in specs)
+        assert bmpq_bits <= hpq_bits * 1.05
+
+    def test_ad_baseline_is_single_shot(self, loaders):
+        train, test = loaders
+        model = build_model("simple_cnn", num_classes=4, input_size=16, channels=6, seed=2)
+        result, ad = train_ad_baseline(
+            model, train, test, calibration_batches=2, config=QATConfig(epochs=1, lr_milestones=(10,))
+        )
+        assert all(not record.reassigned for record in result.history)
+        assert result.bits_by_layer == ad.bits_by_layer
+
+
+class TestReportingPipeline:
+    def test_table1_row_from_real_run(self, bmpq_run):
+        result, model = bmpq_run
+        table = ResultTable(
+            title="Table I (integration)",
+            columns=[
+                "dataset",
+                "model",
+                "layer-wise bit width",
+                "test acc (%)",
+                "compression ratio",
+                "paper acc (%)",
+                "paper ratio",
+            ],
+        )
+        table.add_row(
+            **table1_row(
+                dataset="synthetic-4",
+                model="simple_cnn",
+                bit_vector=result.final_bit_vector,
+                test_accuracy=result.final_test_accuracy,
+                compression_ratio=result.compression_ratio_fp32,
+            )
+        )
+        text = table.render()
+        assert "simple_cnn" in text
+        assert "[16," in text
+
+    def test_compression_summary_matches_result(self, bmpq_run):
+        result, model = bmpq_run
+        summary = compression_summary(model.layer_specs(), result.final_bits_by_layer)
+        assert summary.compression_ratio_fp32 == pytest.approx(result.compression_ratio_fp32)

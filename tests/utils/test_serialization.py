@@ -1,0 +1,53 @@
+"""Checkpoint save/load round trips for quantizable models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import simple_cnn
+from repro.nn import Tensor
+from repro.utils import checkpoint_bits, load_checkpoint, save_checkpoint
+
+
+@pytest.fixture
+def model():
+    return simple_cnn(num_classes=4, input_size=12, channels=4, seed=0)
+
+
+class TestCheckpointRoundTrip:
+    def test_state_restored_exactly(self, model, tmp_path):
+        model.quantizable_layers()["conv1"].set_bits(2)
+        path = save_checkpoint(str(tmp_path / "ckpt"), model, metadata={"epoch": 3})
+        fresh = simple_cnn(num_classes=4, input_size=12, channels=4, seed=99)
+        state, bits, metadata = load_checkpoint(path, fresh)
+        np.testing.assert_array_equal(fresh.conv1.weight.data, model.conv1.weight.data)
+        assert bits["conv1"] == 2
+        assert fresh.quantizable_layers()["conv1"].bits == 2
+        assert metadata == {"epoch": 3}
+        assert len(state) > 0
+
+    def test_outputs_match_after_restore(self, model, tmp_path):
+        x = Tensor(np.random.default_rng(0).standard_normal((2, 3, 12, 12)).astype(np.float32))
+        model(x)  # populate batch-norm running statistics
+        model.eval()
+        expected = model(x).data
+        path = save_checkpoint(str(tmp_path / "weights"), model)
+        fresh = simple_cnn(num_classes=4, input_size=12, channels=4, seed=7)
+        load_checkpoint(path, fresh)
+        fresh.eval()
+        np.testing.assert_allclose(fresh(x).data, expected, rtol=1e-5, atol=1e-6)
+
+    def test_checkpoint_bits_reader(self, model, tmp_path):
+        model.quantizable_layers()["fc1"].set_bits(2)
+        path = save_checkpoint(str(tmp_path / "bits_only"), model)
+        assert checkpoint_bits(path)["fc1"] == 2
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(str(tmp_path / "does_not_exist"))
+
+    def test_explicit_bits_override(self, model, tmp_path):
+        path = save_checkpoint(str(tmp_path / "explicit"), model, bits_by_layer={"conv1": 2, "conv2": 4, "fc1": 2, "conv0": 16, "classifier": 16})
+        _state, bits, _meta = load_checkpoint(path)
+        assert bits["conv1"] == 2 and bits["conv2"] == 4

@@ -1,0 +1,79 @@
+"""Utilities: seeding, logging, timing."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    RunLogger,
+    SeedSequenceFactory,
+    StopwatchRegistry,
+    Timer,
+    seed_everything,
+    spawn_generators,
+)
+
+
+class TestRng:
+    def test_seed_everything_returns_generator(self):
+        gen = seed_everything(123)
+        assert isinstance(gen, np.random.Generator)
+
+    def test_spawn_generators_are_independent_and_reproducible(self):
+        first = spawn_generators(7, ["model", "data"])
+        second = spawn_generators(7, ["model", "data"])
+        assert set(first) == {"model", "data"}
+        np.testing.assert_array_equal(
+            first["model"].standard_normal(4), second["model"].standard_normal(4)
+        )
+        assert not np.array_equal(
+            spawn_generators(7, ["model"])["model"].standard_normal(4),
+            spawn_generators(8, ["model"])["model"].standard_normal(4),
+        )
+
+    def test_seed_factory_issues_distinct_seeds(self):
+        factory = SeedSequenceFactory(0)
+        seeds = [factory.next_seed() for _ in range(5)]
+        assert len(set(seeds)) == 5
+        assert factory.issued == 5
+
+
+class TestLogger:
+    def test_messages_and_metrics_recorded(self):
+        logger = RunLogger("test")
+        logger("hello")
+        logger.log("world")
+        logger.record_metric("loss", 1.0)
+        logger.record_metric("loss", 0.5)
+        assert len(logger.entries) == 2
+        assert logger.metric_series("loss") == [1.0, 0.5]
+        assert logger.last_metric("loss") == 0.5
+        assert logger.last_metric("missing") is None
+        assert "loss" in logger.summary()
+
+    def test_stream_mirroring(self):
+        stream = io.StringIO()
+        logger = RunLogger("mirror", stream=stream)
+        logger("message one")
+        assert "message one" in stream.getvalue()
+
+
+class TestTiming:
+    def test_timer_measures_elapsed(self):
+        with Timer() as timer:
+            sum(range(1000))
+        assert timer.elapsed >= 0.0
+
+    def test_stopwatch_registry_accumulates(self):
+        registry = StopwatchRegistry()
+        for _ in range(3):
+            with registry.section("work"):
+                sum(range(100))
+        assert registry.counts["work"] == 3
+        assert registry.totals["work"] >= 0.0
+        assert registry.mean("work") == pytest.approx(registry.totals["work"] / 3)
+        assert registry.mean("missing") == 0.0
+        assert "work" in registry.report()
