@@ -1,0 +1,114 @@
+"""Micro-benchmark: conv2d forward+backward per array backend.
+
+Times one convolution forward + backward (the training hot path) through the
+full autograd stack for every registered backend, on the acceptance-criterion
+workload (8x3x32x32 input, 16 filters of 3x3, stride 1, padding 1) plus a
+couple of neighbouring shapes, and writes ``benchmarks/BENCH_backend.json``
+so the performance trajectory of the backends is measurable across PRs.
+
+Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_conv_backends.py
+
+Exit status is non-zero if the fast backend is not at least ``MIN_SPEEDUP``
+times faster than the reference backend on the acceptance workload.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from typing import Dict
+
+import numpy as np
+
+from repro.backend import available_backends, get_backend, use_backend
+from repro.nn import Tensor
+from repro.nn import functional as F
+from repro.utils.timing import best_mean_seconds
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+OUTPUT_PATH = os.path.join(HERE, "BENCH_backend.json")
+
+# Acceptance floor for fast-vs-numpy on the primary workload.
+MIN_SPEEDUP = 3.0
+
+CASES = [
+    # name, input shape, weight shape, stride, padding; first is the primary.
+    ("conv3x3_8x3x32x32_16f", (8, 3, 32, 32), (16, 3, 3, 3), 1, 1),
+    ("conv3x3_8x16x16x16_32f", (8, 16, 16, 16), (32, 16, 3, 3), 1, 1),
+    ("conv1x1_8x32x8x8_64f", (8, 32, 8, 8), (64, 32, 1, 1), 1, 0),
+]
+
+
+def time_conv_fwd_bwd(backend_name: str, x_shape, w_shape, stride, padding,
+                      min_seconds: float = 0.5, repeats: int = 3) -> Dict[str, float]:
+    """Best-of-``repeats`` mean ms/iter for conv2d forward+backward."""
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(x_shape).astype(np.float32)
+    w = rng.standard_normal(w_shape).astype(np.float32)
+
+    def step() -> None:
+        xt = Tensor(x, requires_grad=True)
+        wt = Tensor(w, requires_grad=True)
+        out = F.conv2d(xt, wt, stride=stride, padding=padding)
+        out.sum().backward()
+
+    with use_backend(backend_name):
+        best = best_mean_seconds(step, repeats=repeats, min_seconds=min_seconds)
+    return {"ms_per_iter": best * 1e3}
+
+
+def main() -> int:
+    backends = available_backends()
+    report = {
+        "workload": "conv2d forward+backward through repro.nn autograd",
+        "default_backend": get_backend().name,
+        "min_speedup_required": MIN_SPEEDUP,
+        "cases": [],
+    }
+    ok = True
+    for name, x_shape, w_shape, stride, padding in CASES:
+        case = {
+            "name": name,
+            "input": list(x_shape),
+            "weight": list(w_shape),
+            "stride": stride,
+            "padding": padding,
+            "backends": {},
+        }
+        for backend_name in backends:
+            case["backends"][backend_name] = time_conv_fwd_bwd(
+                backend_name, x_shape, w_shape, stride, padding
+            )
+        if "numpy" in case["backends"] and "fast" in case["backends"]:
+            speedup = (
+                case["backends"]["numpy"]["ms_per_iter"]
+                / case["backends"]["fast"]["ms_per_iter"]
+            )
+            case["speedup_fast_vs_numpy"] = round(speedup, 2)
+            primary = name == CASES[0][0]
+            if primary and speedup < MIN_SPEEDUP:
+                ok = False
+        report["cases"].append(case)
+        timings = ", ".join(
+            f"{b}: {v['ms_per_iter']:.3f} ms" for b, v in case["backends"].items()
+        )
+        print(f"{name}: {timings}  (fast speedup: {case.get('speedup_fast_vs_numpy', 'n/a')}x)")
+
+    with open(OUTPUT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {OUTPUT_PATH}")
+    if not ok:
+        print(
+            f"FAIL: fast backend below the {MIN_SPEEDUP}x floor on the primary workload",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,10 @@ so the qualitative shape (who wins, by roughly what factor) can be compared
 directly; absolute accuracy values are not expected to match.
 
 The scale knobs live in :data:`BenchmarkScale` so a user with more compute can
-raise them toward the paper's configuration.
+raise them toward the paper's configuration.  Every benchmark executes on the
+array backend named by the ``REPRO_BACKEND`` environment variable (default
+``"fast"``); setting ``REPRO_BACKEND=numpy`` reruns the identical workload on
+the loop-level reference numerics.
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro import BMPQConfig, BMPQTrainer, build_model
+from repro.backend import available_backends, set_backend
 from repro.baselines import QATConfig
 from repro.data import DataLoader, standard_augmentation, train_test_datasets
 
@@ -44,6 +48,18 @@ class BenchmarkScale:
 
 
 SCALE = BenchmarkScale()
+
+# Array backend every benchmark run executes on; overridable per invocation
+# so the perf trajectory of both backends stays measurable.
+BACKEND = os.environ.get("REPRO_BACKEND", "fast")
+if BACKEND not in available_backends():
+    raise ValueError(
+        f"REPRO_BACKEND={BACKEND!r} is not a registered backend: {available_backends()}"
+    )
+# The BMPQ trainer scopes its own backend via BMPQConfig.backend, but the
+# baseline trainers (fp32/hpq/ad) run on the process default — pin it here so
+# every benchmark in the process honours REPRO_BACKEND.
+set_backend(BACKEND)
 
 # Paper-reported reference values (Table I and Table II).
 PAPER_TABLE1 = {
@@ -122,6 +138,7 @@ def bmpq_config(
     epochs: Optional[int] = None,
     epoch_interval: Optional[int] = None,
     warmup_epochs: int = 0,
+    backend: Optional[str] = None,
 ) -> BMPQConfig:
     """BMPQ configuration matching the paper's recipe at benchmark scale."""
     total_epochs = epochs if epochs is not None else scale.epochs
@@ -137,6 +154,7 @@ def bmpq_config(
         target_average_bits=target_average_bits,
         target_compression_ratio=target_compression_ratio,
         evaluate_every_epoch=True,
+        backend=backend if backend is not None else BACKEND,
     )
 
 

@@ -7,7 +7,10 @@ autodiff/CNN stack (:mod:`repro.nn`), quantizers and PACT (:mod:`repro.quant`),
 quantizable VGG/ResNet models (:mod:`repro.models`), datasets and loaders
 (:mod:`repro.data`), the baselines the paper compares against
 (:mod:`repro.baselines`) and analysis/reporting helpers
-(:mod:`repro.analysis`).
+(:mod:`repro.analysis`).  Array math is executed by a pluggable backend
+(:mod:`repro.backend`): ``"fast"`` (vectorized, default) or ``"numpy"``
+(loop-level reference), selectable globally (:func:`set_backend`), per scope
+(:func:`use_backend`) or per run (``BMPQConfig.backend``).
 
 Quickstart::
 
@@ -22,7 +25,7 @@ Quickstart::
     print(result.final_bit_vector, result.compression_ratio_fp32)
 """
 
-from . import analysis, baselines, core, data, models, nn, quant, utils
+from . import analysis, backend, baselines, core, data, models, nn, quant, utils
 from .core import (
     BMPQConfig,
     BMPQResult,
@@ -34,12 +37,20 @@ from .core import (
     evaluate_model,
     solve_bit_assignment,
 )
+from .backend import (
+    ArrayBackend,
+    available_backends,
+    get_backend,
+    set_backend,
+    use_backend,
+)
 from .models import build_model, available_models
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "analysis",
+    "backend",
     "baselines",
     "core",
     "data",
@@ -58,5 +69,10 @@ __all__ = [
     "solve_bit_assignment",
     "build_model",
     "available_models",
+    "ArrayBackend",
+    "available_backends",
+    "get_backend",
+    "set_backend",
+    "use_backend",
     "__version__",
 ]

@@ -1,0 +1,39 @@
+"""Pluggable array-backend layer for the BMPQ reproduction.
+
+All array math in :mod:`repro.nn`, :mod:`repro.quant` and the training loop
+is dispatched through the *active* :class:`ArrayBackend`.  Two backends ship
+today:
+
+* ``"numpy"`` — :class:`NumpyBackend`, the loop-level reference semantics;
+* ``"fast"`` — :class:`FastNumpyBackend` (the default), ``as_strided`` patch
+  extraction, BLAS-dispatched conv products and scratch-buffer reuse.
+
+Select one globally with :func:`set_backend`, per scope with
+:func:`use_backend`, per training run via ``BMPQConfig.backend``, or per
+experiment via ``--backend`` on the CLI.
+"""
+
+from .base import (
+    ArrayBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    set_backend,
+    use_backend,
+)
+from .fast_numpy import FastNumpyBackend
+from .numpy_backend import NumpyBackend
+
+register_backend(NumpyBackend())
+register_backend(FastNumpyBackend(), default=True)
+
+__all__ = [
+    "ArrayBackend",
+    "NumpyBackend",
+    "FastNumpyBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "set_backend",
+    "use_backend",
+]

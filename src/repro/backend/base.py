@@ -1,0 +1,319 @@
+"""The :class:`ArrayBackend` interface and the active-backend registry.
+
+Every array operation the training stack performs — elementwise math,
+matrix products, im2col patch extraction, pooling-window views, gradient
+scatters — is obtained through the *active backend* rather than called on
+``numpy`` directly.  This gives the repository a single seam where the
+numerics can be swapped wholesale: a bit-exact reference implementation
+(:class:`~repro.backend.numpy_backend.NumpyBackend`), a vectorized fast
+path (:class:`~repro.backend.fast_numpy.FastNumpyBackend`), and later
+sharded or accelerator-resident implementations, all without touching the
+autograd graph, the quantizers or the training loop.
+
+The registry mirrors the ``no_grad`` switch in :mod:`repro.nn.tensor`:
+
+* :func:`get_backend` returns the active backend (the process-wide default
+  is ``"fast"``);
+* :func:`set_backend` replaces it permanently;
+* :func:`use_backend` is a re-entrant context manager for scoped swaps,
+  which is how the trainer honours ``BMPQConfig.backend`` per run.
+
+Backends are stateless from the caller's point of view: any scratch
+buffers or geometry caches they keep internally must never change the
+numbers they return.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "ArrayBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "set_backend",
+    "use_backend",
+]
+
+IntPair = Tuple[int, int]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution/pooling window."""
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+class ArrayBackend:
+    """Abstract dispatch surface for every array op used by the stack.
+
+    The generic elementwise/linear-algebra methods have NumPy defaults so a
+    backend only has to override the structured kernels it accelerates
+    (im2col/col2im, the conv products, pooling windows and scatters).
+    Subclasses must set :attr:`name`.
+    """
+
+    #: Registry key; also what ``BMPQConfig.backend`` / ``--backend`` accept.
+    name: str = "abstract"
+
+    # ------------------------------------------------------------------ #
+    # creation / casting
+    # ------------------------------------------------------------------ #
+    def asarray(self, data, dtype=None) -> np.ndarray:
+        return np.asarray(data, dtype=dtype)
+
+    def zeros(self, shape, dtype=np.float32) -> np.ndarray:
+        return np.zeros(shape, dtype=dtype)
+
+    def ones(self, shape, dtype=np.float32) -> np.ndarray:
+        return np.ones(shape, dtype=dtype)
+
+    def zeros_like(self, x: np.ndarray) -> np.ndarray:
+        return np.zeros_like(x)
+
+    def empty(self, shape, dtype=np.float32) -> np.ndarray:
+        return np.empty(shape, dtype=dtype)
+
+    def pad2d(self, x: np.ndarray, ph: int, pw: int) -> np.ndarray:
+        """Zero-pad the two trailing (spatial) axes."""
+        if not (ph or pw):
+            return x
+        pad_width = [(0, 0)] * (x.ndim - 2) + [(ph, ph), (pw, pw)]
+        return np.pad(x, pad_width, mode="constant")
+
+    # ------------------------------------------------------------------ #
+    # elementwise
+    # ------------------------------------------------------------------ #
+    def exp(self, x: np.ndarray) -> np.ndarray:
+        return np.exp(x)
+
+    def log(self, x: np.ndarray) -> np.ndarray:
+        return np.log(x)
+
+    def sqrt(self, x: np.ndarray) -> np.ndarray:
+        return np.sqrt(x)
+
+    def tanh(self, x: np.ndarray) -> np.ndarray:
+        return np.tanh(x)
+
+    def abs(self, x: np.ndarray) -> np.ndarray:
+        return np.abs(x)
+
+    def sign(self, x: np.ndarray) -> np.ndarray:
+        return np.sign(x)
+
+    def clip(self, x: np.ndarray, low, high) -> np.ndarray:
+        return np.clip(x, low, high)
+
+    def round(self, x: np.ndarray) -> np.ndarray:
+        return np.round(x)
+
+    def maximum(self, a, b) -> np.ndarray:
+        return np.maximum(a, b)
+
+    def where(self, cond, a, b) -> np.ndarray:
+        return np.where(cond, a, b)
+
+    # ------------------------------------------------------------------ #
+    # linear algebra
+    # ------------------------------------------------------------------ #
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return a @ b
+
+    def einsum(self, spec: str, *operands: np.ndarray) -> np.ndarray:
+        return np.einsum(spec, *operands)
+
+    # ------------------------------------------------------------------ #
+    # scatter
+    # ------------------------------------------------------------------ #
+    def add_at(self, target: np.ndarray, index, values: np.ndarray) -> None:
+        np.add.at(target, index, values)
+
+    # ------------------------------------------------------------------ #
+    # convolution kernels (the hot path; backends specialise these)
+    # ------------------------------------------------------------------ #
+    def im2col(
+        self,
+        x: np.ndarray,
+        kernel: IntPair,
+        stride: IntPair,
+        padding: IntPair,
+        reuse: bool = False,
+    ) -> Tuple[np.ndarray, IntPair]:
+        """Unfold ``x`` (N, C, H, W) into columns of shape (N, C*kh*kw, oh*ow).
+
+        ``reuse=True`` tells the backend the caller will not hold on to the
+        result past the next backend call with the same geometry, so a
+        scratch buffer may be recycled.  Callers that capture the columns in
+        an autograd closure must pass ``reuse=False``.
+        """
+        raise NotImplementedError
+
+    def col2im(
+        self,
+        cols: np.ndarray,
+        input_shape: Tuple[int, int, int, int],
+        kernel: IntPair,
+        stride: IntPair,
+        padding: IntPair,
+    ) -> np.ndarray:
+        """Fold columns produced by :meth:`im2col` back into an image gradient."""
+        raise NotImplementedError
+
+    def conv2d_cols(self, w_mat: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Forward product ``(oc, F) x (N, F, P) -> (N, oc, P)``."""
+        raise NotImplementedError
+
+    def conv2d_grad_weight(self, grad_mat: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Weight gradient ``(N, oc, P) x (N, F, P) -> (oc, F)``."""
+        raise NotImplementedError
+
+    def conv2d_grad_cols(self, w_mat: np.ndarray, grad_mat: np.ndarray) -> np.ndarray:
+        """Input-column gradient ``(oc, F) x (N, oc, P) -> (N, F, P)``."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # pooling kernels
+    # ------------------------------------------------------------------ #
+    def pool_windows(
+        self, x: np.ndarray, kernel: IntPair, stride: IntPair
+    ) -> np.ndarray:
+        """Window tensor of shape (N, C, oh, ow, kh, kw) over ``x``.
+
+        The result may be a read-only view; callers must not write to it.
+        """
+        raise NotImplementedError
+
+    def avg_pool_backward(
+        self,
+        grad: np.ndarray,
+        input_shape: Tuple[int, int, int, int],
+        kernel: IntPair,
+        stride: IntPair,
+    ) -> np.ndarray:
+        """Scatter an average-pool gradient uniformly over each window."""
+        raise NotImplementedError
+
+    def max_pool_backward(
+        self,
+        grad: np.ndarray,
+        argmax: np.ndarray,
+        input_shape: Tuple[int, int, int, int],
+        kernel: IntPair,
+        stride: IntPair,
+    ) -> np.ndarray:
+        """Scatter a max-pool gradient to each window's argmax position.
+
+        ``argmax`` holds flat (kh*kw) indices per (n, c, oh, ow) window.
+        """
+        n, c, h, w = input_shape
+        _, _, oh, ow = argmax.shape
+        kh, kw = kernel
+        sh, sw = stride
+        grad_input = self.zeros(input_shape, dtype=grad.dtype)
+        ki = argmax // kw
+        kj = argmax % kw
+        n_idx, c_idx, i_idx, j_idx = np.indices((n, c, oh, ow))
+        rows = i_idx * sh + ki
+        cols = j_idx * sw + kj
+        self.add_at(grad_input, (n_idx, c_idx, rows, cols), grad)
+        return grad_input
+
+    # ------------------------------------------------------------------ #
+    # normalization statistics
+    # ------------------------------------------------------------------ #
+    def moments(self, x: np.ndarray, axes: Tuple[int, ...]) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-channel (mean, biased variance) over ``axes``."""
+        return x.mean(axis=axes), x.var(axis=axes)
+
+    # ------------------------------------------------------------------ #
+    # cache management
+    # ------------------------------------------------------------------ #
+    def clear_cache(self) -> None:
+        """Drop any scratch buffers / memoised geometry (no-op by default)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+# --------------------------------------------------------------------------- #
+# registry / active-backend switch
+# --------------------------------------------------------------------------- #
+_REGISTRY: Dict[str, ArrayBackend] = {}
+_ACTIVE: Optional[ArrayBackend] = None
+_DEFAULT_NAME = "fast"
+
+
+def register_backend(backend: ArrayBackend, default: bool = False) -> ArrayBackend:
+    """Add ``backend`` to the registry (optionally as the process default)."""
+    global _DEFAULT_NAME
+    _REGISTRY[backend.name] = backend
+    if default:
+        _DEFAULT_NAME = backend.name
+    return backend
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names accepted by :func:`set_backend` / ``BMPQConfig.backend``."""
+    return tuple(sorted(_REGISTRY))
+
+
+def _resolve(backend: Union[str, ArrayBackend, None]) -> ArrayBackend:
+    if backend is None:
+        return _REGISTRY[_DEFAULT_NAME]
+    if isinstance(backend, ArrayBackend):
+        return backend
+    try:
+        return _REGISTRY[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown array backend {backend!r}; available: {', '.join(available_backends())}"
+        ) from None
+
+
+def get_backend() -> ArrayBackend:
+    """Return the active backend (initialising to the default on first use)."""
+    global _ACTIVE
+    if _ACTIVE is None:
+        _ACTIVE = _REGISTRY[_DEFAULT_NAME]
+    return _ACTIVE
+
+
+def set_backend(backend: Union[str, ArrayBackend]) -> ArrayBackend:
+    """Make ``backend`` (a name or instance) the process-wide active backend."""
+    global _ACTIVE
+    _ACTIVE = _resolve(backend)
+    return _ACTIVE
+
+
+class use_backend:
+    """Context manager that activates a backend for the enclosed scope.
+
+    Mirrors :class:`repro.nn.tensor.no_grad`; nesting is safe and the
+    previous backend is restored on exit even if an exception escapes::
+
+        with use_backend("numpy"):
+            loss = model(x)          # reference numerics
+
+    ``use_backend(None)`` is a no-op scope that keeps whatever backend is
+    active — it lets callers thread an optional per-run override
+    (``BMPQConfig.backend``) without clobbering a global
+    :func:`set_backend` choice when no override was given.
+    """
+
+    def __init__(self, backend: Union[str, ArrayBackend, None]) -> None:
+        self._target = None if backend is None else _resolve(backend)
+        self._previous: Optional[ArrayBackend] = None
+
+    def __enter__(self) -> ArrayBackend:
+        global _ACTIVE
+        self._previous = get_backend()
+        if self._target is not None:
+            _ACTIVE = self._target
+        return get_backend()
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        global _ACTIVE
+        _ACTIVE = self._previous

@@ -1,0 +1,201 @@
+"""Vectorized NumPy backend: the default for training and benchmarks.
+
+Three ideas buy the speedup over the reference backend:
+
+* **Strided patch extraction** — ``im2col`` materialises all convolution
+  windows with one ``as_strided`` view plus a single bulk copy instead of a
+  Python loop per output position; pooling windows stay a zero-copy view.
+* **BLAS dispatch** — the conv forward/backward contractions are expressed
+  as (batched) ``matmul`` calls so they hit BLAS instead of ``einsum``'s
+  generic C loop.
+* **Scratch-buffer & geometry caching** — per (shape, kernel, stride,
+  padding) signature the output geometry is memoised and, when the caller
+  signals the columns are transient (``reuse=True``, i.e. no autograd
+  closure captures them), the padded-input and column buffers are recycled
+  across iterations so steady-state inference allocates nothing on the conv
+  hot path.
+
+The numbers produced are identical to :class:`NumpyBackend` up to float32
+summation order; ``tests/backend/test_backend_parity.py`` pins the
+tolerance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from .base import ArrayBackend, IntPair, conv_output_size
+
+__all__ = ["FastNumpyBackend"]
+
+# Scratch buffers are only worth keeping for a bounded set of geometries
+# (one per distinct conv/pool layer signature); evict FIFO past this.
+_MAX_CACHE_ENTRIES = 128
+
+
+class FastNumpyBackend(ArrayBackend):
+    """`as_strided` + BLAS implementation with buffer/geometry caches."""
+
+    name = "fast"
+
+    def __init__(self) -> None:
+        self._geometry: Dict[Tuple, Tuple[int, int]] = {}
+        self._scratch: Dict[Tuple, np.ndarray] = {}
+
+    # ------------------------------------------------------------------ #
+    # caches
+    # ------------------------------------------------------------------ #
+    def _output_geometry(
+        self, shape: Tuple[int, ...], kernel: IntPair, stride: IntPair, padding: IntPair
+    ) -> Tuple[int, int]:
+        key = (shape, kernel, stride, padding)
+        geometry = self._geometry.get(key)
+        if geometry is None:
+            _, _, h, w = shape
+            geometry = (
+                conv_output_size(h, kernel[0], stride[0], padding[0]),
+                conv_output_size(w, kernel[1], stride[1], padding[1]),
+            )
+            if len(self._geometry) >= _MAX_CACHE_ENTRIES:
+                self._geometry.pop(next(iter(self._geometry)))
+            self._geometry[key] = geometry
+        return geometry
+
+    def _scratch_buffer(
+        self, key: Tuple, shape: Tuple[int, ...], dtype, zero_on_alloc: bool = False
+    ) -> np.ndarray:
+        buffer = self._scratch.get(key)
+        if buffer is None or buffer.shape != shape or buffer.dtype != dtype:
+            buffer = np.zeros(shape, dtype=dtype) if zero_on_alloc else np.empty(shape, dtype=dtype)
+            if len(self._scratch) >= _MAX_CACHE_ENTRIES:
+                self._scratch.pop(next(iter(self._scratch)))
+            self._scratch[key] = buffer
+        return buffer
+
+    def clear_cache(self) -> None:
+        self._geometry.clear()
+        self._scratch.clear()
+
+    # ------------------------------------------------------------------ #
+    # convolution kernels
+    # ------------------------------------------------------------------ #
+    def _padded_input(self, x: np.ndarray, ph: int, pw: int, reuse: bool) -> np.ndarray:
+        if not (ph or pw):
+            return x
+        n, c, h, w = x.shape
+        shape = (n, c, h + 2 * ph, w + 2 * pw)
+        if reuse:
+            # The key must include the padding amounts: two geometries can
+            # share a padded shape while writing different interiors, and a
+            # mismatched reuse would expose stale data as the zero border.
+            # With (ph, pw) pinned, the border is zeroed at allocation and
+            # stays zero because only the interior is ever assigned.
+            key = ("pad", shape, ph, pw, x.dtype)
+            padded = self._scratch_buffer(key, shape, x.dtype, zero_on_alloc=True)
+            padded[:, :, ph : ph + h, pw : pw + w] = x
+            return padded
+        return self.pad2d(x, ph, pw)
+
+    def _window_view(
+        self, x: np.ndarray, kernel: IntPair, stride: IntPair, oh: int, ow: int
+    ) -> np.ndarray:
+        n, c = x.shape[:2]
+        kh, kw = kernel
+        sh, sw = stride
+        s = x.strides
+        return np.lib.stride_tricks.as_strided(
+            x,
+            shape=(n, c, kh, kw, oh, ow),
+            strides=(s[0], s[1], s[2], s[3], s[2] * sh, s[3] * sw),
+            writeable=False,
+        )
+
+    def im2col(
+        self,
+        x: np.ndarray,
+        kernel: IntPair,
+        stride: IntPair,
+        padding: IntPair,
+        reuse: bool = False,
+    ) -> Tuple[np.ndarray, IntPair]:
+        n, c, _, _ = x.shape
+        kh, kw = kernel
+        oh, ow = self._output_geometry(x.shape, kernel, stride, padding)
+        padded = self._padded_input(x, padding[0], padding[1], reuse)
+        windows = self._window_view(padded, kernel, stride, oh, ow)
+        shape = (n, c, kh, kw, oh, ow)
+        if reuse:
+            cols = self._scratch_buffer(("i2c", shape, x.dtype), shape, x.dtype)
+        else:
+            cols = np.empty(shape, dtype=x.dtype)
+        np.copyto(cols, windows)
+        return cols.reshape(n, c * kh * kw, oh * ow), (oh, ow)
+
+    def col2im(
+        self,
+        cols: np.ndarray,
+        input_shape: Tuple[int, int, int, int],
+        kernel: IntPair,
+        stride: IntPair,
+        padding: IntPair,
+    ) -> np.ndarray:
+        n, c, h, w = input_shape
+        kh, kw = kernel
+        sh, sw = stride
+        ph, pw = padding
+        oh, ow = self._output_geometry(input_shape, kernel, stride, padding)
+        padded = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=cols.dtype)
+        cols6 = cols.reshape(n, c, kh, kw, oh, ow)
+        # kh*kw vectorized slice-adds instead of oh*ow scalar-window adds.
+        for i in range(kh):
+            for j in range(kw):
+                padded[:, :, i : i + sh * oh : sh, j : j + sw * ow : sw] += cols6[:, :, i, j]
+        if ph or pw:
+            return padded[:, :, ph : ph + h, pw : pw + w]
+        return padded
+
+    def conv2d_cols(self, w_mat: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        # (oc, F) @ (N, F, P) broadcasts to batched BLAS -> (N, oc, P).
+        return np.matmul(w_mat, cols)
+
+    def conv2d_grad_weight(self, grad_mat: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        # sum_n grad[n] @ cols[n]^T via batched BLAS, then reduce the batch.
+        return np.matmul(grad_mat, cols.transpose(0, 2, 1)).sum(axis=0)
+
+    def conv2d_grad_cols(self, w_mat: np.ndarray, grad_mat: np.ndarray) -> np.ndarray:
+        return np.matmul(w_mat.T, grad_mat)
+
+    # ------------------------------------------------------------------ #
+    # pooling kernels
+    # ------------------------------------------------------------------ #
+    def pool_windows(self, x: np.ndarray, kernel: IntPair, stride: IntPair) -> np.ndarray:
+        oh, ow = self._output_geometry(x.shape, kernel, stride, (0, 0))
+        kh, kw = kernel
+        sh, sw = stride
+        n, c = x.shape[:2]
+        s = x.strides
+        return np.lib.stride_tricks.as_strided(
+            x,
+            shape=(n, c, oh, ow, kh, kw),
+            strides=(s[0], s[1], s[2] * sh, s[3] * sw, s[2], s[3]),
+            writeable=False,
+        )
+
+    def avg_pool_backward(
+        self,
+        grad: np.ndarray,
+        input_shape: Tuple[int, int, int, int],
+        kernel: IntPair,
+        stride: IntPair,
+    ) -> np.ndarray:
+        kh, kw = kernel
+        sh, sw = stride
+        oh, ow = self._output_geometry(input_shape, kernel, stride, (0, 0))
+        grad_input = np.zeros(input_shape, dtype=grad.dtype)
+        scaled = grad * grad.dtype.type(1.0 / (kh * kw))
+        for i in range(kh):
+            for j in range(kw):
+                grad_input[:, :, i : i + sh * oh : sh, j : j + sw * ow : sw] += scaled
+        return grad_input

@@ -29,6 +29,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from ..analysis.compression import compression_summary
+from ..backend import use_backend
 from ..nn import CrossEntropyLoss, MultiStepLR, SGD, Tensor, no_grad
 from ..nn.loss import accuracy
 from ..quant.qmodules import QuantizedLayer
@@ -46,7 +47,11 @@ class BMPQConfig:
 
     Defaults follow the paper's CIFAR recipe scaled to the reproduction
     environment; the benchmark harness overrides ``epochs``, ``epoch_interval``
-    and the budget per experiment.
+    and the budget per experiment.  ``backend`` names the array backend
+    (see :func:`repro.backend.available_backends`) every forward/backward of
+    the run executes on: ``"fast"`` (vectorized) or ``"numpy"`` (loop-level
+    reference).  ``None`` (the default) inherits whatever backend is active,
+    so a global :func:`repro.set_backend` choice is respected.
     """
 
     epochs: int = 200
@@ -64,6 +69,7 @@ class BMPQConfig:
     budget_bits: Optional[float] = None
     ilp_method: str = "auto"
     label_smoothing: float = 0.0
+    backend: Optional[str] = None
     evaluate_every_epoch: bool = True
     log_fn: Optional[callable] = None
 
@@ -212,6 +218,10 @@ class BMPQTrainer:
 
     def train_one_epoch(self, epoch: int) -> Tuple[float, float]:
         """Run one epoch of quantized training, collecting NBG per step."""
+        with use_backend(self.config.backend):
+            return self._train_one_epoch_impl(epoch)
+
+    def _train_one_epoch_impl(self, epoch: int) -> Tuple[float, float]:
         self.model.train()
         losses: List[float] = []
         correct = 0
@@ -233,7 +243,15 @@ class BMPQTrainer:
         return train_loss, train_acc
 
     def train(self) -> BMPQResult:
-        """Execute the full BMPQ schedule and return the run summary."""
+        """Execute the full BMPQ schedule and return the run summary.
+
+        The whole run — training epochs, per-epoch evaluation and the final
+        compression accounting — executes on ``config.backend``.
+        """
+        with use_backend(self.config.backend):
+            return self._train_impl()
+
+    def _train_impl(self) -> BMPQResult:
         config = self.config
         self.apply_assignment(self.warmup_assignment())
         self._log(f"starting BMPQ: {self.policy.describe()}")

@@ -8,8 +8,9 @@ Usage::
     python -m repro.experiments run-prefix table1/cifar10 [--epochs N]
 
 ``run`` executes the benchmark-scale configuration by default; ``--paper-scale``
-switches to the full-width model and the paper's schedule, and ``--data-root``
-points at a real CIFAR-10 directory.
+switches to the full-width model and the paper's schedule, ``--data-root``
+points at a real CIFAR-10 directory, and ``--backend`` selects the array
+backend (``fast`` or ``numpy``) the run executes on.
 """
 
 from __future__ import annotations
@@ -19,6 +20,7 @@ import dataclasses
 import sys
 from typing import List, Optional
 
+from ..backend import available_backends
 from .configs import get_experiment, list_experiments
 from .runner import run_experiment
 
@@ -47,6 +49,9 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="directory with real cifar-10-batches-py data")
         run_parser.add_argument("--paper-scale", action="store_true",
                                 help="full-width model and paper schedule")
+        run_parser.add_argument("--backend", type=str, default=None,
+                                choices=sorted(available_backends()),
+                                help="array backend to run on (default: experiment config)")
         run_parser.add_argument("--quiet", action="store_true", help="suppress per-epoch logging")
     return parser
 
@@ -58,6 +63,8 @@ def _apply_overrides(config, args):
         overrides["lr_milestones"] = (max(args.epochs - 1, 1),)
     if args.seed is not None:
         overrides["seed"] = args.seed
+    if getattr(args, "backend", None) is not None:
+        overrides["backend"] = args.backend
     if overrides:
         config = dataclasses.replace(config, **overrides)
     if args.paper_scale:

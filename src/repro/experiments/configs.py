@@ -50,6 +50,9 @@ class ExperimentConfig:
     image_size: Optional[int] = None
     width_multiplier: float = 0.0625
     seed: int = 0
+    # Array backend the run executes on ("fast" | "numpy"); None inherits the
+    # active backend (see repro.backend).
+    backend: Optional[str] = None
     # Paper reference values for reporting (acc in %, ratio as printed).
     paper_accuracy: Optional[float] = None
     paper_compression: Optional[float] = None

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..analysis import compression_summary, format_bit_vector
+from ..backend import use_backend
 from ..baselines import QATConfig, train_ad_baseline, train_fp32_baseline, train_hpq_baseline
 from ..core import BMPQConfig, BMPQTrainer
 from ..data import DataLoader, SyntheticImageClassification, standard_augmentation, train_test_datasets
@@ -119,6 +120,7 @@ def run_experiment(
             support_bits=config.support_bits,
             target_compression_ratio=config.target_compression_ratio,
             target_average_bits=config.target_average_bits,
+            backend=config.backend,
             log_fn=log_fn,
         )
         result = BMPQTrainer(model, train_loader, test_loader, bmpq_config).train()
@@ -142,24 +144,25 @@ def run_experiment(
         lr_milestones=config.lr_milestones,
         log_fn=log_fn,
     )
-    if config.method == "fp32":
-        result = train_fp32_baseline(model, train_loader, test_loader, qat_config)
-        bit_vector = None
-    elif config.method == "hpq":
-        result = train_hpq_baseline(model, train_loader, test_loader, config.hpq_bits, qat_config)
-        bit_vector = [result.bits_by_layer[name] for name in model.main_layer_names()]
-    elif config.method == "ad":
-        result, _ad = train_ad_baseline(
-            model,
-            train_loader,
-            test_loader,
-            support_bits=config.support_bits,
-            calibration_batches=2,
-            config=qat_config,
-        )
-        bit_vector = [result.bits_by_layer[name] for name in model.main_layer_names()]
-    else:
-        raise ValueError(f"unknown experiment method {config.method!r}")
+    with use_backend(config.backend):
+        if config.method == "fp32":
+            result = train_fp32_baseline(model, train_loader, test_loader, qat_config)
+            bit_vector = None
+        elif config.method == "hpq":
+            result = train_hpq_baseline(model, train_loader, test_loader, config.hpq_bits, qat_config)
+            bit_vector = [result.bits_by_layer[name] for name in model.main_layer_names()]
+        elif config.method == "ad":
+            result, _ad = train_ad_baseline(
+                model,
+                train_loader,
+                test_loader,
+                support_bits=config.support_bits,
+                calibration_batches=2,
+                config=qat_config,
+            )
+            bit_vector = [result.bits_by_layer[name] for name in model.main_layer_names()]
+        else:
+            raise ValueError(f"unknown experiment method {config.method!r}")
 
     summary = compression_summary(specs, result.bits_by_layer)
     return ExperimentOutcome(

@@ -6,6 +6,14 @@ layers, batch normalization, softmax/log-softmax and cross-entropy.  Each
 function returns a new :class:`Tensor` whose backward closure scatters the
 incoming gradient to its inputs, so they compose freely with the elementwise
 primitives defined in :mod:`repro.nn.tensor`.
+
+All structured array work (patch extraction, conv products, pooling windows,
+gradient scatters) is obtained from the active
+:class:`~repro.backend.ArrayBackend`, so the same autograd graph runs on the
+reference or the vectorized numerics unchanged.  Each op captures the backend
+that executed its forward pass and uses it again in the backward closure,
+keeping a single graph internally consistent even if the active backend is
+swapped between forward and backward.
 """
 
 from __future__ import annotations
@@ -14,6 +22,8 @@ from typing import Optional, Tuple, Union
 
 import numpy as np
 
+from ..backend import get_backend
+from ..backend.base import conv_output_size
 from .tensor import Tensor, is_grad_enabled
 
 __all__ = [
@@ -52,11 +62,6 @@ def _result(data: np.ndarray, parents: Tuple[Tensor, ...], backward) -> Tensor:
     return out
 
 
-def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
-    """Spatial output size of a convolution/pooling window."""
-    return (size + 2 * padding - kernel) // stride + 1
-
-
 # --------------------------------------------------------------------------- #
 # im2col / col2im
 # --------------------------------------------------------------------------- #
@@ -66,26 +71,9 @@ def im2col(
     """Unfold ``x`` (N, C, H, W) into columns of shape (N, C*kh*kw, oh*ow).
 
     Returns the column matrix together with the output spatial size.
+    Delegates to the active backend; the caller owns the result.
     """
-    n, c, h, w = x.shape
-    kh, kw = kernel
-    sh, sw = stride
-    ph, pw = padding
-    oh = conv_output_size(h, kh, sh, ph)
-    ow = conv_output_size(w, kw, sw, pw)
-    if ph or pw:
-        x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)), mode="constant")
-
-    strides = x.strides
-    windows = np.lib.stride_tricks.as_strided(
-        x,
-        shape=(n, c, oh, ow, kh, kw),
-        strides=(strides[0], strides[1], strides[2] * sh, strides[3] * sw, strides[2], strides[3]),
-        writeable=False,
-    )
-    # (N, C, kh, kw, oh, ow) -> (N, C*kh*kw, oh*ow)
-    cols = windows.transpose(0, 1, 4, 5, 2, 3).reshape(n, c * kh * kw, oh * ow)
-    return np.ascontiguousarray(cols), (oh, ow)
+    return get_backend().im2col(x, kernel, stride, padding, reuse=False)
 
 
 def col2im(
@@ -96,23 +84,7 @@ def col2im(
     padding: Tuple[int, int],
 ) -> np.ndarray:
     """Fold columns produced by :func:`im2col` back into an image gradient."""
-    n, c, h, w = input_shape
-    kh, kw = kernel
-    sh, sw = stride
-    ph, pw = padding
-    oh = conv_output_size(h, kh, sh, ph)
-    ow = conv_output_size(w, kw, sw, pw)
-
-    padded = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=cols.dtype)
-    cols = cols.reshape(n, c, kh, kw, oh, ow)
-    for i in range(kh):
-        h_end = i + sh * oh
-        for j in range(kw):
-            w_end = j + sw * ow
-            padded[:, :, i:h_end:sh, j:w_end:sw] += cols[:, :, i, j, :, :]
-    if ph or pw:
-        return padded[:, :, ph : ph + h, pw : pw + w]
-    return padded
+    return get_backend().col2im(cols, input_shape, kernel, stride, padding)
 
 
 # --------------------------------------------------------------------------- #
@@ -129,6 +101,7 @@ def conv2d(
 
     ``weight`` has shape (out_channels, in_channels, kh, kw).
     """
+    backend = get_backend()
     stride = _pair(stride)
     padding = _pair(padding)
     n, c, h, w = x.data.shape
@@ -136,10 +109,14 @@ def conv2d(
     if ic != c:
         raise ValueError(f"conv2d channel mismatch: input has {c}, weight expects {ic}")
 
-    cols, (oh, ow) = im2col(x.data, (kh, kw), stride, padding)
+    # The backward closure captures ``cols``, so the backend may only recycle
+    # its scratch buffer when no graph is being recorded.
+    requires = is_grad_enabled() and (
+        x.requires_grad or weight.requires_grad or (bias is not None and bias.requires_grad)
+    )
+    cols, (oh, ow) = backend.im2col(x.data, (kh, kw), stride, padding, reuse=not requires)
     w_mat = weight.data.reshape(oc, -1)
-    # (N, oc, oh*ow) = (oc, C*kh*kw) @ (N, C*kh*kw, oh*ow)
-    out = np.einsum("of,nfp->nop", w_mat, cols, optimize=True)
+    out = backend.conv2d_cols(w_mat, cols)
     if bias is not None:
         out = out + bias.data.reshape(1, oc, 1)
     out = out.reshape(n, oc, oh, ow)
@@ -149,29 +126,30 @@ def conv2d(
     def backward(grad: np.ndarray) -> None:
         grad_mat = grad.reshape(n, oc, oh * ow)
         if weight.requires_grad:
-            grad_w = np.einsum("nop,nfp->of", grad_mat, cols, optimize=True)
+            grad_w = backend.conv2d_grad_weight(grad_mat, cols)
             weight._accumulate(grad_w.reshape(weight.data.shape))
         if bias is not None and bias.requires_grad:
             bias._accumulate(grad_mat.sum(axis=(0, 2)))
         if x.requires_grad:
-            grad_cols = np.einsum("of,nop->nfp", w_mat, grad_mat, optimize=True)
-            x._accumulate(col2im(grad_cols, x.data.shape, (kh, kw), stride, padding))
+            grad_cols = backend.conv2d_grad_cols(w_mat, grad_mat)
+            x._accumulate(backend.col2im(grad_cols, x.data.shape, (kh, kw), stride, padding))
 
     return _result(out, parents, backward)
 
 
 def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
     """Affine transform ``x @ weight.T + bias`` for (N, in_features) inputs."""
-    out = x.data @ weight.data.T
+    backend = get_backend()
+    out = backend.matmul(x.data, weight.data.T)
     if bias is not None:
         out = out + bias.data
     parents = (x, weight) if bias is None else (x, weight, bias)
 
     def backward(grad: np.ndarray) -> None:
         if x.requires_grad:
-            x._accumulate(grad @ weight.data)
+            x._accumulate(backend.matmul(grad, weight.data))
         if weight.requires_grad:
-            weight._accumulate(grad.T @ x.data)
+            weight._accumulate(backend.matmul(grad.T, x.data))
         if bias is not None and bias.requires_grad:
             bias._accumulate(grad.sum(axis=0))
 
@@ -183,66 +161,39 @@ def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
 # --------------------------------------------------------------------------- #
 def max_pool2d(x: Tensor, kernel_size: IntPair, stride: Optional[IntPair] = None) -> Tensor:
     """Max pooling over non-overlapping or strided windows."""
-    kh, kw = _pair(kernel_size)
-    sh, sw = _pair(stride if stride is not None else kernel_size)
+    backend = get_backend()
+    kernel = _pair(kernel_size)
+    strides = _pair(stride if stride is not None else kernel_size)
     n, c, h, w = x.data.shape
-    oh = conv_output_size(h, kh, sh, 0)
-    ow = conv_output_size(w, kw, sw, 0)
+    oh = conv_output_size(h, kernel[0], strides[0], 0)
+    ow = conv_output_size(w, kernel[1], strides[1], 0)
 
-    strides = x.data.strides
-    windows = np.lib.stride_tricks.as_strided(
-        x.data,
-        shape=(n, c, oh, ow, kh, kw),
-        strides=(strides[0], strides[1], strides[2] * sh, strides[3] * sw, strides[2], strides[3]),
-        writeable=False,
-    )
-    flat = windows.reshape(n, c, oh, ow, kh * kw)
+    windows = backend.pool_windows(x.data, kernel, strides)
+    flat = windows.reshape(n, c, oh, ow, kernel[0] * kernel[1])
     argmax = flat.argmax(axis=-1)
     out = np.take_along_axis(flat, argmax[..., None], axis=-1)[..., 0]
 
     def backward(grad: np.ndarray) -> None:
         if not x.requires_grad:
             return
-        grad_input = np.zeros_like(x.data)
-        # Scatter each window's gradient back to its argmax location.
-        ki = argmax // kw
-        kj = argmax % kw
-        n_idx, c_idx, i_idx, j_idx = np.indices((n, c, oh, ow))
-        rows = i_idx * sh + ki
-        cols = j_idx * sw + kj
-        np.add.at(grad_input, (n_idx, c_idx, rows, cols), grad)
-        x._accumulate(grad_input)
+        x._accumulate(backend.max_pool_backward(grad, argmax, x.data.shape, kernel, strides))
 
     return _result(out, (x,), backward)
 
 
 def avg_pool2d(x: Tensor, kernel_size: IntPair, stride: Optional[IntPair] = None) -> Tensor:
     """Average pooling over strided windows."""
-    kh, kw = _pair(kernel_size)
-    sh, sw = _pair(stride if stride is not None else kernel_size)
-    n, c, h, w = x.data.shape
-    oh = conv_output_size(h, kh, sh, 0)
-    ow = conv_output_size(w, kw, sw, 0)
+    backend = get_backend()
+    kernel = _pair(kernel_size)
+    strides = _pair(stride if stride is not None else kernel_size)
 
-    strides = x.data.strides
-    windows = np.lib.stride_tricks.as_strided(
-        x.data,
-        shape=(n, c, oh, ow, kh, kw),
-        strides=(strides[0], strides[1], strides[2] * sh, strides[3] * sw, strides[2], strides[3]),
-        writeable=False,
-    )
+    windows = backend.pool_windows(x.data, kernel, strides)
     out = windows.mean(axis=(-1, -2))
-    scale = 1.0 / (kh * kw)
 
     def backward(grad: np.ndarray) -> None:
         if not x.requires_grad:
             return
-        grad_input = np.zeros_like(x.data)
-        scaled = grad * scale
-        for i in range(kh):
-            for j in range(kw):
-                grad_input[:, :, i : i + sh * oh : sh, j : j + sw * ow : sw] += scaled
-        x._accumulate(grad_input)
+        x._accumulate(backend.avg_pool_backward(grad, x.data.shape, kernel, strides))
 
     return _result(out, (x,), backward)
 
@@ -270,6 +221,7 @@ def batch_norm(
     ``running_mean``/``running_var`` are updated in place during training so
     that module state mirrors PyTorch semantics.
     """
+    backend = get_backend()
     if x.data.ndim == 4:
         axes = (0, 2, 3)
         shape = (1, -1, 1, 1)
@@ -280,8 +232,7 @@ def batch_norm(
         raise ValueError(f"batch_norm expects 2-D or 4-D input, got {x.data.ndim}-D")
 
     if training:
-        mean = x.data.mean(axis=axes)
-        var = x.data.var(axis=axes)
+        mean, var = backend.moments(x.data, axes)
         count = x.data.size / x.data.shape[1]
         unbiased = var * count / max(count - 1.0, 1.0)
         running_mean *= 1.0 - momentum
@@ -292,7 +243,7 @@ def batch_norm(
         mean = running_mean
         var = running_var
 
-    inv_std = 1.0 / np.sqrt(var + eps)
+    inv_std = 1.0 / backend.sqrt(var + eps)
     x_hat = (x.data - mean.reshape(shape)) * inv_std.reshape(shape)
     out = gamma.data.reshape(shape) * x_hat + beta.data.reshape(shape)
 
@@ -305,7 +256,6 @@ def batch_norm(
             return
         g = gamma.data.reshape(shape)
         if training:
-            m = x.data.size / x.data.shape[1]
             dxhat = grad * g
             term1 = dxhat
             term2 = dxhat.mean(axis=axes, keepdims=True)
@@ -322,8 +272,9 @@ def batch_norm(
 # softmax / losses
 # --------------------------------------------------------------------------- #
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    backend = get_backend()
     shifted = x.data - x.data.max(axis=axis, keepdims=True)
-    exp = np.exp(shifted)
+    exp = backend.exp(shifted)
     out = exp / exp.sum(axis=axis, keepdims=True)
 
     def backward(grad: np.ndarray) -> None:
@@ -336,10 +287,11 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    backend = get_backend()
     shifted = x.data - x.data.max(axis=axis, keepdims=True)
-    log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    log_sum = backend.log(backend.exp(shifted).sum(axis=axis, keepdims=True))
     out = shifted - log_sum
-    probs = np.exp(out)
+    probs = backend.exp(out)
 
     def backward(grad: np.ndarray) -> None:
         if not x.requires_grad:

@@ -4,7 +4,9 @@
 recursive traversal and state-dict (de)serialization.  The concrete layers
 (`Conv2d`, `Linear`, `BatchNorm2d`, pooling, activations, `Sequential`) are the
 building blocks used by the quantizable VGG/ResNet models in
-:mod:`repro.models`.
+:mod:`repro.models`.  Parameter and buffer storage is allocated through the
+active :class:`~repro.backend.ArrayBackend`; the layer math itself lives in
+:mod:`repro.nn.functional`, which dispatches per call.
 """
 
 from __future__ import annotations
@@ -14,6 +16,7 @@ from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
+from ..backend import get_backend
 from . import functional as F
 from . import init
 from .tensor import Tensor
@@ -256,11 +259,12 @@ class BatchNorm2d(Module):
         self.num_features = num_features
         self.momentum = momentum
         self.eps = eps
+        backend = get_backend()
         self.weight = Parameter(init.ones((num_features,)), name="weight")
         self.bias = Parameter(init.zeros((num_features,)), name="bias")
         self._buffers = {
-            "running_mean": np.zeros(num_features, dtype=np.float32),
-            "running_var": np.ones(num_features, dtype=np.float32),
+            "running_mean": backend.zeros((num_features,), dtype=np.float32),
+            "running_var": backend.ones((num_features,), dtype=np.float32),
         }
 
     @property

@@ -17,6 +17,11 @@ PyTorch's autograd that the BMPQ paper relies on:
 Only the operators actually needed by quantized CNN training are implemented;
 convolution, pooling and batch-norm live in :mod:`repro.nn.functional` and are
 built on top of the primitives defined here.
+
+Elementwise transcendentals and matrix products are dispatched through the
+active :class:`~repro.backend.ArrayBackend` so that swapping the backend
+(see :func:`repro.backend.use_backend`) changes the numerics of the whole
+autograd graph in one place.
 """
 
 from __future__ import annotations
@@ -24,6 +29,8 @@ from __future__ import annotations
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+from ..backend import get_backend
 
 __all__ = ["Tensor", "unbroadcast", "no_grad", "is_grad_enabled"]
 
@@ -312,16 +319,17 @@ class Tensor:
     def matmul(self, other: ArrayLike) -> "Tensor":
         """Matrix product supporting 2-D operands and batched left operand."""
         other = self._ensure(other)
-        out_data = self.data @ other.data
+        backend = get_backend()
+        out_data = backend.matmul(self.data, other.data)
 
         def backward(grad: np.ndarray) -> None:
             if other.data.ndim == 2 and self.data.ndim == 2:
-                self._accumulate(grad @ other.data.T)
-                other._accumulate(self.data.T @ grad)
+                self._accumulate(backend.matmul(grad, other.data.T))
+                other._accumulate(backend.matmul(self.data.T, grad))
             else:
                 # General case: rely on swapaxes for batched matmul.
-                self._accumulate(grad @ np.swapaxes(other.data, -1, -2))
-                other._accumulate(np.swapaxes(self.data, -1, -2) @ grad)
+                self._accumulate(backend.matmul(grad, np.swapaxes(other.data, -1, -2)))
+                other._accumulate(backend.matmul(np.swapaxes(self.data, -1, -2), grad))
 
         return self._make_result(out_data, (self, other), backward)
 
@@ -329,7 +337,7 @@ class Tensor:
     # elementwise functions
     # ------------------------------------------------------------------ #
     def exp(self) -> "Tensor":
-        out_data = np.exp(self.data)
+        out_data = get_backend().exp(self.data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * out_data)
@@ -337,7 +345,7 @@ class Tensor:
         return self._make_result(out_data, (self,), backward)
 
     def log(self) -> "Tensor":
-        out_data = np.log(self.data)
+        out_data = get_backend().log(self.data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad / self.data)
@@ -345,7 +353,7 @@ class Tensor:
         return self._make_result(out_data, (self,), backward)
 
     def sqrt(self) -> "Tensor":
-        out_data = np.sqrt(self.data)
+        out_data = get_backend().sqrt(self.data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * 0.5 / np.maximum(out_data, 1e-12))
@@ -353,10 +361,11 @@ class Tensor:
         return self._make_result(out_data, (self,), backward)
 
     def abs(self) -> "Tensor":
-        out_data = np.abs(self.data)
+        backend = get_backend()
+        out_data = backend.abs(self.data)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * np.sign(self.data))
+            self._accumulate(grad * backend.sign(self.data))
 
         return self._make_result(out_data, (self,), backward)
 
@@ -370,7 +379,7 @@ class Tensor:
         return self._make_result(out_data, (self,), backward)
 
     def tanh(self) -> "Tensor":
-        out_data = np.tanh(self.data)
+        out_data = get_backend().tanh(self.data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * (1.0 - out_data ** 2))
@@ -378,7 +387,7 @@ class Tensor:
         return self._make_result(out_data, (self,), backward)
 
     def sigmoid(self) -> "Tensor":
-        out_data = 1.0 / (1.0 + np.exp(-self.data))
+        out_data = 1.0 / (1.0 + get_backend().exp(-self.data))
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * out_data * (1.0 - out_data))
@@ -387,7 +396,7 @@ class Tensor:
 
     def clip(self, low: float, high: float) -> "Tensor":
         """Clamp values to ``[low, high]``; gradient is zero outside the range."""
-        out_data = np.clip(self.data, low, high)
+        out_data = get_backend().clip(self.data, low, high)
         mask = (self.data >= low) & (self.data <= high)
 
         def backward(grad: np.ndarray) -> None:
@@ -397,7 +406,7 @@ class Tensor:
 
     def maximum(self, other: ArrayLike) -> "Tensor":
         other = self._ensure(other)
-        out_data = np.maximum(self.data, other.data)
+        out_data = get_backend().maximum(self.data, other.data)
         self_mask = self.data >= other.data
 
         def backward(grad: np.ndarray) -> None:

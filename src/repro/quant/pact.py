@@ -14,6 +14,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..backend import get_backend
 from ..nn.modules import Module, Parameter
 from ..nn.tensor import Tensor, is_grad_enabled
 from .quantizers import uniform_quantize_activation
@@ -36,7 +37,7 @@ def pact(x: Tensor, alpha: Tensor, bits: int) -> Tensor:
     if alpha_value <= 0:
         raise ValueError(f"PACT clipping level must be positive, got {alpha_value}")
 
-    clipped = np.clip(x.data, 0.0, alpha_value)
+    clipped = get_backend().clip(x.data, 0.0, alpha_value)
     below = x.data < 0.0
     above = x.data >= alpha_value
     inside = ~(below | above)

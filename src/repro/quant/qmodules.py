@@ -10,6 +10,12 @@ The last quantization result (integer codes, scale, and the autograd tensor of
 the quantized weights) is retained after each forward pass so that the
 bit-gradient analysis in :mod:`repro.core.bit_gradients` can compute
 ``∂L/∂w_q`` and decompose it over bit positions without re-running the layer.
+
+All array math flows through the active :class:`~repro.backend.ArrayBackend`:
+the quantizers (:mod:`repro.quant.quantizers`) round/clip on it and the
+conv/linear products (:mod:`repro.nn.functional`) dispatch per forward call,
+so a quantized model can be trained or evaluated under either backend — or
+one per phase — without touching these modules.
 """
 
 from __future__ import annotations

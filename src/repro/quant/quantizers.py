@@ -6,6 +6,10 @@ networks"), and a pass-through high-precision quantizer for the pinned
 first/last layers.  All quantizers use the straight-through estimator (STE):
 the forward pass produces the staircase-quantized value while the backward
 pass copies the gradient to the full-precision shadow weights unchanged.
+
+The round/clip staircase math runs on the active
+:class:`~repro.backend.ArrayBackend`, so quantization follows the same
+backend selection as the rest of the training stack.
 """
 
 from __future__ import annotations
@@ -15,6 +19,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ..backend import get_backend
 from ..nn.tensor import Tensor, is_grad_enabled
 
 __all__ = [
@@ -65,7 +70,7 @@ def integer_levels(bits: int) -> Tuple[int, int]:
 def symmetric_scale(weights: np.ndarray, bits: int) -> float:
     """Scaling factor ``S_w = max(|W|) / (2^{q-1} - 1)`` from Eq. (3)."""
     _, qmax = integer_levels(bits)
-    max_abs = float(np.max(np.abs(weights))) if weights.size else 0.0
+    max_abs = float(np.max(get_backend().abs(weights))) if weights.size else 0.0
     if max_abs == 0.0:
         return 1.0 / qmax
     return max_abs / qmax
@@ -73,9 +78,10 @@ def symmetric_scale(weights: np.ndarray, bits: int) -> float:
 
 def quantize_symmetric_array(weights: np.ndarray, bits: int) -> QuantizerOutput:
     """Symmetric uniform quantization of Eq. (3)-(4) without autograd."""
+    backend = get_backend()
     scale = symmetric_scale(weights, bits)
     qmin, qmax = integer_levels(bits)
-    codes = np.clip(np.round(weights / scale), qmin, qmax).astype(np.float32)
+    codes = backend.clip(backend.round(weights / scale), qmin, qmax).astype(np.float32)
     return QuantizerOutput(quantized=codes * scale, codes=codes, scale=scale)
 
 
@@ -86,7 +92,7 @@ def ternary_threshold_and_scale(weights: np.ndarray) -> Tuple[float, float]:
     and ``α = mean(|W_i|)`` over the weights with ``|W_i| > Δ``, which
     minimizes the Euclidean distance between the FP-32 and ternary weights.
     """
-    abs_w = np.abs(weights)
+    abs_w = get_backend().abs(weights)
     delta = 0.7 * float(abs_w.mean()) if weights.size else 0.0
     mask = abs_w > delta
     if mask.any():
@@ -186,7 +192,7 @@ def uniform_quantize_activation(x: Tensor, bits: int, alpha: float) -> Tensor:
         return x
     levels = 2 ** bits - 1
     step = alpha / levels
-    quantized = np.round(x.data / step) * step
+    quantized = get_backend().round(x.data / step) * step
 
     def backward(grad: np.ndarray) -> None:
         x._accumulate(grad)

@@ -3,7 +3,7 @@
 from .logging import LogEntry, RunLogger
 from .rng import SeedSequenceFactory, seed_everything, spawn_generators
 from .serialization import checkpoint_bits, load_checkpoint, save_checkpoint
-from .timing import StopwatchRegistry, Timer
+from .timing import StopwatchRegistry, Timer, best_mean_seconds
 
 __all__ = [
     "LogEntry",
@@ -16,4 +16,5 @@ __all__ = [
     "save_checkpoint",
     "StopwatchRegistry",
     "Timer",
+    "best_mean_seconds",
 ]

@@ -7,7 +7,28 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List
 
-__all__ = ["Timer", "StopwatchRegistry"]
+__all__ = ["Timer", "StopwatchRegistry", "best_mean_seconds"]
+
+
+def best_mean_seconds(fn, repeats: int = 3, min_seconds: float = 0.25) -> float:
+    """Best-of-``repeats`` mean seconds per call of ``fn``.
+
+    Calls ``fn`` once as a warm-up (filling caches, paging buffers), then
+    ``repeats`` times loops it for at least ``min_seconds`` and returns the
+    smallest observed mean.  The minimum over repeats rejects scheduler noise,
+    which is what both the backend micro-benchmark and the CI perf-floor test
+    need to share so their measurements cannot drift apart.
+    """
+    fn()
+    best = float("inf")
+    for _ in range(repeats):
+        iters = 0
+        start = time.perf_counter()
+        while time.perf_counter() - start < min_seconds:
+            fn()
+            iters += 1
+        best = min(best, (time.perf_counter() - start) / iters)
+    return best
 
 
 class Timer:

@@ -1,0 +1,320 @@
+"""Backend parity: FastNumpyBackend must reproduce NumpyBackend's math.
+
+Every op pair is checked forward *and* backward on both backends, with the
+reference backend's numeric-gradient checks re-run on the fast path.  The
+tolerances are tight (float32 summation-order differences only); any real
+divergence between the two implementations fails loudly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    FastNumpyBackend,
+    NumpyBackend,
+    available_backends,
+    get_backend,
+    set_backend,
+    use_backend,
+)
+from repro.nn import Tensor
+from repro.nn import functional as F
+from repro.nn.modules import BatchNorm2d
+from repro.quant.pact import PACT
+from repro.quant.quantizers import quantize_symmetric_array, quantize_tensor_for_bits
+
+from ..conftest import numeric_gradient
+
+RTOL = 1e-5
+ATOL = 1e-5
+
+BACKENDS = ["numpy", "fast"]
+
+CONV_CASES = [
+    # (input shape, weight shape, stride, padding)
+    ((2, 3, 8, 8), (4, 3, 3, 3), 1, 1),
+    ((2, 3, 9, 9), (4, 3, 3, 3), 2, 1),
+    ((1, 2, 7, 7), (3, 2, 5, 5), 1, 2),
+    ((3, 4, 6, 6), (2, 4, 1, 1), 1, 0),
+    ((2, 2, 8, 6), (3, 2, 3, 3), 2, 0),
+]
+
+
+def _run_conv(backend_name, x, w, b, stride, padding):
+    with use_backend(backend_name):
+        xt = Tensor(x, requires_grad=True)
+        wt = Tensor(w, requires_grad=True)
+        bt = Tensor(b, requires_grad=True)
+        out = F.conv2d(xt, wt, bt, stride=stride, padding=padding)
+        (out * out).mean().backward()
+        return out.data.copy(), xt.grad.copy(), wt.grad.copy(), bt.grad.copy()
+
+
+class TestRegistry:
+    def test_both_backends_registered(self):
+        assert set(BACKENDS) <= set(available_backends())
+
+    def test_use_backend_restores_previous(self):
+        before = get_backend()
+        with use_backend("numpy"):
+            assert get_backend().name == "numpy"
+            with use_backend("fast"):
+                assert get_backend().name == "fast"
+            assert get_backend().name == "numpy"
+        assert get_backend() is before
+
+    def test_use_backend_restores_on_exception(self):
+        before = get_backend()
+        with pytest.raises(RuntimeError):
+            with use_backend("numpy"):
+                raise RuntimeError("boom")
+        assert get_backend() is before
+
+    def test_set_backend_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            set_backend("cuda-someday")
+
+    def test_use_backend_none_inherits_active(self):
+        with use_backend("numpy"):
+            with use_backend(None) as active:
+                assert active.name == "numpy"
+                assert get_backend().name == "numpy"
+
+    def test_trainer_config_inherits_global_backend(self, tiny_model, tiny_train_loader, tiny_test_loader):
+        """BMPQConfig.backend=None must respect a global set_backend choice."""
+        from repro.core.trainer import BMPQConfig, BMPQTrainer
+        from repro.nn import Tensor
+
+        seen = []
+        original_forward = type(tiny_model).forward
+
+        def spying_forward(model_self, x):
+            seen.append(get_backend().name)
+            return original_forward(model_self, x)
+
+        trainer = BMPQTrainer(
+            tiny_model,
+            tiny_train_loader,
+            tiny_test_loader,
+            BMPQConfig(epochs=1, epoch_interval=1, target_average_bits=4.0,
+                       evaluate_every_epoch=False),
+        )
+        type(tiny_model).forward = spying_forward
+        try:
+            with use_backend("numpy"):
+                trainer.train_one_epoch(0)
+        finally:
+            type(tiny_model).forward = original_forward
+        assert seen and set(seen) == {"numpy"}
+
+    def test_default_backend_is_fast(self):
+        assert get_backend().name == "fast"
+
+
+class TestConvParity:
+    @pytest.mark.parametrize("x_shape,w_shape,stride,padding", CONV_CASES)
+    def test_forward_and_backward_match(self, rng, x_shape, w_shape, stride, padding):
+        x = rng.standard_normal(x_shape).astype(np.float32)
+        w = rng.standard_normal(w_shape).astype(np.float32)
+        b = rng.standard_normal(w_shape[0]).astype(np.float32)
+        ref = _run_conv("numpy", x, w, b, stride, padding)
+        fast = _run_conv("fast", x, w, b, stride, padding)
+        for r, f in zip(ref, fast):
+            np.testing.assert_allclose(f, r, rtol=RTOL, atol=ATOL)
+
+    @pytest.mark.parametrize("backend_name", BACKENDS)
+    def test_im2col_col2im_adjoint(self, rng, backend_name):
+        """<im2col(x), c> == <x, col2im(c)> must hold on every backend."""
+        with use_backend(backend_name):
+            x = rng.standard_normal((2, 3, 6, 6)).astype(np.float32)
+            cols, _ = F.im2col(x, (3, 3), (2, 2), (1, 1))
+            c = rng.standard_normal(cols.shape).astype(np.float32)
+            lhs = float((cols * c).sum())
+            rhs = float((x * F.col2im(c, x.shape, (3, 3), (2, 2), (1, 1))).sum())
+            assert lhs == pytest.approx(rhs, rel=1e-4)
+
+    @pytest.mark.parametrize("backend_name", BACKENDS)
+    def test_weight_gradient_matches_numeric(self, rng, backend_name):
+        x_data = rng.standard_normal((2, 2, 5, 5)).astype(np.float32)
+        w_data = rng.standard_normal((3, 2, 3, 3)).astype(np.float32)
+        with use_backend(backend_name):
+            weight = Tensor(w_data, requires_grad=True)
+            out = F.conv2d(Tensor(x_data), weight, stride=1, padding=1)
+            (out * out).mean().backward()
+
+            def objective() -> float:
+                o = F.conv2d(Tensor(x_data), Tensor(w_data), stride=1, padding=1).data
+                return float((o * o).mean())
+
+            for index in [(0, 0, 0, 0), (1, 1, 2, 2)]:
+                numeric = numeric_gradient(objective, w_data, index, eps=1e-2)
+                assert weight.grad[index] == pytest.approx(numeric, rel=2e-2, abs=2e-3)
+
+    def test_scratch_reuse_distinguishes_padding_amounts(self, rng):
+        """Two geometries sharing a padded shape must not share border data.
+
+        (1,1,30,30) with 3x3/pad 1 and (1,1,28,28) with 5x5/pad 2 both pad to
+        (1,1,32,32); with ``reuse=True`` the second call recycles a scratch
+        buffer whose ring at offset 1 held the first input's interior, so the
+        zero border must be re-established (regression test for a cache key
+        that omitted the padding amounts).
+        """
+        fast = FastNumpyBackend()
+        reference = NumpyBackend()
+        a = rng.standard_normal((1, 1, 30, 30)).astype(np.float32)
+        b = rng.standard_normal((1, 1, 28, 28)).astype(np.float32)
+        fast.im2col(a, (3, 3), (1, 1), (1, 1), reuse=True)
+        got, _ = fast.im2col(b, (5, 5), (1, 1), (2, 2), reuse=True)
+        want, _ = reference.im2col(b, (5, 5), (1, 1), (2, 2))
+        np.testing.assert_array_equal(got, want)
+
+    @pytest.mark.parametrize("x_shape,w_shape,stride,padding", CONV_CASES)
+    def test_inference_reuse_path_matches_reference(self, rng, x_shape, w_shape, stride, padding):
+        """conv2d under no_grad (scratch-reuse path) must match the reference."""
+        from repro.nn import no_grad
+
+        x = rng.standard_normal(x_shape).astype(np.float32)
+        w = rng.standard_normal(w_shape).astype(np.float32)
+        outs = {}
+        with no_grad():
+            for name in BACKENDS:
+                with use_backend(name):
+                    # Run twice so the second call hits the warmed scratch buffers.
+                    F.conv2d(Tensor(x), Tensor(w), stride=stride, padding=padding)
+                    outs[name] = F.conv2d(Tensor(x), Tensor(w), stride=stride, padding=padding).data
+        np.testing.assert_allclose(outs["fast"], outs["numpy"], rtol=RTOL, atol=ATOL)
+
+    def test_scratch_reuse_does_not_corrupt_recorded_graph(self, rng):
+        """Two same-geometry convs in one graph must keep distinct columns."""
+        with use_backend("fast"):
+            x = Tensor(rng.standard_normal((2, 3, 6, 6)).astype(np.float32), requires_grad=True)
+            w1 = Tensor(rng.standard_normal((3, 3, 3, 3)).astype(np.float32), requires_grad=True)
+            w2 = Tensor(rng.standard_normal((3, 3, 3, 3)).astype(np.float32), requires_grad=True)
+            out = F.conv2d(F.conv2d(x, w1, padding=1), w2, padding=1)
+            out.sum().backward()
+            grad_fast = (x.grad.copy(), w1.grad.copy(), w2.grad.copy())
+        with use_backend("numpy"):
+            x2 = Tensor(x.data, requires_grad=True)
+            v1 = Tensor(w1.data, requires_grad=True)
+            v2 = Tensor(w2.data, requires_grad=True)
+            F.conv2d(F.conv2d(x2, v1, padding=1), v2, padding=1).sum().backward()
+            grad_ref = (x2.grad, v1.grad, v2.grad)
+        for f, r in zip(grad_fast, grad_ref):
+            np.testing.assert_allclose(f, r, rtol=1e-4, atol=1e-4)
+
+
+class TestPoolParity:
+    @pytest.mark.parametrize("kernel,stride", [(2, 2), (3, 2), (2, 1)])
+    def test_max_pool(self, rng, kernel, stride):
+        x = rng.standard_normal((2, 3, 8, 8)).astype(np.float32)
+        results = {}
+        for name in BACKENDS:
+            with use_backend(name):
+                xt = Tensor(x, requires_grad=True)
+                out = F.max_pool2d(xt, kernel, stride)
+                (out * out).sum().backward()
+                results[name] = (out.data.copy(), xt.grad.copy())
+        for r, f in zip(results["numpy"], results["fast"]):
+            np.testing.assert_allclose(f, r, rtol=RTOL, atol=ATOL)
+
+    @pytest.mark.parametrize("kernel,stride", [(2, 2), (3, 2), (2, 1)])
+    def test_avg_pool(self, rng, kernel, stride):
+        x = rng.standard_normal((2, 3, 8, 8)).astype(np.float32)
+        results = {}
+        for name in BACKENDS:
+            with use_backend(name):
+                xt = Tensor(x, requires_grad=True)
+                out = F.avg_pool2d(xt, kernel, stride)
+                (out * out).sum().backward()
+                results[name] = (out.data.copy(), xt.grad.copy())
+        for r, f in zip(results["numpy"], results["fast"]):
+            np.testing.assert_allclose(f, r, rtol=RTOL, atol=ATOL)
+
+
+class TestBatchNormParity:
+    @pytest.mark.parametrize("training", [True, False])
+    def test_forward_backward_and_running_stats(self, rng, training):
+        x = rng.standard_normal((4, 3, 5, 5)).astype(np.float32)
+        results = {}
+        for name in BACKENDS:
+            with use_backend(name):
+                bn = BatchNorm2d(3)
+                bn.train(training)
+                xt = Tensor(x, requires_grad=True)
+                out = bn(xt)
+                (out * out).mean().backward()
+                results[name] = (
+                    out.data.copy(),
+                    xt.grad.copy(),
+                    bn.weight.grad.copy(),
+                    bn.bias.grad.copy(),
+                    bn.running_mean.copy(),
+                    bn.running_var.copy(),
+                )
+        for r, f in zip(results["numpy"], results["fast"]):
+            np.testing.assert_allclose(f, r, rtol=RTOL, atol=ATOL)
+
+
+class TestQuantParity:
+    def test_symmetric_quantization_identical(self, rng):
+        w = rng.standard_normal((16, 8)).astype(np.float32)
+        outs = {}
+        for name in BACKENDS:
+            with use_backend(name):
+                outs[name] = quantize_symmetric_array(w, 4)
+        np.testing.assert_array_equal(outs["numpy"].codes, outs["fast"].codes)
+        np.testing.assert_array_equal(outs["numpy"].quantized, outs["fast"].quantized)
+        assert outs["numpy"].scale == outs["fast"].scale
+
+    @pytest.mark.parametrize("bits", [2, 4, 8, 16, 32])
+    def test_ste_quantizer_identical(self, rng, bits):
+        w = rng.standard_normal((6, 4)).astype(np.float32)
+        outs = {}
+        for name in BACKENDS:
+            with use_backend(name):
+                shadow = Tensor(w, requires_grad=True)
+                q, info = quantize_tensor_for_bits(shadow, bits)
+                outs[name] = (q.data.copy(), info.codes.copy(), info.scale)
+        np.testing.assert_array_equal(outs["numpy"][0], outs["fast"][0])
+        np.testing.assert_array_equal(outs["numpy"][1], outs["fast"][1])
+        assert outs["numpy"][2] == outs["fast"][2]
+
+    def test_pact_identical(self, rng):
+        x = rng.standard_normal((8, 6)).astype(np.float32) * 4.0
+        outs = {}
+        for name in BACKENDS:
+            with use_backend(name):
+                act = PACT(bits=4, alpha_init=2.0)
+                xt = Tensor(x, requires_grad=True)
+                out = act(xt)
+                out.sum().backward()
+                outs[name] = (out.data.copy(), xt.grad.copy(), act.alpha.grad.copy())
+        for r, f in zip(outs["numpy"], outs["fast"]):
+            np.testing.assert_array_equal(f, r)
+
+
+class TestEndToEndParity:
+    def test_training_step_matches_across_backends(self, tiny_model, tiny_train_loader):
+        """One full forward/backward of the quantized CNN, both backends."""
+        from repro.nn import CrossEntropyLoss
+
+        inputs, targets = next(iter(tiny_train_loader))
+        state = tiny_model.state_dict()
+        grads = {}
+        for name in BACKENDS:
+            tiny_model.load_state_dict(state)
+            tiny_model.zero_grad()
+            with use_backend(name):
+                loss = CrossEntropyLoss()(tiny_model(Tensor(inputs)), targets)
+                loss.backward()
+            grads[name] = {
+                pname: p.grad.copy() for pname, p in tiny_model.named_parameters() if p.grad is not None
+            }
+        assert grads["numpy"].keys() == grads["fast"].keys() and grads["fast"]
+        for pname in grads["fast"]:
+            np.testing.assert_allclose(
+                grads["fast"][pname], grads["numpy"][pname], rtol=1e-4, atol=1e-4,
+                err_msg=f"gradient mismatch for {pname}",
+            )

@@ -1,0 +1,44 @@
+"""Sanity floor on the fast backend's conv speed advantage.
+
+The micro-benchmark (``benchmarks/bench_conv_backends.py``) measures and
+enforces the real >= 3x acceptance target with long timing windows; this test
+only pins the *ordering* with a conservative 2x floor and short windows so a
+noisy CI machine cannot flake the tier-1 suite while a genuine performance
+regression (fast path silently falling back to reference behaviour) still
+fails loudly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend import use_backend
+from repro.nn import Tensor
+from repro.nn import functional as F
+from repro.utils.timing import best_mean_seconds
+
+FLOOR = 2.0
+
+
+def _time_conv(backend_name: str, min_seconds: float = 0.25) -> float:
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((8, 3, 32, 32)).astype(np.float32)
+    w = rng.standard_normal((16, 3, 3, 3)).astype(np.float32)
+
+    def step() -> None:
+        xt = Tensor(x, requires_grad=True)
+        wt = Tensor(w, requires_grad=True)
+        F.conv2d(xt, wt, stride=1, padding=1).sum().backward()
+
+    with use_backend(backend_name):
+        return best_mean_seconds(step, repeats=3, min_seconds=min_seconds)
+
+
+def test_fast_backend_beats_reference_on_conv():
+    reference = _time_conv("numpy")
+    fast = _time_conv("fast")
+    speedup = reference / fast
+    assert speedup >= FLOOR, (
+        f"fast backend only {speedup:.2f}x faster than reference on the "
+        f"8x3x32x32/16-filter conv forward+backward (floor {FLOOR}x)"
+    )

@@ -73,8 +73,11 @@ class TestConvBackward:
             ).data
             return float((o * o).mean())
 
+        # The objective is quadratic in the weights, so the central difference
+        # has no truncation error and a larger eps only divides down the
+        # float32 evaluation noise of the objective.
         for index in [(0, 0, 0, 0), (1, 1, 2, 2), (2, 0, 1, 1)]:
-            numeric = numeric_gradient(objective, w_data, index)
+            numeric = numeric_gradient(objective, w_data, index, eps=1e-2)
             assert weight.grad[index] == pytest.approx(numeric, rel=2e-2, abs=1e-3)
 
     def test_input_gradient_matches_numeric(self, rng):

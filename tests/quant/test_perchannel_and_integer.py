@@ -23,6 +23,7 @@ from repro.quant import (
     quantize_per_channel_ste,
 )
 from repro.quant.integer_inference import export_layer
+from repro.quant.quantizers import symmetric_scale
 
 
 class TestPerChannelQuantizer:
@@ -62,9 +63,17 @@ class TestPerChannelQuantizer:
     @settings(max_examples=30, deadline=None)
     @given(seed=st.integers(0, 10_000), bits=st.integers(2, 8))
     def test_property_error_ordering(self, seed, bits):
+        # Per-channel quantization uses a grid at least as fine as per-tensor
+        # (scales_c <= scale_t), but round-to-nearest is not monotonic in the
+        # step size, so on homogeneous data the per-channel MSE can lose by
+        # rounding luck (worst observed ratio over this strategy space: 1.26x).
+        # The guaranteed properties are the scale ordering and a bounded loss;
+        # the structured-outlier case above asserts the strict win.
         weights = np.random.default_rng(seed).standard_normal((4, 10)).astype(np.float32)
         tensor_mse, channel_mse = per_tensor_vs_per_channel_error(weights, bits)
-        assert channel_mse <= tensor_mse + 1e-12
+        tensor_scale = symmetric_scale(weights, bits)
+        assert per_channel_scales(weights, bits).max() <= tensor_scale * (1 + 1e-6)
+        assert channel_mse <= 1.5 * tensor_mse + 1e-12
 
     def test_ste_gradient_passthrough(self, rng):
         shadow = Tensor(rng.standard_normal((3, 5)).astype(np.float32), requires_grad=True)
