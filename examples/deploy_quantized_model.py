@@ -8,8 +8,10 @@ This example walks the deployment path:
 1. train a ResNet18 (reduced width) with BMPQ,
 2. save the checkpoint (shadow weights + per-layer bit assignment + metadata),
 3. reload it into a freshly constructed model,
-4. verify the reloaded model reproduces the trained model's predictions, and
-5. report the storage footprint of the shipped weights (Eq. 10-12).
+4. verify the reloaded model reproduces the trained model's predictions,
+5. serve batched requests through the inference engine (float and
+   integer-code domains), and
+6. report the storage footprint of the shipped weights (Eq. 10-12).
 
 Usage::
 
@@ -23,7 +25,7 @@ import os
 
 import numpy as np
 
-from repro import BMPQConfig, BMPQTrainer, build_model, evaluate_model
+from repro import BMPQConfig, BMPQTrainer, InferenceEngine, build_model, evaluate_model
 from repro.analysis import compression_summary, format_bit_vector
 from repro.data import DataLoader, SyntheticImageClassification
 from repro.nn import Tensor
@@ -88,7 +90,20 @@ def main() -> None:
     loss, accuracy = evaluate_model(served, test_loader)
     print(f"served model: loss={loss:.4f} accuracy={100 * accuracy:.2f}%")
 
-    # --- 5. shipped-weight storage (Eq. 10-12) -------------------------------
+    # --- 5. serve batched requests through the inference engine --------------
+    requests = np.stack([test_set[i][0] for i in range(32)])
+    engine = InferenceEngine(served, batch_size=16)
+    predictions = engine.predict(requests)
+    integer_engine = InferenceEngine(served, mode="integer", batch_size=16)
+    integer_predictions = integer_engine.predict(requests)
+    agreement = float((predictions == integer_predictions).mean())
+    print(
+        f"engine served {len(requests)} requests "
+        f"(compiled plan: {not engine.uses_fallback}); "
+        f"float/integer prediction agreement: {100 * agreement:.1f}%"
+    )
+
+    # --- 6. shipped-weight storage (Eq. 10-12) -------------------------------
     summary = compression_summary(served.layer_specs(), served.current_assignment())
     print(
         f"shipped weights: {summary.quantized_megabytes:.3f} MB "

@@ -25,7 +25,7 @@ Quickstart::
     print(result.final_bit_vector, result.compression_ratio_fp32)
 """
 
-from . import analysis, backend, baselines, core, data, models, nn, quant, utils
+from . import analysis, backend, baselines, core, data, models, nn, quant, serve, utils
 from .core import (
     BMPQConfig,
     BMPQResult,
@@ -45,8 +45,9 @@ from .backend import (
     use_backend,
 )
 from .models import build_model, available_models
+from .serve import InferenceEngine, InferencePlan
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "analysis",
@@ -57,6 +58,7 @@ __all__ = [
     "models",
     "nn",
     "quant",
+    "serve",
     "utils",
     "BMPQConfig",
     "BMPQResult",
@@ -69,6 +71,8 @@ __all__ = [
     "solve_bit_assignment",
     "build_model",
     "available_models",
+    "InferenceEngine",
+    "InferencePlan",
     "ArrayBackend",
     "available_backends",
     "get_backend",

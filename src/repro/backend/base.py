@@ -175,6 +175,80 @@ class ArrayBackend:
         raise NotImplementedError
 
     # ------------------------------------------------------------------ #
+    # integer GEMM kernels (the serving hot path)
+    # ------------------------------------------------------------------ #
+    def int_conv2d(
+        self,
+        x: np.ndarray,
+        w_mat: np.ndarray,
+        kernel: IntPair,
+        stride: IntPair,
+        padding: IntPair,
+        scale=None,
+        bias=None,
+    ) -> np.ndarray:
+        """Convolution of an (N, C, H, W) input with a pre-packed weight matrix.
+
+        ``w_mat`` has shape ``(oc, C*kh*kw)`` and typically holds integer
+        weight *codes*; the per-tensor (scalar) or per-channel (``(oc,)``)
+        ``scale`` is distributed out of the accumulation and applied once to
+        the accumulator, followed by an optional per-channel ``bias``.  This
+        is the deployment contract of Eq. 3-5: store codes, accumulate codes
+        against the activations, rescale afterwards.
+
+        The default is the exactness reference: the accumulation runs in
+        float64 so integer code products up to 16 bits are exact.  Fast
+        backends override this with float32 BLAS.
+        """
+        n = x.shape[0]
+        oc = w_mat.shape[0]
+        cols, (oh, ow) = self.im2col(x.astype(np.float64), kernel, stride, padding)
+        acc = np.einsum("of,nfp->nop", w_mat.astype(np.float64), cols, optimize=True)
+        if scale is not None:
+            scale_arr = np.asarray(scale, dtype=np.float64)
+            acc = acc * (scale_arr.reshape(1, -1, 1) if scale_arr.ndim else scale_arr)
+        if bias is not None:
+            acc = acc + np.asarray(bias, dtype=np.float64).reshape(1, -1, 1)
+        return acc.reshape(n, oc, oh, ow).astype(np.float32)
+
+    def int_conv2d_cm(
+        self,
+        x_cm: np.ndarray,
+        w_mat: np.ndarray,
+        kernel: IntPair,
+        stride: IntPair,
+        padding: IntPair,
+        scale=None,
+        bias=None,
+    ) -> np.ndarray:
+        """Channel-major variant of :meth:`int_conv2d`: (C, N, H, W) in and
+        (oc, N, oh, ow) out.
+
+        Keeping the batch inside the column axis lets a fast backend express
+        the whole convolution as one ``(oc, F) @ (F, N*oh*ow)`` GEMM instead
+        of N small batched products, and lets a compiled inference plan chain
+        convolutions without any inter-layer transposes.  The reference
+        implementation simply round-trips through :meth:`int_conv2d`.
+        """
+        x = np.ascontiguousarray(np.moveaxis(x_cm, 0, 1))
+        out = self.int_conv2d(x, w_mat, kernel, stride, padding, scale=scale, bias=bias)
+        return np.ascontiguousarray(np.moveaxis(out, 1, 0))
+
+    def int_linear(self, x: np.ndarray, w: np.ndarray, scale=None, bias=None) -> np.ndarray:
+        """Fully connected product ``x @ w.T`` with post-accumulation rescale.
+
+        ``w`` is ``(out_features, in_features)`` — integer codes or already
+        scaled weights; ``scale`` is a scalar or ``(out_features,)`` vector.
+        Float64 reference; fast backends override with a single float32 GEMM.
+        """
+        acc = x.astype(np.float64) @ w.astype(np.float64).T
+        if scale is not None:
+            acc = acc * np.asarray(scale, dtype=np.float64)
+        if bias is not None:
+            acc = acc + np.asarray(bias, dtype=np.float64)
+        return acc.astype(np.float32)
+
+    # ------------------------------------------------------------------ #
     # pooling kernels
     # ------------------------------------------------------------------ #
     def pool_windows(
@@ -195,6 +269,22 @@ class ArrayBackend:
     ) -> np.ndarray:
         """Scatter an average-pool gradient uniformly over each window."""
         raise NotImplementedError
+
+    def pool_max(self, x: np.ndarray, kernel: IntPair, stride: IntPair) -> np.ndarray:
+        """Forward-only max pooling over the two trailing axes.
+
+        Unlike :meth:`pool_windows` (which the training path needs for its
+        argmax bookkeeping) this returns only the pooled values, so fast
+        backends may reduce with strided slice maxima instead of
+        materialising a 6-D window tensor.  The two leading axes are treated
+        as batch, so it serves both the (N, C, H, W) and channel-major
+        layouts.
+        """
+        return self.pool_windows(x, kernel, stride).max(axis=(-1, -2))
+
+    def pool_avg(self, x: np.ndarray, kernel: IntPair, stride: IntPair) -> np.ndarray:
+        """Forward-only average pooling over the two trailing axes."""
+        return self.pool_windows(x, kernel, stride).mean(axis=(-1, -2))
 
     def max_pool_backward(
         self,

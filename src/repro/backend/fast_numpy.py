@@ -168,6 +168,97 @@ class FastNumpyBackend(ArrayBackend):
         return np.matmul(w_mat.T, grad_mat)
 
     # ------------------------------------------------------------------ #
+    # integer GEMM kernels
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _scale_bias_inplace(acc: np.ndarray, scale, bias, channel_axis: int) -> np.ndarray:
+        """Apply the distributed scale and per-channel bias to the accumulator."""
+        if scale is not None:
+            scale_arr = np.asarray(scale, dtype=acc.dtype)
+            if scale_arr.ndim:
+                shape = [1] * acc.ndim
+                shape[channel_axis] = -1
+                scale_arr = scale_arr.reshape(shape)
+            np.multiply(acc, scale_arr, out=acc)
+        if bias is not None:
+            bias_arr = np.asarray(bias, dtype=acc.dtype)
+            shape = [1] * acc.ndim
+            shape[channel_axis] = -1
+            np.add(acc, bias_arr.reshape(shape), out=acc)
+        return acc
+
+    # Below this many output positions per sample, the batched per-sample
+    # GEMMs are too small to use BLAS well and the channel-major single-GEMM
+    # route wins even after paying two layout transposes.
+    _CM_MAX_POSITIONS = 64
+
+    def int_conv2d(
+        self,
+        x: np.ndarray,
+        w_mat: np.ndarray,
+        kernel: IntPair,
+        stride: IntPair,
+        padding: IntPair,
+        scale=None,
+        bias=None,
+    ) -> np.ndarray:
+        # Integer codes fit float32 exactly up to 2^24, so the accumulation
+        # runs at the same precision as the float forward pass while hitting
+        # (batched) sgemm instead of the float64 einsum reference.
+        n = x.shape[0]
+        oc = w_mat.shape[0]
+        oh, ow = self._output_geometry(x.shape, kernel, stride, padding)
+        if n > 1 and oh * ow <= self._CM_MAX_POSITIONS:
+            out_cm = self.int_conv2d_cm(
+                x.transpose(1, 0, 2, 3), w_mat, kernel, stride, padding,
+                scale=scale, bias=bias,
+            )
+            return np.ascontiguousarray(out_cm.transpose(1, 0, 2, 3))
+        cols, _ = self.im2col(x, kernel, stride, padding, reuse=True)
+        acc = np.matmul(w_mat, cols)  # (N, oc, P) batched BLAS
+        self._scale_bias_inplace(acc, scale, bias, channel_axis=1)
+        return acc.reshape(n, oc, oh, ow)
+
+    def int_conv2d_cm(
+        self,
+        x_cm: np.ndarray,
+        w_mat: np.ndarray,
+        kernel: IntPair,
+        stride: IntPair,
+        padding: IntPair,
+        scale=None,
+        bias=None,
+    ) -> np.ndarray:
+        # Channel-major columns put the batch inside the P axis, so the whole
+        # convolution is ONE (oc, F) x (F, N*P) GEMM — far better BLAS shape
+        # than N small batched products when oc and F are modest — and the
+        # (oc, N, oh, ow) output feeds the next layer with zero transposes.
+        c, n, _, _ = x_cm.shape
+        kh, kw = kernel
+        sh, sw = stride
+        oc = w_mat.shape[0]
+        oh, ow = self._output_geometry((n, c) + x_cm.shape[2:], kernel, stride, padding)
+        padded = self._padded_input(x_cm, padding[0], padding[1], reuse=True)
+        s = padded.strides
+        windows = np.lib.stride_tricks.as_strided(
+            padded,
+            shape=(c, kh, kw, n, oh, ow),
+            strides=(s[0], s[2], s[3], s[1], s[2] * sh, s[3] * sw),
+            writeable=False,
+        )
+        shape = (c, kh, kw, n, oh, ow)
+        cols = self._scratch_buffer(("i2c_cm", shape, x_cm.dtype), shape, x_cm.dtype)
+        np.copyto(cols, windows)
+        acc = np.matmul(w_mat, cols.reshape(c * kh * kw, n * oh * ow))
+        self._scale_bias_inplace(acc, scale, bias, channel_axis=0)
+        return acc.reshape(oc, n, oh, ow)
+
+    def int_linear(self, x: np.ndarray, w: np.ndarray, scale=None, bias=None) -> np.ndarray:
+        acc = np.matmul(x, w.T)
+        self._scale_bias_inplace(acc, scale, bias, channel_axis=acc.ndim - 1)
+        return acc
+
+    # ------------------------------------------------------------------ #
     # pooling kernels
     # ------------------------------------------------------------------ #
     def pool_windows(self, x: np.ndarray, kernel: IntPair, stride: IntPair) -> np.ndarray:
@@ -199,3 +290,35 @@ class FastNumpyBackend(ArrayBackend):
             for j in range(kw):
                 grad_input[:, :, i : i + sh * oh : sh, j : j + sw * ow : sw] += scaled
         return grad_input
+
+    def pool_max(self, x: np.ndarray, kernel: IntPair, stride: IntPair) -> np.ndarray:
+        # kh*kw strided elementwise maxima beat a max-reduction over a 6-D
+        # as_strided view by a wide margin: each pass is a flat SIMD maximum
+        # over the output-sized grid for one in-window offset.
+        kh, kw = kernel
+        sh, sw = stride
+        oh, ow = self._output_geometry(x.shape, kernel, stride, (0, 0))
+        out = None
+        for i in range(kh):
+            for j in range(kw):
+                window = x[..., i : i + sh * oh : sh, j : j + sw * ow : sw]
+                if out is None:
+                    out = window.copy()
+                else:
+                    np.maximum(out, window, out=out)
+        return out
+
+    def pool_avg(self, x: np.ndarray, kernel: IntPair, stride: IntPair) -> np.ndarray:
+        kh, kw = kernel
+        sh, sw = stride
+        oh, ow = self._output_geometry(x.shape, kernel, stride, (0, 0))
+        out = None
+        for i in range(kh):
+            for j in range(kw):
+                window = x[..., i : i + sh * oh : sh, j : j + sw * ow : sw]
+                if out is None:
+                    out = window.copy()
+                else:
+                    out += window
+        out *= out.dtype.type(1.0 / (kh * kw))
+        return out

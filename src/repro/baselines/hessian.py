@@ -78,14 +78,17 @@ def hessian_trace_sensitivity(
 
             for name, layer in layers.items():
                 layer.weight.data = originals[name] + epsilon * probes[name]
+                layer.weight.bump_version()
             grads_plus = _loss_gradients(model, layers, inputs, targets)
 
             for name, layer in layers.items():
                 layer.weight.data = originals[name] - epsilon * probes[name]
+                layer.weight.bump_version()
             grads_minus = _loss_gradients(model, layers, inputs, targets)
 
             for name, layer in layers.items():
                 layer.weight.data = originals[name]
+                layer.weight.bump_version()
                 hv = (grads_plus[name] - grads_minus[name]) / (2.0 * epsilon)
                 accumulators[name] += float((probes[name] * hv).sum()) / layers[name].weight.data.size
 

@@ -131,13 +131,18 @@ class FixedAssignmentTrainer:
         history: List[EpochRecord] = []
         best_accuracy = 0.0
         final_accuracy = 0.0
+        eval_engine = None
         for epoch in range(config.epochs):
             start = time.perf_counter()
             lr = self.lr_schedule.step(epoch)
             train_loss, train_acc = self.train_one_epoch()
             test_acc: Optional[float] = None
             if config.evaluate_every_epoch or epoch == config.epochs - 1:
-                _, test_acc = evaluate_model(self.model, self.test_loader)
+                if eval_engine is None:
+                    from ..serve import InferenceEngine
+
+                    eval_engine = InferenceEngine(self.model)
+                _, test_acc = evaluate_model(self.model, self.test_loader, engine=eval_engine)
                 best_accuracy = max(best_accuracy, test_acc)
                 final_accuracy = test_acc
             history.append(

@@ -116,16 +116,29 @@ class BMPQResult:
         return None
 
 
-def evaluate_model(model, loader) -> Tuple[float, float]:
-    """Return (mean loss, accuracy) of ``model`` over an evaluation loader."""
+def evaluate_model(model, loader, engine=None) -> Tuple[float, float]:
+    """Return (mean loss, accuracy) of ``model`` over an evaluation loader.
+
+    Evaluation rides the serving engine (:mod:`repro.serve`): the layer
+    sequence is compiled once per call, eval-mode BatchNorm and PACT clipping
+    are fused into the conv/linear kernels, and quantized weights come from
+    the version-keyed cache instead of being re-quantized per batch.  Models
+    the tracer cannot linearise fall back to the module forward path inside
+    the engine.  Pass a pre-built ``engine`` to reuse its compiled plan
+    across calls.
+    """
+    from ..serve import InferenceEngine
+
     criterion = CrossEntropyLoss()
+    if engine is None:
+        engine = InferenceEngine(model)
     model.eval()
     losses: List[float] = []
     correct = 0
     total = 0
     with no_grad():
         for inputs, targets in loader:
-            logits = model(Tensor(inputs))
+            logits = Tensor(engine.predict_logits(inputs))
             losses.append(float(criterion(logits, targets).item()))
             predictions = logits.data.argmax(axis=-1)
             correct += int((predictions == targets).sum())
@@ -181,6 +194,9 @@ class BMPQTrainer:
         self.lr_schedule = MultiStepLR(
             self.optimizer, milestones=list(self.config.lr_milestones), gamma=self.config.lr_gamma
         )
+        # One serving engine reused for every per-epoch evaluation: the plan
+        # is traced once and only its constants refresh as weights change.
+        self._eval_engine = None
 
     # ------------------------------------------------------------------ #
     # bit-width management
@@ -282,7 +298,11 @@ class BMPQTrainer:
 
             test_acc: Optional[float] = None
             if config.evaluate_every_epoch or epoch == config.epochs - 1:
-                _, test_acc = evaluate_model(self.model, self.test_loader)
+                if self._eval_engine is None:
+                    from ..serve import InferenceEngine
+
+                    self._eval_engine = InferenceEngine(self.model)
+                _, test_acc = evaluate_model(self.model, self.test_loader, engine=self._eval_engine)
                 best_accuracy = max(best_accuracy, test_acc)
                 final_accuracy = test_acc
 

@@ -17,9 +17,23 @@ from ..baselines import QATConfig, train_ad_baseline, train_fp32_baseline, train
 from ..core import BMPQConfig, BMPQTrainer
 from ..data import DataLoader, SyntheticImageClassification, standard_augmentation, train_test_datasets
 from ..models import build_model
+from ..serve import InferenceEngine
 from .configs import ExperimentConfig
 
 __all__ = ["ExperimentOutcome", "run_experiment"]
+
+
+def _serving_accuracy(model, test_loader, backend: Optional[str]) -> float:
+    """Accuracy of the trained model through the engine's batched predict."""
+    correct = 0
+    total = 0
+    with use_backend(backend):
+        engine = InferenceEngine(model)
+        for inputs, targets in test_loader:
+            predictions = engine.predict(inputs)
+            correct += int((predictions == targets).sum())
+            total += len(targets)
+    return correct / total if total else 0.0
 
 _DATASET_CLASSES = {"cifar10": 10, "cifar100": 100, "tiny_imagenet": 200}
 _DATASET_SIZE = {"cifar10": 32, "cifar100": 32, "tiny_imagenet": 64}
@@ -41,6 +55,9 @@ class ExperimentOutcome:
     bits_by_layer: Dict[str, int]
     paper_accuracy: Optional[float]
     paper_compression: Optional[float]
+    #: Test accuracy of the trained model measured through the serving
+    #: engine's batched-predict path (what deployment would actually run).
+    serving_accuracy: Optional[float] = None
 
     def summary_line(self) -> str:
         bits = format_bit_vector(self.bit_vector) if self.bit_vector else "full precision"
@@ -50,8 +67,11 @@ class ExperimentOutcome:
             if self.paper_compression is not None:
                 paper += f", {self.paper_compression:g}x"
             paper += "]"
+        serving = ""
+        if self.serving_accuracy is not None:
+            serving = f" serve={100 * self.serving_accuracy:.2f}%"
         return (
-            f"{self.name}: acc={100 * self.best_accuracy:.2f}% "
+            f"{self.name}: acc={100 * self.best_accuracy:.2f}%{serving} "
             f"ratio={self.compression_ratio:.1f}x bits={bits}{paper}"
         )
 
@@ -136,6 +156,7 @@ def run_experiment(
             bits_by_layer=result.final_bits_by_layer,
             paper_accuracy=config.paper_accuracy,
             paper_compression=config.paper_compression,
+            serving_accuracy=_serving_accuracy(model, test_loader, config.backend),
         )
 
     qat_config = QATConfig(
@@ -177,4 +198,5 @@ def run_experiment(
         bits_by_layer=dict(result.bits_by_layer),
         paper_accuracy=config.paper_accuracy,
         paper_compression=config.paper_compression,
+        serving_accuracy=_serving_accuracy(model, test_loader, config.backend),
     )

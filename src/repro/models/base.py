@@ -108,13 +108,30 @@ class QuantizableModel(Module):
     def estimate_macs(self, input_shape) -> Dict[str, float]:
         """Per-layer multiply-accumulate counts for one input sample.
 
-        Runs a single probe forward pass (no gradients) so convolution output
-        sizes are known, then reads each quantized layer's MAC count.  Used by
-        the compute/energy cost models of :mod:`repro.core.costs`.
+        When ``input_shape`` matches the spatial size the model was built for,
+        the counts come straight from the static ``input_hw`` geometry hints
+        the constructors record — no forward pass needed, so cost-model
+        queries work on freshly built models.  Otherwise (or when a layer
+        lacks a hint) a single probe forward pass records the true output
+        sizes first.
         """
         import numpy as np
 
         from ..nn.tensor import Tensor, no_grad
+        from ..quant.qmodules import QConv2d
+
+        built_size = getattr(self, "input_size", None)
+        if built_size is not None and tuple(input_shape[-2:]) == (built_size, built_size):
+            static: Dict[str, float] = {}
+            for name, layer in self._qlayers.items():
+                if isinstance(layer, QConv2d):
+                    if layer.input_hw is None:
+                        break
+                    static[name] = layer.macs_for_output_hw(*layer.output_hw())
+                else:
+                    static[name] = layer.macs_per_sample()
+            else:
+                return static
 
         probe = Tensor(np.zeros((1, *input_shape), dtype=np.float32))
         was_training = self.training

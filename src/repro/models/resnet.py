@@ -100,6 +100,7 @@ class ResNet(QuantizableModel):
         width_multiplier: float = 1.0,
         default_bits: int = 4,
         pinned_bits: int = 16,
+        input_size: int = 32,
         seed: int = 0,
     ) -> None:
         super().__init__()
@@ -107,6 +108,7 @@ class ResNet(QuantizableModel):
             raise ValueError(f"width_multiplier must be positive, got {width_multiplier}")
         rng = np.random.default_rng(seed)
         self.num_classes = num_classes
+        self.input_size = input_size
 
         def scaled(channels: int) -> int:
             return max(1, int(round(channels * width_multiplier)))
@@ -116,6 +118,7 @@ class ResNet(QuantizableModel):
             input_channels, stem_channels, 3, stride=1, padding=1, bias=False,
             bits=pinned_bits, pinned=True, rng=rng,
         )
+        self.stem.input_hw = (input_size, input_size)
         self.register_qlayer("stem", self.stem, pinned=True, pinned_bits=pinned_bits)
         self.stem_bn = BatchNorm2d(stem_channels)
         self.stem_act = ReLU()
@@ -123,11 +126,20 @@ class ResNet(QuantizableModel):
         self.stages: List[BasicBlock] = []
         in_channels = stem_channels
         conv_counter = 0
+        spatial = input_size
         for stage_index, num_blocks in enumerate(blocks_per_stage):
             out_channels = scaled(base_channels * (2 ** stage_index))
             for block_index in range(num_blocks):
                 stride = 2 if (stage_index > 0 and block_index == 0) else 1
                 block = BasicBlock(in_channels, out_channels, stride, default_bits, rng)
+                block.conv1.input_hw = (spatial, spatial)
+                # conv1's own geometry is the single source of truth for the
+                # block's output spatial size.
+                block_out_spatial = block.conv1.output_hw()[0]
+                block.conv2.input_hw = (block_out_spatial, block_out_spatial)
+                if block.downsample is not None:
+                    block.downsample.input_hw = (spatial, spatial)
+                spatial = block_out_spatial
                 prefix = f"layer{stage_index + 1}.{block_index}"
                 conv1_name = f"{prefix}.conv1"
                 self.register_qlayer(conv1_name, block.conv1)

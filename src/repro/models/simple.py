@@ -49,18 +49,21 @@ class SimpleQuantCNN(QuantizableModel):
             input_channels, channels, 3, padding=1, bias=False,
             bits=pinned_bits, pinned=True, rng=rng,
         )
+        self.conv0.input_hw = (input_size, input_size)
         self.register_qlayer("conv0", self.conv0, pinned=True, pinned_bits=pinned_bits)
         self.bn0 = BatchNorm2d(channels)
         self.act0 = ReLU()
         self.pool0 = MaxPool2d(2)
 
         self.conv1 = QConv2d(channels, channels * 2, 3, padding=1, bias=False, bits=default_bits, rng=rng)
+        self.conv1.input_hw = (input_size // 2, input_size // 2)
         self.register_qlayer("conv1", self.conv1)
         self.bn1 = BatchNorm2d(channels * 2)
         self.act1 = self.conv1.attach_activation(PACT(bits=self.conv1.bits))
         self.pool1 = MaxPool2d(2)
 
         self.conv2 = QConv2d(channels * 2, channels * 4, 3, padding=1, bias=False, bits=default_bits, rng=rng)
+        self.conv2.input_hw = (input_size // 4, input_size // 4)
         self.register_qlayer("conv2", self.conv2)
         self.bn2 = BatchNorm2d(channels * 4)
         self.act2 = self.conv2.attach_activation(PACT(bits=self.conv2.bits))

@@ -105,6 +105,7 @@ class VGG(QuantizableModel):
                 pinned=pinned,
                 rng=rng,
             )
+            conv.input_hw = (spatial, spatial)
             name = f"conv{conv_index}"
             self.register_qlayer(name, conv, pinned=pinned, pinned_bits=pinned_bits)
             bn = BatchNorm2d(out_channels)

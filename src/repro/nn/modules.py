@@ -157,6 +157,7 @@ class Module:
                         f"expected {params[key].data.shape}, got {value.shape}"
                     )
                 params[key].data = value.astype(np.float32).copy()
+                params[key].bump_version()
             elif key in buffers:
                 buffers[key][...] = value
             else:

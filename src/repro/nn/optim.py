@@ -93,6 +93,7 @@ class SGD(Optimizer):
                 else:
                     grad = self._velocity[index]
             param.data = param.data - self.lr * grad
+            param.bump_version()
 
     def state_dict(self) -> Dict[str, object]:
         return {
@@ -146,6 +147,7 @@ class Adam(Optimizer):
             m_hat = self._m[index] / (1 - self.beta1 ** self._t)
             v_hat = self._v[index] / (1 - self.beta2 ** self._t)
             param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            param.bump_version()
 
 
 class LRScheduler:

@@ -106,7 +106,7 @@ class Tensor:
         messages.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "name", "_backward", "_parents")
+    __slots__ = ("data", "grad", "requires_grad", "name", "version", "_backward", "_parents")
 
     def __init__(
         self,
@@ -120,6 +120,7 @@ class Tensor:
         self.grad: Optional[np.ndarray] = None
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self.name = name
+        self.version = 0
         self._parents: Tuple[Tensor, ...] = _parents if self.requires_grad or _parents else ()
         self._backward = _backward
 
@@ -165,6 +166,17 @@ class Tensor:
     def zero_grad(self) -> None:
         """Reset the accumulated gradient."""
         self.grad = None
+
+    def bump_version(self) -> int:
+        """Mark the payload as changed and return the new version.
+
+        Anything that replaces or mutates ``data`` outside the autograd graph
+        (optimizer steps, checkpoint loading, manual weight surgery) must call
+        this so version-keyed consumers — most importantly the quantized-weight
+        cache in :mod:`repro.quant.qmodules` — know to recompute.
+        """
+        self.version += 1
+        return self.version
 
     # ------------------------------------------------------------------ #
     # graph construction helpers

@@ -28,7 +28,7 @@ from .perchannel import (
     quantize_per_channel_array,
     quantize_per_channel_ste,
 )
-from .qmodules import QConv2d, QLinear, QuantizedLayer
+from .qmodules import QConv2d, QLinear, QuantizedLayer, weight_cache_disabled
 from .quantizers import (
     QuantizerOutput,
     integer_levels,
@@ -67,6 +67,7 @@ __all__ = [
     "QConv2d",
     "QLinear",
     "QuantizedLayer",
+    "weight_cache_disabled",
     "QuantizerOutput",
     "integer_levels",
     "quantize_symmetric_array",

@@ -4,11 +4,18 @@ The point of mixed-precision quantization is that deployment hardware stores
 and multiplies small integer codes, not floats.  This module executes a
 trained quantizable model's convolution/linear layers **in the integer code
 domain**: weights are exported once as signed integer codes plus a per-layer
-scale (exactly what Eq. 3-5 stores), the integer accumulations are carried out
-exactly, and the result is rescaled to the real axis afterwards.  Because the
-integer path computes ``(codes · S_w) ⊛ x`` by distributing the scale out of
-the accumulation, its outputs must match the float quantized-weight forward
-pass to floating-point round-off — which the test suite asserts.  It provides
+scale (exactly what Eq. 3-5 stores), the codes are accumulated against the
+activations, and the result is rescaled to the real axis afterwards.  Because
+the integer path computes ``(codes · S_w) ⊛ x`` by distributing the scale out
+of the accumulation, its outputs must match the float quantized-weight forward
+pass to floating-point round-off — which the test suite asserts.
+
+The kernels dispatch to the active :class:`~repro.backend.ArrayBackend`
+(``int_conv2d`` / ``int_linear``): the reference backend accumulates in
+float64 (exact for codes up to 16 bits), the fast backend runs the same
+contraction as as_strided patch extraction plus (batched) float32 BLAS over a
+pre-packed code matrix, which is what makes integer serving ride the same
+fast path as training.  It provides
 
 * :class:`QuantizedLayerExport` / :func:`export_model` — the deployable
   artefact (codes, scales, bit widths, storage size);
@@ -21,12 +28,12 @@ pass to floating-point round-off — which the test suite asserts.  It provides
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..nn import functional as F
+from ..backend import get_backend
 from ..nn.tensor import Tensor, no_grad
 from .qmodules import QConv2d, QLinear, QuantizedLayer
 
@@ -51,11 +58,27 @@ class QuantizedLayerExport:
     bias: Optional[np.ndarray]
     stride: Tuple[int, int] = (1, 1)
     padding: Tuple[int, int] = (0, 0)
+    _codes_matrix: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
 
     @property
     def storage_bits(self) -> int:
         """Parameter bits needed to store this layer's codes."""
         return int(self.codes.size * self.bits)
+
+    @property
+    def codes_matrix(self) -> np.ndarray:
+        """The codes pre-packed as the float32 GEMM operand.
+
+        ``(oc, ic*kh*kw)`` for convolutions, ``(out, in)`` for linear layers.
+        Float32 represents codes up to 2^24 exactly, so this is a lossless
+        re-encoding that the BLAS kernels can consume directly; it is built
+        once per export and reused across every inference call.
+        """
+        if self._codes_matrix is None:
+            self._codes_matrix = np.ascontiguousarray(
+                self.codes.reshape(self.codes.shape[0], -1), dtype=np.float32
+            )
+        return self._codes_matrix
 
 
 def _pair(value) -> Tuple[int, int]:
@@ -91,30 +114,32 @@ def export_model(model) -> Dict[str, QuantizedLayerExport]:
 
 
 def integer_conv2d(x: np.ndarray, export: QuantizedLayerExport) -> np.ndarray:
-    """Convolution with integer weight codes; rescale after accumulation."""
+    """Convolution with integer weight codes; rescale after accumulation.
+
+    Dispatches to the active backend's integer GEMM kernel with the export's
+    pre-packed code matrix, so under the fast backend this is as_strided
+    patch extraction plus batched BLAS rather than a float64 einsum.
+    """
     if export.kind != "conv2d":
         raise ValueError(f"layer {export.name!r} is not a convolution")
-    cols, (oh, ow) = F.im2col(
-        x.astype(np.float64), export.codes.shape[2:], export.stride, export.padding
+    return get_backend().int_conv2d(
+        x,
+        export.codes_matrix,
+        export.codes.shape[2:],
+        export.stride,
+        export.padding,
+        scale=export.scale,
+        bias=export.bias,
     )
-    weight_matrix = export.codes.reshape(export.codes.shape[0], -1).astype(np.float64)
-    accumulated = np.einsum("of,nfp->nop", weight_matrix, cols, optimize=True)
-    out = accumulated * export.scale
-    if export.bias is not None:
-        out = out + export.bias.reshape(1, -1, 1)
-    n = x.shape[0]
-    return out.reshape(n, export.codes.shape[0], oh, ow).astype(np.float32)
 
 
 def integer_linear(x: np.ndarray, export: QuantizedLayerExport) -> np.ndarray:
     """Fully connected layer with integer weight codes."""
     if export.kind != "linear":
         raise ValueError(f"layer {export.name!r} is not a linear layer")
-    accumulated = x.astype(np.float64) @ export.codes.astype(np.float64).T
-    out = accumulated * export.scale
-    if export.bias is not None:
-        out = out + export.bias
-    return out.astype(np.float32)
+    return get_backend().int_linear(
+        x, export.codes_matrix, scale=export.scale, bias=export.bias
+    )
 
 
 class _IntegerLayerProxy:
@@ -147,18 +172,21 @@ class IntegerInferenceSession:
         """Return the model's logits for ``inputs`` using integer arithmetic."""
         layers = self.model.quantizable_layers()
         original_forwards = {}
+        was_training = self.model.training
         try:
             for name, layer in layers.items():
                 proxy = _IntegerLayerProxy(self.exports[name])
                 original_forwards[name] = layer.forward
                 layer.forward = proxy  # type: ignore[assignment]
-            was_training = self.model.training
             self.model.eval()
             with no_grad():
                 logits = self.model(Tensor(inputs.astype(np.float32)))
-            self.model.train(was_training)
             return logits.data
         finally:
+            # Swapped forwards AND the train/eval mode must survive a raising
+            # forward pass, or a failed integer run would leave the float
+            # model half-patched.
+            self.model.train(was_training)
             for name, layer in layers.items():
                 if name in original_forwards:
                     layer.forward = original_forwards[name]

@@ -1,10 +1,17 @@
 """Quantized layers: convolution and linear layers with mutable bit widths.
 
 These modules hold FP-32 *shadow* weights (updated by the optimizer) and
-quantize them on every forward pass to the layer's current bit width.  The
+quantize them on the forward pass to the layer's current bit width.  The
 bit width is mutable state: BMPQ's ILP re-assigns it at each epoch-interval
 boundary via :meth:`QuantizedLayer.set_bits`, and any attached PACT activation
 follows the weight bit width as required by the paper (Section III-D).
+
+Evaluation and export calls (``no_grad``) are served from a quantized-weight
+cache keyed by the shadow weight's version counter and the current bit width:
+optimizer steps and checkpoint loads bump the version, ``set_bits`` clears the
+entry, and a content fingerprint makes unannounced in-place weight mutation
+fail loudly instead of silently serving stale weights.  Training-mode forward
+passes always re-quantize, since their STE tensor belongs to the live graph.
 
 The last quantization result (integer codes, scale, and the autograd tensor of
 the quantized weights) is retained after each forward pass so that the
@@ -20,20 +27,54 @@ one per phase — without touching these modules.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Optional, Tuple, Union
 
 import numpy as np
 
+from ..backend.base import conv_output_size
 from ..nn import functional as F
 from ..nn import init
 from ..nn.modules import Module, Parameter
-from ..nn.tensor import Tensor
+from ..nn.tensor import Tensor, is_grad_enabled
 from .pact import PACT
 from .quantizers import QuantizerOutput, quantize_tensor_for_bits
 
-__all__ = ["QuantizedLayer", "QConv2d", "QLinear"]
+__all__ = ["QuantizedLayer", "QConv2d", "QLinear", "weight_cache_disabled"]
 
 IntPair = Union[int, Tuple[int, int]]
+
+# Process-wide switch for the quantized-weight cache.  Only exists so the
+# inference benchmarks can measure the uncached (pre-cache) evaluation path;
+# leave it on everywhere else.
+_WEIGHT_CACHE_ENABLED = True
+
+
+@contextmanager
+def weight_cache_disabled():
+    """Scope in which :meth:`QuantizedLayer.quantized_weight` never caches."""
+    global _WEIGHT_CACHE_ENABLED
+    previous = _WEIGHT_CACHE_ENABLED
+    _WEIGHT_CACHE_ENABLED = False
+    try:
+        yield
+    finally:
+        _WEIGHT_CACHE_ENABLED = previous
+
+
+def _weight_fingerprint(data: np.ndarray) -> Tuple:
+    """Cheap content fingerprint used to detect in-place weight mutation.
+
+    Samples a strided subset of the array (O(1)-ish regardless of size), so
+    it catches wholesale mutation — the realistic failure mode — without
+    re-reading every element.  It is deliberately best-effort: code that
+    mutates shadow weights must call ``weight.bump_version()``; the
+    fingerprint exists so forgetting to do so fails loudly instead of
+    silently serving stale quantized weights.
+    """
+    flat = data.reshape(-1)
+    step = max(1, flat.size // 64)
+    return (data.shape, flat[::step].tobytes())
 
 
 class QuantizedLayer(Module):
@@ -56,6 +97,12 @@ class QuantizedLayer(Module):
         self.last_quant_info: Optional[QuantizerOutput] = None
         self.last_quantized_weight: Optional[Tensor] = None
         self.weight: Parameter  # set by subclasses
+        # Quantized-weight cache: one entry keyed by (weight version, bits),
+        # consulted only when no autograd graph is being recorded so eval /
+        # export never re-run the round/clip staircase on unchanged weights.
+        self._qcache_key: Optional[Tuple[int, int]] = None
+        self._qcache_value: Optional[Tuple[Tensor, QuantizerOutput]] = None
+        self._qcache_fingerprint: Optional[Tuple] = None
 
     # ------------------------------------------------------------------ #
     # bit-width management
@@ -78,6 +125,7 @@ class QuantizedLayer(Module):
                 f"layer is pinned to {self._bits} bits; pass force=True to override"
             )
         self._bits = bits
+        self.invalidate_weight_cache()
         if self.activation is not None:
             self.activation.set_bits(bits)
 
@@ -95,9 +143,47 @@ class QuantizedLayer(Module):
         """Number of quantized weight scalars (bias excluded, as in Eq. 11)."""
         return int(self.weight.data.size)
 
+    def invalidate_weight_cache(self) -> None:
+        """Drop the cached quantized weights (bit-width or weight surgery)."""
+        self._qcache_key = None
+        self._qcache_value = None
+        self._qcache_fingerprint = None
+
     def quantized_weight(self) -> Tuple[Tensor, QuantizerOutput]:
-        """Quantize the shadow weights at the current bit width."""
-        qweight, info = quantize_tensor_for_bits(self.weight, self._bits)
+        """Quantize the shadow weights at the current bit width.
+
+        Under ``no_grad`` the result is cached keyed by
+        ``(weight.version, bits)``: optimizer steps and checkpoint loads bump
+        the version, :meth:`set_bits` clears the entry, so steady-state
+        evaluation and export reuse the staircase output instead of
+        recomputing it per batch.  A cache hit re-checks a content
+        fingerprint of the shadow weights; if they were mutated without
+        ``weight.bump_version()`` the stale entry is a programming error and
+        the lookup raises instead of serving wrong numbers.  Training-mode
+        calls (autograd enabled) always recompute, because the STE tensor
+        they return is wired into the current graph.
+        """
+        if is_grad_enabled() or not _WEIGHT_CACHE_ENABLED:
+            qweight, info = quantize_tensor_for_bits(self.weight, self._bits)
+            self.last_quant_info = info
+            self.last_quantized_weight = qweight
+            return qweight, info
+
+        key = (self.weight.version, self._bits)
+        if self._qcache_key == key and self._qcache_value is not None:
+            if _weight_fingerprint(self.weight.data) != self._qcache_fingerprint:
+                raise RuntimeError(
+                    "stale quantized-weight cache: the shadow weights changed "
+                    "without a version bump; call weight.bump_version() (or "
+                    "layer.invalidate_weight_cache()) after mutating weights "
+                    "in place"
+                )
+            qweight, info = self._qcache_value
+        else:
+            qweight, info = quantize_tensor_for_bits(self.weight, self._bits)
+            self._qcache_key = key
+            self._qcache_value = (qweight, info)
+            self._qcache_fingerprint = _weight_fingerprint(self.weight.data)
         self.last_quant_info = info
         self.last_quantized_weight = qweight
         return qweight, info
@@ -148,6 +234,11 @@ class QConv2d(QuantizedLayer):
         self.padding = padding
         self.weight = Parameter(init.kaiming_normal((out_channels, in_channels, kh, kw), gen), name="weight")
         self.bias = Parameter(init.zeros((out_channels,)), name="bias") if bias else None
+        # Spatial size of the input feature map, when known statically.  The
+        # model constructors set this while building the network so cost-model
+        # queries (MACs, bit-ops) work on freshly built models without a
+        # probe forward pass.
+        self.input_hw: Optional[Tuple[int, int]] = None
 
     def forward(self, x: Tensor) -> Tensor:
         qweight, _ = self.quantized_weight()
@@ -155,13 +246,39 @@ class QConv2d(QuantizedLayer):
         self.last_output_shape = out.shape
         return out
 
-    def macs_per_sample(self) -> float:
-        """Multiply-accumulate count for one input sample (needs a prior forward)."""
-        if getattr(self, "last_output_shape", None) is None:
-            raise RuntimeError("run a forward pass before querying MACs")
-        _n, _oc, oh, ow = self.last_output_shape
+    def output_hw(self, input_hw: Optional[Tuple[int, int]] = None) -> Tuple[int, int]:
+        """Output spatial size for ``input_hw`` (defaults to the static hint)."""
+        hw = input_hw if input_hw is not None else self.input_hw
+        if hw is None:
+            raise RuntimeError(
+                "input spatial size unknown: run a forward pass or set input_hw"
+            )
+        kh, kw = self.kernel_size
+        sh, sw = (self.stride, self.stride) if isinstance(self.stride, int) else self.stride
+        ph, pw = (self.padding, self.padding) if isinstance(self.padding, int) else self.padding
+        return (
+            conv_output_size(hw[0], kh, sh, ph),
+            conv_output_size(hw[1], kw, sw, pw),
+        )
+
+    def macs_for_output_hw(self, oh: int, ow: int) -> float:
+        """MAC count for one sample given the output spatial size."""
         kh, kw = self.kernel_size
         return float(oh * ow * self.out_channels * self.in_channels * kh * kw)
+
+    def macs_per_sample(self) -> float:
+        """Multiply-accumulate count for one input sample.
+
+        Uses the output size recorded by the most recent forward pass when one
+        exists, and otherwise computes it statically from the constructor's
+        ``input_hw`` hint and the stride/padding geometry — so cost-model
+        queries work on freshly built models.
+        """
+        if getattr(self, "last_output_shape", None) is not None:
+            _n, _oc, oh, ow = self.last_output_shape
+        else:
+            oh, ow = self.output_hw()
+        return self.macs_for_output_hw(oh, ow)
 
     def __repr__(self) -> str:
         pin = ", pinned" if self.pinned else ""

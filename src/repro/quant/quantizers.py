@@ -73,7 +73,13 @@ def symmetric_scale(weights: np.ndarray, bits: int) -> float:
     max_abs = float(np.max(get_backend().abs(weights))) if weights.size else 0.0
     if max_abs == 0.0:
         return 1.0 / qmax
-    return max_abs / qmax
+    scale = max_abs / qmax
+    # Subnormal weights can produce a scale that underflows to zero in
+    # float32, turning ``weights / scale`` into inf/nan codes; treat such
+    # tensors as effectively zero instead.
+    if np.float32(scale) == np.float32(0.0):
+        return 1.0 / qmax
+    return scale
 
 
 def quantize_symmetric_array(weights: np.ndarray, bits: int) -> QuantizerOutput:

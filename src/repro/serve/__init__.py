@@ -1,0 +1,17 @@
+"""Serving-grade inference for BMPQ models.
+
+The training stack optimises for gradient fidelity; this package optimises
+the *read path*.  :class:`InferencePlan` traces a model once and compiles a
+fused, channel-major, allocation-light evaluation pipeline (eval-mode
+BatchNorm folded into the convolution's per-channel scale/bias, PACT
+clipping applied in-place on the GEMM accumulator, quantized weights served
+from a version-keyed cache); :class:`InferenceEngine` wraps it with lazy
+tracing, batched prediction and a module-path fallback for models the
+tracer cannot linearise.  ``mode="integer"`` serves the deployed
+integer-code domain through the same machinery.
+"""
+
+from .engine import InferenceEngine
+from .plan import InferencePlan, PlanTraceError
+
+__all__ = ["InferenceEngine", "InferencePlan", "PlanTraceError"]

@@ -1,0 +1,148 @@
+"""The batched prediction front-end over compiled inference plans.
+
+:class:`InferenceEngine` is the serving entry point the rest of the
+repository uses: :func:`repro.core.trainer.evaluate_model` rides it for every
+evaluation pass, the experiments runner inherits it through the trainers, and
+the deployment example serves requests with it.  It owns three concerns the
+plan itself does not:
+
+* **batching** — ``predict(inputs, batch_size=...)`` slices arbitrarily
+  large request arrays into backend-friendly batches and concatenates the
+  logits, so callers never hand-roll chunking;
+* **lifecycle** — the plan is traced lazily on the first call (the input
+  shape is only known then), refreshed per call so weight updates, bit
+  re-assignments and BatchNorm statistics are always honoured, and the
+  model's train/eval mode is restored even when a forward raises;
+* **fallback** — models the tracer cannot linearise (ResNet residual
+  topology) degrade gracefully to the module forward path under ``no_grad``,
+  which still benefits from the quantized-weight cache, instead of failing.
+
+``mode="integer"`` serves the integer-code domain (what deployment hardware
+executes) through the same plans; the scale is distributed out of the GEMM
+accumulation exactly as in :class:`~repro.quant.IntegerInferenceSession`.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import List, Optional
+
+import numpy as np
+
+from ..nn.tensor import Tensor, no_grad
+from .plan import InferencePlan, PlanTraceError, PlanVerifyError
+
+__all__ = ["InferenceEngine"]
+
+
+class InferenceEngine:
+    """Batched, compiled evaluation/serving for one model.
+
+    Parameters
+    ----------
+    model:
+        Any :class:`~repro.nn.Module`; quantized layers get fused/cached
+        treatment, plain layers run as-is.
+    mode:
+        ``"float"`` (parity with ``model.eval()``) or ``"integer"``
+        (integer-code GEMMs, parity with the integer inference session).
+    batch_size:
+        Default slice size for :meth:`predict` / :meth:`predict_logits`.
+    """
+
+    def __init__(self, model, mode: str = "float", batch_size: int = 256) -> None:
+        if mode not in ("float", "integer"):
+            raise ValueError(f"unknown engine mode {mode!r}; use 'float' or 'integer'")
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.model = model
+        self.mode = mode
+        self.batch_size = int(batch_size)
+        self._plan: Optional[InferencePlan] = None
+        self._fallback = False
+
+    # ------------------------------------------------------------------ #
+    # plan lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def plan(self) -> Optional[InferencePlan]:
+        """The compiled plan, or ``None`` before first use / in fallback mode."""
+        return self._plan
+
+    @property
+    def uses_fallback(self) -> bool:
+        """True when the model could not be compiled and runs the module path."""
+        return self._fallback
+
+    def _ensure_plan(self, input_shape) -> None:
+        if self._plan is not None or self._fallback:
+            return
+        try:
+            self._plan = InferencePlan.trace(
+                self.model, tuple(input_shape[1:]), mode=self.mode
+            )
+        except PlanVerifyError as error:
+            # The model traced fine but the compiled plan failed numerical
+            # verification — that is a compiler problem, not an expected
+            # topology limitation, so the fallback must not be silent.
+            warnings.warn(
+                f"compiled inference plan failed verification; falling back "
+                f"to the module path ({error})",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            self._fallback = True
+        except PlanTraceError:
+            # Expected for non-linear topologies (residual models).
+            self._fallback = True
+
+    def _fallback_runner(self):
+        """One fallback executor per predict call, so weights stay fresh.
+
+        The integer session freezes its exports at construction, so it is
+        rebuilt once per predict call (mirroring the compiled plan's
+        per-call refresh) and then reused across all internal batches.
+        """
+        if self.mode == "integer":
+            from ..quant.integer_inference import IntegerInferenceSession
+
+            session = IntegerInferenceSession(self.model)
+            return session.run
+        return lambda batch: self.model(Tensor(batch)).data
+
+    # ------------------------------------------------------------------ #
+    # prediction API
+    # ------------------------------------------------------------------ #
+    def predict_logits(self, inputs, batch_size: Optional[int] = None) -> np.ndarray:
+        """Logits for ``inputs`` (any array-like of shape (N, C, H, W))."""
+        array = np.ascontiguousarray(np.asarray(inputs, dtype=np.float32))
+        step = int(batch_size) if batch_size is not None else self.batch_size
+        if step <= 0:
+            raise ValueError(f"batch_size must be positive, got {step}")
+        was_training = self.model.training
+        self.model.eval()
+        try:
+            with no_grad():
+                self._ensure_plan(array.shape)
+                if self._plan is not None:
+                    self._plan.refresh()
+                    run = self._plan.run
+                else:
+                    run = self._fallback_runner()
+                pieces: List[np.ndarray] = []
+                for start in range(0, max(array.shape[0], 1), step):
+                    pieces.append(run(array[start : start + step]))
+                return pieces[0] if len(pieces) == 1 else np.concatenate(pieces, axis=0)
+        finally:
+            self.model.train(was_training)
+
+    def predict(self, inputs, batch_size: Optional[int] = None) -> np.ndarray:
+        """Class predictions (argmax over the last logits axis)."""
+        return self.predict_logits(inputs, batch_size=batch_size).argmax(axis=-1)
+
+    def __repr__(self) -> str:
+        state = "fallback" if self._fallback else ("compiled" if self._plan else "untraced")
+        return (
+            f"InferenceEngine(mode={self.mode!r}, batch_size={self.batch_size}, "
+            f"state={state})"
+        )

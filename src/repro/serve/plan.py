@@ -1,0 +1,562 @@
+"""Traced, compiled inference plans: the read path without the graph.
+
+A :class:`InferencePlan` is built once per model by running a single probe
+forward pass that records the ordered sequence of leaf layers, then compiling
+that sequence into raw-``ndarray`` steps with three serving-grade
+optimizations the module path cannot perform:
+
+* **Operator fusion** — eval-mode BatchNorm is folded into the preceding
+  convolution/linear as a per-output-channel scale and bias applied to the
+  GEMM accumulator, and the PACT clip + activation-quantization staircase is
+  applied in-place on the same buffer.  No autograd tensors, no STE masks,
+  no per-layer Python dispatch.
+* **Channel-major layout** — between convolutions activations live as
+  ``(C, N, H, W)`` so every convolution is ONE
+  ``(oc, F) @ (F, N*oh*ow)`` GEMM (see
+  :meth:`~repro.backend.ArrayBackend.int_conv2d_cm`) with zero inter-layer
+  transposes; the layout converts back only at the flatten boundary.
+* **Quantized-weight reuse** — weight resolution goes through
+  :meth:`~repro.quant.qmodules.QuantizedLayer.quantized_weight`, whose
+  version-keyed cache means :meth:`InferencePlan.refresh` costs O(channels),
+  not O(weights), while the model is unchanged.
+
+Tracing only supports models whose leaf layers form a linear chain (the
+VGG/simple-CNN family; an ``x.flatten(1)`` between the feature extractor and
+the classifier is recognised from the recorded shapes).  Models with other
+glue — e.g. ResNet residual additions — raise :class:`PlanTraceError`, which
+:class:`~repro.serve.engine.InferenceEngine` turns into a graceful fallback
+to the module path.  Every successful trace is verified: the compiled plan
+replays the probe input and must agree with the model's own eval-mode forward
+pass, so a structural mis-compile can never serve silently wrong numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..backend import get_backend
+from ..nn.modules import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+)
+from ..nn.tensor import Tensor, no_grad
+from ..quant.pact import PACT
+from ..quant.qmodules import QConv2d, QLinear, QuantizedLayer
+
+__all__ = ["PlanTraceError", "PlanVerifyError", "InferencePlan"]
+
+# Leaf layer types the tracer records; containers and models are transparent.
+_LEAF_TYPES = (
+    QConv2d,
+    QLinear,
+    Conv2d,
+    Linear,
+    BatchNorm2d,
+    PACT,
+    ReLU,
+    Identity,
+    MaxPool2d,
+    AvgPool2d,
+    GlobalAvgPool2d,
+    Flatten,
+    Dropout,
+)
+
+# Activation layouts a compiled plan moves activations through.
+_NCHW = "NCHW"  # batch-major spatial (the module path's layout)
+_CNHW = "CNHW"  # channel-major spatial (single-GEMM conv layout)
+_FLAT = "NF"  # (N, features)
+
+
+class PlanTraceError(RuntimeError):
+    """The model's forward pass cannot be compiled to a linear plan."""
+
+
+class PlanVerifyError(PlanTraceError):
+    """The compiled plan disagrees with the model on every probe.
+
+    Unlike a plain :class:`PlanTraceError` (expected for residual
+    topologies), this indicates a mis-compile: the engine still falls back
+    to the module path, but warns, so broken plans never degrade silently.
+    """
+
+
+@dataclass
+class _TraceEvent:
+    # The tensors are held by reference (not id()) so every intermediate
+    # stays alive for the duration of the trace — identity comparisons can
+    # never be confused by CPython recycling a freed object's address.
+    module: Module
+    input_tensor: Tensor
+    output_tensor: Tensor
+    input_shape: Tuple[int, ...]
+    output_shape: Tuple[int, ...]
+
+
+def _trace_leaf_calls(model, probe: Tensor) -> Tuple[List[_TraceEvent], Tensor]:
+    """Run ``model(probe)`` recording every leaf-module application in order."""
+    events: List[_TraceEvent] = []
+    original_call = Module.__call__
+
+    def tracing_call(module, *args, **kwargs):
+        out = original_call(module, *args, **kwargs)
+        if (
+            isinstance(module, _LEAF_TYPES)
+            and len(args) == 1
+            and not kwargs
+            and isinstance(args[0], Tensor)
+            and isinstance(out, Tensor)
+        ):
+            events.append(_TraceEvent(module, args[0], out, args[0].shape, out.shape))
+        return out
+
+    Module.__call__ = tracing_call
+    try:
+        output = model(probe)
+    finally:
+        Module.__call__ = original_call
+    return events, output
+
+
+# --------------------------------------------------------------------------- #
+# compiled steps
+# --------------------------------------------------------------------------- #
+class _Step:
+    """One compiled operation: ``refresh`` re-resolves constants, ``run`` executes."""
+
+    def refresh(self) -> None:  # pragma: no cover - interface
+        pass
+
+    def run(self, x: np.ndarray, backend) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+
+class _ToChannelMajor(_Step):
+    def run(self, x: np.ndarray, backend) -> np.ndarray:
+        # A view is enough: the next conv's patch copy materialises it.
+        return x.transpose(1, 0, 2, 3)
+
+
+class _ToBatchMajor(_Step):
+    def run(self, x: np.ndarray, backend) -> np.ndarray:
+        return np.ascontiguousarray(x.transpose(1, 0, 2, 3))
+
+
+def _resolve_activation(act: Optional[Module]):
+    """Return (relu, alpha, step) for a fused trailing activation."""
+    if act is None or isinstance(act, Identity):
+        return False, None, None
+    if isinstance(act, ReLU):
+        return True, None, None
+    if isinstance(act, PACT):
+        alpha = float(act.alpha.data.reshape(-1)[0])
+        if alpha <= 0:
+            raise ValueError(f"PACT clipping level must be positive, got {alpha}")
+        if act.bits >= 16:
+            return False, alpha, None
+        return False, alpha, alpha / (2 ** act.bits - 1)
+    raise PlanTraceError(f"unsupported fused activation {type(act).__name__}")
+
+
+def _apply_activation_inplace(out: np.ndarray, relu: bool, alpha, step) -> np.ndarray:
+    if relu:
+        np.maximum(out, 0.0, out=out)
+    elif alpha is not None:
+        np.clip(out, 0.0, alpha, out=out)
+        if step is not None:
+            # round(x / step) * step, matching Eq. 2 exactly but in-place.
+            np.divide(out, step, out=out)
+            np.round(out, out=out)
+            np.multiply(out, step, out=out)
+    return out
+
+
+class _FusedConvStep(_Step):
+    """Convolution + folded BatchNorm + fused PACT/ReLU in channel-major layout."""
+
+    def __init__(self, conv, bn: Optional[BatchNorm2d], act: Optional[Module], mode: str) -> None:
+        self.conv = conv
+        self.bn = bn
+        self.act = act
+        self.mode = mode
+        self.kernel = conv.kernel_size
+        stride = conv.stride
+        padding = conv.padding
+        self.stride = stride if isinstance(stride, tuple) else (int(stride), int(stride))
+        self.padding = padding if isinstance(padding, tuple) else (int(padding), int(padding))
+        self._w_mat: Optional[np.ndarray] = None
+        self._scale = None
+        self._bias = None
+        self._relu = False
+        self._alpha = None
+        self._step = None
+
+    def refresh(self) -> None:
+        conv = self.conv
+        if isinstance(conv, QuantizedLayer):
+            _, info = conv.quantized_weight()
+            if self.mode == "integer":
+                w_src, scale = info.codes, float(info.scale)
+            else:
+                w_src, scale = info.quantized, None
+        else:
+            w_src, scale = conv.weight.data, None
+        w_mat = w_src.reshape(w_src.shape[0], -1)
+        self._w_mat = w_mat if w_mat.dtype == np.float32 else w_mat.astype(np.float32)
+
+        bias = None if conv.bias is None else conv.bias.data
+        if self.bn is not None:
+            bn = self.bn
+            g = bn.weight.data / np.sqrt(bn.running_var + bn.eps)
+            folded_bias = bn.bias.data - bn.running_mean * g
+            if bias is not None:
+                folded_bias = folded_bias + bias * g
+            self._scale = g if scale is None else scale * g
+            self._bias = folded_bias
+        else:
+            self._scale = scale
+            self._bias = bias
+        self._relu, self._alpha, self._step = _resolve_activation(self.act)
+
+    def run(self, x: np.ndarray, backend) -> np.ndarray:
+        out = backend.int_conv2d_cm(
+            x, self._w_mat, self.kernel, self.stride, self.padding,
+            scale=self._scale, bias=self._bias,
+        )
+        return _apply_activation_inplace(out, self._relu, self._alpha, self._step)
+
+
+class _FusedLinearStep(_Step):
+    """Linear layer + fused PACT/ReLU on (N, features) activations."""
+
+    def __init__(self, layer, act: Optional[Module], mode: str) -> None:
+        self.layer = layer
+        self.act = act
+        self.mode = mode
+        self._w: Optional[np.ndarray] = None
+        self._scale = None
+        self._bias = None
+        self._relu = False
+        self._alpha = None
+        self._step = None
+
+    def refresh(self) -> None:
+        layer = self.layer
+        if isinstance(layer, QuantizedLayer):
+            _, info = layer.quantized_weight()
+            if self.mode == "integer":
+                w, scale = info.codes, float(info.scale)
+            else:
+                w, scale = info.quantized, None
+        else:
+            w, scale = layer.weight.data, None
+        self._w = w if w.dtype == np.float32 else w.astype(np.float32)
+        self._scale = scale
+        self._bias = None if layer.bias is None else layer.bias.data
+        self._relu, self._alpha, self._step = _resolve_activation(self.act)
+
+    def run(self, x: np.ndarray, backend) -> np.ndarray:
+        out = backend.int_linear(x, self._w, scale=self._scale, bias=self._bias)
+        return _apply_activation_inplace(out, self._relu, self._alpha, self._step)
+
+
+class _BatchNormStep(_Step):
+    """Standalone eval-mode BatchNorm as a per-channel affine."""
+
+    def __init__(self, bn: BatchNorm2d, channel_axis: int, ndim: int) -> None:
+        self.bn = bn
+        shape = [1] * ndim
+        shape[channel_axis] = -1
+        self._shape = tuple(shape)
+        self._scale: Optional[np.ndarray] = None
+        self._bias: Optional[np.ndarray] = None
+
+    def refresh(self) -> None:
+        bn = self.bn
+        g = bn.weight.data / np.sqrt(bn.running_var + bn.eps)
+        self._scale = g.reshape(self._shape)
+        self._bias = (bn.bias.data - bn.running_mean * g).reshape(self._shape)
+
+    def run(self, x: np.ndarray, backend) -> np.ndarray:
+        return x * self._scale + self._bias
+
+
+class _ActivationStep(_Step):
+    """Standalone ReLU or PACT (no preceding weight layer to fuse into)."""
+
+    def __init__(self, act: Module) -> None:
+        self.act = act
+        self._relu = False
+        self._alpha = None
+        self._step = None
+
+    def refresh(self) -> None:
+        self._relu, self._alpha, self._step = _resolve_activation(self.act)
+
+    def run(self, x: np.ndarray, backend) -> np.ndarray:
+        out = x.copy()
+        return _apply_activation_inplace(out, self._relu, self._alpha, self._step)
+
+
+class _MaxPoolStep(_Step):
+    def __init__(self, kernel: int, stride: int) -> None:
+        self.kernel = (int(kernel), int(kernel))
+        self.stride = (int(stride), int(stride))
+
+    def run(self, x: np.ndarray, backend) -> np.ndarray:
+        # pool_max treats the two leading axes as batch, so the same kernel
+        # serves both the NCHW and channel-major layouts.
+        return backend.pool_max(x, self.kernel, self.stride)
+
+
+class _AvgPoolStep(_Step):
+    def __init__(self, kernel: int, stride: int) -> None:
+        self.kernel = (int(kernel), int(kernel))
+        self.stride = (int(stride), int(stride))
+
+    def run(self, x: np.ndarray, backend) -> np.ndarray:
+        return backend.pool_avg(x, self.kernel, self.stride)
+
+
+class _GlobalAvgPoolStep(_Step):
+    def __init__(self, channel_major: bool) -> None:
+        self.channel_major = channel_major
+
+    def run(self, x: np.ndarray, backend) -> np.ndarray:
+        pooled = x.mean(axis=(2, 3))
+        return pooled.T if self.channel_major else pooled
+
+
+class _FlattenStep(_Step):
+    def __init__(self, channel_major: bool) -> None:
+        self.channel_major = channel_major
+
+    def run(self, x: np.ndarray, backend) -> np.ndarray:
+        if self.channel_major:
+            x = x.transpose(1, 0, 2, 3)
+        return x.reshape(x.shape[0], -1)
+
+
+# --------------------------------------------------------------------------- #
+# the plan
+# --------------------------------------------------------------------------- #
+class InferencePlan:
+    """A compiled, fused, layout-optimised eval path for one model.
+
+    Build with :meth:`trace`; call :meth:`refresh` after the model's weights,
+    bit assignment or BatchNorm statistics may have changed (cheap when they
+    have not — quantized weights come from the layer's version-keyed cache);
+    then :meth:`run` batches of raw ``(N, C, H, W)`` float32 arrays through it.
+    """
+
+    def __init__(self, model, steps: Sequence[_Step], mode: str) -> None:
+        self.model = model
+        self.steps = list(steps)
+        self.mode = mode
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def trace(
+        cls,
+        model,
+        input_shape: Sequence[int],
+        mode: str = "float",
+        verify: bool = True,
+        rtol: float = 1e-3,
+        atol: float = 1e-3,
+    ) -> "InferencePlan":
+        """Trace ``model`` on a probe of ``input_shape`` and compile a plan.
+
+        ``input_shape`` excludes the batch axis, e.g. ``(3, 32, 32)``.
+        ``mode`` selects the GEMM operand: ``"float"`` runs the quantized
+        float weights (parity with ``model.eval()``), ``"integer"`` runs the
+        raw integer codes with the scale distributed out of the accumulation
+        (parity with :class:`~repro.quant.IntegerInferenceSession`).
+
+        Raises :class:`PlanTraceError` when the leaf layers do not form a
+        linear chain (residual models) or verification fails.
+        """
+        if mode not in ("float", "integer"):
+            raise ValueError(f"unknown plan mode {mode!r}")
+        probe_np = np.random.default_rng(0).standard_normal((1, *input_shape)).astype(np.float32)
+        probe = Tensor(probe_np)
+        was_training = model.training
+        model.eval()
+        try:
+            with no_grad():
+                events, output = _trace_leaf_calls(model, probe)
+                if not events:
+                    raise PlanTraceError("no leaf layers were recorded during tracing")
+                chain = cls._link_chain(events, probe, output)
+                plan = cls(model, cls._compile(chain, probe_np.ndim, mode), mode)
+                if verify:
+                    plan._verify(input_shape, rtol, atol)
+            return plan
+        finally:
+            model.train(was_training)
+
+    def _verify(self, input_shape, rtol: float, atol: float) -> None:
+        """Check the compiled plan against the model on several probes.
+
+        Probes use batch size 2 so the batched layout paths (channel-major
+        columns with N inside the GEMM's P axis, pooling over the leading
+        batch axes) are exercised, not just the degenerate single-sample
+        case.  Fused kernels reorder float accumulation, and under a PACT
+        staircase a round-off difference at a rounding boundary legitimately
+        flips an isolated activation by one quantization step — which then
+        shifts every downstream logit of that sample.  Such flips are
+        input-dependent and rare per probe, while a structural mis-compile
+        corrupts *every* probe, so the plan is accepted as soon as any probe
+        agrees to tolerance and rejected only when all of them disagree.
+        """
+        self.refresh()
+        worst = 0.0
+        for seed in range(3):
+            probe = (
+                np.random.default_rng(seed)
+                .standard_normal((2, *input_shape))
+                .astype(np.float32)
+            )
+            want = self.model(Tensor(probe)).data
+            got = np.asarray(self.run(probe))
+            if got.shape != want.shape:
+                raise PlanVerifyError(
+                    f"compiled plan output shape {got.shape} does not match "
+                    f"the model output shape {want.shape}"
+                )
+            within = np.abs(got - want) <= atol + rtol * np.abs(want)
+            if within.mean() >= 0.97:
+                return
+            worst = max(worst, float(np.abs(got - want).max()))
+        raise PlanVerifyError(
+            "compiled plan disagrees with the model's forward pass on every "
+            f"probe (max diff {worst:.3e})"
+        )
+
+    @staticmethod
+    def _link_chain(events: List[_TraceEvent], probe: Tensor, output: Tensor) -> List[object]:
+        """Re-link traced leaf calls into a linear op chain, inferring glue.
+
+        Between consecutive leaf calls the only glue the compiler understands
+        is a flatten (4-D -> 2-D with the same per-sample element count);
+        anything else — residual additions, concatenations, re-used
+        activations — is a trace error.
+        """
+        chain: List[object] = []
+        current = probe
+        current_shape: Tuple[int, ...] = probe.shape
+        for event in events:
+            if event.input_tensor is not current:
+                if (
+                    len(current_shape) == 4
+                    and len(event.input_shape) == 2
+                    and current_shape[0] == event.input_shape[0]
+                    and int(np.prod(current_shape[1:])) == event.input_shape[1]
+                ):
+                    chain.append("flatten")
+                else:
+                    raise PlanTraceError(
+                        f"non-sequential glue before {type(event.module).__name__} "
+                        f"({current_shape} -> {event.input_shape}); only linear-chain "
+                        "models can be compiled"
+                    )
+            chain.append(event.module)
+            current = event.output_tensor
+            current_shape = event.output_shape
+        if current is not output:
+            raise PlanTraceError("the traced chain does not end at the model output")
+        return chain
+
+    @staticmethod
+    def _compile(chain: List[object], input_ndim: int, mode: str) -> List[_Step]:
+        """Peephole-fuse the module chain into layout-annotated steps."""
+        steps: List[_Step] = []
+        layout = _FLAT if input_ndim == 2 else _NCHW
+        index = 0
+        while index < len(chain):
+            item = chain[index]
+            index += 1
+            if item == "flatten" or isinstance(item, Flatten):
+                steps.append(_FlattenStep(channel_major=layout == _CNHW))
+                layout = _FLAT
+            elif isinstance(item, (QConv2d, Conv2d)):
+                if layout == _NCHW:
+                    steps.append(_ToChannelMajor())
+                    layout = _CNHW
+                elif layout != _CNHW:
+                    raise PlanTraceError("convolution applied to flattened activations")
+                bn = None
+                act = None
+                if index < len(chain) and isinstance(chain[index], BatchNorm2d):
+                    bn = chain[index]
+                    index += 1
+                if index < len(chain) and isinstance(chain[index], (PACT, ReLU)):
+                    act = chain[index]
+                    index += 1
+                steps.append(_FusedConvStep(item, bn, act, mode=mode))
+            elif isinstance(item, (QLinear, Linear)):
+                if layout != _FLAT:
+                    raise PlanTraceError("linear layer applied to unflattened activations")
+                act = None
+                if index < len(chain) and isinstance(chain[index], (PACT, ReLU)):
+                    act = chain[index]
+                    index += 1
+                steps.append(_FusedLinearStep(item, act, mode=mode))
+            elif isinstance(item, BatchNorm2d):
+                ndim = 2 if layout == _FLAT else 4
+                steps.append(_BatchNormStep(item, channel_axis=0 if layout == _CNHW else 1, ndim=ndim))
+            elif isinstance(item, (PACT, ReLU)):
+                steps.append(_ActivationStep(item))
+            elif isinstance(item, MaxPool2d):
+                steps.append(_MaxPoolStep(item.kernel_size, item.stride))
+            elif isinstance(item, AvgPool2d):
+                steps.append(_AvgPoolStep(item.kernel_size, item.stride))
+            elif isinstance(item, GlobalAvgPool2d):
+                if layout == _FLAT:
+                    raise PlanTraceError("global pooling applied to flattened activations")
+                steps.append(_GlobalAvgPoolStep(channel_major=layout == _CNHW))
+                layout = _FLAT
+            elif isinstance(item, (Dropout, Identity)):
+                continue  # identity in eval mode
+            else:
+                raise PlanTraceError(f"unsupported leaf layer {type(item).__name__}")
+        if layout == _CNHW:
+            steps.append(_ToBatchMajor())
+        return steps
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def refresh(self) -> None:
+        """Re-resolve weights, folded affines and clipping levels.
+
+        Call under ``no_grad`` (the engine does) so quantized weights are
+        served from the version-keyed cache when unchanged.
+        """
+        for step in self.steps:
+            step.refresh()
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        """Execute the plan on one raw batch (no autograd, no module dispatch)."""
+        backend = get_backend()
+        for step in self.steps:
+            x = step.run(x, backend)
+        return x
+
+    def __repr__(self) -> str:
+        kinds = ", ".join(type(step).__name__.lstrip("_") for step in self.steps)
+        return f"InferencePlan(mode={self.mode!r}, steps=[{kinds}])"

@@ -162,3 +162,39 @@ class TestModelMacEstimation:
         conv = QConv2d(1, 2, 3, rng=np.random.default_rng(0))
         with pytest.raises(RuntimeError):
             conv.macs_per_sample()
+
+
+class TestStaticMacEstimation:
+    def test_fresh_model_macs_without_forward(self):
+        # Cost-model queries must work on freshly built models (no probe).
+        model = simple_cnn(num_classes=4, input_size=12, channels=4, seed=0)
+        macs = model.estimate_macs((3, 12, 12))
+        assert macs["conv1"] == pytest.approx(6 * 6 * 8 * 4 * 9)
+        for layer in model.quantizable_layers().values():
+            assert getattr(layer, "last_output_shape", None) is None
+
+    def test_static_matches_probe_forward(self):
+        from repro.models import resnet18, vgg11
+        from repro.nn.tensor import Tensor, no_grad
+
+        for model in (
+            vgg11(num_classes=10, width_multiplier=0.25, input_size=32, seed=0),
+            resnet18(num_classes=10, width_multiplier=0.25, input_size=16, seed=0),
+        ):
+            static = model.estimate_macs((3, model.input_size, model.input_size))
+            model.eval()
+            with no_grad():
+                model(Tensor(np.zeros((1, 3, model.input_size, model.input_size), dtype=np.float32)))
+            probed = {
+                name: layer.macs_per_sample()
+                for name, layer in model.quantizable_layers().items()
+            }
+            assert static == pytest.approx(probed)
+
+    def test_conv_macs_from_static_hint(self):
+        from repro.quant import QConv2d
+
+        conv = QConv2d(3, 8, 3, stride=2, padding=1, rng=np.random.default_rng(0))
+        conv.input_hw = (9, 9)
+        # (9 + 2 - 3) // 2 + 1 = 5 output positions per axis.
+        assert conv.macs_per_sample() == pytest.approx(5 * 5 * 8 * 3 * 9)

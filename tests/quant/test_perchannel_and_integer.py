@@ -154,3 +154,35 @@ class TestIntegerInferenceSession:
     def test_exports_cover_all_layers(self, model):
         exports = export_model(model)
         assert set(exports) == set(model.quantizable_layers())
+
+
+class TestSessionRestoresOnFailure:
+    @pytest.fixture
+    def model(self, rng):
+        model = simple_cnn(num_classes=4, input_size=12, channels=4, seed=0)
+        model(Tensor(rng.standard_normal((8, 3, 12, 12)).astype(np.float32)))
+        model.eval()
+        return model
+
+    def test_training_mode_and_forwards_restored_when_forward_raises(self, model):
+        model.train()
+        session = IntegerInferenceSession(model)
+        original_forwards = {
+            name: layer.forward for name, layer in model.quantizable_layers().items()
+        }
+        # Wrong spatial size makes the first convolution raise mid-run.
+        bad_input = np.zeros((2, 4, 12, 12), dtype=np.float32)
+        with pytest.raises(ValueError):
+            session.run(bad_input)
+        assert model.training, "training mode must survive a raising forward"
+        for name, layer in model.quantizable_layers().items():
+            assert layer.forward == original_forwards[name], name
+
+    def test_second_run_after_failure_still_correct(self, model, rng):
+        session = IntegerInferenceSession(model)
+        with pytest.raises(ValueError):
+            session.run(np.zeros((1, 4, 12, 12), dtype=np.float32))
+        x = rng.standard_normal((2, 3, 12, 12)).astype(np.float32)
+        integer_logits = session.run(x)
+        float_logits = model(Tensor(x)).data
+        np.testing.assert_allclose(integer_logits, float_logits, rtol=1e-3, atol=1e-4)

@@ -1,0 +1,186 @@
+"""Inference engine: plan compilation, parity, batching, fallback."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend import use_backend
+from repro.models import resnet18, simple_cnn, vgg11
+from repro.nn import Tensor
+from repro.nn.tensor import no_grad
+from repro.quant import IntegerInferenceSession
+from repro.serve import InferenceEngine, InferencePlan, PlanTraceError
+
+
+def _warmed_model(builder, shape, rng, **kwargs):
+    """Build a model and populate its BatchNorm running statistics."""
+    model = builder(**kwargs)
+    model(Tensor(rng.standard_normal((8, *shape)).astype(np.float32)))
+    model.eval()
+    return model
+
+
+def _assert_mostly_close(got, want, frac=0.999, atol=1e-4, rtol=1e-3):
+    """Parity up to rare one-step PACT staircase flips (see plan docstring)."""
+    within = np.abs(got - want) <= atol + rtol * np.abs(want)
+    assert within.mean() >= frac, (
+        f"only {within.mean():.4f} of outputs within tolerance "
+        f"(max diff {np.abs(got - want).max():.3e})"
+    )
+
+
+@pytest.fixture
+def cnn(rng):
+    return _warmed_model(
+        simple_cnn, (3, 12, 12), rng, num_classes=4, input_size=12, channels=4, seed=0
+    )
+
+
+@pytest.fixture
+def vgg(rng):
+    return _warmed_model(
+        vgg11, (3, 32, 32), rng,
+        num_classes=10, width_multiplier=0.125, input_size=32, seed=0,
+    )
+
+
+class TestFloatParity:
+    @pytest.mark.parametrize("backend", ["fast", "numpy"])
+    def test_simple_cnn_matches_module_forward(self, cnn, rng, backend):
+        x = rng.standard_normal((5, 3, 12, 12)).astype(np.float32)
+        with use_backend(backend):
+            with no_grad():
+                want = cnn(Tensor(x)).data
+            got = InferenceEngine(cnn).predict_logits(x)
+        _assert_mostly_close(got, want)
+
+    def test_vgg_matches_module_forward(self, vgg, rng):
+        x = rng.standard_normal((4, 3, 32, 32)).astype(np.float32)
+        with no_grad():
+            want = vgg(Tensor(x)).data
+        engine = InferenceEngine(vgg)
+        got = engine.predict_logits(x)
+        assert not engine.uses_fallback
+        _assert_mostly_close(got, want)
+
+    def test_fused_plan_equals_unfused_eval_predictions(self, vgg, rng):
+        # The fused BN/PACT kernels must leave classification unchanged.
+        x = rng.standard_normal((16, 3, 32, 32)).astype(np.float32)
+        with no_grad():
+            reference = vgg(Tensor(x)).data.argmax(axis=-1)
+        engine_predictions = InferenceEngine(vgg).predict(x)
+        assert (engine_predictions == reference).mean() >= 0.95
+
+
+class TestIntegerParity:
+    @pytest.mark.parametrize("backend", ["fast", "numpy"])
+    def test_matches_integer_session(self, cnn, rng, backend):
+        x = rng.standard_normal((5, 3, 12, 12)).astype(np.float32)
+        with use_backend(backend):
+            want = IntegerInferenceSession(cnn).run(x)
+            got = InferenceEngine(cnn, mode="integer").predict_logits(x)
+        _assert_mostly_close(got, want)
+
+    def test_matches_float_forward_to_roundoff(self, cnn, rng):
+        x = rng.standard_normal((5, 3, 12, 12)).astype(np.float32)
+        with no_grad():
+            want = cnn(Tensor(x)).data
+        got = InferenceEngine(cnn, mode="integer").predict_logits(x)
+        _assert_mostly_close(got, want, atol=1e-3)
+
+
+class TestBatchingAndLifecycle:
+    def test_batched_predict_equals_single_batch(self, cnn, rng):
+        x = rng.standard_normal((11, 3, 12, 12)).astype(np.float32)
+        engine = InferenceEngine(cnn)
+        whole = engine.predict_logits(x)
+        sliced = engine.predict_logits(x, batch_size=3)
+        np.testing.assert_allclose(sliced, whole, rtol=1e-5, atol=1e-6)
+
+    def test_training_mode_restored(self, cnn, rng):
+        x = rng.standard_normal((2, 3, 12, 12)).astype(np.float32)
+        cnn.train()
+        InferenceEngine(cnn).predict_logits(x)
+        assert cnn.training
+        cnn.eval()
+        InferenceEngine(cnn).predict_logits(x)
+        assert not cnn.training
+
+    def test_weight_updates_are_honoured(self, cnn, rng):
+        x = rng.standard_normal((3, 3, 12, 12)).astype(np.float32)
+        engine = InferenceEngine(cnn)
+        before = engine.predict_logits(x)
+        layer = next(iter(cnn.quantizable_layers().values()))
+        layer.weight.data = layer.weight.data + 0.5
+        layer.weight.bump_version()
+        after = engine.predict_logits(x)
+        assert np.abs(after - before).max() > 1e-3
+
+    def test_bit_reassignment_is_honoured(self, cnn, rng):
+        x = rng.standard_normal((3, 3, 12, 12)).astype(np.float32)
+        engine = InferenceEngine(cnn)
+        before = engine.predict_logits(x)
+        cnn.apply_assignment(
+            {name: (layer.bits if layer.pinned else 2)
+             for name, layer in cnn.quantizable_layers().items()}
+        )
+        after = engine.predict_logits(x)
+        assert np.abs(after - before).max() > 1e-3
+
+    def test_rejects_bad_arguments(self, cnn):
+        with pytest.raises(ValueError):
+            InferenceEngine(cnn, mode="binary")
+        with pytest.raises(ValueError):
+            InferenceEngine(cnn, batch_size=0)
+        with pytest.raises(ValueError):
+            InferenceEngine(cnn).predict_logits(np.zeros((1, 3, 12, 12)), batch_size=-1)
+
+
+class TestFallback:
+    def test_resnet_falls_back_and_stays_correct(self, rng):
+        model = _warmed_model(
+            resnet18, (3, 16, 16), rng,
+            num_classes=4, width_multiplier=0.125, input_size=16, seed=0,
+        )
+        x = rng.standard_normal((3, 3, 16, 16)).astype(np.float32)
+        with no_grad():
+            want = model(Tensor(x)).data
+        engine = InferenceEngine(model)
+        got = engine.predict_logits(x)
+        assert engine.uses_fallback
+        np.testing.assert_allclose(got, want, rtol=1e-5, atol=1e-6)
+
+    def test_resnet_trace_raises(self, rng):
+        model = _warmed_model(
+            resnet18, (3, 16, 16), rng,
+            num_classes=4, width_multiplier=0.125, input_size=16, seed=0,
+        )
+        with pytest.raises(PlanTraceError):
+            InferencePlan.trace(model, (3, 16, 16))
+
+    def test_integer_fallback_matches_session(self, rng):
+        model = _warmed_model(
+            resnet18, (3, 16, 16), rng,
+            num_classes=4, width_multiplier=0.125, input_size=16, seed=0,
+        )
+        x = rng.standard_normal((3, 3, 16, 16)).astype(np.float32)
+        want = IntegerInferenceSession(model).run(x)
+        got = InferenceEngine(model, mode="integer").predict_logits(x)
+        np.testing.assert_allclose(got, want, rtol=1e-4, atol=1e-5)
+
+
+class TestPlanStructure:
+    def test_plan_compiles_fused_steps(self, vgg):
+        plan = InferencePlan.trace(vgg, (3, 32, 32))
+        kinds = [type(step).__name__ for step in plan.steps]
+        assert "_FusedConvStep" in kinds
+        assert "_FusedLinearStep" in kinds
+        # Eval-mode BatchNorm is folded away: no standalone BN steps on VGG.
+        assert "_BatchNormStep" not in kinds
+
+    def test_verification_catches_corrupted_plan(self, vgg):
+        plan = InferencePlan.trace(vgg, (3, 32, 32))
+        plan.steps = plan.steps[:-1]  # drop the classifier
+        with pytest.raises(PlanTraceError):
+            plan._verify((3, 32, 32), rtol=1e-3, atol=1e-3)

@@ -1,0 +1,128 @@
+"""Quantized-weight cache: reuse, invalidation, loud staleness failure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Tensor
+from repro.nn.tensor import no_grad
+from repro.quant import QConv2d, QLinear, weight_cache_disabled
+from repro.quant import qmodules
+
+
+def _count_quantize_calls(monkeypatch):
+    """Patch the staircase entry point with a call counter."""
+    calls = {"n": 0}
+    original = qmodules.quantize_tensor_for_bits
+
+    def counting(shadow, bits):
+        calls["n"] += 1
+        return original(shadow, bits)
+
+    monkeypatch.setattr(qmodules, "quantize_tensor_for_bits", counting)
+    return calls
+
+
+class TestCacheReuse:
+    def test_eval_forwards_reuse_cached_weights(self, rng, monkeypatch):
+        layer = QLinear(6, 4, bits=4, rng=rng)
+        calls = _count_quantize_calls(monkeypatch)
+        x = Tensor(rng.standard_normal((2, 6)).astype(np.float32))
+        with no_grad():
+            for _ in range(5):
+                layer(x)
+        assert calls["n"] == 1
+
+    def test_training_forwards_never_cached(self, rng, monkeypatch):
+        layer = QLinear(6, 4, bits=4, rng=rng)
+        calls = _count_quantize_calls(monkeypatch)
+        x = Tensor(rng.standard_normal((2, 6)).astype(np.float32))
+        for _ in range(3):
+            layer(x)
+        assert calls["n"] == 3
+
+    def test_training_after_cached_eval_still_gets_ste_tensor(self, rng):
+        # A cached (graph-free) eval tensor must never be served to a
+        # training forward, or gradients would silently stop flowing.
+        layer = QLinear(6, 4, bits=4, rng=rng)
+        with no_grad():
+            layer(Tensor(rng.standard_normal((2, 6)).astype(np.float32)))
+        out = layer(Tensor(rng.standard_normal((2, 6)).astype(np.float32)))
+        out.sum().backward()
+        assert layer.weight.grad is not None
+
+    def test_disabled_context_bypasses_cache(self, rng, monkeypatch):
+        layer = QLinear(6, 4, bits=4, rng=rng)
+        calls = _count_quantize_calls(monkeypatch)
+        x = Tensor(rng.standard_normal((2, 6)).astype(np.float32))
+        with no_grad(), weight_cache_disabled():
+            for _ in range(3):
+                layer(x)
+        assert calls["n"] == 3
+
+
+class TestCacheInvalidation:
+    def test_optimizer_step_busts_cache(self, rng):
+        layer = QLinear(6, 4, bits=4, rng=rng)
+        optimizer = SGD(layer.parameters(), lr=0.5)
+        x = Tensor(rng.standard_normal((2, 6)).astype(np.float32))
+        with no_grad():
+            before = layer(x).data.copy()
+        out = layer(x)
+        out.sum().backward()
+        optimizer.step()
+        with no_grad():
+            after = layer(x).data
+        assert np.abs(after - before).max() > 1e-4
+
+    def test_set_bits_busts_cache(self, rng):
+        layer = QLinear(8, 8, bits=8, rng=rng)
+        x = Tensor(rng.standard_normal((2, 8)).astype(np.float32))
+        with no_grad():
+            before = layer(x).data.copy()
+            layer.set_bits(2)
+            after = layer(x).data
+        assert np.abs(after - before).max() > 1e-4
+
+    def test_load_state_dict_busts_cache(self, rng):
+        layer = QConv2d(2, 3, 3, bits=4, rng=rng)
+        x = Tensor(rng.standard_normal((1, 2, 5, 5)).astype(np.float32))
+        with no_grad():
+            before = layer(x).data.copy()
+        state = layer.state_dict()
+        state["weight"] = state["weight"] + 1.0
+        layer.load_state_dict(state)
+        with no_grad():
+            after = layer(x).data
+        assert np.abs(after - before).max() > 1e-3
+
+    def test_stale_cache_fails_loudly(self, rng):
+        layer = QLinear(6, 4, bits=4, rng=rng)
+        x = Tensor(rng.standard_normal((2, 6)).astype(np.float32))
+        with no_grad():
+            layer(x)
+            # In-place mutation without bump_version(): the next cached eval
+            # must raise instead of serving stale quantized weights.
+            layer.weight.data[...] = layer.weight.data * 5.0
+            with pytest.raises(RuntimeError, match="stale quantized-weight cache"):
+                layer(x)
+
+    def test_bump_version_recovers_after_mutation(self, rng):
+        layer = QLinear(6, 4, bits=4, rng=rng)
+        x = Tensor(rng.standard_normal((2, 6)).astype(np.float32))
+        with no_grad():
+            before = layer(x).data.copy()
+            layer.weight.data[...] = layer.weight.data * 5.0
+            layer.weight.bump_version()
+            after = layer(x).data
+        assert np.abs(after - before).max() > 1e-4
+
+    def test_invalidate_weight_cache_clears_entry(self, rng):
+        layer = QLinear(6, 4, bits=4, rng=rng)
+        x = Tensor(rng.standard_normal((2, 6)).astype(np.float32))
+        with no_grad():
+            layer(x)
+            layer.weight.data[...] = layer.weight.data * 5.0
+            layer.invalidate_weight_cache()
+            layer(x)  # no RuntimeError: the entry was dropped explicitly
