@@ -9,8 +9,10 @@ This example walks the deployment path:
 2. save the checkpoint (shadow weights + per-layer bit assignment + metadata),
 3. reload it into a freshly constructed model,
 4. verify the reloaded model reproduces the trained model's predictions,
-5. serve batched requests through the inference engine (float and
-   integer-code domains), and
+5. serve concurrent clients through a :class:`ModelServer` hosting two
+   bit-width variants (the BMPQ mixed-precision assignment and a uniform
+   4-bit build of the same weights), with dynamic micro-batching and
+   telemetry, and
 6. report the storage footprint of the shipped weights (Eq. 10-12).
 
 Usage::
@@ -22,10 +24,11 @@ from __future__ import annotations
 
 import argparse
 import os
+import threading
 
 import numpy as np
 
-from repro import BMPQConfig, BMPQTrainer, InferenceEngine, build_model, evaluate_model
+from repro import BMPQConfig, BMPQTrainer, ModelServer, build_model, evaluate_model
 from repro.analysis import compression_summary, format_bit_vector
 from repro.data import DataLoader, SyntheticImageClassification
 from repro.nn import Tensor
@@ -90,18 +93,57 @@ def main() -> None:
     loss, accuracy = evaluate_model(served, test_loader)
     print(f"served model: loss={loss:.4f} accuracy={100 * accuracy:.2f}%")
 
-    # --- 5. serve batched requests through the inference engine --------------
-    requests = np.stack([test_set[i][0] for i in range(32)])
-    engine = InferenceEngine(served, batch_size=16)
-    predictions = engine.predict(requests)
-    integer_engine = InferenceEngine(served, mode="integer", batch_size=16)
-    integer_predictions = integer_engine.predict(requests)
-    agreement = float((predictions == integer_predictions).mean())
-    print(
-        f"engine served {len(requests)} requests "
-        f"(compiled plan: {not engine.uses_fallback}); "
-        f"float/integer prediction agreement: {100 * agreement:.1f}%"
+    # --- 5. serve concurrent clients through the model server ----------------
+    # Two deployment variants of the same checkpoint: the BMPQ mixed-precision
+    # assignment, and a uniform 4-bit build (separate model instance — bit
+    # assignments are per-layer state, so variants never share a model).
+    uniform = build_model(
+        metadata["arch"],
+        num_classes=int(metadata["classes"]),
+        width_multiplier=float(metadata["width"]),
+        seed=123,
     )
+    load_checkpoint(path, uniform)
+    uniform.apply_assignment(
+        {name: (layer.bits if layer.pinned else 4)
+         for name, layer in uniform.quantizable_layers().items()}
+    )
+
+    samples = [test_set[i][0] for i in range(32)]
+    results = {"bmpq-mixed": [None] * len(samples), "uniform-4bit": [None] * len(samples)}
+    with ModelServer(max_batch_size=16, max_delay_ms=5.0) as server:
+        server.register("bmpq-mixed", served, description="ILP-assigned bits")
+        server.register("uniform-4bit", uniform, description="uniform 4-bit baseline")
+
+        def client(variant: str, indices) -> None:
+            for i in indices:
+                results[variant][i] = server.predict(variant, samples[i], timeout=120)
+
+        clients = [
+            threading.Thread(target=client, args=(variant, range(k, len(samples), 4)))
+            for variant in results
+            for k in range(4)
+        ]
+        for thread in clients:
+            thread.start()
+        for thread in clients:
+            thread.join()
+
+        for variant in results:
+            stats = server.metrics(variant)
+            latency = stats["latency_ms"]
+            print(
+                f"served {variant!r}: {stats['requests']['completed']} requests in "
+                f"{stats['batches']['served']} micro-batches "
+                f"(mean occupancy {stats['batches']['occupancy_mean']:.1f}), "
+                f"latency p50/p95/p99 = {latency['p50']:.1f}/{latency['p95']:.1f}/"
+                f"{latency['p99']:.1f} ms, {stats['throughput_rps']:.0f} samples/s"
+            )
+
+    mixed_classes = np.array([r.argmax() for r in results["bmpq-mixed"]])
+    uniform_classes = np.array([r.argmax() for r in results["uniform-4bit"]])
+    agreement = float((mixed_classes == uniform_classes).mean())
+    print(f"mixed-precision vs uniform-4-bit prediction agreement: {100 * agreement:.1f}%")
 
     # --- 6. shipped-weight storage (Eq. 10-12) -------------------------------
     summary = compression_summary(served.layer_specs(), served.current_assignment())

@@ -45,9 +45,15 @@ from .backend import (
     use_backend,
 )
 from .models import build_model, available_models
-from .serve import InferenceEngine, InferencePlan
+from .serve import (
+    InferenceEngine,
+    InferencePlan,
+    ModelRegistry,
+    ModelServer,
+    ServerOverloaded,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "analysis",
@@ -73,6 +79,9 @@ __all__ = [
     "available_models",
     "InferenceEngine",
     "InferencePlan",
+    "ModelRegistry",
+    "ModelServer",
+    "ServerOverloaded",
     "ArrayBackend",
     "available_backends",
     "get_backend",

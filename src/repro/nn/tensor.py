@@ -26,6 +26,7 @@ autograd graph in one place.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -36,32 +37,40 @@ __all__ = ["Tensor", "unbroadcast", "no_grad", "is_grad_enabled"]
 
 ArrayLike = Union[np.ndarray, float, int, Sequence, "Tensor"]
 
-# Global switch used by ``no_grad`` to disable graph construction, e.g. during
-# evaluation passes of the trainer.
-_GRAD_ENABLED = True
+
+# Per-thread switch used by ``no_grad`` to disable graph construction, e.g.
+# during evaluation passes of the trainer.  Thread-local (like PyTorch's grad
+# mode) so the model server's worker threads can serve under ``no_grad``
+# without toggling a process-wide flag out from under a concurrent trainer.
+class _GradMode(threading.local):
+    def __init__(self) -> None:
+        self.enabled = True
+
+
+_GRAD_MODE = _GradMode()
 
 
 class no_grad:
     """Context manager that disables gradient tracking.
 
     Mirrors ``torch.no_grad``: inside the context newly created tensors do not
-    record a backward graph, which makes pure inference passes cheaper.
+    record a backward graph, which makes pure inference passes cheaper.  The
+    switch is per-thread, so one thread's inference pass never disables graph
+    construction for the others.
     """
 
     def __enter__(self) -> "no_grad":
-        global _GRAD_ENABLED
-        self._prev = _GRAD_ENABLED
-        _GRAD_ENABLED = False
+        self._prev = _GRAD_MODE.enabled
+        _GRAD_MODE.enabled = False
         return self
 
     def __exit__(self, exc_type, exc_value, traceback) -> None:
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self._prev
+        _GRAD_MODE.enabled = self._prev
 
 
 def is_grad_enabled() -> bool:
     """Return ``True`` when tensors currently record a backward graph."""
-    return _GRAD_ENABLED
+    return _GRAD_MODE.enabled
 
 
 def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -118,7 +127,7 @@ class Tensor:
     ) -> None:
         self.data = _as_array(data)
         self.grad: Optional[np.ndarray] = None
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and _GRAD_MODE.enabled
         self.name = name
         self.version = 0
         self._parents: Tuple[Tensor, ...] = _parents if self.requires_grad or _parents else ()
@@ -192,7 +201,7 @@ class Tensor:
         backward: Callable[[np.ndarray], None],
         name: Optional[str] = None,
     ) -> "Tensor":
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = _GRAD_MODE.enabled and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires, name=name)
         if requires:
             out._parents = parents
@@ -556,7 +565,7 @@ class Tensor:
             for tensor, piece in zip(tensors, pieces):
                 tensor._accumulate(np.squeeze(piece, axis=axis))
 
-        requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+        requires = _GRAD_MODE.enabled and any(t.requires_grad for t in tensors)
         out = Tensor(out_data, requires_grad=requires)
         if requires:
             out._parents = tuple(tensors)
@@ -576,7 +585,7 @@ class Tensor:
                 slicer[axis] = slice(start, stop)
                 tensor._accumulate(grad[tuple(slicer)])
 
-        requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+        requires = _GRAD_MODE.enabled and any(t.requires_grad for t in tensors)
         out = Tensor(out_data, requires_grad=requires)
         if requires:
             out._parents = tuple(tensors)

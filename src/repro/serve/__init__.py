@@ -9,9 +9,41 @@ from a version-keyed cache); :class:`InferenceEngine` wraps it with lazy
 tracing, batched prediction and a module-path fallback for models the
 tracer cannot linearise.  ``mode="integer"`` serves the deployed
 integer-code domain through the same machinery.
+
+On top of the engine sits the serving *frontend*
+(:mod:`repro.serve.frontend`): :class:`ModelServer` hosts multiple named
+model/bit-width variants (:class:`ModelRegistry`), coalesces concurrent
+requests into micro-batches (:class:`DynamicBatcher` over a bounded
+:class:`RequestQueue` with admission control) and reports serving telemetry
+(:class:`ServerMetrics` — latency percentiles, batch occupancy,
+throughput).
 """
 
 from .engine import InferenceEngine
+from .frontend import (
+    DynamicBatcher,
+    ModelEntry,
+    ModelRegistry,
+    ModelServer,
+    Request,
+    RequestQueue,
+    ServerClosed,
+    ServerMetrics,
+    ServerOverloaded,
+)
 from .plan import InferencePlan, PlanTraceError
 
-__all__ = ["InferenceEngine", "InferencePlan", "PlanTraceError"]
+__all__ = [
+    "InferenceEngine",
+    "InferencePlan",
+    "PlanTraceError",
+    "DynamicBatcher",
+    "ModelEntry",
+    "ModelRegistry",
+    "ModelServer",
+    "Request",
+    "RequestQueue",
+    "ServerClosed",
+    "ServerMetrics",
+    "ServerOverloaded",
+]

@@ -10,12 +10,27 @@ plan itself does not:
   large request arrays into backend-friendly batches and concatenates the
   logits, so callers never hand-roll chunking;
 * **lifecycle** — the plan is traced lazily on the first call (the input
-  shape is only known then), refreshed per call so weight updates, bit
-  re-assignments and BatchNorm statistics are always honoured, and the
-  model's train/eval mode is restored even when a forward raises;
+  shape is only known then), then kept fresh by a *staleness check* instead
+  of an unconditional per-call refresh: the engine fingerprints the model
+  (sum of every parameter's ``Tensor.version``, the per-layer bit
+  assignment, and the BatchNorm running-statistic sums) and only re-resolves
+  the plan's constants when that token changes.  A server calling
+  ``predict`` thousands of times on frozen weights pays for the refresh
+  once; optimizer steps, ``set_bits``/``apply_assignment`` and checkpoint
+  loads all change the token and are honoured automatically.  Weights
+  mutated in place *without* ``bump_version()`` are invisible to the check
+  (as everywhere else in the stack) — pass ``refresh=True`` to force a
+  re-resolve.  The model's train/eval mode is restored even when a forward
+  raises;
 * **fallback** — models the tracer cannot linearise (ResNet residual
   topology) degrade gracefully to the module forward path under ``no_grad``,
   which still benefits from the quantized-weight cache, instead of failing.
+  The fallback is announced with a single warning per engine instance —
+  never per ``predict`` call — so a server hosting a residual model does not
+  spam its logs.  In integer mode the fallback's
+  :class:`~repro.quant.IntegerInferenceSession` (which freezes its exports
+  at construction) is cached under the same staleness token, so frozen-weight
+  serving does not rebuild it per call.
 
 ``mode="integer"`` serves the integer-code domain (what deployment hardware
 executes) through the same plans; the scale is distributed out of the GEMM
@@ -25,11 +40,13 @@ accumulation exactly as in :class:`~repro.quant.IntegerInferenceSession`.
 from __future__ import annotations
 
 import warnings
-from typing import List, Optional
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
+from ..nn.modules import BatchNorm2d
 from ..nn.tensor import Tensor, no_grad
+from ..quant.qmodules import QuantizedLayer
 from .plan import InferencePlan, PlanTraceError, PlanVerifyError
 
 __all__ = ["InferenceEngine"]
@@ -60,6 +77,10 @@ class InferenceEngine:
         self.batch_size = int(batch_size)
         self._plan: Optional[InferencePlan] = None
         self._fallback = False
+        self._fallback_warned = False
+        self._refresh_token: Optional[Tuple] = None
+        self._fallback_run: Optional[Callable[[np.ndarray], np.ndarray]] = None
+        self._fallback_token: Optional[Tuple] = None
 
     # ------------------------------------------------------------------ #
     # plan lifecycle
@@ -85,36 +106,91 @@ class InferenceEngine:
             # The model traced fine but the compiled plan failed numerical
             # verification — that is a compiler problem, not an expected
             # topology limitation, so the fallback must not be silent.
-            warnings.warn(
+            self._warn_fallback_once(
                 f"compiled inference plan failed verification; falling back "
-                f"to the module path ({error})",
-                RuntimeWarning,
-                stacklevel=3,
+                f"to the module path ({error})"
             )
             self._fallback = True
-        except PlanTraceError:
-            # Expected for non-linear topologies (residual models).
+        except PlanTraceError as error:
+            # Expected for non-linear topologies (residual models); announced
+            # once per engine instance so servers are not spammed per call.
+            self._warn_fallback_once(
+                f"model cannot be compiled to a linear inference plan; "
+                f"serving through the module path ({error})"
+            )
             self._fallback = True
 
-    def _fallback_runner(self):
-        """One fallback executor per predict call, so weights stay fresh.
+    def _warn_fallback_once(self, message: str) -> None:
+        if self._fallback_warned:
+            return
+        self._fallback_warned = True
+        warnings.warn(message, RuntimeWarning, stacklevel=4)
+
+    def _state_token(self) -> Tuple:
+        """Cheap staleness fingerprint of everything a plan bakes in.
+
+        Parameter ``version`` counters catch optimizer steps and checkpoint
+        loads; the per-layer bit tuple catches ``set_bits`` /
+        ``apply_assignment``; the BatchNorm running-statistic sums catch
+        stat updates from training-mode forward passes (buffers have no
+        version counter).  In-place weight mutation without
+        ``bump_version()`` is invisible here by design — the same contract
+        as the quantized-weight cache.
+        """
+        versions = sum(param.version for param in self.model.parameters())
+        bits: List[int] = []
+        bn_stats: List[float] = []
+        for module in self.model.modules():
+            if isinstance(module, QuantizedLayer):
+                bits.append(module.bits)
+            elif isinstance(module, BatchNorm2d):
+                bn_stats.append(float(module.running_mean.sum()))
+                bn_stats.append(float(module.running_var.sum()))
+        return (versions, tuple(bits), tuple(bn_stats))
+
+    def _refresh_plan(self, force: bool) -> None:
+        """Re-resolve plan constants only when the model actually changed."""
+        token = self._state_token()
+        if force or token != self._refresh_token:
+            self._plan.refresh()
+            self._refresh_token = self._state_token() if force else token
+
+    def _fallback_runner(self, force: bool) -> Callable[[np.ndarray], np.ndarray]:
+        """The module-path executor, kept fresh by the same staleness token.
 
         The integer session freezes its exports at construction, so it is
-        rebuilt once per predict call (mirroring the compiled plan's
-        per-call refresh) and then reused across all internal batches.
+        rebuilt whenever the staleness token changes (or on ``force``) and
+        reused across calls while the model is frozen — a server on a
+        residual model must not re-export every weight per request.  The
+        float path reads live weights through the module forward, so it
+        needs no caching at all.
         """
         if self.mode == "integer":
             from ..quant.integer_inference import IntegerInferenceSession
 
-            session = IntegerInferenceSession(self.model)
-            return session.run
+            token = self._state_token()
+            if force or self._fallback_run is None or token != self._fallback_token:
+                self._fallback_run = IntegerInferenceSession(self.model).run
+                self._fallback_token = self._state_token() if force else token
+            return self._fallback_run
         return lambda batch: self.model(Tensor(batch)).data
 
     # ------------------------------------------------------------------ #
     # prediction API
     # ------------------------------------------------------------------ #
-    def predict_logits(self, inputs, batch_size: Optional[int] = None) -> np.ndarray:
-        """Logits for ``inputs`` (any array-like of shape (N, C, H, W))."""
+    def predict_logits(
+        self,
+        inputs,
+        batch_size: Optional[int] = None,
+        refresh: bool = False,
+    ) -> np.ndarray:
+        """Logits for ``inputs`` (any array-like of shape (N, C, H, W)).
+
+        Plan constants (quantized weights, folded BatchNorm affines, PACT
+        clipping levels) are re-resolved only when the staleness token says
+        the model changed; ``refresh=True`` forces a re-resolve — the escape
+        hatch for in-place mutations the version counters cannot see.
+        """
         array = np.ascontiguousarray(np.asarray(inputs, dtype=np.float32))
         step = int(batch_size) if batch_size is not None else self.batch_size
         if step <= 0:
@@ -125,10 +201,10 @@ class InferenceEngine:
             with no_grad():
                 self._ensure_plan(array.shape)
                 if self._plan is not None:
-                    self._plan.refresh()
+                    self._refresh_plan(force=refresh)
                     run = self._plan.run
                 else:
-                    run = self._fallback_runner()
+                    run = self._fallback_runner(force=refresh)
                 pieces: List[np.ndarray] = []
                 for start in range(0, max(array.shape[0], 1), step):
                     pieces.append(run(array[start : start + step]))
@@ -136,9 +212,14 @@ class InferenceEngine:
         finally:
             self.model.train(was_training)
 
-    def predict(self, inputs, batch_size: Optional[int] = None) -> np.ndarray:
+    def predict(
+        self,
+        inputs,
+        batch_size: Optional[int] = None,
+        refresh: bool = False,
+    ) -> np.ndarray:
         """Class predictions (argmax over the last logits axis)."""
-        return self.predict_logits(inputs, batch_size=batch_size).argmax(axis=-1)
+        return self.predict_logits(inputs, batch_size=batch_size, refresh=refresh).argmax(axis=-1)
 
     def __repr__(self) -> str:
         state = "fallback" if self._fallback else ("compiled" if self._plan else "untraced")

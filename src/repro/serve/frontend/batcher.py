@@ -1,0 +1,98 @@
+"""Dynamic micro-batching: coalesce queued requests under a latency deadline.
+
+The batcher is the policy half of the serving frontend's hot loop.  It owns no
+threads and touches no engine — given a :class:`~repro.serve.frontend.queuing.RequestQueue`
+it answers one question: *which requests form the next micro-batch?*  Keeping
+it pure makes the deadline/bound edge cases unit-testable without spinning up
+a server.
+
+Policy, in order:
+
+1. Block (up to ``timeout``) for the first request.  Its enqueue time anchors
+   the batch deadline: ``enqueue_time + max_delay``.  A request that already
+   sat in the queue longer than ``max_delay`` (backlog) anchors a deadline in
+   the past, so the batcher grabs only what is immediately available — under
+   saturation batches fill from the backlog without adding artificial wait.
+2. Keep pulling requests until the batch holds ``max_batch_size`` samples or
+   the deadline fires.  A partial batch at the deadline is served as-is;
+   latency is bounded by ``max_delay`` plus one service time.
+3. A request that would overflow ``max_batch_size`` is pushed back to the
+   front of the queue — the bound is a hard invariant, and the request keeps
+   its place for the next batch.
+
+Sample counting is by *samples*, not requests: a small-batch request of 4
+samples occupies 4 slots of the micro-batch.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional
+
+from .queuing import Request, RequestQueue
+
+__all__ = ["DynamicBatcher"]
+
+
+class DynamicBatcher:
+    """Forms micro-batches from a request queue under size and delay bounds.
+
+    Parameters
+    ----------
+    queue:
+        The bounded request queue to consume from.
+    max_batch_size:
+        Hard upper bound on the total number of *samples* in one batch.
+    max_delay:
+        Seconds the first request of a batch may wait for co-travellers.
+        ``0.0`` disables coalescing waits: each batch takes only what is
+        already queued.
+    clock:
+        Injectable monotonic clock (tests freeze it).
+    """
+
+    def __init__(
+        self,
+        queue: RequestQueue,
+        max_batch_size: int = 32,
+        max_delay: float = 0.002,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_batch_size <= 0:
+            raise ValueError(f"max_batch_size must be positive, got {max_batch_size}")
+        if max_delay < 0:
+            raise ValueError(f"max_delay must be >= 0, got {max_delay}")
+        self.queue = queue
+        self.max_batch_size = int(max_batch_size)
+        self.max_delay = float(max_delay)
+        self._clock = clock
+
+    def next_batch(self, timeout: Optional[float] = None) -> Optional[List[Request]]:
+        """Return the next micro-batch, or ``None`` if no request arrived.
+
+        Blocks up to ``timeout`` seconds for the *first* request only; the
+        coalescing wait afterwards is governed by ``max_delay``.
+        """
+        first = self.queue.get(timeout=timeout)
+        if first is None:
+            return None
+        batch = [first]
+        samples = first.num_samples
+        deadline = first.enqueue_time + self.max_delay
+        while samples < self.max_batch_size:
+            remaining = deadline - self._clock()
+            request = self.queue.get(timeout=max(0.0, remaining))
+            if request is None:
+                break  # deadline fired (or the queue closed empty): serve what we have
+            if samples + request.num_samples > self.max_batch_size:
+                self.queue.put_front(request)
+                break
+            batch.append(request)
+            samples += request.num_samples
+        return batch
+
+    def __repr__(self) -> str:
+        return (
+            f"DynamicBatcher(max_batch_size={self.max_batch_size}, "
+            f"max_delay={self.max_delay * 1e3:.1f}ms)"
+        )

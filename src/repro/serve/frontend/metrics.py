@@ -1,0 +1,149 @@
+"""Serving telemetry: latency percentiles, batch occupancy, throughput.
+
+One :class:`ServerMetrics` instance per hosted model records the numbers an
+operator actually pages on:
+
+* **end-to-end latency** (submit -> future resolved) and **queue wait**
+  (submit -> batch formation), with p50/p95/p99 over a bounded window of
+  recent requests (:class:`~repro.utils.timing.RollingHistogram`, so memory
+  stays constant on a long-lived server);
+* **batch occupancy** — a histogram of served micro-batch sizes in samples,
+  the direct readout of how well the dynamic batcher is coalescing;
+* **throughput** — completed samples per second over the active serving
+  window (first admission to last completion);
+* **flow counters** — admitted / completed / failed / cancelled / rejected
+  requests and the queue-depth high-water mark, which together tell whether
+  admission control is shedding load.
+
+Every mutator takes one lock, so worker threads and submitters can record
+concurrently; :meth:`snapshot` returns a plain JSON-serialisable dict and
+:meth:`to_json` exports it.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Dict, Optional
+
+from ...utils.timing import RollingHistogram
+
+__all__ = ["ServerMetrics"]
+
+
+class ServerMetrics:
+    """Thread-safe telemetry accumulator for one served model."""
+
+    def __init__(self, latency_window: int = 8192) -> None:
+        self._lock = threading.Lock()
+        self._latency = RollingHistogram(latency_window)
+        self._queue_wait = RollingHistogram(latency_window)
+        self._batch_occupancy: Dict[int, int] = {}
+        self._service = RollingHistogram(latency_window)
+        self.admitted = 0
+        self.rejected = 0
+        self.completed = 0
+        self.failed = 0
+        self.cancelled = 0
+        self.batches = 0
+        self.samples = 0
+        self.depth_highwater = 0
+        self._first_admit: Optional[float] = None
+        self._last_done: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    # recording (called from submit paths and worker threads)
+    # ------------------------------------------------------------------ #
+    def record_admitted(self, queue_depth: int) -> None:
+        with self._lock:
+            self.admitted += 1
+            if queue_depth > self.depth_highwater:
+                self.depth_highwater = queue_depth
+            if self._first_admit is None:
+                self._first_admit = time.monotonic()
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def record_completion(self, latency_seconds: float, wait_seconds: float, samples: int) -> None:
+        with self._lock:
+            self.completed += 1
+            self.samples += samples
+            self._latency.add(latency_seconds)
+            self._queue_wait.add(wait_seconds)
+            self._last_done = time.monotonic()
+
+    def record_failed(self) -> None:
+        with self._lock:
+            self.failed += 1
+
+    def record_cancelled(self) -> None:
+        with self._lock:
+            self.cancelled += 1
+
+    def record_batch(self, num_samples: int, service_seconds: float) -> None:
+        with self._lock:
+            self.batches += 1
+            self._batch_occupancy[num_samples] = self._batch_occupancy.get(num_samples, 0) + 1
+            self._service.add(service_seconds)
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _ms_summary(histogram: RollingHistogram) -> Dict[str, float]:
+        summary = histogram.summary()
+        return {
+            "p50": round(summary["p50"] * 1e3, 3),
+            "p95": round(summary["p95"] * 1e3, 3),
+            "p99": round(summary["p99"] * 1e3, 3),
+            "mean": round(summary["mean"] * 1e3, 3),
+            "max": round(summary["max"] * 1e3, 3),
+        }
+
+    def snapshot(self, queue_depth: Optional[int] = None) -> Dict[str, object]:
+        """A JSON-serialisable view of everything recorded so far."""
+        with self._lock:
+            occupancy = dict(sorted(self._batch_occupancy.items()))
+            occupancy_samples = sum(size * count for size, count in occupancy.items())
+            elapsed = (
+                self._last_done - self._first_admit
+                if self._first_admit is not None and self._last_done is not None
+                else 0.0
+            )
+            snapshot: Dict[str, object] = {
+                "requests": {
+                    "admitted": self.admitted,
+                    "completed": self.completed,
+                    "failed": self.failed,
+                    "cancelled": self.cancelled,
+                    "rejected": self.rejected,
+                },
+                "samples_completed": self.samples,
+                "batches": {
+                    "served": self.batches,
+                    "occupancy_mean": round(occupancy_samples / self.batches, 3)
+                    if self.batches
+                    else 0.0,
+                    "occupancy_histogram": {str(k): v for k, v in occupancy.items()},
+                },
+                "latency_ms": self._ms_summary(self._latency),
+                "queue_wait_ms": self._ms_summary(self._queue_wait),
+                "batch_service_ms": self._ms_summary(self._service),
+                "throughput_rps": round(self.samples / elapsed, 3) if elapsed > 0 else 0.0,
+                "queue_depth_highwater": self.depth_highwater,
+            }
+            if queue_depth is not None:
+                snapshot["queue_depth"] = int(queue_depth)
+            return snapshot
+
+    def to_json(self, queue_depth: Optional[int] = None, indent: int = 2) -> str:
+        return json.dumps(self.snapshot(queue_depth=queue_depth), indent=indent)
+
+    def __repr__(self) -> str:
+        return (
+            f"ServerMetrics(admitted={self.admitted}, completed={self.completed}, "
+            f"failed={self.failed}, rejected={self.rejected}, batches={self.batches})"
+        )

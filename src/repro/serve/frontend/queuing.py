@@ -1,0 +1,181 @@
+"""Bounded request queue with admission control for the serving frontend.
+
+A :class:`RequestQueue` is the seam between concurrent producers (client
+threads inside :meth:`~repro.serve.frontend.ModelServer.submit`) and a single
+consumer (the worker thread pinned to that model's engine).  It is
+deliberately not :class:`queue.Queue`: the dynamic batcher needs three
+behaviours the stdlib queue does not offer together —
+
+* **admission control** — a hard ``max_depth`` bound where ``put`` can either
+  raise :class:`ServerOverloaded` immediately (shed load at the edge) or
+  block with a timeout (backpressure on the producer);
+* **close-and-drain** — after :meth:`close`, producers are rejected with
+  :class:`ServerClosed` while the consumer keeps draining until the queue is
+  empty, at which point ``get`` returns ``None`` instead of blocking; and
+* **front re-insertion** — :meth:`put_front` lets the batcher hand back a
+  request that would overflow the micro-batch it is forming, without the
+  request losing its place at the head of the line.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["Request", "RequestQueue", "ServerOverloaded", "ServerClosed"]
+
+
+class ServerOverloaded(RuntimeError):
+    """The request queue is full and admission control rejected the request."""
+
+
+class ServerClosed(RuntimeError):
+    """The server (or its queue) no longer accepts requests."""
+
+
+@dataclass
+class Request:
+    """One in-flight prediction request.
+
+    ``inputs`` is always a stacked ``(n, ...)`` float32 array, even for
+    single-sample requests; ``squeeze`` records whether the caller submitted a
+    single sample (and should receive one logits row back) or a small batch.
+    """
+
+    inputs: np.ndarray
+    future: "Future[np.ndarray]"
+    squeeze: bool
+    enqueue_time: float = field(default_factory=time.monotonic)
+    request_id: int = 0
+
+    @property
+    def num_samples(self) -> int:
+        return int(self.inputs.shape[0])
+
+    @property
+    def sample_shape(self) -> Tuple[int, ...]:
+        return tuple(self.inputs.shape[1:])
+
+
+class RequestQueue:
+    """Thread-safe bounded FIFO of :class:`Request` with close semantics."""
+
+    def __init__(self, max_depth: int = 512) -> None:
+        if max_depth <= 0:
+            raise ValueError(f"max_depth must be positive, got {max_depth}")
+        self.max_depth = int(max_depth)
+        self._items: Deque[Request] = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # producer side
+    # ------------------------------------------------------------------ #
+    def put(self, request: Request, block: bool = True, timeout: Optional[float] = None) -> None:
+        """Enqueue ``request``.
+
+        ``block=False`` implements admission control: a full queue raises
+        :class:`ServerOverloaded` immediately.  ``block=True`` implements
+        backpressure: the producer waits (up to ``timeout`` seconds, forever
+        when ``None``) for space, raising :class:`ServerOverloaded` only when
+        the wait times out.  A closed queue always raises
+        :class:`ServerClosed`.
+        """
+        with self._not_full:
+            if self._closed:
+                raise ServerClosed("the request queue is closed")
+            if len(self._items) >= self.max_depth:
+                if not block:
+                    raise ServerOverloaded(
+                        f"request queue is full ({self.max_depth} requests)"
+                    )
+                deadline = None if timeout is None else time.monotonic() + timeout
+                while len(self._items) >= self.max_depth and not self._closed:
+                    remaining = None if deadline is None else deadline - time.monotonic()
+                    if remaining is not None and remaining <= 0:
+                        raise ServerOverloaded(
+                            f"request queue stayed full ({self.max_depth} requests) "
+                            f"for {timeout:.3f}s"
+                        )
+                    self._not_full.wait(remaining)
+                if self._closed:
+                    raise ServerClosed("the request queue closed while waiting for space")
+            self._items.append(request)
+            self._not_empty.notify()
+
+    def put_front(self, request: Request) -> None:
+        """Re-insert a request at the head of the queue (batcher overflow).
+
+        Exempt from the depth bound and the closed check: the request was
+        already admitted once and must not be dropped or re-ordered.
+        """
+        with self._not_empty:
+            self._items.appendleft(request)
+            self._not_empty.notify()
+
+    # ------------------------------------------------------------------ #
+    # consumer side
+    # ------------------------------------------------------------------ #
+    def get(self, timeout: Optional[float] = None) -> Optional[Request]:
+        """Pop the oldest request, waiting up to ``timeout`` seconds.
+
+        Returns ``None`` when the wait expires, or immediately once the queue
+        is both closed and empty (the drain-complete signal).
+        """
+        with self._not_empty:
+            deadline = None if timeout is None else time.monotonic() + timeout
+            while not self._items:
+                if self._closed:
+                    return None
+                if deadline is None:
+                    self._not_empty.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                    self._not_empty.wait(remaining)
+            request = self._items.popleft()
+            self._not_full.notify()
+            return request
+
+    # ------------------------------------------------------------------ #
+    # lifecycle / introspection
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Reject future ``put`` calls; wake every blocked producer/consumer."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    def drain_remaining(self) -> List[Request]:
+        """Pop and return everything still queued (used on non-drain stop)."""
+        with self._lock:
+            remaining = list(self._items)
+            self._items.clear()
+            self._not_full.notify_all()
+            return remaining
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def __len__(self) -> int:
+        return self.depth
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"RequestQueue(depth={self.depth}, max_depth={self.max_depth}, {state})"

@@ -1,0 +1,501 @@
+"""The concurrent model server: queue -> batcher -> engine -> futures.
+
+:class:`ModelServer` is the deployment facade over the whole serving stack.
+Clients on any number of threads call :meth:`submit` (future-returning) or
+:meth:`predict` (synchronous); per hosted model, a bounded
+:class:`~repro.serve.frontend.queuing.RequestQueue` absorbs the burst, a
+:class:`~repro.serve.frontend.batcher.DynamicBatcher` coalesces concurrent
+single-sample requests into backend-friendly micro-batches under a latency
+deadline, and one dedicated worker thread drives the model's
+:class:`~repro.serve.InferenceEngine` over each batch and scatters the logits
+rows back into the callers' futures.
+
+Design invariants:
+
+* **One worker per engine.**  Engines (and the autograd modules under them)
+  are not thread-safe; pinning each engine to exactly one worker thread makes
+  the whole stack safe without locking the hot path.  Concurrency across
+  *models* is real (one thread per registry entry); concurrency within a
+  model comes from batching, which on BLAS-backed kernels is where the
+  throughput lives anyway.
+* **Batched results are bitwise-identical to a direct engine call.**  The
+  worker stacks request arrays in arrival order and calls
+  ``engine.predict_logits`` once per micro-batch — each caller receives
+  exactly the rows that a direct call on the stacked batch would produce.
+* **Failures are per-request.**  Requests are grouped by sample shape before
+  stacking, so one malformed request can only fail its own future (and any
+  request with the same bad shape), never the co-batched others.
+* **Lifecycle is explicit.**  ``start`` spawns workers, ``stop(drain=True)``
+  completes everything already admitted before returning, ``stop(drain=False)``
+  fails queued futures with :class:`~repro.serve.frontend.queuing.ServerClosed`,
+  and the context manager maps to ``start``/``stop(drain=True)``.  Submitting
+  before ``start`` is allowed — requests queue up and are served once workers
+  run (tests use this for deterministic batch composition).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future, InvalidStateError
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .batcher import DynamicBatcher
+from .metrics import ServerMetrics
+from .queuing import Request, RequestQueue, ServerClosed, ServerOverloaded
+from .registry import ModelEntry, ModelRegistry
+
+__all__ = ["ModelServer"]
+
+# Called after a micro-batch is served, with (model_name, requests_in_batch
+# order).  A telemetry/testing hook: the parity tests reconstruct the exact
+# stacked batch from it and compare against a direct engine call.
+BatchObserver = Callable[[str, List[Request]], None]
+
+
+class _Lane:
+    """Per-hosted-model serving state: queue, batcher, metrics, worker."""
+
+    def __init__(self, entry: ModelEntry, queue: RequestQueue, batcher: DynamicBatcher,
+                 metrics: ServerMetrics, model_lock: threading.Lock) -> None:
+        self.entry = entry
+        self.queue = queue
+        self.batcher = batcher
+        self.metrics = metrics
+        # Shared between lanes hosting the same model object (float + integer
+        # variants of one checkpoint): engine.predict_logits toggles the
+        # model's train/eval mode, so two engines over one model must never
+        # serve concurrently.  Lanes over distinct models get distinct locks
+        # and never contend.
+        self.model_lock = model_lock
+        self.worker: Optional[threading.Thread] = None
+        self._pending = 0
+        self._idle = threading.Condition()
+
+    @property
+    def name(self) -> str:
+        return self.entry.name
+
+    @property
+    def engine(self):
+        return self.entry.engine
+
+    def note_admitted(self) -> None:
+        with self._idle:
+            self._pending += 1
+
+    def note_done(self) -> None:
+        with self._idle:
+            self._pending -= 1
+            if self._pending <= 0:
+                self._idle.notify_all()
+
+    def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        with self._idle:
+            return self._idle.wait_for(lambda: self._pending == 0, timeout)
+
+    @property
+    def pending(self) -> int:
+        with self._idle:
+            return self._pending
+
+
+class ModelServer:
+    """Concurrent, dynamically-batched serving over a multi-model registry.
+
+    Parameters
+    ----------
+    registry:
+        An existing :class:`ModelRegistry` to serve (one is created when
+        omitted); :meth:`register` adds models either way.
+    max_batch_size:
+        Hard bound on the samples coalesced into one micro-batch.
+    max_delay_ms:
+        Micro-batch deadline: how long the first request of a batch may wait
+        for co-travellers before being served (the latency price of
+        batching).
+    max_queue_depth:
+        Per-model admission-control bound; :meth:`submit` beyond it raises
+        :class:`ServerOverloaded` (``block=False``) or blocks
+        (``block=True``).
+    latency_window:
+        Number of recent requests the latency percentiles cover.
+    on_batch:
+        Optional observer called after each served micro-batch with
+        ``(model_name, requests)`` — a telemetry/testing hook.
+    """
+
+    _POLL_SECONDS = 0.05
+
+    def __init__(
+        self,
+        registry: Optional[ModelRegistry] = None,
+        *,
+        max_batch_size: int = 32,
+        max_delay_ms: float = 2.0,
+        max_queue_depth: int = 512,
+        latency_window: int = 8192,
+        on_batch: Optional[BatchObserver] = None,
+    ) -> None:
+        if max_batch_size <= 0:
+            raise ValueError(f"max_batch_size must be positive, got {max_batch_size}")
+        if max_delay_ms < 0:
+            raise ValueError(f"max_delay_ms must be >= 0, got {max_delay_ms}")
+        self.registry = registry if registry is not None else ModelRegistry()
+        self.max_batch_size = int(max_batch_size)
+        self.max_delay_ms = float(max_delay_ms)
+        self.max_queue_depth = int(max_queue_depth)
+        self.latency_window = int(latency_window)
+        self._on_batch = on_batch
+        self._lanes: "Dict[str, _Lane]" = {}
+        self._model_locks: "Dict[int, threading.Lock]" = {}
+        self._lock = threading.Lock()
+        self._started = False
+        self._closed = False
+        self._abort = threading.Event()
+        self._request_ids = itertools.count(1)
+        for entry in self.registry.entries():
+            self._ensure_lane(entry)
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+    def register(
+        self,
+        name: str,
+        model=None,
+        *,
+        mode: str = "float",
+        engine=None,
+        description: str = "",
+    ) -> ModelEntry:
+        """Host ``model`` under ``name``; live-registration is supported.
+
+        The engine's internal batch size must cover ``max_batch_size`` so a
+        micro-batch is always served by a single backend call (which is what
+        makes batched results bitwise-identical to a direct call on the
+        stacked batch): engines built here are pinned accordingly, and a
+        caller-supplied ``engine`` with a smaller batch size is refused.
+        """
+        if engine is not None and engine.batch_size < self.max_batch_size:
+            raise ValueError(
+                f"engine batch_size={engine.batch_size} cannot cover the "
+                f"server's max_batch_size={self.max_batch_size}; a micro-batch "
+                f"must be served by a single backend call"
+            )
+        entry = self.registry.register(
+            name,
+            model,
+            mode=mode,
+            batch_size=max(64, self.max_batch_size),
+            engine=engine,
+            description=description,
+        )
+        self._ensure_lane(entry)
+        return entry
+
+    def _ensure_lane(self, entry: ModelEntry) -> _Lane:
+        with self._lock:
+            if self._closed:
+                raise ServerClosed("cannot register models on a stopped server")
+            lane = self._lanes.get(entry.name)
+            if lane is None:
+                queue = RequestQueue(max_depth=self.max_queue_depth)
+                batcher = DynamicBatcher(
+                    queue,
+                    max_batch_size=self.max_batch_size,
+                    max_delay=self.max_delay_ms / 1e3,
+                )
+                model_lock = self._model_locks.setdefault(
+                    id(entry.engine.model), threading.Lock()
+                )
+                lane = _Lane(
+                    entry, queue, batcher, ServerMetrics(self.latency_window), model_lock
+                )
+                self._lanes[entry.name] = lane
+                if self._started:
+                    self._spawn_worker(lane)
+            return lane
+
+    def _lane(self, model_name: str) -> _Lane:
+        lane = self._lanes.get(model_name)
+        if lane is None:
+            # Registered directly on the registry after construction.
+            entry = self.registry.get(model_name)  # raises a helpful KeyError
+            lane = self._ensure_lane(entry)
+        return lane
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "ModelServer":
+        with self._lock:
+            if self._closed:
+                raise ServerClosed("this server was stopped; build a new one")
+            if self._started:
+                raise RuntimeError("the server is already running")
+            self._started = True
+            for lane in self._lanes.values():
+                self._spawn_worker(lane)
+        return self
+
+    def _spawn_worker(self, lane: _Lane) -> None:
+        worker = threading.Thread(
+            target=self._worker_loop,
+            args=(lane,),
+            name=f"model-server/{lane.name}",
+            daemon=True,
+        )
+        lane.worker = worker
+        worker.start()
+
+    def stop(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop accepting requests and shut the worker pool down.
+
+        ``drain=True`` serves everything already admitted before returning;
+        ``drain=False`` fails still-queued futures with :class:`ServerClosed`
+        (the in-flight micro-batch always completes — a BLAS call cannot be
+        interrupted).  ``timeout`` bounds the per-worker join.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if not drain:
+                self._abort.set()
+            lanes = list(self._lanes.values())
+            was_started = self._started
+        for lane in lanes:
+            lane.queue.close()
+        if was_started:
+            for lane in lanes:
+                if lane.worker is not None:
+                    lane.worker.join(timeout)
+        error = ServerClosed("the server stopped before this request was served")
+        for lane in lanes:
+            for request in lane.queue.drain_remaining():
+                self._fail_request(lane, request, error)
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until every admitted request has completed (server keeps running)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            lanes = list(self._lanes.values())
+        for lane in lanes:
+            remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
+            if not lane.wait_idle(remaining):
+                return False
+        return True
+
+    @property
+    def running(self) -> bool:
+        return self._started and not self._closed
+
+    def __enter__(self) -> "ModelServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.stop(drain=exc_type is None)
+
+    # ------------------------------------------------------------------ #
+    # submission API
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        model_name: str,
+        inputs,
+        block: bool = True,
+        timeout: Optional[float] = None,
+    ) -> "Future[np.ndarray]":
+        """Enqueue one request; returns a future resolving to its logits.
+
+        ``inputs`` is a single sample ``(C, H, W)`` (the future resolves to
+        one logits row) or a small batch ``(n, C, H, W)`` with ``n`` at most
+        ``max_batch_size`` (the future resolves to ``n`` rows).  Larger
+        offline batches belong on :meth:`InferenceEngine.predict_logits`
+        directly.  ``block``/``timeout`` select backpressure (wait for queue
+        space) versus admission control (:class:`ServerOverloaded` at once).
+        """
+        if self._closed:
+            raise ServerClosed("the server is stopped")
+        lane = self._lane(model_name)
+        array = np.ascontiguousarray(np.asarray(inputs, dtype=np.float32))
+        if array.ndim == 3:
+            array = array[np.newaxis]
+            squeeze = True
+        elif array.ndim == 4:
+            squeeze = False
+        else:
+            raise ValueError(
+                f"expected a (C, H, W) sample or (n, C, H, W) small batch, "
+                f"got shape {array.shape}"
+            )
+        if array.shape[0] == 0:
+            raise ValueError("cannot submit an empty request")
+        if array.shape[0] > self.max_batch_size:
+            raise ValueError(
+                f"request of {array.shape[0]} samples exceeds max_batch_size="
+                f"{self.max_batch_size}; use InferenceEngine.predict_logits "
+                f"for large offline batches"
+            )
+        request = Request(
+            inputs=array,
+            future=Future(),
+            squeeze=squeeze,
+            enqueue_time=time.monotonic(),
+            request_id=next(self._request_ids),
+        )
+        lane.note_admitted()
+        try:
+            lane.queue.put(request, block=block, timeout=timeout)
+        except ServerOverloaded:
+            lane.note_done()
+            lane.metrics.record_rejected()
+            raise
+        except ServerClosed:
+            lane.note_done()
+            raise
+        lane.metrics.record_admitted(lane.queue.depth)
+        return request.future
+
+    def predict(
+        self,
+        model_name: str,
+        inputs,
+        timeout: Optional[float] = None,
+    ) -> np.ndarray:
+        """Synchronous :meth:`submit`: blocks until the logits are ready."""
+        return self.submit(model_name, inputs).result(timeout)
+
+    def predict_classes(
+        self,
+        model_name: str,
+        inputs,
+        timeout: Optional[float] = None,
+    ) -> np.ndarray:
+        """Class predictions (argmax over the logits axis)."""
+        return self.predict(model_name, inputs, timeout=timeout).argmax(axis=-1)
+
+    # ------------------------------------------------------------------ #
+    # worker loop
+    # ------------------------------------------------------------------ #
+    def _worker_loop(self, lane: _Lane) -> None:
+        while True:
+            batch = lane.batcher.next_batch(timeout=self._POLL_SECONDS)
+            if batch:
+                if self._abort.is_set():
+                    error = ServerClosed("the server stopped before this request was served")
+                    for request in batch:
+                        self._fail_request(lane, request, error)
+                else:
+                    self._serve_batch(lane, batch)
+                continue
+            if lane.queue.closed:
+                break
+
+    def _serve_batch(self, lane: _Lane, batch: List[Request]) -> None:
+        formed = time.monotonic()
+        live: List[Request] = []
+        for request in batch:
+            if request.future.set_running_or_notify_cancel():
+                live.append(request)
+            else:
+                lane.metrics.record_cancelled()
+                lane.note_done()
+        if not live:
+            return
+        # Group by per-sample shape so a malformed request can only fail its
+        # own group — never the well-formed co-batched requests.
+        groups: "OrderedDict[tuple, List[Request]]" = OrderedDict()
+        for request in live:
+            groups.setdefault(request.sample_shape, []).append(request)
+        for requests in groups.values():
+            stacked = (
+                requests[0].inputs
+                if len(requests) == 1
+                else np.concatenate([r.inputs for r in requests], axis=0)
+            )
+            try:
+                with lane.model_lock:
+                    logits = lane.engine.predict_logits(stacked)
+            except Exception as error:  # noqa: BLE001 - forwarded to futures
+                for request in requests:
+                    self._fail_request(lane, request, error)
+                continue
+            done = time.monotonic()
+            lane.metrics.record_batch(int(stacked.shape[0]), done - formed)
+            offset = 0
+            for request in requests:
+                rows = logits[offset : offset + request.num_samples]
+                offset += request.num_samples
+                result = rows[0] if request.squeeze else rows
+                try:
+                    request.future.set_result(np.ascontiguousarray(result))
+                except InvalidStateError:
+                    pass  # cancelled between set_running and completion: impossible, but harmless
+                lane.metrics.record_completion(
+                    latency_seconds=done - request.enqueue_time,
+                    wait_seconds=formed - request.enqueue_time,
+                    samples=request.num_samples,
+                )
+                lane.note_done()
+            if self._on_batch is not None:
+                self._on_batch(lane.name, requests)
+
+    def _fail_request(self, lane: _Lane, request: Request, error: BaseException) -> None:
+        if not request.future.cancelled():
+            try:
+                request.future.set_exception(error)
+            except InvalidStateError:
+                pass
+        lane.metrics.record_failed()
+        lane.note_done()
+
+    # ------------------------------------------------------------------ #
+    # telemetry
+    # ------------------------------------------------------------------ #
+    def metrics(self, model_name: Optional[str] = None) -> Dict[str, object]:
+        """Telemetry snapshot: one model's, or every model's plus totals."""
+        if model_name is not None:
+            lane = self._lane(model_name)
+            return lane.metrics.snapshot(queue_depth=lane.queue.depth)
+        with self._lock:  # live registration mutates _lanes concurrently
+            lanes = dict(self._lanes)
+        models = {
+            name: lane.metrics.snapshot(queue_depth=lane.queue.depth)
+            for name, lane in lanes.items()
+        }
+        totals = {
+            "requests_admitted": sum(l.metrics.admitted for l in lanes.values()),
+            "requests_completed": sum(l.metrics.completed for l in lanes.values()),
+            "requests_failed": sum(l.metrics.failed for l in lanes.values()),
+            "requests_rejected": sum(l.metrics.rejected for l in lanes.values()),
+            "samples_completed": sum(l.metrics.samples for l in lanes.values()),
+            "batches_served": sum(l.metrics.batches for l in lanes.values()),
+        }
+        return {
+            "server": {
+                "running": self.running,
+                "max_batch_size": self.max_batch_size,
+                "max_delay_ms": self.max_delay_ms,
+                "max_queue_depth": self.max_queue_depth,
+                "models_hosted": self.registry.describe(),
+                **totals,
+            },
+            "models": models,
+        }
+
+    def metrics_json(self, model_name: Optional[str] = None, indent: int = 2) -> str:
+        return json.dumps(self.metrics(model_name), indent=indent)
+
+    def __repr__(self) -> str:
+        state = "running" if self.running else ("stopped" if self._closed else "idle")
+        return (
+            f"ModelServer(models={self.registry.names()}, state={state}, "
+            f"max_batch_size={self.max_batch_size}, max_delay_ms={self.max_delay_ms})"
+        )

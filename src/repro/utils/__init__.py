@@ -3,7 +3,13 @@
 from .logging import LogEntry, RunLogger
 from .rng import SeedSequenceFactory, seed_everything, spawn_generators
 from .serialization import checkpoint_bits, load_checkpoint, save_checkpoint
-from .timing import StopwatchRegistry, Timer, best_mean_seconds
+from .timing import (
+    RollingHistogram,
+    StopwatchRegistry,
+    Timer,
+    best_mean_seconds,
+    percentile,
+)
 
 __all__ = [
     "LogEntry",
@@ -14,7 +20,9 @@ __all__ = [
     "checkpoint_bits",
     "load_checkpoint",
     "save_checkpoint",
+    "RollingHistogram",
     "StopwatchRegistry",
     "Timer",
     "best_mean_seconds",
+    "percentile",
 ]

@@ -137,6 +137,115 @@ class TestBatchingAndLifecycle:
             InferenceEngine(cnn).predict_logits(np.zeros((1, 3, 12, 12)), batch_size=-1)
 
 
+class TestStalenessCheck:
+    def test_refresh_skipped_on_frozen_weights(self, cnn, rng):
+        x = rng.standard_normal((2, 3, 12, 12)).astype(np.float32)
+        engine = InferenceEngine(cnn)
+        engine.predict_logits(x)  # traces + first refresh
+        calls = []
+        original = engine.plan.refresh
+        engine.plan.refresh = lambda: (calls.append(1), original())[-1]
+        engine.predict_logits(x)
+        engine.predict_logits(x)
+        assert calls == []  # nothing changed: serving skips the re-resolve
+
+    def test_refresh_reruns_after_version_bump_and_bits_change(self, cnn, rng):
+        x = rng.standard_normal((2, 3, 12, 12)).astype(np.float32)
+        engine = InferenceEngine(cnn)
+        engine.predict_logits(x)
+        calls = []
+        original = engine.plan.refresh
+        engine.plan.refresh = lambda: (calls.append(1), original())[-1]
+
+        layer = next(iter(cnn.quantizable_layers().values()))
+        layer.weight.data = layer.weight.data + 0.25
+        layer.weight.bump_version()
+        engine.predict_logits(x)
+        assert len(calls) == 1
+
+        cnn.apply_assignment(
+            {name: (layer.bits if layer.pinned else 2)
+             for name, layer in cnn.quantizable_layers().items()}
+        )
+        engine.predict_logits(x)
+        assert len(calls) == 2
+
+        engine.predict_logits(x)
+        assert len(calls) == 2  # steady state again
+
+    def test_refresh_true_escape_hatch_forces_rerun(self, cnn, rng):
+        x = rng.standard_normal((2, 3, 12, 12)).astype(np.float32)
+        engine = InferenceEngine(cnn)
+        engine.predict_logits(x)
+        calls = []
+        original = engine.plan.refresh
+        engine.plan.refresh = lambda: (calls.append(1), original())[-1]
+        engine.predict_logits(x, refresh=True)
+        engine.predict_logits(x, refresh=True)
+        assert len(calls) == 2
+
+    def test_bn_statistics_updates_are_caught(self, cnn, rng):
+        # Running-stat updates bump no version counter; the token's BN sums
+        # must catch them anyway.
+        x = rng.standard_normal((2, 3, 12, 12)).astype(np.float32)
+        engine = InferenceEngine(cnn)
+        before = engine.predict_logits(x)
+        cnn.train()
+        cnn(Tensor(rng.standard_normal((16, 3, 12, 12)).astype(np.float32) * 3.0))
+        cnn.eval()
+        after = engine.predict_logits(x)
+        assert np.abs(after - before).max() > 1e-4
+
+    def test_integer_fallback_session_reused_until_stale(self, rng, monkeypatch):
+        from repro.quant import integer_inference
+
+        model = _warmed_model(
+            resnet18, (3, 16, 16), rng,
+            num_classes=4, width_multiplier=0.125, input_size=16, seed=0,
+        )
+        x = rng.standard_normal((2, 3, 16, 16)).astype(np.float32)
+        constructed = []
+        original = integer_inference.IntegerInferenceSession
+
+        class CountingSession(original):
+            def __init__(self, *args, **kwargs):
+                constructed.append(1)
+                super().__init__(*args, **kwargs)
+
+        monkeypatch.setattr(integer_inference, "IntegerInferenceSession", CountingSession)
+        engine = InferenceEngine(model, mode="integer")
+        engine.predict_logits(x)
+        engine.predict_logits(x)
+        assert len(constructed) == 1  # frozen weights: one export, many calls
+
+        layer = next(iter(model.quantizable_layers().values()))
+        layer.weight.data = layer.weight.data + 0.1
+        layer.weight.bump_version()
+        engine.predict_logits(x)
+        assert len(constructed) == 2
+
+
+class TestFallbackWarning:
+    def test_fallback_warns_once_per_engine_not_per_predict(self, rng):
+        model = _warmed_model(
+            resnet18, (3, 16, 16), rng,
+            num_classes=4, width_multiplier=0.125, input_size=16, seed=0,
+        )
+        x = rng.standard_normal((2, 3, 16, 16)).astype(np.float32)
+        engine = InferenceEngine(model)
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings(record=True) as caught:
+            warnings_module.simplefilter("always")
+            for _ in range(4):
+                engine.predict_logits(x)
+        fallback_warnings = [
+            w for w in caught if "module path" in str(w.message)
+        ]
+        assert len(fallback_warnings) == 1
+        assert engine.uses_fallback
+
+
 class TestFallback:
     def test_resnet_falls_back_and_stays_correct(self, rng):
         model = _warmed_model(

@@ -8,13 +8,53 @@ import numpy as np
 import pytest
 
 from repro.utils import (
+    RollingHistogram,
     RunLogger,
     SeedSequenceFactory,
     StopwatchRegistry,
     Timer,
+    percentile,
     seed_everything,
     spawn_generators,
 )
+
+
+class TestPercentile:
+    def test_matches_numpy_linear_interpolation(self):
+        values = [3.0, 1.0, 4.0, 1.5, 9.0, 2.6, 5.3]
+        for q in (0, 10, 50, 95, 99, 100):
+            assert percentile(values, q) == pytest.approx(np.percentile(values, q))
+
+    def test_single_value_and_bad_inputs(self):
+        assert percentile([7.0], 99) == 7.0
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestRollingHistogram:
+    def test_totals_cover_all_window_covers_recent(self):
+        hist = RollingHistogram(capacity=4)
+        for value in [10.0, 20.0, 30.0, 40.0, 50.0, 60.0]:
+            hist.add(value)
+        assert hist.count == 6
+        assert hist.mean() == pytest.approx(35.0)  # over all six
+        assert hist.max() == 60.0
+        assert sorted(hist.window) == [30.0, 40.0, 50.0, 60.0]  # last four
+        assert hist.percentile(100) == 60.0
+        assert hist.percentile(0) == 30.0  # 10/20 already evicted
+
+    def test_summary_labels_and_empty_behaviour(self):
+        hist = RollingHistogram()
+        assert hist.summary()["count"] == 0.0
+        assert hist.percentile(50) == 0.0
+        hist.add(2.0)
+        summary = hist.summary(percentiles=(50, 99.9))
+        assert summary["p50"] == 2.0
+        assert summary["p99_9"] == 2.0
+        with pytest.raises(ValueError):
+            RollingHistogram(capacity=0)
 
 
 class TestRng:
