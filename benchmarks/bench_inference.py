@@ -19,15 +19,24 @@ Three workloads:
 * **integer inference**: :class:`IntegerInferenceSession` with the pre-PR
   float64-einsum kernels (reproduced locally) versus the session on the
   backend's integer GEMM kernels, plus the integer-mode engine.
+* **residual serving** (ISSUE 4): a queue of single-image ResNet18 requests.
+  Before residual-graph compilation the engine fell back to the module path,
+  so each ``predict`` call ran the full autograd-module forward; the
+  compiled engine serves the same queue through one batched call over its
+  fused residual plan.  The report also records the batched module path (the
+  best the fallback could do with perfect batching) so the plan-vs-module
+  gap is visible separately from the batching win.
 
 Run it directly::
 
     PYTHONPATH=src python benchmarks/bench_inference.py
 
 Exit status is non-zero if the engine's batched eval is not at least
-``EVAL_MIN_SPEEDUP`` times faster than the pre-PR serving path, or the
+``EVAL_MIN_SPEEDUP`` times faster than the pre-PR serving path, the
 integer session is not at least ``INT_MIN_SPEEDUP`` times faster than its
-pre-PR kernels.
+pre-PR kernels, the compiled ResNet engine is not at least
+``RESNET_MIN_SPEEDUP`` times faster than the per-request module path —
+or a ResNet engine falls back at all.
 """
 
 from __future__ import annotations
@@ -35,11 +44,12 @@ from __future__ import annotations
 import json
 import os
 import sys
+import time
 
 import numpy as np
 
 from repro.core.trainer import evaluate_model
-from repro.models import vgg16
+from repro.models import resnet18, vgg16
 from repro.nn import CrossEntropyLoss, Tensor
 from repro.nn import functional as F
 from repro.nn.tensor import no_grad
@@ -56,8 +66,13 @@ OUTPUT_PATH = os.path.join(HERE, "BENCH_inference.json")
 # and integer inference vs its pre-PR float64-einsum kernels.
 EVAL_MIN_SPEEDUP = 5.0
 INT_MIN_SPEEDUP = 3.0
+# Acceptance floor (ISSUE 4): compiled-ResNet serving vs the per-request
+# module path the fallback engine ran before residual-graph compilation.
+RESNET_MIN_SPEEDUP = 2.0
 
 NUM_REQUESTS = 16
+RESNET_REQUESTS = 32
+RESNET_WIDTH = 0.125  # edge-deployment width, matching the serving tests
 THROUGHPUT_BATCH = 64
 REPEATS = 2
 MIN_SECONDS = 0.8
@@ -99,6 +114,26 @@ class _legacy_integer_kernels:
         integer_inference_module.integer_linear = self._linear
 
 
+def _interleaved_best(fns, rounds: int = 4, min_seconds: float = 0.3):
+    """Best single-call latency per function, measured in interleaved rounds.
+
+    Sequential measurement is unfair on a throttling single-core box: the
+    path measured last runs hottest.  Interleaving spreads any progressive
+    slowdown across all candidates, and the per-call minimum (rather than a
+    window mean) ignores throttled outliers, so the *ratio* stays
+    trustworthy.
+    """
+    best = [float("inf")] * len(fns)
+    for _ in range(rounds):
+        for index, fn in enumerate(fns):
+            start = time.perf_counter()
+            while time.perf_counter() - start < min_seconds:
+                call_start = time.perf_counter()
+                fn()
+                best[index] = min(best[index], time.perf_counter() - call_start)
+    return best
+
+
 def _pre_pr_evaluate(model, batches) -> float:
     """The evaluate_model loop exactly as it ran before this PR."""
     criterion = CrossEntropyLoss()
@@ -134,7 +169,11 @@ def main() -> int:
 
     report = {
         "workload": "VGG16 width=1.0, CIFAR-10 input 3x32x32, mixed 4/2-bit assignment",
-        "floors": {"eval_min_speedup": EVAL_MIN_SPEEDUP, "int_min_speedup": INT_MIN_SPEEDUP},
+        "floors": {
+            "eval_min_speedup": EVAL_MIN_SPEEDUP,
+            "int_min_speedup": INT_MIN_SPEEDUP,
+            "resnet_min_speedup": RESNET_MIN_SPEEDUP,
+        },
         "cases": {},
     }
     ok = True
@@ -248,13 +287,81 @@ def main() -> int:
     if integer_speedup < INT_MIN_SPEEDUP:
         ok = False
 
+    # ------------------------------------------------------------------ #
+    # 4. residual serving: compiled ResNet plans vs the module path
+    # ------------------------------------------------------------------ #
+    print(f"building ResNet18 (width {RESNET_WIDTH}, CIFAR geometry)...")
+    resnet = resnet18(num_classes=10, width_multiplier=RESNET_WIDTH, input_size=32, seed=0)
+    resnet_free = [
+        name for name, layer in resnet.quantizable_layers().items() if not layer.pinned
+    ]
+    resnet.apply_assignment(
+        {name: (4 if index % 2 == 0 else 2) for index, name in enumerate(resnet_free)}
+    )
+    resnet(Tensor(rng.standard_normal((8, 3, 32, 32)).astype(np.float32)))  # BN stats
+    resnet.eval()
+    resnet_requests = rng.standard_normal((RESNET_REQUESTS, 3, 32, 32)).astype(np.float32)
+
+    def resnet_module_serve() -> np.ndarray:
+        # The pre-compilation serving path: every predict call dropped to the
+        # module forward (the engine's fallback), one request at a time.
+        with no_grad():
+            return np.concatenate(
+                [resnet(Tensor(resnet_requests[i : i + 1])).data for i in range(RESNET_REQUESTS)]
+            )
+
+    def resnet_module_batched() -> np.ndarray:
+        # Upper bound for the fallback: the whole queue in one module call.
+        with no_grad():
+            return resnet(Tensor(resnet_requests)).data
+
+    resnet_engine = InferenceEngine(resnet, batch_size=RESNET_REQUESTS)
+
+    def resnet_engine_serve() -> np.ndarray:
+        return resnet_engine.predict_logits(resnet_requests)
+
+    resnet_agreement = float(
+        (resnet_module_serve().argmax(axis=-1) == resnet_engine_serve().argmax(axis=-1)).mean()
+    )
+    compiled = not resnet_engine.uses_fallback
+    module_latency, batched_latency, plan_latency = _interleaved_best(
+        [resnet_module_serve, resnet_module_batched, resnet_engine_serve]
+    )
+    resnet_speedup = module_latency / plan_latency
+    plan_meta = resnet_engine.plan_report()["plan"] or {}
+    report["cases"]["resnet_serving"] = {
+        "description": (
+            f"{RESNET_REQUESTS} queued single-image ResNet18 requests "
+            f"(width {RESNET_WIDTH}, mixed 4/2-bit assignment)"
+        ),
+        "compiled": compiled,
+        "module_ms_per_image": round(module_latency / RESNET_REQUESTS * 1e3, 3),
+        "module_batched_ms_per_image": round(batched_latency / RESNET_REQUESTS * 1e3, 3),
+        "engine_ms_per_image": round(plan_latency / RESNET_REQUESTS * 1e3, 3),
+        "speedup": round(resnet_speedup, 2),
+        "speedup_vs_batched_module": round(batched_latency / plan_latency, 2),
+        "prediction_agreement": resnet_agreement,
+        "residual_joins": plan_meta.get("residual_joins"),
+        "identity_shortcuts": plan_meta.get("identity_shortcuts"),
+        "projection_shortcuts": plan_meta.get("projection_shortcuts"),
+    }
+    print(
+        f"resnet serving: module {module_latency / RESNET_REQUESTS * 1e3:.2f} ms/img "
+        f"(batched {batched_latency / RESNET_REQUESTS * 1e3:.2f}), engine "
+        f"{plan_latency / RESNET_REQUESTS * 1e3:.2f} ms/img "
+        f"({resnet_speedup:.2f}x, compiled={compiled}, agreement {resnet_agreement:.3f})"
+    )
+    if not compiled or resnet_speedup < RESNET_MIN_SPEEDUP:
+        ok = False
+
     with open(OUTPUT_PATH, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")
     print(f"wrote {OUTPUT_PATH}")
     if not ok:
         print(
-            f"FAIL: below the {EVAL_MIN_SPEEDUP}x eval or {INT_MIN_SPEEDUP}x integer floor",
+            f"FAIL: below the {EVAL_MIN_SPEEDUP}x eval, {INT_MIN_SPEEDUP}x integer "
+            f"or {RESNET_MIN_SPEEDUP}x compiled-ResNet floor (or ResNet fell back)",
             file=sys.stderr,
         )
         return 1

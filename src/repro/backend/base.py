@@ -234,6 +234,20 @@ class ArrayBackend:
         out = self.int_conv2d(x, w_mat, kernel, stride, padding, scale=scale, bias=bias)
         return np.ascontiguousarray(np.moveaxis(out, 1, 0))
 
+    def residual_add(self, acc: np.ndarray, identity: np.ndarray, inplace: bool = False) -> np.ndarray:
+        """Residual join: elementwise ``acc + identity`` for compiled plans.
+
+        ``identity`` may be a transposed (layout-permuted) view; the result
+        is bitwise-identical to ``acc + identity`` either way.  When
+        ``inplace`` is set the caller guarantees ``acc`` is a fresh,
+        exclusively-owned buffer, so backends may accumulate into it and
+        avoid the allocation on the serving hot path.
+        """
+        if inplace and acc.flags.writeable and acc.shape == identity.shape:
+            np.add(acc, identity, out=acc)
+            return acc
+        return acc + identity
+
     def int_linear(self, x: np.ndarray, w: np.ndarray, scale=None, bias=None) -> np.ndarray:
         """Fully connected product ``x @ w.T`` with post-accumulation rescale.
 

@@ -238,6 +238,14 @@ class FastNumpyBackend(ArrayBackend):
         sh, sw = stride
         oc = w_mat.shape[0]
         oh, ow = self._output_geometry((n, c) + x_cm.shape[2:], kernel, stride, padding)
+        if (kh, kw) == (1, 1) and padding == (0, 0):
+            # Pointwise convolution (the ResNet downsample projection): the
+            # column matrix IS the (strided) input — skip the window view
+            # and scratch copy and go straight to the GEMM.
+            sub = x_cm if (sh, sw) == (1, 1) else x_cm[:, :, ::sh, ::sw]
+            acc = np.matmul(w_mat, np.ascontiguousarray(sub).reshape(c, -1))
+            self._scale_bias_inplace(acc, scale, bias, channel_axis=0)
+            return acc.reshape(oc, n, oh, ow)
         padded = self._padded_input(x_cm, padding[0], padding[1], reuse=True)
         s = padded.strides
         windows = np.lib.stride_tricks.as_strided(

@@ -18,11 +18,11 @@ through this interface:
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..core.policy import LayerSpec
 from ..nn.modules import Module
-from ..quant.qmodules import QuantizedLayer
+from ..quant.qmodules import QConv2d, QuantizedLayer
 
 __all__ = ["QuantizableModel"]
 
@@ -80,6 +80,32 @@ class QuantizableModel(Module):
 
     def main_layer_names(self) -> List[str]:
         return list(self._main_names)
+
+    def example_input_shape(self) -> Optional[Tuple[int, int, int]]:
+        """Static per-sample probe shape ``(C, H, W)``, when known.
+
+        Built from the ``input_size`` attribute the concrete constructors
+        record; the channel count comes from an ``input_channels`` attribute
+        when present, else from the first registered convolution's weight
+        shape.  Serving uses the hint to trace inference plans eagerly
+        (:meth:`~repro.serve.InferenceEngine.warmup`) instead of waiting for
+        the first request to reveal the input geometry.  Returns ``None``
+        when the geometry cannot be determined.
+        """
+        size = getattr(self, "input_size", None)
+        if size is None:
+            return None
+        channels = getattr(self, "input_channels", None)
+        if channels is None:
+            # Registration order is forward order: the first conv is the stem.
+            channels = next(
+                (layer.in_channels for layer in self._qlayers.values()
+                 if isinstance(layer, QConv2d)),
+                None,
+            )
+        if channels is None:
+            return None
+        return (int(channels), int(size), int(size))
 
     def num_quantizable_layers(self) -> int:
         return len(self._qlayers)

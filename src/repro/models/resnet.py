@@ -109,6 +109,9 @@ class ResNet(QuantizableModel):
         rng = np.random.default_rng(seed)
         self.num_classes = num_classes
         self.input_size = input_size
+        # Static probe-shape hint: lets InferenceEngine.warmup() trace the
+        # residual graph eagerly, before the first request reveals the shape.
+        self.input_channels = input_channels
 
         def scaled(channels: int) -> int:
             return max(1, int(round(channels * width_multiplier)))

@@ -1,14 +1,17 @@
 """Serving-grade inference for BMPQ models.
 
 The training stack optimises for gradient fidelity; this package optimises
-the *read path*.  :class:`InferencePlan` traces a model once and compiles a
-fused, channel-major, allocation-light evaluation pipeline (eval-mode
-BatchNorm folded into the convolution's per-channel scale/bias, PACT
-clipping applied in-place on the GEMM accumulator, quantized weights served
-from a version-keyed cache); :class:`InferenceEngine` wraps it with lazy
-tracing, batched prediction and a module-path fallback for models the
-tracer cannot linearise.  ``mode="integer"`` serves the deployed
-integer-code domain through the same machinery.
+the *read path*.  :class:`InferencePlan` traces a model's leaf-layer DAG —
+linear chains and residual joins (identity and downsample shortcuts) alike
+— and compiles a fused, channel-major, allocation-light evaluation pipeline
+(eval-mode BatchNorm folded into the convolution's per-channel scale/bias,
+PACT clipping applied in-place on the GEMM accumulator, shortcut values
+spilled/joined by save/residual-add steps, quantized weights served from a
+version-keyed cache); :class:`InferenceEngine` wraps it with lazy tracing,
+batched prediction, a :meth:`~InferenceEngine.plan_report` describing what
+compiled, and a module-path fallback for glue the tracer genuinely cannot
+compile.  ``mode="integer"`` serves the deployed integer-code domain
+through the same machinery.
 
 On top of the engine sits the serving *frontend*
 (:mod:`repro.serve.frontend`): :class:`ModelServer` hosts multiple named
@@ -31,12 +34,13 @@ from .frontend import (
     ServerMetrics,
     ServerOverloaded,
 )
-from .plan import InferencePlan, PlanTraceError
+from .plan import InferencePlan, PlanTraceError, PlanVerifyError
 
 __all__ = [
     "InferenceEngine",
     "InferencePlan",
     "PlanTraceError",
+    "PlanVerifyError",
     "DynamicBatcher",
     "ModelEntry",
     "ModelRegistry",

@@ -22,12 +22,19 @@ plan itself does not:
   (as everywhere else in the stack) — pass ``refresh=True`` to force a
   re-resolve.  The model's train/eval mode is restored even when a forward
   raises;
-* **fallback** — models the tracer cannot linearise (ResNet residual
-  topology) degrade gracefully to the module forward path under ``no_grad``,
-  which still benefits from the quantized-weight cache, instead of failing.
-  The fallback is announced with a single warning per engine instance —
-  never per ``predict`` call — so a server hosting a residual model does not
-  spam its logs.  In integer mode the fallback's
+* **fallback** — models the tracer genuinely cannot compile (glue beyond
+  residual additions: multiplicative joins, concatenations, untraced
+  arithmetic) degrade gracefully to the module forward path under
+  ``no_grad``, which still benefits from the quantized-weight cache, instead
+  of failing.  Residual topologies themselves — ResNet identity and
+  downsample shortcuts — now compile to plans, so the fallback is reserved
+  for the exotic cases.  The fallback is announced with a single warning per
+  engine instance — never per ``predict`` call — so a server hosting such a
+  model does not spam its logs; :meth:`plan_report` says what compiled (or
+  why not) without re-reading warnings.  A ``predict(..., refresh=True)``
+  call retries the trace, and a successful compile *upgrades* the engine off
+  the fallback path (clearing the warning state so a later regression warns
+  again).  In integer mode the fallback's
   :class:`~repro.quant.IntegerInferenceSession` (which freezes its exports
   at construction) is cached under the same staleness token, so frozen-weight
   serving does not rebuild it per call.
@@ -40,7 +47,7 @@ accumulation exactly as in :class:`~repro.quant.IntegerInferenceSession`.
 from __future__ import annotations
 
 import warnings
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -78,6 +85,8 @@ class InferenceEngine:
         self._plan: Optional[InferencePlan] = None
         self._fallback = False
         self._fallback_warned = False
+        self._fallback_reason: Optional[str] = None
+        self._upgraded = False
         self._refresh_token: Optional[Tuple] = None
         self._fallback_run: Optional[Callable[[np.ndarray], np.ndarray]] = None
         self._fallback_token: Optional[Tuple] = None
@@ -106,19 +115,39 @@ class InferenceEngine:
             # The model traced fine but the compiled plan failed numerical
             # verification — that is a compiler problem, not an expected
             # topology limitation, so the fallback must not be silent.
+            self._fallback_reason = f"verification failed: {error}"
             self._warn_fallback_once(
                 f"compiled inference plan failed verification; falling back "
                 f"to the module path ({error})"
             )
             self._fallback = True
         except PlanTraceError as error:
-            # Expected for non-linear topologies (residual models); announced
-            # once per engine instance so servers are not spammed per call.
+            # Expected for genuinely unsupported glue (non-additive joins);
+            # announced once per engine instance so servers are not spammed.
+            self._fallback_reason = f"untraceable: {error}"
             self._warn_fallback_once(
-                f"model cannot be compiled to a linear inference plan; "
+                f"model cannot be compiled to an inference plan; "
                 f"serving through the module path ({error})"
             )
             self._fallback = True
+
+    def _retry_plan(self, input_shape) -> None:
+        """``refresh=True`` on a fallen-back engine: try to compile again.
+
+        A model that was untraceable at first predict may have been repaired
+        since (glue rewritten, architecture flag flipped).  On success the
+        engine *upgrades*: the fallback flag, the cached fallback session and
+        the once-per-instance warning state are all cleared, so the upgrade
+        is visible in :meth:`plan_report` and a later regression warns anew.
+        """
+        self._fallback = False
+        self._ensure_plan(input_shape)
+        if self._plan is not None:
+            self._fallback_warned = False
+            self._fallback_reason = None
+            self._fallback_run = None
+            self._fallback_token = None
+            self._upgraded = True
 
     def _warn_fallback_once(self, message: str) -> None:
         if self._fallback_warned:
@@ -199,7 +228,10 @@ class InferenceEngine:
         self.model.eval()
         try:
             with no_grad():
-                self._ensure_plan(array.shape)
+                if refresh and self._fallback:
+                    self._retry_plan(array.shape)
+                else:
+                    self._ensure_plan(array.shape)
                 if self._plan is not None:
                     self._refresh_plan(force=refresh)
                     run = self._plan.run
@@ -220,6 +252,79 @@ class InferenceEngine:
     ) -> np.ndarray:
         """Class predictions (argmax over the last logits axis)."""
         return self.predict_logits(inputs, batch_size=batch_size, refresh=refresh).argmax(axis=-1)
+
+    # ------------------------------------------------------------------ #
+    # introspection / eager tracing
+    # ------------------------------------------------------------------ #
+    def warmup(
+        self,
+        input_shape: Optional[Tuple[int, ...]] = None,
+        require_compiled: bool = True,
+    ) -> "InferenceEngine":
+        """Trace and refresh the plan before the first request arrives.
+
+        ``input_shape`` is the per-sample shape ``(C, H, W)``; when omitted
+        it is taken from the model's static hint
+        (:meth:`~repro.models.base.QuantizableModel.example_input_shape`),
+        so ``InferenceEngine(resnet18(...)).warmup()`` is enough to move the
+        trace cost out of the first served request.
+
+        A caller warming eagerly almost always wants compiled-plan serving
+        guaranteed, so by default a trace failure raises
+        :class:`~repro.serve.PlanTraceError` here — at deploy time — instead
+        of letting every request silently pay module-path latency.  Pass
+        ``require_compiled=False`` to accept the graceful fallback (the
+        lazy-trace behaviour of a plain ``predict``).
+        """
+        if input_shape is None:
+            hint = getattr(self.model, "example_input_shape", None)
+            input_shape = hint() if callable(hint) else None
+            if input_shape is None:
+                raise ValueError(
+                    "the model provides no input-shape hint; pass "
+                    "input_shape=(C, H, W) explicitly"
+                )
+        was_training = self.model.training
+        self.model.eval()
+        try:
+            with no_grad():
+                self._ensure_plan((1, *tuple(input_shape)))
+                if self._plan is not None:
+                    self._refresh_plan(force=False)
+        finally:
+            self.model.train(was_training)
+        if require_compiled and self._fallback:
+            raise PlanTraceError(
+                f"warmup could not compile a plan ({self._fallback_reason}); "
+                "pass require_compiled=False to serve through the module-path "
+                "fallback"
+            )
+        return self
+
+    def plan_report(self) -> Dict[str, object]:
+        """What compiled — or why not — as a JSON-friendly dict.
+
+        ``state`` is ``"untraced"`` (no predict yet), ``"compiled"`` or
+        ``"fallback"``; ``fallback_reason`` carries the trace/verify error
+        text; ``upgraded_after_fallback`` records that a ``refresh=True``
+        retry successfully compiled a plan after an earlier fallback; the
+        ``plan`` entry is :meth:`InferencePlan.describe` (step kinds,
+        residual joins, identity vs projection shortcuts, fusion counts).
+        """
+        if self._fallback:
+            state = "fallback"
+        elif self._plan is not None:
+            state = "compiled"
+        else:
+            state = "untraced"
+        return {
+            "state": state,
+            "mode": self.mode,
+            "uses_fallback": self._fallback,
+            "fallback_reason": self._fallback_reason,
+            "upgraded_after_fallback": self._upgraded,
+            "plan": self._plan.describe() if self._plan is not None else None,
+        }
 
     def __repr__(self) -> str:
         state = "fallback" if self._fallback else ("compiled" if self._plan else "untraced")

@@ -49,6 +49,13 @@ class ServerMetrics:
         self.batches = 0
         self.samples = 0
         self.depth_highwater = 0
+        # Which engine path served each request: compiled plan vs the
+        # module-path fallback.  A hosted model that should be serving from
+        # a compiled plan but shows fallback counts here is paying the
+        # module path's latency — the operator-facing readout of the
+        # engine's plan_report.
+        self.served_compiled = 0
+        self.served_fallback = 0
         self._first_admit: Optional[float] = None
         self._last_done: Optional[float] = None
 
@@ -89,6 +96,14 @@ class ServerMetrics:
             self._batch_occupancy[num_samples] = self._batch_occupancy.get(num_samples, 0) + 1
             self._service.add(service_seconds)
 
+    def record_served_path(self, num_requests: int, fallback: bool) -> None:
+        """Attribute ``num_requests`` served requests to an engine path."""
+        with self._lock:
+            if fallback:
+                self.served_fallback += num_requests
+            else:
+                self.served_compiled += num_requests
+
     # ------------------------------------------------------------------ #
     # reporting
     # ------------------------------------------------------------------ #
@@ -120,6 +135,10 @@ class ServerMetrics:
                     "failed": self.failed,
                     "cancelled": self.cancelled,
                     "rejected": self.rejected,
+                },
+                "engine_path": {
+                    "compiled": self.served_compiled,
+                    "fallback": self.served_fallback,
                 },
                 "samples_completed": self.samples,
                 "batches": {

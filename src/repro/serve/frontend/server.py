@@ -429,6 +429,12 @@ class ModelServer:
                 continue
             done = time.monotonic()
             lane.metrics.record_batch(int(stacked.shape[0]), done - formed)
+            # Attribute the served requests to the engine path that ran them
+            # (read after the call: the first predict is what traces the
+            # plan or falls back).
+            lane.metrics.record_served_path(
+                len(requests), fallback=lane.engine.uses_fallback
+            )
             offset = 0
             for request in requests:
                 rows = logits[offset : offset + request.num_samples]
@@ -475,6 +481,8 @@ class ModelServer:
             "requests_completed": sum(l.metrics.completed for l in lanes.values()),
             "requests_failed": sum(l.metrics.failed for l in lanes.values()),
             "requests_rejected": sum(l.metrics.rejected for l in lanes.values()),
+            "requests_compiled": sum(l.metrics.served_compiled for l in lanes.values()),
+            "requests_fallback": sum(l.metrics.served_fallback for l in lanes.values()),
             "samples_completed": sum(l.metrics.samples for l in lanes.values()),
             "batches_served": sum(l.metrics.batches for l in lanes.values()),
         }

@@ -1,15 +1,18 @@
 """Traced, compiled inference plans: the read path without the graph.
 
 A :class:`InferencePlan` is built once per model by running a single probe
-forward pass that records the ordered sequence of leaf layers, then compiling
-that sequence into raw-``ndarray`` steps with three serving-grade
-optimizations the module path cannot perform:
+forward pass that records every leaf-layer application *and* every
+glue-level tensor addition as a producer/consumer graph keyed by tensor
+identity, then compiling that graph into raw-``ndarray`` steps with three
+serving-grade optimizations the module path cannot perform:
 
 * **Operator fusion** — eval-mode BatchNorm is folded into the preceding
   convolution/linear as a per-output-channel scale and bias applied to the
   GEMM accumulator, and the PACT clip + activation-quantization staircase is
   applied in-place on the same buffer.  No autograd tensors, no STE masks,
-  no per-layer Python dispatch.
+  no per-layer Python dispatch.  Fusion is graph-aware: a BatchNorm or PACT
+  is folded only when it is the *sole* consumer of its producer's output, so
+  residual join points are never fused across.
 * **Channel-major layout** — between convolutions activations live as
   ``(C, N, H, W)`` so every convolution is ONE
   ``(oc, F) @ (F, N*oh*ow)`` GEMM (see
@@ -20,20 +23,43 @@ optimizations the module path cannot perform:
   version-keyed cache means :meth:`InferencePlan.refresh` costs O(channels),
   not O(weights), while the model is unchanged.
 
-Tracing only supports models whose leaf layers form a linear chain (the
-VGG/simple-CNN family; an ``x.flatten(1)`` between the feature extractor and
-the classifier is recognised from the recorded shapes).  Models with other
-glue — e.g. ResNet residual additions — raise :class:`PlanTraceError`, which
+Tracing supports models whose leaf layers form a **DAG glued by residual
+additions**: the VGG/simple-CNN linear chains, and ResNet-style topologies
+where a block input is re-used by an identity shortcut or routed through a
+1x1 downsample projection and added back into the main path.  Branch values
+are kept alive by :class:`_SaveStep`/:class:`_LoadStep` register spills and
+joined by :class:`_ResidualAddStep`.  Glue the compiler does not understand
+— multiplicative joins, concatenations, re-entrant values produced outside
+the traced ops — raises :class:`PlanTraceError`, which
 :class:`~repro.serve.engine.InferenceEngine` turns into a graceful fallback
-to the module path.  Every successful trace is verified: the compiled plan
-replays the probe input and must agree with the model's own eval-mode forward
-pass, so a structural mis-compile can never serve silently wrong numbers.
+to the module path.
+
+Two compilation flavours share the same graph:
+
+* ``optimize=True`` (the serving default) emits the fused, channel-major
+  steps described above.  Fused kernels re-order float accumulation, so
+  parity with the module path is *to tolerance* (and under a PACT staircase
+  an isolated rounding-boundary flip is legitimate).
+* ``optimize=False`` emits **reference steps** that replay the exact same
+  functional ops the module path executes (same backend calls, same
+  operand order, NCHW layout, no fusion).  A reference plan's logits are
+  **bitwise identical** to ``model.eval()`` (float mode) and to
+  :class:`~repro.quant.IntegerInferenceSession` (integer mode), which is
+  what the randomized parity harness in ``tests/serve`` asserts: it proves
+  the *graph* compilation — join detection, save/load linearization,
+  shortcut routing — is exactly right, independent of fusion round-off.
+
+Every successful trace is verified: the compiled plan replays probe inputs
+and must agree with the model's own eval-mode forward pass (bitwise for
+reference plans), so a structural mis-compile can never serve silently
+wrong numbers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -81,18 +107,22 @@ _FLAT = "NF"  # (N, features)
 
 
 class PlanTraceError(RuntimeError):
-    """The model's forward pass cannot be compiled to a linear plan."""
+    """The model's forward pass cannot be compiled to a plan."""
 
 
 class PlanVerifyError(PlanTraceError):
     """The compiled plan disagrees with the model on every probe.
 
-    Unlike a plain :class:`PlanTraceError` (expected for residual
-    topologies), this indicates a mis-compile: the engine still falls back
-    to the module path, but warns, so broken plans never degrade silently.
+    Unlike a plain :class:`PlanTraceError` (expected for genuinely
+    unsupported glue), this indicates a mis-compile: the engine still falls
+    back to the module path, but warns, so broken plans never degrade
+    silently.
     """
 
 
+# --------------------------------------------------------------------------- #
+# tracing
+# --------------------------------------------------------------------------- #
 @dataclass
 class _TraceEvent:
     # The tensors are held by reference (not id()) so every intermediate
@@ -105,53 +135,256 @@ class _TraceEvent:
     output_shape: Tuple[int, ...]
 
 
-def _trace_leaf_calls(model, probe: Tensor) -> Tuple[List[_TraceEvent], Tensor]:
-    """Run ``model(probe)`` recording every leaf-module application in order."""
-    events: List[_TraceEvent] = []
-    original_call = Module.__call__
+@dataclass
+class _AddEvent:
+    # A glue-level ``lhs + rhs`` between leaf calls — the residual join.
+    lhs: Tensor
+    rhs: Tensor
+    output_tensor: Tensor
 
-    def tracing_call(module, *args, **kwargs):
-        out = original_call(module, *args, **kwargs)
-        if (
-            isinstance(module, _LEAF_TYPES)
-            and len(args) == 1
-            and not kwargs
-            and isinstance(args[0], Tensor)
-            and isinstance(out, Tensor)
-        ):
-            events.append(_TraceEvent(module, args[0], out, args[0].shape, out.shape))
-        return out
 
-    Module.__call__ = tracing_call
-    try:
-        output = model(probe)
-    finally:
-        Module.__call__ = original_call
+# Tracing patches class-level dunders, so concurrent traces — or a serving
+# thread's module-path forwards racing a trace on another worker — would
+# bleed events across models.  The lock serialises traces; the owner-thread
+# check below keeps foreign threads' forwards out of the event stream.
+_TRACE_LOCK = threading.Lock()
+
+
+def _trace_graph(model, probe: Tensor) -> Tuple[List[object], Tensor]:
+    """Run ``model(probe)`` recording leaf calls and glue-level additions.
+
+    Additions executed *inside* a leaf module (should any leaf ever use
+    tensor arithmetic internally) are suppressed by a leaf-depth counter, so
+    only the joins written in container ``forward`` bodies — the residual
+    glue — are recorded.
+    """
+    events: List[object] = []
+    owner = threading.get_ident()
+    leaf_depth = 0
+
+    with _TRACE_LOCK:
+        original_call = Module.__call__
+        original_add = Tensor.__add__
+        original_radd = Tensor.__radd__
+
+        def tracing_call(module, *args, **kwargs):
+            nonlocal leaf_depth
+            mine = threading.get_ident() == owner
+            is_leaf = mine and isinstance(module, _LEAF_TYPES)
+            if is_leaf:
+                leaf_depth += 1
+            try:
+                out = original_call(module, *args, **kwargs)
+            finally:
+                if is_leaf:
+                    leaf_depth -= 1
+            if (
+                is_leaf
+                and len(args) == 1
+                and not kwargs
+                and isinstance(args[0], Tensor)
+                and isinstance(out, Tensor)
+            ):
+                events.append(_TraceEvent(module, args[0], out, args[0].shape, out.shape))
+            return out
+
+        def tracing_add(self, other):
+            out = original_add(self, other)
+            if (
+                leaf_depth == 0
+                and threading.get_ident() == owner
+                and isinstance(other, Tensor)
+                and isinstance(out, Tensor)
+            ):
+                events.append(_AddEvent(self, other, out))
+            return out
+
+        Module.__call__ = tracing_call
+        Tensor.__add__ = tracing_add
+        Tensor.__radd__ = tracing_add
+        try:
+            output = model(probe)
+        finally:
+            Module.__call__ = original_call
+            Tensor.__add__ = original_add
+            Tensor.__radd__ = original_radd
     return events, output
+
+
+# --------------------------------------------------------------------------- #
+# the op graph
+# --------------------------------------------------------------------------- #
+@dataclass
+class _Op:
+    """One node of the traced DAG, inputs/output as value ids."""
+
+    kind: str  # "leaf" | "add" | "flatten"
+    module: Optional[Module]
+    inputs: List[int]
+    output: int
+
+
+class _ValueTable:
+    """Tensor-identity -> value-id mapping (tensors kept alive)."""
+
+    def __init__(self) -> None:
+        self._tensors: List[Tensor] = []
+        self._ids: Dict[int, int] = {}
+        self.shapes: Dict[int, Tuple[int, ...]] = {}
+
+    def lookup(self, tensor: Tensor) -> Optional[int]:
+        return self._ids.get(id(tensor))
+
+    def register(self, tensor: Tensor) -> int:
+        known = self._ids.get(id(tensor))
+        if known is not None:
+            return known
+        vid = len(self._tensors)
+        self._tensors.append(tensor)
+        self._ids[id(tensor)] = vid
+        self.shapes[vid] = tensor.shape
+        return vid
+
+
+def _build_ops(
+    events: List[object], probe: Tensor, output: Tensor
+) -> Tuple[List[_Op], _ValueTable, int, int]:
+    """Re-link the trace into a value graph, inferring flatten glue.
+
+    Between traced ops the only *implicit* glue the compiler understands is
+    a flatten (4-D -> 2-D with the same per-sample element count, as written
+    ``x.flatten(1)`` in model forwards); residual additions are recorded
+    explicitly by the tracer.  Anything else — multiplicative joins,
+    concatenations, values produced by untraced arithmetic — is a trace
+    error.
+    """
+    table = _ValueTable()
+    probe_id = table.register(probe)
+    ops: List[_Op] = []
+    last_value = probe_id
+
+    def resolve_input(tensor: Tensor, shape: Tuple[int, ...], where: str) -> int:
+        vid = table.lookup(tensor)
+        if vid is not None:
+            return vid
+        # Unknown tensor: the only inferable glue is a flatten of the most
+        # recently produced value.
+        last_shape = table.shapes[last_value]
+        if (
+            len(last_shape) == 4
+            and len(shape) == 2
+            and last_shape[0] == shape[0]
+            and int(np.prod(last_shape[1:])) == shape[1]
+        ):
+            out_id = table.register(tensor)
+            ops.append(_Op("flatten", None, [last_value], out_id))
+            return out_id
+        raise PlanTraceError(
+            f"non-sequential glue before {where} ({last_shape} -> {shape}); "
+            "only linear chains and residual additions can be compiled"
+        )
+
+    for event in events:
+        if isinstance(event, _TraceEvent):
+            if event.output_tensor is event.input_tensor:
+                continue  # eval-mode identity pass-through (Identity, Dropout)
+            in_id = resolve_input(
+                event.input_tensor, event.input_shape, type(event.module).__name__
+            )
+            out_id = table.register(event.output_tensor)
+            ops.append(_Op("leaf", event.module, [in_id], out_id))
+            last_value = out_id
+        else:  # _AddEvent
+            lhs_id = table.lookup(event.lhs)
+            rhs_id = table.lookup(event.rhs)
+            if lhs_id is None or rhs_id is None:
+                raise PlanTraceError(
+                    "residual addition combines a value the tracer did not "
+                    "record; only additions of traced leaf outputs (or the "
+                    "model input) can be compiled"
+                )
+            out_id = table.register(event.output_tensor)
+            ops.append(_Op("add", None, [lhs_id, rhs_id], out_id))
+            last_value = out_id
+
+    final_id = table.lookup(output)
+    if final_id is None or final_id != last_value:
+        raise PlanTraceError("the traced graph does not end at the model output")
+    return ops, table, probe_id, final_id
 
 
 # --------------------------------------------------------------------------- #
 # compiled steps
 # --------------------------------------------------------------------------- #
 class _Step:
-    """One compiled operation: ``refresh`` re-resolves constants, ``run`` executes."""
+    """One compiled operation: ``refresh`` re-resolves constants, ``run`` executes.
+
+    ``state`` is the per-call register file for branch values: a dict the
+    save/load/residual-add steps use to keep shortcut activations alive
+    between their producer and the join point.
+    """
 
     def refresh(self) -> None:  # pragma: no cover - interface
         pass
 
-    def run(self, x: np.ndarray, backend) -> np.ndarray:  # pragma: no cover
+    def run(self, x: np.ndarray, backend, state) -> np.ndarray:  # pragma: no cover
         raise NotImplementedError
 
 
 class _ToChannelMajor(_Step):
-    def run(self, x: np.ndarray, backend) -> np.ndarray:
+    def run(self, x: np.ndarray, backend, state) -> np.ndarray:
         # A view is enough: the next conv's patch copy materialises it.
         return x.transpose(1, 0, 2, 3)
 
 
 class _ToBatchMajor(_Step):
-    def run(self, x: np.ndarray, backend) -> np.ndarray:
+    def run(self, x: np.ndarray, backend, state) -> np.ndarray:
         return np.ascontiguousarray(x.transpose(1, 0, 2, 3))
+
+
+class _SaveStep(_Step):
+    """Spill the live activation into a named branch slot (by reference)."""
+
+    def __init__(self, slot: str) -> None:
+        self.slot = slot
+
+    def run(self, x: np.ndarray, backend, state) -> np.ndarray:
+        state[self.slot] = x
+        return x
+
+
+class _LoadStep(_Step):
+    """Make a previously saved branch value the live activation."""
+
+    def __init__(self, slot: str, pop: bool) -> None:
+        self.slot = slot
+        self.pop = pop
+
+    def run(self, x: np.ndarray, backend, state) -> np.ndarray:
+        return state.pop(self.slot) if self.pop else state[self.slot]
+
+
+class _ResidualAddStep(_Step):
+    """Join point: add a saved shortcut value onto the live activation.
+
+    ``transpose`` reconciles a shortcut saved in batch-major layout with a
+    channel-major live activation (or vice versa) — elementwise addition is
+    layout-agnostic once the axes are permuted, and the permuted view costs
+    nothing.  ``inplace`` lets the backend accumulate into the live buffer
+    when the compiler proved it is a fresh, exclusively-owned array.
+    """
+
+    def __init__(self, slot: str, pop: bool, transpose: bool = False, inplace: bool = False) -> None:
+        self.slot = slot
+        self.pop = pop
+        self.transpose = transpose
+        self.inplace = inplace
+
+    def run(self, x: np.ndarray, backend, state) -> np.ndarray:
+        shortcut = state.pop(self.slot) if self.pop else state[self.slot]
+        if self.transpose:
+            shortcut = shortcut.transpose(1, 0, 2, 3)
+        return backend.residual_add(x, shortcut, inplace=self.inplace)
 
 
 def _resolve_activation(act: Optional[Module]):
@@ -170,16 +403,21 @@ def _resolve_activation(act: Optional[Module]):
     raise PlanTraceError(f"unsupported fused activation {type(act).__name__}")
 
 
+def _staircase_inplace(out: np.ndarray, step: float) -> np.ndarray:
+    """``round(x / step) * step``, matching Eq. 2 exactly but in-place."""
+    np.divide(out, step, out=out)
+    np.round(out, out=out)
+    np.multiply(out, step, out=out)
+    return out
+
+
 def _apply_activation_inplace(out: np.ndarray, relu: bool, alpha, step) -> np.ndarray:
     if relu:
         np.maximum(out, 0.0, out=out)
     elif alpha is not None:
         np.clip(out, 0.0, alpha, out=out)
         if step is not None:
-            # round(x / step) * step, matching Eq. 2 exactly but in-place.
-            np.divide(out, step, out=out)
-            np.round(out, out=out)
-            np.multiply(out, step, out=out)
+            _staircase_inplace(out, step)
     return out
 
 
@@ -230,7 +468,7 @@ class _FusedConvStep(_Step):
             self._bias = bias
         self._relu, self._alpha, self._step = _resolve_activation(self.act)
 
-    def run(self, x: np.ndarray, backend) -> np.ndarray:
+    def run(self, x: np.ndarray, backend, state) -> np.ndarray:
         out = backend.int_conv2d_cm(
             x, self._w_mat, self.kernel, self.stride, self.padding,
             scale=self._scale, bias=self._bias,
@@ -267,7 +505,7 @@ class _FusedLinearStep(_Step):
         self._bias = None if layer.bias is None else layer.bias.data
         self._relu, self._alpha, self._step = _resolve_activation(self.act)
 
-    def run(self, x: np.ndarray, backend) -> np.ndarray:
+    def run(self, x: np.ndarray, backend, state) -> np.ndarray:
         out = backend.int_linear(x, self._w, scale=self._scale, bias=self._bias)
         return _apply_activation_inplace(out, self._relu, self._alpha, self._step)
 
@@ -289,7 +527,7 @@ class _BatchNormStep(_Step):
         self._scale = g.reshape(self._shape)
         self._bias = (bn.bias.data - bn.running_mean * g).reshape(self._shape)
 
-    def run(self, x: np.ndarray, backend) -> np.ndarray:
+    def run(self, x: np.ndarray, backend, state) -> np.ndarray:
         return x * self._scale + self._bias
 
 
@@ -305,9 +543,17 @@ class _ActivationStep(_Step):
     def refresh(self) -> None:
         self._relu, self._alpha, self._step = _resolve_activation(self.act)
 
-    def run(self, x: np.ndarray, backend) -> np.ndarray:
-        out = x.copy()
-        return _apply_activation_inplace(out, self._relu, self._alpha, self._step)
+    def run(self, x: np.ndarray, backend, state) -> np.ndarray:
+        # Single-pass clip/max into a fresh buffer (instead of copy-then-
+        # in-place), then the shared staircase runs in place on that buffer.
+        if self._relu:
+            return np.maximum(x, 0.0)
+        if self._alpha is not None:
+            out = np.clip(x, 0.0, self._alpha)
+            if self._step is not None:
+                _staircase_inplace(out, self._step)
+            return out
+        return x.copy()
 
 
 class _MaxPoolStep(_Step):
@@ -315,7 +561,7 @@ class _MaxPoolStep(_Step):
         self.kernel = (int(kernel), int(kernel))
         self.stride = (int(stride), int(stride))
 
-    def run(self, x: np.ndarray, backend) -> np.ndarray:
+    def run(self, x: np.ndarray, backend, state) -> np.ndarray:
         # pool_max treats the two leading axes as batch, so the same kernel
         # serves both the NCHW and channel-major layouts.
         return backend.pool_max(x, self.kernel, self.stride)
@@ -326,7 +572,7 @@ class _AvgPoolStep(_Step):
         self.kernel = (int(kernel), int(kernel))
         self.stride = (int(stride), int(stride))
 
-    def run(self, x: np.ndarray, backend) -> np.ndarray:
+    def run(self, x: np.ndarray, backend, state) -> np.ndarray:
         return backend.pool_avg(x, self.kernel, self.stride)
 
 
@@ -334,7 +580,7 @@ class _GlobalAvgPoolStep(_Step):
     def __init__(self, channel_major: bool) -> None:
         self.channel_major = channel_major
 
-    def run(self, x: np.ndarray, backend) -> np.ndarray:
+    def run(self, x: np.ndarray, backend, state) -> np.ndarray:
         pooled = x.mean(axis=(2, 3))
         return pooled.T if self.channel_major else pooled
 
@@ -343,17 +589,152 @@ class _FlattenStep(_Step):
     def __init__(self, channel_major: bool) -> None:
         self.channel_major = channel_major
 
-    def run(self, x: np.ndarray, backend) -> np.ndarray:
+    def run(self, x: np.ndarray, backend, state) -> np.ndarray:
         if self.channel_major:
             x = x.transpose(1, 0, 2, 3)
         return x.reshape(x.shape[0], -1)
 
 
 # --------------------------------------------------------------------------- #
+# reference steps (optimize=False): bitwise parity with the module path
+# --------------------------------------------------------------------------- #
+class _RefModuleStep(_Step):
+    """Replay one leaf module through its own forward — the exactness anchor.
+
+    Calling the module itself (under ``no_grad``, in eval mode) executes the
+    *identical* functional ops the module path runs, so a reference plan is
+    bitwise-indistinguishable from ``model.eval()`` while still exercising
+    the compiled graph's save/load/join linearization.
+    """
+
+    def __init__(self, module: Module) -> None:
+        self.module = module
+
+    def run(self, x: np.ndarray, backend, state) -> np.ndarray:
+        return self.module(Tensor(x)).data
+
+
+class _RefIntegerStep(_Step):
+    """Integer-code replay of one quantized layer, as the session runs it."""
+
+    def __init__(self, layer: QuantizedLayer) -> None:
+        self.layer = layer
+        self._export = None
+
+    def refresh(self) -> None:
+        from ..quant.integer_inference import export_layer
+
+        self._export = export_layer("plan", self.layer)
+
+    def run(self, x: np.ndarray, backend, state) -> np.ndarray:
+        from ..quant.integer_inference import integer_conv2d, integer_linear
+
+        if self._export.kind == "conv2d":
+            return integer_conv2d(x, self._export)
+        return integer_linear(x, self._export)
+
+
+class _RefFlattenStep(_Step):
+    def run(self, x: np.ndarray, backend, state) -> np.ndarray:
+        return x.reshape(x.shape[0], -1)
+
+
+# --------------------------------------------------------------------------- #
+# fusion groups
+# --------------------------------------------------------------------------- #
+@dataclass
+class _Group:
+    """A fused unit of the op graph (or a single op when nothing fuses)."""
+
+    kind: str  # "conv" | "linear" | "module" | "add" | "flatten"
+    module: Optional[Module] = None
+    bn: Optional[BatchNorm2d] = None
+    act: Optional[Module] = None
+    inputs: List[int] = field(default_factory=list)
+    output: int = -1
+
+
+def _fuse_groups(ops: List[_Op], consumers: Dict[int, int], optimize: bool) -> List[_Group]:
+    """Peephole-fuse conv/linear with trailing BN/activation, graph-aware.
+
+    A follower is folded only when it is the next op in execution order AND
+    the sole consumer of its producer's output — so a value feeding both a
+    BatchNorm and a residual join is never fused away.
+    """
+
+    def fusable(nxt: Optional[_Op], out_id: int, types) -> bool:
+        # THE fusion safety rule, in one place: the candidate must be the
+        # next leaf in execution order, of a foldable type, consuming
+        # exactly this output — and be its *only* consumer.
+        return (
+            nxt is not None
+            and nxt.kind == "leaf"
+            and isinstance(nxt.module, types)
+            and nxt.inputs == [out_id]
+            and consumers[out_id] == 1
+        )
+
+    groups: List[_Group] = []
+    index = 0
+    while index < len(ops):
+        op = ops[index]
+        index += 1
+        if op.kind == "add":
+            groups.append(_Group("add", inputs=list(op.inputs), output=op.output))
+            continue
+        if op.kind == "flatten":
+            groups.append(_Group("flatten", inputs=list(op.inputs), output=op.output))
+            continue
+        module = op.module
+        if optimize and isinstance(module, (QConv2d, Conv2d)):
+            bn = None
+            act = None
+            out_id = op.output
+            nxt = ops[index] if index < len(ops) else None
+            if fusable(nxt, out_id, BatchNorm2d):
+                bn = nxt.module
+                out_id = nxt.output
+                index += 1
+                nxt = ops[index] if index < len(ops) else None
+            if fusable(nxt, out_id, (PACT, ReLU)):
+                act = nxt.module
+                out_id = nxt.output
+                index += 1
+            groups.append(
+                _Group("conv", module=module, bn=bn, act=act, inputs=list(op.inputs), output=out_id)
+            )
+        elif optimize and isinstance(module, (QLinear, Linear)):
+            act = None
+            out_id = op.output
+            nxt = ops[index] if index < len(ops) else None
+            if fusable(nxt, out_id, (PACT, ReLU)):
+                act = nxt.module
+                out_id = nxt.output
+                index += 1
+            groups.append(
+                _Group("linear", module=module, act=act, inputs=list(op.inputs), output=out_id)
+            )
+        else:
+            groups.append(
+                _Group("module", module=module, inputs=list(op.inputs), output=op.output)
+            )
+    return groups
+
+
+def _count_consumers(ops: List[_Op], final_id: int) -> Dict[int, int]:
+    counts: Dict[int, int] = {}
+    for op in ops:
+        for vid in op.inputs:
+            counts[vid] = counts.get(vid, 0) + 1
+    counts[final_id] = counts.get(final_id, 0) + 1  # the return value
+    return counts
+
+
+# --------------------------------------------------------------------------- #
 # the plan
 # --------------------------------------------------------------------------- #
 class InferencePlan:
-    """A compiled, fused, layout-optimised eval path for one model.
+    """A compiled, layout-optimised eval path for one model.
 
     Build with :meth:`trace`; call :meth:`refresh` after the model's weights,
     bit assignment or BatchNorm statistics may have changed (cheap when they
@@ -361,10 +742,19 @@ class InferencePlan:
     then :meth:`run` batches of raw ``(N, C, H, W)`` float32 arrays through it.
     """
 
-    def __init__(self, model, steps: Sequence[_Step], mode: str) -> None:
+    def __init__(
+        self,
+        model,
+        steps: Sequence[_Step],
+        mode: str,
+        optimized: bool = True,
+        meta: Optional[Dict[str, int]] = None,
+    ) -> None:
         self.model = model
         self.steps = list(steps)
         self.mode = mode
+        self.optimized = optimized
+        self.meta: Dict[str, int] = dict(meta or {})
 
     # ------------------------------------------------------------------ #
     # construction
@@ -378,6 +768,7 @@ class InferencePlan:
         verify: bool = True,
         rtol: float = 1e-3,
         atol: float = 1e-3,
+        optimize: bool = True,
     ) -> "InferencePlan":
         """Trace ``model`` on a probe of ``input_shape`` and compile a plan.
 
@@ -386,9 +777,13 @@ class InferencePlan:
         float weights (parity with ``model.eval()``), ``"integer"`` runs the
         raw integer codes with the scale distributed out of the accumulation
         (parity with :class:`~repro.quant.IntegerInferenceSession`).
+        ``optimize=False`` compiles the *reference* plan whose steps replay
+        the module path's exact ops — bitwise parity, used by the test
+        harness to pin graph-compilation correctness.
 
-        Raises :class:`PlanTraceError` when the leaf layers do not form a
-        linear chain (residual models) or verification fails.
+        Raises :class:`PlanTraceError` when the traced graph uses glue other
+        than residual additions/flattens, :class:`PlanVerifyError` when the
+        compiled plan fails verification.
         """
         if mode not in ("float", "integer"):
             raise ValueError(f"unknown plan mode {mode!r}")
@@ -398,11 +793,14 @@ class InferencePlan:
         model.eval()
         try:
             with no_grad():
-                events, output = _trace_leaf_calls(model, probe)
-                if not events:
+                events, output = _trace_graph(model, probe)
+                if not any(isinstance(event, _TraceEvent) for event in events):
                     raise PlanTraceError("no leaf layers were recorded during tracing")
-                chain = cls._link_chain(events, probe, output)
-                plan = cls(model, cls._compile(chain, probe_np.ndim, mode), mode)
+                ops, table, probe_id, final_id = _build_ops(events, probe, output)
+                steps, meta = cls._compile(
+                    ops, probe_np.ndim, mode, optimize, probe_id, final_id
+                )
+                plan = cls(model, steps, mode, optimized=optimize, meta=meta)
                 if verify:
                     plan._verify(input_shape, rtol, atol)
             return plan
@@ -415,128 +813,285 @@ class InferencePlan:
         Probes use batch size 2 so the batched layout paths (channel-major
         columns with N inside the GEMM's P axis, pooling over the leading
         batch axes) are exercised, not just the degenerate single-sample
-        case.  Fused kernels reorder float accumulation, and under a PACT
-        staircase a round-off difference at a rounding boundary legitimately
-        flips an isolated activation by one quantization step — which then
-        shifts every downstream logit of that sample.  Such flips are
-        input-dependent and rare per probe, while a structural mis-compile
-        corrupts *every* probe, so the plan is accepted as soon as any probe
-        agrees to tolerance and rejected only when all of them disagree.
+        case.  Reference plans must match **bitwise** on every probe — they
+        replay the module path's exact ops, so any difference is a
+        structural mis-compile.  Fused plans reorder float accumulation, and
+        under a PACT staircase a round-off difference at a rounding boundary
+        legitimately flips an isolated activation by one quantization step —
+        which then shifts every downstream logit of that sample.  Such flips
+        are input-dependent and rare per probe, while a structural
+        mis-compile corrupts *every* probe, so a fused plan is accepted as
+        soon as any probe agrees to tolerance and rejected only when all of
+        them disagree.
         """
         self.refresh()
-        worst = 0.0
-        for seed in range(3):
-            probe = (
-                np.random.default_rng(seed)
-                .standard_normal((2, *input_shape))
-                .astype(np.float32)
-            )
-            want = self.model(Tensor(probe)).data
-            got = np.asarray(self.run(probe))
-            if got.shape != want.shape:
-                raise PlanVerifyError(
-                    f"compiled plan output shape {got.shape} does not match "
-                    f"the model output shape {want.shape}"
+        was_training = self.model.training
+        self.model.eval()
+        # Fused plans (and float reference plans) are checked against the
+        # model's own eval forward.  An integer *reference* plan replays the
+        # integer session's kernels, so its bitwise target is the session —
+        # the float forward only agrees to round-off.
+        if not self.optimized and self.mode == "integer":
+            from ..quant.integer_inference import IntegerInferenceSession
+
+            reference = IntegerInferenceSession(self.model).run
+        else:
+            def reference(batch: np.ndarray) -> np.ndarray:
+                with no_grad():
+                    return self.model(Tensor(batch)).data
+
+        try:
+            worst = 0.0
+            for seed in range(3):
+                probe = (
+                    np.random.default_rng(seed)
+                    .standard_normal((2, *input_shape))
+                    .astype(np.float32)
                 )
-            within = np.abs(got - want) <= atol + rtol * np.abs(want)
-            if within.mean() >= 0.97:
-                return
-            worst = max(worst, float(np.abs(got - want).max()))
-        raise PlanVerifyError(
-            "compiled plan disagrees with the model's forward pass on every "
-            f"probe (max diff {worst:.3e})"
-        )
-
-    @staticmethod
-    def _link_chain(events: List[_TraceEvent], probe: Tensor, output: Tensor) -> List[object]:
-        """Re-link traced leaf calls into a linear op chain, inferring glue.
-
-        Between consecutive leaf calls the only glue the compiler understands
-        is a flatten (4-D -> 2-D with the same per-sample element count);
-        anything else — residual additions, concatenations, re-used
-        activations — is a trace error.
-        """
-        chain: List[object] = []
-        current = probe
-        current_shape: Tuple[int, ...] = probe.shape
-        for event in events:
-            if event.input_tensor is not current:
-                if (
-                    len(current_shape) == 4
-                    and len(event.input_shape) == 2
-                    and current_shape[0] == event.input_shape[0]
-                    and int(np.prod(current_shape[1:])) == event.input_shape[1]
-                ):
-                    chain.append("flatten")
-                else:
-                    raise PlanTraceError(
-                        f"non-sequential glue before {type(event.module).__name__} "
-                        f"({current_shape} -> {event.input_shape}); only linear-chain "
-                        "models can be compiled"
+                want = reference(probe)
+                got = np.asarray(self.run(probe))
+                if got.shape != want.shape:
+                    raise PlanVerifyError(
+                        f"compiled plan output shape {got.shape} does not match "
+                        f"the model output shape {want.shape}"
                     )
-            chain.append(event.module)
-            current = event.output_tensor
-            current_shape = event.output_shape
-        if current is not output:
-            raise PlanTraceError("the traced chain does not end at the model output")
-        return chain
+                if not self.optimized:
+                    if not np.array_equal(got, want):
+                        raise PlanVerifyError(
+                            "reference plan is not bitwise-identical to the "
+                            f"model's forward pass (max diff "
+                            f"{float(np.abs(got - want).max()):.3e}) — "
+                            "structural mis-compile"
+                        )
+                    continue
+                within = np.abs(got - want) <= atol + rtol * np.abs(want)
+                if within.mean() >= 0.97:
+                    return
+                worst = max(worst, float(np.abs(got - want).max()))
+            if not self.optimized:
+                return
+            raise PlanVerifyError(
+                "compiled plan disagrees with the model's forward pass on every "
+                f"probe (max diff {worst:.3e})"
+            )
+        finally:
+            self.model.train(was_training)
+
+    # ------------------------------------------------------------------ #
+    # compilation
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def _compile(
+        cls,
+        ops: List[_Op],
+        input_ndim: int,
+        mode: str,
+        optimize: bool,
+        probe_id: int,
+        final_id: int,
+    ) -> Tuple[List[_Step], Dict[str, int]]:
+        """Linearise the op graph into steps with save/load/join management."""
+        total_consumers = _count_consumers(ops, final_id)
+        groups = _fuse_groups(ops, total_consumers, optimize)
+        # Recount over fused groups: values internal to a group disappear.
+        remaining: Dict[int, int] = {}
+        for group in groups:
+            for vid in group.inputs:
+                remaining[vid] = remaining.get(vid, 0) + 1
+        remaining[final_id] = remaining.get(final_id, 0) + 1
+
+        steps: List[_Step] = []
+        meta = {
+            "residual_joins": 0,
+            "identity_shortcuts": 0,
+            "projection_shortcuts": 0,
+            "saves": 0,
+            "loads": 0,
+            "fused_conv": 0,
+            "fused_linear": 0,
+        }
+        layout = _FLAT if input_ndim == 2 else _NCHW
+        layouts: Dict[int, str] = {probe_id: layout}
+        slots: Dict[int, str] = {}
+        fresh: Dict[int, bool] = {probe_id: False}
+        current = probe_id
+
+        def emit_load(vid: int) -> None:
+            nonlocal current, layout
+            if vid not in slots:
+                raise PlanTraceError(
+                    "a branch value is consumed before the compiler saved it; "
+                    "the traced graph is not a supported residual DAG"
+                )
+            remaining[vid] -= 1
+            pop = remaining[vid] == 0
+            steps.append(_LoadStep(slots[vid], pop=pop))
+            meta["loads"] += 1
+            if pop:
+                del slots[vid]
+            current = vid
+            layout = layouts[vid]
+
+        # The probe itself may feed a shortcut (a residual block directly on
+        # the input): spill it before any compute overwrites the register.
+        first_inputs = groups[0].inputs if groups else []
+        probe_register_uses = 1 if probe_id in first_inputs else 0
+        if remaining.get(probe_id, 0) > probe_register_uses:
+            slots[probe_id] = f"v{probe_id}"
+            steps.append(_SaveStep(slots[probe_id]))
+            meta["saves"] += 1
+
+        for index, group in enumerate(groups):
+            if group.kind == "add":
+                lhs, rhs = group.inputs
+                if current == lhs:
+                    remaining[lhs] -= 1
+                    other = rhs
+                elif current == rhs:
+                    remaining[rhs] -= 1
+                    other = lhs
+                else:
+                    emit_load(lhs)
+                    other = rhs
+                if other not in slots:
+                    raise PlanTraceError(
+                        "residual addition consumes a value that is no longer "
+                        "live; the traced graph is not a supported residual DAG"
+                    )
+                remaining[other] -= 1
+                pop = remaining[other] == 0
+                slot = slots[other]
+                if pop:
+                    del slots[other]
+                other_layout = layouts[other]
+                if (layout == _FLAT) != (other_layout == _FLAT):
+                    raise PlanTraceError(
+                        "residual addition joins activations of incompatible "
+                        f"layouts ({layout} + {other_layout})"
+                    )
+                transpose = layout != other_layout
+                inplace = (
+                    optimize
+                    and fresh.get(current, False)
+                    and current not in slots
+                    and remaining.get(current, 0) == 0
+                )
+                steps.append(
+                    _ResidualAddStep(slot, pop=pop, transpose=transpose, inplace=inplace)
+                )
+                meta["residual_joins"] += 1
+                if total_consumers.get(other, 0) >= 2:
+                    meta["identity_shortcuts"] += 1
+                else:
+                    meta["projection_shortcuts"] += 1
+            else:
+                source = group.inputs[0]
+                if current == source:
+                    remaining[source] -= 1
+                else:
+                    emit_load(source)
+                layout = cls._emit_group(group, steps, layout, mode, optimize, meta)
+
+            current = group.output
+            layouts[current] = layout
+            # Freshness gates the in-place residual add: conv/linear/add and
+            # elementwise/pooling steps materialise a new exclusively-owned
+            # buffer; flattens are reshape views and pass-through modules
+            # alias their input, so they must stay copy-on-join.
+            fresh[current] = group.kind in ("conv", "linear", "add") or (
+                group.kind == "module"
+                and not isinstance(group.module, (Dropout, Identity, Flatten))
+            )
+
+            nxt = groups[index + 1] if index + 1 < len(groups) else None
+            if nxt is not None:
+                register_uses = 1 if current in nxt.inputs else 0
+            else:
+                register_uses = 1 if current == final_id else 0
+            if remaining.get(current, 0) > register_uses:
+                slots[current] = f"v{current}"
+                steps.append(_SaveStep(slots[current]))
+                meta["saves"] += 1
+
+        if optimize and layout == _CNHW:
+            steps.append(_ToBatchMajor())
+        return steps, meta
+
+    @classmethod
+    def _emit_group(
+        cls,
+        group: _Group,
+        steps: List[_Step],
+        layout: str,
+        mode: str,
+        optimize: bool,
+        meta: Dict[str, int],
+    ) -> str:
+        """Emit the compute steps for one fused group; returns the new layout."""
+        if not optimize:
+            return cls._emit_reference(group, steps, layout, mode)
+        if group.kind == "flatten":
+            steps.append(_FlattenStep(channel_major=layout == _CNHW))
+            return _FLAT
+        if group.kind == "conv":
+            if layout == _NCHW:
+                steps.append(_ToChannelMajor())
+                layout = _CNHW
+            elif layout != _CNHW:
+                raise PlanTraceError("convolution applied to flattened activations")
+            steps.append(_FusedConvStep(group.module, group.bn, group.act, mode=mode))
+            meta["fused_conv"] += 1
+            return layout
+        if group.kind == "linear":
+            if layout != _FLAT:
+                raise PlanTraceError("linear layer applied to unflattened activations")
+            steps.append(_FusedLinearStep(group.module, group.act, mode=mode))
+            meta["fused_linear"] += 1
+            return layout
+        module = group.module
+        if isinstance(module, Flatten):
+            steps.append(_FlattenStep(channel_major=layout == _CNHW))
+            return _FLAT
+        if isinstance(module, BatchNorm2d):
+            ndim = 2 if layout == _FLAT else 4
+            steps.append(
+                _BatchNormStep(module, channel_axis=0 if layout == _CNHW else 1, ndim=ndim)
+            )
+            return layout
+        if isinstance(module, (PACT, ReLU)):
+            steps.append(_ActivationStep(module))
+            return layout
+        if isinstance(module, MaxPool2d):
+            steps.append(_MaxPoolStep(module.kernel_size, module.stride))
+            return layout
+        if isinstance(module, AvgPool2d):
+            steps.append(_AvgPoolStep(module.kernel_size, module.stride))
+            return layout
+        if isinstance(module, GlobalAvgPool2d):
+            if layout == _FLAT:
+                raise PlanTraceError("global pooling applied to flattened activations")
+            steps.append(_GlobalAvgPoolStep(channel_major=layout == _CNHW))
+            return _FLAT
+        if isinstance(module, (Dropout, Identity)):
+            return layout  # identity in eval mode (aliasing already skipped most)
+        raise PlanTraceError(f"unsupported leaf layer {type(module).__name__}")
 
     @staticmethod
-    def _compile(chain: List[object], input_ndim: int, mode: str) -> List[_Step]:
-        """Peephole-fuse the module chain into layout-annotated steps."""
-        steps: List[_Step] = []
-        layout = _FLAT if input_ndim == 2 else _NCHW
-        index = 0
-        while index < len(chain):
-            item = chain[index]
-            index += 1
-            if item == "flatten" or isinstance(item, Flatten):
-                steps.append(_FlattenStep(channel_major=layout == _CNHW))
-                layout = _FLAT
-            elif isinstance(item, (QConv2d, Conv2d)):
-                if layout == _NCHW:
-                    steps.append(_ToChannelMajor())
-                    layout = _CNHW
-                elif layout != _CNHW:
-                    raise PlanTraceError("convolution applied to flattened activations")
-                bn = None
-                act = None
-                if index < len(chain) and isinstance(chain[index], BatchNorm2d):
-                    bn = chain[index]
-                    index += 1
-                if index < len(chain) and isinstance(chain[index], (PACT, ReLU)):
-                    act = chain[index]
-                    index += 1
-                steps.append(_FusedConvStep(item, bn, act, mode=mode))
-            elif isinstance(item, (QLinear, Linear)):
-                if layout != _FLAT:
-                    raise PlanTraceError("linear layer applied to unflattened activations")
-                act = None
-                if index < len(chain) and isinstance(chain[index], (PACT, ReLU)):
-                    act = chain[index]
-                    index += 1
-                steps.append(_FusedLinearStep(item, act, mode=mode))
-            elif isinstance(item, BatchNorm2d):
-                ndim = 2 if layout == _FLAT else 4
-                steps.append(_BatchNormStep(item, channel_axis=0 if layout == _CNHW else 1, ndim=ndim))
-            elif isinstance(item, (PACT, ReLU)):
-                steps.append(_ActivationStep(item))
-            elif isinstance(item, MaxPool2d):
-                steps.append(_MaxPoolStep(item.kernel_size, item.stride))
-            elif isinstance(item, AvgPool2d):
-                steps.append(_AvgPoolStep(item.kernel_size, item.stride))
-            elif isinstance(item, GlobalAvgPool2d):
-                if layout == _FLAT:
-                    raise PlanTraceError("global pooling applied to flattened activations")
-                steps.append(_GlobalAvgPoolStep(channel_major=layout == _CNHW))
-                layout = _FLAT
-            elif isinstance(item, (Dropout, Identity)):
-                continue  # identity in eval mode
-            else:
-                raise PlanTraceError(f"unsupported leaf layer {type(item).__name__}")
-        if layout == _CNHW:
-            steps.append(_ToBatchMajor())
-        return steps
+    def _emit_reference(group: _Group, steps: List[_Step], layout: str, mode: str) -> str:
+        """Reference emission: replay each op exactly as the module path does."""
+        if group.kind == "flatten":
+            steps.append(_RefFlattenStep())
+            return _FLAT
+        module = group.module
+        if isinstance(module, (Dropout, Identity)):
+            return layout
+        if mode == "integer" and isinstance(module, (QConv2d, QLinear)):
+            steps.append(_RefIntegerStep(module))
+        else:
+            steps.append(_RefModuleStep(module))
+        if isinstance(module, (Flatten, GlobalAvgPool2d, QLinear, Linear)):
+            return _FLAT
+        return layout
 
     # ------------------------------------------------------------------ #
     # execution
@@ -544,19 +1099,42 @@ class InferencePlan:
     def refresh(self) -> None:
         """Re-resolve weights, folded affines and clipping levels.
 
-        Call under ``no_grad`` (the engine does) so quantized weights are
-        served from the version-keyed cache when unchanged.
+        Runs under ``no_grad`` so quantized weights are served from the
+        version-keyed cache when unchanged.
         """
-        for step in self.steps:
-            step.refresh()
+        with no_grad():
+            for step in self.steps:
+                step.refresh()
 
     def run(self, x: np.ndarray) -> np.ndarray:
-        """Execute the plan on one raw batch (no autograd, no module dispatch)."""
+        """Execute the plan on one raw batch (no autograd, no module dispatch).
+
+        Reference plans replay module forwards, so the model must be in eval
+        mode (the engine guarantees this; call ``model.eval()`` first when
+        running a plan directly).
+        """
         backend = get_backend()
-        for step in self.steps:
-            x = step.run(x, backend)
+        state: Dict[str, np.ndarray] = {}
+        with no_grad():
+            for step in self.steps:
+                x = step.run(x, backend, state)
         return x
+
+    def describe(self) -> Dict[str, object]:
+        """A JSON-friendly structural summary (what compiled, and how)."""
+        kinds: Dict[str, int] = {}
+        for step in self.steps:
+            name = type(step).__name__.lstrip("_")
+            kinds[name] = kinds.get(name, 0) + 1
+        return {
+            "mode": self.mode,
+            "optimized": self.optimized,
+            "num_steps": len(self.steps),
+            "step_kinds": kinds,
+            **self.meta,
+        }
 
     def __repr__(self) -> str:
         kinds = ", ".join(type(step).__name__.lstrip("_") for step in self.steps)
-        return f"InferencePlan(mode={self.mode!r}, steps=[{kinds}])"
+        flavour = "fused" if self.optimized else "reference"
+        return f"InferencePlan(mode={self.mode!r}, {flavour}, steps=[{kinds}])"

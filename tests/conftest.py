@@ -7,15 +7,31 @@ of the library.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
+from repro.backend import set_backend
 from repro.data import DataLoader, SyntheticImageClassification
 from repro.models import simple_cnn
 
 
 NUMERIC_RTOL = 1e-3
 NUMERIC_ATOL = 1e-4
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _environment_backend():
+    """Honour ``REPRO_BACKEND`` for the whole suite (as the benchmarks do).
+
+    CI uses this to keep the loop-level reference backend in the serving
+    parity matrix: ``REPRO_BACKEND=numpy pytest tests/serve -k parity``.
+    Unset, the process default ("fast") applies.
+    """
+    name = os.environ.get("REPRO_BACKEND")
+    if name:
+        set_backend(name)
 
 
 @pytest.fixture

@@ -1,0 +1,306 @@
+"""Randomized serving-parity harness: the mechanical proof of plan parity.
+
+This module is the importable core of ``test_plan_parity.py`` and is meant
+to be reused by any suite (or future backend) that needs to certify the
+serving read path:
+
+* :func:`random_quantized_model` — a seeded generator of small quantizable
+  CNNs mixing plain conv/BN/PACT/pool segments with ResNet-style
+  :class:`~repro.models.resnet.BasicBlock` residual joins (identity and
+  downsample shortcuts), random per-layer bit assignments, optional bias
+  convs, dropout glue and both flatten-vs-global-pool heads.
+* :func:`assert_serving_parity` — the parity contract for one model:
+
+  - the **reference plan** (``optimize=False``) must be **bitwise
+    identical** to the module path (float mode) and to
+    :class:`~repro.quant.IntegerInferenceSession` (integer mode).  The
+    reference plan replays the exact functional ops of those paths through
+    the compiled DAG, so any bit of difference is a graph-compilation bug
+    (mis-ordered join, wrong shortcut, dropped save);
+  - the **fused plan** (the serving default) must agree to tolerance, with
+    the documented allowance for rare one-step PACT staircase flips caused
+    by float re-association in the fused kernels;
+  - the **engine** must compile (no fallback) and serve the fused plan's
+    exact numbers.
+
+* :class:`UntraceableNet` / :class:`MendableNet` — models for the fallback
+  boundary: glue the compiler genuinely cannot serve (a multiplicative
+  join), and a repairable variant for testing the fallback->compiled
+  upgrade path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.backend import use_backend
+from repro.models.base import QuantizableModel
+from repro.models.resnet import BasicBlock
+from repro.nn import Tensor
+from repro.nn.modules import (
+    AvgPool2d,
+    BatchNorm2d,
+    Dropout,
+    GlobalAvgPool2d,
+    MaxPool2d,
+    ReLU,
+)
+from repro.nn.tensor import no_grad
+from repro.quant import IntegerInferenceSession
+from repro.quant.pact import PACT
+from repro.quant.qmodules import QConv2d, QLinear
+from repro.serve import InferenceEngine, InferencePlan
+
+__all__ = [
+    "random_quantized_model",
+    "assert_serving_parity",
+    "UntraceableNet",
+    "MendableNet",
+]
+
+_BIT_CHOICES = (2, 3, 4, 8)
+
+
+class _RandomNet(QuantizableModel):
+    """A generated quantizable CNN; structure fully determined by ``seed``."""
+
+    def __init__(self, seed: int, image_size: int = 8, num_classes: int = 4) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.input_size = image_size
+        self.input_channels = 3
+        self.num_classes = num_classes
+        self.features: List = []
+        self.head: List = []
+
+        channels = int(rng.integers(4, 9))
+        spatial = image_size
+        index = 0
+
+        # Stem: lift the input channels (pinned, like the paper's first layer).
+        stem = QConv2d(3, channels, 3, padding=1, bias=False, bits=8, pinned=True, rng=rng)
+        self.register_qlayer(f"conv{index}", stem, pinned=True, pinned_bits=8)
+        self.features.append(stem)
+        self.features.append(BatchNorm2d(channels))
+        self.features.append(stem.attach_activation(PACT(bits=stem.bits)))
+        index += 1
+
+        for _ in range(int(rng.integers(1, 4))):
+            if rng.random() < 0.5:
+                # Residual segment: identity shortcut, or a downsample
+                # projection when the stage strides/widens.
+                if rng.random() < 0.5 and spatial >= 4:
+                    stride, out_channels = 2, int(rng.integers(4, 9))
+                else:
+                    stride, out_channels = 1, channels
+                block = BasicBlock(channels, out_channels, stride, 4, rng)
+                conv1_name = f"conv{index}"
+                self.register_qlayer(conv1_name, block.conv1)
+                self.register_qlayer(f"conv{index + 1}", block.conv2)
+                if block.downsample is not None:
+                    self.register_qlayer(
+                        f"conv{index}.down", block.downsample, tie_to=conv1_name, main=False
+                    )
+                index += 2
+                self.features.append(block)
+                channels = out_channels
+                spatial = (spatial + 1) // 2 if stride == 2 else spatial
+            else:
+                # Plain segment: conv [+BN] [+act] [+pool] [+dropout glue].
+                kernel, padding = (3, 1) if rng.random() < 0.7 else (1, 0)
+                out_channels = int(rng.integers(4, 9))
+                conv = QConv2d(
+                    channels, out_channels, kernel, padding=padding,
+                    bias=bool(rng.random() < 0.3), bits=4, rng=rng,
+                )
+                self.register_qlayer(f"conv{index}", conv)
+                index += 1
+                self.features.append(conv)
+                channels = out_channels
+                if rng.random() < 0.7:
+                    self.features.append(BatchNorm2d(channels))
+                act_choice = rng.random()
+                if act_choice < 0.5:
+                    self.features.append(conv.attach_activation(PACT(bits=conv.bits)))
+                elif act_choice < 0.8:
+                    self.features.append(ReLU())
+                if spatial >= 4 and rng.random() < 0.4:
+                    pool = MaxPool2d(2) if rng.random() < 0.5 else AvgPool2d(2)
+                    self.features.append(pool)
+                    spatial //= 2
+                if rng.random() < 0.2:
+                    self.features.append(Dropout(0.3, rng=rng))
+
+        # Head: flatten glue (``x.flatten(1)``) or global average pooling.
+        self.use_flatten = bool(rng.random() < 0.5)
+        in_features = channels * spatial * spatial if self.use_flatten else channels
+        if rng.random() < 0.4:
+            hidden = int(rng.integers(6, 13))
+            fc = QLinear(in_features, hidden, bits=4, rng=rng)
+            self.register_qlayer(f"fc{index}", fc)
+            self.head.append(fc)
+            self.head.append(ReLU())
+            in_features = hidden
+            index += 1
+        classifier = QLinear(in_features, num_classes, bits=8, pinned=True, rng=rng)
+        self.register_qlayer("classifier", classifier, pinned=True, pinned_bits=8)
+        self.head.append(classifier)
+        self.pool_head = None if self.use_flatten else GlobalAvgPool2d()
+
+        # Random bit assignment over the free layers (ties follow set_bits).
+        for layer in self.quantizable_layers().values():
+            if not layer.pinned:
+                layer.set_bits(int(rng.choice(_BIT_CHOICES)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.features:
+            x = layer(x)
+        x = x.flatten(1) if self.use_flatten else self.pool_head(x)
+        for layer in self.head:
+            x = layer(x)
+        return x
+
+
+def random_quantized_model(
+    seed: int, image_size: int = 8, num_classes: int = 4, warm_batches: int = 2
+) -> Tuple[QuantizableModel, Tuple[int, int, int]]:
+    """Build a seeded random model with warmed BatchNorm statistics.
+
+    Returns ``(model, input_shape)`` with the model left in eval mode; the
+    same seed always produces the identical architecture, weights, bit
+    assignment and BN statistics.
+    """
+    model = _RandomNet(seed, image_size=image_size, num_classes=num_classes)
+    rng = np.random.default_rng(seed + 10_000)
+    shape = (3, image_size, image_size)
+    model.train()
+    for _ in range(warm_batches):
+        model(Tensor(rng.standard_normal((8, *shape)).astype(np.float32)))
+    model.eval()
+    return model, shape
+
+
+def _assert_fused_close(got: np.ndarray, want: np.ndarray, label: str) -> None:
+    """Fused-plan tolerance: allow rare one-step PACT staircase flips.
+
+    A flip at a rounding boundary shifts every downstream logit of that one
+    sample, so the criterion is per-batch: the overwhelming majority of
+    logits must agree to tolerance.  Structural mis-compiles corrupt every
+    sample of every batch and fail this by a mile (and are *also* caught
+    bitwise by the reference-plan check, which is the real gate).
+    """
+    within = np.abs(got - want) <= 1e-3 + 1e-3 * np.abs(want)
+    assert within.mean() >= 0.9, (
+        f"{label}: only {within.mean():.3f} of logits within tolerance "
+        f"(max diff {np.abs(got - want).max():.3e})"
+    )
+
+
+def assert_serving_parity(
+    model,
+    input_shape: Sequence[int],
+    batch: int = 3,
+    backends: Sequence[str] = ("fast",),
+    check_integer: bool = True,
+    seed: int = 0,
+) -> None:
+    """Assert the full serving-parity contract for one model.
+
+    Per backend: the reference plans are bitwise-identical to the module
+    path (float) and the integer session (integer); the fused plans agree to
+    tolerance; the engine compiles (no fallback) and serves the fused plan's
+    exact numbers.
+    """
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((batch, *input_shape)).astype(np.float32)
+    model.eval()
+    for backend in backends:
+        with use_backend(backend):
+            with no_grad():
+                want = model(Tensor(x)).data
+
+            reference = InferencePlan.trace(model, input_shape, optimize=False)
+            got = reference.run(x)
+            assert np.array_equal(got, want), (
+                f"float reference plan is not bitwise-identical to the module "
+                f"path on backend {backend!r} "
+                f"(max diff {np.abs(got - want).max():.3e})"
+            )
+
+            fused = InferencePlan.trace(model, input_shape)
+            fused_logits = fused.run(x)
+            _assert_fused_close(fused_logits, want, f"fused float plan [{backend}]")
+
+            engine = InferenceEngine(model)
+            engine_logits = engine.predict_logits(x)
+            assert not engine.uses_fallback, (
+                f"engine fell back on backend {backend!r}: "
+                f"{engine.plan_report()['fallback_reason']}"
+            )
+            np.testing.assert_array_equal(engine_logits, fused_logits)
+
+            if check_integer:
+                want_int = IntegerInferenceSession(model).run(x)
+                int_reference = InferencePlan.trace(
+                    model, input_shape, mode="integer", optimize=False
+                )
+                int_got = int_reference.run(x)
+                assert np.array_equal(int_got, want_int), (
+                    f"integer reference plan is not bitwise-identical to the "
+                    f"integer session on backend {backend!r} "
+                    f"(max diff {np.abs(int_got - want_int).max():.3e})"
+                )
+                int_fused = InferencePlan.trace(model, input_shape, mode="integer")
+                _assert_fused_close(
+                    int_fused.run(x), want_int, f"fused integer plan [{backend}]"
+                )
+
+
+# --------------------------------------------------------------------------- #
+# the fallback boundary
+# --------------------------------------------------------------------------- #
+class UntraceableNet(QuantizableModel):
+    """Two conv branches joined by a *multiplication* — genuinely uncompilable.
+
+    The tracer records additions only; the product's output tensor is
+    unknown to the value table, so the following leaf raises
+    :class:`~repro.serve.PlanTraceError` and the engine must fall back.
+    """
+
+    def __init__(self, channels: int = 4, image_size: int = 8, num_classes: int = 3) -> None:
+        super().__init__()
+        rng = np.random.default_rng(0)
+        self.input_size = image_size
+        self.input_channels = 3
+        self.branch_a = QConv2d(3, channels, 3, padding=1, bias=False, bits=4, rng=rng)
+        self.branch_b = QConv2d(3, channels, 3, padding=1, bias=False, bits=4, rng=rng)
+        self.register_qlayer("branch_a", self.branch_a)
+        self.register_qlayer("branch_b", self.branch_b)
+        self.pool = GlobalAvgPool2d()
+        self.classifier = QLinear(channels, num_classes, bits=8, pinned=True, rng=rng)
+        self.register_qlayer("classifier", self.classifier, pinned=True, pinned_bits=8)
+
+    def forward(self, x: Tensor) -> Tensor:
+        gated = self.branch_a(x) * self.branch_b(x)  # multiplicative join
+        return self.classifier(self.pool(gated))
+
+
+class MendableNet(UntraceableNet):
+    """Starts with the multiplicative join; flip ``mended`` to use addition.
+
+    Models the operational story behind the engine's upgrade path: a model
+    whose glue was rewritten into compilable form after it first fell back —
+    ``predict(refresh=True)`` must then compile and clear the fallback.
+    """
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.mended = False
+
+    def forward(self, x: Tensor) -> Tensor:
+        a = self.branch_a(x)
+        b = self.branch_b(x)
+        joined = a + b if self.mended else a * b
+        return self.classifier(self.pool(joined))

@@ -1,4 +1,4 @@
-"""Inference engine: plan compilation, parity, batching, fallback."""
+"""Inference engine: plan compilation, parity, batching, fallback boundary."""
 
 from __future__ import annotations
 
@@ -11,6 +11,8 @@ from repro.nn import Tensor
 from repro.nn.tensor import no_grad
 from repro.quant import IntegerInferenceSession
 from repro.serve import InferenceEngine, InferencePlan, PlanTraceError
+
+from .parity import MendableNet, UntraceableNet
 
 
 def _warmed_model(builder, shape, rng, **kwargs):
@@ -137,6 +139,48 @@ class TestBatchingAndLifecycle:
             InferenceEngine(cnn).predict_logits(np.zeros((1, 3, 12, 12)), batch_size=-1)
 
 
+class TestWarmup:
+    def test_warmup_traces_from_model_hint(self, rng):
+        model = _warmed_model(
+            resnet18, (3, 16, 16), rng,
+            num_classes=4, width_multiplier=0.125, input_size=16, seed=0,
+        )
+        engine = InferenceEngine(model).warmup()
+        assert engine.plan_report()["state"] == "compiled"
+
+    def test_warmup_hint_respects_nonstandard_input_channels(self, rng):
+        model = _warmed_model(
+            simple_cnn, (1, 12, 12), rng,
+            num_classes=4, input_size=12, input_channels=1, channels=4, seed=0,
+        )
+        # No stored input_channels attribute: the hint must derive the
+        # channel count from the stem conv, not assume RGB.
+        assert model.example_input_shape() == (1, 12, 12)
+        engine = InferenceEngine(model).warmup()
+        assert engine.plan_report()["state"] == "compiled"
+
+    def test_warmup_requires_shape_when_no_hint(self, rng):
+        model = _warmed_model(lambda: UntraceableNet(), (3, 8, 8), rng)
+        model.input_size = None
+        with pytest.raises(ValueError, match="input-shape hint"):
+            InferenceEngine(model).warmup()
+
+    def test_warmup_raises_on_fallback_by_default(self, rng):
+        # An eager warmup is a request for compiled-plan serving: silent
+        # module-path degradation must fail at deploy time, not per request.
+        model = _warmed_model(lambda: UntraceableNet(), (3, 8, 8), rng)
+        with pytest.warns(RuntimeWarning):
+            with pytest.raises(PlanTraceError, match="require_compiled=False"):
+                InferenceEngine(model).warmup()
+
+    def test_warmup_accepts_fallback_when_asked(self, rng):
+        model = _warmed_model(lambda: UntraceableNet(), (3, 8, 8), rng)
+        with pytest.warns(RuntimeWarning):
+            engine = InferenceEngine(model).warmup(require_compiled=False)
+        assert engine.uses_fallback
+        assert engine.plan_report()["state"] == "fallback"
+
+
 class TestStalenessCheck:
     def test_refresh_skipped_on_frozen_weights(self, cnn, rng):
         x = rng.standard_normal((2, 3, 12, 12)).astype(np.float32)
@@ -199,11 +243,8 @@ class TestStalenessCheck:
     def test_integer_fallback_session_reused_until_stale(self, rng, monkeypatch):
         from repro.quant import integer_inference
 
-        model = _warmed_model(
-            resnet18, (3, 16, 16), rng,
-            num_classes=4, width_multiplier=0.125, input_size=16, seed=0,
-        )
-        x = rng.standard_normal((2, 3, 16, 16)).astype(np.float32)
+        model = _warmed_model(lambda: UntraceableNet(), (3, 8, 8), rng)
+        x = rng.standard_normal((2, 3, 8, 8)).astype(np.float32)
         constructed = []
         original = integer_inference.IntegerInferenceSession
 
@@ -227,11 +268,8 @@ class TestStalenessCheck:
 
 class TestFallbackWarning:
     def test_fallback_warns_once_per_engine_not_per_predict(self, rng):
-        model = _warmed_model(
-            resnet18, (3, 16, 16), rng,
-            num_classes=4, width_multiplier=0.125, input_size=16, seed=0,
-        )
-        x = rng.standard_normal((2, 3, 16, 16)).astype(np.float32)
+        model = _warmed_model(lambda: UntraceableNet(), (3, 8, 8), rng)
+        x = rng.standard_normal((2, 3, 8, 8)).astype(np.float32)
         engine = InferenceEngine(model)
         import warnings as warnings_module
 
@@ -246,8 +284,10 @@ class TestFallbackWarning:
         assert engine.uses_fallback
 
 
-class TestFallback:
-    def test_resnet_falls_back_and_stays_correct(self, rng):
+class TestFallbackBoundary:
+    """Only genuinely unsupported glue falls back; residual graphs compile."""
+
+    def test_resnet_compiles_and_stays_correct(self, rng):
         model = _warmed_model(
             resnet18, (3, 16, 16), rng,
             num_classes=4, width_multiplier=0.125, input_size=16, seed=0,
@@ -257,26 +297,111 @@ class TestFallback:
             want = model(Tensor(x)).data
         engine = InferenceEngine(model)
         got = engine.predict_logits(x)
-        assert engine.uses_fallback
-        np.testing.assert_allclose(got, want, rtol=1e-5, atol=1e-6)
+        assert not engine.uses_fallback
+        _assert_mostly_close(got, want)
 
-    def test_resnet_trace_raises(self, rng):
-        model = _warmed_model(
-            resnet18, (3, 16, 16), rng,
-            num_classes=4, width_multiplier=0.125, input_size=16, seed=0,
-        )
+    def test_untraceable_model_falls_back_and_stays_exact(self, rng):
+        model = _warmed_model(lambda: UntraceableNet(), (3, 8, 8), rng)
+        x = rng.standard_normal((3, 3, 8, 8)).astype(np.float32)
+        with no_grad():
+            want = model(Tensor(x)).data
+        engine = InferenceEngine(model)
+        with pytest.warns(RuntimeWarning, match="module path"):
+            got = engine.predict_logits(x)
+        assert engine.uses_fallback
+        # The fallback IS the module path: exact, not merely close.
+        np.testing.assert_array_equal(got, want)
+
+    def test_untraceable_trace_raises(self, rng):
+        model = _warmed_model(lambda: UntraceableNet(), (3, 8, 8), rng)
         with pytest.raises(PlanTraceError):
-            InferencePlan.trace(model, (3, 16, 16))
+            InferencePlan.trace(model, (3, 8, 8))
+
+    def test_plan_report_describes_fallback(self, rng):
+        model = _warmed_model(lambda: UntraceableNet(), (3, 8, 8), rng)
+        engine = InferenceEngine(model)
+        assert engine.plan_report()["state"] == "untraced"
+        with pytest.warns(RuntimeWarning):
+            engine.predict_logits(rng.standard_normal((2, 3, 8, 8)).astype(np.float32))
+        report = engine.plan_report()
+        assert report["state"] == "fallback"
+        assert report["uses_fallback"] is True
+        assert "residual additions" in report["fallback_reason"]
+        assert report["plan"] is None
 
     def test_integer_fallback_matches_session(self, rng):
+        model = _warmed_model(lambda: UntraceableNet(), (3, 8, 8), rng)
+        x = rng.standard_normal((3, 3, 8, 8)).astype(np.float32)
+        want = IntegerInferenceSession(model).run(x)
+        with pytest.warns(RuntimeWarning):
+            got = InferenceEngine(model, mode="integer").predict_logits(x)
+        np.testing.assert_array_equal(got, want)
+
+    def test_resnet_integer_compiles_and_matches_session(self, rng):
         model = _warmed_model(
             resnet18, (3, 16, 16), rng,
             num_classes=4, width_multiplier=0.125, input_size=16, seed=0,
         )
         x = rng.standard_normal((3, 3, 16, 16)).astype(np.float32)
         want = IntegerInferenceSession(model).run(x)
-        got = InferenceEngine(model, mode="integer").predict_logits(x)
-        np.testing.assert_allclose(got, want, rtol=1e-4, atol=1e-5)
+        engine = InferenceEngine(model, mode="integer")
+        got = engine.predict_logits(x)
+        assert not engine.uses_fallback
+        _assert_mostly_close(got, want)
+
+
+class TestFallbackUpgrade:
+    """refresh=True retries the trace and clears the fallback on success."""
+
+    def test_refresh_upgrades_mended_model(self, rng):
+        model = _warmed_model(lambda: MendableNet(), (3, 8, 8), rng)
+        x = rng.standard_normal((2, 3, 8, 8)).astype(np.float32)
+        engine = InferenceEngine(model)
+        with pytest.warns(RuntimeWarning, match="module path"):
+            engine.predict_logits(x)
+        assert engine.uses_fallback
+
+        model.mended = True  # the glue is rewritten into compilable form
+        # A plain predict must NOT retrace (tracing is not free per call)...
+        engine.predict_logits(x)
+        assert engine.uses_fallback
+        # ...but refresh=True retries, compiles and upgrades the engine.
+        got = engine.predict_logits(x, refresh=True)
+        assert not engine.uses_fallback
+        report = engine.plan_report()
+        assert report["state"] == "compiled"
+        assert report["upgraded_after_fallback"] is True
+        assert report["fallback_reason"] is None
+        with no_grad():
+            want = model(Tensor(x)).data
+        _assert_mostly_close(got, want)
+
+    def test_failed_retry_does_not_rewarn(self, rng):
+        model = _warmed_model(lambda: UntraceableNet(), (3, 8, 8), rng)
+        x = rng.standard_normal((2, 3, 8, 8)).astype(np.float32)
+        engine = InferenceEngine(model)
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings(record=True) as caught:
+            warnings_module.simplefilter("always")
+            engine.predict_logits(x)
+            engine.predict_logits(x, refresh=True)  # retries, fails again
+        assert engine.uses_fallback
+        fallback_warnings = [w for w in caught if "module path" in str(w.message)]
+        assert len(fallback_warnings) == 1
+
+    def test_upgrade_resets_warning_state_for_later_regressions(self, rng):
+        model = _warmed_model(lambda: MendableNet(), (3, 8, 8), rng)
+        x = rng.standard_normal((2, 3, 8, 8)).astype(np.float32)
+        engine = InferenceEngine(model)
+        with pytest.warns(RuntimeWarning):
+            engine.predict_logits(x)
+        model.mended = True
+        engine.predict_logits(x, refresh=True)
+        assert not engine.uses_fallback
+        # The warning dedup was cleared by the upgrade: a hypothetical later
+        # fallback announces itself again instead of being swallowed.
+        assert engine._fallback_warned is False
 
 
 class TestPlanStructure:

@@ -1,0 +1,114 @@
+"""Randomized serving-parity suite: compiled plans vs module path vs session.
+
+The harness itself lives in :mod:`tests.serve.parity` so other suites (and
+future backends) can import :func:`assert_serving_parity` and
+:func:`random_quantized_model` directly; this file drives it across seeds,
+backends and the paper's headline architecture.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import resnet18, resnet20
+from repro.nn import Tensor
+from repro.serve import InferenceEngine, InferencePlan
+
+from .parity import assert_serving_parity, random_quantized_model
+
+FAST_SEEDS = tuple(range(8))
+# The loop-level reference backend is slow, so it covers a sampled subset —
+# plus CI runs the whole file under REPRO_BACKEND=numpy for the full matrix.
+NUMPY_SEEDS = (1, 4, 9)
+
+
+class TestRandomizedParity:
+    @pytest.mark.parametrize("seed", FAST_SEEDS)
+    def test_random_model_parity(self, seed):
+        model, shape = random_quantized_model(seed)
+        assert_serving_parity(model, shape, backends=("fast",))
+
+    @pytest.mark.parametrize("seed", NUMPY_SEEDS)
+    def test_random_model_parity_reference_backend(self, seed):
+        model, shape = random_quantized_model(seed)
+        assert_serving_parity(model, shape, backends=("numpy",))
+
+    def test_generator_is_deterministic(self):
+        first, shape = random_quantized_model(3)
+        second, _ = random_quantized_model(3)
+        x = np.random.default_rng(0).standard_normal((2, *shape)).astype(np.float32)
+        np.testing.assert_array_equal(
+            InferenceEngine(first).predict_logits(x),
+            InferenceEngine(second).predict_logits(x),
+        )
+
+    def test_generator_covers_both_topologies_and_shortcut_kinds(self):
+        joins, identity, projection, flatten_heads = [], 0, 0, 0
+        for seed in FAST_SEEDS:
+            model, shape = random_quantized_model(seed)
+            plan = InferencePlan.trace(model, shape)
+            joins.append(plan.meta["residual_joins"])
+            identity += plan.meta["identity_shortcuts"]
+            projection += plan.meta["projection_shortcuts"]
+            flatten_heads += int(model.use_flatten)
+        assert any(count > 0 for count in joins), "no residual models generated"
+        assert any(count == 0 for count in joins), "no pure chains generated"
+        assert identity > 0 and projection > 0
+        assert 0 < flatten_heads < len(FAST_SEEDS)
+
+
+class TestResNetParity:
+    """The acceptance case: the paper's architecture serves from compiled plans."""
+
+    def _warmed(self, builder, shape, rng, **kwargs):
+        model = builder(**kwargs)
+        model(Tensor(rng.standard_normal((8, *shape)).astype(np.float32)))
+        model.eval()
+        return model
+
+    def test_resnet18_parity_fast_backend(self, rng):
+        model = self._warmed(
+            resnet18, (3, 16, 16), rng,
+            num_classes=4, width_multiplier=0.125, input_size=16, seed=0,
+        )
+        assert_serving_parity(model, (3, 16, 16), batch=2)
+
+    def test_resnet18_parity_reference_backend(self, rng):
+        model = self._warmed(
+            resnet18, (3, 8, 8), rng,
+            num_classes=4, width_multiplier=0.125, input_size=8, seed=0,
+        )
+        assert_serving_parity(model, (3, 8, 8), batch=2, backends=("numpy",))
+
+    def test_resnet20_three_stage_variant_compiles(self, rng):
+        model = self._warmed(
+            resnet20, (3, 16, 16), rng,
+            num_classes=4, width_multiplier=0.5, input_size=16, seed=0,
+        )
+        assert_serving_parity(model, (3, 16, 16), batch=2, check_integer=False)
+
+    def test_resnet18_engine_reports_compiled_not_fallback(self, rng):
+        model = self._warmed(
+            resnet18, (3, 16, 16), rng,
+            num_classes=4, width_multiplier=0.125, input_size=16, seed=0,
+        )
+        engine = InferenceEngine(model)
+        engine.predict_logits(rng.standard_normal((2, 3, 16, 16)).astype(np.float32))
+        assert not engine.uses_fallback
+        report = engine.plan_report()
+        assert report["state"] == "compiled"
+        assert report["plan"]["residual_joins"] == 8
+        assert report["plan"]["identity_shortcuts"] == 5
+        assert report["plan"]["projection_shortcuts"] == 3
+
+    def test_resnet_mixed_bit_assignment_stays_bitwise(self, rng):
+        model = self._warmed(
+            resnet18, (3, 16, 16), rng,
+            num_classes=4, width_multiplier=0.125, input_size=16, seed=0,
+        )
+        free = [n for n, l in model.quantizable_layers().items() if not l.pinned]
+        model.apply_assignment(
+            {name: (2 if i % 2 else 4) for i, name in enumerate(free)}
+        )
+        assert_serving_parity(model, (3, 16, 16), batch=2)
