@@ -1,0 +1,243 @@
+"""Micro-benchmark: process-sharded cluster vs the single-process ModelServer.
+
+Replays the same Poisson request trace (single-sample requests, exponential
+inter-arrival times, offered load beyond saturation) through two serving
+paths on a **GIL-bound workload** (`cluster_workload.GilBoundNet`: an
+uncompilable model, so every request runs the module-path fallback — Python
+autograd glue that batching amortises but threads cannot parallelise) and
+writes ``benchmarks/BENCH_cluster.json``:
+
+* **single-process baseline** — :class:`repro.serve.ModelServer`: the PR 3
+  frontend, one worker thread driving the fallback engine.  Batching works;
+  the GIL caps the whole host at roughly one core.
+* **cluster** — :class:`repro.serve.cluster.ClusterServer` with
+  ``CLUSTER_SHARDS`` worker processes booted from a quantized checkpoint,
+  each running the identical fallback engine behind the binary wire
+  protocol.
+
+Throughput is completed requests per second of makespan.  The CI floor
+(``CLUSTER_MIN_SPEEDUP``) asserts the cluster clears 2x the single process —
+**enforced only when enough CPU cores are available for the shards to
+actually run in parallel** (``floor_enforced`` in the report); on a 1-2 core
+box the numbers are reported but cannot gate.  Set
+``REPRO_BENCH_CLUSTER_SHORT=1`` (CI does) for a sub-minute run.
+
+Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+import threading
+import time
+import warnings
+
+import numpy as np
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+if HERE not in sys.path:
+    sys.path.insert(0, HERE)
+
+from cluster_workload import INPUT_SHAPE, build_workload_model  # noqa: E402
+
+from repro.serve import InferenceEngine, ModelServer  # noqa: E402
+from repro.serve.cluster import ClusterServer  # noqa: E402
+from repro.utils import save_quantized_checkpoint  # noqa: E402
+
+OUTPUT_PATH = os.path.join(HERE, "BENCH_cluster.json")
+
+# Acceptance floor (ISSUE 5): cluster vs single-process ModelServer on the
+# GIL-bound trace, when the cores exist to parallelise across.
+CLUSTER_MIN_SPEEDUP = 2.0
+#: Cores needed before the floor is meaningful: the shards must be able to
+#: run concurrently with each other (and the router).
+MIN_CORES_FOR_FLOOR = 3
+
+SHORT = os.environ.get("REPRO_BENCH_CLUSTER_SHORT", "").strip() not in ("", "0")
+NUM_REQUESTS = 96 if SHORT else 256
+REPEATS = 2 if SHORT else 3
+MEAN_INTERARRIVAL_S = 0.0002  # offered load far beyond one process's capacity
+MAX_BATCH_SIZE = 16
+MAX_DELAY_MS = 2.0
+NUM_CLIENTS = 4
+
+
+def available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+CLUSTER_SHARDS = max(2, min(4, available_cores()))
+
+
+def make_trace(rng) -> np.ndarray:
+    """Cumulative arrival offsets (seconds) of a Poisson request process."""
+    return np.cumsum(rng.exponential(MEAN_INTERARRIVAL_S, size=NUM_REQUESTS))
+
+
+def replay_trace(submit, requests, arrivals):
+    """Drive ``submit(index) -> future`` from NUM_CLIENTS client threads."""
+    futures = [None] * NUM_REQUESTS
+    start = time.perf_counter()
+
+    def client(worker):
+        for index in range(worker, NUM_REQUESTS, NUM_CLIENTS):
+            delay = arrivals[index] - (time.perf_counter() - start)
+            if delay > 0:
+                time.sleep(delay)
+            futures[index] = submit(index)
+
+    clients = [threading.Thread(target=client, args=(k,)) for k in range(NUM_CLIENTS)]
+    for thread in clients:
+        thread.start()
+    for thread in clients:
+        thread.join()
+    logits = np.stack([future.result(timeout=300) for future in futures])
+    return time.perf_counter() - start, logits
+
+
+def run_single_process(model, requests, arrivals):
+    """The PR 3 frontend: one worker thread, GIL-bound fallback engine."""
+    engine = InferenceEngine(model, batch_size=max(64, MAX_BATCH_SIZE))
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        engine.predict_logits(requests[:1])  # fallback decision outside timing
+        server = ModelServer(max_batch_size=MAX_BATCH_SIZE, max_delay_ms=MAX_DELAY_MS)
+        server.register("bench", engine=engine)
+        with server:
+            makespan, logits = replay_trace(
+                lambda index: server.submit("bench", requests[index]), requests, arrivals
+            )
+            snapshot = server.metrics("bench")
+    return makespan, logits, snapshot
+
+
+def run_cluster(checkpoint_path, requests, arrivals):
+    """The same trace through CLUSTER_SHARDS worker processes."""
+    with ClusterServer(
+        max_batch_size=MAX_BATCH_SIZE,
+        max_delay_ms=MAX_DELAY_MS,
+        request_timeout_s=120.0,
+    ) as cluster:
+        cluster.register(
+            "bench",
+            checkpoint_path,
+            shards=CLUSTER_SHARDS,
+            max_shards=CLUSTER_SHARDS,
+            require_compiled=False,  # the workload is the fallback path itself
+        )
+        cluster.predict("bench", requests[0], timeout=120)  # first-request warmth
+        makespan, logits = replay_trace(
+            lambda index: cluster.submit("bench", requests[index]), requests, arrivals
+        )
+        snapshot = cluster.metrics("bench")
+    return makespan, logits, snapshot
+
+
+def main() -> int:
+    cores = available_cores()
+    floor_enforced = cores >= MIN_CORES_FOR_FLOOR
+    print(
+        f"GIL-bound cluster bench: {NUM_REQUESTS} requests, "
+        f"{CLUSTER_SHARDS} shards, {cores} cores available "
+        f"(short={SHORT}, floor {'ENFORCED' if floor_enforced else 'report-only'})"
+    )
+    model = build_workload_model()
+    model.eval()
+    rng = np.random.default_rng(0)
+    requests = rng.standard_normal((NUM_REQUESTS, *INPUT_SHAPE)).astype(np.float32)
+    arrivals = make_trace(rng)
+
+    with tempfile.TemporaryDirectory(prefix="bench-cluster-") as tmp:
+        checkpoint = save_quantized_checkpoint(
+            os.path.join(tmp, "workload.npz"),
+            model,
+            model_factory="cluster_workload:build_workload_model",
+            factory_kwargs={},
+        )
+        best_single = best_cluster = float("inf")
+        single_logits = cluster_logits = None
+        single_snapshot = cluster_snapshot = None
+        for _ in range(REPEATS):
+            makespan, logits, snapshot = run_single_process(model, requests, arrivals)
+            if makespan < best_single:
+                best_single, single_logits, single_snapshot = makespan, logits, snapshot
+            makespan, logits, snapshot = run_cluster(checkpoint, requests, arrivals)
+            if makespan < best_cluster:
+                best_cluster, cluster_logits, cluster_snapshot = makespan, logits, snapshot
+
+    single_rps = NUM_REQUESTS / best_single
+    cluster_rps = NUM_REQUESTS / best_cluster
+    speedup = cluster_rps / single_rps
+    agreement = float(
+        (single_logits.argmax(axis=-1) == cluster_logits.argmax(axis=-1)).mean()
+    )
+
+    report = {
+        "workload": (
+            f"GilBoundNet (module-path fallback: multiplicative join), "
+            f"{INPUT_SHAPE} inputs, Poisson trace of {NUM_REQUESTS} single-sample "
+            f"requests (mean inter-arrival {MEAN_INTERARRIVAL_S * 1e3:.2f} ms)"
+        ),
+        "short_mode": SHORT,
+        "floors": {
+            "cluster_min_speedup": CLUSTER_MIN_SPEEDUP,
+            "floor_enforced": floor_enforced,
+            "min_cores_for_floor": MIN_CORES_FOR_FLOOR,
+            "cores_available": cores,
+        },
+        "config": {
+            "cluster_shards": CLUSTER_SHARDS,
+            "max_batch_size": MAX_BATCH_SIZE,
+            "max_delay_ms": MAX_DELAY_MS,
+            "clients": NUM_CLIENTS,
+        },
+        "cases": {
+            "gil_bound_poisson_trace": {
+                "single_process_rps": round(single_rps, 1),
+                "cluster_rps": round(cluster_rps, 1),
+                "speedup": round(speedup, 2),
+                "single_ms_per_request": round(best_single / NUM_REQUESTS * 1e3, 3),
+                "cluster_ms_per_request": round(best_cluster / NUM_REQUESTS * 1e3, 3),
+                "prediction_agreement": agreement,
+            }
+        },
+        "single_process_metrics": single_snapshot,
+        "cluster_metrics": cluster_snapshot,
+    }
+    with open(OUTPUT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+    merged = cluster_snapshot["merged"]
+    print(
+        f"single process: {single_rps:.0f} req/s   cluster[{CLUSTER_SHARDS}]: "
+        f"{cluster_rps:.0f} req/s   speedup {speedup:.2f}x "
+        f"(floor {CLUSTER_MIN_SPEEDUP}x, {'enforced' if floor_enforced else 'report-only'})"
+    )
+    print(
+        f"cluster telemetry: occupancy {merged['batches']['occupancy_mean']:.1f} samples, "
+        f"latency p50 {merged['latency_ms']['p50']:.1f} / "
+        f"p95 {merged['latency_ms']['p95']:.1f} ms, "
+        f"fallback-served {merged['engine_path']['fallback']}, agreement {agreement:.3f}"
+    )
+    print(f"wrote {OUTPUT_PATH}")
+    if floor_enforced and speedup < CLUSTER_MIN_SPEEDUP:
+        print(
+            f"FAIL: cluster is only {speedup:.2f}x the single-process server "
+            f"(floor {CLUSTER_MIN_SPEEDUP}x on {cores} cores)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,12 +12,16 @@ This example walks the deployment path:
 5. serve concurrent clients through a :class:`ModelServer` hosting two
    bit-width variants (the BMPQ mixed-precision assignment and a uniform
    4-bit build of the same weights), with dynamic micro-batching and
-   telemetry, and
-6. report the storage footprint of the shipped weights (Eq. 10-12).
+   telemetry,
+6. report the storage footprint of the shipped weights (Eq. 10-12), and
+7. (``--cluster``) ship the checkpoint to a process-sharded
+   :class:`ClusterServer` — two worker processes booted from the quantized
+   checkpoint, autoscaling enabled — and print the aggregated cluster
+   telemetry.
 
 Usage::
 
-    python examples/deploy_quantized_model.py [--epochs 3]
+    python examples/deploy_quantized_model.py [--epochs 3] [--cluster]
 """
 
 from __future__ import annotations
@@ -32,7 +36,8 @@ from repro import BMPQConfig, BMPQTrainer, ModelServer, build_model, evaluate_mo
 from repro.analysis import compression_summary, format_bit_vector
 from repro.data import DataLoader, SyntheticImageClassification
 from repro.nn import Tensor
-from repro.utils import load_checkpoint, save_checkpoint
+from repro.serve.cluster import Autoscaler, AutoscalerPolicy, ClusterServer
+from repro.utils import load_checkpoint, save_checkpoint, save_quantized_checkpoint
 
 
 def main() -> None:
@@ -42,6 +47,11 @@ def main() -> None:
     parser.add_argument("--width", type=float, default=0.125)
     parser.add_argument("--checkpoint", type=str, default="bmpq_resnet18_deploy.npz")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--cluster",
+        action="store_true",
+        help="also serve the checkpoint from a 2-shard process cluster with autoscaling",
+    )
     args = parser.parse_args()
 
     train_set = SyntheticImageClassification(384, num_classes=args.classes, image_size=32, seed=args.seed)
@@ -153,6 +163,77 @@ def main() -> None:
         f"r32={summary.compression_ratio_fp32:.1f}x, r16={summary.compression_ratio_fp16:.1f}x, "
         f"average {summary.average_bits:.2f} bits/weight)"
     )
+
+    # --- 7. optional: cluster serving (process sharding + autoscaling) -------
+    if args.cluster:
+        serve_cluster(served, args, samples, results["bmpq-mixed"])
+
+
+def serve_cluster(served, args, samples, reference_logits) -> None:
+    """Ship the trained model to a 2-shard process cluster and serve it.
+
+    Workers boot from the *quantized deployment checkpoint* (weights + bit
+    assignment + PACT alphas + BN statistics + the model-factory spec), so
+    this is the same path a real deployment host would take — no Python
+    objects cross the process boundary, only bytes.
+    """
+    deploy_path = save_quantized_checkpoint(
+        args.checkpoint.replace(".npz", "") + "_cluster",
+        served,
+        model_factory="repro.models.registry:build_model",
+        factory_kwargs={
+            "name": "resnet18",
+            "num_classes": args.classes,
+            "width_multiplier": args.width,
+            "seed": 123,
+        },
+        metadata={"arch": "resnet18"},
+    )
+    print(f"\ncluster checkpoint: {deploy_path}")
+    with ClusterServer(max_batch_size=16, max_delay_ms=5.0) as cluster:
+        cluster.register("bmpq-mixed", deploy_path, shards=2, min_shards=1, max_shards=3)
+        policy = AutoscalerPolicy(
+            scale_up_backlog_per_shard=8.0, scale_down_backlog_per_shard=0.5, cooldown_s=1.0
+        )
+        with Autoscaler(cluster, policy=policy, interval_s=0.2) as autoscaler:
+            cluster_results = [None] * len(samples)
+
+            def client(indices) -> None:
+                for i in indices:
+                    cluster_results[i] = cluster.predict("bmpq-mixed", samples[i], timeout=120)
+
+            clients = [
+                threading.Thread(target=client, args=(range(k, len(samples), 4),))
+                for k in range(4)
+            ]
+            for thread in clients:
+                thread.start()
+            for thread in clients:
+                thread.join()
+            cluster.drain(timeout=60)
+
+            view = cluster.metrics("bmpq-mixed")
+            merged = view["merged"]
+            print(
+                f"cluster served {merged['requests']['completed']} requests over "
+                f"{view['live_shards']} shard(s) in {merged['batches']['served']} "
+                f"micro-batches, latency p50/p95 = "
+                f"{merged['latency_ms']['p50']:.1f}/{merged['latency_ms']['p95']:.1f} ms, "
+                f"{merged['throughput_rps']:.0f} samples/s"
+            )
+            for shard_name, shard in view["shards"].items():
+                print(
+                    f"  {shard_name}: pid={shard['pid']} state={shard['state']} "
+                    f"completed={shard['metrics']['requests']['completed']} "
+                    f"restarts={shard['restarts']}"
+                )
+            if autoscaler.decisions:
+                print(f"autoscaler decisions: {autoscaler.decisions}")
+
+    cluster_classes = np.array([r.argmax() for r in cluster_results])
+    thread_classes = np.array([r.argmax() for r in reference_logits])
+    agreement = float((cluster_classes == thread_classes).mean())
+    print(f"cluster vs in-process ModelServer prediction agreement: {100 * agreement:.1f}%")
 
 
 if __name__ == "__main__":

@@ -46,6 +46,9 @@ from .backend import (
 )
 from .models import build_model, available_models
 from .serve import (
+    Autoscaler,
+    ClusterClient,
+    ClusterServer,
     InferenceEngine,
     InferencePlan,
     ModelRegistry,
@@ -53,7 +56,7 @@ from .serve import (
     ServerOverloaded,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "analysis",
@@ -77,6 +80,9 @@ __all__ = [
     "solve_bit_assignment",
     "build_model",
     "available_models",
+    "Autoscaler",
+    "ClusterClient",
+    "ClusterServer",
     "InferenceEngine",
     "InferencePlan",
     "ModelRegistry",

@@ -20,8 +20,23 @@ requests into micro-batches (:class:`DynamicBatcher` over a bounded
 :class:`RequestQueue` with admission control) and reports serving telemetry
 (:class:`ServerMetrics` — latency percentiles, batch occupancy,
 throughput).
+
+Above the frontend sits the *cluster* layer (:mod:`repro.serve.cluster`):
+:class:`ClusterServer` shards each variant across worker **processes**
+booted from versioned quantized checkpoints, speaks a length-prefixed
+binary wire protocol to them (and to external TCP clients via
+:class:`TcpFrontend`/:class:`ClusterClient`), restarts crashed workers, and
+lets an :class:`Autoscaler` move per-variant shard counts with load.
 """
 
+from .cluster import (
+    Autoscaler,
+    AutoscalerPolicy,
+    ClusterClient,
+    ClusterServer,
+    TcpFrontend,
+    WorkerCrashed,
+)
 from .engine import InferenceEngine
 from .frontend import (
     DynamicBatcher,
@@ -37,6 +52,12 @@ from .frontend import (
 from .plan import InferencePlan, PlanTraceError, PlanVerifyError
 
 __all__ = [
+    "Autoscaler",
+    "AutoscalerPolicy",
+    "ClusterClient",
+    "ClusterServer",
+    "TcpFrontend",
+    "WorkerCrashed",
     "InferenceEngine",
     "InferencePlan",
     "PlanTraceError",

@@ -1,0 +1,186 @@
+"""Per-variant autoscaling: queue depth and tail latency drive shard counts.
+
+The autoscaler closes the loop the router leaves open: :meth:`ClusterServer.scale`
+can move a variant between ``min_shards`` and ``max_shards``, but something has
+to decide *when*.  :class:`Autoscaler` polls
+:meth:`~repro.serve.cluster.router.ClusterServer.variant_load` on an interval
+and applies a small, explainable policy per variant:
+
+* **scale up** when the backlog per live shard (queued + in-flight requests)
+  exceeds ``scale_up_backlog_per_shard``, or the merged p95 latency exceeds
+  ``scale_up_p95_ms`` (when set) while there is a backlog at all — a latency
+  target with an empty queue means the model is just slow, and another shard
+  would not help;
+* **scale down** when the backlog per shard falls under
+  ``scale_down_backlog_per_shard`` — one shard at a time, never under
+  ``min_shards``;
+* **cooldown** between actions per variant, so a burst cannot flap the fleet
+  (booting a worker costs real seconds; retiring one throws warm state away).
+
+The decision function is pure (:func:`decide`) so the policy is unit-testable
+without processes; the thread is just "poll, decide, ``cluster.scale``".
+Every action lands in :attr:`Autoscaler.decisions` and in the cluster's
+``scaling_events`` telemetry.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["AutoscalerPolicy", "Autoscaler", "decide"]
+
+
+@dataclass
+class AutoscalerPolicy:
+    """Thresholds steering one variant's shard count."""
+
+    #: Queued + in-flight requests per live shard above which to add a shard.
+    scale_up_backlog_per_shard: float = 4.0
+    #: Merged p95 end-to-end latency (ms) above which to add a shard (only
+    #: while a backlog exists).  ``None`` disables the latency trigger.
+    scale_up_p95_ms: Optional[float] = None
+    #: Backlog per live shard below which to retire a shard.
+    scale_down_backlog_per_shard: float = 0.5
+    #: Minimum seconds between scaling actions on one variant.
+    cooldown_s: float = 2.0
+
+
+def decide(load: Dict[str, object], policy: AutoscalerPolicy) -> int:
+    """The pure scaling decision: current load -> target live-shard count.
+
+    ``load`` is :meth:`ClusterServer.variant_load` output.  Moves one shard
+    at a time (fleet changes should be observable, not oscillating jumps)
+    and always stays inside the variant's ``bounds``.
+    """
+    live = max(1, int(load["live_shards"]))
+    low, high = load["bounds"]
+    backlog = float(load["outstanding"])
+    per_shard = backlog / live
+    p95 = float(load["p95_latency_ms"])
+
+    target = live
+    if per_shard > policy.scale_up_backlog_per_shard:
+        target = live + 1
+    elif (
+        policy.scale_up_p95_ms is not None
+        and p95 > policy.scale_up_p95_ms
+        and backlog >= 1.0
+    ):
+        target = live + 1
+    elif per_shard < policy.scale_down_backlog_per_shard:
+        target = live - 1
+    return max(low, min(high, target))
+
+
+class Autoscaler:
+    """A policy loop over a :class:`ClusterServer`'s variants.
+
+    Parameters
+    ----------
+    cluster:
+        The cluster to steer.
+    policy:
+        Default policy for every variant.
+    policies:
+        Per-variant overrides (variant name -> policy).
+    interval_s:
+        Poll cadence.  Scaling actions themselves run synchronously in the
+        loop thread (booting a worker blocks the *autoscaler*, never the
+        serving path).
+    """
+
+    def __init__(
+        self,
+        cluster,
+        policy: Optional[AutoscalerPolicy] = None,
+        policies: Optional[Dict[str, AutoscalerPolicy]] = None,
+        interval_s: float = 0.25,
+    ) -> None:
+        self.cluster = cluster
+        self.policy = policy if policy is not None else AutoscalerPolicy()
+        self.policies = dict(policies or {})
+        self.interval_s = float(interval_s)
+        self.decisions: List[Dict[str, object]] = []
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._last_action: Dict[str, float] = {}
+
+    def policy_for(self, name: str) -> AutoscalerPolicy:
+        return self.policies.get(name, self.policy)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "Autoscaler":
+        if self._thread is not None:
+            raise RuntimeError("the autoscaler is already running")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="cluster/autoscaler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+
+    def __enter__(self) -> "Autoscaler":
+        return self.start()
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # the loop
+    # ------------------------------------------------------------------ #
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            if not self.cluster.running:
+                continue
+            for name in self.cluster.variants():
+                try:
+                    self.step(name)
+                except (KeyError, RuntimeError):
+                    continue  # variant vanished or cluster is stopping
+
+    def step(self, name: str, now: Optional[float] = None) -> Optional[int]:
+        """One decide-and-act pass for ``name``; returns the new target or None.
+
+        Public so tests (and operators at a REPL) can drive the policy
+        without the thread.
+        """
+        now = time.monotonic() if now is None else now
+        policy = self.policy_for(name)
+        last = self._last_action.get(name)
+        if last is not None and now - last < policy.cooldown_s:
+            return None
+        load = self.cluster.variant_load(name)
+        if int(load["live_shards"]) == 0:
+            return None  # nothing live to scale (booting or failed)
+        target = decide(load, policy)
+        if target == int(load["live_shards"]):
+            return None
+        self._last_action[name] = now
+        applied = self.cluster.scale(name, target)
+        self.decisions.append(
+            {
+                "variant": name,
+                "from": int(load["live_shards"]),
+                "target": target,
+                "applied": applied,
+                "outstanding": load["outstanding"],
+                "p95_latency_ms": load["p95_latency_ms"],
+                "time": time.time(),
+            }
+        )
+        return applied
+
+    def __repr__(self) -> str:
+        running = self._thread is not None and self._thread.is_alive()
+        return f"Autoscaler(running={running}, decisions={len(self.decisions)})"

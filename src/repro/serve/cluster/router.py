@@ -1,0 +1,847 @@
+"""The cluster router: process-sharded serving behind the ModelServer API.
+
+:class:`ClusterServer` mirrors :class:`~repro.serve.frontend.ModelServer`'s
+``submit``/``predict`` surface, but each registered *variant* (a quantized
+checkpoint + engine mode) is served by **N worker processes** instead of one
+worker thread.  That is the scaling step the frontend seam called for: a
+GIL-bound serving path (module-path fallback, Python glue in compiled plans)
+caps a single process at roughly one core no matter how many threads it
+runs; processes shard it across cores.
+
+Topology, per variant::
+
+    submit(name, x) ──> least-outstanding shard pick
+                          ├── shard 0: RequestQueue -> DynamicBatcher -> dispatcher thread ══socketpair══ worker process 0
+                          ├── shard 1: RequestQueue -> DynamicBatcher -> dispatcher thread ══socketpair══ worker process 1
+                          └── ...
+
+The proven frontend pieces are *reused*, not re-implemented: every shard has
+its own bounded :class:`~repro.serve.frontend.queuing.RequestQueue`
+(admission control + backpressure) and
+:class:`~repro.serve.frontend.batcher.DynamicBatcher` (micro-batch policy),
+and records into its own :class:`~repro.serve.frontend.metrics.ServerMetrics`
+— the cluster view is :meth:`ServerMetrics.merged` over the shards.
+
+Failure containment:
+
+* **Per-request failures** (bad shape, worker-side exception) come back as
+  typed ERROR frames and fail only the affected futures.
+* **A crashed worker** fails only the requests *in flight on its wire* with
+  :class:`~repro.serve.cluster.protocol.WorkerCrashed`; everything still in
+  its queue survives, and the shard's dispatcher respawns the worker from
+  the same checkpoint (bounded by ``max_restarts``) while the other shards
+  keep serving.  A health monitor notices workers that die while idle, so
+  restart does not wait for the next request to trip over the corpse.
+* **Scale-down** retires a shard gracefully: it stops receiving new
+  requests, drains its queue, then shuts the worker down.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future, InvalidStateError
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ...backend import get_backend
+from ..frontend.batcher import DynamicBatcher
+from ..frontend.metrics import ServerMetrics
+from ..frontend.queuing import Request, RequestQueue, ServerClosed, ServerOverloaded
+from .protocol import (
+    FrameKind,
+    ProtocolError,
+    WorkerCrashed,
+    decode_ndarray,
+    encode_request,
+    exception_from_error,
+)
+from .transport import ChannelClosed
+from .worker import WorkerBootError, WorkerHandle, WorkerOptions, spawn_worker
+
+__all__ = ["ClusterServer"]
+
+BatchObserver = Callable[[str, List[Request]], None]
+
+
+class _Shard:
+    """One worker process plus its router-side serving state."""
+
+    LIVE = "live"
+    RETIRING = "retiring"
+    FAILED = "failed"
+
+    def __init__(
+        self,
+        variant: "_Variant",
+        index: int,
+        queue: RequestQueue,
+        batcher: DynamicBatcher,
+        metrics: ServerMetrics,
+    ) -> None:
+        self.variant = variant
+        self.index = index
+        self.queue = queue
+        self.batcher = batcher
+        self.metrics = metrics
+        self.handle: Optional[WorkerHandle] = None
+        self.dispatcher: Optional[threading.Thread] = None
+        self.state = self.LIVE
+        self.restarts = 0
+        self.needs_restart = False
+        self._request_ids = itertools.count(1)
+        self._pending = 0
+        self._idle = threading.Condition()
+
+    @property
+    def name(self) -> str:
+        return f"{self.variant.name}[{self.index}]"
+
+    # -- outstanding-request accounting (least-outstanding routing) -------- #
+    def note_admitted(self) -> None:
+        with self._idle:
+            self._pending += 1
+
+    def note_done(self) -> None:
+        with self._idle:
+            self._pending -= 1
+            if self._pending <= 0:
+                self._idle.notify_all()
+
+    @property
+    def outstanding(self) -> int:
+        with self._idle:
+            return self._pending
+
+    def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        with self._idle:
+            return self._idle.wait_for(lambda: self._pending == 0, timeout)
+
+    def next_request_id(self) -> int:
+        return next(self._request_ids)
+
+
+class _Variant:
+    """One registered checkpoint/mode pair and its shard set."""
+
+    def __init__(
+        self,
+        name: str,
+        options: WorkerOptions,
+        *,
+        min_shards: int,
+        max_shards: int,
+        target_shards: int,
+        description: str,
+    ) -> None:
+        self.name = name
+        self.options = options
+        self.min_shards = min_shards
+        self.max_shards = max_shards
+        self.target_shards = target_shards
+        self.description = description
+        self.shards: List[_Shard] = []
+        self.lock = threading.Lock()
+        self.next_index = 0
+
+    def live_shards(self) -> List[_Shard]:
+        with self.lock:
+            return [s for s in self.shards if s.state == _Shard.LIVE]
+
+    def all_shards(self) -> List[_Shard]:
+        with self.lock:
+            return list(self.shards)
+
+
+class ClusterServer:
+    """Process-sharded, wire-connected serving over quantized checkpoints.
+
+    Parameters mirror :class:`~repro.serve.frontend.ModelServer` where they
+    mean the same thing; the new knobs govern the process fleet.
+
+    Parameters
+    ----------
+    max_batch_size / max_delay_ms / max_queue_depth / latency_window:
+        Per-shard micro-batching and admission-control bounds (the same
+        semantics as on ``ModelServer``).
+    start_method:
+        ``multiprocessing`` start method for workers.  ``"spawn"`` (default)
+        boots each worker in a pristine interpreter; ``"fork"`` is faster
+        but only safe from a single-threaded parent.
+    boot_timeout_s:
+        How long a worker may take from process start to HELLO.
+    request_timeout_s:
+        How long a dispatcher waits for one micro-batch's reply before
+        declaring the worker dead.
+    max_restarts:
+        Crash-loop bound per shard; beyond it the shard is failed and its
+        queued requests are failed with :class:`WorkerCrashed`.
+    on_batch:
+        Test/telemetry hook called with ``(variant_name, requests)`` after
+        each served micro-batch.
+    """
+
+    _POLL_SECONDS = 0.05
+    _MONITOR_SECONDS = 0.25
+
+    def __init__(
+        self,
+        *,
+        max_batch_size: int = 32,
+        max_delay_ms: float = 2.0,
+        max_queue_depth: int = 512,
+        latency_window: int = 8192,
+        start_method: str = "spawn",
+        boot_timeout_s: float = 120.0,
+        request_timeout_s: float = 60.0,
+        max_restarts: int = 3,
+        on_batch: Optional[BatchObserver] = None,
+    ) -> None:
+        if max_batch_size <= 0:
+            raise ValueError(f"max_batch_size must be positive, got {max_batch_size}")
+        if max_delay_ms < 0:
+            raise ValueError(f"max_delay_ms must be >= 0, got {max_delay_ms}")
+        self.max_batch_size = int(max_batch_size)
+        self.max_delay_ms = float(max_delay_ms)
+        self.max_queue_depth = int(max_queue_depth)
+        self.latency_window = int(latency_window)
+        self.start_method = start_method
+        self.boot_timeout_s = float(boot_timeout_s)
+        self.request_timeout_s = float(request_timeout_s)
+        self.max_restarts = int(max_restarts)
+        self._on_batch = on_batch
+        self._variants: "OrderedDict[str, _Variant]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._started = False
+        self._closed = False
+        self._abort = threading.Event()
+        self._monitor: Optional[threading.Thread] = None
+        self._scaling_events: List[Dict[str, object]] = []
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+    def register(
+        self,
+        name: str,
+        checkpoint_path: str,
+        *,
+        mode: str = "float",
+        shards: int = 1,
+        min_shards: int = 1,
+        max_shards: int = 8,
+        require_compiled: bool = True,
+        backend: Optional[str] = None,
+        description: str = "",
+    ) -> None:
+        """Host the checkpoint at ``checkpoint_path`` under ``name``.
+
+        The checkpoint must be a versioned quantized checkpoint with a model
+        factory spec (:func:`repro.utils.save_quantized_checkpoint`) — the
+        workers rebuild the model from it in their own processes.  ``shards``
+        is the initial shard count; the autoscaler (or :meth:`scale`) moves
+        it inside ``[min_shards, max_shards]``.
+        """
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"variant name must be a non-empty string, got {name!r}")
+        if not 1 <= min_shards <= max_shards:
+            raise ValueError(
+                f"need 1 <= min_shards <= max_shards, got [{min_shards}, {max_shards}]"
+            )
+        if not min_shards <= shards <= max_shards:
+            raise ValueError(
+                f"shards={shards} outside [{min_shards}, {max_shards}]"
+            )
+        options = WorkerOptions(
+            checkpoint_path=checkpoint_path,
+            variant=name,
+            mode=mode,
+            batch_size=max(64, self.max_batch_size),
+            require_compiled=require_compiled,
+            backend=backend if backend is not None else get_backend().name,
+        )
+        variant = _Variant(
+            name,
+            options,
+            min_shards=min_shards,
+            max_shards=max_shards,
+            target_shards=shards,
+            description=description,
+        )
+        with self._lock:
+            if self._closed:
+                raise ServerClosed("cannot register variants on a stopped cluster")
+            if name in self._variants:
+                raise ValueError(f"variant name {name!r} is already registered")
+            self._variants[name] = variant
+            started = self._started
+        if started:
+            self._reconcile(variant)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "ClusterServer":
+        with self._lock:
+            if self._closed:
+                raise ServerClosed("this cluster was stopped; build a new one")
+            if self._started:
+                raise RuntimeError("the cluster is already running")
+            self._started = True
+            variants = list(self._variants.values())
+        for variant in variants:
+            self._reconcile(variant)
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="cluster/monitor", daemon=True
+        )
+        self._monitor.start()
+        return self
+
+    def stop(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop the fleet. ``drain=True`` serves everything already admitted."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if not drain:
+                self._abort.set()
+            variants = list(self._variants.values())
+            was_started = self._started
+        for variant in variants:
+            for shard in variant.all_shards():
+                shard.queue.close()
+        if was_started:
+            for variant in variants:
+                for shard in variant.all_shards():
+                    if shard.dispatcher is not None:
+                        shard.dispatcher.join(timeout)
+        error = ServerClosed("the cluster stopped before this request was served")
+        for variant in variants:
+            for shard in variant.all_shards():
+                for request in shard.queue.drain_remaining():
+                    self._fail_request(shard, request, error)
+                if shard.handle is not None:
+                    shard.handle.shutdown(timeout=5.0)
+        if self._monitor is not None:
+            self._monitor.join(timeout=5.0)
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until every admitted request completed (cluster keeps running)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for variant in self._variant_list():
+            for shard in variant.all_shards():
+                remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
+                if not shard.wait_idle(remaining):
+                    return False
+        return True
+
+    @property
+    def running(self) -> bool:
+        return self._started and not self._closed
+
+    def __enter__(self) -> "ClusterServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.stop(drain=exc_type is None)
+
+    # ------------------------------------------------------------------ #
+    # submission API (mirrors ModelServer)
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        name: str,
+        inputs,
+        block: bool = True,
+        timeout: Optional[float] = None,
+    ) -> "Future[np.ndarray]":
+        """Enqueue one request on the least-loaded shard of ``name``.
+
+        Accepts a single ``(C, H, W)`` sample (future resolves to one logits
+        row) or an ``(n, C, H, W)`` small batch, exactly like
+        :meth:`ModelServer.submit`.
+        """
+        if self._closed:
+            raise ServerClosed("the cluster is stopped")
+        variant = self._variant(name)
+        array = np.ascontiguousarray(np.asarray(inputs, dtype=np.float32))
+        if array.ndim == 3:
+            array = array[np.newaxis]
+            squeeze = True
+        elif array.ndim == 4:
+            squeeze = False
+        else:
+            raise ValueError(
+                f"expected a (C, H, W) sample or (n, C, H, W) small batch, "
+                f"got shape {array.shape}"
+            )
+        if array.shape[0] == 0:
+            raise ValueError("cannot submit an empty request")
+        if array.shape[0] > self.max_batch_size:
+            raise ValueError(
+                f"request of {array.shape[0]} samples exceeds max_batch_size="
+                f"{self.max_batch_size}; use InferenceEngine.predict_logits "
+                f"for large offline batches"
+            )
+        excluded: set = set()
+        while True:
+            shard = self._pick_shard(variant, excluded)
+            request = Request(
+                inputs=array,
+                future=Future(),
+                squeeze=squeeze,
+                enqueue_time=time.monotonic(),
+                request_id=shard.next_request_id(),
+            )
+            shard.note_admitted()
+            try:
+                shard.queue.put(request, block=block, timeout=timeout)
+            except ServerOverloaded:
+                shard.note_done()
+                shard.metrics.record_rejected()
+                raise
+            except ServerClosed:
+                # Lost the race with this shard's retirement/failure; another
+                # shard (if any is left) can still take the request.
+                shard.note_done()
+                excluded.add(shard)
+                continue
+            shard.metrics.record_admitted(shard.queue.depth)
+            return request.future
+
+    def predict(self, name: str, inputs, timeout: Optional[float] = None) -> np.ndarray:
+        return self.submit(name, inputs).result(timeout)
+
+    def predict_classes(self, name: str, inputs, timeout: Optional[float] = None) -> np.ndarray:
+        return self.predict(name, inputs, timeout=timeout).argmax(axis=-1)
+
+    def _pick_shard(self, variant: _Variant, excluded: Optional[set] = None) -> _Shard:
+        """Least-outstanding routing over the variant's live shards."""
+        live = variant.live_shards()
+        if excluded:
+            live = [shard for shard in live if shard not in excluded]
+        if not live:
+            raise ServerClosed(
+                f"variant {variant.name!r} has no live shards "
+                f"(crashed beyond max_restarts, or the cluster is not started)"
+            )
+        return min(live, key=lambda shard: shard.outstanding)
+
+    def _variant(self, name: str) -> _Variant:
+        with self._lock:
+            variant = self._variants.get(name)
+        if variant is None:
+            with self._lock:
+                known = ", ".join(sorted(self._variants)) or "<none>"
+            raise KeyError(f"no variant registered under {name!r} (registered: {known})")
+        return variant
+
+    def _variant_list(self) -> List[_Variant]:
+        with self._lock:
+            return list(self._variants.values())
+
+    # ------------------------------------------------------------------ #
+    # shard lifecycle
+    # ------------------------------------------------------------------ #
+    def _reconcile(self, variant: _Variant) -> None:
+        """Bring the variant's live shard count up to its target."""
+        while True:
+            with variant.lock:
+                live = [s for s in variant.shards if s.state == _Shard.LIVE]
+                if len(live) >= variant.target_shards:
+                    return
+            self._add_shard(variant)
+
+    def _add_shard(self, variant: _Variant) -> _Shard:
+        queue = RequestQueue(max_depth=self.max_queue_depth)
+        batcher = DynamicBatcher(
+            queue, max_batch_size=self.max_batch_size, max_delay=self.max_delay_ms / 1e3
+        )
+        with variant.lock:
+            index = variant.next_index
+            variant.next_index += 1
+        shard = _Shard(variant, index, queue, batcher, ServerMetrics(self.latency_window))
+        shard.handle = spawn_worker(
+            variant.options,
+            start_method=self.start_method,
+            boot_timeout=self.boot_timeout_s,
+        )
+        shard.dispatcher = threading.Thread(
+            target=self._dispatch_loop,
+            args=(variant, shard),
+            name=f"cluster-dispatch/{shard.name}",
+            daemon=True,
+        )
+        with variant.lock:
+            variant.shards.append(shard)
+        shard.dispatcher.start()
+        return shard
+
+    def _retire_shard(self, variant: _Variant, shard: _Shard) -> None:
+        """Graceful scale-down: no new requests, drain, then shut down."""
+        shard.state = _Shard.RETIRING
+        shard.queue.close()  # dispatcher drains to empty, then exits and shuts the worker down
+
+    def scale(self, name: str, target_shards: int) -> int:
+        """Move ``name`` to ``target_shards`` live shards (within bounds).
+
+        Growing spawns and boots workers synchronously; shrinking retires
+        the highest-indexed shards gracefully (their queued requests are
+        served before the worker exits).  Returns the new live-shard count.
+        """
+        variant = self._variant(name)
+        target = max(variant.min_shards, min(variant.max_shards, int(target_shards)))
+        with self._lock:
+            started = self._started and not self._closed
+        with variant.lock:
+            variant.target_shards = target
+        if not started:
+            return target
+        live = variant.live_shards()
+        if len(live) < target:
+            self._record_scaling(name, len(live), target, "scale_up")
+            self._reconcile(variant)
+        elif len(live) > target:
+            self._record_scaling(name, len(live), target, "scale_down")
+            for shard in sorted(live, key=lambda s: s.index)[target:]:
+                self._retire_shard(variant, shard)
+        return len(variant.live_shards())
+
+    def num_shards(self, name: str) -> int:
+        return len(self._variant(name).live_shards())
+
+    def variants(self) -> List[str]:
+        with self._lock:
+            return list(self._variants)
+
+    def _record_scaling(self, name: str, current: int, target: int, kind: str) -> None:
+        self._scaling_events.append(
+            {
+                "variant": name,
+                "kind": kind,
+                "from": current,
+                "to": target,
+                "time": time.time(),
+            }
+        )
+
+    @property
+    def scaling_events(self) -> List[Dict[str, object]]:
+        return list(self._scaling_events)
+
+    # ------------------------------------------------------------------ #
+    # dispatcher: one thread per shard, owner of the shard's wire
+    # ------------------------------------------------------------------ #
+    def _dispatch_loop(self, variant: _Variant, shard: _Shard) -> None:
+        while True:
+            if shard.needs_restart and not self._closed:
+                shard.needs_restart = False
+                if not self._restart_worker(variant, shard):
+                    return
+            batch = shard.batcher.next_batch(timeout=self._POLL_SECONDS)
+            if batch:
+                if self._abort.is_set():
+                    error = ServerClosed("the cluster stopped before this request was served")
+                    for request in batch:
+                        self._fail_request(shard, request, error)
+                else:
+                    self._serve_batch(variant, shard, batch)
+                continue
+            if shard.queue.closed:
+                break
+        # Drained (stop or retirement): shut the worker down and deregister
+        # retiring shards so they stop appearing in telemetry.
+        if shard.state == _Shard.RETIRING:
+            if shard.handle is not None:
+                shard.handle.shutdown(timeout=5.0)
+            with variant.lock:
+                if shard in variant.shards:
+                    variant.shards.remove(shard)
+
+    def _serve_batch(self, variant: _Variant, shard: _Shard, batch: List[Request]) -> None:
+        formed = time.monotonic()
+        live: List[Request] = []
+        for request in batch:
+            if request.future.set_running_or_notify_cancel():
+                live.append(request)
+            else:
+                shard.metrics.record_cancelled()
+                shard.note_done()
+        if not live:
+            return
+        # Same per-shape grouping as ModelServer: a malformed request can
+        # only fail its own group.
+        groups: "OrderedDict[tuple, List[Request]]" = OrderedDict()
+        for request in live:
+            groups.setdefault(request.sample_shape, []).append(request)
+        for group_index, requests in enumerate(groups.values()):
+            stacked = (
+                requests[0].inputs
+                if len(requests) == 1
+                else np.concatenate([r.inputs for r in requests], axis=0)
+            )
+            try:
+                logits = self._roundtrip(shard, stacked)
+            except (ChannelClosed, ProtocolError, TimeoutError) as error:
+                # The worker's wire is gone: everything we popped for this
+                # batch is in flight from the router's perspective — those
+                # futures fail, the shard's *queue* survives untouched.
+                crash = WorkerCrashed(
+                    f"shard {shard.name} (pid={shard.handle.pid if shard.handle else '?'}) "
+                    f"died with this request in flight: {error}"
+                )
+                remaining = [r for grp in list(groups.values())[group_index:] for r in grp]
+                for request in remaining:
+                    self._fail_request(shard, request, crash)
+                if not self._restart_worker(variant, shard):
+                    return
+                return
+            except Exception as error:  # noqa: BLE001 - typed worker-side failure
+                for request in requests:
+                    self._fail_request(shard, request, error)
+                continue
+            done = time.monotonic()
+            shard.metrics.record_batch(int(stacked.shape[0]), done - formed)
+            shard.metrics.record_served_path(
+                len(requests),
+                fallback=shard.handle.uses_fallback if shard.handle else False,
+            )
+            offset = 0
+            for request in requests:
+                rows = logits[offset : offset + request.num_samples]
+                offset += request.num_samples
+                result = rows[0] if request.squeeze else rows
+                try:
+                    request.future.set_result(np.ascontiguousarray(result))
+                except InvalidStateError:
+                    pass
+                shard.metrics.record_completion(
+                    latency_seconds=done - request.enqueue_time,
+                    wait_seconds=formed - request.enqueue_time,
+                    samples=request.num_samples,
+                )
+                shard.note_done()
+            if self._on_batch is not None:
+                self._on_batch(variant.name, requests)
+
+    def _roundtrip(self, shard: _Shard, stacked: np.ndarray) -> np.ndarray:
+        """One REQUEST/RESPONSE exchange; raises the typed worker error.
+
+        Only the shard's dispatcher thread ever touches the wire, so the
+        exchange needs no locking — request ids still correlate replies in
+        case a stale frame (e.g. from a boot-time exchange) lingers.
+        """
+        request_id = shard.next_request_id()
+        channel = shard.handle.channel
+        channel.send(
+            FrameKind.REQUEST, request_id, encode_request(shard.variant.name, stacked)
+        )
+        deadline = time.monotonic() + self.request_timeout_s
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"no reply within request_timeout_s={self.request_timeout_s}"
+                )
+            frame = channel.recv(timeout=remaining)
+            if frame is None:
+                continue
+            if frame.request_id != request_id:
+                continue  # stale reply from an abandoned exchange
+            if frame.kind == FrameKind.RESPONSE:
+                logits, _ = decode_ndarray(frame.payload)
+                return logits
+            if frame.kind == FrameKind.ERROR:
+                raise exception_from_error(frame.payload)
+
+    def _restart_worker(self, variant: _Variant, shard: _Shard) -> bool:
+        """Respawn a dead shard worker in place; False when the shard is failed."""
+        if shard.handle is not None:
+            shard.handle.kill()
+        if self._closed:
+            return False
+        shard.restarts += 1
+        if shard.restarts > self.max_restarts:
+            self._fail_shard(variant, shard)
+            return False
+        try:
+            shard.handle = spawn_worker(
+                variant.options,
+                start_method=self.start_method,
+                boot_timeout=self.boot_timeout_s,
+            )
+        except (WorkerBootError, OSError) as error:
+            self._fail_shard(variant, shard, reason=str(error))
+            return False
+        return True
+
+    def _fail_shard(self, variant: _Variant, shard: _Shard, reason: str = "") -> None:
+        """Crash-loop bound hit: fail the shard and everything it still queues."""
+        shard.state = _Shard.FAILED
+        shard.queue.close()
+        detail = f" ({reason})" if reason else ""
+        error = WorkerCrashed(
+            f"shard {shard.name} failed after {shard.restarts - 1} restarts{detail}"
+        )
+        for request in shard.queue.drain_remaining():
+            self._fail_request(shard, request, error)
+        with variant.lock:
+            if shard in variant.shards:
+                variant.shards.remove(shard)
+
+    def _fail_request(self, shard: _Shard, request: Request, error: BaseException) -> None:
+        if not request.future.cancelled():
+            try:
+                request.future.set_exception(error)
+            except InvalidStateError:
+                pass
+        shard.metrics.record_failed()
+        shard.note_done()
+
+    # ------------------------------------------------------------------ #
+    # health monitoring
+    # ------------------------------------------------------------------ #
+    def _monitor_loop(self) -> None:
+        """Detect workers that died while idle; the dispatcher owns restarts."""
+        while not self._closed:
+            time.sleep(self._MONITOR_SECONDS)
+            for variant in self._variant_list():
+                for shard in variant.all_shards():
+                    if shard.state != _Shard.LIVE or shard.needs_restart:
+                        continue
+                    handle = shard.handle
+                    if handle is not None and not handle.is_alive():
+                        shard.needs_restart = True
+
+    def healthy(self, name: Optional[str] = None) -> bool:
+        """True when every (or the named) variant has all target shards live.
+
+        Honest about permanent capacity loss: a shard that crash-looped past
+        ``max_restarts`` leaves the live count under ``target_shards``, and
+        this reports False until an operator (or the autoscaler) calls
+        :meth:`scale` to rebuild it.
+        """
+        variants = [self._variant(name)] if name is not None else self._variant_list()
+        for variant in variants:
+            live = variant.live_shards()
+            if len(live) < variant.target_shards:
+                return False
+            for shard in live:
+                if shard.handle is None or not shard.handle.is_alive():
+                    return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # telemetry
+    # ------------------------------------------------------------------ #
+    def metrics(self, name: Optional[str] = None) -> Dict[str, object]:
+        """Aggregated cluster telemetry: per-shard, per-variant, and totals.
+
+        Per variant: each shard's consistent :meth:`ServerMetrics.snapshot`
+        plus a ``merged`` view (:meth:`ServerMetrics.merged` across shards).
+        The cluster totals sum each variant's merged counters, read through
+        the same torn-read-safe path a process-boundary poller would use.
+        """
+        if name is not None:
+            return self._variant_metrics(self._variant(name))
+        variants = {
+            variant.name: self._variant_metrics(variant)
+            for variant in self._variant_list()
+        }
+        totals = {
+            "requests_admitted": 0,
+            "requests_completed": 0,
+            "requests_failed": 0,
+            "requests_rejected": 0,
+            "samples_completed": 0,
+            "batches_served": 0,
+        }
+        for view in variants.values():
+            requests = view["merged"]["requests"]
+            totals["requests_admitted"] += requests["admitted"]
+            totals["requests_completed"] += requests["completed"]
+            totals["requests_failed"] += requests["failed"]
+            totals["requests_rejected"] += requests["rejected"]
+            totals["samples_completed"] += view["merged"]["samples_completed"]
+            totals["batches_served"] += view["merged"]["batches"]["served"]
+        return {
+            "cluster": {
+                "running": self.running,
+                "max_batch_size": self.max_batch_size,
+                "max_delay_ms": self.max_delay_ms,
+                "max_queue_depth": self.max_queue_depth,
+                "start_method": self.start_method,
+                "variants_hosted": {
+                    v.name: {
+                        "mode": v.options.mode,
+                        "shards": len(v.live_shards()),
+                        "target_shards": v.target_shards,
+                        "bounds": [v.min_shards, v.max_shards],
+                        "description": v.description,
+                    }
+                    for v in self._variant_list()
+                },
+                "scaling_events": self.scaling_events,
+                **totals,
+            },
+            "variants": variants,
+        }
+
+    def variant_load(self, name: str) -> Dict[str, object]:
+        """The load signals the autoscaler steers on — cheap reads only.
+
+        Polled several times a second, so this avoids the full merged-
+        snapshot path: counters come from each shard's locked
+        :meth:`ServerMetrics.counters`, and the latency signal is the *worst*
+        shard's p95 (the conservative trigger for scaling — one drowning
+        shard is exactly what another shard would relieve).
+        """
+        variant = self._variant(name)
+        shards = variant.live_shards()
+        counters = [shard.metrics.counters() for shard in shards]
+        return {
+            "live_shards": len(shards),
+            "target_shards": variant.target_shards,
+            "bounds": (variant.min_shards, variant.max_shards),
+            "outstanding": sum(shard.outstanding for shard in shards),
+            "queue_depth": sum(shard.queue.depth for shard in shards),
+            "p95_latency_ms": max(
+                (shard.metrics.latency_percentile_ms(95.0) for shard in shards),
+                default=0.0,
+            ),
+            "completed": sum(c["completed"] for c in counters),
+        }
+
+    def _variant_metrics(self, variant: _Variant) -> Dict[str, object]:
+        shards = variant.all_shards()
+        merged = ServerMetrics.merged([shard.metrics for shard in shards])
+        queue_depth = sum(shard.queue.depth for shard in shards)
+        return {
+            "shards": {
+                shard.name: {
+                    "state": shard.state,
+                    "pid": shard.handle.pid if shard.handle else None,
+                    "restarts": shard.restarts,
+                    "outstanding": shard.outstanding,
+                    "queue_depth": shard.queue.depth,
+                    "uses_fallback": shard.handle.uses_fallback if shard.handle else None,
+                    "metrics": shard.metrics.snapshot(queue_depth=shard.queue.depth),
+                }
+                for shard in shards
+            },
+            "merged": merged.snapshot(queue_depth=queue_depth),
+            "live_shards": len([s for s in shards if s.state == _Shard.LIVE]),
+            "target_shards": variant.target_shards,
+        }
+
+    def metrics_json(self, name: Optional[str] = None, indent: int = 2) -> str:
+        return json.dumps(self.metrics(name), indent=indent)
+
+    def __repr__(self) -> str:
+        state = "running" if self.running else ("stopped" if self._closed else "idle")
+        shards = {v.name: len(v.live_shards()) for v in self._variant_list()}
+        return f"ClusterServer(variants={shards}, state={state})"

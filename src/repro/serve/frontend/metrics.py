@@ -1,7 +1,7 @@
 """Serving telemetry: latency percentiles, batch occupancy, throughput.
 
-One :class:`ServerMetrics` instance per hosted model records the numbers an
-operator actually pages on:
+One :class:`ServerMetrics` instance per hosted model (or per cluster shard)
+records the numbers an operator actually pages on:
 
 * **end-to-end latency** (submit -> future resolved) and **queue wait**
   (submit -> batch formation), with p50/p95/p99 over a bounded window of
@@ -15,9 +15,15 @@ operator actually pages on:
   requests and the queue-depth high-water mark, which together tell whether
   admission control is shedding load.
 
-Every mutator takes one lock, so worker threads and submitters can record
-concurrently; :meth:`snapshot` returns a plain JSON-serialisable dict and
-:meth:`to_json` exports it.
+Concurrency contract: every mutator takes the one instance lock, and *every
+read* — the public counter properties, :meth:`counters` and
+:meth:`snapshot` — takes the same lock, so a poller on another thread (or a
+process-boundary poller serialising snapshots over a wire) can never observe
+a torn update: within one ``snapshot()``/``counters()`` call, completed
+requests are counted in *both* ``completed`` and ``samples_completed`` or in
+neither.  :meth:`merge` folds another instance in (the cluster router uses
+it to aggregate per-shard metrics into one view) and :meth:`merged` builds
+that aggregate without mutating the inputs.
 """
 
 from __future__ import annotations
@@ -25,7 +31,7 @@ from __future__ import annotations
 import json
 import threading
 import time
-from typing import Dict, Optional
+from typing import Dict, Iterable, Optional
 
 from ...utils.timing import RollingHistogram
 
@@ -33,29 +39,42 @@ __all__ = ["ServerMetrics"]
 
 
 class ServerMetrics:
-    """Thread-safe telemetry accumulator for one served model."""
+    """Thread-safe telemetry accumulator for one served model (or shard)."""
+
+    _COUNTER_FIELDS = (
+        "admitted",
+        "rejected",
+        "completed",
+        "failed",
+        "cancelled",
+        "batches",
+        "samples",
+        "served_compiled",
+        "served_fallback",
+    )
 
     def __init__(self, latency_window: int = 8192) -> None:
         self._lock = threading.Lock()
+        self.latency_window = int(latency_window)
         self._latency = RollingHistogram(latency_window)
         self._queue_wait = RollingHistogram(latency_window)
         self._batch_occupancy: Dict[int, int] = {}
         self._service = RollingHistogram(latency_window)
-        self.admitted = 0
-        self.rejected = 0
-        self.completed = 0
-        self.failed = 0
-        self.cancelled = 0
-        self.batches = 0
-        self.samples = 0
-        self.depth_highwater = 0
+        self._admitted = 0
+        self._rejected = 0
+        self._completed = 0
+        self._failed = 0
+        self._cancelled = 0
+        self._batches = 0
+        self._samples = 0
+        self._depth_highwater = 0
         # Which engine path served each request: compiled plan vs the
         # module-path fallback.  A hosted model that should be serving from
         # a compiled plan but shows fallback counts here is paying the
         # module path's latency — the operator-facing readout of the
         # engine's plan_report.
-        self.served_compiled = 0
-        self.served_fallback = 0
+        self._served_compiled = 0
+        self._served_fallback = 0
         self._first_admit: Optional[float] = None
         self._last_done: Optional[float] = None
 
@@ -64,35 +83,35 @@ class ServerMetrics:
     # ------------------------------------------------------------------ #
     def record_admitted(self, queue_depth: int) -> None:
         with self._lock:
-            self.admitted += 1
-            if queue_depth > self.depth_highwater:
-                self.depth_highwater = queue_depth
+            self._admitted += 1
+            if queue_depth > self._depth_highwater:
+                self._depth_highwater = queue_depth
             if self._first_admit is None:
                 self._first_admit = time.monotonic()
 
     def record_rejected(self) -> None:
         with self._lock:
-            self.rejected += 1
+            self._rejected += 1
 
     def record_completion(self, latency_seconds: float, wait_seconds: float, samples: int) -> None:
         with self._lock:
-            self.completed += 1
-            self.samples += samples
+            self._completed += 1
+            self._samples += samples
             self._latency.add(latency_seconds)
             self._queue_wait.add(wait_seconds)
             self._last_done = time.monotonic()
 
     def record_failed(self) -> None:
         with self._lock:
-            self.failed += 1
+            self._failed += 1
 
     def record_cancelled(self) -> None:
         with self._lock:
-            self.cancelled += 1
+            self._cancelled += 1
 
     def record_batch(self, num_samples: int, service_seconds: float) -> None:
         with self._lock:
-            self.batches += 1
+            self._batches += 1
             self._batch_occupancy[num_samples] = self._batch_occupancy.get(num_samples, 0) + 1
             self._service.add(service_seconds)
 
@@ -100,9 +119,138 @@ class ServerMetrics:
         """Attribute ``num_requests`` served requests to an engine path."""
         with self._lock:
             if fallback:
-                self.served_fallback += num_requests
+                self._served_fallback += num_requests
             else:
-                self.served_compiled += num_requests
+                self._served_compiled += num_requests
+
+    # ------------------------------------------------------------------ #
+    # consistent reads
+    # ------------------------------------------------------------------ #
+    @property
+    def admitted(self) -> int:
+        with self._lock:
+            return self._admitted
+
+    @property
+    def rejected(self) -> int:
+        with self._lock:
+            return self._rejected
+
+    @property
+    def completed(self) -> int:
+        with self._lock:
+            return self._completed
+
+    @property
+    def failed(self) -> int:
+        with self._lock:
+            return self._failed
+
+    @property
+    def cancelled(self) -> int:
+        with self._lock:
+            return self._cancelled
+
+    @property
+    def batches(self) -> int:
+        with self._lock:
+            return self._batches
+
+    @property
+    def samples(self) -> int:
+        with self._lock:
+            return self._samples
+
+    @property
+    def depth_highwater(self) -> int:
+        with self._lock:
+            return self._depth_highwater
+
+    @property
+    def served_compiled(self) -> int:
+        with self._lock:
+            return self._served_compiled
+
+    @property
+    def served_fallback(self) -> int:
+        with self._lock:
+            return self._served_fallback
+
+    def latency_percentile_ms(self, q: float) -> float:
+        """One percentile of the end-to-end latency window, in milliseconds.
+
+        A cheap single-histogram read for high-frequency pollers (the
+        autoscaler) that must not pay for a full :meth:`snapshot`.
+        """
+        with self._lock:
+            return round(self._latency.percentile(q) * 1e3, 3)
+
+    def counters(self) -> Dict[str, int]:
+        """Every flow counter, read atomically under one lock acquisition.
+
+        This is what aggregators (server totals, cluster views, pollers on
+        another thread or process boundary) must use instead of reading the
+        counter properties one by one — N separate property reads can
+        interleave with recorders and produce totals that never existed at
+        any instant.
+        """
+        with self._lock:
+            return {name: getattr(self, f"_{name}") for name in self._COUNTER_FIELDS}
+
+    # ------------------------------------------------------------------ #
+    # aggregation
+    # ------------------------------------------------------------------ #
+    def merge(self, other: "ServerMetrics") -> "ServerMetrics":
+        """Fold ``other``'s recorded state into this instance (and return it).
+
+        Both instances are locked for the duration (in a stable global
+        order, so two concurrent merges cannot deadlock); ``other`` is not
+        mutated.  Counters and occupancy histograms add exactly; the bounded
+        latency windows combine via :meth:`RollingHistogram.merge` (fair
+        slice of both windows when over capacity); the serving window spans
+        the earliest first-admit to the latest last-done.
+        """
+        if other is self:
+            raise ValueError("cannot merge a ServerMetrics instance into itself")
+        first, second = sorted((self, other), key=id)
+        with first._lock, second._lock:
+            for name in self._COUNTER_FIELDS:
+                setattr(self, f"_{name}", getattr(self, f"_{name}") + getattr(other, f"_{name}"))
+            if other._depth_highwater > self._depth_highwater:
+                self._depth_highwater = other._depth_highwater
+            for size, count in other._batch_occupancy.items():
+                self._batch_occupancy[size] = self._batch_occupancy.get(size, 0) + count
+            self._latency.merge(other._latency)
+            self._queue_wait.merge(other._queue_wait)
+            self._service.merge(other._service)
+            if other._first_admit is not None:
+                self._first_admit = (
+                    other._first_admit
+                    if self._first_admit is None
+                    else min(self._first_admit, other._first_admit)
+                )
+            if other._last_done is not None:
+                self._last_done = (
+                    other._last_done
+                    if self._last_done is None
+                    else max(self._last_done, other._last_done)
+                )
+        return self
+
+    @classmethod
+    def merged(cls, parts: Iterable["ServerMetrics"], latency_window: Optional[int] = None) -> "ServerMetrics":
+        """A fresh aggregate of ``parts`` (none of which is mutated).
+
+        The cluster router uses this to fold per-shard metrics into one
+        variant-level (and then cluster-level) view.
+        """
+        parts = list(parts)
+        if latency_window is None:
+            latency_window = max((p.latency_window for p in parts), default=8192)
+        total = cls(latency_window)
+        for part in parts:
+            total.merge(part)
+        return total
 
     # ------------------------------------------------------------------ #
     # reporting
@@ -119,7 +267,12 @@ class ServerMetrics:
         }
 
     def snapshot(self, queue_depth: Optional[int] = None) -> Dict[str, object]:
-        """A JSON-serialisable view of everything recorded so far."""
+        """A JSON-serialisable view of everything recorded so far.
+
+        The whole snapshot is assembled under one lock acquisition, so its
+        totals are mutually consistent no matter how many recorder threads
+        are running — safe to serialise across a process boundary as-is.
+        """
         with self._lock:
             occupancy = dict(sorted(self._batch_occupancy.items()))
             occupancy_samples = sum(size * count for size, count in occupancy.items())
@@ -130,29 +283,29 @@ class ServerMetrics:
             )
             snapshot: Dict[str, object] = {
                 "requests": {
-                    "admitted": self.admitted,
-                    "completed": self.completed,
-                    "failed": self.failed,
-                    "cancelled": self.cancelled,
-                    "rejected": self.rejected,
+                    "admitted": self._admitted,
+                    "completed": self._completed,
+                    "failed": self._failed,
+                    "cancelled": self._cancelled,
+                    "rejected": self._rejected,
                 },
                 "engine_path": {
-                    "compiled": self.served_compiled,
-                    "fallback": self.served_fallback,
+                    "compiled": self._served_compiled,
+                    "fallback": self._served_fallback,
                 },
-                "samples_completed": self.samples,
+                "samples_completed": self._samples,
                 "batches": {
-                    "served": self.batches,
-                    "occupancy_mean": round(occupancy_samples / self.batches, 3)
-                    if self.batches
+                    "served": self._batches,
+                    "occupancy_mean": round(occupancy_samples / self._batches, 3)
+                    if self._batches
                     else 0.0,
                     "occupancy_histogram": {str(k): v for k, v in occupancy.items()},
                 },
                 "latency_ms": self._ms_summary(self._latency),
                 "queue_wait_ms": self._ms_summary(self._queue_wait),
                 "batch_service_ms": self._ms_summary(self._service),
-                "throughput_rps": round(self.samples / elapsed, 3) if elapsed > 0 else 0.0,
-                "queue_depth_highwater": self.depth_highwater,
+                "throughput_rps": round(self._samples / elapsed, 3) if elapsed > 0 else 0.0,
+                "queue_depth_highwater": self._depth_highwater,
             }
             if queue_depth is not None:
                 snapshot["queue_depth"] = int(queue_depth)
@@ -162,7 +315,9 @@ class ServerMetrics:
         return json.dumps(self.snapshot(queue_depth=queue_depth), indent=indent)
 
     def __repr__(self) -> str:
+        counters = self.counters()
         return (
-            f"ServerMetrics(admitted={self.admitted}, completed={self.completed}, "
-            f"failed={self.failed}, rejected={self.rejected}, batches={self.batches})"
+            f"ServerMetrics(admitted={counters['admitted']}, "
+            f"completed={counters['completed']}, failed={counters['failed']}, "
+            f"rejected={counters['rejected']}, batches={counters['batches']})"
         )

@@ -476,15 +476,19 @@ class ModelServer:
             name: lane.metrics.snapshot(queue_depth=lane.queue.depth)
             for name, lane in lanes.items()
         }
+        # One locked counters() read per lane: each lane's contribution to
+        # the totals is internally consistent (no torn reads between the
+        # per-field sums while workers are recording).
+        counters = [lane.metrics.counters() for lane in lanes.values()]
         totals = {
-            "requests_admitted": sum(l.metrics.admitted for l in lanes.values()),
-            "requests_completed": sum(l.metrics.completed for l in lanes.values()),
-            "requests_failed": sum(l.metrics.failed for l in lanes.values()),
-            "requests_rejected": sum(l.metrics.rejected for l in lanes.values()),
-            "requests_compiled": sum(l.metrics.served_compiled for l in lanes.values()),
-            "requests_fallback": sum(l.metrics.served_fallback for l in lanes.values()),
-            "samples_completed": sum(l.metrics.samples for l in lanes.values()),
-            "batches_served": sum(l.metrics.batches for l in lanes.values()),
+            "requests_admitted": sum(c["admitted"] for c in counters),
+            "requests_completed": sum(c["completed"] for c in counters),
+            "requests_failed": sum(c["failed"] for c in counters),
+            "requests_rejected": sum(c["rejected"] for c in counters),
+            "requests_compiled": sum(c["served_compiled"] for c in counters),
+            "requests_fallback": sum(c["served_fallback"] for c in counters),
+            "samples_completed": sum(c["samples"] for c in counters),
+            "batches_served": sum(c["batches"] for c in counters),
         }
         return {
             "server": {

@@ -2,7 +2,16 @@
 
 from .logging import LogEntry, RunLogger
 from .rng import SeedSequenceFactory, seed_everything, spawn_generators
-from .serialization import checkpoint_bits, load_checkpoint, save_checkpoint
+from .serialization import (
+    CheckpointFormatError,
+    QUANTIZED_CHECKPOINT_VERSION,
+    QuantizedCheckpoint,
+    checkpoint_bits,
+    load_checkpoint,
+    load_quantized_checkpoint,
+    save_checkpoint,
+    save_quantized_checkpoint,
+)
 from .timing import (
     RollingHistogram,
     StopwatchRegistry,
@@ -17,9 +26,14 @@ __all__ = [
     "SeedSequenceFactory",
     "seed_everything",
     "spawn_generators",
+    "CheckpointFormatError",
+    "QUANTIZED_CHECKPOINT_VERSION",
+    "QuantizedCheckpoint",
     "checkpoint_bits",
     "load_checkpoint",
+    "load_quantized_checkpoint",
     "save_checkpoint",
+    "save_quantized_checkpoint",
     "RollingHistogram",
     "StopwatchRegistry",
     "Timer",

@@ -4,20 +4,62 @@ Checkpoints are plain ``.npz`` archives holding the model's state dict (shadow
 FP-32 weights, batch-norm buffers, PACT clipping levels) plus the current
 per-layer bit assignment, so a BMPQ run can be saved and resumed or a trained
 mixed-precision model can be shipped for inference.
+
+Two formats live here:
+
+* :func:`save_checkpoint` / :func:`load_checkpoint` — the original training
+  checkpoint: state + bits + free-form metadata, restored into a model the
+  caller has already constructed.
+* :func:`save_quantized_checkpoint` / :func:`load_quantized_checkpoint` — the
+  *deployment* format the cluster serving workers boot from.  On top of the
+  training payload it records a **format version** (load fails loudly on a
+  mismatch rather than mis-restoring silently) and a **model factory spec**
+  (``"package.module:callable"`` plus JSON kwargs), so a worker process on
+  the other side of a wire can reconstruct the exact serving model — weights,
+  per-layer bit assignment, PACT alphas and BatchNorm running statistics —
+  in a single call, with no access to the object that was saved.
 """
 
 from __future__ import annotations
 
+import importlib
 import json
 import os
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["save_checkpoint", "load_checkpoint", "checkpoint_bits"]
+__all__ = [
+    "save_checkpoint",
+    "load_checkpoint",
+    "checkpoint_bits",
+    "QUANTIZED_CHECKPOINT_VERSION",
+    "QuantizedCheckpoint",
+    "CheckpointFormatError",
+    "save_quantized_checkpoint",
+    "load_quantized_checkpoint",
+]
 
 _BITS_KEY = "__bits_by_layer_json__"
 _META_KEY = "__metadata_json__"
+_FORMAT_KEY = "__quantized_checkpoint_json__"
+
+#: Version of the deployment-checkpoint layout.  Bump when the payload schema
+#: changes incompatibly; loaders refuse anything they were not written for.
+QUANTIZED_CHECKPOINT_VERSION = 1
+
+
+class CheckpointFormatError(RuntimeError):
+    """The archive is not a quantized checkpoint this code can restore."""
+
+
+def _json_to_array(value: object) -> np.ndarray:
+    return np.frombuffer(json.dumps(value).encode("utf-8"), dtype=np.uint8)
+
+
+def _array_to_json(array: np.ndarray) -> object:
+    return json.loads(array.tobytes().decode("utf-8"))
 
 
 def save_checkpoint(
@@ -25,6 +67,7 @@ def save_checkpoint(
     model,
     bits_by_layer: Optional[Dict[str, int]] = None,
     metadata: Optional[Dict[str, object]] = None,
+    _extra_payload: Optional[Dict[str, np.ndarray]] = None,
 ) -> str:
     """Write the model state, bit assignment and metadata to ``path``.
 
@@ -34,12 +77,10 @@ def save_checkpoint(
     payload = {key: np.asarray(value) for key, value in state.items()}
     if bits_by_layer is None and hasattr(model, "current_assignment"):
         bits_by_layer = model.current_assignment()
-    payload[_BITS_KEY] = np.frombuffer(
-        json.dumps(bits_by_layer or {}).encode("utf-8"), dtype=np.uint8
-    )
-    payload[_META_KEY] = np.frombuffer(
-        json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8
-    )
+    payload[_BITS_KEY] = _json_to_array(bits_by_layer or {})
+    payload[_META_KEY] = _json_to_array(metadata or {})
+    if _extra_payload:
+        payload.update(_extra_payload)
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
     if not path.endswith(".npz"):
@@ -58,17 +99,19 @@ def load_checkpoint(path: str, model=None) -> Tuple[Dict[str, np.ndarray], Dict[
         path = path + ".npz"
     if not os.path.exists(path):
         raise FileNotFoundError(f"checkpoint not found: {path}")
-    archive = np.load(path, allow_pickle=False)
     state: Dict[str, np.ndarray] = {}
     bits: Dict[str, int] = {}
     metadata: Dict[str, object] = {}
-    for key in archive.files:
-        if key == _BITS_KEY:
-            bits = {k: int(v) for k, v in json.loads(archive[key].tobytes().decode("utf-8")).items()}
-        elif key == _META_KEY:
-            metadata = json.loads(archive[key].tobytes().decode("utf-8"))
-        else:
-            state[key] = archive[key]
+    with np.load(path, allow_pickle=False) as archive:
+        for key in archive.files:
+            if key == _BITS_KEY:
+                bits = {k: int(v) for k, v in _array_to_json(archive[key]).items()}
+            elif key == _META_KEY:
+                metadata = _array_to_json(archive[key])
+            elif key == _FORMAT_KEY:
+                continue  # deployment-format header; load_quantized_checkpoint reads it
+            else:
+                state[key] = archive[key]
     if model is not None:
         model.load_state_dict(state)
         if bits and hasattr(model, "apply_assignment"):
@@ -80,3 +123,151 @@ def checkpoint_bits(path: str) -> Dict[str, int]:
     """Read only the bit assignment stored in a checkpoint."""
     _state, bits, _meta = load_checkpoint(path)
     return bits
+
+
+# --------------------------------------------------------------------------- #
+# deployment format: versioned, self-describing quantized checkpoints
+# --------------------------------------------------------------------------- #
+@dataclass
+class QuantizedCheckpoint:
+    """Everything :func:`load_quantized_checkpoint` read from the archive."""
+
+    state: Dict[str, np.ndarray]
+    bits_by_layer: Dict[str, int]
+    metadata: Dict[str, object]
+    format_version: int
+    model_factory: Optional[str] = None
+    factory_kwargs: Dict[str, Any] = field(default_factory=dict)
+    model: Any = None
+
+    def build_model(self):
+        """Construct the serving model from the recorded factory spec.
+
+        Resolves ``"package.module:callable"``, calls it with the recorded
+        kwargs, restores the state dict (weights + PACT alphas + BN running
+        statistics) and applies the bit assignment.  The result is left in
+        eval mode, ready for an inference engine.
+        """
+        if not self.model_factory:
+            raise CheckpointFormatError(
+                "this quantized checkpoint records no model factory; pass the "
+                "model to load_quantized_checkpoint(..., model=...) instead"
+            )
+        model = resolve_factory(self.model_factory)(**self.factory_kwargs)
+        model.load_state_dict(self.state)
+        if self.bits_by_layer and hasattr(model, "apply_assignment"):
+            model.apply_assignment(self.bits_by_layer)
+        model.eval()
+        self.model = model
+        return model
+
+
+def resolve_factory(spec: str):
+    """Import the callable named by a ``"package.module:callable"`` spec."""
+    module_name, _, attr = spec.partition(":")
+    if not module_name or not attr:
+        raise CheckpointFormatError(
+            f"model factory spec must look like 'package.module:callable', got {spec!r}"
+        )
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as error:
+        raise CheckpointFormatError(
+            f"cannot import model factory module {module_name!r}: {error}"
+        ) from error
+    try:
+        return getattr(module, attr)
+    except AttributeError as error:
+        raise CheckpointFormatError(
+            f"model factory module {module_name!r} has no attribute {attr!r}"
+        ) from error
+
+
+def save_quantized_checkpoint(
+    path: str,
+    model,
+    *,
+    model_factory: Optional[str] = None,
+    factory_kwargs: Optional[Dict[str, Any]] = None,
+    metadata: Optional[Dict[str, object]] = None,
+) -> str:
+    """Ship ``model`` as a self-describing deployment checkpoint.
+
+    The archive carries the full state dict (shadow weights, PACT clipping
+    levels, BatchNorm running statistics), the per-layer bit assignment, a
+    format-version header, and — when ``model_factory`` is given — the
+    ``"package.module:callable"`` + kwargs needed to rebuild the model from
+    nothing on the loading side (cluster workers boot this way).
+
+    ``factory_kwargs`` must be JSON-serialisable.  Returns the written path.
+    """
+    if factory_kwargs is not None and model_factory is None:
+        raise ValueError("factory_kwargs given without a model_factory spec")
+    header = {
+        "format_version": QUANTIZED_CHECKPOINT_VERSION,
+        "model_factory": model_factory,
+        "factory_kwargs": factory_kwargs or {},
+    }
+    try:
+        header_array = _json_to_array(header)
+    except TypeError as error:
+        raise ValueError(
+            f"factory_kwargs must be JSON-serialisable: {error}"
+        ) from error
+    return save_checkpoint(
+        path,
+        model,
+        metadata=metadata,
+        _extra_payload={_FORMAT_KEY: header_array},
+    )
+
+
+def load_quantized_checkpoint(
+    path: str,
+    model=None,
+    *,
+    build: bool = False,
+) -> QuantizedCheckpoint:
+    """Single-call round trip of a deployment checkpoint.
+
+    Verifies the format-version header first — an archive written by a
+    different layout version (or a plain training checkpoint, which has no
+    header) raises :class:`CheckpointFormatError` instead of restoring a
+    payload it might misinterpret.  Then either restores into ``model`` in
+    place, or (``build=True``) reconstructs the model from the recorded
+    factory spec.  Returns a :class:`QuantizedCheckpoint`; when a model was
+    restored or built it is available as ``.model``.
+    """
+    if model is not None and build:
+        raise ValueError("pass either model=... or build=True, not both")
+    npz_path = path if path.endswith(".npz") else path + ".npz"
+    if not os.path.exists(npz_path):
+        raise FileNotFoundError(f"checkpoint not found: {npz_path}")
+    with np.load(npz_path, allow_pickle=False) as archive:
+        if _FORMAT_KEY not in archive.files:
+            raise CheckpointFormatError(
+                f"{npz_path} is not a quantized deployment checkpoint (no format "
+                f"header); write it with save_quantized_checkpoint, or read it "
+                f"with load_checkpoint"
+            )
+        header = _array_to_json(archive[_FORMAT_KEY])
+    version = header.get("format_version")
+    if version != QUANTIZED_CHECKPOINT_VERSION:
+        raise CheckpointFormatError(
+            f"{npz_path} has quantized-checkpoint format version {version!r}; "
+            f"this build reads version {QUANTIZED_CHECKPOINT_VERSION} — refusing "
+            f"to restore a layout it was not written for"
+        )
+    state, bits, metadata = load_checkpoint(npz_path, model)
+    checkpoint = QuantizedCheckpoint(
+        state=state,
+        bits_by_layer=bits,
+        metadata=metadata,
+        format_version=int(version),
+        model_factory=header.get("model_factory"),
+        factory_kwargs=header.get("factory_kwargs") or {},
+        model=model,
+    )
+    if build:
+        checkpoint.build_model()
+    return checkpoint

@@ -97,6 +97,29 @@ class RollingHistogram:
             return 0.0
         return percentile(self._window, q)
 
+    def merge(self, other: "RollingHistogram") -> None:
+        """Fold ``other``'s observations into this histogram.
+
+        Lifetime aggregates (count, total, max) combine exactly.  The
+        retained window keeps up to ``capacity`` values drawn from both
+        windows (each in its own arrival order), so merged percentiles
+        cover both sources — the use case is aggregating per-shard serving
+        metrics into one cluster view, where the shards' windows are
+        disjoint requests of the same workload.
+        """
+        combined = self.window + other.window
+        if len(combined) > self.capacity:
+            # Keep a fair slice of both sources rather than letting one
+            # shard's window evict the other's entirely.
+            stride = len(combined) / self.capacity
+            combined = [combined[int(i * stride)] for i in range(self.capacity)]
+        self._window = combined
+        self._cursor = 0
+        self._count += other._count
+        self._total += other._total
+        if other._count and other._max > self._max:
+            self._max = other._max
+
     def summary(self, percentiles: Sequence[float] = (50.0, 95.0, 99.0)) -> Dict[str, float]:
         """Count/mean/max plus the requested percentiles, as a flat dict.
 

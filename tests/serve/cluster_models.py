@@ -1,0 +1,52 @@
+"""Model factories for cluster tests, importable from spawned workers.
+
+Cluster workers rebuild their model from the checkpoint's factory spec
+(``"module:callable"``), so everything here must be resolvable by a *fresh*
+interpreter — module-level callables only, addressed as
+``tests.serve.cluster_models:<name>``.  The checkpoint state (weights, bits,
+PACT alphas, BN statistics) overwrites whatever the factory initialised, so
+factories only need to reproduce the architecture.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.models import simple_cnn
+
+from .parity import UntraceableNet, random_quantized_model
+
+
+def build_parity_model(seed: int, image_size: int = 8, num_classes: int = 4):
+    """A seeded random quantized CNN (conv/BN/PACT/residual mix) — model only."""
+    model, _shape = random_quantized_model(
+        seed, image_size=image_size, num_classes=num_classes
+    )
+    return model
+
+
+def build_simple(seed: int = 0, num_classes: int = 4, input_size: int = 12, channels: int = 4):
+    return simple_cnn(
+        num_classes=num_classes, input_size=input_size, channels=channels, seed=seed
+    )
+
+
+class SlowFallbackNet(UntraceableNet):
+    """An uncompilable model whose forward takes a controllable wall time.
+
+    Serves two test purposes: it exercises the module-path (GIL-bound)
+    fallback inside workers, and its slow forward opens a reliable window
+    in which a test can kill the worker with requests in flight.
+    """
+
+    def __init__(self, delay_s: float = 0.05, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.delay_s = float(delay_s)
+
+    def forward(self, x):
+        time.sleep(self.delay_s)
+        return super().forward(x)
+
+
+def build_slow_fallback(delay_s: float = 0.05, channels: int = 4, image_size: int = 8):
+    return SlowFallbackNet(delay_s=delay_s, channels=channels, image_size=image_size)

@@ -110,6 +110,124 @@ class TestRequestQueue:
             RequestQueue(max_depth=0)
 
 
+class TestRequestQueueConcurrency:
+    """The edge cases the cluster's per-shard queues lean on."""
+
+    def test_put_front_holds_head_position_under_concurrent_producers(self, rng):
+        """Batcher overflow re-insertion must survive racing submitters.
+
+        A request handed back via put_front (it would overflow the forming
+        micro-batch) must be the very next one served, no matter how many
+        producers are appending concurrently — losing its place would
+        reorder an already-admitted request behind later arrivals.
+        """
+        queue = RequestQueue(max_depth=8)  # small: producers hit backpressure
+        total = 48
+        produced = []
+        produced_lock = threading.Lock()
+
+        def producer(worker):
+            for _ in range(total // 4):
+                request = _request(rng)
+                queue.put(request, block=True, timeout=30.0)
+                with produced_lock:
+                    produced.append(request)
+
+        consumed = []
+        failures = []
+
+        def consumer():
+            while len(consumed) < total:
+                request = queue.get(timeout=10.0)
+                if request is None:
+                    failures.append("queue drained early")
+                    return
+                # Simulate the batcher's overflow path: hand the request
+                # back, then take the head again — it must be the same one.
+                queue.put_front(request)
+                again = queue.get(timeout=10.0)
+                if again is not request:
+                    failures.append((request, again))
+                consumed.append(again)
+
+        producers = [threading.Thread(target=producer, args=(k,)) for k in range(4)]
+        consumer_thread = threading.Thread(target=consumer)
+        consumer_thread.start()
+        for thread in producers:
+            thread.start()
+        for thread in producers:
+            thread.join(timeout=60.0)
+        consumer_thread.join(timeout=60.0)
+        assert not failures
+        assert len(consumed) == total
+        assert {id(r) for r in consumed} == {id(r) for r in produced}
+
+    def test_put_front_is_exempt_from_depth_bound_under_load(self, rng):
+        queue = RequestQueue(max_depth=2)
+        queue.put(_request(rng))
+        queue.put(_request(rng))
+        overflow = _request(rng)
+        queue.put_front(overflow)  # already-admitted: never rejected
+        assert queue.depth == 3
+        assert queue.get() is overflow
+
+    def test_close_then_drain_returns_exactly_the_unserved(self, rng):
+        queue = RequestQueue(max_depth=16)
+        requests = [_request(rng) for _ in range(5)]
+        for request in requests:
+            queue.put(request)
+        assert queue.get() is requests[0]
+        queue.close()
+        assert queue.get() is requests[1]  # close still lets the consumer drain
+        remaining = queue.drain_remaining()
+        assert remaining == requests[2:]
+        assert queue.get(timeout=0.01) is None  # drained + closed: completion
+        assert queue.drain_remaining() == []
+
+    def test_close_wakes_blocked_producer_and_consumer(self, rng):
+        queue = RequestQueue(max_depth=1)
+        queue.put(_request(rng))
+        outcomes = []
+
+        def blocked_producer():
+            try:
+                queue.put(_request(rng), block=True, timeout=30.0)
+                outcomes.append("admitted")
+            except ServerClosed:
+                outcomes.append("producer-closed")
+
+        def blocked_consumer():
+            drained = queue.get(timeout=30.0)  # the one queued request
+            outcomes.append("got" if drained is not None else "none")
+            outcomes.append("consumer-done" if queue.get(timeout=30.0) is None else "extra")
+
+        producer = threading.Thread(target=blocked_producer)
+        producer.start()
+        time.sleep(0.05)
+        queue.close()
+        producer.join(timeout=10.0)
+        consumer = threading.Thread(target=blocked_consumer)
+        consumer.start()
+        consumer.join(timeout=10.0)
+        assert outcomes == ["producer-closed", "got", "consumer-done"]
+
+    def test_drain_remaining_frees_space_for_blocked_producer(self, rng):
+        queue = RequestQueue(max_depth=1)
+        queue.put(_request(rng))
+        outcomes = []
+
+        def producer():
+            queue.put(_request(rng), block=True, timeout=10.0)
+            outcomes.append("admitted")
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        time.sleep(0.05)
+        assert len(queue.drain_remaining()) == 1
+        thread.join(timeout=10.0)
+        assert outcomes == ["admitted"]
+
+
 # --------------------------------------------------------------------------- #
 # DynamicBatcher (no threads: a frozen clock drives the deadline)
 # --------------------------------------------------------------------------- #
@@ -608,3 +726,116 @@ class TestServerMetrics:
         assert fallback_metrics["engine_path"] == {"compiled": 0, "fallback": 2}
         assert totals["requests_compiled"] == 3
         assert totals["requests_fallback"] == 2
+
+
+# --------------------------------------------------------------------------- #
+# ServerMetrics: aggregation and torn-read safety (the cluster poller's view)
+# --------------------------------------------------------------------------- #
+class TestServerMetricsMergeAndConsistency:
+    def test_merged_sums_counters_histograms_and_highwater(self):
+        from repro.serve import ServerMetrics
+
+        a, b = ServerMetrics(16), ServerMetrics(16)
+        a.record_admitted(queue_depth=3)
+        a.record_completion(0.010, 0.002, samples=1)
+        a.record_batch(1, 0.005)
+        a.record_served_path(1, fallback=False)
+        b.record_admitted(queue_depth=7)
+        b.record_admitted(queue_depth=1)
+        b.record_completion(0.030, 0.004, samples=2)
+        b.record_batch(2, 0.002)
+        b.record_batch(2, 0.003)
+        b.record_failed()
+        b.record_served_path(1, fallback=True)
+
+        merged = ServerMetrics.merged([a, b])
+        counters = merged.counters()
+        assert counters["admitted"] == 3
+        assert counters["completed"] == 2
+        assert counters["failed"] == 1
+        assert counters["samples"] == 3
+        assert counters["batches"] == 3
+        snapshot = merged.snapshot()
+        assert snapshot["batches"]["occupancy_histogram"] == {"1": 1, "2": 2}
+        assert snapshot["queue_depth_highwater"] == 7
+        assert snapshot["engine_path"] == {"compiled": 1, "fallback": 1}
+        assert snapshot["latency_ms"]["max"] == 30.0
+        # Inputs are not mutated by aggregation.
+        assert a.counters()["admitted"] == 1
+        assert b.counters()["admitted"] == 2
+
+    def test_merge_into_self_is_refused(self):
+        from repro.serve import ServerMetrics
+
+        metrics = ServerMetrics(8)
+        with pytest.raises(ValueError):
+            metrics.merge(metrics)
+
+    def test_merge_keeps_lifetime_stats_beyond_window_capacity(self):
+        from repro.serve import ServerMetrics
+
+        a, b = ServerMetrics(4), ServerMetrics(4)
+        for k in range(10):
+            a.record_completion(0.001 * (k + 1), 0.0, samples=1)
+            b.record_completion(0.002 * (k + 1), 0.0, samples=1)
+        merged = ServerMetrics.merged([a, b])
+        assert merged.counters()["completed"] == 20
+        # max survives aggregation even though the windows are bounded
+        assert merged.snapshot()["latency_ms"]["max"] == 20.0
+
+    def test_snapshot_totals_are_consistent_under_concurrent_recording(self):
+        """A process-boundary poller must never observe a torn update.
+
+        Every record_completion adds one request and one sample under one
+        lock; any snapshot taken concurrently must therefore show
+        samples_completed == requests.completed — a mismatch is exactly the
+        mid-update torn read the cluster poller cannot tolerate.
+        """
+        from repro.serve import ServerMetrics
+
+        metrics = ServerMetrics(1024)
+        stop = threading.Event()
+
+        def recorder():
+            while not stop.is_set():
+                metrics.record_admitted(queue_depth=1)
+                metrics.record_completion(0.001, 0.0005, samples=1)
+
+        threads = [threading.Thread(target=recorder) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(300):
+                snapshot = metrics.snapshot()
+                assert snapshot["samples_completed"] == snapshot["requests"]["completed"]
+                counters = metrics.counters()
+                assert counters["samples"] == counters["completed"]
+                assert counters["admitted"] >= counters["completed"]
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=10.0)
+
+    def test_merge_under_concurrent_recording_does_not_deadlock(self):
+        from repro.serve import ServerMetrics
+
+        parts = [ServerMetrics(64) for _ in range(3)]
+        stop = threading.Event()
+
+        def recorder(part):
+            while not stop.is_set():
+                part.record_admitted(queue_depth=1)
+                part.record_completion(0.001, 0.0, samples=1)
+
+        threads = [threading.Thread(target=recorder, args=(part,)) for part in parts]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(50):
+                merged = ServerMetrics.merged(parts)
+                counters = merged.counters()
+                assert counters["admitted"] >= counters["completed"]
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=10.0)

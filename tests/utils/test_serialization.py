@@ -51,3 +51,141 @@ class TestCheckpointRoundTrip:
         path = save_checkpoint(str(tmp_path / "explicit"), model, bits_by_layer={"conv1": 2, "conv2": 4, "fc1": 2, "conv0": 16, "classifier": 16})
         _state, bits, _meta = load_checkpoint(path)
         assert bits["conv1"] == 2 and bits["conv2"] == 4
+
+
+# --------------------------------------------------------------------------- #
+# versioned deployment checkpoints (the format cluster workers boot from)
+# --------------------------------------------------------------------------- #
+class TestQuantizedCheckpoint:
+    FACTORY = "repro.models.registry:build_model"
+    KWARGS = {"name": "simple_cnn", "num_classes": 4, "input_size": 12, "channels": 4, "seed": 99}
+
+    def _trained_model(self):
+        from repro.models import simple_cnn
+
+        model = simple_cnn(num_classes=4, input_size=12, channels=4, seed=0)
+        x = Tensor(np.random.default_rng(3).standard_normal((4, 3, 12, 12)).astype(np.float32))
+        model(x)  # populate BN running statistics
+        model.quantizable_layers()["conv1"].set_bits(2)
+        model.quantizable_layers()["fc1"].set_bits(3)
+        model.eval()
+        return model
+
+    def test_single_call_round_trip_rebuilds_everything(self, tmp_path):
+        from repro.utils import load_quantized_checkpoint, save_quantized_checkpoint
+
+        model = self._trained_model()
+        path = save_quantized_checkpoint(
+            str(tmp_path / "deploy"),
+            model,
+            model_factory=self.FACTORY,
+            factory_kwargs=self.KWARGS,
+            metadata={"arch": "simple_cnn"},
+        )
+        checkpoint = load_quantized_checkpoint(path, build=True)
+        rebuilt = checkpoint.model
+        assert rebuilt is not None and rebuilt is not model
+        assert checkpoint.metadata == {"arch": "simple_cnn"}
+        assert checkpoint.format_version == 1
+        # Weights, PACT alphas and BN running statistics all round-trip.
+        want_state = model.state_dict()
+        got_state = rebuilt.state_dict()
+        assert set(got_state) == set(want_state)
+        for key in want_state:
+            np.testing.assert_array_equal(got_state[key], want_state[key], err_msg=key)
+        assert rebuilt.current_assignment() == model.current_assignment()
+        # ...and the serving outputs are bitwise identical.
+        x = np.random.default_rng(5).standard_normal((2, 3, 12, 12)).astype(np.float32)
+        rebuilt.eval()
+        np.testing.assert_array_equal(rebuilt(Tensor(x)).data, model(Tensor(x)).data)
+
+    def test_restore_into_existing_model(self, tmp_path):
+        from repro.models import simple_cnn
+        from repro.utils import load_quantized_checkpoint, save_quantized_checkpoint
+
+        model = self._trained_model()
+        path = save_quantized_checkpoint(str(tmp_path / "deploy"), model)
+        fresh = simple_cnn(num_classes=4, input_size=12, channels=4, seed=7)
+        checkpoint = load_quantized_checkpoint(path, model=fresh)
+        assert checkpoint.model is fresh
+        assert fresh.current_assignment() == model.current_assignment()
+
+    def test_version_mismatch_fails_loudly(self, tmp_path):
+        import json
+
+        from repro.utils import (
+            CheckpointFormatError,
+            load_quantized_checkpoint,
+            save_quantized_checkpoint,
+        )
+
+        model = self._trained_model()
+        path = save_quantized_checkpoint(str(tmp_path / "deploy"), model)
+        # Rewrite the archive with a future format version.
+        archive = dict(np.load(path, allow_pickle=False))
+        header = json.loads(archive["__quantized_checkpoint_json__"].tobytes())
+        header["format_version"] = 99
+        archive["__quantized_checkpoint_json__"] = np.frombuffer(
+            json.dumps(header).encode("utf-8"), dtype=np.uint8
+        )
+        np.savez(path[:-4], **archive)
+        with pytest.raises(CheckpointFormatError, match="version 99"):
+            load_quantized_checkpoint(path)
+
+    def test_plain_training_checkpoint_is_rejected(self, model, tmp_path):
+        from repro.utils import CheckpointFormatError, load_quantized_checkpoint
+
+        path = save_checkpoint(str(tmp_path / "plain"), model)
+        with pytest.raises(CheckpointFormatError, match="no format"):
+            load_quantized_checkpoint(path)
+        # ...but load_checkpoint still reads quantized archives fine.
+        _state, bits, _meta = load_checkpoint(path)
+        assert bits
+
+    def test_build_without_factory_fails_loudly(self, tmp_path):
+        from repro.utils import (
+            CheckpointFormatError,
+            load_quantized_checkpoint,
+            save_quantized_checkpoint,
+        )
+
+        path = save_quantized_checkpoint(str(tmp_path / "nofactory"), self._trained_model())
+        with pytest.raises(CheckpointFormatError, match="no model factory"):
+            load_quantized_checkpoint(path, build=True)
+
+    def test_bad_factory_specs(self, tmp_path):
+        from repro.utils import (
+            CheckpointFormatError,
+            load_quantized_checkpoint,
+            save_quantized_checkpoint,
+        )
+
+        model = self._trained_model()
+        for spec, match in [
+            ("no_separator", "package.module:callable"),
+            ("definitely.not.a.module:thing", "cannot import"),
+            ("repro.models.registry:nope", "no attribute"),
+        ]:
+            path = save_quantized_checkpoint(
+                str(tmp_path / "bad"), model, model_factory=spec
+            )
+            with pytest.raises(CheckpointFormatError, match=match):
+                load_quantized_checkpoint(path, build=True)
+
+    def test_kwargs_must_be_json_serialisable(self, tmp_path):
+        from repro.utils import save_quantized_checkpoint
+
+        with pytest.raises(ValueError, match="JSON"):
+            save_quantized_checkpoint(
+                str(tmp_path / "bad"),
+                self._trained_model(),
+                model_factory=self.FACTORY,
+                factory_kwargs={"rng": np.random.default_rng(0)},
+            )
+
+    def test_model_and_build_are_mutually_exclusive(self, model, tmp_path):
+        from repro.utils import load_quantized_checkpoint, save_quantized_checkpoint
+
+        path = save_quantized_checkpoint(str(tmp_path / "deploy"), model)
+        with pytest.raises(ValueError, match="not both"):
+            load_quantized_checkpoint(path, model=model, build=True)

@@ -56,6 +56,39 @@ class TestRollingHistogram:
         with pytest.raises(ValueError):
             RollingHistogram(capacity=0)
 
+    def test_merge_combines_lifetime_stats_exactly(self):
+        a, b = RollingHistogram(capacity=8), RollingHistogram(capacity=8)
+        for value in [1.0, 2.0, 3.0]:
+            a.add(value)
+        for value in [10.0, 20.0]:
+            b.add(value)
+        a.merge(b)
+        assert a.count == 5
+        assert a.mean() == pytest.approx(36.0 / 5)
+        assert a.max() == 20.0
+        assert sorted(a.window) == [1.0, 2.0, 3.0, 10.0, 20.0]
+        assert b.count == 2  # the merged-from histogram is untouched
+
+    def test_merge_over_capacity_keeps_a_fair_slice_of_both(self):
+        a, b = RollingHistogram(capacity=4), RollingHistogram(capacity=4)
+        for value in [1.0, 2.0, 3.0, 4.0]:
+            a.add(value)
+        for value in [100.0, 200.0, 300.0, 400.0]:
+            b.add(value)
+        a.merge(b)
+        assert a.count == 8
+        assert len(a.window) == 4
+        assert any(value < 10 for value in a.window)
+        assert any(value > 10 for value in a.window)
+
+    def test_merge_with_empty_is_identity(self):
+        a, b = RollingHistogram(capacity=4), RollingHistogram(capacity=4)
+        a.add(5.0)
+        a.merge(b)
+        assert a.count == 1 and a.max() == 5.0
+        b.merge(a)
+        assert b.count == 1 and b.max() == 5.0
+
 
 class TestRng:
     def test_seed_everything_returns_generator(self):
