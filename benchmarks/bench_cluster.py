@@ -45,6 +45,7 @@ if HERE not in sys.path:
 
 from cluster_workload import INPUT_SHAPE, build_workload_model  # noqa: E402
 
+from repro.backend import get_backend  # noqa: E402
 from repro.serve import InferenceEngine, ModelServer  # noqa: E402
 from repro.serve.cluster import ClusterServer  # noqa: E402
 from repro.utils import save_quantized_checkpoint  # noqa: E402
@@ -186,6 +187,7 @@ def main() -> int:
             f"{INPUT_SHAPE} inputs, Poisson trace of {NUM_REQUESTS} single-sample "
             f"requests (mean inter-arrival {MEAN_INTERARRIVAL_S * 1e3:.2f} ms)"
         ),
+        "machine": {"cpu_count": os.cpu_count(), "backend": get_backend().name},
         "short_mode": SHORT,
         "floors": {
             "cluster_min_speedup": CLUSTER_MIN_SPEEDUP,

@@ -64,6 +64,7 @@ def main() -> int:
     backends = available_backends()
     report = {
         "workload": "conv2d forward+backward through repro.nn autograd",
+        "machine": {"cpu_count": os.cpu_count(), "backend": get_backend().name},
         "default_backend": get_backend().name,
         "min_speedup_required": MIN_SPEEDUP,
         "cases": [],

@@ -48,6 +48,7 @@ import time
 
 import numpy as np
 
+from repro.backend import get_backend
 from repro.core.trainer import evaluate_model
 from repro.models import resnet18, vgg16
 from repro.nn import CrossEntropyLoss, Tensor
@@ -69,6 +70,11 @@ INT_MIN_SPEEDUP = 3.0
 # Acceptance floor (ISSUE 4): compiled-ResNet serving vs the per-request
 # module path the fallback engine ran before residual-graph compilation.
 RESNET_MIN_SPEEDUP = 2.0
+# Acceptance floor (ISSUE 6): compiled-ResNet serving vs the *batched*
+# module path — the honest kernel-level gap, with batching taken off the
+# table.  Raised from 1.19 by the scale-folded GEMM, direct column fill and
+# zero-allocation plan workspaces.
+RESNET_VS_BATCHED_MIN = 1.5
 
 NUM_REQUESTS = 16
 RESNET_REQUESTS = 32
@@ -169,10 +175,12 @@ def main() -> int:
 
     report = {
         "workload": "VGG16 width=1.0, CIFAR-10 input 3x32x32, mixed 4/2-bit assignment",
+        "machine": {"cpu_count": os.cpu_count(), "backend": get_backend().name},
         "floors": {
             "eval_min_speedup": EVAL_MIN_SPEEDUP,
             "int_min_speedup": INT_MIN_SPEEDUP,
             "resnet_min_speedup": RESNET_MIN_SPEEDUP,
+            "resnet_vs_batched_min": RESNET_VS_BATCHED_MIN,
         },
         "cases": {},
     }
@@ -187,7 +195,7 @@ def main() -> int:
                 [model(Tensor(requests[i : i + 1])).data for i in range(NUM_REQUESTS)]
             )
 
-    engine = InferenceEngine(model, batch_size=NUM_REQUESTS)
+    engine = InferenceEngine(model, batch_size=NUM_REQUESTS).warmup(input_shape=(3, 32, 32))
 
     def engine_serve() -> np.ndarray:
         return engine.predict_logits(requests)
@@ -253,7 +261,9 @@ def main() -> int:
     def new_session_run() -> np.ndarray:
         return session.run(requests)
 
-    integer_engine = InferenceEngine(model, mode="integer", batch_size=NUM_REQUESTS)
+    integer_engine = InferenceEngine(model, mode="integer", batch_size=NUM_REQUESTS).warmup(
+        input_shape=(3, 32, 32)
+    )
 
     def integer_engine_run() -> np.ndarray:
         return integer_engine.predict_logits(requests)
@@ -315,7 +325,9 @@ def main() -> int:
         with no_grad():
             return resnet(Tensor(resnet_requests)).data
 
-    resnet_engine = InferenceEngine(resnet, batch_size=RESNET_REQUESTS)
+    resnet_engine = InferenceEngine(resnet, batch_size=RESNET_REQUESTS).warmup(
+        input_shape=(3, 32, 32)
+    )
 
     def resnet_engine_serve() -> np.ndarray:
         return resnet_engine.predict_logits(resnet_requests)
@@ -328,6 +340,8 @@ def main() -> int:
         [resnet_module_serve, resnet_module_batched, resnet_engine_serve]
     )
     resnet_speedup = module_latency / plan_latency
+    batched_speedup = batched_latency / plan_latency
+    steady_allocations = resnet_engine.plan_report()["steady_state_allocations"]
     plan_meta = resnet_engine.plan_report()["plan"] or {}
     report["cases"]["resnet_serving"] = {
         "description": (
@@ -339,8 +353,9 @@ def main() -> int:
         "module_batched_ms_per_image": round(batched_latency / RESNET_REQUESTS * 1e3, 3),
         "engine_ms_per_image": round(plan_latency / RESNET_REQUESTS * 1e3, 3),
         "speedup": round(resnet_speedup, 2),
-        "speedup_vs_batched_module": round(batched_latency / plan_latency, 2),
+        "speedup_vs_batched_module": round(batched_speedup, 2),
         "prediction_agreement": resnet_agreement,
+        "steady_state_allocations": steady_allocations,
         "residual_joins": plan_meta.get("residual_joins"),
         "identity_shortcuts": plan_meta.get("identity_shortcuts"),
         "projection_shortcuts": plan_meta.get("projection_shortcuts"),
@@ -349,9 +364,57 @@ def main() -> int:
         f"resnet serving: module {module_latency / RESNET_REQUESTS * 1e3:.2f} ms/img "
         f"(batched {batched_latency / RESNET_REQUESTS * 1e3:.2f}), engine "
         f"{plan_latency / RESNET_REQUESTS * 1e3:.2f} ms/img "
-        f"({resnet_speedup:.2f}x, compiled={compiled}, agreement {resnet_agreement:.3f})"
+        f"({resnet_speedup:.2f}x, {batched_speedup:.2f}x vs batched, "
+        f"compiled={compiled}, allocations={steady_allocations}, "
+        f"agreement {resnet_agreement:.3f})"
     )
     if not compiled or resnet_speedup < RESNET_MIN_SPEEDUP:
+        ok = False
+    if batched_speedup < RESNET_VS_BATCHED_MIN or steady_allocations != 0:
+        ok = False
+
+    # ------------------------------------------------------------------ #
+    # 5. kernel routes: LUT/codebook accumulation vs float-BLAS GEMM
+    # ------------------------------------------------------------------ #
+    plan = resnet_engine.plan
+
+    def gemm_serve() -> np.ndarray:
+        plan.set_kernel_route("gemm")
+        return resnet_engine.predict_logits(resnet_requests)
+
+    def lut_serve() -> np.ndarray:
+        plan.set_kernel_route("lut")
+        return resnet_engine.predict_logits(resnet_requests)
+
+    route_agreement = float(
+        (gemm_serve().argmax(axis=-1) == lut_serve().argmax(axis=-1)).mean()
+    )
+    gemm_latency, lut_latency = _interleaved_best([gemm_serve, lut_serve])
+    # Both routes must hold the zero-allocation contract once primed.
+    gemm_serve()
+    gemm_allocations = resnet_engine.plan_report()["steady_state_allocations"]
+    lut_serve()
+    lut_allocations = resnet_engine.plan_report()["steady_state_allocations"]
+    plan.set_kernel_route("gemm")
+    report["cases"]["kernel_gemm"] = {
+        "description": (
+            "same ResNet18 queue, per-step kernel route forced to the "
+            "float-BLAS GEMM vs the packed-codebook LUT accumulator"
+        ),
+        "gemm_ms_per_image": round(gemm_latency / RESNET_REQUESTS * 1e3, 3),
+        "lut_ms_per_image": round(lut_latency / RESNET_REQUESTS * 1e3, 3),
+        "lut_vs_gemm_speedup": round(gemm_latency / lut_latency, 2),
+        "prediction_agreement": route_agreement,
+        "gemm_steady_state_allocations": gemm_allocations,
+        "lut_steady_state_allocations": lut_allocations,
+    }
+    print(
+        f"kernel routes: gemm {gemm_latency / RESNET_REQUESTS * 1e3:.2f} ms/img, "
+        f"lut {lut_latency / RESNET_REQUESTS * 1e3:.2f} ms/img "
+        f"(lut/gemm {gemm_latency / lut_latency:.2f}x, agreement {route_agreement:.3f}, "
+        f"allocations gemm={gemm_allocations} lut={lut_allocations})"
+    )
+    if gemm_allocations != 0 or lut_allocations != 0 or route_agreement < 0.97:
         ok = False
 
     with open(OUTPUT_PATH, "w", encoding="utf-8") as handle:
@@ -360,8 +423,10 @@ def main() -> int:
     print(f"wrote {OUTPUT_PATH}")
     if not ok:
         print(
-            f"FAIL: below the {EVAL_MIN_SPEEDUP}x eval, {INT_MIN_SPEEDUP}x integer "
-            f"or {RESNET_MIN_SPEEDUP}x compiled-ResNet floor (or ResNet fell back)",
+            f"FAIL: below the {EVAL_MIN_SPEEDUP}x eval, {INT_MIN_SPEEDUP}x integer, "
+            f"{RESNET_MIN_SPEEDUP}x compiled-ResNet or {RESNET_VS_BATCHED_MIN}x "
+            "vs-batched floor, ResNet fell back, routes disagreed, or a "
+            "steady-state run allocated",
             file=sys.stderr,
         )
         return 1

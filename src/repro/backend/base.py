@@ -186,6 +186,8 @@ class ArrayBackend:
         padding: IntPair,
         scale=None,
         bias=None,
+        workspace=None,
+        key=None,
     ) -> np.ndarray:
         """Convolution of an (N, C, H, W) input with a pre-packed weight matrix.
 
@@ -199,6 +201,12 @@ class ArrayBackend:
         The default is the exactness reference: the accumulation runs in
         float64 so integer code products up to 16 bits are exact.  Fast
         backends override this with float32 BLAS.
+
+        ``workspace``/``key`` are an optional preallocation hint: a compiled
+        plan passes its :class:`~repro.serve.workspace.PlanWorkspace` and the
+        calling step's key so a fast backend can serve every scratch and
+        output buffer from the arena.  The reference implementations ignore
+        both — preallocation must never change the numbers.
         """
         n = x.shape[0]
         oc = w_mat.shape[0]
@@ -220,6 +228,8 @@ class ArrayBackend:
         padding: IntPair,
         scale=None,
         bias=None,
+        workspace=None,
+        key=None,
     ) -> np.ndarray:
         """Channel-major variant of :meth:`int_conv2d`: (C, N, H, W) in and
         (oc, N, oh, ow) out.
@@ -234,21 +244,34 @@ class ArrayBackend:
         out = self.int_conv2d(x, w_mat, kernel, stride, padding, scale=scale, bias=bias)
         return np.ascontiguousarray(np.moveaxis(out, 1, 0))
 
-    def residual_add(self, acc: np.ndarray, identity: np.ndarray, inplace: bool = False) -> np.ndarray:
+    def residual_add(
+        self,
+        acc: np.ndarray,
+        identity: np.ndarray,
+        inplace: bool = False,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
         """Residual join: elementwise ``acc + identity`` for compiled plans.
 
         ``identity`` may be a transposed (layout-permuted) view; the result
         is bitwise-identical to ``acc + identity`` either way.  When
         ``inplace`` is set the caller guarantees ``acc`` is a fresh,
         exclusively-owned buffer, so backends may accumulate into it and
-        avoid the allocation on the serving hot path.
+        avoid the allocation on the serving hot path.  ``out`` offers a
+        preallocated destination for the non-inplace case (same elementwise
+        ufunc, so still bitwise-identical).
         """
         if inplace and acc.flags.writeable and acc.shape == identity.shape:
             np.add(acc, identity, out=acc)
             return acc
+        if out is not None and out.shape == acc.shape and acc.shape == identity.shape:
+            np.add(acc, identity, out=out)
+            return out
         return acc + identity
 
-    def int_linear(self, x: np.ndarray, w: np.ndarray, scale=None, bias=None) -> np.ndarray:
+    def int_linear(
+        self, x: np.ndarray, w: np.ndarray, scale=None, bias=None, workspace=None, key=None
+    ) -> np.ndarray:
         """Fully connected product ``x @ w.T`` with post-accumulation rescale.
 
         ``w`` is ``(out_features, in_features)`` — integer codes or already
@@ -261,6 +284,56 @@ class ArrayBackend:
         if bias is not None:
             acc = acc + np.asarray(bias, dtype=np.float64)
         return acc.astype(np.float32)
+
+    # ------------------------------------------------------------------ #
+    # LUT/codebook integer kernels (gather+sum instead of multiply)
+    # ------------------------------------------------------------------ #
+    def lut_conv2d_cm(
+        self,
+        x_cm: np.ndarray,
+        packed,
+        codebook: np.ndarray,
+        kernel: IntPair,
+        stride: IntPair,
+        padding: IntPair,
+        bias=None,
+        workspace=None,
+        key=None,
+    ) -> np.ndarray:
+        """Codebook/LUT convolution in channel-major layout.
+
+        ``packed`` is a :class:`~repro.quant.packing.PackedCodes` (uint8 code
+        planes + bucket plan) and ``codebook`` the ``(oc, K)`` table of real
+        values each code index decodes to — the quantizer scale and any
+        folded BatchNorm gain are baked into the table, so the kernel's
+        output needs only the per-channel ``bias`` afterwards.
+
+        The reference semantics, kept here (and therefore in
+        :class:`~repro.backend.numpy_backend.NumpyBackend`), decode the
+        packed indices through the codebook into an effective weight matrix
+        and run the float64 einsum of :meth:`int_conv2d` — exact for any
+        table, which is what the parity suite certifies the fast
+        gather+sum implementation against.
+        """
+        w_eff = np.take_along_axis(
+            np.asarray(codebook, dtype=np.float64),
+            packed.indices().astype(np.intp),
+            axis=1,
+        )
+        x = np.ascontiguousarray(np.moveaxis(x_cm, 0, 1))
+        out = self.int_conv2d(x, w_eff, kernel, stride, padding, scale=None, bias=bias)
+        return np.ascontiguousarray(np.moveaxis(out, 1, 0))
+
+    def lut_linear(
+        self, x: np.ndarray, packed, codebook: np.ndarray, bias=None, workspace=None, key=None
+    ) -> np.ndarray:
+        """Codebook/LUT fully connected layer (reference: decode + float64 GEMM)."""
+        w_eff = np.take_along_axis(
+            np.asarray(codebook, dtype=np.float64),
+            packed.indices().astype(np.intp),
+            axis=1,
+        )
+        return self.int_linear(x, w_eff, scale=None, bias=bias)
 
     # ------------------------------------------------------------------ #
     # pooling kernels
@@ -284,7 +357,9 @@ class ArrayBackend:
         """Scatter an average-pool gradient uniformly over each window."""
         raise NotImplementedError
 
-    def pool_max(self, x: np.ndarray, kernel: IntPair, stride: IntPair) -> np.ndarray:
+    def pool_max(
+        self, x: np.ndarray, kernel: IntPair, stride: IntPair, workspace=None, key=None
+    ) -> np.ndarray:
         """Forward-only max pooling over the two trailing axes.
 
         Unlike :meth:`pool_windows` (which the training path needs for its
@@ -292,11 +367,14 @@ class ArrayBackend:
         backends may reduce with strided slice maxima instead of
         materialising a 6-D window tensor.  The two leading axes are treated
         as batch, so it serves both the (N, C, H, W) and channel-major
-        layouts.
+        layouts.  ``workspace``/``key`` follow the :meth:`int_conv2d`
+        preallocation contract (ignored by the reference).
         """
         return self.pool_windows(x, kernel, stride).max(axis=(-1, -2))
 
-    def pool_avg(self, x: np.ndarray, kernel: IntPair, stride: IntPair) -> np.ndarray:
+    def pool_avg(
+        self, x: np.ndarray, kernel: IntPair, stride: IntPair, workspace=None, key=None
+    ) -> np.ndarray:
         """Forward-only average pooling over the two trailing axes."""
         return self.pool_windows(x, kernel, stride).mean(axis=(-1, -2))
 

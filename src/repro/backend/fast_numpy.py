@@ -5,15 +5,33 @@ Three ideas buy the speedup over the reference backend:
 * **Strided patch extraction** — ``im2col`` materialises all convolution
   windows with one ``as_strided`` view plus a single bulk copy instead of a
   Python loop per output position; pooling windows stay a zero-copy view.
+  The serving-path channel-major columns go one step further and are filled
+  *directly* from the unpadded input with ``kh*kw`` strided slice copies,
+  skipping the padded-input scratch entirely (the zero border is an
+  invariant of the column buffer).
 * **BLAS dispatch** — the conv forward/backward contractions are expressed
   as (batched) ``matmul`` calls so they hit BLAS instead of ``einsum``'s
-  generic C loop.
+  generic C loop; the serving kernels additionally accept a
+  :class:`~repro.serve.workspace.PlanWorkspace` so accumulators land in
+  preallocated arena buffers (``matmul(..., out=)``) and steady-state
+  inference allocates nothing.
 * **Scratch-buffer & geometry caching** — per (shape, kernel, stride,
   padding) signature the output geometry is memoised and, when the caller
   signals the columns are transient (``reuse=True``, i.e. no autograd
   closure captures them), the padded-input and column buffers are recycled
-  across iterations so steady-state inference allocates nothing on the conv
-  hot path.
+  across iterations.  Scratch buffers are **thread-local**: two engines (or
+  a server's worker threads) running on the shared backend instance can
+  never alias each other's ``i2c``/``i2c_cm`` scratch.
+
+The LUT kernels (:meth:`lut_conv2d_cm` / :meth:`lut_linear`) implement the
+codebook route: per output channel the packed code indices partition the
+fan-in into at most K buckets (K = 3 for ternary rows), each bucket's input
+rows are gathered and summed once, and the output is the tiny
+``codebook_row @ bucket_sums`` product — gather+sum instead of multiply,
+with zero-valued codewords skipped outright.  Against BLAS sgemm this wins
+only when the alphabet is tiny and sparse, which is why compiled plans pick
+the route per layer by *measurement* (``REPRO_KERNEL_ROUTE=measure``)
+rather than by assumption.
 
 The numbers produced are identical to :class:`NumpyBackend` up to float32
 summation order; ``tests/backend/test_backend_parity.py`` pins the
@@ -22,7 +40,11 @@ tolerance.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+import functools
+import os
+import threading
+import time
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -42,11 +64,24 @@ class FastNumpyBackend(ArrayBackend):
 
     def __init__(self) -> None:
         self._geometry: Dict[Tuple, Tuple[int, int]] = {}
-        self._scratch: Dict[Tuple, np.ndarray] = {}
+        self._tls = threading.local()
+        self._calibrated_cm_max_positions: Optional[int] = None
+        self._calibrated_batched_max_fan_in: Optional[int] = None
 
     # ------------------------------------------------------------------ #
     # caches
     # ------------------------------------------------------------------ #
+    @property
+    def _scratch(self) -> Dict[Tuple, np.ndarray]:
+        # Thread-local: scratch keys are shared per geometry, so a single
+        # process-wide dict would let two threads serving through the same
+        # backend instance alias (and corrupt) each other's column buffers.
+        store = getattr(self._tls, "scratch", None)
+        if store is None:
+            store = {}
+            self._tls.scratch = store
+        return store
+
     def _output_geometry(
         self, shape: Tuple[int, ...], kernel: IntPair, stride: IntPair, padding: IntPair
     ) -> Tuple[int, int]:
@@ -59,19 +94,25 @@ class FastNumpyBackend(ArrayBackend):
                 conv_output_size(w, kernel[1], stride[1], padding[1]),
             )
             if len(self._geometry) >= _MAX_CACHE_ENTRIES:
-                self._geometry.pop(next(iter(self._geometry)))
+                # The geometry cache is shared across threads; a concurrent
+                # eviction racing this one must not raise.
+                try:
+                    self._geometry.pop(next(iter(self._geometry)), None)
+                except (StopIteration, RuntimeError):
+                    pass
             self._geometry[key] = geometry
         return geometry
 
     def _scratch_buffer(
         self, key: Tuple, shape: Tuple[int, ...], dtype, zero_on_alloc: bool = False
     ) -> np.ndarray:
-        buffer = self._scratch.get(key)
+        scratch = self._scratch
+        buffer = scratch.get(key)
         if buffer is None or buffer.shape != shape or buffer.dtype != dtype:
             buffer = np.zeros(shape, dtype=dtype) if zero_on_alloc else np.empty(shape, dtype=dtype)
-            if len(self._scratch) >= _MAX_CACHE_ENTRIES:
-                self._scratch.pop(next(iter(self._scratch)))
-            self._scratch[key] = buffer
+            if len(scratch) >= _MAX_CACHE_ENTRIES:
+                scratch.pop(next(iter(scratch)))
+            scratch[key] = buffer
         return buffer
 
     def clear_cache(self) -> None:
@@ -189,8 +230,245 @@ class FastNumpyBackend(ArrayBackend):
 
     # Below this many output positions per sample, the batched per-sample
     # GEMMs are too small to use BLAS well and the channel-major single-GEMM
-    # route wins even after paying two layout transposes.
+    # route wins even after paying two layout transposes.  This class-level
+    # value is the portable default; ``cm_max_positions`` resolves the
+    # effective threshold (env override, then per-machine calibration).
     _CM_MAX_POSITIONS = 64
+    # The plan compiler's layout split keys on *fan-in* (c*kh*kw), not
+    # positions: with the direct column fills, N per-sample GEMMs beat the
+    # single wide channel-major GEMM whenever the K dimension is skinny,
+    # at every spatial size — and lose once the fan-in is large enough for
+    # one wide sgemm to pay off.
+    _BATCHED_MAX_FAN_IN = 192
+    # Chunked batched schedule (arena path only): fill a few samples'
+    # columns, multiply, repeat.  The chunk's column block stays
+    # cache-resident for its GEMM instead of streaming the whole batch's
+    # columns through memory twice, and the arena reuses one chunk-sized
+    # buffer for every chunk of every same-geometry conv.  Only worth it
+    # when the column block is big enough to spill cache (wide-ish fan-in
+    # at many output positions); tiny fills are dominated by call overhead.
+    _CONV_CHUNK_SAMPLES = 4
+    _CONV_CHUNK_MIN_FAN_IN = 64
+    _CONV_CHUNK_MIN_POSITIONS = 256
+
+    @property
+    def cm_max_positions(self) -> int:
+        """The effective batched-vs-channel-major crossover threshold.
+
+        Resolution order: the ``REPRO_CM_MAX_POSITIONS`` environment variable
+        (must parse as a non-negative integer) pins it; otherwise a value
+        measured by :meth:`calibrate_cm_max_positions` (the serving engine
+        calls this during ``warmup()``); otherwise the class default.
+        """
+        env = os.environ.get("REPRO_CM_MAX_POSITIONS")
+        if env is not None and env.strip():
+            value = int(env)
+            if value < 0:
+                raise ValueError(
+                    f"REPRO_CM_MAX_POSITIONS must be non-negative, got {value}"
+                )
+            return value
+        if self._calibrated_cm_max_positions is not None:
+            return self._calibrated_cm_max_positions
+        return self._CM_MAX_POSITIONS
+
+    @property
+    def batched_max_fan_in(self) -> int:
+        """The fan-in crossover for the plan compiler's layout split.
+
+        Convolutions whose fan-in (``c*kh*kw``, the GEMM's K dimension) is at
+        most this run batch-major in compiled plans; wider ones run
+        channel-major.  A calibrated value (see
+        :meth:`calibrate_cm_max_positions`) replaces the class default once
+        the serving engine has warmed up.
+        """
+        if self._calibrated_batched_max_fan_in is not None:
+            return self._calibrated_batched_max_fan_in
+        return self._BATCHED_MAX_FAN_IN
+
+    def calibrate_cm_max_positions(self, force: bool = False) -> int:
+        """Measure the batched-vs-channel-major crossovers on this machine.
+
+        Two thresholds are recorded.  :attr:`cm_max_positions` — the largest
+        output-position count where the channel-major route wins *including*
+        its output transpose — drives the per-call rerouting inside
+        :meth:`int_conv2d` (module path, integer sessions), timed on a
+        representative (c=16, k=3) layer across a ladder of spatial sizes.
+        :attr:`batched_max_fan_in` — the largest fan-in where the bare
+        batched kernel beats the bare channel-major GEMM — drives the plan
+        compiler's layout split, timed at a serving-representative batch
+        across a ladder of channel widths (spatial size barely moves this
+        crossover; the GEMM's K dimension does).  The measurement runs once
+        per process (the result is cached; pass ``force=True`` to
+        re-measure) and is skipped entirely when ``REPRO_CM_MAX_POSITIONS``
+        pins the threshold.
+        """
+        if os.environ.get("REPRO_CM_MAX_POSITIONS", "").strip():
+            return self.cm_max_positions
+        if self._calibrated_cm_max_positions is not None and not force:
+            return self._calibrated_cm_max_positions
+        rng = np.random.default_rng(0)
+        n, c, oc = 8, 16, 16
+        w_mat = rng.integers(-7, 8, size=(oc, c * 9)).astype(np.float32)
+        kernel, stride, padding = (3, 3), (1, 1), (1, 1)
+
+        def best_of(fn, repeats: int = 3) -> float:
+            fn()  # warm the scratch buffers out of the measurement
+            best = float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                fn()
+                best = min(best, time.perf_counter() - start)
+            return best
+
+        threshold = 0
+        for hw in (4, 8, 12, 16, 24):
+            x = rng.standard_normal((n, c, hw, hw)).astype(np.float32)
+            x_cm = np.ascontiguousarray(x.transpose(1, 0, 2, 3))
+
+            def batched(x=x):
+                cols = self._nchw_columns(x, kernel, stride, padding)
+                np.matmul(w_mat, cols)
+
+            def channel_major(x_cm=x_cm):
+                out_cm = self.int_conv2d_cm(x_cm, w_mat, kernel, stride, padding)
+                np.ascontiguousarray(out_cm.transpose(1, 0, 2, 3))
+
+            if best_of(channel_major) <= best_of(batched):
+                threshold = hw * hw
+        self._calibrated_cm_max_positions = threshold
+
+        fan_threshold = 0
+        nb, hwb = 32, 16
+        for cb in (4, 8, 16, 24):
+            wb = rng.integers(-7, 8, size=(cb, cb * 9)).astype(np.float32)
+            xb = rng.standard_normal((nb, cb, hwb, hwb)).astype(np.float32)
+            xb_cm = np.ascontiguousarray(xb.transpose(1, 0, 2, 3))
+            accb = np.empty((nb, cb, hwb * hwb), dtype=np.float32)
+            chunked = (
+                cb * 9 >= self._CONV_CHUNK_MIN_FAN_IN
+                and hwb * hwb >= self._CONV_CHUNK_MIN_POSITIONS
+            )
+
+            def batched_kernel(xb=xb, wb=wb, accb=accb, chunked=chunked):
+                # Mirror the compiled plan's schedule: chunked when the
+                # geometry qualifies, monolithic otherwise.
+                if chunked:
+                    step = self._CONV_CHUNK_SAMPLES
+                    for s in range(0, nb, step):
+                        cols = self._nchw_columns(xb[s : s + step], kernel, stride, padding)
+                        np.matmul(wb, cols, out=accb[s : s + step])
+                else:
+                    cols = self._nchw_columns(xb, kernel, stride, padding)
+                    np.matmul(wb, cols, out=accb)
+
+            def cm_kernel(xb_cm=xb_cm, wb=wb):
+                self.int_conv2d_cm(xb_cm, wb, kernel, stride, padding)
+
+            if best_of(batched_kernel) <= best_of(cm_kernel):
+                fan_threshold = cb * 9
+        self._calibrated_batched_max_fan_in = fan_threshold
+        return threshold
+
+    @staticmethod
+    @functools.lru_cache(maxsize=512)
+    def _window_slices(h, w, oh, ow, kernel: IntPair, stride: IntPair, padding: IntPair):
+        """Per kernel offset: matching (output-window, strided-input) slices.
+
+        The direct column fills copy one strided input region per in-bounds
+        kernel offset; out-of-bounds (padding) positions are simply never
+        written, so a zero-initialised column buffer keeps its zero border as
+        an invariant across reuse.  Memoised: the slice math costs ~10us in
+        Python per call, which the chunked schedule would otherwise pay once
+        per chunk per conv per inference.
+        """
+        kh, kw = kernel
+        sh, sw = stride
+        ph, pw = padding
+        slices = []
+        for i in range(kh):
+            for j in range(kw):
+                oi_s = max(0, -(-(ph - i) // sh))
+                oi_e = min(oh, -(-(h + ph - i) // sh))
+                oj_s = max(0, -(-(pw - j) // sw))
+                oj_e = min(ow, -(-(w + pw - j) // sw))
+                if oi_s >= oi_e or oj_s >= oj_e:
+                    continue
+                r0 = oi_s * sh + i - ph
+                c0 = oj_s * sw + j - pw
+                r1 = r0 + (oi_e - oi_s - 1) * sh + 1
+                c1 = c0 + (oj_e - oj_s - 1) * sw + 1
+                slices.append(
+                    (
+                        i,
+                        j,
+                        slice(oi_s, oi_e),
+                        slice(oj_s, oj_e),
+                        slice(r0, r1, sh),
+                        slice(c0, c1, sw),
+                    )
+                )
+        return tuple(slices)
+
+    def _cm_columns(self, x_cm: np.ndarray, kernel: IntPair, stride: IntPair,
+                    padding: IntPair, workspace=None) -> np.ndarray:
+        """Channel-major column matrix ``(c*kh*kw, n*oh*ow)``, filled directly.
+
+        Instead of padding the input and copying a 6-D strided window view,
+        each of the kh*kw kernel offsets contributes one strided slice copy
+        from the *unpadded* input into a zero-initialised column buffer whose
+        key pins the full geometry, so the fill is bitwise-identical to the
+        padded-window copy at a fraction of the memory traffic.
+        """
+        c, n = x_cm.shape[:2]
+        h, w = x_cm.shape[2:]
+        kh, kw = kernel
+        oh, ow = self._output_geometry((n, c, h, w), kernel, stride, padding)
+        shape = (c, kh, kw, n, oh, ow)
+        key = ("i2c_cm", shape, stride, padding, (h, w), x_cm.dtype.str)
+        if workspace is not None:
+            cols = workspace.buffer(key, shape, x_cm.dtype, zero_on_alloc=True)
+        else:
+            cols = self._scratch_buffer(key, shape, x_cm.dtype, zero_on_alloc=True)
+        for i, j, oi, oj, ri, rj in self._window_slices(h, w, oh, ow, kernel, stride, padding):
+            cols[:, i, j, :, oi, oj] = x_cm[:, :, ri, rj]
+        return cols.reshape(c * kh * kw, n * oh * ow)
+
+    def _nchw_columns(self, x: np.ndarray, kernel: IntPair, stride: IntPair,
+                      padding: IntPair, workspace=None) -> np.ndarray:
+        """Batch-major column tensor ``(n, c*kh*kw, oh*ow)``, filled directly.
+
+        The batch-major twin of :meth:`_cm_columns`: the same unpadded
+        slice-copy fill, keeping the batch axis leading so the GEMM runs as
+        N per-sample products — the winning shape when ``oh*ow`` is large
+        (see :attr:`cm_kernel_max_positions`).  Skips the padded-input
+        scratch copy the generic :meth:`im2col` pays.
+        """
+        n, c, h, w = x.shape
+        kh, kw = kernel
+        oh, ow = self._output_geometry(x.shape, kernel, stride, padding)
+        shape = (n, c, kh, kw, oh, ow)
+        key = ("i2c_nb", shape, stride, padding, (h, w), x.dtype.str)
+        if workspace is not None:
+            cols = workspace.buffer(key, shape, x.dtype, zero_on_alloc=True)
+        else:
+            cols = self._scratch_buffer(key, shape, x.dtype, zero_on_alloc=True)
+        for i, j, oi, oj, ri, rj in self._window_slices(h, w, oh, ow, kernel, stride, padding):
+            cols[:, :, i, j, oi, oj] = x[:, :, ri, rj]
+        return cols.reshape(n, c * kh * kw, oh * ow)
+
+    def _pointwise_cols(self, sub: np.ndarray, workspace=None, key=None) -> np.ndarray:
+        """2-D column view/copy for a 1x1 convolution's (strided) input."""
+        c = sub.shape[0]
+        if sub.flags["C_CONTIGUOUS"]:
+            return sub.reshape(c, -1)
+        shape = (c, int(np.prod(sub.shape[1:])))
+        if workspace is not None and key is not None:
+            buf = workspace.buffer((key, "pw", shape, sub.dtype.str), shape, sub.dtype)
+        else:
+            buf = self._scratch_buffer(("pw", shape, sub.dtype), shape, sub.dtype)
+        np.copyto(buf.reshape(sub.shape), sub)
+        return buf
 
     def int_conv2d(
         self,
@@ -201,21 +479,86 @@ class FastNumpyBackend(ArrayBackend):
         padding: IntPair,
         scale=None,
         bias=None,
+        workspace=None,
+        key=None,
     ) -> np.ndarray:
         # Integer codes fit float32 exactly up to 2^24, so the accumulation
         # runs at the same precision as the float forward pass while hitting
         # (batched) sgemm instead of the float64 einsum reference.
         n = x.shape[0]
         oc = w_mat.shape[0]
+        kh, kw = kernel
         oh, ow = self._output_geometry(x.shape, kernel, stride, padding)
-        if n > 1 and oh * ow <= self._CM_MAX_POSITIONS:
+        # A workspace caller is a compiled plan that already chose this
+        # conv's layout (see InferencePlan's fan-in split) — serve the
+        # batched kernel as asked.  Module-path/session callers get the
+        # per-call positions-threshold reroute.
+        if workspace is None and n > 1 and oh * ow <= self.cm_max_positions:
             out_cm = self.int_conv2d_cm(
                 x.transpose(1, 0, 2, 3), w_mat, kernel, stride, padding,
                 scale=scale, bias=bias,
             )
             return np.ascontiguousarray(out_cm.transpose(1, 0, 2, 3))
-        cols, _ = self.im2col(x, kernel, stride, padding, reuse=True)
-        acc = np.matmul(w_mat, cols)  # (N, oc, P) batched BLAS
+        if (kh, kw) == (1, 1) and padding == (0, 0):
+            # Batch-major pointwise: the column tensor IS the (strided)
+            # input — skip the window fill.
+            sh, sw = stride
+            sub = x if (sh, sw) == (1, 1) else x[:, :, ::sh, ::sw]
+            if sub.flags["C_CONTIGUOUS"]:
+                cols = sub.reshape(n, sub.shape[1], oh * ow)
+            else:
+                shape = (n, sub.shape[1], oh * ow)
+                if workspace is not None and key is not None:
+                    cols = workspace.buffer((key, "pw_nb", shape, sub.dtype.str), shape, sub.dtype)
+                else:
+                    cols = self._scratch_buffer(("pw_nb", shape, sub.dtype), shape, sub.dtype)
+                np.copyto(cols.reshape(sub.shape), sub)
+        elif (
+            workspace is not None
+            and key is not None
+            and n > self._CONV_CHUNK_SAMPLES
+            and x.shape[1] * kh * kw >= self._CONV_CHUNK_MIN_FAN_IN
+            and oh * ow >= self._CONV_CHUNK_MIN_POSITIONS
+        ):
+            # Chunked schedule: per-sample GEMMs are independent, so chunk
+            # slicing is bitwise-identical to the monolithic batched matmul.
+            # The chunk buffer and slice list are hoisted out of the loop —
+            # at a handful of samples per chunk the per-call bookkeeping is
+            # no longer negligible against the fill itself.
+            step = self._CONV_CHUNK_SAMPLES
+            c, h, w = x.shape[1], x.shape[2], x.shape[3]
+            out_dtype = np.result_type(w_mat.dtype, x.dtype)
+            acc = workspace.buffer(
+                (key, "acc", (n, oc, oh * ow), out_dtype.str), (n, oc, oh * ow), out_dtype
+            )
+            shape = (step, c, kh, kw, oh, ow)
+            cols = workspace.buffer(
+                ("i2c_nb", shape, stride, padding, (h, w), x.dtype.str),
+                shape, x.dtype, zero_on_alloc=True,
+            )
+            mat = cols.reshape(step, c * kh * kw, oh * ow)
+            slices = self._window_slices(h, w, oh, ow, kernel, stride, padding)
+            for s in range(0, n - step + 1, step):
+                xs = x[s : s + step]
+                for i, j, oi, oj, ri, rj in slices:
+                    cols[:, :, i, j, oi, oj] = xs[:, :, ri, rj]
+                np.matmul(w_mat, mat, out=acc[s : s + step])
+            tail = n % step
+            if tail:
+                tcols = self._nchw_columns(x[n - tail :], kernel, stride, padding, workspace)
+                np.matmul(w_mat, tcols, out=acc[n - tail :])
+            self._scale_bias_inplace(acc, scale, bias, channel_axis=1)
+            return acc.reshape(n, oc, oh, ow)
+        else:
+            cols = self._nchw_columns(x, kernel, stride, padding, workspace)
+        if workspace is not None and key is not None:
+            out_dtype = np.result_type(w_mat.dtype, cols.dtype)
+            acc = workspace.buffer(
+                (key, "acc", (n, oc, oh * ow), out_dtype.str), (n, oc, oh * ow), out_dtype
+            )
+            np.matmul(w_mat, cols, out=acc)  # (N, oc, P) batched BLAS
+        else:
+            acc = np.matmul(w_mat, cols)
         self._scale_bias_inplace(acc, scale, bias, channel_axis=1)
         return acc.reshape(n, oc, oh, ow)
 
@@ -228,43 +571,151 @@ class FastNumpyBackend(ArrayBackend):
         padding: IntPair,
         scale=None,
         bias=None,
+        workspace=None,
+        key=None,
     ) -> np.ndarray:
         # Channel-major columns put the batch inside the P axis, so the whole
         # convolution is ONE (oc, F) x (F, N*P) GEMM — far better BLAS shape
         # than N small batched products when oc and F are modest — and the
         # (oc, N, oh, ow) output feeds the next layer with zero transposes.
-        c, n, _, _ = x_cm.shape
+        c, n = x_cm.shape[:2]
         kh, kw = kernel
         sh, sw = stride
         oc = w_mat.shape[0]
         oh, ow = self._output_geometry((n, c) + x_cm.shape[2:], kernel, stride, padding)
         if (kh, kw) == (1, 1) and padding == (0, 0):
             # Pointwise convolution (the ResNet downsample projection): the
-            # column matrix IS the (strided) input — skip the window view
-            # and scratch copy and go straight to the GEMM.
+            # column matrix IS the (strided) input — skip the window fill
+            # and go straight to the GEMM.
             sub = x_cm if (sh, sw) == (1, 1) else x_cm[:, :, ::sh, ::sw]
-            acc = np.matmul(w_mat, np.ascontiguousarray(sub).reshape(c, -1))
-            self._scale_bias_inplace(acc, scale, bias, channel_axis=0)
-            return acc.reshape(oc, n, oh, ow)
-        padded = self._padded_input(x_cm, padding[0], padding[1], reuse=True)
-        s = padded.strides
-        windows = np.lib.stride_tricks.as_strided(
-            padded,
-            shape=(c, kh, kw, n, oh, ow),
-            strides=(s[0], s[2], s[3], s[1], s[2] * sh, s[3] * sw),
-            writeable=False,
-        )
-        shape = (c, kh, kw, n, oh, ow)
-        cols = self._scratch_buffer(("i2c_cm", shape, x_cm.dtype), shape, x_cm.dtype)
-        np.copyto(cols, windows)
-        acc = np.matmul(w_mat, cols.reshape(c * kh * kw, n * oh * ow))
+            cols2d = self._pointwise_cols(sub, workspace, key)
+        else:
+            cols2d = self._cm_columns(x_cm, kernel, stride, padding, workspace)
+        if workspace is not None and key is not None:
+            out_dtype = np.result_type(w_mat.dtype, cols2d.dtype)
+            out2d = workspace.buffer(
+                (key, "acc", (oc, cols2d.shape[1]), out_dtype.str),
+                (oc, cols2d.shape[1]),
+                out_dtype,
+            )
+            acc = np.matmul(w_mat, cols2d, out=out2d)
+        else:
+            acc = np.matmul(w_mat, cols2d)
         self._scale_bias_inplace(acc, scale, bias, channel_axis=0)
         return acc.reshape(oc, n, oh, ow)
 
-    def int_linear(self, x: np.ndarray, w: np.ndarray, scale=None, bias=None) -> np.ndarray:
-        acc = np.matmul(x, w.T)
+    def int_linear(
+        self, x: np.ndarray, w: np.ndarray, scale=None, bias=None, workspace=None, key=None
+    ) -> np.ndarray:
+        if workspace is not None and key is not None:
+            out_dtype = np.result_type(x.dtype, w.dtype)
+            shape = x.shape[:-1] + (w.shape[0],)
+            out = workspace.buffer((key, "acc", shape, out_dtype.str), shape, out_dtype)
+            acc = np.matmul(x, w.T, out=out)
+        else:
+            acc = np.matmul(x, w.T)
         self._scale_bias_inplace(acc, scale, bias, channel_axis=acc.ndim - 1)
         return acc
+
+    # ------------------------------------------------------------------ #
+    # LUT/codebook integer kernels
+    # ------------------------------------------------------------------ #
+    def _lut_accumulate(
+        self,
+        cols2d: np.ndarray,
+        packed,
+        codebook: np.ndarray,
+        bias,
+        workspace,
+        key,
+    ) -> np.ndarray:
+        """Shared gather+sum contraction: ``out[o] = codebook[o] @ bucket_sums``.
+
+        Per output channel the bucket plan's stable permutation groups the
+        fan-in rows of ``cols2d`` by code index; each non-empty bucket whose
+        codebook value is non-zero is gathered once (``np.take`` into a
+        reused buffer) and summed, and the channel's output row is one
+        ``(1, nk) @ (nk, P)`` product over the bucket sums.  For ternary
+        rows this is bit-plane accumulation: two buckets, no multiplies
+        inside the contraction.
+        """
+        F, P = cols2d.shape
+        oc = packed.rows
+        K = packed.num_codewords
+        perm, starts = packed.bucket_plan()
+        dt = cols2d.dtype
+
+        def get(buf_key, shape):
+            if workspace is not None:
+                return workspace.buffer(buf_key, shape, dt)
+            return self._scratch_buffer(buf_key, shape, dt)
+
+        out2d = get((key, "lut_acc", (oc, P), dt.str), (oc, P))
+        gather = get(("lut_gather", (F, P), dt.str), (F, P))
+        sums = get(("lut_sums", (K, P), dt.str), (K, P))
+        values = get(("lut_values", (K,), dt.str), (K,))
+        table = codebook if codebook.dtype == dt else codebook.astype(dt)
+        for o in range(oc):
+            row_perm = perm[o]
+            row_starts = starts[o]
+            nk = 0
+            for k in range(K):
+                lo, hi = int(row_starts[k]), int(row_starts[k + 1])
+                value = table[o, k]
+                if hi == lo or value == 0:
+                    continue  # empty bucket, or a codeword that decodes to 0
+                segment = gather[: hi - lo]
+                np.take(cols2d, row_perm[lo:hi], axis=0, out=segment)
+                np.sum(segment, axis=0, out=sums[nk])
+                values[nk] = value
+                nk += 1
+            if nk == 0:
+                out2d[o] = 0
+            else:
+                np.matmul(values[:nk][None, :], sums[:nk], out=out2d[o : o + 1])
+        self._scale_bias_inplace(out2d, None, bias, channel_axis=0)
+        return out2d
+
+    def lut_conv2d_cm(
+        self,
+        x_cm: np.ndarray,
+        packed,
+        codebook: np.ndarray,
+        kernel: IntPair,
+        stride: IntPair,
+        padding: IntPair,
+        bias=None,
+        workspace=None,
+        key=None,
+    ) -> np.ndarray:
+        c, n = x_cm.shape[:2]
+        kh, kw = kernel
+        sh, sw = stride
+        oh, ow = self._output_geometry((n, c) + x_cm.shape[2:], kernel, stride, padding)
+        if (kh, kw) == (1, 1) and padding == (0, 0):
+            sub = x_cm if (sh, sw) == (1, 1) else x_cm[:, :, ::sh, ::sw]
+            cols2d = self._pointwise_cols(sub, workspace, key)
+        else:
+            cols2d = self._cm_columns(x_cm, kernel, stride, padding, workspace)
+        out2d = self._lut_accumulate(cols2d, packed, codebook, bias, workspace, key)
+        return out2d.reshape(packed.rows, n, oh, ow)
+
+    def lut_linear(
+        self, x: np.ndarray, packed, codebook: np.ndarray, bias=None, workspace=None, key=None
+    ) -> np.ndarray:
+        # Work transposed so each channel's bucket sums reduce contiguous
+        # rows: cols2d is (in_features, N), the output lands as (out, N)
+        # and is handed back as its (N, out) view.
+        xt = x.T
+        if not xt.flags["C_CONTIGUOUS"]:
+            if workspace is not None and key is not None:
+                buf = workspace.buffer((key, "xt", xt.shape, xt.dtype.str), xt.shape, xt.dtype)
+                np.copyto(buf, xt)
+                xt = buf
+            else:
+                xt = np.ascontiguousarray(xt)
+        out2d = self._lut_accumulate(xt, packed, codebook, bias, workspace, key)
+        return out2d.T
 
     # ------------------------------------------------------------------ #
     # pooling kernels
@@ -299,34 +750,54 @@ class FastNumpyBackend(ArrayBackend):
                 grad_input[:, :, i : i + sh * oh : sh, j : j + sw * ow : sw] += scaled
         return grad_input
 
-    def pool_max(self, x: np.ndarray, kernel: IntPair, stride: IntPair) -> np.ndarray:
+    def _pool_out(self, x: np.ndarray, oh: int, ow: int, workspace, key) -> Optional[np.ndarray]:
+        if workspace is None or key is None:
+            return None
+        shape = x.shape[:2] + (oh, ow)
+        return workspace.buffer((key, "pool", shape, x.dtype.str), shape, x.dtype)
+
+    def pool_max(
+        self, x: np.ndarray, kernel: IntPair, stride: IntPair, workspace=None, key=None
+    ) -> np.ndarray:
         # kh*kw strided elementwise maxima beat a max-reduction over a 6-D
         # as_strided view by a wide margin: each pass is a flat SIMD maximum
         # over the output-sized grid for one in-window offset.
         kh, kw = kernel
         sh, sw = stride
         oh, ow = self._output_geometry(x.shape, kernel, stride, (0, 0))
-        out = None
+        out = self._pool_out(x, oh, ow, workspace, key)
+        first = True
         for i in range(kh):
             for j in range(kw):
                 window = x[..., i : i + sh * oh : sh, j : j + sw * ow : sw]
-                if out is None:
-                    out = window.copy()
+                if first:
+                    if out is None:
+                        out = window.copy()
+                    else:
+                        np.copyto(out, window)
+                    first = False
                 else:
                     np.maximum(out, window, out=out)
         return out
 
-    def pool_avg(self, x: np.ndarray, kernel: IntPair, stride: IntPair) -> np.ndarray:
+    def pool_avg(
+        self, x: np.ndarray, kernel: IntPair, stride: IntPair, workspace=None, key=None
+    ) -> np.ndarray:
         kh, kw = kernel
         sh, sw = stride
         oh, ow = self._output_geometry(x.shape, kernel, stride, (0, 0))
-        out = None
+        out = self._pool_out(x, oh, ow, workspace, key)
+        first = True
         for i in range(kh):
             for j in range(kw):
                 window = x[..., i : i + sh * oh : sh, j : j + sw * ow : sw]
-                if out is None:
-                    out = window.copy()
+                if first:
+                    if out is None:
+                        out = window.copy()
+                    else:
+                        np.copyto(out, window)
+                    first = False
                 else:
-                    out += window
+                    np.add(out, window, out=out)
         out *= out.dtype.type(1.0 / (kh * kw))
         return out

@@ -20,6 +20,7 @@ from .integer_inference import (
     integer_conv2d,
     integer_linear,
 )
+from .packing import PackedCodes, pack_codes, packable_bits, unpack_codes
 from .pact import PACT, pact
 from .perchannel import (
     PerChannelQuantizerOutput,
@@ -62,6 +63,10 @@ __all__ = [
     "code_range",
     "from_twos_complement_bits",
     "to_twos_complement_bits",
+    "PackedCodes",
+    "pack_codes",
+    "packable_bits",
+    "unpack_codes",
     "PACT",
     "pact",
     "QConv2d",

@@ -7,7 +7,9 @@ linear chains and residual joins (identity and downsample shortcuts) alike
 (eval-mode BatchNorm folded into the convolution's per-channel scale/bias,
 PACT clipping applied in-place on the GEMM accumulator, shortcut values
 spilled/joined by save/residual-add steps, quantized weights served from a
-version-keyed cache); :class:`InferenceEngine` wraps it with lazy tracing,
+version-keyed cache, and every intermediate routed through a preallocated
+:class:`PlanWorkspace` arena so primed steady-state runs allocate nothing);
+:class:`InferenceEngine` wraps it with lazy tracing,
 batched prediction, a :meth:`~InferenceEngine.plan_report` describing what
 compiled, and a module-path fallback for glue the tracer genuinely cannot
 compile.  ``mode="integer"`` serves the deployed integer-code domain
@@ -50,6 +52,7 @@ from .frontend import (
     ServerOverloaded,
 )
 from .plan import InferencePlan, PlanTraceError, PlanVerifyError
+from .workspace import PlanWorkspace
 
 __all__ = [
     "Autoscaler",
@@ -62,6 +65,7 @@ __all__ = [
     "InferencePlan",
     "PlanTraceError",
     "PlanVerifyError",
+    "PlanWorkspace",
     "DynamicBatcher",
     "ModelEntry",
     "ModelRegistry",

@@ -46,11 +46,14 @@ accumulation exactly as in :class:`~repro.quant.IntegerInferenceSession`.
 
 from __future__ import annotations
 
+import os
+import threading
 import warnings
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..backend import get_backend
 from ..nn.modules import BatchNorm2d
 from ..nn.tensor import Tensor, no_grad
 from ..quant.qmodules import QuantizedLayer
@@ -90,6 +93,15 @@ class InferenceEngine:
         self._refresh_token: Optional[Tuple] = None
         self._fallback_run: Optional[Callable[[np.ndarray], np.ndarray]] = None
         self._fallback_token: Optional[Tuple] = None
+        # Serialises plan execution: the plan's workspace arena is
+        # single-writer, and two threads predicting through one engine must
+        # not interleave buffer writes.  Distinct engines own distinct plans
+        # (and arenas), so they never contend with each other.
+        self._lock = threading.RLock()
+        # The parameter/module walk behind the staleness token is cached —
+        # the model's structure does not change between predicts (and the
+        # explicit refresh paths invalidate it when in doubt).
+        self._token_sources: Optional[Tuple[tuple, tuple, tuple]] = None
 
     # ------------------------------------------------------------------ #
     # plan lifecycle
@@ -141,6 +153,7 @@ class InferenceEngine:
         is visible in :meth:`plan_report` and a later regression warns anew.
         """
         self._fallback = False
+        self._token_sources = None
         self._ensure_plan(input_shape)
         if self._plan is not None:
             self._fallback_warned = False
@@ -166,16 +179,25 @@ class InferenceEngine:
         ``bump_version()`` is invisible here by design — the same contract
         as the quantized-weight cache.
         """
-        versions = sum(param.version for param in self.model.parameters())
-        bits: List[int] = []
-        bn_stats: List[float] = []
-        for module in self.model.modules():
-            if isinstance(module, QuantizedLayer):
-                bits.append(module.bits)
-            elif isinstance(module, BatchNorm2d):
-                bn_stats.append(float(module.running_mean.sum()))
-                bn_stats.append(float(module.running_var.sum()))
-        return (versions, tuple(bits), tuple(bn_stats))
+        sources = self._token_sources
+        if sources is None:
+            params = tuple(self.model.parameters())
+            qlayers = tuple(
+                module for module in self.model.modules() if isinstance(module, QuantizedLayer)
+            )
+            bns = tuple(
+                module for module in self.model.modules() if isinstance(module, BatchNorm2d)
+            )
+            sources = self._token_sources = (params, qlayers, bns)
+        params, qlayers, bns = sources
+        versions = sum(param.version for param in params)
+        bits = tuple(module.bits for module in qlayers)
+        bn_stats = tuple(
+            stat
+            for module in bns
+            for stat in (float(module.running_mean.sum()), float(module.running_var.sum()))
+        )
+        return (versions, bits, bn_stats)
 
     def _refresh_plan(self, force: bool) -> None:
         """Re-resolve plan constants only when the model actually changed."""
@@ -224,10 +246,24 @@ class InferenceEngine:
         step = int(batch_size) if batch_size is not None else self.batch_size
         if step <= 0:
             raise ValueError(f"batch_size must be positive, got {step}")
+        plan = self._plan
+        if plan is not None and plan.optimized and not refresh:
+            # Steady-state fast path: fused steps never dispatch through
+            # module forwards, so the train/eval flip (and its restore
+            # bookkeeping) is dead weight here.  The lock serialises runs
+            # over the plan's single-writer workspace arena.
+            with self._lock, no_grad():
+                self._refresh_plan(force=False)
+                pieces: List[np.ndarray] = []
+                for start in range(0, max(array.shape[0], 1), step):
+                    pieces.append(plan.run(array[start : start + step]))
+            return pieces[0] if len(pieces) == 1 else np.concatenate(pieces, axis=0)
+        if refresh:
+            self._token_sources = None
         was_training = self.model.training
         self.model.eval()
         try:
-            with no_grad():
+            with self._lock, no_grad():
                 if refresh and self._fallback:
                     self._retry_plan(array.shape)
                 else:
@@ -237,7 +273,7 @@ class InferenceEngine:
                     run = self._plan.run
                 else:
                     run = self._fallback_runner(force=refresh)
-                pieces: List[np.ndarray] = []
+                pieces = []
                 for start in range(0, max(array.shape[0], 1), step):
                     pieces.append(run(array[start : start + step]))
                 return pieces[0] if len(pieces) == 1 else np.concatenate(pieces, axis=0)
@@ -275,6 +311,19 @@ class InferenceEngine:
         of letting every request silently pay module-path latency.  Pass
         ``require_compiled=False`` to accept the graceful fallback (the
         lazy-trace behaviour of a plain ``predict``).
+
+        Warmup also does the per-machine tuning a served model wants done
+        before the first request:
+
+        * the backend's channel-major threshold is calibrated (see
+          :meth:`~repro.backend.fast_numpy.FastNumpyBackend.calibrate_cm_max_positions`;
+          a ``REPRO_CM_MAX_POSITIONS`` env pin skips measurement);
+        * the kernel route is applied from ``REPRO_KERNEL_ROUTE`` —
+          ``"gemm"`` (default), ``"lut"``, or ``"measure"`` to time both
+          routes per fused step on this machine and keep the winners;
+        * the plan's workspace arena is primed with one run at the engine's
+          batch size, so steady-state ``predict`` starts at zero
+          allocations from the very first request.
         """
         if input_shape is None:
             hint = getattr(self.model, "example_input_shape", None)
@@ -287,10 +336,32 @@ class InferenceEngine:
         was_training = self.model.training
         self.model.eval()
         try:
-            with no_grad():
+            with self._lock, no_grad():
+                # Calibrate the backend's layout crossovers BEFORE tracing:
+                # the plan compiler reads ``cm_kernel_max_positions`` to pick
+                # each convolution's layout.
+                backend = get_backend()
+                calibrate = getattr(backend, "calibrate_cm_max_positions", None)
+                if callable(calibrate):
+                    calibrate()
                 self._ensure_plan((1, *tuple(input_shape)))
                 if self._plan is not None:
                     self._refresh_plan(force=False)
+                    probe = np.zeros(
+                        (min(self.batch_size, 64), *tuple(input_shape)), dtype=np.float32
+                    )
+                    route = os.environ.get("REPRO_KERNEL_ROUTE", "gemm").strip().lower()
+                    if route == "measure":
+                        self._plan.calibrate_routes(probe)
+                    elif route in ("gemm", "lut"):
+                        self._plan.set_kernel_route(route)
+                    else:
+                        raise ValueError(
+                            f"unknown REPRO_KERNEL_ROUTE {route!r}; "
+                            "use 'gemm', 'lut' or 'measure'"
+                        )
+                    # Prime the arena for the serving batch shape.
+                    self._plan.run(probe)
         finally:
             self.model.train(was_training)
         if require_compiled and self._fallback:
@@ -317,13 +388,19 @@ class InferenceEngine:
             state = "compiled"
         else:
             state = "untraced"
+        plan_desc = self._plan.describe() if self._plan is not None else None
         return {
             "state": state,
             "mode": self.mode,
             "uses_fallback": self._fallback,
             "fallback_reason": self._fallback_reason,
             "upgraded_after_fallback": self._upgraded,
-            "plan": self._plan.describe() if self._plan is not None else None,
+            # Workspace misses during the most recent plan run: zero in
+            # primed steady state — the CI-enforced no-allocation contract.
+            "steady_state_allocations": (
+                None if plan_desc is None else plan_desc.get("steady_state_allocations")
+            ),
+            "plan": plan_desc,
         }
 
     def __repr__(self) -> str:

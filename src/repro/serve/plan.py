@@ -80,6 +80,7 @@ from ..nn.modules import (
 from ..nn.tensor import Tensor, no_grad
 from ..quant.pact import PACT
 from ..quant.qmodules import QConv2d, QLinear, QuantizedLayer
+from .workspace import PlanWorkspace
 
 __all__ = ["PlanTraceError", "PlanVerifyError", "InferencePlan"]
 
@@ -321,24 +322,48 @@ class _Step:
 
     ``state`` is the per-call register file for branch values: a dict the
     save/load/residual-add steps use to keep shortcut activations alive
-    between their producer and the join point.
+    between their producer and the join point.  ``ws`` is the plan's
+    :class:`~repro.serve.workspace.PlanWorkspace` (``None`` for reference
+    plans): optimized steps route every output/scratch buffer through it,
+    keyed by the step's :attr:`key`, so steady-state runs allocate nothing.
     """
+
+    #: Position-derived identity assigned by the owning plan; namespaces the
+    #: step's workspace buffers.
+    key: str = ""
 
     def refresh(self) -> None:  # pragma: no cover - interface
         pass
 
-    def run(self, x: np.ndarray, backend, state) -> np.ndarray:  # pragma: no cover
+    def run(self, x: np.ndarray, backend, state, ws=None) -> np.ndarray:  # pragma: no cover
         raise NotImplementedError
 
 
 class _ToChannelMajor(_Step):
-    def run(self, x: np.ndarray, backend, state) -> np.ndarray:
+    def run(self, x: np.ndarray, backend, state, ws=None) -> np.ndarray:
         # A view is enough: the next conv's patch copy materialises it.
         return x.transpose(1, 0, 2, 3)
 
 
+class _ToBatchMajorView(_Step):
+    """Layout flip back to NCHW at a batch-major conv stage boundary.
+
+    Unlike the terminal :class:`_ToBatchMajor`, no copy is made — the next
+    batched conv's direct column fill reads the permuted view, so a
+    channel-major stage hands over to a batch-major one for free.
+    """
+
+    def run(self, x: np.ndarray, backend, state, ws=None) -> np.ndarray:
+        return x.transpose(1, 0, 2, 3)
+
+
 class _ToBatchMajor(_Step):
-    def run(self, x: np.ndarray, backend, state) -> np.ndarray:
+    def run(self, x: np.ndarray, backend, state, ws=None) -> np.ndarray:
+        if ws is not None:
+            shape = (x.shape[1], x.shape[0]) + x.shape[2:]
+            out = ws.buffer((self.key, "tbm", shape, x.dtype.str), shape, x.dtype)
+            np.copyto(out, x.transpose(1, 0, 2, 3))
+            return out
         return np.ascontiguousarray(x.transpose(1, 0, 2, 3))
 
 
@@ -348,7 +373,7 @@ class _SaveStep(_Step):
     def __init__(self, slot: str) -> None:
         self.slot = slot
 
-    def run(self, x: np.ndarray, backend, state) -> np.ndarray:
+    def run(self, x: np.ndarray, backend, state, ws=None) -> np.ndarray:
         state[self.slot] = x
         return x
 
@@ -360,7 +385,7 @@ class _LoadStep(_Step):
         self.slot = slot
         self.pop = pop
 
-    def run(self, x: np.ndarray, backend, state) -> np.ndarray:
+    def run(self, x: np.ndarray, backend, state, ws=None) -> np.ndarray:
         return state.pop(self.slot) if self.pop else state[self.slot]
 
 
@@ -371,7 +396,8 @@ class _ResidualAddStep(_Step):
     channel-major live activation (or vice versa) — elementwise addition is
     layout-agnostic once the axes are permuted, and the permuted view costs
     nothing.  ``inplace`` lets the backend accumulate into the live buffer
-    when the compiler proved it is a fresh, exclusively-owned array.
+    when the compiler proved it is a fresh, exclusively-owned array; the
+    copy-on-join case lands in a workspace buffer instead of allocating.
     """
 
     def __init__(self, slot: str, pop: bool, transpose: bool = False, inplace: bool = False) -> None:
@@ -380,11 +406,14 @@ class _ResidualAddStep(_Step):
         self.transpose = transpose
         self.inplace = inplace
 
-    def run(self, x: np.ndarray, backend, state) -> np.ndarray:
+    def run(self, x: np.ndarray, backend, state, ws=None) -> np.ndarray:
         shortcut = state.pop(self.slot) if self.pop else state[self.slot]
         if self.transpose:
             shortcut = shortcut.transpose(1, 0, 2, 3)
-        return backend.residual_add(x, shortcut, inplace=self.inplace)
+        out = None
+        if ws is not None and not self.inplace:
+            out = ws.buffer((self.key, "res", x.shape, x.dtype.str), x.shape, x.dtype)
+        return backend.residual_add(x, shortcut, inplace=self.inplace, out=out)
 
 
 def _resolve_activation(act: Optional[Module]):
@@ -403,32 +432,62 @@ def _resolve_activation(act: Optional[Module]):
     raise PlanTraceError(f"unsupported fused activation {type(act).__name__}")
 
 
-def _staircase_inplace(out: np.ndarray, step: float) -> np.ndarray:
-    """``round(x / step) * step``, matching Eq. 2 exactly but in-place."""
-    np.divide(out, step, out=out)
-    np.round(out, out=out)
-    np.multiply(out, step, out=out)
-    return out
-
-
 def _apply_activation_inplace(out: np.ndarray, relu: bool, alpha, step) -> np.ndarray:
     if relu:
         np.maximum(out, 0.0, out=out)
     elif alpha is not None:
-        np.clip(out, 0.0, alpha, out=out)
         if step is not None:
-            _staircase_inplace(out, step)
+            # Scaled-first staircase: one multiply instead of a divide
+            # (float division is ~2x the cost per element), clipping at the
+            # level count in the scaled domain.  Same staircase up to a
+            # 1-ulp rounding boundary — the fused-plan tolerance allowance.
+            np.multiply(out, 1.0 / step, out=out)
+            np.clip(out, 0.0, alpha / step, out=out)
+            np.rint(out, out=out)
+            np.multiply(out, step, out=out)
+        else:
+            np.clip(out, 0.0, alpha, out=out)
     return out
 
 
 class _FusedConvStep(_Step):
-    """Convolution + folded BatchNorm + fused PACT/ReLU in channel-major layout."""
+    """Convolution + folded BatchNorm + fused PACT/ReLU, layout-aware.
 
-    def __init__(self, conv, bn: Optional[BatchNorm2d], act: Optional[Module], mode: str) -> None:
+    ``channel_major`` picks the activation layout the compiler assigned this
+    convolution: the channel-major single-GEMM kernel for small spatial maps,
+    or the batch-major batched-GEMM kernel above the backend's measured
+    pure-kernel crossover (``cm_kernel_max_positions``), where N per-sample
+    products beat one wide GEMM.
+
+    Two interchangeable kernel routes, selected by :attr:`route`:
+
+    * ``"gemm"`` (default) — one float32 GEMM over the effective weight
+      matrix.  In float mode the folded BN gain is multiplied straight into
+      the GEMM operand (a fresh array — never in-place, the unfolded matrix
+      is a view of the layer's cached quantized weights), so the hot path
+      skips the per-channel scale pass entirely.
+    * ``"lut"`` — codebook accumulation over the packed integer codes via
+      :meth:`~repro.backend.ArrayBackend.lut_conv2d_cm`.  The per-channel
+      codebook carries the *combined* scale (quantizer scale x folded BN
+      gain), which is the identical effective weight in both plan modes, so
+      the route needs no separate scale pass either.  The LUT kernel is
+      channel-major only, so batch-major steps always serve the GEMM route.
+    """
+
+    def __init__(
+        self,
+        conv,
+        bn: Optional[BatchNorm2d],
+        act: Optional[Module],
+        mode: str,
+        channel_major: bool = True,
+    ) -> None:
         self.conv = conv
         self.bn = bn
         self.act = act
         self.mode = mode
+        self.channel_major = channel_major
+        self.route = "gemm"
         self.kernel = conv.kernel_size
         stride = conv.stride
         padding = conv.padding
@@ -437,12 +496,15 @@ class _FusedConvStep(_Step):
         self._w_mat: Optional[np.ndarray] = None
         self._scale = None
         self._bias = None
+        self._packed = None
+        self._codebook = None
         self._relu = False
         self._alpha = None
         self._step = None
 
     def refresh(self) -> None:
         conv = self.conv
+        info = None
         if isinstance(conv, QuantizedLayer):
             _, info = conv.quantized_weight()
             if self.mode == "integer":
@@ -455,43 +517,84 @@ class _FusedConvStep(_Step):
         self._w_mat = w_mat if w_mat.dtype == np.float32 else w_mat.astype(np.float32)
 
         bias = None if conv.bias is None else conv.bias.data
+        g = None
         if self.bn is not None:
             bn = self.bn
             g = bn.weight.data / np.sqrt(bn.running_var + bn.eps)
             folded_bias = bn.bias.data - bn.running_mean * g
             if bias is not None:
                 folded_bias = folded_bias + bias * g
-            self._scale = g if scale is None else scale * g
+            if scale is None:
+                # Float mode: fold the BN gain into the GEMM operand.  The
+                # product is a NEW array — ``_w_mat`` above is a reshape view
+                # of the layer's version-cached quantized weights.
+                self._w_mat = (self._w_mat * g.reshape(-1, 1)).astype(np.float32, copy=False)
+                self._scale = None
+            else:
+                # Integer mode keeps the scale distributed outside the GEMM
+                # so the accumulation stays over exact small-integer codes.
+                self._scale = scale * g
             self._bias = folded_bias
         else:
             self._scale = scale
             self._bias = bias
+
+        self._packed = None
+        self._codebook = None
+        if info is not None:
+            packed = conv.packed_weight()
+            if packed is not None:
+                cb_scale = float(info.scale) if g is None else info.scale * g
+                self._packed = packed
+                self._codebook = packed.codebook(cb_scale)
+        if self._packed is None:
+            self.route = "gemm"
         self._relu, self._alpha, self._step = _resolve_activation(self.act)
 
-    def run(self, x: np.ndarray, backend, state) -> np.ndarray:
-        out = backend.int_conv2d_cm(
-            x, self._w_mat, self.kernel, self.stride, self.padding,
-            scale=self._scale, bias=self._bias,
-        )
+    def run(self, x: np.ndarray, backend, state, ws=None) -> np.ndarray:
+        if not self.channel_major:
+            out = backend.int_conv2d(
+                x, self._w_mat, self.kernel, self.stride, self.padding,
+                scale=self._scale, bias=self._bias, workspace=ws, key=self.key,
+            )
+        elif self.route == "lut" and self._packed is not None:
+            out = backend.lut_conv2d_cm(
+                x, self._packed, self._codebook, self.kernel, self.stride, self.padding,
+                bias=self._bias, workspace=ws, key=self.key,
+            )
+        else:
+            out = backend.int_conv2d_cm(
+                x, self._w_mat, self.kernel, self.stride, self.padding,
+                scale=self._scale, bias=self._bias, workspace=ws, key=self.key,
+            )
         return _apply_activation_inplace(out, self._relu, self._alpha, self._step)
 
 
 class _FusedLinearStep(_Step):
-    """Linear layer + fused PACT/ReLU on (N, features) activations."""
+    """Linear layer + fused PACT/ReLU on (N, features) activations.
+
+    Carries the same ``"gemm"``/``"lut"`` route pair as the fused conv step;
+    the LUT codebook bakes in the quantizer scale, which is the effective
+    weight in both plan modes.
+    """
 
     def __init__(self, layer, act: Optional[Module], mode: str) -> None:
         self.layer = layer
         self.act = act
         self.mode = mode
+        self.route = "gemm"
         self._w: Optional[np.ndarray] = None
         self._scale = None
         self._bias = None
+        self._packed = None
+        self._codebook = None
         self._relu = False
         self._alpha = None
         self._step = None
 
     def refresh(self) -> None:
         layer = self.layer
+        info = None
         if isinstance(layer, QuantizedLayer):
             _, info = layer.quantized_weight()
             if self.mode == "integer":
@@ -503,10 +606,26 @@ class _FusedLinearStep(_Step):
         self._w = w if w.dtype == np.float32 else w.astype(np.float32)
         self._scale = scale
         self._bias = None if layer.bias is None else layer.bias.data
+        self._packed = None
+        self._codebook = None
+        if info is not None:
+            packed = layer.packed_weight()
+            if packed is not None:
+                self._packed = packed
+                self._codebook = packed.codebook(float(info.scale))
+        if self._packed is None:
+            self.route = "gemm"
         self._relu, self._alpha, self._step = _resolve_activation(self.act)
 
-    def run(self, x: np.ndarray, backend, state) -> np.ndarray:
-        out = backend.int_linear(x, self._w, scale=self._scale, bias=self._bias)
+    def run(self, x: np.ndarray, backend, state, ws=None) -> np.ndarray:
+        if self.route == "lut" and self._packed is not None:
+            out = backend.lut_linear(
+                x, self._packed, self._codebook, bias=self._bias, workspace=ws, key=self.key
+            )
+        else:
+            out = backend.int_linear(
+                x, self._w, scale=self._scale, bias=self._bias, workspace=ws, key=self.key
+            )
         return _apply_activation_inplace(out, self._relu, self._alpha, self._step)
 
 
@@ -527,7 +646,13 @@ class _BatchNormStep(_Step):
         self._scale = g.reshape(self._shape)
         self._bias = (bn.bias.data - bn.running_mean * g).reshape(self._shape)
 
-    def run(self, x: np.ndarray, backend, state) -> np.ndarray:
+    def run(self, x: np.ndarray, backend, state, ws=None) -> np.ndarray:
+        if ws is not None:
+            dtype = np.result_type(x.dtype, self._scale.dtype)
+            out = ws.buffer((self.key, "bn", x.shape, dtype.str), x.shape, dtype)
+            np.multiply(x, self._scale, out=out)
+            np.add(out, self._bias, out=out)
+            return out
         return x * self._scale + self._bias
 
 
@@ -543,17 +668,31 @@ class _ActivationStep(_Step):
     def refresh(self) -> None:
         self._relu, self._alpha, self._step = _resolve_activation(self.act)
 
-    def run(self, x: np.ndarray, backend, state) -> np.ndarray:
-        # Single-pass clip/max into a fresh buffer (instead of copy-then-
-        # in-place), then the shared staircase runs in place on that buffer.
+    def run(self, x: np.ndarray, backend, state, ws=None) -> np.ndarray:
+        # Single-pass clip/max into a fresh (or workspace) buffer — instead
+        # of copy-then-in-place — then the staircase runs in place on it.
+        out = None
+        if ws is not None:
+            out = ws.buffer((self.key, "act", x.shape, x.dtype.str), x.shape, x.dtype)
         if self._relu:
-            return np.maximum(x, 0.0)
+            return np.maximum(x, 0.0) if out is None else np.maximum(x, 0.0, out=out)
         if self._alpha is not None:
-            out = np.clip(x, 0.0, self._alpha)
             if self._step is not None:
-                _staircase_inplace(out, self._step)
+                # Scaled-first staircase (see _apply_activation_inplace): the
+                # first multiply doubles as the copy into the output buffer.
+                out = np.multiply(x, 1.0 / self._step, out=out)
+                np.clip(out, 0.0, self._alpha / self._step, out=out)
+                np.rint(out, out=out)
+                np.multiply(out, self._step, out=out)
+            elif out is None:
+                out = np.clip(x, 0.0, self._alpha)
+            else:
+                np.clip(x, 0.0, self._alpha, out=out)
             return out
-        return x.copy()
+        if out is None:
+            return x.copy()
+        np.copyto(out, x)
+        return out
 
 
 class _MaxPoolStep(_Step):
@@ -561,10 +700,10 @@ class _MaxPoolStep(_Step):
         self.kernel = (int(kernel), int(kernel))
         self.stride = (int(stride), int(stride))
 
-    def run(self, x: np.ndarray, backend, state) -> np.ndarray:
+    def run(self, x: np.ndarray, backend, state, ws=None) -> np.ndarray:
         # pool_max treats the two leading axes as batch, so the same kernel
         # serves both the NCHW and channel-major layouts.
-        return backend.pool_max(x, self.kernel, self.stride)
+        return backend.pool_max(x, self.kernel, self.stride, workspace=ws, key=self.key)
 
 
 class _AvgPoolStep(_Step):
@@ -572,25 +711,41 @@ class _AvgPoolStep(_Step):
         self.kernel = (int(kernel), int(kernel))
         self.stride = (int(stride), int(stride))
 
-    def run(self, x: np.ndarray, backend, state) -> np.ndarray:
-        return backend.pool_avg(x, self.kernel, self.stride)
+    def run(self, x: np.ndarray, backend, state, ws=None) -> np.ndarray:
+        return backend.pool_avg(x, self.kernel, self.stride, workspace=ws, key=self.key)
 
 
 class _GlobalAvgPoolStep(_Step):
     def __init__(self, channel_major: bool) -> None:
         self.channel_major = channel_major
 
-    def run(self, x: np.ndarray, backend, state) -> np.ndarray:
-        pooled = x.mean(axis=(2, 3))
-        return pooled.T if self.channel_major else pooled
+    def run(self, x: np.ndarray, backend, state, ws=None) -> np.ndarray:
+        if ws is None:
+            pooled = x.mean(axis=(2, 3))
+            return pooled.T if self.channel_major else pooled
+        a0, a1 = x.shape[0], x.shape[1]
+        pooled = ws.buffer((self.key, "gap0", (a0, a1), x.dtype.str), (a0, a1), x.dtype)
+        np.mean(x, axis=(2, 3), out=pooled)
+        if not self.channel_major:
+            return pooled
+        # Transpose-copy so the downstream linear gets a contiguous operand.
+        out = ws.buffer((self.key, "gap1", (a1, a0), x.dtype.str), (a1, a0), x.dtype)
+        np.copyto(out, pooled.T)
+        return out
 
 
 class _FlattenStep(_Step):
     def __init__(self, channel_major: bool) -> None:
         self.channel_major = channel_major
 
-    def run(self, x: np.ndarray, backend, state) -> np.ndarray:
+    def run(self, x: np.ndarray, backend, state, ws=None) -> np.ndarray:
         if self.channel_major:
+            if ws is not None and x.ndim == 4:
+                c, n, h, w = x.shape
+                shape = (n, c * h * w)
+                out = ws.buffer((self.key, "flat", shape, x.dtype.str), shape, x.dtype)
+                np.copyto(out.reshape(n, c, h, w), x.transpose(1, 0, 2, 3))
+                return out
             x = x.transpose(1, 0, 2, 3)
         return x.reshape(x.shape[0], -1)
 
@@ -610,7 +765,7 @@ class _RefModuleStep(_Step):
     def __init__(self, module: Module) -> None:
         self.module = module
 
-    def run(self, x: np.ndarray, backend, state) -> np.ndarray:
+    def run(self, x: np.ndarray, backend, state, ws=None) -> np.ndarray:
         return self.module(Tensor(x)).data
 
 
@@ -626,7 +781,7 @@ class _RefIntegerStep(_Step):
 
         self._export = export_layer("plan", self.layer)
 
-    def run(self, x: np.ndarray, backend, state) -> np.ndarray:
+    def run(self, x: np.ndarray, backend, state, ws=None) -> np.ndarray:
         from ..quant.integer_inference import integer_conv2d, integer_linear
 
         if self._export.kind == "conv2d":
@@ -635,7 +790,7 @@ class _RefIntegerStep(_Step):
 
 
 class _RefFlattenStep(_Step):
-    def run(self, x: np.ndarray, backend, state) -> np.ndarray:
+    def run(self, x: np.ndarray, backend, state, ws=None) -> np.ndarray:
         return x.reshape(x.shape[0], -1)
 
 
@@ -755,6 +910,17 @@ class InferencePlan:
         self.mode = mode
         self.optimized = optimized
         self.meta: Dict[str, int] = dict(meta or {})
+        # Optimized plans own a preallocated arena; steps namespace their
+        # buffers by position-derived keys.  Reference plans replay module
+        # forwards (fresh arrays by construction), so they take none.
+        self._workspace: Optional[PlanWorkspace] = PlanWorkspace() if optimized else None
+        for index, step in enumerate(self.steps):
+            step.key = f"s{index}"
+
+    @property
+    def workspace(self) -> Optional[PlanWorkspace]:
+        """The plan-owned buffer arena (``None`` for reference plans)."""
+        return self._workspace
 
     # ------------------------------------------------------------------ #
     # construction
@@ -908,6 +1074,7 @@ class InferencePlan:
             "saves": 0,
             "loads": 0,
             "fused_conv": 0,
+            "batched_conv": 0,
             "fused_linear": 0,
         }
         layout = _FLAT if input_ndim == 2 else _NCHW
@@ -1017,6 +1184,24 @@ class InferencePlan:
             steps.append(_ToBatchMajor())
         return steps, meta
 
+    @staticmethod
+    def _conv_channel_major(conv) -> bool:
+        """Layout decision for one convolution, by its fan-in.
+
+        Skinny-K GEMMs (small ``c*kh*kw``) run faster as N per-sample
+        batch-major products than as one wide channel-major GEMM — the
+        backend's calibrated ``batched_max_fan_in`` crossover says where.
+        Layout flips between stages are transpose views (free), so the
+        decision is purely per-conv.  Backends without the crossover
+        attribute always serve channel-major.
+        """
+        threshold = getattr(get_backend(), "batched_max_fan_in", None)
+        if threshold is None:
+            return True
+        kh, kw = conv.kernel_size
+        fan_in = conv.in_channels * kh * kw
+        return fan_in > threshold
+
     @classmethod
     def _emit_group(
         cls,
@@ -1034,13 +1219,23 @@ class InferencePlan:
             steps.append(_FlattenStep(channel_major=layout == _CNHW))
             return _FLAT
         if group.kind == "conv":
-            if layout == _NCHW:
+            if layout == _FLAT:
+                raise PlanTraceError("convolution applied to flattened activations")
+            channel_major = cls._conv_channel_major(group.module)
+            if channel_major and layout == _NCHW:
                 steps.append(_ToChannelMajor())
                 layout = _CNHW
-            elif layout != _CNHW:
-                raise PlanTraceError("convolution applied to flattened activations")
-            steps.append(_FusedConvStep(group.module, group.bn, group.act, mode=mode))
+            elif not channel_major and layout == _CNHW:
+                steps.append(_ToBatchMajorView())
+                layout = _NCHW
+            steps.append(
+                _FusedConvStep(
+                    group.module, group.bn, group.act, mode=mode, channel_major=channel_major
+                )
+            )
             meta["fused_conv"] += 1
+            if not channel_major:
+                meta["batched_conv"] += 1
             return layout
         if group.kind == "linear":
             if layout != _FLAT:
@@ -1106,33 +1301,119 @@ class InferencePlan:
             for step in self.steps:
                 step.refresh()
 
-    def run(self, x: np.ndarray) -> np.ndarray:
+    def run(self, x: np.ndarray, workspace: Optional[PlanWorkspace] = None) -> np.ndarray:
         """Execute the plan on one raw batch (no autograd, no module dispatch).
 
-        Reference plans replay module forwards, so the model must be in eval
-        mode (the engine guarantees this; call ``model.eval()`` first when
-        running a plan directly).
+        Optimized plans route every intermediate through their preallocated
+        arena (``workspace`` overrides the plan-owned one), so a primed
+        steady-state run performs zero array allocations; the returned logits
+        are copied out of the arena and caller-owned.  Concurrent runs of
+        the same plan must be serialised — the engine's per-instance lock
+        does this.  Reference plans replay module forwards, so the model
+        must be in eval mode (the engine guarantees this; call
+        ``model.eval()`` first when running a plan directly).
         """
         backend = get_backend()
+        ws = workspace if workspace is not None else self._workspace
         state: Dict[str, np.ndarray] = {}
         with no_grad():
+            if ws is None:
+                for step in self.steps:
+                    x = step.run(x, backend, state)
+                return x
+            ws.begin_run()
             for step in self.steps:
-                x = step.run(x, backend, state)
-        return x
+                x = step.run(x, backend, state, ws)
+        # Detach from the arena: the next run overwrites every buffer.  This
+        # copy is the one intentional per-run allocation, and it is excluded
+        # from the run_allocations counter by design — the logits must be
+        # caller-owned by contract.
+        return np.array(x)
+
+    def set_kernel_route(self, route: str) -> None:
+        """Force every codebook-capable step onto ``"gemm"`` or ``"lut"``.
+
+        Steps without packed codes (float layers, bits > 8) always stay on
+        the GEMM route, as do batch-major conv steps — the LUT kernel is
+        channel-major only.
+        """
+        if route not in ("gemm", "lut"):
+            raise ValueError(f"unknown kernel route {route!r}")
+        for step in self.steps:
+            if hasattr(step, "route"):
+                if route == "lut" and (
+                    getattr(step, "_packed", None) is None
+                    or not getattr(step, "channel_major", True)
+                ):
+                    step.route = "gemm"
+                else:
+                    step.route = route
+
+    def calibrate_routes(self, probe: np.ndarray, repeats: int = 3) -> Dict[str, str]:
+        """Measure gemm vs LUT per fused step on ``probe`` and keep the winner.
+
+        Walks the plan once; at each step that has both routes, times each
+        (best of ``repeats`` after a warm call — conv/linear steps do not
+        touch the branch state, so re-running them is side-effect free) and
+        locks in the faster one.  Returns ``{step_key: route}`` for the
+        steps that were measured.  Call after :meth:`refresh`, typically via
+        ``InferenceEngine.warmup()`` with ``REPRO_KERNEL_ROUTE=measure``.
+        """
+        import time
+
+        backend = get_backend()
+        ws = self._workspace
+        chosen: Dict[str, str] = {}
+        state: Dict[str, np.ndarray] = {}
+        x = probe
+        with no_grad():
+            if ws is not None:
+                ws.begin_run()
+            for step in self.steps:
+                if (
+                    getattr(step, "route", None) is None
+                    or getattr(step, "_packed", None) is None
+                    or not getattr(step, "channel_major", True)
+                ):
+                    x = step.run(x, backend, state, ws)
+                    continue
+                timings = {}
+                for route in ("gemm", "lut"):
+                    step.route = route
+                    step.run(x, backend, state, ws)  # warm: allocs + cache
+                    best = float("inf")
+                    for _ in range(repeats):
+                        start = time.perf_counter()
+                        step.run(x, backend, state, ws)
+                        best = min(best, time.perf_counter() - start)
+                    timings[route] = best
+                step.route = "gemm" if timings["gemm"] <= timings["lut"] else "lut"
+                chosen[step.key] = step.route
+                x = step.run(x, backend, state, ws)
+        return chosen
 
     def describe(self) -> Dict[str, object]:
         """A JSON-friendly structural summary (what compiled, and how)."""
         kinds: Dict[str, int] = {}
+        routes: Dict[str, int] = {}
         for step in self.steps:
             name = type(step).__name__.lstrip("_")
             kinds[name] = kinds.get(name, 0) + 1
-        return {
+            route = getattr(step, "route", None)
+            if route is not None:
+                routes[route] = routes.get(route, 0) + 1
+        out: Dict[str, object] = {
             "mode": self.mode,
             "optimized": self.optimized,
             "num_steps": len(self.steps),
             "step_kinds": kinds,
+            "kernel_routes": routes,
             **self.meta,
         }
+        if self._workspace is not None:
+            out["workspace"] = self._workspace.stats()
+            out["steady_state_allocations"] = self._workspace.run_allocations
+        return out
 
     def __repr__(self) -> str:
         kinds = ", ".join(type(step).__name__.lstrip("_") for step in self.steps)

@@ -1,0 +1,114 @@
+"""LUT/codebook kernel parity and the channel-major threshold controls."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend import get_backend, use_backend
+from repro.backend.fast_numpy import FastNumpyBackend
+from repro.quant import pack_codes
+from repro.serve import PlanWorkspace
+
+
+def _lut_conv_case(rng, bits: int, oc: int = 6, c: int = 4, hw: int = 9):
+    x_cm = rng.standard_normal((c, 3, hw, hw)).astype(np.float32)
+    qmax = 1 if bits == 2 else 2 ** (bits - 1) - 1
+    codes = rng.integers(-qmax, qmax + 1, size=(oc, c * 9)).astype(np.float32)
+    packed = pack_codes(codes, bits)
+    codebook = packed.codebook(rng.uniform(0.01, 0.2, size=oc).astype(np.float32))
+    bias = rng.standard_normal(oc).astype(np.float32)
+    return x_cm, codes, packed, codebook, bias
+
+
+class TestLutConv2dChannelMajor:
+    @pytest.mark.parametrize("bits", [2, 4, 8])
+    @pytest.mark.parametrize("stride,padding", [((1, 1), (1, 1)), ((2, 2), (1, 1))])
+    def test_fast_matches_reference(self, rng, bits, stride, padding):
+        x_cm, _, packed, codebook, bias = _lut_conv_case(rng, bits)
+        with use_backend("numpy"):
+            want = get_backend().lut_conv2d_cm(
+                x_cm, packed, codebook, (3, 3), stride, padding, bias=bias
+            )
+        with use_backend("fast"):
+            got = get_backend().lut_conv2d_cm(
+                x_cm, packed, codebook, (3, 3), stride, padding, bias=bias
+            )
+        np.testing.assert_allclose(got, want, rtol=1e-4, atol=1e-5)
+
+    @pytest.mark.parametrize("bits", [2, 4])
+    def test_lut_route_matches_gemm_route(self, rng, bits):
+        # The LUT accumulation must agree with the equivalent effective-weight
+        # GEMM — the drop-in property the plan's route switch relies on.
+        x_cm, codes, packed, codebook, bias = _lut_conv_case(rng, bits)
+        backend = get_backend()
+        scales = codebook[:, -1]  # codebook is the scaled ramp; last entry = qmax*scale
+        qmax = 1 if bits == 2 else 2 ** (bits - 1) - 1
+        w_eff = codes * (scales / qmax)[:, None]
+        want = backend.int_conv2d_cm(x_cm, w_eff.astype(np.float32), (3, 3), (1, 1), (1, 1), bias=bias)
+        got = backend.lut_conv2d_cm(x_cm, packed, codebook, (3, 3), (1, 1), (1, 1), bias=bias)
+        np.testing.assert_allclose(got, want, rtol=1e-4, atol=1e-5)
+
+    def test_workspace_run_is_allocation_free(self, rng):
+        x_cm, _, packed, codebook, bias = _lut_conv_case(rng, 2)
+        backend = get_backend()
+        ws = PlanWorkspace()
+        backend.lut_conv2d_cm(
+            x_cm, packed, codebook, (3, 3), (1, 1), (1, 1), bias=bias, workspace=ws, key="s0"
+        )
+        primed = ws.total_allocations
+        assert primed > 0
+        ws.begin_run()
+        first = backend.lut_conv2d_cm(
+            x_cm, packed, codebook, (3, 3), (1, 1), (1, 1), bias=bias, workspace=ws, key="s0"
+        )
+        assert ws.run_allocations == 0
+        assert ws.total_allocations == primed
+        # And the reused buffers still produce the same numbers.
+        again = backend.lut_conv2d_cm(
+            x_cm, packed, codebook, (3, 3), (1, 1), (1, 1), bias=bias, workspace=ws, key="s0"
+        )
+        np.testing.assert_array_equal(np.asarray(first), np.asarray(again))
+
+
+class TestLutLinear:
+    @pytest.mark.parametrize("bits", [2, 4, 8])
+    def test_fast_matches_reference(self, rng, bits):
+        x = rng.standard_normal((5, 24)).astype(np.float32)
+        qmax = 1 if bits == 2 else 2 ** (bits - 1) - 1
+        codes = rng.integers(-qmax, qmax + 1, size=(7, 24)).astype(np.float32)
+        packed = pack_codes(codes, bits)
+        codebook = packed.codebook(0.07)
+        bias = rng.standard_normal(7).astype(np.float32)
+        with use_backend("numpy"):
+            want = get_backend().lut_linear(x, packed, codebook, bias=bias)
+        with use_backend("fast"):
+            got = get_backend().lut_linear(x, packed, codebook, bias=bias)
+        np.testing.assert_allclose(got, want, rtol=1e-4, atol=1e-5)
+
+
+class TestChannelMajorThreshold:
+    def test_env_override_wins(self, monkeypatch):
+        backend = FastNumpyBackend()
+        backend._calibrated_cm_max_positions = 999
+        monkeypatch.setenv("REPRO_CM_MAX_POSITIONS", "32")
+        assert backend.cm_max_positions == 32
+        monkeypatch.setenv("REPRO_CM_MAX_POSITIONS", "bogus")
+        with pytest.raises(ValueError):
+            _ = backend.cm_max_positions
+
+    def test_calibration_fills_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CM_MAX_POSITIONS", raising=False)
+        backend = FastNumpyBackend()
+        assert backend.cm_max_positions == FastNumpyBackend._CM_MAX_POSITIONS
+        chosen = backend.calibrate_cm_max_positions()
+        assert chosen == backend.cm_max_positions
+        assert chosen >= 0
+        # Second call is a cached no-op unless forced.
+        assert backend.calibrate_cm_max_positions() == chosen
+
+    def test_env_pin_skips_calibration(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CM_MAX_POSITIONS", "16")
+        backend = FastNumpyBackend()
+        assert backend.calibrate_cm_max_positions() == 16
+        assert backend._calibrated_cm_max_positions is None

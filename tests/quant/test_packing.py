@@ -1,0 +1,116 @@
+"""Packed code planes: bitwise pack/unpack round-trips and bucket-plan invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.quant import pack_codes, packable_bits, unpack_codes
+from repro.quant.qmodules import QConv2d, QLinear
+
+
+def _random_codes(rng, rows: int, fan_in: int, bits: int) -> np.ndarray:
+    qmax = 1 if bits == 2 else 2 ** (bits - 1) - 1
+    return rng.integers(-qmax, qmax + 1, size=(rows, fan_in)).astype(np.float32)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("bits", [2, 3, 4, 5, 8])
+    @pytest.mark.parametrize("rows,fan_in", [(4, 16), (3, 7), (5, 13), (1, 1)])
+    def test_bitwise_round_trip(self, rng, bits, rows, fan_in):
+        # Odd channel counts and fan-ins exercise the sub-byte padding path.
+        codes = _random_codes(rng, rows, fan_in, bits)
+        packed = pack_codes(codes, bits)
+        assert packed.rows == rows
+        np.testing.assert_array_equal(unpack_codes(packed), codes)
+
+    @pytest.mark.parametrize("bits", [2, 4])
+    def test_extreme_codes_survive(self, bits):
+        qmax = 1 if bits == 2 else 2 ** (bits - 1) - 1
+        codes = np.array([[-qmax, 0, qmax, -qmax, qmax]], dtype=np.float32)
+        np.testing.assert_array_equal(unpack_codes(pack_codes(codes, bits)), codes)
+
+    def test_packing_compresses_subbyte_widths(self, rng):
+        codes = _random_codes(rng, 8, 64, 2)
+        packed = pack_codes(codes, 2)
+        # 2-bit codes: four per byte.
+        assert packed.nbytes <= codes.shape[0] * ((codes.shape[1] + 3) // 4)
+
+    def test_out_of_range_codes_rejected(self):
+        with pytest.raises(ValueError):
+            pack_codes(np.array([[2.0]], dtype=np.float32), 2)
+        with pytest.raises(ValueError):
+            pack_codes(np.array([[-8.0]], dtype=np.float32), 4)
+
+    def test_unpackable_bits(self):
+        assert packable_bits(2) and packable_bits(8)
+        assert not packable_bits(16)
+        with pytest.raises(ValueError):
+            pack_codes(np.zeros((1, 1), dtype=np.float32), 16)
+
+
+class TestBucketPlan:
+    @pytest.mark.parametrize("bits", [2, 4])
+    def test_buckets_partition_every_column(self, rng, bits):
+        codes = _random_codes(rng, 3, 29, bits)
+        packed = pack_codes(codes, bits)
+        perm, starts = packed.bucket_plan()
+        indices = packed.indices()
+        for row in range(packed.rows):
+            seen = np.sort(perm[row])
+            np.testing.assert_array_equal(seen, np.arange(codes.shape[1]))
+            for code in range(packed.num_codewords):
+                lo, hi = starts[row, code], starts[row, code + 1]
+                segment = perm[row, lo:hi]
+                np.testing.assert_array_equal(
+                    indices[row, segment], np.full(hi - lo, code, dtype=indices.dtype)
+                )
+
+    def test_codebook_scales(self, rng):
+        packed = pack_codes(_random_codes(rng, 2, 8, 2), 2)
+        scalar = packed.codebook(0.5)
+        np.testing.assert_allclose(scalar, [[-0.5, 0.0, 0.5], [-0.5, 0.0, 0.5]])
+        per_row = packed.codebook(np.array([1.0, 2.0], dtype=np.float32))
+        np.testing.assert_allclose(per_row, [[-1.0, 0.0, 1.0], [-2.0, 0.0, 2.0]])
+
+
+class TestLayerPackedWeight:
+    @pytest.mark.parametrize("bits", [2, 4])
+    def test_layer_codes_round_trip(self, rng, bits):
+        conv = QConv2d(3, 5, 3, bits=bits, rng=rng)
+        _, info = conv.quantized_weight()
+        packed = conv.packed_weight()
+        np.testing.assert_array_equal(
+            unpack_codes(packed), info.codes.reshape(info.codes.shape[0], -1)
+        )
+
+    def test_packed_weight_cached_until_weights_change(self, rng):
+        layer = QLinear(12, 6, bits=4, rng=rng)
+        first = layer.packed_weight()
+        assert layer.packed_weight() is first
+        layer.weight.bump_version()
+        assert layer.packed_weight() is not first
+
+    def test_unpackable_bits_return_none(self, rng):
+        layer = QLinear(8, 4, bits=16, rng=rng)
+        assert layer.packed_weight() is None
+
+    def test_mixed_bits_from_parity_generator(self):
+        # The randomized serving-parity generator assigns random per-layer
+        # bits (2/3/4/8): every packable layer must round-trip bitwise.
+        from tests.serve.parity import random_quantized_model
+
+        checked = 0
+        for seed in range(3):
+            model, _ = random_quantized_model(seed)
+            for layer in model.quantizable_layers().values():
+                _, info = layer.quantized_weight()
+                packed = layer.packed_weight()
+                if packed is None:
+                    assert not packable_bits(layer.bits)
+                    continue
+                np.testing.assert_array_equal(
+                    unpack_codes(packed), info.codes.reshape(info.codes.shape[0], -1)
+                )
+                checked += 1
+        assert checked > 0
