@@ -22,9 +22,29 @@ actually run in parallel** (``floor_enforced`` in the report); on a 1-2 core
 box the numbers are reported but cannot gate.  Set
 ``REPRO_BENCH_CLUSTER_SHORT=1`` (CI does) for a sub-minute run.
 
+**Chaos mode** (``REPRO_BENCH_CHAOS=1``, or ``REPRO_BENCH_CHAOS_SHORT=1``
+for the ≤60 s CI smoke, or ``--chaos``) replaces the throughput race with a
+survivability run: a seeded bursty trace of mixed batch sizes, priorities
+and deadlines (:mod:`repro.serve.chaos.trafficgen`) plays against a 2-shard
+cluster while a :class:`~repro.serve.chaos.faults.FaultPlan` SIGKILLs
+workers mid-flight.  The run writes ``benchmarks/BENCH_chaos.json`` and
+gates on the **survivability contract**:
+
+* zero lost requests — every admitted, non-expired request resolves with a
+  result or a typed rejection (``WorkerCrashed`` leaking to a caller while
+  retry budget remained is a lost request);
+* bitwise-correct responses — every completed micro-batch is re-computed
+  through a local reference engine *in the exact served composition* (row
+  results are not bitwise-stable across different batch packings, so the
+  check rides the router's ``on_batch`` hook where the composition is
+  known);
+* bounded p99 — the kill storm may cost restarts, not unbounded tail
+  latency (``CHAOS_MAX_P99_S``).
+
 Run it directly::
 
     PYTHONPATH=src python benchmarks/bench_cluster.py
+    PYTHONPATH=src python benchmarks/bench_cluster.py --chaos
 """
 
 from __future__ import annotations
@@ -47,10 +67,20 @@ from cluster_workload import INPUT_SHAPE, build_workload_model  # noqa: E402
 
 from repro.backend import get_backend  # noqa: E402
 from repro.serve import InferenceEngine, ModelServer  # noqa: E402
-from repro.serve.cluster import ClusterServer  # noqa: E402
+from repro.serve.cluster import BreakerPolicy, ClusterServer  # noqa: E402
+from repro.serve.chaos import (  # noqa: E402
+    DispatchFaults,
+    FaultPlan,
+    FrameFaults,
+    KillStormEvent,
+    TrafficSpec,
+    generate_trace,
+    run_trace,
+)
 from repro.utils import save_quantized_checkpoint  # noqa: E402
 
 OUTPUT_PATH = os.path.join(HERE, "BENCH_cluster.json")
+CHAOS_OUTPUT_PATH = os.path.join(HERE, "BENCH_chaos.json")
 
 # Acceptance floor (ISSUE 5): cluster vs single-process ModelServer on the
 # GIL-bound trace, when the cores exist to parallelise across.
@@ -60,6 +90,19 @@ CLUSTER_MIN_SPEEDUP = 2.0
 MIN_CORES_FOR_FLOOR = 3
 
 SHORT = os.environ.get("REPRO_BENCH_CLUSTER_SHORT", "").strip() not in ("", "0")
+
+# Chaos mode (see run_chaos): survivability instead of throughput.
+CHAOS_SHORT = os.environ.get("REPRO_BENCH_CHAOS_SHORT", "").strip() not in ("", "0")
+CHAOS = (
+    CHAOS_SHORT
+    or os.environ.get("REPRO_BENCH_CHAOS", "").strip() not in ("", "0")
+    or "--chaos" in sys.argv[1:]
+)
+CHAOS_SEED = int(os.environ.get("REPRO_BENCH_CHAOS_SEED", "20260808"))
+CHAOS_REQUESTS = 160 if CHAOS_SHORT else 480
+#: Survivability contract: p99 end-to-end latency bound under the kill storm.
+CHAOS_MAX_P99_S = 20.0
+
 NUM_REQUESTS = 96 if SHORT else 256
 REPEATS = 2 if SHORT else 3
 MEAN_INTERARRIVAL_S = 0.0002  # offered load far beyond one process's capacity
@@ -142,16 +185,238 @@ def run_cluster(checkpoint_path, requests, arrivals):
     return makespan, logits, snapshot
 
 
+class BitwiseChecker:
+    """Re-computes every served micro-batch in its exact composition.
+
+    Logits rows are *not* bitwise-stable across batch packings (BLAS picks
+    different kernels/blockings by shape), so an offline per-request
+    reference cannot certify the wire.  The router's ``on_batch`` hook sees
+    the exact request list each worker stacked, so re-running that stack
+    through a local reference engine and comparing row-for-row is a true
+    bitwise check of everything the worker and the protocol did.
+    """
+
+    def __init__(self, engine: InferenceEngine) -> None:
+        self._engine = engine
+        self._lock = threading.Lock()
+        self.checked = 0
+        self.mismatched = 0
+
+    def __call__(self, variant_name, requests) -> None:
+        stacked = (
+            requests[0].inputs
+            if len(requests) == 1
+            else np.concatenate([r.inputs for r in requests], axis=0)
+        )
+        with self._lock, warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            expected = self._engine.predict_logits(stacked)
+        offset = 0
+        for request in requests:
+            rows = expected[offset : offset + request.num_samples]
+            offset += request.num_samples
+            if request.future.exception() is not None:
+                continue  # expired mid-flight: no result to check
+            got = request.future.result()
+            want = rows[0] if request.squeeze else rows
+            self.checked += 1
+            if not np.array_equal(got, want):
+                self.mismatched += 1
+
+
+def run_chaos(model, checkpoint_path) -> int:
+    """Kill-storm survivability run; writes BENCH_chaos.json, 1 on violation."""
+    trace = generate_trace(
+        TrafficSpec(
+            variants=["bench"],
+            arrivals="bursty",
+            arrival_kwargs={"on_rate_hz": 150.0, "on_s": 0.25, "off_s": 0.35},
+            num_requests=CHAOS_REQUESTS,
+            batch_sizes=(1, 2, 4),
+            batch_weights=(0.6, 0.25, 0.15),
+            priorities=(0, 1),
+            priority_weights=(0.75, 0.25),
+            deadline_fraction=0.25,
+            deadline_range_s=(0.5, 2.0),
+        ),
+        seed=CHAOS_SEED,
+    )
+    duration = float(trace[-1]["t"])
+    storm = [
+        KillStormEvent(at_s=duration * 0.25, variant="bench", kills=2),
+        KillStormEvent(at_s=duration * 0.60, variant="bench", kills=1),
+    ]
+    if not CHAOS_SHORT:
+        storm.append(KillStormEvent(at_s=duration * 0.85, variant="bench", kills=2))
+    plan = FaultPlan(
+        seed=CHAOS_SEED,
+        dispatch_faults=DispatchFaults(delay_p=0.05, delay_s=0.02, seed=CHAOS_SEED),
+        frame_faults=None
+        if CHAOS_SHORT
+        # Frame loss surfaces as request timeouts -> crash path -> retry;
+        # only the long run pays those stalls.
+        else FrameFaults(drop_send_p=0.003, drop_recv_p=0.003, seed=CHAOS_SEED),
+        kill_storm=storm,
+    )
+    reference = InferenceEngine(model, batch_size=64)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        reference.warmup(require_compiled=False)
+    checker = BitwiseChecker(reference)
+
+    print(
+        f"chaos bench: {CHAOS_REQUESTS} requests over ~{duration:.1f}s, "
+        f"{len(storm)} kill events, seed {CHAOS_SEED} (short={CHAOS_SHORT})"
+    )
+    with ClusterServer(
+        max_batch_size=8,
+        max_delay_ms=2.0,
+        max_queue_depth=32,
+        request_timeout_s=15.0,
+        # The storm is *supposed* to kill workers repeatedly; the crash-loop
+        # bound must stay far away or a failed shard loses its queue (which
+        # the contract would rightly flag as lost requests).
+        max_restarts=100,
+        max_request_retries=8,
+        breaker_policy=BreakerPolicy(failure_threshold=2, open_for_s=0.5),
+        on_batch=checker,
+    ) as cluster:
+        cluster.register(
+            "bench",
+            checkpoint_path,
+            shards=2,
+            max_shards=2,
+            require_compiled=False,
+            chaos_latency_s=0.01,  # widen the in-flight window the storm targets
+        )
+        cluster.predict("bench", np.zeros(INPUT_SHAPE, dtype=np.float32), timeout=120)
+        started = time.perf_counter()
+        with plan.apply(cluster):
+            outcomes = run_trace(
+                cluster, trace, INPUT_SHAPE, result_timeout_s=300.0
+            )
+        makespan = time.perf_counter() - started
+        cluster.drain(timeout=60.0)
+        snapshot = cluster.metrics("bench")
+
+    tally = {}
+    for outcome in outcomes:
+        tally[outcome.status] = tally.get(outcome.status, 0) + 1
+    lost = [
+        outcome
+        for outcome in outcomes
+        if outcome.status in ("crashed", "failed", "closed")
+    ]
+    completed_latencies = sorted(
+        outcome.latency_s for outcome in outcomes if outcome.status == "completed"
+    )
+    p99_s = (
+        float(np.percentile(completed_latencies, 99.0)) if completed_latencies else 0.0
+    )
+    merged = snapshot["merged"]
+    restarts = sum(view["restarts"] for view in snapshot["shards"].values())
+    contract = {
+        "lost_requests": len(lost),
+        "bitwise_checked": checker.checked,
+        "bitwise_mismatched": checker.mismatched,
+        "p99_s": round(p99_s, 4),
+        "max_p99_s": CHAOS_MAX_P99_S,
+        "passed": (
+            not lost and checker.mismatched == 0 and p99_s <= CHAOS_MAX_P99_S
+        ),
+    }
+    report = {
+        "mode": "chaos",
+        "short_mode": CHAOS_SHORT,
+        "seed": CHAOS_SEED,
+        "machine": {"cpu_count": os.cpu_count(), "backend": get_backend().name},
+        "trace": {
+            "requests": CHAOS_REQUESTS,
+            "duration_s": round(duration, 3),
+            "makespan_s": round(makespan, 3),
+            "arrivals": "bursty",
+        },
+        "faults": {
+            "kill_events": [
+                {"at_s": round(event.at_s, 3), "kills": event.kills} for event in storm
+            ],
+            "frame_faults": plan.frame_faults is not None,
+            "injected": plan.events,
+            "dispatch_delays": plan.dispatch_faults.delays_injected,
+        },
+        "outcomes": tally,
+        "counters": {
+            "requests_expired": merged["requests"]["expired"],
+            "requests_shed": merged["requests"]["shed"],
+            "requests_retried": merged["requests"]["retried"],
+            "breaker_open_total": merged["breaker_open_total"],
+            "worker_restarts": restarts,
+        },
+        "contract": contract,
+        "cluster_metrics": snapshot,
+    }
+    with open(CHAOS_OUTPUT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+    print(
+        f"outcomes: {tally}   retried {merged['requests']['retried']}, "
+        f"expired {merged['requests']['expired']}, shed {merged['requests']['shed']}, "
+        f"restarts {restarts}, breaker opens {merged['breaker_open_total']}"
+    )
+    print(
+        f"bitwise: {checker.mismatched}/{checker.checked} mismatched   "
+        f"p99 {p99_s:.3f}s (bound {CHAOS_MAX_P99_S}s)"
+    )
+    print(f"wrote {CHAOS_OUTPUT_PATH}")
+    if not contract["passed"]:
+        for outcome in lost[:5]:
+            print(
+                f"LOST: record {outcome.record['id']} -> {outcome.status}: "
+                f"{outcome.error}",
+                file=sys.stderr,
+            )
+        print(
+            f"FAIL: survivability contract violated "
+            f"(lost={len(lost)}, bitwise_mismatched={checker.mismatched}, "
+            f"p99={p99_s:.3f}s > {CHAOS_MAX_P99_S}s allowed "
+            f"= {p99_s > CHAOS_MAX_P99_S})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main() -> int:
     cores = available_cores()
     floor_enforced = cores >= MIN_CORES_FOR_FLOOR
+    if not floor_enforced:
+        print(
+            f"WARNING: only {cores} core(s) available "
+            f"(< MIN_CORES_FOR_FLOOR={MIN_CORES_FOR_FLOOR}): the cluster "
+            f"speedup floor is NOT enforced on this box — shards cannot run "
+            f"in parallel, so the numbers below are report-only and the "
+            f"bench cannot gate (\"floor_enforced\": false in the report).",
+            file=sys.stderr,
+        )
+    model = build_workload_model()
+    model.eval()
+
+    if CHAOS:
+        with tempfile.TemporaryDirectory(prefix="bench-chaos-") as tmp:
+            checkpoint = save_quantized_checkpoint(
+                os.path.join(tmp, "workload.npz"),
+                model,
+                model_factory="cluster_workload:build_workload_model",
+                factory_kwargs={},
+            )
+            return run_chaos(model, checkpoint)
+
     print(
         f"GIL-bound cluster bench: {NUM_REQUESTS} requests, "
         f"{CLUSTER_SHARDS} shards, {cores} cores available "
         f"(short={SHORT}, floor {'ENFORCED' if floor_enforced else 'report-only'})"
     )
-    model = build_workload_model()
-    model.eval()
     rng = np.random.default_rng(0)
     requests = rng.standard_normal((NUM_REQUESTS, *INPUT_SHAPE)).astype(np.float32)
     arrivals = make_trace(rng)

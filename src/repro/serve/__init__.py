@@ -41,6 +41,7 @@ from .cluster import (
 )
 from .engine import InferenceEngine
 from .frontend import (
+    DeadlineExceeded,
     DynamicBatcher,
     ModelEntry,
     ModelRegistry,
@@ -66,6 +67,7 @@ __all__ = [
     "PlanTraceError",
     "PlanVerifyError",
     "PlanWorkspace",
+    "DeadlineExceeded",
     "DynamicBatcher",
     "ModelEntry",
     "ModelRegistry",

@@ -1,0 +1,439 @@
+"""Seeded traffic generation and replayable trace execution.
+
+A **trace** is the unit of reproducibility: a list of plain-dict records,
+each fully determined by the spec and one integer seed::
+
+    {"id": 17, "t": 0.412, "variant": "resnet-chaos", "batch": 4,
+     "priority": 1, "deadline_s": 0.5, "seed": 931017}
+
+``t`` is the arrival offset (seconds from trace start), ``seed`` makes the
+input tensor bitwise-reconstructible (:func:`record_inputs`), and the rest
+parameterizes the submit call.  Traces serialize to JSON
+(:func:`save_trace`/:func:`load_trace`), so the exact request stream of a
+chaos run can be attached to a bug report and replayed — against a live
+cluster with :func:`run_trace`, or against the pure policy cores with
+:mod:`repro.serve.chaos.replay` and no processes at all.
+
+Arrival processes are deliberately simple closed forms over one
+``random.Random``:
+
+* :class:`PoissonArrivals` — exponential inter-arrival gaps (open-loop,
+  memoryless; the classic serving benchmark load).
+* :class:`BurstyArrivals` — ON-OFF modulation: Poisson bursts at
+  ``on_rate_hz`` for ~``on_s``, silence for ~``off_s`` (both exponential).
+  This is the load shape that defeats naive autoscalers.
+* :class:`ParetoArrivals` — heavy-tailed gaps; rare long gaps punctuated by
+  clumps, the "self-similar" traffic that keeps tail latencies honest.
+
+The TCP misbehaviour helpers (:class:`SlowReader`,
+:func:`open_wedged_connection`, :func:`send_malformed_frame`) attack the
+frontend edge the way real misbehaving clients do: reading one byte at a
+time, parking half a frame header forever, or speaking garbage magic.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..frontend.queuing import DeadlineExceeded, ServerClosed, ServerOverloaded
+from ..cluster.protocol import (
+    FrameKind,
+    HEADER,
+    MAGIC,
+    PROTOCOL_VERSION,
+    WorkerCrashed,
+    encode_frame,
+    encode_request,
+)
+
+__all__ = [
+    "PoissonArrivals",
+    "BurstyArrivals",
+    "ParetoArrivals",
+    "TrafficSpec",
+    "TraceOutcome",
+    "generate_trace",
+    "save_trace",
+    "load_trace",
+    "record_inputs",
+    "run_trace",
+    "SlowReader",
+    "open_wedged_connection",
+    "send_malformed_frame",
+]
+
+
+# --------------------------------------------------------------------------- #
+# arrival processes
+# --------------------------------------------------------------------------- #
+class PoissonArrivals:
+    """Memoryless arrivals at ``rate_hz`` requests/second."""
+
+    def __init__(self, rate_hz: float = 100.0) -> None:
+        if rate_hz <= 0:
+            raise ValueError(f"rate_hz must be positive, got {rate_hz}")
+        self.rate_hz = float(rate_hz)
+
+    def next_gap(self, rng: random.Random) -> float:
+        return rng.expovariate(self.rate_hz)
+
+
+class BurstyArrivals:
+    """ON-OFF (Markov-modulated Poisson) arrivals.
+
+    Bursts arrive Poisson at ``on_rate_hz`` for an exponential ~``on_s``
+    stretch, then the source goes silent for an exponential ~``off_s``
+    stretch.  Mean rate is ``on_rate_hz * on_s / (on_s + off_s)`` but the
+    instantaneous rate is either ``on_rate_hz`` or zero — exactly the load
+    that makes queues breathe and autoscalers flap.
+    """
+
+    def __init__(self, on_rate_hz: float, on_s: float = 1.0, off_s: float = 1.0) -> None:
+        if on_rate_hz <= 0 or on_s <= 0 or off_s <= 0:
+            raise ValueError(
+                f"on_rate_hz/on_s/off_s must be positive, got "
+                f"({on_rate_hz}, {on_s}, {off_s})"
+            )
+        self.on_rate_hz = float(on_rate_hz)
+        self.on_s = float(on_s)
+        self.off_s = float(off_s)
+        self._burst_left = 0.0
+
+    def next_gap(self, rng: random.Random) -> float:
+        gap = rng.expovariate(self.on_rate_hz)
+        if self._burst_left <= 0.0:
+            # Entering a fresh burst: pay the silent OFF stretch first.
+            self._burst_left = rng.expovariate(1.0 / self.on_s)
+            gap += rng.expovariate(1.0 / self.off_s)
+        self._burst_left -= gap
+        return gap
+
+
+class ParetoArrivals:
+    """Heavy-tailed inter-arrival gaps: ``scale * (U^(-1/alpha) - 1)``.
+
+    ``alpha <= 2`` gives infinite-variance gaps — long silences and dense
+    clumps in the same trace.  ``alpha`` closer to 1 is heavier.
+    """
+
+    def __init__(self, alpha: float = 1.5, scale_s: float = 0.02) -> None:
+        if alpha <= 1.0:
+            raise ValueError(f"alpha must be > 1 (finite mean), got {alpha}")
+        if scale_s <= 0:
+            raise ValueError(f"scale_s must be positive, got {scale_s}")
+        self.alpha = float(alpha)
+        self.scale_s = float(scale_s)
+
+    def next_gap(self, rng: random.Random) -> float:
+        u = 1.0 - rng.random()  # in (0, 1]
+        return self.scale_s * (u ** (-1.0 / self.alpha) - 1.0)
+
+
+_ARRIVALS = {
+    "poisson": PoissonArrivals,
+    "bursty": BurstyArrivals,
+    "pareto": ParetoArrivals,
+}
+
+
+# --------------------------------------------------------------------------- #
+# trace generation
+# --------------------------------------------------------------------------- #
+@dataclass
+class TrafficSpec:
+    """What one generated trace should look like (everything else is seed)."""
+
+    #: Variant names to spread requests over (uniform by weight order).
+    variants: Sequence[str]
+    #: Arrival process: "poisson", "bursty", or "pareto".
+    arrivals: str = "poisson"
+    #: Keyword arguments for the arrival process constructor.
+    arrival_kwargs: Dict[str, float] = field(default_factory=dict)
+    #: How many requests the trace holds.
+    num_requests: int = 100
+    #: Batch sizes to mix, with matching weights.
+    batch_sizes: Sequence[int] = (1, 2, 4)
+    batch_weights: Sequence[float] = (0.6, 0.25, 0.15)
+    #: Priorities to mix (higher = more important), with matching weights.
+    priorities: Sequence[int] = (0, 1)
+    priority_weights: Sequence[float] = (0.8, 0.2)
+    #: Fraction of requests carrying a deadline, and its range (seconds).
+    deadline_fraction: float = 0.0
+    deadline_range_s: Tuple[float, float] = (0.25, 2.0)
+
+    def __post_init__(self) -> None:
+        if not self.variants:
+            raise ValueError("spec needs at least one variant name")
+        if self.arrivals not in _ARRIVALS:
+            raise ValueError(
+                f"unknown arrival process {self.arrivals!r} "
+                f"(choose from {sorted(_ARRIVALS)})"
+            )
+        if self.num_requests <= 0:
+            raise ValueError(f"num_requests must be positive, got {self.num_requests}")
+        if len(self.batch_sizes) != len(self.batch_weights):
+            raise ValueError("batch_sizes and batch_weights must align")
+        if len(self.priorities) != len(self.priority_weights):
+            raise ValueError("priorities and priority_weights must align")
+        if not 0.0 <= self.deadline_fraction <= 1.0:
+            raise ValueError(
+                f"deadline_fraction must be in [0, 1], got {self.deadline_fraction}"
+            )
+
+
+def generate_trace(spec: TrafficSpec, seed: int = 0) -> List[Dict[str, object]]:
+    """Materialize ``spec`` into a replayable list of trace records."""
+    rng = random.Random(seed)
+    process = _ARRIVALS[spec.arrivals](**spec.arrival_kwargs)
+    records: List[Dict[str, object]] = []
+    now = 0.0
+    for index in range(spec.num_requests):
+        now += process.next_gap(rng)
+        deadline_s: Optional[float] = None
+        if spec.deadline_fraction > 0.0 and rng.random() < spec.deadline_fraction:
+            low, high = spec.deadline_range_s
+            deadline_s = rng.uniform(low, high)
+        records.append(
+            {
+                "id": index,
+                "t": round(now, 6),
+                "variant": rng.choices(list(spec.variants))[0],
+                "batch": int(rng.choices(list(spec.batch_sizes), spec.batch_weights)[0]),
+                "priority": int(
+                    rng.choices(list(spec.priorities), spec.priority_weights)[0]
+                ),
+                "deadline_s": deadline_s,
+                "seed": rng.randrange(1 << 31),
+            }
+        )
+    return records
+
+
+def save_trace(path: str, trace: List[Dict[str, object]]) -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle, separators=(",", ":"))
+    return path
+
+
+def load_trace(path: str) -> List[Dict[str, object]]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def record_inputs(record: Dict[str, object], sample_shape: Sequence[int]) -> np.ndarray:
+    """The record's input tensor, bitwise-reconstructible from its seed."""
+    generator = np.random.default_rng(int(record["seed"]))
+    shape = (int(record["batch"]), *sample_shape)
+    return generator.standard_normal(shape).astype(np.float32)
+
+
+# --------------------------------------------------------------------------- #
+# trace execution against a live cluster/server
+# --------------------------------------------------------------------------- #
+@dataclass
+class TraceOutcome:
+    """What happened to one trace record when it was played."""
+
+    record: Dict[str, object]
+    #: "completed" | "expired" | "shed" | "rejected" | "crashed" |
+    #: "closed" | "failed"
+    status: str
+    latency_s: Optional[float] = None
+    error: Optional[str] = None
+    #: Only set when a reference function was supplied: bitwise equality of
+    #: the served logits against the offline reference.
+    bitwise_ok: Optional[bool] = None
+
+
+def _classify(error: BaseException) -> str:
+    if isinstance(error, DeadlineExceeded):
+        return "expired"
+    if isinstance(error, ServerOverloaded):
+        return "shed" if "shed" in str(error) else "rejected"
+    if isinstance(error, ServerClosed):
+        return "closed"
+    if isinstance(error, WorkerCrashed):
+        return "crashed"
+    return "failed"
+
+
+def run_trace(
+    cluster,
+    trace: List[Dict[str, object]],
+    sample_shape: Sequence[int],
+    *,
+    time_scale: float = 1.0,
+    result_timeout_s: float = 60.0,
+    reference: Optional[Callable[[str, np.ndarray], np.ndarray]] = None,
+) -> List[TraceOutcome]:
+    """Play ``trace`` against ``cluster.submit`` in (scaled) real time.
+
+    ``time_scale`` stretches (>1) or compresses (<1) the recorded arrival
+    offsets.  Futures are collected as they resolve; every record gets a
+    classified :class:`TraceOutcome` — nothing is silently dropped, which is
+    the property the chaos bench's survivability contract is built on.
+    ``reference(variant, inputs)`` (optional) computes the expected logits
+    offline; completed outcomes then carry ``bitwise_ok``.
+    """
+    outcomes: List[Optional[TraceOutcome]] = [None] * len(trace)
+    done = threading.Event()
+    pending = [len(trace)]
+    pending_lock = threading.Lock()
+    start = time.monotonic()
+
+    def finish(index: int, outcome: TraceOutcome) -> None:
+        outcomes[index] = outcome
+        with pending_lock:
+            pending[0] -= 1
+            if pending[0] == 0:
+                done.set()
+
+    def on_done(index: int, record: Dict[str, object], inputs: np.ndarray, submitted: float, future) -> None:
+        latency = time.monotonic() - submitted
+        error = future.exception()
+        if error is not None:
+            finish(
+                index,
+                TraceOutcome(record, _classify(error), latency_s=latency, error=str(error)),
+            )
+            return
+        bitwise_ok: Optional[bool] = None
+        if reference is not None:
+            expected = reference(str(record["variant"]), inputs)
+            got = future.result()
+            bitwise_ok = bool(
+                expected.shape == got.shape and np.array_equal(expected, got)
+            )
+        finish(
+            index,
+            TraceOutcome(record, "completed", latency_s=latency, bitwise_ok=bitwise_ok),
+        )
+
+    for index, record in enumerate(trace):
+        target = start + float(record["t"]) * time_scale
+        delay = target - time.monotonic()
+        if delay > 0:
+            time.sleep(delay)
+        inputs = record_inputs(record, sample_shape)
+        submitted = time.monotonic()
+        try:
+            future = cluster.submit(
+                str(record["variant"]),
+                inputs,
+                block=False,
+                deadline_s=record.get("deadline_s"),
+                priority=int(record.get("priority", 0)),
+            )
+        except Exception as error:  # noqa: BLE001 - classified, never dropped
+            finish(index, TraceOutcome(record, _classify(error), error=str(error)))
+            continue
+        future.add_done_callback(
+            lambda fut, i=index, r=record, x=inputs, s=submitted: on_done(i, r, x, s, fut)
+        )
+    done.wait(timeout=result_timeout_s)
+    for index, record in enumerate(trace):
+        if outcomes[index] is None:
+            outcomes[index] = TraceOutcome(
+                record, "failed", error="no outcome within result_timeout_s"
+            )
+    return [outcome for outcome in outcomes if outcome is not None]
+
+
+# --------------------------------------------------------------------------- #
+# misbehaving TCP clients (for the TcpFrontend edge)
+# --------------------------------------------------------------------------- #
+class SlowReader:
+    """A client that submits a request, then reads the reply one byte at a time.
+
+    Models a congested or malicious reader: the frontend's sender must not
+    let one slow connection wedge the serving path for everyone else.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        variant: str,
+        inputs: np.ndarray,
+        byte_delay_s: float = 0.001,
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=10.0)
+        self._variant = variant
+        self._inputs = np.ascontiguousarray(np.asarray(inputs, dtype=np.float32))
+        self._byte_delay_s = byte_delay_s
+        self.received = bytearray()
+
+    def run(self, timeout_s: float = 30.0) -> bytes:
+        """Send the request, then trickle-read until one full frame arrived."""
+        self._sock.sendall(
+            encode_frame(FrameKind.REQUEST, 1, encode_request(self._variant, self._inputs))
+        )
+        deadline = time.monotonic() + timeout_s
+        needed = HEADER.size
+        while time.monotonic() < deadline:
+            chunk = self._sock.recv(1)
+            if not chunk:
+                break
+            self.received.extend(chunk)
+            if len(self.received) == HEADER.size:
+                _, _, _, _, payload_len = HEADER.unpack(bytes(self.received))
+                needed = HEADER.size + payload_len
+            if len(self.received) >= needed > HEADER.size:
+                break
+            time.sleep(self._byte_delay_s)
+        return bytes(self.received)
+
+    def close(self) -> None:
+        self._sock.close()
+
+
+def open_wedged_connection(host: str, port: int) -> socket.socket:
+    """Open a connection, park half a frame header on it, and hold.
+
+    The frontend's per-connection reader must keep the partial bytes
+    buffered without blocking any other connection; the caller owns closing
+    the socket (which is the chaos event: mid-header EOF).
+    """
+    sock = socket.create_connection((host, port), timeout=10.0)
+    half_header = HEADER.pack(MAGIC, PROTOCOL_VERSION, int(FrameKind.REQUEST), 7, 64)[
+        : HEADER.size // 2
+    ]
+    sock.sendall(half_header)
+    return sock
+
+
+def send_malformed_frame(host: str, port: int, kind: str = "bad_magic") -> bool:
+    """Send one malformed frame; True when the frontend dropped the connection.
+
+    ``kind``: ``"bad_magic"`` (foreign protocol), ``"bad_version"`` (future
+    frame layout), or ``"truncated"`` (header promises more payload than is
+    ever sent, then EOF).  A healthy frontend answers all three by dropping
+    the connection — never by crashing or by misparsing the stream.
+    """
+    sock = socket.create_connection((host, port), timeout=10.0)
+    try:
+        if kind == "bad_magic":
+            sock.sendall(b"XX" + bytes(HEADER.size - 2))
+        elif kind == "bad_version":
+            sock.sendall(HEADER.pack(MAGIC, 99, int(FrameKind.REQUEST), 1, 0))
+        elif kind == "truncated":
+            sock.sendall(HEADER.pack(MAGIC, PROTOCOL_VERSION, int(FrameKind.REQUEST), 1, 4096))
+            sock.sendall(b"\x00" * 16)  # 16 of the promised 4096 bytes, then EOF
+            sock.shutdown(socket.SHUT_WR)
+        else:
+            raise ValueError(f"unknown malformed-frame kind {kind!r}")
+        sock.settimeout(5.0)
+        try:
+            return sock.recv(1) == b""  # EOF = the frontend dropped us
+        except socket.timeout:
+            return False
+    finally:
+        sock.close()

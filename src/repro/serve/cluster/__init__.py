@@ -30,6 +30,7 @@ Quickstart::
 """
 
 from .autoscaler import Autoscaler, AutoscalerPolicy, decide
+from .breaker import BreakerPolicy, CircuitBreaker
 from .protocol import (
     FrameKind,
     PROTOCOL_VERSION,
@@ -38,13 +39,21 @@ from .protocol import (
     WorkerCrashed,
 )
 from .router import ClusterServer
-from .transport import ChannelClosed, ClusterClient, FrameChannel, TcpFrontend
+from .transport import (
+    ChannelClosed,
+    ClusterClient,
+    FrameChannel,
+    RetryPolicy,
+    TcpFrontend,
+)
 from .worker import WorkerBootError, WorkerOptions, spawn_worker
 
 __all__ = [
     "Autoscaler",
     "AutoscalerPolicy",
     "decide",
+    "BreakerPolicy",
+    "CircuitBreaker",
     "FrameKind",
     "PROTOCOL_VERSION",
     "ProtocolError",
@@ -54,6 +63,7 @@ __all__ = [
     "ChannelClosed",
     "ClusterClient",
     "FrameChannel",
+    "RetryPolicy",
     "TcpFrontend",
     "WorkerBootError",
     "WorkerOptions",

@@ -48,7 +48,7 @@ from typing import Callable, Dict, Tuple, Type
 
 import numpy as np
 
-from ..frontend.queuing import ServerClosed, ServerOverloaded
+from ..frontend.queuing import DeadlineExceeded, ServerClosed, ServerOverloaded
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -246,6 +246,7 @@ ERROR_CODES: Dict[str, Type[BaseException]] = {
     "overloaded": ServerOverloaded,
     "closed": ServerClosed,
     "worker_crashed": WorkerCrashed,
+    "deadline": DeadlineExceeded,
     "bad_request": ValueError,
     "unknown_model": KeyError,
     "protocol": ProtocolError,

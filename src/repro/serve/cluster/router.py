@@ -51,7 +51,14 @@ import numpy as np
 from ...backend import get_backend
 from ..frontend.batcher import DynamicBatcher
 from ..frontend.metrics import ServerMetrics
-from ..frontend.queuing import Request, RequestQueue, ServerClosed, ServerOverloaded
+from ..frontend.queuing import (
+    DeadlineExceeded,
+    Request,
+    RequestQueue,
+    ServerClosed,
+    ServerOverloaded,
+)
+from .breaker import BreakerPolicy, CircuitBreaker
 from .protocol import (
     FrameKind,
     ProtocolError,
@@ -82,12 +89,16 @@ class _Shard:
         queue: RequestQueue,
         batcher: DynamicBatcher,
         metrics: ServerMetrics,
+        breaker_policy: Optional[BreakerPolicy] = None,
     ) -> None:
         self.variant = variant
         self.index = index
         self.queue = queue
         self.batcher = batcher
         self.metrics = metrics
+        self.breaker = CircuitBreaker(
+            breaker_policy, on_open=metrics.record_breaker_open
+        )
         self.handle: Optional[WorkerHandle] = None
         self.dispatcher: Optional[threading.Thread] = None
         self.state = self.LIVE
@@ -180,6 +191,16 @@ class ClusterServer:
     max_restarts:
         Crash-loop bound per shard; beyond it the shard is failed and its
         queued requests are failed with :class:`WorkerCrashed`.
+    max_request_retries:
+        How many times a request caught in flight on a crashed worker's
+        wire may be re-dispatched (to another live shard when one exists)
+        before it fails with :class:`WorkerCrashed`.  Inference is pure, so
+        the retry is idempotent; the default of 0 preserves the historical
+        fail-fast contract.
+    breaker_policy:
+        Per-shard circuit-breaker thresholds (:class:`BreakerPolicy`).  A
+        shard whose worker keeps crashing or timing out is skipped by the
+        router until a cooldown probe succeeds; its queue is never dropped.
     on_batch:
         Test/telemetry hook called with ``(variant_name, requests)`` after
         each served micro-batch.
@@ -199,12 +220,18 @@ class ClusterServer:
         boot_timeout_s: float = 120.0,
         request_timeout_s: float = 60.0,
         max_restarts: int = 3,
+        max_request_retries: int = 0,
+        breaker_policy: Optional[BreakerPolicy] = None,
         on_batch: Optional[BatchObserver] = None,
     ) -> None:
         if max_batch_size <= 0:
             raise ValueError(f"max_batch_size must be positive, got {max_batch_size}")
         if max_delay_ms < 0:
             raise ValueError(f"max_delay_ms must be >= 0, got {max_delay_ms}")
+        if max_request_retries < 0:
+            raise ValueError(
+                f"max_request_retries must be >= 0, got {max_request_retries}"
+            )
         self.max_batch_size = int(max_batch_size)
         self.max_delay_ms = float(max_delay_ms)
         self.max_queue_depth = int(max_queue_depth)
@@ -213,6 +240,12 @@ class ClusterServer:
         self.boot_timeout_s = float(boot_timeout_s)
         self.request_timeout_s = float(request_timeout_s)
         self.max_restarts = int(max_restarts)
+        self.max_request_retries = int(max_request_retries)
+        self.breaker_policy = breaker_policy
+        #: Chaos seam (see :mod:`repro.serve.chaos.faults`): when set, its
+        #: ``before_dispatch(cluster, variant_name, shard_name)`` hook runs
+        #: right before each micro-batch hits the wire.  None in production.
+        self.fault_injector = None
         self._on_batch = on_batch
         self._variants: "OrderedDict[str, _Variant]" = OrderedDict()
         self._lock = threading.Lock()
@@ -237,6 +270,7 @@ class ClusterServer:
         require_compiled: bool = True,
         backend: Optional[str] = None,
         description: str = "",
+        chaos_latency_s: float = 0.0,
     ) -> None:
         """Host the checkpoint at ``checkpoint_path`` under ``name``.
 
@@ -263,6 +297,7 @@ class ClusterServer:
             batch_size=max(64, self.max_batch_size),
             require_compiled=require_compiled,
             backend=backend if backend is not None else get_backend().name,
+            chaos_latency_s=float(chaos_latency_s),
         )
         variant = _Variant(
             name,
@@ -358,15 +393,24 @@ class ClusterServer:
         inputs,
         block: bool = True,
         timeout: Optional[float] = None,
+        deadline_s: Optional[float] = None,
+        priority: int = 0,
     ) -> "Future[np.ndarray]":
         """Enqueue one request on the least-loaded shard of ``name``.
 
         Accepts a single ``(C, H, W)`` sample (future resolves to one logits
         row) or an ``(n, C, H, W)`` small batch, exactly like
-        :meth:`ModelServer.submit`.
+        :meth:`ModelServer.submit`.  ``deadline_s`` bounds the request's
+        total life from now: once exceeded it never occupies a batch slot
+        and its future fails with
+        :class:`~repro.serve.frontend.queuing.DeadlineExceeded`.
+        ``priority`` feeds load shedding — when the picked shard's queue is
+        full, a queued lower-priority request is shed to admit this one.
         """
         if self._closed:
             raise ServerClosed("the cluster is stopped")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError(f"deadline_s must be positive, got {deadline_s}")
         variant = self._variant(name)
         array = np.ascontiguousarray(np.asarray(inputs, dtype=np.float32))
         if array.ndim == 3:
@@ -390,20 +434,34 @@ class ClusterServer:
         excluded: set = set()
         while True:
             shard = self._pick_shard(variant, excluded)
+            now = time.monotonic()
             request = Request(
                 inputs=array,
                 future=Future(),
                 squeeze=squeeze,
-                enqueue_time=time.monotonic(),
+                enqueue_time=now,
                 request_id=shard.next_request_id(),
+                deadline=None if deadline_s is None else now + deadline_s,
+                priority=int(priority),
             )
             shard.note_admitted()
             try:
                 shard.queue.put(request, block=block, timeout=timeout)
             except ServerOverloaded:
-                shard.note_done()
-                shard.metrics.record_rejected()
-                raise
+                # Full queue: try shedding a queued lower-priority request
+                # to make room before rejecting outright.
+                try:
+                    victim = shard.queue.shed_lower_priority(request)
+                except ServerOverloaded:
+                    shard.note_done()
+                    shard.metrics.record_rejected()
+                    raise
+                except ServerClosed:
+                    shard.note_done()
+                    excluded.add(shard)
+                    continue
+                if victim is not None:
+                    self._shed_request(shard, victim)
             except ServerClosed:
                 # Lost the race with this shard's retirement/failure; another
                 # shard (if any is left) can still take the request.
@@ -420,7 +478,14 @@ class ClusterServer:
         return self.predict(name, inputs, timeout=timeout).argmax(axis=-1)
 
     def _pick_shard(self, variant: _Variant, excluded: Optional[set] = None) -> _Shard:
-        """Least-outstanding routing over the variant's live shards."""
+        """Least-outstanding routing over the variant's live shards.
+
+        Shards whose circuit breaker is OPEN are skipped — their worker is
+        flapping, and sending fresh traffic there only pays a timeout before
+        a retry rescues it.  When *every* live shard is dark the router
+        degrades to routing anyway (blackholing all traffic would turn a
+        recoverable brownout into an outage).
+        """
         live = variant.live_shards()
         if excluded:
             live = [shard for shard in live if shard not in excluded]
@@ -429,7 +494,9 @@ class ClusterServer:
                 f"variant {variant.name!r} has no live shards "
                 f"(crashed beyond max_restarts, or the cluster is not started)"
             )
-        return min(live, key=lambda shard: shard.outstanding)
+        allowed = [shard for shard in live if shard.breaker.allow()]
+        pool = allowed if allowed else live
+        return min(pool, key=lambda shard: shard.outstanding)
 
     def _variant(self, name: str) -> _Variant:
         with self._lock:
@@ -464,7 +531,17 @@ class ClusterServer:
         with variant.lock:
             index = variant.next_index
             variant.next_index += 1
-        shard = _Shard(variant, index, queue, batcher, ServerMetrics(self.latency_window))
+        shard = _Shard(
+            variant,
+            index,
+            queue,
+            batcher,
+            ServerMetrics(self.latency_window),
+            breaker_policy=self.breaker_policy,
+        )
+        batcher.on_expired = lambda request, shard=shard: self._expire_request(
+            shard, request
+        )
         shard.handle = spawn_worker(
             variant.options,
             start_method=self.start_method,
@@ -566,7 +643,11 @@ class ClusterServer:
         formed = time.monotonic()
         live: List[Request] = []
         for request in batch:
-            if request.future.set_running_or_notify_cancel():
+            if request.attempts > 0:
+                # Re-dispatched after a crash: the future is already RUNNING
+                # (set_running_or_notify_cancel would raise InvalidStateError).
+                live.append(request)
+            elif request.future.set_running_or_notify_cancel():
                 live.append(request)
             else:
                 shard.metrics.record_cancelled()
@@ -584,19 +665,26 @@ class ClusterServer:
                 if len(requests) == 1
                 else np.concatenate([r.inputs for r in requests], axis=0)
             )
+            injector = self.fault_injector
+            if injector is not None:
+                injector.before_dispatch(self, variant.name, shard.name)
             try:
                 logits = self._roundtrip(shard, stacked)
             except (ChannelClosed, ProtocolError, TimeoutError) as error:
                 # The worker's wire is gone: everything we popped for this
-                # batch is in flight from the router's perspective — those
-                # futures fail, the shard's *queue* survives untouched.
+                # batch is in flight from the router's perspective.  Requests
+                # with retry budget left are re-dispatched (inference is
+                # pure, so the retry is idempotent); the rest fail with
+                # WorkerCrashed.  The shard's *queue* survives untouched.
+                shard.breaker.record_failure()
                 crash = WorkerCrashed(
                     f"shard {shard.name} (pid={shard.handle.pid if shard.handle else '?'}) "
                     f"died with this request in flight: {error}"
                 )
                 remaining = [r for grp in list(groups.values())[group_index:] for r in grp]
                 for request in remaining:
-                    self._fail_request(shard, request, crash)
+                    if not self._redispatch(variant, shard, request):
+                        self._fail_request(shard, request, crash)
                 if not self._restart_worker(variant, shard):
                     return
                 return
@@ -605,6 +693,7 @@ class ClusterServer:
                     self._fail_request(shard, request, error)
                 continue
             done = time.monotonic()
+            shard.breaker.record_success(done)
             shard.metrics.record_batch(int(stacked.shape[0]), done - formed)
             shard.metrics.record_served_path(
                 len(requests),
@@ -614,6 +703,12 @@ class ClusterServer:
             for request in requests:
                 rows = logits[offset : offset + request.num_samples]
                 offset += request.num_samples
+                if request.expired(done):
+                    # The answer arrived after the caller's deadline: a
+                    # deadline contract that only covers queueing is no
+                    # contract at all.
+                    self._expire_request(shard, request)
+                    continue
                 result = rows[0] if request.squeeze else rows
                 try:
                     request.future.set_result(np.ascontiguousarray(result))
@@ -702,6 +797,60 @@ class ClusterServer:
         shard.metrics.record_failed()
         shard.note_done()
 
+    def _expire_request(self, shard: _Shard, request: Request) -> None:
+        """Fail one request whose deadline passed (queued or mid-flight)."""
+        error = DeadlineExceeded(
+            f"request {request.request_id} on {shard.name} exceeded its deadline"
+        )
+        if not request.future.cancelled():
+            try:
+                request.future.set_exception(error)
+            except InvalidStateError:
+                pass
+        shard.metrics.record_expired()
+        shard.note_done()
+
+    def _shed_request(self, shard: _Shard, request: Request) -> None:
+        """Fail one queued request shed to admit a higher-priority one."""
+        error = ServerOverloaded(
+            f"request {request.request_id} on {shard.name} was shed for a "
+            f"higher-priority request"
+        )
+        if not request.future.cancelled():
+            try:
+                request.future.set_exception(error)
+            except InvalidStateError:
+                pass
+        shard.metrics.record_shed()
+        shard.note_done()
+
+    def _redispatch(self, variant: _Variant, shard: _Shard, request: Request) -> bool:
+        """Requeue a crash-interrupted request; False when it must fail.
+
+        The target is another live shard when one exists (the crashed
+        shard's replacement worker is seconds away at best), else the same
+        shard's surviving queue — its dispatcher serves the queue again
+        once the restart completes.  ``put_front`` preserves the request's
+        place at the head of the line; it already waited once.
+        """
+        if self._closed or request.attempts >= self.max_request_retries:
+            return False
+        if request.expired():
+            self._expire_request(shard, request)
+            return True  # handled: expired, not lost
+        try:
+            target = self._pick_shard(variant, excluded={shard})
+        except ServerClosed:
+            target = shard if shard.state == _Shard.LIVE else None
+        if target is None:
+            return False
+        request.attempts += 1
+        target.note_admitted()
+        shard.note_done()
+        target.queue.put_front(request)  # exempt from depth/closed: already admitted
+        target.metrics.record_retried()
+        return True
+
     # ------------------------------------------------------------------ #
     # health monitoring
     # ------------------------------------------------------------------ #
@@ -757,6 +906,10 @@ class ClusterServer:
             "requests_completed": 0,
             "requests_failed": 0,
             "requests_rejected": 0,
+            "requests_expired": 0,
+            "requests_shed": 0,
+            "requests_retried": 0,
+            "breaker_open_total": 0,
             "samples_completed": 0,
             "batches_served": 0,
         }
@@ -766,6 +919,10 @@ class ClusterServer:
             totals["requests_completed"] += requests["completed"]
             totals["requests_failed"] += requests["failed"]
             totals["requests_rejected"] += requests["rejected"]
+            totals["requests_expired"] += requests["expired"]
+            totals["requests_shed"] += requests["shed"]
+            totals["requests_retried"] += requests["retried"]
+            totals["breaker_open_total"] += view["merged"]["breaker_open_total"]
             totals["samples_completed"] += view["merged"]["samples_completed"]
             totals["batches_served"] += view["merged"]["batches"]["served"]
         return {
@@ -824,6 +981,7 @@ class ClusterServer:
             "shards": {
                 shard.name: {
                     "state": shard.state,
+                    "breaker": shard.breaker.state,
                     "pid": shard.handle.pid if shard.handle else None,
                     "restarts": shard.restarts,
                     "outstanding": shard.outstanding,

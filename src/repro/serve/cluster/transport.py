@@ -22,11 +22,13 @@ Python clients).
 
 from __future__ import annotations
 
+import random
 import select
 import socket
 import threading
 import time
 from concurrent.futures import Future
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -36,6 +38,7 @@ from .protocol import (
     Frame,
     FrameKind,
     ProtocolError,
+    WorkerCrashed,
     decode_header,
     decode_json,
     decode_ndarray,
@@ -46,7 +49,14 @@ from .protocol import (
     exception_from_error,
 )
 
-__all__ = ["ChannelClosed", "FrameChannel", "worker_socketpair", "TcpFrontend", "ClusterClient"]
+__all__ = [
+    "ChannelClosed",
+    "FrameChannel",
+    "worker_socketpair",
+    "TcpFrontend",
+    "ClusterClient",
+    "RetryPolicy",
+]
 
 
 class ChannelClosed(RuntimeError):
@@ -55,6 +65,15 @@ class ChannelClosed(RuntimeError):
 
 class FrameChannel:
     """A thread-safe, resumable frame pipe over one stream socket."""
+
+    #: Process-wide fault-injection seam for the chaos harness
+    #: (:mod:`repro.serve.chaos.faults`).  ``None`` — the production default —
+    #: costs one attribute check per send/recv; a chaos run installs an
+    #: object with ``on_send(channel, kind, request_id) -> bool`` (False
+    #: drops the frame on the floor; the hook may sleep to model a slow or
+    #: congested link) and ``on_recv(channel, frame) -> bool`` (False drops
+    #: an already-parsed inbound frame, modelling loss on the return path).
+    fault_injector = None
 
     def __init__(self, sock: socket.socket) -> None:
         # The socket stays in blocking mode for its whole life: recv timeouts
@@ -73,6 +92,9 @@ class FrameChannel:
     # ------------------------------------------------------------------ #
     def send(self, kind: FrameKind, request_id: int = 0, payload: bytes = b"") -> None:
         """Write one frame atomically; raises :class:`ChannelClosed` on a dead peer."""
+        injector = FrameChannel.fault_injector
+        if injector is not None and not injector.on_send(self, kind, request_id):
+            return  # chaos dropped the frame before it hit the wire
         data = encode_frame(kind, request_id, payload)
         with self._send_lock:
             if self._closed:
@@ -101,7 +123,11 @@ class FrameChannel:
                 return None
             payload = bytes(self._buffer[HEADER.size : HEADER.size + payload_len])
             del self._buffer[: HEADER.size + payload_len]
-            return Frame(kind, request_id, payload)
+            frame = Frame(kind, request_id, payload)
+        injector = FrameChannel.fault_injector
+        if injector is not None and not injector.on_recv(self, frame):
+            return None  # chaos dropped the inbound frame after parsing
+        return frame
 
     def _fill(self, needed: int, deadline: Optional[float]) -> bool:
         """Buffer at least ``needed`` bytes; False on timeout, raises on EOF."""
@@ -315,6 +341,56 @@ def _error_payload(error: BaseException) -> bytes:
     return encode_error(error)
 
 
+@dataclass
+class RetryPolicy:
+    """Client-side retry for *idempotent* failures, backoff-bounded and budgeted.
+
+    Inference is a pure function of its input, so a request that died with
+    the worker (:class:`WorkerCrashed`) or vanished into a timeout can be
+    re-sent without double-effect — those are the **only** failures retried.
+    Typed application errors (bad shape, unknown model, overload, deadline)
+    mean the request was *answered*; retrying them would just repeat the
+    answer, so they propagate immediately.
+
+    ``budget`` caps total retries over the client's lifetime: a cluster that
+    is genuinely down must not be hammered by every client in a tight
+    exponential loop forever (retry storms are how outages become cascades).
+    """
+
+    #: Total attempts per request (1 = no retry).
+    max_attempts: int = 3
+    #: First backoff; doubles per attempt up to ``max_backoff_s``.
+    base_backoff_s: float = 0.05
+    max_backoff_s: float = 2.0
+    #: Fraction of the backoff randomized (0 = deterministic, 1 = full jitter).
+    jitter: float = 0.5
+    #: Lifetime retry budget across all requests on one client.
+    budget: int = 64
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.base_backoff_s < 0 or self.max_backoff_s < self.base_backoff_s:
+            raise ValueError(
+                f"need 0 <= base_backoff_s <= max_backoff_s, got "
+                f"[{self.base_backoff_s}, {self.max_backoff_s}]"
+            )
+
+    def backoff_s(self, attempt: int, rng: Optional[random.Random] = None) -> float:
+        """Backoff before retry number ``attempt`` (1-based), jittered."""
+        base = min(self.max_backoff_s, self.base_backoff_s * (2 ** (attempt - 1)))
+        if self.jitter == 0.0 or rng is None:
+            return base
+        return base * (1.0 - self.jitter + 2.0 * self.jitter * rng.random())
+
+
+#: Failure types that are safe to retry: the request provably produced no
+#: observable answer.  Everything else is an *answer* and must propagate.
+RETRYABLE_ERRORS = (WorkerCrashed, TimeoutError)
+
+
 class ClusterClient:
     """Minimal synchronous TCP client for the cluster protocol.
 
@@ -322,18 +398,51 @@ class ClusterClient:
     so interleaved control frames cannot confuse it).  This is the reference
     implementation of the client side of the wire format; anything that can
     write the 16-byte header and the ndarray payload can serve traffic.
+
+    ``retry_policy`` (optional) retries idempotent failures — worker crashes
+    and reply timeouts — with bounded exponential backoff, jitter, and a
+    lifetime budget; :attr:`retries_used` exposes the spend for telemetry.
     """
 
-    def __init__(self, host: str, port: int, connect_timeout: float = 10.0) -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        connect_timeout: float = 10.0,
+        retry_policy: Optional[RetryPolicy] = None,
+        retry_seed: Optional[int] = None,
+    ) -> None:
         sock = socket.create_connection((host, port), timeout=connect_timeout)
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._channel = FrameChannel(sock)
         self._request_ids = iter(range(1, 1 << 62))
         self._lock = threading.Lock()
+        self.retry_policy = retry_policy
+        self._retry_rng = random.Random(retry_seed)
+        self.retries_used = 0
 
     def predict(self, model_name: str, inputs, timeout: Optional[float] = 60.0) -> np.ndarray:
         """Logits for one sample ``(C, H, W)`` or small batch ``(n, C, H, W)``."""
         array = np.ascontiguousarray(np.asarray(inputs, dtype=np.float32))
+        policy = self.retry_policy
+        attempts = 1 if policy is None else policy.max_attempts
+        for attempt in range(1, attempts + 1):
+            try:
+                return self._predict_once(model_name, array, timeout)
+            except RETRYABLE_ERRORS:
+                if (
+                    policy is None
+                    or attempt >= attempts
+                    or self.retries_used >= policy.budget
+                ):
+                    raise
+                self.retries_used += 1
+                time.sleep(policy.backoff_s(attempt, self._retry_rng))
+        raise AssertionError("unreachable: the retry loop returns or raises")
+
+    def _predict_once(
+        self, model_name: str, array: np.ndarray, timeout: Optional[float]
+    ) -> np.ndarray:
         with self._lock:
             request_id = next(self._request_ids)
             self._channel.send(FrameKind.REQUEST, request_id, encode_request(model_name, array))

@@ -70,6 +70,12 @@ class WorkerOptions:
     batch_size: int = 64
     require_compiled: bool = True
     backend: Optional[str] = None
+    #: Chaos knob: artificial per-request latency (seconds) added before the
+    #: engine runs.  Picklable (unlike an injector object), so it crosses the
+    #: spawn boundary; 0.0 in production.  The ``REPRO_CHAOS_WORKER_LATENCY_S``
+    #: environment variable overrides it at worker boot, letting a chaos run
+    #: slow workers down without re-registering variants.
+    chaos_latency_s: float = 0.0
 
 
 def worker_main(worker_socket: socket.socket, options: WorkerOptions) -> None:
@@ -127,6 +133,13 @@ def _boot_engine(options: WorkerOptions):
 
 def _serve_forever(channel: FrameChannel, engine, options: WorkerOptions) -> None:
     served = 0
+    chaos_latency_s = options.chaos_latency_s
+    env_latency = os.environ.get("REPRO_CHAOS_WORKER_LATENCY_S")
+    if env_latency:
+        try:
+            chaos_latency_s = max(0.0, float(env_latency))
+        except ValueError:
+            pass  # a malformed chaos knob must never take a worker down
     # The router is our parent; a changed ppid means we were reparented
     # (router died without an orderly SHUTDOWN).  Comparing against the boot
     # value — not against literal PID 1 — keeps this correct when the router
@@ -146,6 +159,8 @@ def _serve_forever(channel: FrameChannel, engine, options: WorkerOptions) -> Non
                         f"this worker serves variant {options.variant!r}, "
                         f"not {name!r}"
                     )
+                if chaos_latency_s > 0:
+                    time.sleep(chaos_latency_s)
                 logits = engine.predict_logits(array)
             except Exception as error:  # noqa: BLE001 - per-request, typed
                 channel.send(FrameKind.ERROR, frame.request_id, encode_error(error))

@@ -31,11 +31,18 @@ Quickstart::
 
 from .batcher import DynamicBatcher
 from .metrics import ServerMetrics
-from .queuing import Request, RequestQueue, ServerClosed, ServerOverloaded
+from .queuing import (
+    DeadlineExceeded,
+    Request,
+    RequestQueue,
+    ServerClosed,
+    ServerOverloaded,
+)
 from .registry import ModelEntry, ModelRegistry
 from .server import ModelServer
 
 __all__ = [
+    "DeadlineExceeded",
     "DynamicBatcher",
     "ModelEntry",
     "ModelRegistry",

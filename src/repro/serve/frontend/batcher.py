@@ -20,6 +20,18 @@ Policy, in order:
    front of the queue — the bound is a hard invariant, and the request keeps
    its place for the next batch.
 
+Two request-deadline rules ride on top (requests may carry an absolute
+``deadline`` of their own, distinct from the batch-coalescing ``max_delay``):
+
+* **eviction** — a request whose deadline already passed is never given a
+  batch slot; it is handed to ``on_expired`` (the server fails it with the
+  typed :class:`~repro.serve.frontend.queuing.DeadlineExceeded`) and the
+  batcher keeps pulling.  With no ``on_expired`` hook the batcher serves
+  expired requests as before (a bare batcher stays drop-free).
+* **anchoring** — the coalescing wait is never anchored past the *earliest*
+  request deadline in the forming batch: a batch containing a request due in
+  1 ms does not idle for a 5 ms ``max_delay``.
+
 Sample counting is by *samples*, not requests: a small-batch request of 4
 samples occupies 4 slots of the micro-batch.
 """
@@ -49,6 +61,9 @@ class DynamicBatcher:
         already queued.
     clock:
         Injectable monotonic clock (tests freeze it).
+    on_expired:
+        Called with each request whose own deadline passed before it won a
+        batch slot (deadline-aware eviction).  ``None`` disables eviction.
     """
 
     def __init__(
@@ -57,6 +72,7 @@ class DynamicBatcher:
         max_batch_size: int = 32,
         max_delay: float = 0.002,
         clock: Callable[[], float] = time.monotonic,
+        on_expired: Optional[Callable[[Request], None]] = None,
     ) -> None:
         if max_batch_size <= 0:
             raise ValueError(f"max_batch_size must be positive, got {max_batch_size}")
@@ -66,22 +82,41 @@ class DynamicBatcher:
         self.max_batch_size = int(max_batch_size)
         self.max_delay = float(max_delay)
         self._clock = clock
+        self.on_expired = on_expired
+
+    def _get_live(self, timeout: Optional[float]) -> Optional[Request]:
+        """One queue pop with eviction: expired requests never reach a batch."""
+        if self.on_expired is None:
+            return self.queue.get(timeout=timeout)
+        deadline = None if timeout is None else self._clock() + timeout
+        while True:
+            remaining = None if deadline is None else max(0.0, deadline - self._clock())
+            request = self.queue.get(timeout=remaining)
+            if request is None:
+                return None
+            if request.expired(self._clock()):
+                self.on_expired(request)
+                continue
+            return request
 
     def next_batch(self, timeout: Optional[float] = None) -> Optional[List[Request]]:
         """Return the next micro-batch, or ``None`` if no request arrived.
 
         Blocks up to ``timeout`` seconds for the *first* request only; the
-        coalescing wait afterwards is governed by ``max_delay``.
+        coalescing wait afterwards is governed by ``max_delay`` (clamped to
+        the earliest request deadline in the forming batch).
         """
-        first = self.queue.get(timeout=timeout)
+        first = self._get_live(timeout)
         if first is None:
             return None
         batch = [first]
         samples = first.num_samples
         deadline = first.enqueue_time + self.max_delay
+        if first.deadline is not None:
+            deadline = min(deadline, first.deadline)
         while samples < self.max_batch_size:
             remaining = deadline - self._clock()
-            request = self.queue.get(timeout=max(0.0, remaining))
+            request = self._get_live(max(0.0, remaining))
             if request is None:
                 break  # deadline fired (or the queue closed empty): serve what we have
             if samples + request.num_samples > self.max_batch_size:
@@ -89,6 +124,8 @@ class DynamicBatcher:
                 break
             batch.append(request)
             samples += request.num_samples
+            if request.deadline is not None:
+                deadline = min(deadline, request.deadline)
         return batch
 
     def __repr__(self) -> str:

@@ -51,6 +51,14 @@ class ServerMetrics:
         "samples",
         "served_compiled",
         "served_fallback",
+        # Resilience counters (chaos harness / graceful degradation):
+        # requests failed because their deadline passed, requests shed for a
+        # higher-priority arrival, requests re-dispatched after a worker
+        # crash, and circuit-breaker open transitions.
+        "expired",
+        "shed",
+        "retried",
+        "breaker_open",
     )
 
     def __init__(self, latency_window: int = 8192) -> None:
@@ -75,6 +83,10 @@ class ServerMetrics:
         # engine's plan_report.
         self._served_compiled = 0
         self._served_fallback = 0
+        self._expired = 0
+        self._shed = 0
+        self._retried = 0
+        self._breaker_open = 0
         self._first_admit: Optional[float] = None
         self._last_done: Optional[float] = None
 
@@ -122,6 +134,26 @@ class ServerMetrics:
                 self._served_fallback += num_requests
             else:
                 self._served_compiled += num_requests
+
+    def record_expired(self) -> None:
+        """One request failed with :class:`DeadlineExceeded` (queued or mid-flight)."""
+        with self._lock:
+            self._expired += 1
+
+    def record_shed(self) -> None:
+        """One queued request was shed for a higher-priority arrival."""
+        with self._lock:
+            self._shed += 1
+
+    def record_retried(self) -> None:
+        """One request was re-dispatched after a worker crash."""
+        with self._lock:
+            self._retried += 1
+
+    def record_breaker_open(self) -> None:
+        """One circuit-breaker transition to OPEN on the owning shard."""
+        with self._lock:
+            self._breaker_open += 1
 
     # ------------------------------------------------------------------ #
     # consistent reads
@@ -175,6 +207,26 @@ class ServerMetrics:
     def served_fallback(self) -> int:
         with self._lock:
             return self._served_fallback
+
+    @property
+    def expired(self) -> int:
+        with self._lock:
+            return self._expired
+
+    @property
+    def shed(self) -> int:
+        with self._lock:
+            return self._shed
+
+    @property
+    def retried(self) -> int:
+        with self._lock:
+            return self._retried
+
+    @property
+    def breaker_open_total(self) -> int:
+        with self._lock:
+            return self._breaker_open
 
     def latency_percentile_ms(self, q: float) -> float:
         """One percentile of the end-to-end latency window, in milliseconds.
@@ -288,7 +340,11 @@ class ServerMetrics:
                     "failed": self._failed,
                     "cancelled": self._cancelled,
                     "rejected": self._rejected,
+                    "expired": self._expired,
+                    "shed": self._shed,
+                    "retried": self._retried,
                 },
+                "breaker_open_total": self._breaker_open,
                 "engine_path": {
                     "compiled": self._served_compiled,
                     "fallback": self._served_fallback,

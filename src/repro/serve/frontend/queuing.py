@@ -15,6 +15,17 @@ behaviours the stdlib queue does not offer together —
 * **front re-insertion** — :meth:`put_front` lets the batcher hand back a
   request that would overflow the micro-batch it is forming, without the
   request losing its place at the head of the line.
+
+Two resilience seams ride on the same structure:
+
+* **deadlines** — a :class:`Request` may carry an absolute monotonic
+  ``deadline``; :meth:`Request.expired` is the one check every consumer uses,
+  and an expired request is failed with the typed :class:`DeadlineExceeded`
+  instead of occupying a batch slot (the batcher evicts, the server fails the
+  future and counts it);
+* **priority shedding** — :meth:`shed_lower_priority` lets admission control
+  trade a queued low-priority request for an arriving higher-priority one
+  when the queue is full, instead of unconditionally rejecting the newcomer.
 """
 
 from __future__ import annotations
@@ -28,7 +39,13 @@ from typing import Deque, List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["Request", "RequestQueue", "ServerOverloaded", "ServerClosed"]
+__all__ = [
+    "Request",
+    "RequestQueue",
+    "ServerOverloaded",
+    "ServerClosed",
+    "DeadlineExceeded",
+]
 
 
 class ServerOverloaded(RuntimeError):
@@ -39,6 +56,10 @@ class ServerClosed(RuntimeError):
     """The server (or its queue) no longer accepts requests."""
 
 
+class DeadlineExceeded(RuntimeError):
+    """The request's deadline passed before (or while) it was served."""
+
+
 @dataclass
 class Request:
     """One in-flight prediction request.
@@ -46,6 +67,12 @@ class Request:
     ``inputs`` is always a stacked ``(n, ...)`` float32 array, even for
     single-sample requests; ``squeeze`` records whether the caller submitted a
     single sample (and should receive one logits row back) or a small batch.
+
+    ``deadline`` is an absolute monotonic timestamp after which the caller no
+    longer wants the answer (``None`` = wait forever); ``priority`` orders
+    requests under load shedding (higher wins); ``attempts`` counts dispatch
+    attempts, so a router that re-dispatches a request after a worker crash
+    can bound its retries.
     """
 
     inputs: np.ndarray
@@ -53,6 +80,9 @@ class Request:
     squeeze: bool
     enqueue_time: float = field(default_factory=time.monotonic)
     request_id: int = 0
+    deadline: Optional[float] = None
+    priority: int = 0
+    attempts: int = 0
 
     @property
     def num_samples(self) -> int:
@@ -61,6 +91,12 @@ class Request:
     @property
     def sample_shape(self) -> Tuple[int, ...]:
         return tuple(self.inputs.shape[1:])
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        """True when the deadline has passed (``now`` is injectable for tests)."""
+        if self.deadline is None:
+            return False
+        return (time.monotonic() if now is None else now) >= self.deadline
 
 
 class RequestQueue:
@@ -120,6 +156,43 @@ class RequestQueue:
         with self._not_empty:
             self._items.appendleft(request)
             self._not_empty.notify()
+
+    def shed_lower_priority(self, request: Request) -> Optional[Request]:
+        """Admit ``request``, shedding a strictly lower-priority entry if full.
+
+        The priority-aware arm of admission control: when the queue has space
+        the request is simply enqueued (returns ``None``); when it is full,
+        the *youngest* queued request with the lowest priority strictly below
+        ``request.priority`` is removed and returned — the caller owns
+        failing its future and recording the shed.  With no such victim the
+        queue raises :class:`ServerOverloaded` exactly like a plain ``put``.
+        Shedding the youngest of the lowest class keeps FIFO order intact
+        for everything that stays.
+        """
+        with self._not_full:
+            if self._closed:
+                raise ServerClosed("the request queue is closed")
+            if len(self._items) < self.max_depth:
+                self._items.append(request)
+                self._not_empty.notify()
+                return None
+            victim_index = None
+            victim_priority = request.priority
+            for index in range(len(self._items) - 1, -1, -1):
+                queued = self._items[index]
+                if queued.priority < victim_priority:
+                    victim_index = index
+                    victim_priority = queued.priority
+            if victim_index is None:
+                raise ServerOverloaded(
+                    f"request queue is full ({self.max_depth} requests) and no "
+                    f"queued request has priority below {request.priority}"
+                )
+            victim = self._items[victim_index]
+            del self._items[victim_index]
+            self._items.append(request)
+            self._not_empty.notify()
+            return victim
 
     # ------------------------------------------------------------------ #
     # consumer side

@@ -47,7 +47,13 @@ import numpy as np
 
 from .batcher import DynamicBatcher
 from .metrics import ServerMetrics
-from .queuing import Request, RequestQueue, ServerClosed, ServerOverloaded
+from .queuing import (
+    DeadlineExceeded,
+    Request,
+    RequestQueue,
+    ServerClosed,
+    ServerOverloaded,
+)
 from .registry import ModelEntry, ModelRegistry
 
 __all__ = ["ModelServer"]
@@ -217,6 +223,11 @@ class ModelServer:
                 lane = _Lane(
                     entry, queue, batcher, ServerMetrics(self.latency_window), model_lock
                 )
+                # Deadline-aware eviction: a request that expires while queued
+                # is failed with the typed error and never wins a batch slot.
+                batcher.on_expired = lambda request, lane=lane: self._expire_request(
+                    lane, request
+                )
                 self._lanes[entry.name] = lane
                 if self._started:
                     self._spawn_worker(lane)
@@ -311,6 +322,8 @@ class ModelServer:
         inputs,
         block: bool = True,
         timeout: Optional[float] = None,
+        deadline_s: Optional[float] = None,
+        priority: int = 0,
     ) -> "Future[np.ndarray]":
         """Enqueue one request; returns a future resolving to its logits.
 
@@ -320,9 +333,19 @@ class ModelServer:
         offline batches belong on :meth:`InferenceEngine.predict_logits`
         directly.  ``block``/``timeout`` select backpressure (wait for queue
         space) versus admission control (:class:`ServerOverloaded` at once).
+
+        ``deadline_s`` bounds how long the caller will wait for the answer:
+        a request that expires while queued (or mid-flight) fails with the
+        typed :class:`DeadlineExceeded` and never occupies a batch slot.
+        ``priority`` feeds load shedding: when admission control trips on a
+        full queue, a strictly lower-priority queued request is shed (failed
+        with :class:`ServerOverloaded`) to make room, instead of rejecting
+        the higher-priority newcomer.
         """
         if self._closed:
             raise ServerClosed("the server is stopped")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError(f"deadline_s must be positive, got {deadline_s}")
         lane = self._lane(model_name)
         array = np.ascontiguousarray(np.asarray(inputs, dtype=np.float32))
         if array.ndim == 3:
@@ -343,20 +366,32 @@ class ModelServer:
                 f"{self.max_batch_size}; use InferenceEngine.predict_logits "
                 f"for large offline batches"
             )
+        now = time.monotonic()
         request = Request(
             inputs=array,
             future=Future(),
             squeeze=squeeze,
-            enqueue_time=time.monotonic(),
+            enqueue_time=now,
             request_id=next(self._request_ids),
+            deadline=None if deadline_s is None else now + deadline_s,
+            priority=int(priority),
         )
         lane.note_admitted()
         try:
             lane.queue.put(request, block=block, timeout=timeout)
         except ServerOverloaded:
-            lane.note_done()
-            lane.metrics.record_rejected()
-            raise
+            victim = None
+            try:
+                victim = lane.queue.shed_lower_priority(request)
+            except ServerOverloaded:
+                lane.note_done()
+                lane.metrics.record_rejected()
+                raise
+            except ServerClosed:
+                lane.note_done()
+                raise
+            if victim is not None:
+                self._shed_request(lane, victim)
         except ServerClosed:
             lane.note_done()
             raise
@@ -439,6 +474,11 @@ class ModelServer:
             for request in requests:
                 rows = logits[offset : offset + request.num_samples]
                 offset += request.num_samples
+                if request.expired(done):
+                    # Expired mid-flight: the caller stopped waiting, so the
+                    # answer is discarded and the typed error is returned.
+                    self._expire_request(lane, request)
+                    continue
                 result = rows[0] if request.squeeze else rows
                 try:
                     request.future.set_result(np.ascontiguousarray(result))
@@ -460,6 +500,36 @@ class ModelServer:
             except InvalidStateError:
                 pass
         lane.metrics.record_failed()
+        lane.note_done()
+
+    def _expire_request(self, lane: _Lane, request: Request) -> None:
+        """Fail an expired request with the typed error; counted separately."""
+        if not request.future.cancelled():
+            try:
+                request.future.set_exception(
+                    DeadlineExceeded(
+                        f"request {request.request_id} on {lane.name!r} missed its "
+                        f"deadline by {time.monotonic() - (request.deadline or 0.0):.3f}s"
+                    )
+                )
+            except InvalidStateError:
+                pass
+        lane.metrics.record_expired()
+        lane.note_done()
+
+    def _shed_request(self, lane: _Lane, request: Request) -> None:
+        """Fail a shed victim: a higher-priority arrival took its queue slot."""
+        if not request.future.cancelled():
+            try:
+                request.future.set_exception(
+                    ServerOverloaded(
+                        f"request {request.request_id} on {lane.name!r} was shed "
+                        f"for a higher-priority request"
+                    )
+                )
+            except InvalidStateError:
+                pass
+        lane.metrics.record_shed()
         lane.note_done()
 
     # ------------------------------------------------------------------ #
@@ -485,6 +555,9 @@ class ModelServer:
             "requests_completed": sum(c["completed"] for c in counters),
             "requests_failed": sum(c["failed"] for c in counters),
             "requests_rejected": sum(c["rejected"] for c in counters),
+            "requests_expired": sum(c["expired"] for c in counters),
+            "requests_shed": sum(c["shed"] for c in counters),
+            "requests_retried": sum(c["retried"] for c in counters),
             "requests_compiled": sum(c["served_compiled"] for c in counters),
             "requests_fallback": sum(c["served_fallback"] for c in counters),
             "samples_completed": sum(c["samples"] for c in counters),

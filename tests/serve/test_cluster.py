@@ -229,7 +229,14 @@ class TestClusterResilience:
             # served alone (max_batch_size=1) with a 0.25 s forward: plenty
             # of in-flight window.
             futures = [cluster.submit("slow", sample) for _ in range(4)]
-            time.sleep(0.1)  # let shard 0's first request reach the worker
+            # Kill only once shard 0 demonstrably has a request *in flight*
+            # (popped off its queue, on the worker's wire) — a fixed sleep
+            # here raced the dispatcher on slow boxes.
+            def shard0_in_flight() -> bool:
+                info = cluster.metrics("slow")["shards"]["slow[0]"]
+                return info["outstanding"] - info["queue_depth"] >= 1
+
+            assert _wait_until(shard0_in_flight, timeout=10.0, interval=0.01)
             os.kill(pid_by_shard["slow[0]"], signal.SIGKILL)
 
             outcomes = []

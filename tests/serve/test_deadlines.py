@@ -1,0 +1,268 @@
+"""Deadline and priority semantics: eviction, anchoring, shedding, counters.
+
+The resilience contract of the frontend seams (ISSUE 7):
+
+* a request whose deadline passed while *queued* is evicted before batch
+  formation — it never occupies a batch slot, and its future fails with the
+  typed :class:`DeadlineExceeded`;
+* a request whose deadline passes *mid-flight* still resolves to
+  :class:`DeadlineExceeded`, not a stale result;
+* the batcher's coalescing wait is never anchored past the earliest request
+  deadline in the forming batch;
+* priority-aware shedding trades the youngest lowest-priority queued request
+  for a higher-priority arrival, preserving FIFO among survivors;
+* every outcome lands in a dedicated monotonic counter that survives
+  :meth:`ServerMetrics.merge`.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future
+
+import numpy as np
+import pytest
+
+from repro.models import simple_cnn
+from repro.nn import Tensor
+from repro.serve import (
+    DeadlineExceeded,
+    DynamicBatcher,
+    ModelServer,
+    Request,
+    RequestQueue,
+    ServerOverloaded,
+)
+from repro.serve.frontend.metrics import ServerMetrics
+
+CNN_SHAPE = (3, 12, 12)
+
+
+def _warmed_cnn(rng, seed=0):
+    model = simple_cnn(num_classes=4, input_size=12, channels=4, seed=seed)
+    model(Tensor(rng.standard_normal((8, *CNN_SHAPE)).astype(np.float32)))
+    model.eval()
+    return model
+
+
+def _request(rng, n=1, enqueue_time=0.0, deadline=None, priority=0):
+    return Request(
+        inputs=rng.standard_normal((n, *CNN_SHAPE)).astype(np.float32),
+        future=Future(),
+        squeeze=n == 1,
+        enqueue_time=enqueue_time,
+        deadline=deadline,
+        priority=priority,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# batcher-level eviction and anchoring (frozen clock, no threads)
+# --------------------------------------------------------------------------- #
+class TestBatcherDeadlines:
+    def test_expired_request_is_evicted_before_batch_formation(self, rng):
+        queue = RequestQueue(max_depth=8)
+        evicted = []
+        batcher = DynamicBatcher(
+            queue,
+            max_batch_size=4,
+            max_delay=0.0,
+            clock=lambda: 10.0,
+            on_expired=evicted.append,
+        )
+        dead = _request(rng, enqueue_time=9.0, deadline=9.5)  # already past
+        live = _request(rng, enqueue_time=9.9, deadline=11.0)
+        queue.put(dead)
+        queue.put(live)
+        batch = batcher.next_batch(timeout=0.0)
+        assert batch == [live]
+        assert evicted == [dead]
+
+    def test_without_hook_expired_requests_still_flow(self, rng):
+        # A bare batcher (no on_expired) must stay drop-free: eviction is the
+        # server's policy, not the batcher's default.
+        queue = RequestQueue(max_depth=8)
+        batcher = DynamicBatcher(
+            queue, max_batch_size=4, max_delay=0.0, clock=lambda: 10.0
+        )
+        dead = _request(rng, enqueue_time=9.0, deadline=9.5)
+        queue.put(dead)
+        assert batcher.next_batch(timeout=0.0) == [dead]
+
+    def test_anchoring_never_waits_past_earliest_deadline(self, rng):
+        # First request due at t=10.05; max_delay would allow waiting until
+        # t=10.2.  The coalescing wait must end at 10.05: with the queue
+        # empty after the first pop, next_batch should return in ~0.05 s,
+        # not ~0.2 s.
+        start = time.monotonic()
+        queue = RequestQueue(max_depth=8)
+        batcher = DynamicBatcher(queue, max_batch_size=8, max_delay=0.2)
+        first = _request(rng, enqueue_time=start, deadline=start + 0.05)
+        queue.put(first)
+        batch = batcher.next_batch(timeout=0.5)
+        elapsed = time.monotonic() - start
+        assert batch == [first]
+        assert elapsed < 0.15, f"coalescing wait ignored the deadline ({elapsed:.3f}s)"
+
+    def test_later_arrival_tightens_the_anchor(self, rng):
+        start = time.monotonic()
+        queue = RequestQueue(max_depth=8)
+        batcher = DynamicBatcher(queue, max_batch_size=8, max_delay=0.5)
+        queue.put(_request(rng, enqueue_time=start))  # no deadline of its own
+        queue.put(_request(rng, enqueue_time=start, deadline=start + 0.05))
+        batch = batcher.next_batch(timeout=0.5)
+        elapsed = time.monotonic() - start
+        assert len(batch) == 2
+        assert elapsed < 0.3, f"second request's deadline did not clamp ({elapsed:.3f}s)"
+
+
+# --------------------------------------------------------------------------- #
+# queue-level priority shedding
+# --------------------------------------------------------------------------- #
+class TestPriorityShedding:
+    def test_space_means_plain_admission(self, rng):
+        queue = RequestQueue(max_depth=2)
+        assert queue.shed_lower_priority(_request(rng, priority=5)) is None
+        assert queue.depth == 1
+
+    def test_youngest_of_lowest_class_is_the_victim(self, rng):
+        queue = RequestQueue(max_depth=3)
+        old_low = _request(rng, priority=0)
+        young_low = _request(rng, priority=0)
+        mid = _request(rng, priority=1)
+        for request in (old_low, mid, young_low):
+            queue.put(request)
+        arrival = _request(rng, priority=2)
+        victim = queue.shed_lower_priority(arrival)
+        assert victim is young_low  # youngest of the lowest class, not the oldest
+        # FIFO preserved for survivors; the arrival queues at the back.
+        assert queue.get() is old_low
+        assert queue.get() is mid
+        assert queue.get() is arrival
+
+    def test_equal_priority_is_not_shed(self, rng):
+        queue = RequestQueue(max_depth=1)
+        queue.put(_request(rng, priority=1))
+        with pytest.raises(ServerOverloaded, match="no queued request"):
+            queue.shed_lower_priority(_request(rng, priority=1))
+
+
+# --------------------------------------------------------------------------- #
+# server-level semantics (real threads, real engine)
+# --------------------------------------------------------------------------- #
+class TestServerDeadlines:
+    def test_queued_expiry_returns_typed_error_and_counts(self, rng):
+        model = _warmed_cnn(rng)
+        sample = rng.standard_normal(CNN_SHAPE).astype(np.float32)
+        # max_delay anchors batches immediately; the worker is kept busy by a
+        # burst so late requests sit queued past their deadline.
+        with ModelServer(max_batch_size=1, max_delay_ms=0.0) as server:
+            server.register("m", model=model)
+            warm = server.submit("m", sample)
+            warm.result(timeout=30)
+            futures = [
+                server.submit("m", sample, deadline_s=0.001) for _ in range(16)
+            ]
+            outcomes = []
+            for future in futures:
+                try:
+                    future.result(timeout=30)
+                    outcomes.append("ok")
+                except DeadlineExceeded:
+                    outcomes.append("expired")
+            assert "expired" in outcomes, outcomes
+            snapshot = server.metrics("m")
+            assert snapshot["requests"]["expired"] == outcomes.count("expired")
+            assert server.metrics()["server"]["requests_expired"] >= 1
+
+    def test_deadline_zero_is_rejected(self, rng):
+        model = _warmed_cnn(rng)
+        with ModelServer() as server:
+            server.register("m", model=model)
+            with pytest.raises(ValueError, match="deadline_s"):
+                server.submit(
+                    "m",
+                    rng.standard_normal(CNN_SHAPE).astype(np.float32),
+                    deadline_s=0.0,
+                )
+
+    def test_shedding_admits_higher_priority_under_overload(self, rng):
+        model = _warmed_cnn(rng)
+        sample = rng.standard_normal(CNN_SHAPE).astype(np.float32)
+        with ModelServer(max_batch_size=1, max_delay_ms=0.0, max_queue_depth=2) as server:
+            server.register("m", model=model)
+            warm = server.submit("m", sample)
+            warm.result(timeout=30)
+            # Flood with low priority until the queue is provably full, then
+            # submit one high-priority request: it must be admitted by
+            # shedding a queued low-priority one.
+            low = []
+            while True:
+                try:
+                    low.append(server.submit("m", sample, block=False, priority=0))
+                except ServerOverloaded:
+                    break
+            high = server.submit("m", sample, block=False, priority=1)
+            assert isinstance(high.result(timeout=30), np.ndarray)
+            shed = [
+                f
+                for f in low
+                if f.done() and isinstance(f.exception(), ServerOverloaded)
+            ]
+            assert len(shed) >= 1
+            snapshot = server.metrics("m")
+            assert snapshot["requests"]["shed"] == len(shed)
+
+
+# --------------------------------------------------------------------------- #
+# metrics: the new counters merge like the old ones
+# --------------------------------------------------------------------------- #
+class TestResilienceCounters:
+    def test_counters_and_snapshot_carry_new_fields(self):
+        metrics = ServerMetrics()
+        metrics.record_expired()
+        metrics.record_shed()
+        metrics.record_shed()
+        metrics.record_retried()
+        metrics.record_breaker_open()
+        counters = metrics.counters()
+        assert counters["expired"] == 1
+        assert counters["shed"] == 2
+        assert counters["retried"] == 1
+        assert counters["breaker_open"] == 1
+        snapshot = metrics.snapshot()
+        assert snapshot["requests"]["expired"] == 1
+        assert snapshot["requests"]["shed"] == 2
+        assert snapshot["requests"]["retried"] == 1
+        assert snapshot["breaker_open_total"] == 1
+
+    def test_merged_sums_resilience_counters(self):
+        parts = []
+        for expired, shed, retried, opens in ((1, 0, 2, 1), (3, 4, 0, 0)):
+            part = ServerMetrics()
+            for _ in range(expired):
+                part.record_expired()
+            for _ in range(shed):
+                part.record_shed()
+            for _ in range(retried):
+                part.record_retried()
+            for _ in range(opens):
+                part.record_breaker_open()
+            parts.append(part)
+        merged = ServerMetrics.merged(parts)
+        assert merged.expired == 4
+        assert merged.shed == 4
+        assert merged.retried == 2
+        assert merged.breaker_open_total == 1
+
+    def test_merge_is_additive_and_monotonic(self):
+        total = ServerMetrics()
+        part = ServerMetrics()
+        part.record_expired()
+        total.merge(part)
+        total.merge(part)
+        assert total.expired == 2
+        part.record_retried()
+        total.merge(part)
+        assert total.retried == 1
+        assert total.expired == 3
