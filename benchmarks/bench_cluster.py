@@ -39,12 +39,22 @@ gates on the **survivability contract**:
   check rides the router's ``on_batch`` hook where the composition is
   known);
 * bounded p99 — the kill storm may cost restarts, not unbounded tail
-  latency (``CHAOS_MAX_P99_S``).
+  latency (``CHAOS_MAX_P99_S``);
+* complete spans — every completed request resolves to a server-side span
+  with the full queue_wait/batch/wire/execute stage chain, and no
+  run_trace-issued trace id is orphaned (ISSUE 8: telemetry must survive the
+  same storm the requests do).
+
+``--metrics-port N`` (or ``REPRO_METRICS_PORT``) additionally mounts a
+Prometheus exporter on the cluster under test, scrapes it (twice in chaos
+mode — before and after the storm), lints the exposition text and records
+the verdict in the report.  Port 0 picks any free port.
 
 Run it directly::
 
     PYTHONPATH=src python benchmarks/bench_cluster.py
     PYTHONPATH=src python benchmarks/bench_cluster.py --chaos
+    PYTHONPATH=src python benchmarks/bench_cluster.py --chaos --metrics-port 0
 """
 
 from __future__ import annotations
@@ -66,6 +76,13 @@ if HERE not in sys.path:
 from cluster_workload import INPUT_SHAPE, build_workload_model  # noqa: E402
 
 from repro.backend import get_backend  # noqa: E402
+from repro.obs import (  # noqa: E402
+    SPAN_STAGES,
+    MetricsExporter,
+    check_counters_monotonic,
+    lint_exposition,
+    scrape,
+)
 from repro.serve import InferenceEngine, ModelServer  # noqa: E402
 from repro.serve.cluster import BreakerPolicy, ClusterServer  # noqa: E402
 from repro.serve.chaos import (  # noqa: E402
@@ -102,6 +119,47 @@ CHAOS_SEED = int(os.environ.get("REPRO_BENCH_CHAOS_SEED", "20260808"))
 CHAOS_REQUESTS = 160 if CHAOS_SHORT else 480
 #: Survivability contract: p99 end-to-end latency bound under the kill storm.
 CHAOS_MAX_P99_S = 20.0
+
+def _parse_metrics_port(argv) -> "int | None":
+    """``--metrics-port N`` / ``--metrics-port=N`` / REPRO_METRICS_PORT env."""
+    for index, arg in enumerate(argv):
+        if arg == "--metrics-port" and index + 1 < len(argv):
+            return int(argv[index + 1])
+        if arg.startswith("--metrics-port="):
+            return int(arg.split("=", 1)[1])
+    env = os.environ.get("REPRO_METRICS_PORT", "").strip()
+    return int(env) if env else None
+
+
+#: When set, the bench mounts a Prometheus exporter on the cluster under
+#: test, scrapes it, and records the lint verdict in the report (0 = any
+#: free port; the chosen port is printed).
+METRICS_PORT = _parse_metrics_port(sys.argv[1:])
+
+
+def _mount_exporter(source):
+    if METRICS_PORT is None:
+        return None
+    exporter = MetricsExporter(source, port=METRICS_PORT)
+    exporter.start()
+    print(f"metrics exporter listening on {exporter.url}")
+    return exporter
+
+
+def _scrape_report(exporter):
+    """One scrape → lint verdict dict for the bench report (None when unmounted)."""
+    if exporter is None:
+        return None
+    text = scrape(exporter.url)
+    problems = lint_exposition(text)
+    return {
+        "url": exporter.url,
+        "bytes": len(text),
+        "lint_problems": problems,
+        "lint_passed": not problems,
+        "text": text,
+    }
+
 
 NUM_REQUESTS = 96 if SHORT else 256
 REPEATS = 2 if SHORT else 3
@@ -178,10 +236,19 @@ def run_cluster(checkpoint_path, requests, arrivals):
             require_compiled=False,  # the workload is the fallback path itself
         )
         cluster.predict("bench", requests[0], timeout=120)  # first-request warmth
-        makespan, logits = replay_trace(
-            lambda index: cluster.submit("bench", requests[index]), requests, arrivals
-        )
-        snapshot = cluster.metrics("bench")
+        exporter = _mount_exporter(cluster)
+        try:
+            makespan, logits = replay_trace(
+                lambda index: cluster.submit("bench", requests[index]), requests, arrivals
+            )
+            snapshot = cluster.metrics("bench")
+            http_report = _scrape_report(exporter)
+            if http_report is not None:
+                http_report.pop("text", None)
+                snapshot["metrics_http"] = http_report
+        finally:
+            if exporter is not None:
+                exporter.close()
     return makespan, logits, snapshot
 
 
@@ -290,6 +357,8 @@ def run_chaos(model, checkpoint_path) -> int:
             chaos_latency_s=0.01,  # widen the in-flight window the storm targets
         )
         cluster.predict("bench", np.zeros(INPUT_SHAPE, dtype=np.float32), timeout=120)
+        exporter = _mount_exporter(cluster)
+        scrape_before = _scrape_report(exporter)
         started = time.perf_counter()
         with plan.apply(cluster):
             outcomes = run_trace(
@@ -298,6 +367,11 @@ def run_chaos(model, checkpoint_path) -> int:
         makespan = time.perf_counter() - started
         cluster.drain(timeout=60.0)
         snapshot = cluster.metrics("bench")
+        scrape_after = _scrape_report(exporter)
+        if exporter is not None:
+            exporter.close()
+        spans = cluster.spans.spans()
+        spans_dropped = cluster.spans.dropped_total
 
     tally = {}
     for outcome in outcomes:
@@ -315,14 +389,54 @@ def run_chaos(model, checkpoint_path) -> int:
     )
     merged = snapshot["merged"]
     restarts = sum(view["restarts"] for view in snapshot["shards"].values())
+
+    # Span completeness: every completed outcome must have a server-side span
+    # carrying the full queue_wait/batch/wire/execute chain, and no span with
+    # a run_trace-issued id may lack a matching outcome (an orphan would mean
+    # the kill storm detached a request from its telemetry).
+    spans_by_id = {}
+    for span in spans:
+        spans_by_id.setdefault(span["trace_id"], []).append(span)
+    missing_chain = []
+    for outcome in outcomes:
+        if outcome.status != "completed":
+            continue
+        candidates = spans_by_id.get(outcome.trace_id, [])
+        if not any(
+            span["status"] == "completed"
+            and all(stage in span["stages_ms"] for stage in SPAN_STAGES)
+            for span in candidates
+        ):
+            missing_chain.append(outcome.trace_id)
+    outcome_ids = {outcome.trace_id for outcome in outcomes}
+    orphan_spans = sorted(
+        trace_id
+        for trace_id in spans_by_id
+        if trace_id.startswith("trace-") and trace_id not in outcome_ids
+    )
+    span_check = {
+        "completed_outcomes": sum(1 for o in outcomes if o.status == "completed"),
+        "spans_recorded": len(spans),
+        "spans_dropped": int(spans_dropped),
+        "missing_chain": missing_chain[:10],
+        "missing_chain_count": len(missing_chain),
+        "orphan_spans": orphan_spans[:10],
+        "orphan_span_count": len(orphan_spans),
+        "passed": not missing_chain and not orphan_spans and spans_dropped == 0,
+    }
+
     contract = {
         "lost_requests": len(lost),
         "bitwise_checked": checker.checked,
         "bitwise_mismatched": checker.mismatched,
         "p99_s": round(p99_s, 4),
         "max_p99_s": CHAOS_MAX_P99_S,
+        "span_completeness": span_check,
         "passed": (
-            not lost and checker.mismatched == 0 and p99_s <= CHAOS_MAX_P99_S
+            not lost
+            and checker.mismatched == 0
+            and p99_s <= CHAOS_MAX_P99_S
+            and span_check["passed"]
         ),
     }
     report = {
@@ -355,6 +469,18 @@ def run_chaos(model, checkpoint_path) -> int:
         "contract": contract,
         "cluster_metrics": snapshot,
     }
+    if scrape_before is not None and scrape_after is not None:
+        monotonic_problems = check_counters_monotonic(
+            scrape_before["text"], scrape_after["text"]
+        )
+        for entry in (scrape_before, scrape_after):
+            entry.pop("text", None)
+        report["metrics_http"] = {
+            "before_storm": scrape_before,
+            "after_storm": scrape_after,
+            "counter_monotonic_problems": monotonic_problems,
+            "counters_monotonic": not monotonic_problems,
+        }
     with open(CHAOS_OUTPUT_PATH, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")
@@ -368,6 +494,12 @@ def run_chaos(model, checkpoint_path) -> int:
         f"bitwise: {checker.mismatched}/{checker.checked} mismatched   "
         f"p99 {p99_s:.3f}s (bound {CHAOS_MAX_P99_S}s)"
     )
+    print(
+        f"spans: {span_check['spans_recorded']} recorded, "
+        f"{span_check['missing_chain_count']} incomplete chains, "
+        f"{span_check['orphan_span_count']} orphans, "
+        f"{span_check['spans_dropped']} dropped"
+    )
     print(f"wrote {CHAOS_OUTPUT_PATH}")
     if not contract["passed"]:
         for outcome in lost[:5]:
@@ -380,7 +512,8 @@ def run_chaos(model, checkpoint_path) -> int:
             f"FAIL: survivability contract violated "
             f"(lost={len(lost)}, bitwise_mismatched={checker.mismatched}, "
             f"p99={p99_s:.3f}s > {CHAOS_MAX_P99_S}s allowed "
-            f"= {p99_s > CHAOS_MAX_P99_S})",
+            f"= {p99_s > CHAOS_MAX_P99_S}, "
+            f"span_completeness={span_check['passed']})",
             file=sys.stderr,
         )
         return 1

@@ -22,6 +22,7 @@ This example walks the deployment path:
 Usage::
 
     python examples/deploy_quantized_model.py [--epochs 3] [--cluster]
+    python examples/deploy_quantized_model.py --metrics-port 9100  # + /metrics
 """
 
 from __future__ import annotations
@@ -36,8 +37,32 @@ from repro import BMPQConfig, BMPQTrainer, ModelServer, build_model, evaluate_mo
 from repro.analysis import compression_summary, format_bit_vector
 from repro.data import DataLoader, SyntheticImageClassification
 from repro.nn import Tensor
+from repro.obs import MetricsExporter, lint_exposition, scrape
 from repro.serve.cluster import Autoscaler, AutoscalerPolicy, ClusterServer
 from repro.utils import load_checkpoint, save_checkpoint, save_quantized_checkpoint
+
+
+def _mount_exporter(server, args):
+    """Mount /metrics on ``server`` when --metrics-port was given."""
+    if args.metrics_port is None:
+        return None
+    exporter = MetricsExporter(server, port=args.metrics_port)
+    exporter.start()
+    print(f"Prometheus exposition mounted at {exporter.url} "
+          f"(also /spans, /events, /healthz)")
+    return exporter
+
+
+def _scrape_and_close(exporter) -> None:
+    """Self-scrape once (proof the endpoint serves lint-clean text), then stop."""
+    if exporter is None:
+        return
+    text = scrape(exporter.url)
+    problems = lint_exposition(text)
+    families = sum(1 for line in text.splitlines() if line.startswith("# TYPE "))
+    print(f"scraped {exporter.url}: {len(text)} bytes, {families} metric families, "
+          f"lint {'clean' if not problems else problems}")
+    exporter.close()
 
 
 def main() -> None:
@@ -47,6 +72,13 @@ def main() -> None:
     parser.add_argument("--width", type=float, default=0.125)
     parser.add_argument("--checkpoint", type=str, default="bmpq_resnet18_deploy.npz")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        help="mount a Prometheus /metrics endpoint on the servers "
+        "(0 picks any free port; the chosen URL is printed)",
+    )
     parser.add_argument(
         "--cluster",
         action="store_true",
@@ -124,6 +156,7 @@ def main() -> None:
     with ModelServer(max_batch_size=16, max_delay_ms=5.0) as server:
         server.register("bmpq-mixed", served, description="ILP-assigned bits")
         server.register("uniform-4bit", uniform, description="uniform 4-bit baseline")
+        exporter = _mount_exporter(server, args)
 
         def client(variant: str, indices) -> None:
             for i in indices:
@@ -149,6 +182,7 @@ def main() -> None:
                 f"latency p50/p95/p99 = {latency['p50']:.1f}/{latency['p95']:.1f}/"
                 f"{latency['p99']:.1f} ms, {stats['throughput_rps']:.0f} samples/s"
             )
+        _scrape_and_close(exporter)
 
     mixed_classes = np.array([r.argmax() for r in results["bmpq-mixed"]])
     uniform_classes = np.array([r.argmax() for r in results["uniform-4bit"]])
@@ -192,6 +226,7 @@ def serve_cluster(served, args, samples, reference_logits) -> None:
     print(f"\ncluster checkpoint: {deploy_path}")
     with ClusterServer(max_batch_size=16, max_delay_ms=5.0) as cluster:
         cluster.register("bmpq-mixed", deploy_path, shards=2, min_shards=1, max_shards=3)
+        exporter = _mount_exporter(cluster, args)
         policy = AutoscalerPolicy(
             scale_up_backlog_per_shard=8.0, scale_down_backlog_per_shard=0.5, cooldown_s=1.0
         )
@@ -229,6 +264,7 @@ def serve_cluster(served, args, samples, reference_logits) -> None:
                 )
             if autoscaler.decisions:
                 print(f"autoscaler decisions: {autoscaler.decisions}")
+        _scrape_and_close(exporter)
 
     cluster_classes = np.array([r.argmax() for r in cluster_results])
     thread_classes = np.array([r.argmax() for r in reference_logits])

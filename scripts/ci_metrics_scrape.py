@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""CI gate: boot a 2-shard cluster, mount the exporter, scrape and validate.
+
+The observability stack's end-to-end check (ISSUE 8):
+
+1. save a tiny quantized checkpoint and register it on a 2-shard
+   :class:`~repro.serve.cluster.ClusterServer`,
+2. mount :class:`~repro.obs.MetricsExporter` and serve traced traffic,
+3. scrape ``/metrics`` twice over real HTTP and assert
+
+   * the exposition passes :func:`repro.obs.lint_exposition` (metric-name
+     charset, HELP/TYPE pairing, counter ``_total`` suffixes, no duplicate
+     series) on both scrapes,
+   * every counter is monotonically non-decreasing between the scrapes
+     (:func:`repro.obs.check_counters_monotonic`),
+   * per-shard labels for both shards appear in the text,
+   * every submitted request produced a span with the full
+     queue_wait/batch/wire/execute stage chain whose stage sum is within
+     10% of the span's own end-to-end time,
+   * ``/spans`` and ``/events`` serve JSON.
+
+Exit status is non-zero on any violation.  Run it directly::
+
+    PYTHONPATH=src:. python scripts/ci_metrics_scrape.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+import urllib.request
+
+import numpy as np
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+for entry in (os.path.join(REPO, "src"), REPO):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from repro.obs import (  # noqa: E402
+    SPAN_STAGES,
+    MetricsExporter,
+    check_counters_monotonic,
+    lint_exposition,
+    scrape,
+)
+from repro.serve.cluster import ClusterServer  # noqa: E402
+from repro.utils import save_quantized_checkpoint  # noqa: E402
+from tests.serve.cluster_models import build_parity_model  # noqa: E402
+
+SEED = 5
+SHAPE = (3, 8, 8)
+REQUESTS = 12
+
+
+def main() -> int:
+    problems: list = []
+
+    def check(condition: bool, message: str) -> None:
+        if not condition:
+            problems.append(message)
+            print(f"FAIL: {message}", file=sys.stderr)
+
+    model = build_parity_model(SEED)
+    rng = np.random.default_rng(0)
+    with tempfile.TemporaryDirectory(prefix="ci-metrics-") as tmp:
+        checkpoint = save_quantized_checkpoint(
+            os.path.join(tmp, "parity.npz"),
+            model,
+            model_factory="tests.serve.cluster_models:build_parity_model",
+            factory_kwargs={"seed": SEED},
+        )
+        with ClusterServer(max_batch_size=8, max_delay_ms=0.0) as cluster:
+            cluster.register("m", checkpoint, shards=2)
+            with MetricsExporter(cluster) as exporter:
+                print(f"exporter at {exporter.url}")
+                futures = [
+                    cluster.submit(
+                        "m",
+                        rng.standard_normal(SHAPE).astype(np.float32),
+                        trace_id=f"ci-{index}",
+                    )
+                    for index in range(REQUESTS // 2)
+                ]
+                for future in futures:
+                    future.result(timeout=120)
+                first = scrape(exporter.url)
+                lint_first = lint_exposition(first)
+                check(not lint_first, f"first scrape lint problems: {lint_first}")
+
+                futures = [
+                    cluster.submit(
+                        "m",
+                        rng.standard_normal(SHAPE).astype(np.float32),
+                        trace_id=f"ci-{index}",
+                    )
+                    for index in range(REQUESTS // 2, REQUESTS)
+                ]
+                for future in futures:
+                    future.result(timeout=120)
+                second = scrape(exporter.url)
+                lint_second = lint_exposition(second)
+                check(not lint_second, f"second scrape lint problems: {lint_second}")
+
+                monotonic = check_counters_monotonic(first, second)
+                check(not monotonic, f"counter regressions between scrapes: {monotonic}")
+                for label in ('variant="m"', 'shard="0"', 'shard="1"'):
+                    check(label in second, f"label {label} missing from exposition")
+
+                for index in range(REQUESTS):
+                    span = cluster.spans.find(f"ci-{index}")
+                    check(span is not None, f"no span for ci-{index}")
+                    if span is None:
+                        continue
+                    missing = [s for s in SPAN_STAGES if s not in span["stages_ms"]]
+                    check(not missing, f"span ci-{index} missing stages {missing}")
+                    drift = abs(span["total_ms"] - span["e2e_ms"])
+                    check(
+                        drift <= 0.10 * span["e2e_ms"],
+                        f"span ci-{index}: stage sum {span['total_ms']}ms vs "
+                        f"e2e {span['e2e_ms']}ms drifts more than 10%",
+                    )
+
+                for path in ("/spans", "/events"):
+                    url = exporter.url.replace("/metrics", path)
+                    with urllib.request.urlopen(url, timeout=10) as response:
+                        body = response.read().decode("utf-8")
+                    try:
+                        json.loads(body)
+                    except ValueError:
+                        check(False, f"{path} did not serve valid JSON")
+
+    families = sum(1 for line in second.splitlines() if line.startswith("# TYPE "))
+    print(
+        f"scraped twice ({len(first)} -> {len(second)} bytes, {families} families), "
+        f"{REQUESTS} spans with full stage chains, counters monotonic"
+    )
+    if problems:
+        print(f"{len(problems)} problem(s); failing.", file=sys.stderr)
+        return 1
+    print("metrics scrape gate PASSED")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""Observability for the serving stack: tracing, event log, Prometheus export.
+
+* :mod:`repro.obs.tracing` — per-request :class:`TraceContext` spans with
+  queue-wait / batch / wire / execute stages, collected into a bounded
+  :class:`SpanRecorder` ring on the owning server.
+* :mod:`repro.obs.events` — :class:`EventLog`, a structured narrative of the
+  lifecycle transitions the counters only tally (restarts, breaker trips,
+  sheds, expiries, retries, scaling decisions).
+* :mod:`repro.obs.prometheus` — text-exposition rendering, an in-repo format
+  linter, and :class:`MetricsExporter`, the stdlib ``/metrics`` endpoint
+  mountable on :class:`ModelServer` and :class:`ClusterServer`.
+"""
+
+from .events import EventLog
+from .prometheus import (
+    CONTENT_TYPE,
+    MetricFamily,
+    MetricsExporter,
+    check_counters_monotonic,
+    collect_families,
+    lint_exposition,
+    parse_exposition,
+    render_exposition,
+    scrape,
+)
+from .tracing import SPAN_STAGES, SpanRecorder, TraceContext, new_trace_id
+
+__all__ = [
+    "EventLog",
+    "CONTENT_TYPE",
+    "MetricFamily",
+    "MetricsExporter",
+    "check_counters_monotonic",
+    "collect_families",
+    "lint_exposition",
+    "parse_exposition",
+    "render_exposition",
+    "scrape",
+    "SPAN_STAGES",
+    "SpanRecorder",
+    "TraceContext",
+    "new_trace_id",
+]

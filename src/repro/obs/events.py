@@ -1,0 +1,77 @@
+"""Structured lifecycle event log for the serving stack.
+
+Counters tell you *how many* shard restarts or breaker trips happened;
+they cannot tell you *which shard*, *when*, or *in what order* relative to
+a latency spike.  :class:`EventLog` is the narrative companion to
+``ServerMetrics``: a bounded, thread-safe ring of structured records —
+``{"ts": ..., "kind": "worker_restart", "variant": "resnet", "shard": 1,
+"pid": 4242}`` — emitted at every lifecycle transition that was previously
+a bare counter bump: worker restarts, circuit-breaker OPEN/HALF_OPEN/CLOSED
+transitions, request sheds/expiries/retries, shard failures, and autoscaler
+decisions.
+
+Per-kind totals survive ring eviction, so the Prometheus exporter can
+publish a monotonic ``repro_events_total{kind=...}`` family even after the
+detailed records have rotated out.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+__all__ = ["EventLog"]
+
+
+class EventLog:
+    """A bounded, thread-safe ring of structured lifecycle events."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self._events: Deque[Dict[str, object]] = deque(maxlen=self.capacity)
+        self._lock = threading.Lock()
+        self._counts: Dict[str, int] = {}
+        self._emitted = 0
+
+    def emit(self, kind: str, **fields: object) -> Dict[str, object]:
+        """Record an event of ``kind`` with arbitrary JSON-friendly fields."""
+        event: Dict[str, object] = {"ts": time.time(), "kind": kind}
+        event.update(fields)
+        with self._lock:
+            self._events.append(event)
+            self._counts[kind] = self._counts.get(kind, 0) + 1
+            self._emitted += 1
+        return event
+
+    def events(self, kind: Optional[str] = None) -> List[Dict[str, object]]:
+        """Retained events, oldest first, optionally filtered by kind."""
+        with self._lock:
+            out = list(self._events)
+        if kind is not None:
+            out = [event for event in out if event.get("kind") == kind]
+        return out
+
+    def counts(self) -> Dict[str, int]:
+        """Lifetime per-kind totals (monotonic — survive ring eviction)."""
+        with self._lock:
+            return dict(self._counts)
+
+    @property
+    def emitted_total(self) -> int:
+        with self._lock:
+            return self._emitted
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def export_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.events(), indent=indent)
+
+    def __repr__(self) -> str:
+        return f"EventLog(retained={len(self)}, capacity={self.capacity}, emitted={self.emitted_total})"

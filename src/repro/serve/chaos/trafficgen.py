@@ -251,6 +251,10 @@ class TraceOutcome:
     #: Only set when a reference function was supplied: bitwise equality of
     #: the served logits against the offline reference.
     bitwise_ok: Optional[bool] = None
+    #: The trace id run_trace attached at submit (``trace-<record id>``),
+    #: matching the span the server recorded — the chaos bench's
+    #: span-completeness check joins outcomes to spans on it.
+    trace_id: Optional[str] = None
 
 
 def _classify(error: BaseException) -> str:
@@ -296,13 +300,19 @@ def run_trace(
             if pending[0] == 0:
                 done.set()
 
-    def on_done(index: int, record: Dict[str, object], inputs: np.ndarray, submitted: float, future) -> None:
+    def on_done(index: int, record: Dict[str, object], inputs: np.ndarray, submitted: float, trace_id: str, future) -> None:
         latency = time.monotonic() - submitted
         error = future.exception()
         if error is not None:
             finish(
                 index,
-                TraceOutcome(record, _classify(error), latency_s=latency, error=str(error)),
+                TraceOutcome(
+                    record,
+                    _classify(error),
+                    latency_s=latency,
+                    error=str(error),
+                    trace_id=trace_id,
+                ),
             )
             return
         bitwise_ok: Optional[bool] = None
@@ -314,7 +324,13 @@ def run_trace(
             )
         finish(
             index,
-            TraceOutcome(record, "completed", latency_s=latency, bitwise_ok=bitwise_ok),
+            TraceOutcome(
+                record,
+                "completed",
+                latency_s=latency,
+                bitwise_ok=bitwise_ok,
+                trace_id=trace_id,
+            ),
         )
 
     for index, record in enumerate(trace):
@@ -323,6 +339,10 @@ def run_trace(
         if delay > 0:
             time.sleep(delay)
         inputs = record_inputs(record, sample_shape)
+        # A deterministic, record-derived trace id joins each outcome to the
+        # server-side span it produced (the chaos bench's span-completeness
+        # contract) — no guessing from timestamps.
+        trace_id = f"trace-{record.get('id', index)}"
         submitted = time.monotonic()
         try:
             future = cluster.submit(
@@ -331,18 +351,27 @@ def run_trace(
                 block=False,
                 deadline_s=record.get("deadline_s"),
                 priority=int(record.get("priority", 0)),
+                trace_id=trace_id,
             )
         except Exception as error:  # noqa: BLE001 - classified, never dropped
-            finish(index, TraceOutcome(record, _classify(error), error=str(error)))
+            finish(
+                index,
+                TraceOutcome(record, _classify(error), error=str(error), trace_id=trace_id),
+            )
             continue
         future.add_done_callback(
-            lambda fut, i=index, r=record, x=inputs, s=submitted: on_done(i, r, x, s, fut)
+            lambda fut, i=index, r=record, x=inputs, s=submitted, t=trace_id: on_done(
+                i, r, x, s, t, fut
+            )
         )
     done.wait(timeout=result_timeout_s)
     for index, record in enumerate(trace):
         if outcomes[index] is None:
             outcomes[index] = TraceOutcome(
-                record, "failed", error="no outcome within result_timeout_s"
+                record,
+                "failed",
+                error="no outcome within result_timeout_s",
+                trace_id=f"trace-{record.get('id', index)}",
             )
     return [outcome for outcome in outcomes if outcome is not None]
 

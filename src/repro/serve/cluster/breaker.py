@@ -63,10 +63,15 @@ class CircuitBreaker:
         policy: Optional[BreakerPolicy] = None,
         clock: Callable[[], float] = time.monotonic,
         on_open: Optional[Callable[[], None]] = None,
+        on_transition: Optional[Callable[[str, str, float], None]] = None,
     ) -> None:
         self.policy = policy if policy is not None else BreakerPolicy()
         self._clock = clock
         self._on_open = on_open
+        #: Called with ``(from_state, to_state, now)`` after *every*
+        #: transition (OPEN, HALF_OPEN, CLOSED alike) — the event-log hook.
+        #: Like on_open, it is invoked outside the breaker's lock.
+        self.on_transition = on_transition
         self._lock = threading.Lock()
         self._state = self.CLOSED
         self._failure_streak = 0
@@ -76,32 +81,52 @@ class CircuitBreaker:
     # ------------------------------------------------------------------ #
     # state machine
     # ------------------------------------------------------------------ #
-    def _transition(self, state: str, now: float) -> None:
-        self._transitions.append({"from": self._state, "to": state, "time": now})
+    def _transition(self, state: str, now: float) -> Dict[str, object]:
+        record = {"from": self._state, "to": state, "time": now}
+        self._transitions.append(record)
         self._state = state
+        return record
+
+    def _notify(self, record: Optional[Dict[str, object]]) -> None:
+        """Fire on_transition for a record collected under the lock.
+
+        Must be called *after* the lock is released: the callback may take
+        other locks (the event log's), and lock-ordering bugs between a
+        breaker and its observers are exactly the kind of deadlock a
+        telemetry hook must never introduce.
+        """
+        if record is not None and self.on_transition is not None:
+            self.on_transition(str(record["from"]), str(record["to"]), float(record["time"]))
 
     def allow(self, now: Optional[float] = None) -> bool:
         """May fresh traffic route here?  OPEN→HALF_OPEN happens in here."""
         now = self._clock() if now is None else now
+        fired = None
         with self._lock:
             if self._state == self.OPEN:
                 if (
                     self._opened_at is not None
                     and now - self._opened_at >= self.policy.open_for_s
                 ):
-                    self._transition(self.HALF_OPEN, now)
-                    return True
-                return False
-            return True
+                    fired = self._transition(self.HALF_OPEN, now)
+                    allowed = True
+                else:
+                    allowed = False
+            else:
+                allowed = True
+        self._notify(fired)
+        return allowed
 
     def record_success(self, now: Optional[float] = None) -> None:
         """A request completed: reset the streak; a HALF_OPEN probe closes."""
         now = self._clock() if now is None else now
+        fired = None
         with self._lock:
             self._failure_streak = 0
             if self._state == self.HALF_OPEN:
-                self._transition(self.CLOSED, now)
+                fired = self._transition(self.CLOSED, now)
                 self._opened_at = None
+        self._notify(fired)
 
     def record_failure(self, now: Optional[float] = None) -> bool:
         """A request crashed/timed out; returns True when this trip OPENed.
@@ -112,18 +137,20 @@ class CircuitBreaker:
         """
         now = self._clock() if now is None else now
         opened = False
+        fired = None
         with self._lock:
             self._failure_streak += 1
             if self._state == self.HALF_OPEN or (
                 self._state == self.CLOSED
                 and self._failure_streak >= self.policy.failure_threshold
             ):
-                self._transition(self.OPEN, now)
+                fired = self._transition(self.OPEN, now)
                 self._opened_at = now
                 self._failure_streak = 0
                 opened = True
         if opened and self._on_open is not None:
             self._on_open()
+        self._notify(fired)
         return opened
 
     # ------------------------------------------------------------------ #

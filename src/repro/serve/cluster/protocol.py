@@ -6,15 +6,20 @@ a sequence of **frames** with this layout (all integers big-endian)::
 
     offset  size  field
     0       2     magic          b"RQ"
-    2       1     version        PROTOCOL_VERSION (=1)
+    2       1     version        PROTOCOL_VERSION (=2; 1 still decodes)
     3       1     kind           FrameKind (HELLO, REQUEST, RESPONSE, ...)
     4       8     request_id     u64 correlation id (0 for control frames)
     12      4     payload_len    u32 byte length of the payload
     16      ...   payload        kind-specific bytes
 
-A reader that sees a wrong magic or version fails loudly with
+A reader that sees a wrong magic or an unknown version fails loudly with
 :class:`ProtocolError` — silently misparsing a stream is the one thing a
-binary protocol must never do.  ``payload_len`` is bounded by
+binary protocol must never do.  Versions from :data:`MIN_PROTOCOL_VERSION`
+up to :data:`PROTOCOL_VERSION` are accepted: version 2 added an *optional,
+trailing* trace block to REQUEST/RESPONSE payloads, and a version-1 payload
+(which simply ends where the ndarray does) still decodes byte-for-byte
+identically — the trace block's absence is detected by payload length, not
+by version sniffing.  ``payload_len`` is bounded by
 :data:`MAX_PAYLOAD_BYTES` so a corrupt header cannot make a reader allocate
 gigabytes.
 
@@ -26,9 +31,15 @@ Payload encodings (no pickle anywhere on the hot path):
       u8   ndim        | ndim * u32       shape dims
       ...  raw C-contiguous array bytes
 
-* **REQUEST** — ``u16 name_len | name utf-8 | ndarray`` (the model/variant
-  name routes the request at the TCP frontend; workers serve exactly one
-  variant and validate it).
+* **REQUEST** — ``u16 name_len | name utf-8 | ndarray | [trace block]``
+  (the model/variant name routes the request at the TCP frontend; workers
+  serve exactly one variant and validate it).
+* **trace block** (optional, version 2) — ``u32 json_len | json utf-8``
+  appended after the ndarray in REQUEST and RESPONSE payloads.  Carries the
+  batch's trace ids on the way in and the worker's measured execute time on
+  the way out, so spans attribute wire transit vs. engine time exactly.
+  Decoders that predate it (or ignore it, like the external
+  ``ClusterClient``) stop at the ndarray's end and are unaffected.
 * **ERROR** — ``u16 code_len | code utf-8 | u32 message_len | message utf-8``;
   ``code`` is a stable identifier from :data:`ERROR_CODES` so the receiving
   side re-raises the *typed* exception (:class:`ServerOverloaded` stays
@@ -44,7 +55,7 @@ import json
 import struct
 from dataclasses import dataclass
 from enum import IntEnum
-from typing import Callable, Dict, Tuple, Type
+from typing import Callable, Dict, Optional, Tuple, Type
 
 import numpy as np
 
@@ -52,6 +63,7 @@ from ..frontend.queuing import DeadlineExceeded, ServerClosed, ServerOverloaded
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "MIN_PROTOCOL_VERSION",
     "MAGIC",
     "MAX_PAYLOAD_BYTES",
     "HEADER",
@@ -66,6 +78,9 @@ __all__ = [
     "decode_ndarray",
     "encode_request",
     "decode_request",
+    "decode_request_traced",
+    "encode_response",
+    "decode_response",
     "encode_error",
     "decode_error",
     "error_code_for",
@@ -75,7 +90,11 @@ __all__ = [
 ]
 
 MAGIC = b"RQ"
-PROTOCOL_VERSION = 1
+#: Version 2 added the optional trailing trace block on REQUEST/RESPONSE.
+PROTOCOL_VERSION = 2
+#: Oldest version this build still decodes (version-1 frames carry no trace
+#: block; their payload layout is otherwise identical).
+MIN_PROTOCOL_VERSION = 1
 
 #: Hard bound on one frame's payload: a corrupted length prefix must not turn
 #: into an unbounded allocation.  256 MiB covers any realistic logits batch.
@@ -144,10 +163,11 @@ def decode_header(header: bytes) -> Tuple[FrameKind, int, int]:
     magic, version, kind_value, request_id, payload_len = HEADER.unpack(header)
     if magic != MAGIC:
         raise ProtocolError(f"bad frame magic {magic!r} (expected {MAGIC!r})")
-    if version != PROTOCOL_VERSION:
+    if not MIN_PROTOCOL_VERSION <= version <= PROTOCOL_VERSION:
         raise ProtocolError(
             f"unsupported protocol version {version} (this build speaks "
-            f"{PROTOCOL_VERSION}); refusing to guess at the frame layout"
+            f"{MIN_PROTOCOL_VERSION}..{PROTOCOL_VERSION}); refusing to guess "
+            f"at the frame layout"
         )
     try:
         kind = FrameKind(kind_value)
@@ -218,23 +238,88 @@ def decode_ndarray(payload: bytes, offset: int = 0) -> Tuple[np.ndarray, int]:
 
 
 # --------------------------------------------------------------------------- #
+# the optional trailing trace block (protocol version 2)
+# --------------------------------------------------------------------------- #
+def _encode_trace_block(trace: Optional[dict]) -> bytes:
+    """``u32 json_len | json utf-8``, or no bytes at all when ``trace`` is None.
+
+    Emitting *nothing* for the no-trace case keeps untraced version-2
+    frames byte-identical to version-1 frames — backward compatibility by
+    construction rather than by a flag.
+    """
+    if trace is None:
+        return b""
+    encoded = json.dumps(trace, separators=(",", ":")).encode("utf-8")
+    return struct.pack("!I", len(encoded)) + encoded
+
+
+def _decode_trace_block(payload: bytes, offset: int) -> Optional[dict]:
+    """Decode the trace block at ``offset``; ``None`` if the payload ends there."""
+    if offset >= len(payload):
+        return None  # version-1 frame, or an untraced version-2 frame
+    try:
+        (json_len,) = struct.unpack_from("!I", payload, offset)
+        offset += 4
+        if offset + json_len > len(payload):
+            raise ProtocolError(
+                f"trace block truncated: announces {json_len} bytes at offset "
+                f"{offset}, payload has {len(payload) - offset}"
+            )
+        trace = json.loads(payload[offset : offset + json_len].decode("utf-8"))
+    except (struct.error, ValueError, UnicodeDecodeError) as error:
+        raise ProtocolError(f"malformed trace block: {error}") from error
+    if not isinstance(trace, dict):
+        raise ProtocolError(f"trace block must be a JSON object, got {type(trace).__name__}")
+    return trace
+
+
+# --------------------------------------------------------------------------- #
 # request payloads
 # --------------------------------------------------------------------------- #
-def encode_request(name: str, array: np.ndarray) -> bytes:
+def encode_request(name: str, array: np.ndarray, trace: Optional[dict] = None) -> bytes:
     encoded_name = name.encode("utf-8")
     if len(encoded_name) > 0xFFFF:
         raise ProtocolError(f"model name too long: {len(encoded_name)} bytes")
-    return struct.pack("!H", len(encoded_name)) + encoded_name + encode_ndarray(array)
+    return (
+        struct.pack("!H", len(encoded_name))
+        + encoded_name
+        + encode_ndarray(array)
+        + _encode_trace_block(trace)
+    )
 
 
 def decode_request(payload: bytes) -> Tuple[str, np.ndarray]:
+    """Decode a REQUEST payload, ignoring any trailing trace block."""
+    name, array, _ = decode_request_traced(payload)
+    return name, array
+
+
+def decode_request_traced(payload: bytes) -> Tuple[str, np.ndarray, Optional[dict]]:
+    """Decode a REQUEST payload including its optional trace block.
+
+    Version-1 payloads (no trace block) decode with ``trace=None``.
+    """
     try:
         (name_len,) = struct.unpack_from("!H", payload, 0)
         name = payload[2 : 2 + name_len].decode("utf-8")
     except (struct.error, UnicodeDecodeError) as error:
         raise ProtocolError(f"malformed request payload: {error}") from error
-    array, _ = decode_ndarray(payload, 2 + name_len)
-    return name, array
+    array, next_offset = decode_ndarray(payload, 2 + name_len)
+    return name, array, _decode_trace_block(payload, next_offset)
+
+
+# --------------------------------------------------------------------------- #
+# response payloads
+# --------------------------------------------------------------------------- #
+def encode_response(array: np.ndarray, trace: Optional[dict] = None) -> bytes:
+    """A RESPONSE payload: logits ndarray plus the optional trace block."""
+    return encode_ndarray(array) + _encode_trace_block(trace)
+
+
+def decode_response(payload: bytes) -> Tuple[np.ndarray, Optional[dict]]:
+    """Decode a RESPONSE payload including its optional trace block."""
+    array, next_offset = decode_ndarray(payload, 0)
+    return array, _decode_trace_block(payload, next_offset)
 
 
 # --------------------------------------------------------------------------- #

@@ -49,6 +49,7 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from ...backend import get_backend
+from ...obs import EventLog, SpanRecorder, TraceContext
 from ..frontend.batcher import DynamicBatcher
 from ..frontend.metrics import ServerMetrics
 from ..frontend.queuing import (
@@ -63,7 +64,7 @@ from .protocol import (
     FrameKind,
     ProtocolError,
     WorkerCrashed,
-    decode_ndarray,
+    decode_response,
     encode_request,
     exception_from_error,
 )
@@ -204,6 +205,15 @@ class ClusterServer:
     on_batch:
         Test/telemetry hook called with ``(variant_name, requests)`` after
         each served micro-batch.
+    trace:
+        When true (the default), every request carries a
+        :class:`~repro.obs.TraceContext` across the whole path — queue,
+        batcher, *wire* (the trace block added in protocol version 2), the
+        worker's engine call — and its finished span lands in :attr:`spans`.
+        The worker reports its own execute time, so the span separates wire
+        transit from engine work.
+    span_capacity:
+        How many finished spans the bounded ring retains.
     """
 
     _POLL_SECONDS = 0.05
@@ -223,6 +233,8 @@ class ClusterServer:
         max_request_retries: int = 0,
         breaker_policy: Optional[BreakerPolicy] = None,
         on_batch: Optional[BatchObserver] = None,
+        trace: bool = True,
+        span_capacity: int = 4096,
     ) -> None:
         if max_batch_size <= 0:
             raise ValueError(f"max_batch_size must be positive, got {max_batch_size}")
@@ -247,6 +259,9 @@ class ClusterServer:
         #: right before each micro-batch hits the wire.  None in production.
         self.fault_injector = None
         self._on_batch = on_batch
+        self.trace_enabled = bool(trace)
+        self.spans = SpanRecorder(span_capacity)
+        self.events = EventLog()
         self._variants: "OrderedDict[str, _Variant]" = OrderedDict()
         self._lock = threading.Lock()
         self._started = False
@@ -395,6 +410,7 @@ class ClusterServer:
         timeout: Optional[float] = None,
         deadline_s: Optional[float] = None,
         priority: int = 0,
+        trace_id: Optional[str] = None,
     ) -> "Future[np.ndarray]":
         """Enqueue one request on the least-loaded shard of ``name``.
 
@@ -406,6 +422,9 @@ class ClusterServer:
         :class:`~repro.serve.frontend.queuing.DeadlineExceeded`.
         ``priority`` feeds load shedding — when the picked shard's queue is
         full, a queued lower-priority request is shed to admit this one.
+        ``trace_id`` names the request's trace span (auto-generated when
+        tracing is on and none is given); look it up afterwards with
+        ``cluster.spans.find(trace_id)``.
         """
         if self._closed:
             raise ServerClosed("the cluster is stopped")
@@ -443,6 +462,7 @@ class ClusterServer:
                 request_id=shard.next_request_id(),
                 deadline=None if deadline_s is None else now + deadline_s,
                 priority=int(priority),
+                trace=TraceContext(trace_id, started=now) if self.trace_enabled else None,
             )
             shard.note_admitted()
             try:
@@ -471,8 +491,14 @@ class ClusterServer:
             shard.metrics.record_admitted(shard.queue.depth)
             return request.future
 
-    def predict(self, name: str, inputs, timeout: Optional[float] = None) -> np.ndarray:
-        return self.submit(name, inputs).result(timeout)
+    def predict(
+        self,
+        name: str,
+        inputs,
+        timeout: Optional[float] = None,
+        trace_id: Optional[str] = None,
+    ) -> np.ndarray:
+        return self.submit(name, inputs, trace_id=trace_id).result(timeout)
 
     def predict_classes(self, name: str, inputs, timeout: Optional[float] = None) -> np.ndarray:
         return self.predict(name, inputs, timeout=timeout).argmax(axis=-1)
@@ -542,6 +568,18 @@ class ClusterServer:
         batcher.on_expired = lambda request, shard=shard: self._expire_request(
             shard, request
         )
+        # Breaker OPEN/HALF_OPEN/CLOSED transitions become structured events
+        # (the OPEN counter alone cannot say which shard darkened, or when
+        # it recovered).
+        shard.breaker.on_transition = (
+            lambda old, new, now, shard=shard: self.events.emit(
+                "breaker_transition",
+                variant=shard.variant.name,
+                shard=shard.name,
+                from_state=old,
+                to_state=new,
+            )
+        )
         shard.handle = spawn_worker(
             variant.options,
             start_method=self.start_method,
@@ -605,6 +643,7 @@ class ClusterServer:
                 "time": time.time(),
             }
         )
+        self.events.emit(kind, variant=name, from_shards=current, to_shards=target)
 
     @property
     def scaling_events(self) -> List[Dict[str, object]]:
@@ -668,8 +707,19 @@ class ClusterServer:
             injector = self.fault_injector
             if injector is not None:
                 injector.before_dispatch(self, variant.name, shard.name)
+            wire_start = time.monotonic()
+            traced = [r for r in requests if r.trace is not None]
+            for request in traced:
+                # queue_wait ended at the batcher's pop; pop -> wire send is
+                # batch formation (stacking, grouping, fault hooks).
+                request.trace.advance("queue_wait", request.dequeue_time or formed)
+                request.trace.advance("batch", wire_start)
             try:
-                logits = self._roundtrip(shard, stacked)
+                logits, worker_trace = self._roundtrip(
+                    shard,
+                    stacked,
+                    trace_ids=[r.trace.trace_id for r in traced] if traced else None,
+                )
             except (ChannelClosed, ProtocolError, TimeoutError) as error:
                 # The worker's wire is gone: everything we popped for this
                 # batch is in flight from the router's perspective.  Requests
@@ -683,6 +733,11 @@ class ClusterServer:
                 )
                 remaining = [r for grp in list(groups.values())[group_index:] for r in grp]
                 for request in remaining:
+                    if request.trace is not None:
+                        # Attribute the doomed attempt (send -> crash
+                        # detection) to the wire, so a retried request's
+                        # span still tiles its whole life.
+                        request.trace.advance("wire")
                     if not self._redispatch(variant, shard, request):
                         self._fail_request(shard, request, crash)
                 if not self._restart_worker(variant, shard):
@@ -693,6 +748,19 @@ class ClusterServer:
                     self._fail_request(shard, request, error)
                 continue
             done = time.monotonic()
+            if traced:
+                # Split the observed round trip into the worker's own engine
+                # time (measured in-process, echoed in the reply's trace
+                # block) and everything else: serialization, socket transit,
+                # and worker-side queuing — the wire.
+                wire_total = max(done - wire_start, 0.0)
+                execute_s = 0.0
+                if worker_trace is not None:
+                    execute_s = min(max(float(worker_trace.get("execute_s", 0.0)), 0.0), wire_total)
+                for request in traced:
+                    request.trace.stage("wire", wire_total - execute_s)
+                    request.trace.stage("execute", execute_s)
+                    request.trace.cursor = done
             shard.breaker.record_success(done)
             shard.metrics.record_batch(int(stacked.shape[0]), done - formed)
             shard.metrics.record_served_path(
@@ -719,21 +787,37 @@ class ClusterServer:
                     wait_seconds=formed - request.enqueue_time,
                     samples=request.num_samples,
                 )
+                self._record_span(shard, request, "completed", finished=done)
                 shard.note_done()
             if self._on_batch is not None:
                 self._on_batch(variant.name, requests)
 
-    def _roundtrip(self, shard: _Shard, stacked: np.ndarray) -> np.ndarray:
+    def _roundtrip(
+        self,
+        shard: _Shard,
+        stacked: np.ndarray,
+        trace_ids: Optional[List[str]] = None,
+    ) -> "tuple[np.ndarray, Optional[dict]]":
         """One REQUEST/RESPONSE exchange; raises the typed worker error.
 
         Only the shard's dispatcher thread ever touches the wire, so the
         exchange needs no locking — request ids still correlate replies in
         case a stale frame (e.g. from a boot-time exchange) lingers.
+
+        ``trace_ids`` (when tracing) ride in the version-2 trace block; the
+        worker echoes them back with its measured ``execute_s``, returned
+        here as the second element (``None`` for untraced exchanges).
         """
         request_id = shard.next_request_id()
         channel = shard.handle.channel
         channel.send(
-            FrameKind.REQUEST, request_id, encode_request(shard.variant.name, stacked)
+            FrameKind.REQUEST,
+            request_id,
+            encode_request(
+                shard.variant.name,
+                stacked,
+                trace={"trace_ids": trace_ids} if trace_ids else None,
+            ),
         )
         deadline = time.monotonic() + self.request_timeout_s
         while True:
@@ -748,13 +832,13 @@ class ClusterServer:
             if frame.request_id != request_id:
                 continue  # stale reply from an abandoned exchange
             if frame.kind == FrameKind.RESPONSE:
-                logits, _ = decode_ndarray(frame.payload)
-                return logits
+                return decode_response(frame.payload)
             if frame.kind == FrameKind.ERROR:
                 raise exception_from_error(frame.payload)
 
     def _restart_worker(self, variant: _Variant, shard: _Shard) -> bool:
         """Respawn a dead shard worker in place; False when the shard is failed."""
+        dead_pid = shard.handle.pid if shard.handle is not None else None
         if shard.handle is not None:
             shard.handle.kill()
         if self._closed:
@@ -772,6 +856,14 @@ class ClusterServer:
         except (WorkerBootError, OSError) as error:
             self._fail_shard(variant, shard, reason=str(error))
             return False
+        self.events.emit(
+            "worker_restart",
+            variant=variant.name,
+            shard=shard.name,
+            restarts=shard.restarts,
+            dead_pid=dead_pid,
+            new_pid=shard.handle.pid,
+        )
         return True
 
     def _fail_shard(self, variant: _Variant, shard: _Shard, reason: str = "") -> None:
@@ -782,11 +874,36 @@ class ClusterServer:
         error = WorkerCrashed(
             f"shard {shard.name} failed after {shard.restarts - 1} restarts{detail}"
         )
+        self.events.emit(
+            "shard_failed",
+            variant=variant.name,
+            shard=shard.name,
+            restarts=shard.restarts,
+            reason=reason,
+        )
         for request in shard.queue.drain_remaining():
             self._fail_request(shard, request, error)
         with variant.lock:
             if shard in variant.shards:
                 variant.shards.remove(shard)
+
+    def _record_span(
+        self, shard: _Shard, request: Request, status: str, finished: Optional[float] = None
+    ) -> None:
+        if request.trace is None:
+            return
+        request.trace.finish(finished)
+        self.spans.record(
+            request.trace.to_span(
+                status=status,
+                variant=shard.variant.name,
+                shard=shard.index,
+                request_id=request.request_id,
+                samples=request.num_samples,
+                priority=request.priority,
+                attempts=request.attempts,
+            )
+        )
 
     def _fail_request(self, shard: _Shard, request: Request, error: BaseException) -> None:
         if not request.future.cancelled():
@@ -795,6 +912,7 @@ class ClusterServer:
             except InvalidStateError:
                 pass
         shard.metrics.record_failed()
+        self._record_span(shard, request, "failed")
         shard.note_done()
 
     def _expire_request(self, shard: _Shard, request: Request) -> None:
@@ -808,6 +926,14 @@ class ClusterServer:
             except InvalidStateError:
                 pass
         shard.metrics.record_expired()
+        self.events.emit(
+            "request_expired",
+            variant=shard.variant.name,
+            shard=shard.name,
+            request_id=request.request_id,
+            priority=request.priority,
+        )
+        self._record_span(shard, request, "expired")
         shard.note_done()
 
     def _shed_request(self, shard: _Shard, request: Request) -> None:
@@ -822,6 +948,14 @@ class ClusterServer:
             except InvalidStateError:
                 pass
         shard.metrics.record_shed()
+        self.events.emit(
+            "request_shed",
+            variant=shard.variant.name,
+            shard=shard.name,
+            request_id=request.request_id,
+            priority=request.priority,
+        )
+        self._record_span(shard, request, "shed")
         shard.note_done()
 
     def _redispatch(self, variant: _Variant, shard: _Shard, request: Request) -> bool:
@@ -849,6 +983,14 @@ class ClusterServer:
         shard.note_done()
         target.queue.put_front(request)  # exempt from depth/closed: already admitted
         target.metrics.record_retried()
+        self.events.emit(
+            "request_retried",
+            variant=variant.name,
+            from_shard=shard.name,
+            to_shard=target.name,
+            request_id=request.request_id,
+            attempt=request.attempts,
+        )
         return True
 
     # ------------------------------------------------------------------ #
@@ -887,6 +1029,27 @@ class ClusterServer:
     # ------------------------------------------------------------------ #
     # telemetry
     # ------------------------------------------------------------------ #
+    def telemetry_targets(self) -> List[Dict[str, object]]:
+        """Label/metrics pairs for the Prometheus exporter: one per shard.
+
+        Each target is ``{"labels": {"variant": ..., "shard": index},
+        "metrics": the shard's live ServerMetrics, "queue_depth": current
+        depth}`` — the contract :func:`repro.obs.collect_families`
+        consumes.  Per-shard (not merged) series keep counters monotonic
+        across scrapes and let dashboards aggregate however they like.
+        """
+        targets: List[Dict[str, object]] = []
+        for variant in self._variant_list():
+            for shard in variant.all_shards():
+                targets.append(
+                    {
+                        "labels": {"variant": variant.name, "shard": str(shard.index)},
+                        "metrics": shard.metrics,
+                        "queue_depth": shard.queue.depth,
+                    }
+                )
+        return targets
+
     def metrics(self, name: Optional[str] = None) -> Dict[str, object]:
         """Aggregated cluster telemetry: per-shard, per-variant, and totals.
 

@@ -307,10 +307,20 @@ class TcpFrontend:
             return
         request_id = frame.request_id
         try:
-            from .protocol import decode_request
+            from .protocol import decode_request_traced
 
-            name, array = decode_request(frame.payload)
-            future = self.cluster.submit(name, array, block=False)
+            name, array, trace = decode_request_traced(frame.payload)
+            # An external client may name its own trace (version-2 trace
+            # block with a "trace_id"); the span then lands in the cluster's
+            # ring under the client's id, joining client-side and
+            # cluster-side telemetry.
+            trace_id = trace.get("trace_id") if isinstance(trace, dict) else None
+            future = self.cluster.submit(
+                name,
+                array,
+                block=False,
+                trace_id=trace_id if isinstance(trace_id, str) else None,
+            )
         except Exception as error:  # noqa: BLE001 - typed over the wire
             self._safe_send(channel, FrameKind.ERROR, request_id, _error_payload(error))
             return

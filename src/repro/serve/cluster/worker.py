@@ -41,10 +41,10 @@ from .protocol import (
     FrameKind,
     ProtocolError,
     decode_json,
-    decode_request,
+    decode_request_traced,
     encode_error,
     encode_json,
-    encode_ndarray,
+    encode_response,
     exception_from_error,
 )
 from .transport import ChannelClosed, FrameChannel, worker_socketpair
@@ -153,7 +153,7 @@ def _serve_forever(channel: FrameChannel, engine, options: WorkerOptions) -> Non
             continue
         if frame.kind == FrameKind.REQUEST:
             try:
-                name, array = decode_request(frame.payload)
+                name, array, trace = decode_request_traced(frame.payload)
                 if name and options.variant and name != options.variant:
                     raise KeyError(
                         f"this worker serves variant {options.variant!r}, "
@@ -161,12 +161,29 @@ def _serve_forever(channel: FrameChannel, engine, options: WorkerOptions) -> Non
                     )
                 if chaos_latency_s > 0:
                     time.sleep(chaos_latency_s)
+                execute_start = time.perf_counter()
                 logits = engine.predict_logits(array)
+                execute_s = time.perf_counter() - execute_start
             except Exception as error:  # noqa: BLE001 - per-request, typed
                 channel.send(FrameKind.ERROR, frame.request_id, encode_error(error))
             else:
                 served += 1
-                channel.send(FrameKind.RESPONSE, frame.request_id, encode_ndarray(logits))
+                # Echo the trace block with the measured engine time, so the
+                # router can split its observed round trip into wire transit
+                # vs. worker execute.  Untraced requests get an untraced
+                # (version-1-shaped) reply.
+                reply_trace = None
+                if trace is not None:
+                    reply_trace = {
+                        "trace_ids": trace.get("trace_ids", []),
+                        "execute_s": execute_s,
+                        "pid": os.getpid(),
+                    }
+                channel.send(
+                    FrameKind.RESPONSE,
+                    frame.request_id,
+                    encode_response(logits, reply_trace),
+                )
         elif frame.kind == FrameKind.PING:
             channel.send(FrameKind.PONG, frame.request_id)
         elif frame.kind == FrameKind.METRICS:

@@ -102,6 +102,12 @@ class InferenceEngine:
         # the model's structure does not change between predicts (and the
         # explicit refresh paths invalidate it when in doubt).
         self._token_sources: Optional[Tuple[tuple, tuple, tuple]] = None
+        # Per-plan-step profiling: off unless the operator exports
+        # REPRO_PLAN_PROFILE=1 (or calls enable_step_profiling).  Applied to
+        # the plan when it compiles; plan_report() then carries step_timings.
+        self._profile_steps = os.environ.get(
+            "REPRO_PLAN_PROFILE", ""
+        ).strip().lower() in ("1", "true", "yes", "on")
 
     # ------------------------------------------------------------------ #
     # plan lifecycle
@@ -123,6 +129,8 @@ class InferenceEngine:
             self._plan = InferencePlan.trace(
                 self.model, tuple(input_shape[1:]), mode=self.mode
             )
+            if self._profile_steps:
+                self._plan.enable_profiling()
         except PlanVerifyError as error:
             # The model traced fine but the compiled plan failed numerical
             # verification — that is a compiler problem, not an expected
@@ -161,6 +169,19 @@ class InferenceEngine:
             self._fallback_run = None
             self._fallback_token = None
             self._upgraded = True
+
+    def enable_step_profiling(self, enabled: bool = True) -> None:
+        """Turn per-plan-step timing on/off for this engine.
+
+        Takes effect immediately on an already-compiled plan and persists
+        across recompiles (``_ensure_plan`` re-applies it).  Equivalent to
+        booting with ``REPRO_PLAN_PROFILE=1``.  While enabled,
+        :meth:`plan_report` carries a ``step_timings`` list.
+        """
+        with self._lock:
+            self._profile_steps = bool(enabled)
+            if self._plan is not None:
+                self._plan.enable_profiling(enabled)
 
     def _warn_fallback_once(self, message: str) -> None:
         if self._fallback_warned:
@@ -401,6 +422,14 @@ class InferenceEngine:
                 None if plan_desc is None else plan_desc.get("steady_state_allocations")
             ),
             "plan": plan_desc,
+            # Per-step timings when profiling is on (None otherwise): one
+            # entry per plan step with kind, kernel route, calls, total/mean
+            # milliseconds and share of profiled time.
+            "step_timings": (
+                self._plan.step_timings()
+                if self._plan is not None and self._plan.profile
+                else None
+            ),
         }
 
     def __repr__(self) -> str:

@@ -89,6 +89,12 @@ class ServerMetrics:
         self._breaker_open = 0
         self._first_admit: Optional[float] = None
         self._last_done: Optional[float] = None
+        # Sample provenance: how many live recording parts this instance
+        # aggregates.  A directly-recording instance is 1 part; an aggregate
+        # built by merged() counts the parts folded in, so a consumer of a
+        # merged snapshot knows its bounded latency window is a fair slice
+        # over N shards rather than one shard's full window.
+        self._parts = 1
 
     # ------------------------------------------------------------------ #
     # recording (called from submit paths and worker threads)
@@ -228,6 +234,12 @@ class ServerMetrics:
         with self._lock:
             return self._breaker_open
 
+    @property
+    def parts(self) -> int:
+        """How many recording parts this instance aggregates (1 = direct)."""
+        with self._lock:
+            return self._parts
+
     def latency_percentile_ms(self, q: float) -> float:
         """One percentile of the end-to-end latency window, in milliseconds.
 
@@ -275,6 +287,7 @@ class ServerMetrics:
             self._latency.merge(other._latency)
             self._queue_wait.merge(other._queue_wait)
             self._service.merge(other._service)
+            self._parts += other._parts
             if other._first_admit is not None:
                 self._first_admit = (
                     other._first_admit
@@ -300,6 +313,9 @@ class ServerMetrics:
         if latency_window is None:
             latency_window = max((p.latency_window for p in parts), default=8192)
         total = cls(latency_window)
+        # The fresh aggregate records nothing itself — its parts count must
+        # be exactly the sum of the inputs', not one more.
+        total._parts = 0
         for part in parts:
             total.merge(part)
         return total
@@ -317,6 +333,30 @@ class ServerMetrics:
             "mean": round(summary["mean"] * 1e3, 3),
             "max": round(summary["max"] * 1e3, 3),
         }
+
+    def raw_summaries(self) -> Dict[str, Dict[str, float]]:
+        """Raw-seconds summaries of the three latency histograms.
+
+        One lock acquisition covers all three, so the Prometheus exporter
+        emits mutually consistent ``_count``/``_sum``/quantile lines.
+        ``count`` and ``sum`` are lifetime aggregates (monotonic across
+        scrapes); quantiles cover the bounded retained window.
+        """
+        with self._lock:
+            out: Dict[str, Dict[str, float]] = {}
+            for key, histogram in (
+                ("latency", self._latency),
+                ("queue_wait", self._queue_wait),
+                ("batch_service", self._service),
+            ):
+                out[key] = {
+                    "count": float(histogram.count),
+                    "sum": histogram._total,
+                    "q0.5": histogram.percentile(50.0),
+                    "q0.95": histogram.percentile(95.0),
+                    "q0.99": histogram.percentile(99.0),
+                }
+            return out
 
     def snapshot(self, queue_depth: Optional[int] = None) -> Dict[str, object]:
         """A JSON-serialisable view of everything recorded so far.
@@ -362,6 +402,7 @@ class ServerMetrics:
                 "batch_service_ms": self._ms_summary(self._service),
                 "throughput_rps": round(self._samples / elapsed, 3) if elapsed > 0 else 0.0,
                 "queue_depth_highwater": self._depth_highwater,
+                "parts": self._parts,
             }
             if queue_depth is not None:
                 snapshot["queue_depth"] = int(queue_depth)

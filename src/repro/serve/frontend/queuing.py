@@ -73,6 +73,11 @@ class Request:
     requests under load shedding (higher wins); ``attempts`` counts dispatch
     attempts, so a router that re-dispatches a request after a worker crash
     can bound its retries.
+
+    ``trace`` (a :class:`repro.obs.TraceContext`, when the owning server has
+    tracing on) accumulates per-stage durations; ``dequeue_time`` is stamped
+    by :meth:`RequestQueue.get` at the moment the batcher pops the request,
+    marking the end of its queue-wait stage.
     """
 
     inputs: np.ndarray
@@ -83,6 +88,8 @@ class Request:
     deadline: Optional[float] = None
     priority: int = 0
     attempts: int = 0
+    trace: Optional[object] = None
+    dequeue_time: Optional[float] = None
 
     @property
     def num_samples(self) -> int:
@@ -217,6 +224,9 @@ class RequestQueue:
                     self._not_empty.wait(remaining)
             request = self._items.popleft()
             self._not_full.notify()
+            # End of this request's queue wait (re-stamped if the batcher
+            # hands it back via put_front and pops it again later).
+            request.dequeue_time = time.monotonic()
             return request
 
     # ------------------------------------------------------------------ #

@@ -45,6 +45,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ...obs import EventLog, SpanRecorder, TraceContext
 from .batcher import DynamicBatcher
 from .metrics import ServerMetrics
 from .queuing import (
@@ -134,6 +135,14 @@ class ModelServer:
     on_batch:
         Optional observer called after each served micro-batch with
         ``(model_name, requests)`` — a telemetry/testing hook.
+    trace:
+        When true (the default), every request carries a
+        :class:`~repro.obs.TraceContext` and its finished span (queue-wait /
+        batch / execute stage durations) lands in :attr:`spans`, a bounded
+        ring.  The per-request cost is one small object and a few
+        ``time.monotonic()`` reads.
+    span_capacity:
+        How many finished spans the ring retains.
     """
 
     _POLL_SECONDS = 0.05
@@ -147,6 +156,8 @@ class ModelServer:
         max_queue_depth: int = 512,
         latency_window: int = 8192,
         on_batch: Optional[BatchObserver] = None,
+        trace: bool = True,
+        span_capacity: int = 2048,
     ) -> None:
         if max_batch_size <= 0:
             raise ValueError(f"max_batch_size must be positive, got {max_batch_size}")
@@ -158,6 +169,9 @@ class ModelServer:
         self.max_queue_depth = int(max_queue_depth)
         self.latency_window = int(latency_window)
         self._on_batch = on_batch
+        self.trace_enabled = bool(trace)
+        self.spans = SpanRecorder(span_capacity)
+        self.events = EventLog()
         self._lanes: "Dict[str, _Lane]" = {}
         self._model_locks: "Dict[int, threading.Lock]" = {}
         self._lock = threading.Lock()
@@ -324,6 +338,7 @@ class ModelServer:
         timeout: Optional[float] = None,
         deadline_s: Optional[float] = None,
         priority: int = 0,
+        trace_id: Optional[str] = None,
     ) -> "Future[np.ndarray]":
         """Enqueue one request; returns a future resolving to its logits.
 
@@ -341,6 +356,10 @@ class ModelServer:
         full queue, a strictly lower-priority queued request is shed (failed
         with :class:`ServerOverloaded`) to make room, instead of rejecting
         the higher-priority newcomer.
+
+        ``trace_id`` names the request's trace span (auto-generated when
+        tracing is on and none is given); look the finished span up with
+        ``server.spans.find(trace_id)``.
         """
         if self._closed:
             raise ServerClosed("the server is stopped")
@@ -375,6 +394,7 @@ class ModelServer:
             request_id=next(self._request_ids),
             deadline=None if deadline_s is None else now + deadline_s,
             priority=int(priority),
+            trace=TraceContext(trace_id, started=now) if self.trace_enabled else None,
         )
         lane.note_admitted()
         try:
@@ -403,9 +423,10 @@ class ModelServer:
         model_name: str,
         inputs,
         timeout: Optional[float] = None,
+        trace_id: Optional[str] = None,
     ) -> np.ndarray:
         """Synchronous :meth:`submit`: blocks until the logits are ready."""
-        return self.submit(model_name, inputs).result(timeout)
+        return self.submit(model_name, inputs, trace_id=trace_id).result(timeout)
 
     def predict_classes(
         self,
@@ -455,6 +476,13 @@ class ModelServer:
                 if len(requests) == 1
                 else np.concatenate([r.inputs for r in requests], axis=0)
             )
+            serve_start = time.monotonic()
+            for request in requests:
+                if request.trace is not None:
+                    # queue_wait ends at the batcher's pop; everything from
+                    # there to the engine call is batch formation.
+                    request.trace.advance("queue_wait", request.dequeue_time or formed)
+                    request.trace.advance("batch", serve_start)
             try:
                 with lane.model_lock:
                     logits = lane.engine.predict_logits(stacked)
@@ -463,6 +491,9 @@ class ModelServer:
                     self._fail_request(lane, request, error)
                 continue
             done = time.monotonic()
+            for request in requests:
+                if request.trace is not None:
+                    request.trace.advance("execute", done)
             lane.metrics.record_batch(int(stacked.shape[0]), done - formed)
             # Attribute the served requests to the engine path that ran them
             # (read after the call: the first predict is what traces the
@@ -489,9 +520,27 @@ class ModelServer:
                     wait_seconds=formed - request.enqueue_time,
                     samples=request.num_samples,
                 )
+                self._record_span(lane, request, "completed", finished=done)
                 lane.note_done()
             if self._on_batch is not None:
                 self._on_batch(lane.name, requests)
+
+    def _record_span(
+        self, lane: _Lane, request: Request, status: str, finished: Optional[float] = None
+    ) -> None:
+        if request.trace is None:
+            return
+        request.trace.finish(finished)
+        self.spans.record(
+            request.trace.to_span(
+                status=status,
+                model=lane.name,
+                request_id=request.request_id,
+                samples=request.num_samples,
+                priority=request.priority,
+                attempts=request.attempts,
+            )
+        )
 
     def _fail_request(self, lane: _Lane, request: Request, error: BaseException) -> None:
         if not request.future.cancelled():
@@ -500,6 +549,7 @@ class ModelServer:
             except InvalidStateError:
                 pass
         lane.metrics.record_failed()
+        self._record_span(lane, request, "failed")
         lane.note_done()
 
     def _expire_request(self, lane: _Lane, request: Request) -> None:
@@ -515,6 +565,11 @@ class ModelServer:
             except InvalidStateError:
                 pass
         lane.metrics.record_expired()
+        self.events.emit(
+            "request_expired", model=lane.name, request_id=request.request_id,
+            priority=request.priority,
+        )
+        self._record_span(lane, request, "expired")
         lane.note_done()
 
     def _shed_request(self, lane: _Lane, request: Request) -> None:
@@ -530,11 +585,34 @@ class ModelServer:
             except InvalidStateError:
                 pass
         lane.metrics.record_shed()
+        self.events.emit(
+            "request_shed", model=lane.name, request_id=request.request_id,
+            priority=request.priority,
+        )
+        self._record_span(lane, request, "shed")
         lane.note_done()
 
     # ------------------------------------------------------------------ #
     # telemetry
     # ------------------------------------------------------------------ #
+    def telemetry_targets(self) -> List[Dict[str, object]]:
+        """Label/metrics pairs for the Prometheus exporter: one per lane.
+
+        Each target is ``{"labels": {"model": name}, "metrics": the lane's
+        live ServerMetrics, "queue_depth": current depth}`` — the contract
+        :func:`repro.obs.collect_families` consumes.
+        """
+        with self._lock:
+            lanes = dict(self._lanes)
+        return [
+            {
+                "labels": {"model": name},
+                "metrics": lane.metrics,
+                "queue_depth": lane.queue.depth,
+            }
+            for name, lane in lanes.items()
+        ]
+
     def metrics(self, model_name: Optional[str] = None) -> Dict[str, object]:
         """Telemetry snapshot: one model's, or every model's plus totals."""
         if model_name is not None:

@@ -916,6 +916,14 @@ class InferencePlan:
         self._workspace: Optional[PlanWorkspace] = PlanWorkspace() if optimized else None
         for index, step in enumerate(self.steps):
             step.key = f"s{index}"
+        # Opt-in per-step profiling.  The flag gates run() into a mirror loop
+        # (_run_profiled) so the production path pays nothing — not even a
+        # branch per step.  Accumulators are index-aligned with self.steps;
+        # runs of one plan are serialised by the engine's lock, so plain
+        # floats suffice.
+        self.profile = False
+        self._profile_calls = [0] * len(self.steps)
+        self._profile_total_s = [0.0] * len(self.steps)
 
     @property
     def workspace(self) -> Optional[PlanWorkspace]:
@@ -1313,6 +1321,8 @@ class InferencePlan:
         must be in eval mode (the engine guarantees this; call
         ``model.eval()`` first when running a plan directly).
         """
+        if self.profile:
+            return self._run_profiled(x, workspace)
         backend = get_backend()
         ws = workspace if workspace is not None else self._workspace
         state: Dict[str, np.ndarray] = {}
@@ -1329,6 +1339,68 @@ class InferencePlan:
         # from the run_allocations counter by design — the logits must be
         # caller-owned by contract.
         return np.array(x)
+
+    def _run_profiled(
+        self, x: np.ndarray, workspace: Optional[PlanWorkspace] = None
+    ) -> np.ndarray:
+        """run() with a perf_counter around every step.
+
+        A separate mirror of the hot loop rather than an inline branch: the
+        unprofiled path must stay exactly as tight as before the profiler
+        existed.  Timings accumulate across runs until :meth:`reset_profile`.
+        """
+        import time as _time
+
+        backend = get_backend()
+        ws = workspace if workspace is not None else self._workspace
+        state: Dict[str, np.ndarray] = {}
+        calls = self._profile_calls
+        totals = self._profile_total_s
+        clock = _time.perf_counter
+        with no_grad():
+            if ws is not None:
+                ws.begin_run()
+            for index, step in enumerate(self.steps):
+                start = clock()
+                x = step.run(x, backend, state, ws)
+                totals[index] += clock() - start
+                calls[index] += 1
+        return np.array(x) if ws is not None else x
+
+    def enable_profiling(self, enabled: bool = True) -> None:
+        """Switch per-step timing on/off (off by default; see :meth:`step_timings`)."""
+        self.profile = bool(enabled)
+
+    def reset_profile(self) -> None:
+        """Zero the per-step accumulators."""
+        self._profile_calls = [0] * len(self.steps)
+        self._profile_total_s = [0.0] * len(self.steps)
+
+    def step_timings(self) -> List[Dict[str, object]]:
+        """Accumulated per-step timings, one entry per plan step in order.
+
+        Each entry carries the step's key/kind, the kernel route it is
+        currently serving (``None`` for route-less steps), how many profiled
+        runs touched it, total/mean milliseconds, and its share of the total
+        profiled time.  Empty accumulators yield zeros, not NaNs.
+        """
+        grand_total = sum(self._profile_total_s)
+        report: List[Dict[str, object]] = []
+        for index, step in enumerate(self.steps):
+            calls = self._profile_calls[index]
+            total_s = self._profile_total_s[index]
+            report.append(
+                {
+                    "key": step.key,
+                    "kind": type(step).__name__.lstrip("_"),
+                    "route": getattr(step, "route", None),
+                    "calls": calls,
+                    "total_ms": round(total_s * 1e3, 4),
+                    "mean_ms": round(total_s * 1e3 / calls, 4) if calls else 0.0,
+                    "share": round(total_s / grand_total, 4) if grand_total else 0.0,
+                }
+            )
+        return report
 
     def set_kernel_route(self, route: str) -> None:
         """Force every codebook-capable step onto ``"gemm"`` or ``"lut"``.

@@ -1,0 +1,37 @@
+"""EventLog: bounded structured lifecycle events with lifetime per-kind counts."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import EventLog
+
+
+class TestEventLog:
+    def test_emit_and_filter(self):
+        log = EventLog()
+        log.emit("worker_restart", shard="m[0]", dead_pid=101)
+        log.emit("request_shed", model="m")
+        log.emit("worker_restart", shard="m[1]", dead_pid=102)
+        assert log.emitted_total == 3
+        restarts = log.events(kind="worker_restart")
+        assert [e["shard"] for e in restarts] == ["m[0]", "m[1]"]
+        assert all("ts" in e for e in restarts)
+        assert log.counts() == {"worker_restart": 2, "request_shed": 1}
+
+    def test_bounded_ring_keeps_lifetime_counts(self):
+        log = EventLog(capacity=4)
+        for index in range(12):
+            log.emit("tick", n=index)
+        assert len(log.events()) == 4
+        assert [e["n"] for e in log.events()] == [8, 9, 10, 11]
+        # The ring is lossy; the per-kind counters are not.
+        assert log.counts()["tick"] == 12
+        assert log.emitted_total == 12
+
+    def test_export_json_parses(self):
+        log = EventLog()
+        log.emit("breaker_transition", from_state="closed", to_state="open")
+        parsed = json.loads(log.export_json())
+        assert parsed[0]["kind"] == "breaker_transition"
+        assert parsed[0]["to_state"] == "open"

@@ -1,0 +1,79 @@
+"""ServerMetrics merge provenance: parts counts and mixed-window merges."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.frontend.metrics import ServerMetrics
+
+
+def _record(metrics: ServerMetrics, completions: int, latency_s: float) -> None:
+    for _ in range(completions):
+        metrics.record_admitted(queue_depth=1)
+        metrics.record_completion(latency_s, wait_seconds=latency_s / 4, samples=1)
+
+
+class TestPartsProvenance:
+    def test_direct_instance_is_one_part(self):
+        assert ServerMetrics().parts == 1
+
+    def test_merge_adds_parts(self):
+        a, b = ServerMetrics(), ServerMetrics()
+        a.merge(b)
+        assert a.parts == 2
+
+    def test_merged_aggregate_counts_exactly_its_inputs(self):
+        shards = [ServerMetrics() for _ in range(3)]
+        total = ServerMetrics.merged(shards)
+        # Regression: the fresh aggregate used to count itself as a part,
+        # so a 3-shard merge reported 4 and double-merges were invisible.
+        assert total.parts == 3
+
+    def test_merged_of_merged_is_transitive(self):
+        variant_a = ServerMetrics.merged([ServerMetrics(), ServerMetrics()])
+        variant_b = ServerMetrics.merged([ServerMetrics() for _ in range(3)])
+        cluster = ServerMetrics.merged([variant_a, variant_b])
+        assert cluster.parts == 5
+
+    def test_parts_in_snapshot(self):
+        total = ServerMetrics.merged([ServerMetrics(), ServerMetrics()])
+        assert total.snapshot()["parts"] == 2
+
+    def test_empty_merge(self):
+        assert ServerMetrics.merged([]).parts == 0
+
+
+class TestMixedWindowMerge:
+    def test_different_latency_windows_preserve_lifetime_counts(self):
+        # Regression: merging a small-window shard into a large-window one
+        # must keep lifetime count/sum provenance for every part even when
+        # the small window has rotated samples out.
+        small = ServerMetrics(latency_window=4)
+        large = ServerMetrics(latency_window=64)
+        _record(small, 10, 0.010)  # 6 of 10 samples rotated out of the window
+        _record(large, 3, 0.100)
+
+        total = ServerMetrics.merged([small, large])
+        assert total.parts == 2
+        assert total.completed == 13
+        summary = total.raw_summaries()["latency"]
+        # Lifetime aggregates are exact, not window-limited.
+        assert summary["count"] == 13
+        assert summary["sum"] == pytest.approx(10 * 0.010 + 3 * 0.100)
+
+    def test_merged_window_defaults_to_widest_part(self):
+        small = ServerMetrics(latency_window=4)
+        large = ServerMetrics(latency_window=64)
+        assert ServerMetrics.merged([small, large]).latency_window == 64
+
+    def test_merge_is_symmetric_on_counts(self):
+        a1, b1 = ServerMetrics(latency_window=4), ServerMetrics(latency_window=32)
+        a2, b2 = ServerMetrics(latency_window=4), ServerMetrics(latency_window=32)
+        for part in (a1, a2):
+            _record(part, 5, 0.020)
+        for part in (b1, b2):
+            _record(part, 7, 0.050)
+        forward = ServerMetrics.merged([a1, b1]).raw_summaries()["latency"]
+        backward = ServerMetrics.merged([b2, a2]).raw_summaries()["latency"]
+        assert forward["count"] == backward["count"] == 12
+        assert forward["sum"] == pytest.approx(backward["sum"])

@@ -1,0 +1,145 @@
+"""Exposition rendering, the format linter, and the HTTP exporter."""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    CONTENT_TYPE,
+    MetricFamily,
+    MetricsExporter,
+    check_counters_monotonic,
+    collect_families,
+    lint_exposition,
+    parse_exposition,
+    render_exposition,
+    scrape,
+)
+from repro.serve import InferenceEngine, ModelServer
+from tests.serve.cluster_models import build_simple
+
+
+class TestRendering:
+    def test_basic_family(self):
+        family = MetricFamily("repro_widgets_total", "counter", "Widgets made.")
+        family.add(3, {"model": "m"})
+        text = render_exposition([family])
+        assert "# HELP repro_widgets_total Widgets made." in text
+        assert "# TYPE repro_widgets_total counter" in text
+        assert 'repro_widgets_total{model="m"} 3' in text
+
+    def test_label_values_escaped(self):
+        family = MetricFamily("repro_x_total", "counter", "X.")
+        family.add(1, {"model": 'a"b\\c\nd'})
+        text = render_exposition([family])
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+        assert not lint_exposition(text)
+
+    def test_invalid_metric_name_rejected(self):
+        with pytest.raises(ValueError, match="metric name"):
+            MetricFamily("bad-name", "counter", "nope")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="type"):
+            MetricFamily("repro_ok_total", "exotic", "nope")
+
+
+class TestLinter:
+    def test_clean_text_passes(self):
+        text = (
+            "# HELP repro_a_total A.\n"
+            "# TYPE repro_a_total counter\n"
+            'repro_a_total{x="1"} 5\n'
+        )
+        assert lint_exposition(text) == []
+
+    def test_missing_help_flagged(self):
+        text = "# TYPE repro_a_total counter\nrepro_a_total 1\n"
+        assert any("no # HELP" in p for p in lint_exposition(text))
+
+    def test_counter_without_total_suffix_flagged(self):
+        text = "# HELP repro_a A.\n# TYPE repro_a counter\nrepro_a 1\n"
+        assert any("_total" in p for p in lint_exposition(text))
+
+    def test_bad_metric_name_flagged(self):
+        text = "# HELP repro_a_total A.\n# TYPE repro_a_total counter\n1bad 1\n"
+        assert any("invalid metric name" in p or "unparseable" in p for p in lint_exposition(text))
+
+    def test_duplicate_series_flagged(self):
+        text = (
+            "# HELP repro_a_total A.\n# TYPE repro_a_total counter\n"
+            'repro_a_total{x="1"} 1\nrepro_a_total{x="1"} 2\n'
+        )
+        assert any("duplicate series" in p for p in lint_exposition(text))
+
+    def test_sample_without_header_flagged(self):
+        assert any("no # HELP" in p for p in lint_exposition("repro_orphan 1\n"))
+
+    def test_monotonicity_check(self):
+        before = "# HELP a_total A.\n# TYPE a_total counter\na_total 5\n"
+        after_ok = before.replace(" 5", " 9")
+        after_bad = before.replace(" 5", " 2")
+        assert check_counters_monotonic(before, after_ok) == []
+        assert any("backwards" in p for p in check_counters_monotonic(before, after_bad))
+
+    def test_parse_round_trip(self):
+        family = MetricFamily("repro_latency_seconds", "summary", "Latency.")
+        family.add(0.5, {"model": "m", "quantile": "0.5"})
+        family.add(10, {"model": "m"}, suffix="_count")
+        family.add(1.25, {"model": "m"}, suffix="_sum")
+        parsed = parse_exposition(render_exposition([family]))
+        samples = parsed["repro_latency_seconds"]["samples"]
+        assert samples[("repro_latency_seconds_count", (("model", "m"),))] == 10
+
+
+@pytest.fixture
+def server():
+    model = build_simple(seed=0)
+    engine = InferenceEngine(model, batch_size=16)
+    with ModelServer(max_batch_size=8, max_delay_ms=0.0) as ms:
+        ms.register("simple", engine=engine)
+        yield ms
+
+
+class TestModelServerExposition:
+    def test_collect_and_lint_live_server(self, server):
+        rng = np.random.default_rng(0)
+        for _ in range(4):
+            server.predict("simple", rng.standard_normal((3, 12, 12)).astype(np.float32))
+        text = render_exposition(collect_families(server))
+        assert lint_exposition(text) == []
+        assert 'repro_completed_total{model="simple"} 4' in text
+        assert "repro_spans_recorded_total 4" in text
+
+    def test_exporter_http_round_trip(self, server):
+        rng = np.random.default_rng(1)
+        with MetricsExporter(server) as exporter:
+            server.predict(
+                "simple",
+                rng.standard_normal((3, 12, 12)).astype(np.float32),
+                trace_id="http-t1",
+            )
+            first = scrape(exporter.url)
+            assert lint_exposition(first) == []
+            server.predict("simple", rng.standard_normal((3, 12, 12)).astype(np.float32))
+            second = scrape(exporter.url)
+            assert check_counters_monotonic(first, second) == []
+
+            base = exporter.url.replace("/metrics", "")
+            with urllib.request.urlopen(base + "/metrics", timeout=10) as response:
+                assert response.headers["Content-Type"] == CONTENT_TYPE
+            with urllib.request.urlopen(base + "/spans", timeout=10) as response:
+                spans = json.loads(response.read().decode("utf-8"))
+            assert any(span["trace_id"] == "http-t1" for span in spans)
+            with urllib.request.urlopen(base + "/healthz", timeout=10) as response:
+                assert response.read() == b"ok\n"
+            with pytest.raises(urllib.error.HTTPError):
+                urllib.request.urlopen(base + "/nope", timeout=10)
+
+    def test_exporter_requires_telemetry_source(self):
+        with pytest.raises(TypeError, match="telemetry_targets"):
+            MetricsExporter(object())

@@ -1,0 +1,88 @@
+"""TraceContext stage accounting and the bounded span ring."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import SPAN_STAGES, SpanRecorder, TraceContext, new_trace_id
+
+
+class TestTraceContext:
+    def test_new_trace_ids_are_unique_hex(self):
+        ids = {new_trace_id() for _ in range(256)}
+        assert len(ids) == 256
+        assert all(int(t, 16) >= 0 for t in ids)
+
+    def test_advance_tiles_the_timeline(self):
+        trace = TraceContext("t1", started=100.0)
+        assert trace.advance("queue_wait", now=100.25) == pytest.approx(0.25)
+        assert trace.advance("batch", now=100.40) == pytest.approx(0.15)
+        assert trace.advance("execute", now=101.0) == pytest.approx(0.60)
+        trace.finish(now=101.0)
+        # The cursor walk must tile [started, finished] with no gap/overlap.
+        assert trace.stage_total_s == pytest.approx(trace.elapsed_s)
+
+    def test_advance_accumulates_on_requeue(self):
+        # put_front re-queues pop twice: both waits land in queue_wait.
+        trace = TraceContext("t2", started=0.0)
+        trace.advance("queue_wait", now=1.0)
+        trace.advance("batch", now=1.5)
+        trace.advance("queue_wait", now=3.0)  # re-queued after a crash
+        assert trace.stages["queue_wait"] == pytest.approx(2.5)
+        assert trace.stages["batch"] == pytest.approx(0.5)
+
+    def test_negative_durations_clamp_to_zero(self):
+        trace = TraceContext("t3", started=10.0)
+        trace.stage("wire", -0.5)
+        assert trace.stages["wire"] == 0.0
+        trace.advance("batch", now=9.0)  # clock went backwards
+        assert trace.stages["batch"] == 0.0
+
+    def test_to_span_shape(self):
+        trace = TraceContext("t4", started=0.0)
+        for index, stage in enumerate(SPAN_STAGES):
+            trace.advance(stage, now=float(index + 1))
+        trace.finish(now=float(len(SPAN_STAGES)))
+        span = trace.to_span(status="completed", model="m", samples=2)
+        assert span["trace_id"] == "t4"
+        assert span["status"] == "completed"
+        assert span["model"] == "m"
+        assert span["samples"] == 2
+        assert set(span["stages_ms"]) == set(SPAN_STAGES)
+        assert span["total_ms"] == pytest.approx(span["e2e_ms"])
+        assert span["e2e_ms"] == pytest.approx(len(SPAN_STAGES) * 1e3)
+
+
+class TestSpanRecorder:
+    def _span(self, trace_id, status="completed"):
+        trace = TraceContext(trace_id, started=0.0)
+        trace.advance("execute", now=0.01)
+        trace.finish(now=0.01)
+        return trace.to_span(status=status)
+
+    def test_bounded_ring_drops_oldest_and_counts(self):
+        recorder = SpanRecorder(capacity=4)
+        for index in range(10):
+            recorder.record(self._span(f"t{index}"))
+        assert len(recorder) == 4
+        assert recorder.recorded_total == 10
+        assert recorder.dropped_total == 6
+        assert [s["trace_id"] for s in recorder.spans()] == ["t6", "t7", "t8", "t9"]
+
+    def test_filters_and_find(self):
+        recorder = SpanRecorder()
+        recorder.record(self._span("a", status="completed"))
+        recorder.record(self._span("b", status="expired"))
+        recorder.record(self._span("a", status="completed"))
+        assert len(recorder.spans(trace_id="a")) == 2
+        assert [s["trace_id"] for s in recorder.spans(status="expired")] == ["b"]
+        assert recorder.find("b")["status"] == "expired"
+        assert recorder.find("missing") is None
+
+    def test_export_json_parses(self):
+        recorder = SpanRecorder()
+        recorder.record(self._span("x"))
+        parsed = json.loads(recorder.export_json())
+        assert parsed[0]["trace_id"] == "x"

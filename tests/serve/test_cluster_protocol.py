@@ -16,6 +16,7 @@ from repro.serve.cluster.protocol import (
     HEADER,
     MAGIC,
     MAX_PAYLOAD_BYTES,
+    MIN_PROTOCOL_VERSION,
     PROTOCOL_VERSION,
     Frame,
     FrameKind,
@@ -25,10 +26,13 @@ from repro.serve.cluster.protocol import (
     decode_header,
     decode_ndarray,
     decode_request,
+    decode_request_traced,
+    decode_response,
     encode_error,
     encode_frame,
     encode_ndarray,
     encode_request,
+    encode_response,
     error_code_for,
     exception_from_error,
 )
@@ -118,6 +122,78 @@ class TestRequestPayload:
         name, decoded = decode_request(encode_request("", np.zeros(1, dtype=np.float32)))
         assert name == ""
         assert decoded.shape == (1,)
+
+
+class TestTracedFrames:
+    """Version-2 trace blocks: optional, backward compatible, loud when corrupt."""
+
+    def test_traced_request_round_trip(self):
+        array = np.random.default_rng(1).standard_normal((2, 3, 4)).astype(np.float32)
+        trace = {"trace_ids": ["a1", "b2"], "hop": 3}
+        name, decoded, got = decode_request_traced(encode_request("m", array, trace=trace))
+        assert name == "m"
+        np.testing.assert_array_equal(decoded, array)
+        assert got == trace
+
+    def test_untraced_request_decodes_trace_none(self):
+        payload = encode_request("m", np.zeros((1, 2), dtype=np.float32))
+        name, _, trace = decode_request_traced(payload)
+        assert name == "m"
+        assert trace is None
+
+    def test_untraced_payload_is_byte_identical_to_v1_shape(self):
+        # A version-2 frame without a trace block must be byte-for-byte what
+        # version 1 produced — that is what makes old decoders keep working.
+        array = np.ones((2, 2), dtype=np.float32)
+        assert encode_request("m", array) == encode_request("m", array, trace=None)
+
+    def test_old_decoder_ignores_trace_block(self):
+        # decode_request (the version-1 decoder) on a traced frame still
+        # yields the name and array; the trailing block is simply unread.
+        array = np.arange(6, dtype=np.float32).reshape(2, 3)
+        payload = encode_request("m", array, trace={"trace_ids": ["x"]})
+        name, decoded = decode_request(payload)
+        assert name == "m"
+        np.testing.assert_array_equal(decoded, array)
+
+    def test_traced_response_round_trip(self):
+        logits = np.random.default_rng(2).standard_normal((4, 10)).astype(np.float32)
+        trace = {"trace_ids": ["a1"], "execute_s": 0.0123, "pid": 4242}
+        decoded, got = decode_response(encode_response(logits, trace))
+        np.testing.assert_array_equal(decoded, logits)
+        assert got == trace
+
+    def test_untraced_response_round_trip(self):
+        logits = np.zeros((1, 4), dtype=np.float32)
+        decoded, trace = decode_response(encode_response(logits))
+        np.testing.assert_array_equal(decoded, logits)
+        assert trace is None
+
+    def test_old_version_header_still_accepted(self):
+        # Frames from a version-1 peer (header byte 1, no trace block) must
+        # decode cleanly during a rolling upgrade.
+        assert MIN_PROTOCOL_VERSION < PROTOCOL_VERSION
+        header = HEADER.pack(MAGIC, MIN_PROTOCOL_VERSION, int(FrameKind.REQUEST), 3, 7)
+        kind, request_id, payload_len = decode_header(header)
+        assert kind == FrameKind.REQUEST
+        assert request_id == 3
+        assert payload_len == 7
+
+    def test_pre_support_version_rejected(self):
+        header = HEADER.pack(MAGIC, MIN_PROTOCOL_VERSION - 1, int(FrameKind.PING), 0, 0)
+        with pytest.raises(ProtocolError, match="version"):
+            decode_header(header)
+
+    def test_truncated_trace_block_fails_loudly(self):
+        payload = encode_request("m", np.ones(2, dtype=np.float32), trace={"k": "v"})
+        with pytest.raises(ProtocolError, match="tra"):
+            decode_request_traced(payload[:-2])
+
+    def test_malformed_trace_json_fails_loudly(self):
+        base = encode_request("m", np.ones(2, dtype=np.float32))
+        bad = base + struct.pack("!I", 4) + b"!!!!"
+        with pytest.raises(ProtocolError, match="tra"):
+            decode_request_traced(bad)
 
 
 class TestTypedErrors:

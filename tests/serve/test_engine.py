@@ -418,3 +418,46 @@ class TestPlanStructure:
         plan.steps = plan.steps[:-1]  # drop the classifier
         with pytest.raises(PlanTraceError):
             plan._verify((3, 32, 32), rtol=1e-3, atol=1e-3)
+
+
+class TestStepProfiling:
+    def test_profiled_run_is_bitwise_identical(self, cnn, rng):
+        engine = InferenceEngine(cnn)
+        x = rng.standard_normal((4, 3, 12, 12)).astype(np.float32)
+        plain = engine.predict_logits(x)
+        engine.enable_step_profiling()
+        profiled = engine.predict_logits(x)
+        np.testing.assert_array_equal(plain, profiled)
+
+    def test_step_timings_report(self, cnn, rng):
+        engine = InferenceEngine(cnn)
+        x = rng.standard_normal((2, 3, 12, 12)).astype(np.float32)
+        assert engine.plan_report().get("step_timings") is None  # untraced
+        engine.enable_step_profiling()
+        for _ in range(3):
+            engine.predict_logits(x)
+        timings = engine.plan_report()["step_timings"]
+        assert timings is not None
+        assert len(timings) == len(engine.plan.steps)
+        assert all(entry["calls"] == 3 for entry in timings)
+        assert all(entry["total_ms"] >= 0.0 for entry in timings)
+        assert sum(entry["share"] for entry in timings) == pytest.approx(1.0, abs=0.01)
+        assert [entry["key"] for entry in timings] == [s.key for s in engine.plan.steps]
+
+    def test_disable_hides_report_but_keeps_accumulators(self, cnn, rng):
+        engine = InferenceEngine(cnn)
+        x = rng.standard_normal((1, 3, 12, 12)).astype(np.float32)
+        engine.enable_step_profiling()
+        engine.predict_logits(x)
+        engine.enable_step_profiling(False)
+        assert engine.plan_report()["step_timings"] is None
+        engine.enable_step_profiling(True)
+        assert engine.plan_report()["step_timings"][0]["calls"] == 1
+        engine.plan.reset_profile()
+        assert engine.plan.step_timings()[0]["calls"] == 0
+
+    def test_env_knob_enables_profiling(self, cnn, rng, monkeypatch):
+        monkeypatch.setenv("REPRO_PLAN_PROFILE", "1")
+        engine = InferenceEngine(cnn)
+        engine.predict_logits(rng.standard_normal((1, 3, 12, 12)).astype(np.float32))
+        assert engine.plan_report()["step_timings"] is not None
