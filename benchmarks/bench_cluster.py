@@ -2,8 +2,8 @@
 
 Replays the same Poisson request trace (single-sample requests, exponential
 inter-arrival times, offered load beyond saturation) through two serving
-paths on a **GIL-bound workload** (`cluster_workload.GilBoundNet`: an
-uncompilable model, so every request runs the module-path fallback — Python
+paths on a **GIL-bound workload** (`cluster_workload.GilBoundNet`, pinned to
+the module path via ``REPRO_FORCE_FALLBACK=1`` so every request runs Python
 autograd glue that batching amortises but threads cannot parallelise) and
 writes ``benchmarks/BENCH_cluster.json``:
 
@@ -72,6 +72,13 @@ import numpy as np
 HERE = os.path.dirname(os.path.abspath(__file__))
 if HERE not in sys.path:
     sys.path.insert(0, HERE)
+
+# The whole point of this bench is the GIL-bound *module path*.  GilBoundNet's
+# multiplicative join used to be untraceable, which guaranteed that; now that
+# mul joins compile, the fallback must be forced explicitly.  Exported before
+# any engine is built so the spawned cluster workers inherit it too; main()
+# asserts engine_path.fallback > 0 so the premise cannot rot silently.
+os.environ["REPRO_FORCE_FALLBACK"] = "1"
 
 from cluster_workload import INPUT_SHAPE, build_workload_model  # noqa: E402
 
@@ -389,6 +396,13 @@ def run_chaos(model, checkpoint_path) -> int:
     )
     merged = snapshot["merged"]
     restarts = sum(view["restarts"] for view in snapshot["shards"].values())
+    if merged["engine_path"]["fallback"] == 0:
+        print(
+            "FAIL: chaos workload served 0 fallback requests — "
+            "REPRO_FORCE_FALLBACK is not pinning the engines to the module path",
+            file=sys.stderr,
+        )
+        return 1
 
     # Span completeness: every completed outcome must have a server-side span
     # carrying the full queue_wait/batch/wire/execute chain, and no span with
@@ -581,7 +595,7 @@ def main() -> int:
 
     report = {
         "workload": (
-            f"GilBoundNet (module-path fallback: multiplicative join), "
+            f"GilBoundNet (module path forced via REPRO_FORCE_FALLBACK=1), "
             f"{INPUT_SHAPE} inputs, Poisson trace of {NUM_REQUESTS} single-sample "
             f"requests (mean inter-arrival {MEAN_INTERARRIVAL_S * 1e3:.2f} ms)"
         ),
@@ -629,6 +643,15 @@ def main() -> int:
         f"fallback-served {merged['engine_path']['fallback']}, agreement {agreement:.3f}"
     )
     print(f"wrote {OUTPUT_PATH}")
+    fallback_served = merged["engine_path"]["fallback"]
+    if fallback_served == 0:
+        print(
+            "FAIL: the GIL-bound workload served 0 fallback requests — the "
+            "bench premise rotted (REPRO_FORCE_FALLBACK is not pinning the "
+            "engines to the module path)",
+            file=sys.stderr,
+        )
+        return 1
     if floor_enforced and speedup < CLUSTER_MIN_SPEEDUP:
         print(
             f"FAIL: cluster is only {speedup:.2f}x the single-process server "

@@ -459,6 +459,29 @@ def main() -> int:
     if gemm_allocations != 0 or lut_allocations != 0 or route_agreement < 0.97:
         ok = False
 
+    # ------------------------------------------------------------------ #
+    # 6. engine-path audit: every engine this bench built must compile
+    # ------------------------------------------------------------------ #
+    engines = {
+        "vgg_float": engine,
+        "vgg_integer": integer_engine,
+        "resnet_float": resnet_engine,
+    }
+    fallen = sorted(name for name, item in engines.items() if item.uses_fallback)
+    report["engine_path"] = {
+        "compiled": len(engines) - len(fallen),
+        "fallback": len(fallen),
+        "fallback_engines": fallen,
+    }
+    print(f"engine path: {len(engines) - len(fallen)} compiled, {len(fallen)} fallback")
+    if fallen:
+        print(
+            f"FAIL: engines fell back to the module path: {fallen} "
+            "(every DAG shape this bench serves must compile)",
+            file=sys.stderr,
+        )
+        ok = False
+
     with open(OUTPUT_PATH, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")

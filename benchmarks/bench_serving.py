@@ -176,6 +176,9 @@ def main() -> int:
             }
         },
         "server_metrics": snapshot,
+        # Request-level path audit: with mul/concat/multi-output DAGs
+        # compiling, nothing this bench serves may ride the module path.
+        "engine_path": dict(snapshot["engine_path"]),
     }
     with open(OUTPUT_PATH, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)
@@ -193,6 +196,13 @@ def main() -> int:
         f"p99 {latency['p99']:.1f} ms, agreement {agreement:.3f}"
     )
     print(f"wrote {OUTPUT_PATH}")
+    if report["engine_path"]["fallback"] > 0 or baseline_engine.uses_fallback:
+        print(
+            f"FAIL: {report['engine_path']['fallback']} request(s) were served "
+            "through the module-path fallback (every engine must compile)",
+            file=sys.stderr,
+        )
+        return 1
     if speedup < SERVING_MIN_SPEEDUP:
         print(
             f"FAIL: batched server is only {speedup:.2f}x the per-request "

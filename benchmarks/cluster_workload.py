@@ -5,13 +5,18 @@ processes can rebuild the model from the checkpoint's factory spec
 (``"cluster_workload:build_workload_model"``) — the benchmark directory is
 on ``sys.path`` in both the parent and the spawned children.
 
-The model is deliberately **uncompilable**: its two conv branches join by a
-multiplication, which the plan tracer refuses, so every request runs the
-module-path fallback — Python autograd glue under ``no_grad``, exactly the
-path whose GIL-bound cost motivates process sharding.  The convolutions are
-small enough that Python overhead (im2col bookkeeping, autograd graph walk)
-dominates the BLAS time, i.e. extra *threads* cannot speed it up but extra
-*processes* can.
+The workload must run the **module path**: Python autograd glue under
+``no_grad``, exactly the path whose GIL-bound cost motivates process
+sharding.  The convolutions are small enough that Python overhead (im2col
+bookkeeping, autograd graph walk) dominates the BLAS time, i.e. extra
+*threads* cannot speed it up but extra *processes* can.
+
+Historically the model's multiplicative join was untraceable, which pinned
+it to the module path for free; now that elementwise multiplies compile,
+the bench exports ``REPRO_FORCE_FALLBACK=1`` before building any engine
+(parent *and* spawned workers inherit it) and asserts
+``engine_path.fallback > 0`` in the report, so the GIL-bound premise can
+never rot silently again.
 """
 
 from __future__ import annotations
@@ -28,7 +33,11 @@ NUM_CLASSES = 6
 
 
 class GilBoundNet(QuantizableModel):
-    """Two quantized conv branches joined multiplicatively (untraceable)."""
+    """Two quantized conv branches joined multiplicatively.
+
+    The join compiles these days; ``REPRO_FORCE_FALLBACK=1`` (exported by
+    ``bench_cluster.py``) is what keeps this workload on the module path.
+    """
 
     def __init__(self, channels: int = 6, image_size: int = IMAGE_SIZE, seed: int = 0) -> None:
         super().__init__()
@@ -46,7 +55,7 @@ class GilBoundNet(QuantizableModel):
         self.register_qlayer("classifier", self.classifier, pinned=True, pinned_bits=8)
 
     def forward(self, x):
-        gated = self.branch_a(x) * self.branch_b(x)  # multiplicative join: no plan
+        gated = self.branch_a(x) * self.branch_b(x)
         return self.classifier(self.pool(self.mixer(gated)))
 
 

@@ -269,6 +269,29 @@ class ArrayBackend:
             return out
         return acc + identity
 
+    def residual_mul(
+        self,
+        acc: np.ndarray,
+        gate: np.ndarray,
+        inplace: bool = False,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Gating join: elementwise ``acc * gate`` for compiled plans.
+
+        The multiplicative sibling of :meth:`residual_add` — same in-place
+        and preallocated-``out`` contract, same bitwise guarantee (IEEE
+        multiplication is commutative, so a layout-permuted ``gate`` view
+        changes nothing).  This is the kernel behind attention-style
+        ``value * sigmoid(gate)`` joins.
+        """
+        if inplace and acc.flags.writeable and acc.shape == gate.shape:
+            np.multiply(acc, gate, out=acc)
+            return acc
+        if out is not None and out.shape == acc.shape and acc.shape == gate.shape:
+            np.multiply(acc, gate, out=out)
+            return out
+        return acc * gate
+
     def int_linear(
         self, x: np.ndarray, w: np.ndarray, scale=None, bias=None, workspace=None, key=None
     ) -> np.ndarray:

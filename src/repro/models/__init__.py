@@ -1,6 +1,7 @@
 """Quantizable model zoo: VGG, ResNet and a compact test CNN."""
 
 from .base import QuantizableModel
+from .gated import GatedAttentionBlock, GatedAttentionNet, GroupedConv2d, gated_attention_net
 from .registry import MODEL_REGISTRY, available_models, build_model
 from .resnet import BasicBlock, ResNet, resnet18, resnet20, resnet34
 from .simple import SimpleQuantCNN, simple_cnn
@@ -12,6 +13,10 @@ __all__ = [
     "available_models",
     "build_model",
     "BasicBlock",
+    "GatedAttentionBlock",
+    "GatedAttentionNet",
+    "GroupedConv2d",
+    "gated_attention_net",
     "ResNet",
     "resnet18",
     "resnet20",

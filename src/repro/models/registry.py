@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List
 
 from .base import QuantizableModel
+from .gated import gated_attention_net
 from .resnet import resnet18, resnet20, resnet34
 from .simple import simple_cnn
 from .vgg import vgg11, vgg13, vgg16, vgg19
@@ -18,6 +19,7 @@ __all__ = ["MODEL_REGISTRY", "available_models", "build_model"]
 
 MODEL_REGISTRY: Dict[str, Callable[..., QuantizableModel]] = {
     "simple_cnn": simple_cnn,
+    "gated_attention_net": gated_attention_net,
     "vgg11": vgg11,
     "vgg13": vgg13,
     "vgg16": vgg16,

@@ -11,6 +11,7 @@ from . import init
 from .modules import (
     AvgPool2d,
     BatchNorm2d,
+    ChannelSlice,
     Conv2d,
     Dropout,
     Flatten,
@@ -22,6 +23,7 @@ from .modules import (
     Parameter,
     ReLU,
     Sequential,
+    Sigmoid,
 )
 from .loss import CrossEntropyLoss, MSELoss, accuracy, topk_accuracy
 from .optim import (
@@ -49,7 +51,9 @@ __all__ = [
     "Linear",
     "BatchNorm2d",
     "ReLU",
+    "Sigmoid",
     "Identity",
+    "ChannelSlice",
     "MaxPool2d",
     "AvgPool2d",
     "GlobalAvgPool2d",

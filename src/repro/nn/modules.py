@@ -29,7 +29,9 @@ __all__ = [
     "Linear",
     "BatchNorm2d",
     "ReLU",
+    "Sigmoid",
     "Identity",
+    "ChannelSlice",
     "MaxPool2d",
     "AvgPool2d",
     "GlobalAvgPool2d",
@@ -302,6 +304,16 @@ class ReLU(Module):
         return "ReLU()"
 
 
+class Sigmoid(Module):
+    """Logistic sigmoid activation — the gate nonlinearity of attention blocks."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+    def __repr__(self) -> str:
+        return "Sigmoid()"
+
+
 class Identity(Module):
     """Pass-through module, useful as a placeholder."""
 
@@ -310,6 +322,30 @@ class Identity(Module):
 
     def __repr__(self) -> str:
         return "Identity()"
+
+
+class ChannelSlice(Module):
+    """Select a contiguous channel range ``x[:, start:stop]``.
+
+    The split primitive behind grouped/depthwise convolutions: each group
+    slices its input channels, convolves them, and the group outputs are
+    re-joined with :meth:`Tensor.cat` along the channel axis.  As a module
+    (rather than inline indexing) the slice is visible to the plan tracer,
+    which compiles it to a zero-copy view step.
+    """
+
+    def __init__(self, start: int, stop: int) -> None:
+        super().__init__()
+        if start < 0 or stop <= start:
+            raise ValueError(f"invalid channel range [{start}, {stop})")
+        self.start = int(start)
+        self.stop = int(stop)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x[:, self.start : self.stop]
+
+    def __repr__(self) -> str:
+        return f"ChannelSlice({self.start}, {self.stop})"
 
 
 class MaxPool2d(Module):

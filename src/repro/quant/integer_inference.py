@@ -169,7 +169,12 @@ class IntegerInferenceSession:
         self.total_storage_bits = sum(export.storage_bits for export in self.exports.values())
 
     def run(self, inputs: np.ndarray) -> np.ndarray:
-        """Return the model's logits for ``inputs`` using integer arithmetic."""
+        """Return the model's logits for ``inputs`` using integer arithmetic.
+
+        Multi-output models (a ``dict`` or ``tuple`` of tensors) return a
+        ``{name: array}`` dict mirroring the compiled plan's named result
+        slots (positional outputs are named ``out0``, ``out1``, ...).
+        """
         layers = self.model.quantizable_layers()
         original_forwards = {}
         was_training = self.model.training
@@ -181,6 +186,10 @@ class IntegerInferenceSession:
             self.model.eval()
             with no_grad():
                 logits = self.model(Tensor(inputs.astype(np.float32)))
+            if isinstance(logits, dict):
+                return {str(key): value.data for key, value in logits.items()}
+            if isinstance(logits, (tuple, list)):
+                return {f"out{i}": value.data for i, value in enumerate(logits)}
             return logits.data
         finally:
             # Swapped forwards AND the train/eval mode must survive a raising

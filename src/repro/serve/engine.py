@@ -23,12 +23,17 @@ plan itself does not:
   re-resolve.  The model's train/eval mode is restored even when a forward
   raises;
 * **fallback** — models the tracer genuinely cannot compile (glue beyond
-  residual additions: multiplicative joins, concatenations, untraced
+  the supported joins: broadcasting multiplies, division joins, untraced
   arithmetic) degrade gracefully to the module forward path under
   ``no_grad``, which still benefits from the quantized-weight cache, instead
-  of failing.  Residual topologies themselves — ResNet identity and
-  downsample shortcuts — now compile to plans, so the fallback is reserved
-  for the exotic cases.  The fallback is announced with a single warning per
+  of failing.  Residual additions, same-shape elementwise multiplies,
+  channel concatenations and multi-output heads all compile to plans, so
+  the fallback is reserved for the exotic cases — or for operators who
+  *ask* for it: ``REPRO_FORCE_FALLBACK=1`` (or ``force_fallback=True``)
+  pins an engine to the module path deliberately, without warnings and
+  without tripping ``warmup(require_compiled=True)``, which is how the
+  cluster bench keeps measuring the GIL-bound path on purpose.  The
+  fallback is announced with a single warning per
   engine instance — never per ``predict`` call — so a server hosting such a
   model does not spam its logs; :meth:`plan_report` says what compiled (or
   why not) without re-reading warnings.  A ``predict(..., refresh=True)``
@@ -77,7 +82,13 @@ class InferenceEngine:
         Default slice size for :meth:`predict` / :meth:`predict_logits`.
     """
 
-    def __init__(self, model, mode: str = "float", batch_size: int = 256) -> None:
+    def __init__(
+        self,
+        model,
+        mode: str = "float",
+        batch_size: int = 256,
+        force_fallback: Optional[bool] = None,
+    ) -> None:
         if mode not in ("float", "integer"):
             raise ValueError(f"unknown engine mode {mode!r}; use 'float' or 'integer'")
         if batch_size <= 0:
@@ -85,6 +96,17 @@ class InferenceEngine:
         self.model = model
         self.mode = mode
         self.batch_size = int(batch_size)
+        # Operator escape hatch: pin this engine to the module path even for
+        # models that would compile — benchmarks measuring the GIL-bound
+        # fallback path (bench_cluster's GilBoundNet workload) depend on it
+        # now that mul/concat joins compile.  The env applies to every engine
+        # in the process (it propagates to spawned cluster workers); the
+        # constructor kwarg overrides the env either way.
+        if force_fallback is None:
+            force_fallback = os.environ.get(
+                "REPRO_FORCE_FALLBACK", ""
+            ).strip().lower() in ("1", "true", "yes", "on")
+        self._force_fallback = bool(force_fallback)
         self._plan: Optional[InferencePlan] = None
         self._fallback = False
         self._fallback_warned = False
@@ -124,6 +146,14 @@ class InferenceEngine:
 
     def _ensure_plan(self, input_shape) -> None:
         if self._plan is not None or self._fallback:
+            return
+        if self._force_fallback:
+            # Deliberate operator choice — no warning, and warmup's
+            # require_compiled contract does not apply.
+            self._fallback = True
+            self._fallback_reason = (
+                "forced: REPRO_FORCE_FALLBACK pins this engine to the module path"
+            )
             return
         try:
             self._plan = InferencePlan.trace(
@@ -245,7 +275,16 @@ class InferenceEngine:
                 self._fallback_run = IntegerInferenceSession(self.model).run
                 self._fallback_token = self._state_token() if force else token
             return self._fallback_run
-        return lambda batch: self.model(Tensor(batch)).data
+        return self._module_forward
+
+    def _module_forward(self, batch: np.ndarray):
+        """One float module-path forward, multi-output normalised like a plan."""
+        out = self.model(Tensor(batch))
+        if isinstance(out, dict):
+            return {str(key): value.data for key, value in out.items()}
+        if isinstance(out, (tuple, list)):
+            return {f"out{index}": value.data for index, value in enumerate(out)}
+        return out.data
 
     # ------------------------------------------------------------------ #
     # prediction API
@@ -267,6 +306,21 @@ class InferenceEngine:
         step = int(batch_size) if batch_size is not None else self.batch_size
         if step <= 0:
             raise ValueError(f"batch_size must be positive, got {step}")
+        if array.shape[0] == 0:
+            # A zero-row request must not push empty slices through the plan
+            # or the module path (kernels and BN assume N >= 1).  Run a
+            # one-row probe to learn the output geometry — the lock makes
+            # the recursive call safe — and return its empty head, so the
+            # caller gets a correctly-shaped ``(0, num_classes)`` result.
+            probe = np.zeros((1,) + array.shape[1:], dtype=np.float32)
+            # Probe values are discarded (only shapes and slot names are
+            # kept), so numeric warnings from a zero input — e.g. 0/0 in a
+            # model with division glue — are noise.
+            with np.errstate(all="ignore"):
+                out = self.predict_logits(probe, batch_size=batch_size, refresh=refresh)
+            if isinstance(out, dict):
+                return {name: value[:0] for name, value in out.items()}
+            return out[:0]
         plan = self._plan
         if plan is not None and plan.optimized and not refresh:
             # Steady-state fast path: fused steps never dispatch through
@@ -276,9 +330,9 @@ class InferenceEngine:
             with self._lock, no_grad():
                 self._refresh_plan(force=False)
                 pieces: List[np.ndarray] = []
-                for start in range(0, max(array.shape[0], 1), step):
+                for start in range(0, array.shape[0], step):
                     pieces.append(plan.run(array[start : start + step]))
-            return pieces[0] if len(pieces) == 1 else np.concatenate(pieces, axis=0)
+            return self._merge_pieces(pieces)
         if refresh:
             self._token_sources = None
         was_training = self.model.training
@@ -295,11 +349,23 @@ class InferenceEngine:
                 else:
                     run = self._fallback_runner(force=refresh)
                 pieces = []
-                for start in range(0, max(array.shape[0], 1), step):
+                for start in range(0, array.shape[0], step):
                     pieces.append(run(array[start : start + step]))
-                return pieces[0] if len(pieces) == 1 else np.concatenate(pieces, axis=0)
+                return self._merge_pieces(pieces)
         finally:
             self.model.train(was_training)
+
+    @staticmethod
+    def _merge_pieces(pieces):
+        """Concatenate chunked results — per result slot for multi-output."""
+        if len(pieces) == 1:
+            return pieces[0]
+        if isinstance(pieces[0], dict):
+            return {
+                name: np.concatenate([piece[name] for piece in pieces], axis=0)
+                for name in pieces[0]
+            }
+        return np.concatenate(pieces, axis=0)
 
     def predict(
         self,
@@ -307,8 +373,16 @@ class InferenceEngine:
         batch_size: Optional[int] = None,
         refresh: bool = False,
     ) -> np.ndarray:
-        """Class predictions (argmax over the last logits axis)."""
-        return self.predict_logits(inputs, batch_size=batch_size, refresh=refresh).argmax(axis=-1)
+        """Class predictions (argmax over the last logits axis).
+
+        Multi-output models classify over their primary slot: ``"logits"``
+        when the model names one that way, the first result slot otherwise.
+        """
+        out = self.predict_logits(inputs, batch_size=batch_size, refresh=refresh)
+        if isinstance(out, dict):
+            primary = "logits" if "logits" in out else next(iter(out))
+            out = out[primary]
+        return out.argmax(axis=-1)
 
     # ------------------------------------------------------------------ #
     # introspection / eager tracing
@@ -385,7 +459,10 @@ class InferenceEngine:
                     self._plan.run(probe)
         finally:
             self.model.train(was_training)
-        if require_compiled and self._fallback:
+        if require_compiled and self._fallback and not self._force_fallback:
+            # A forced fallback is an explicit operator decision
+            # (REPRO_FORCE_FALLBACK / force_fallback=True), not a trace
+            # failure — warmup must not turn it into a deploy-time error.
             raise PlanTraceError(
                 f"warmup could not compile a plan ({self._fallback_reason}); "
                 "pass require_compiled=False to serve through the module-path "
@@ -414,6 +491,7 @@ class InferenceEngine:
             "state": state,
             "mode": self.mode,
             "uses_fallback": self._fallback,
+            "forced_fallback": self._force_fallback,
             "fallback_reason": self._fallback_reason,
             "upgraded_after_fallback": self._upgraded,
             # Workspace misses during the most recent plan run: zero in

@@ -23,14 +23,20 @@ serving-grade optimizations the module path cannot perform:
   version-keyed cache means :meth:`InferencePlan.refresh` costs O(channels),
   not O(weights), while the model is unchanged.
 
-Tracing supports models whose leaf layers form a **DAG glued by residual
-additions**: the VGG/simple-CNN linear chains, and ResNet-style topologies
-where a block input is re-used by an identity shortcut or routed through a
-1x1 downsample projection and added back into the main path.  Branch values
-are kept alive by :class:`_SaveStep`/:class:`_LoadStep` register spills and
-joined by :class:`_ResidualAddStep`.  Glue the compiler does not understand
-— multiplicative joins, concatenations, re-entrant values produced outside
-the traced ops — raises :class:`PlanTraceError`, which
+Tracing supports models whose leaf layers form a **general DAG glued by
+elementwise joins and concatenations**: the VGG/simple-CNN linear chains;
+ResNet-style topologies where a block input is re-used by an identity
+shortcut or routed through a 1x1 downsample projection and added back into
+the main path; gated-attention blocks whose branches multiply (``value *
+sigmoid(gate)``); grouped/depthwise convolutions whose per-group outputs
+concatenate along the channel axis; and multi-output heads returning a
+``dict``/``tuple`` of named result tensors.  Branch values are kept alive
+by :class:`_SaveStep`/:class:`_LoadStep` register spills and joined by
+:class:`_ResidualAddStep`/:class:`_ResidualMulStep`/:class:`_ConcatStep`;
+multi-output plans end in an :class:`_OutputsStep` that surfaces named
+result slots through :meth:`InferencePlan.run`.  Glue the compiler does not
+understand — broadcasting multiplies, division joins, re-entrant values
+produced outside the traced ops — raises :class:`PlanTraceError`, which
 :class:`~repro.serve.engine.InferenceEngine` turns into a graceful fallback
 to the module path.
 
@@ -67,6 +73,7 @@ from ..backend import get_backend
 from ..nn.modules import (
     AvgPool2d,
     BatchNorm2d,
+    ChannelSlice,
     Conv2d,
     Dropout,
     Flatten,
@@ -76,6 +83,7 @@ from ..nn.modules import (
     MaxPool2d,
     Module,
     ReLU,
+    Sigmoid,
 )
 from ..nn.tensor import Tensor, no_grad
 from ..quant.pact import PACT
@@ -93,7 +101,9 @@ _LEAF_TYPES = (
     BatchNorm2d,
     PACT,
     ReLU,
+    Sigmoid,
     Identity,
+    ChannelSlice,
     MaxPool2d,
     AvgPool2d,
     GlobalAvgPool2d,
@@ -144,6 +154,22 @@ class _AddEvent:
     output_tensor: Tensor
 
 
+@dataclass
+class _MulEvent:
+    # A glue-level ``lhs * rhs`` between leaf calls — the gating join.
+    lhs: Tensor
+    rhs: Tensor
+    output_tensor: Tensor
+
+
+@dataclass
+class _CatEvent:
+    # A glue-level ``Tensor.cat([...], axis)`` between leaf calls.
+    inputs: List[Tensor]
+    axis: int
+    output_tensor: Tensor
+
+
 # Tracing patches class-level dunders, so concurrent traces — or a serving
 # thread's module-path forwards racing a trace on another worker — would
 # bleed events across models.  The lock serialises traces; the owner-thread
@@ -151,13 +177,15 @@ class _AddEvent:
 _TRACE_LOCK = threading.Lock()
 
 
-def _trace_graph(model, probe: Tensor) -> Tuple[List[object], Tensor]:
-    """Run ``model(probe)`` recording leaf calls and glue-level additions.
+def _trace_graph(model, probe: Tensor) -> Tuple[List[object], object]:
+    """Run ``model(probe)`` recording leaf calls and glue-level joins.
 
-    Additions executed *inside* a leaf module (should any leaf ever use
+    Glue ops executed *inside* a leaf module (should any leaf ever use
     tensor arithmetic internally) are suppressed by a leaf-depth counter, so
-    only the joins written in container ``forward`` bodies — the residual
-    glue — are recorded.
+    only the joins written in container ``forward`` bodies — residual
+    additions, gating multiplies, channel concatenations — are recorded.
+    Scalar arithmetic (``x * 0.5``) is never recorded: only Tensor-Tensor
+    joins are graph edges.
     """
     events: List[object] = []
     owner = threading.get_ident()
@@ -167,11 +195,16 @@ def _trace_graph(model, probe: Tensor) -> Tuple[List[object], Tensor]:
         original_call = Module.__call__
         original_add = Tensor.__add__
         original_radd = Tensor.__radd__
+        original_mul = Tensor.__mul__
+        original_rmul = Tensor.__rmul__
+        original_cat = Tensor.__dict__["cat"].__func__
+
+        def mine() -> bool:
+            return leaf_depth == 0 and threading.get_ident() == owner
 
         def tracing_call(module, *args, **kwargs):
             nonlocal leaf_depth
-            mine = threading.get_ident() == owner
-            is_leaf = mine and isinstance(module, _LEAF_TYPES)
+            is_leaf = threading.get_ident() == owner and isinstance(module, _LEAF_TYPES)
             if is_leaf:
                 leaf_depth += 1
             try:
@@ -191,24 +224,38 @@ def _trace_graph(model, probe: Tensor) -> Tuple[List[object], Tensor]:
 
         def tracing_add(self, other):
             out = original_add(self, other)
-            if (
-                leaf_depth == 0
-                and threading.get_ident() == owner
-                and isinstance(other, Tensor)
-                and isinstance(out, Tensor)
-            ):
+            if mine() and isinstance(other, Tensor) and isinstance(out, Tensor):
                 events.append(_AddEvent(self, other, out))
+            return out
+
+        def tracing_mul(self, other):
+            out = original_mul(self, other)
+            if mine() and isinstance(other, Tensor) and isinstance(out, Tensor):
+                events.append(_MulEvent(self, other, out))
+            return out
+
+        def tracing_cat(tensors, axis=0):
+            tensors = list(tensors)
+            out = original_cat(tensors, axis=axis)
+            if mine() and all(isinstance(t, Tensor) for t in tensors):
+                events.append(_CatEvent(tensors, int(axis), out))
             return out
 
         Module.__call__ = tracing_call
         Tensor.__add__ = tracing_add
         Tensor.__radd__ = tracing_add
+        Tensor.__mul__ = tracing_mul
+        Tensor.__rmul__ = tracing_mul
+        Tensor.cat = staticmethod(tracing_cat)
         try:
             output = model(probe)
         finally:
             Module.__call__ = original_call
             Tensor.__add__ = original_add
             Tensor.__radd__ = original_radd
+            Tensor.__mul__ = original_mul
+            Tensor.__rmul__ = original_rmul
+            Tensor.cat = staticmethod(original_cat)
     return events, output
 
 
@@ -219,7 +266,7 @@ def _trace_graph(model, probe: Tensor) -> Tuple[List[object], Tensor]:
 class _Op:
     """One node of the traced DAG, inputs/output as value ids."""
 
-    kind: str  # "leaf" | "add" | "flatten"
+    kind: str  # "leaf" | "add" | "mul" | "cat" | "flatten"
     module: Optional[Module]
     inputs: List[int]
     output: int
@@ -247,17 +294,46 @@ class _ValueTable:
         return vid
 
 
+def _normalize_outputs(output) -> List[Tuple[Optional[str], Tensor]]:
+    """Model output -> ordered ``(name, tensor)`` result slots.
+
+    A bare :class:`Tensor` stays anonymous (``name=None`` — the plan returns
+    a plain array, the historical contract).  A ``dict`` keeps its keys, a
+    ``tuple``/``list`` gets positional ``out{i}`` names; both compile to a
+    named-slot plan whose :meth:`InferencePlan.run` returns a dict.
+    """
+    if isinstance(output, Tensor):
+        return [(None, output)]
+    if isinstance(output, dict):
+        pairs = [(str(key), value) for key, value in output.items()]
+    elif isinstance(output, (tuple, list)):
+        pairs = [(f"out{index}", value) for index, value in enumerate(output)]
+    else:
+        raise PlanTraceError(
+            f"unsupported model output type {type(output).__name__}; "
+            "a Tensor, dict, tuple or list of Tensors is required"
+        )
+    if not pairs:
+        raise PlanTraceError("the model returned an empty output collection")
+    for name, value in pairs:
+        if not isinstance(value, Tensor):
+            raise PlanTraceError(
+                f"model output {name!r} is {type(value).__name__}, not a Tensor"
+            )
+    return pairs
+
+
 def _build_ops(
-    events: List[object], probe: Tensor, output: Tensor
-) -> Tuple[List[_Op], _ValueTable, int, int]:
+    events: List[object], probe: Tensor, output
+) -> Tuple[List[_Op], _ValueTable, int, List[Tuple[Optional[str], int]]]:
     """Re-link the trace into a value graph, inferring flatten glue.
 
     Between traced ops the only *implicit* glue the compiler understands is
     a flatten (4-D -> 2-D with the same per-sample element count, as written
-    ``x.flatten(1)`` in model forwards); residual additions are recorded
-    explicitly by the tracer.  Anything else — multiplicative joins,
-    concatenations, values produced by untraced arithmetic — is a trace
-    error.
+    ``x.flatten(1)`` in model forwards); residual additions, elementwise
+    multiplies and channel concatenations are recorded explicitly by the
+    tracer.  Anything else — broadcasting multiplies, division joins, values
+    produced by untraced arithmetic — is a trace error.
     """
     table = _ValueTable()
     probe_id = table.register(probe)
@@ -282,7 +358,8 @@ def _build_ops(
             return out_id
         raise PlanTraceError(
             f"non-sequential glue before {where} ({last_shape} -> {shape}); "
-            "only linear chains and residual additions can be compiled"
+            "only linear chains, residual additions, elementwise multiplies "
+            "and channel concatenations can be compiled"
         )
 
     for event in events:
@@ -295,23 +372,64 @@ def _build_ops(
             out_id = table.register(event.output_tensor)
             ops.append(_Op("leaf", event.module, [in_id], out_id))
             last_value = out_id
-        else:  # _AddEvent
+        elif isinstance(event, (_AddEvent, _MulEvent)):
+            join = "addition" if isinstance(event, _AddEvent) else "multiplication"
             lhs_id = table.lookup(event.lhs)
             rhs_id = table.lookup(event.rhs)
             if lhs_id is None or rhs_id is None:
                 raise PlanTraceError(
-                    "residual addition combines a value the tracer did not "
-                    "record; only additions of traced leaf outputs (or the "
-                    "model input) can be compiled"
+                    f"elementwise {join} combines a value the tracer did not "
+                    "record; only joins of traced leaf outputs (or the model "
+                    "input) can be compiled"
+                )
+            if table.shapes[lhs_id] != table.shapes[rhs_id]:
+                # Broadcasting joins (SE-style per-channel gates) would need
+                # layout-dependent shape logic the steps do not implement;
+                # refuse so the engine falls back instead of miscompiling.
+                raise PlanTraceError(
+                    f"elementwise {join} broadcasts "
+                    f"{table.shapes[lhs_id]} against {table.shapes[rhs_id]}; "
+                    "only same-shape joins can be compiled"
                 )
             out_id = table.register(event.output_tensor)
-            ops.append(_Op("add", None, [lhs_id, rhs_id], out_id))
+            kind = "add" if isinstance(event, _AddEvent) else "mul"
+            ops.append(_Op(kind, None, [lhs_id, rhs_id], out_id))
+            last_value = out_id
+        else:  # _CatEvent
+            in_ids = [table.lookup(t) for t in event.inputs]
+            if any(vid is None for vid in in_ids):
+                raise PlanTraceError(
+                    "concatenation combines a value the tracer did not "
+                    "record; only traced leaf outputs (or the model input) "
+                    "can be concatenated"
+                )
+            shapes = [table.shapes[vid] for vid in in_ids]
+            ndims = {len(shape) for shape in shapes}
+            if ndims not in ({2}, {4}) or event.axis != 1:
+                raise PlanTraceError(
+                    "only channel/feature (axis=1) concatenation of 4-D or "
+                    f"2-D activations can be compiled (got axis={event.axis}, "
+                    f"shapes {shapes})"
+                )
+            rests = {shape[:1] + shape[2:] for shape in shapes}
+            if len(rests) != 1:
+                raise PlanTraceError(
+                    f"concatenated activations disagree outside the channel "
+                    f"axis ({shapes}); cannot compile"
+                )
+            out_id = table.register(event.output_tensor)
+            ops.append(_Op("cat", None, list(in_ids), out_id))
             last_value = out_id
 
-    final_id = table.lookup(output)
-    if final_id is None or final_id != last_value:
+    outputs: List[Tuple[Optional[str], int]] = []
+    for name, tensor in _normalize_outputs(output):
+        vid = table.lookup(tensor)
+        if vid is None:
+            raise PlanTraceError("the traced graph does not end at the model output")
+        outputs.append((name, vid))
+    if len(outputs) == 1 and outputs[0][0] is None and outputs[0][1] != last_value:
         raise PlanTraceError("the traced graph does not end at the model output")
-    return ops, table, probe_id, final_id
+    return ops, table, probe_id, outputs
 
 
 # --------------------------------------------------------------------------- #
@@ -414,6 +532,108 @@ class _ResidualAddStep(_Step):
         if ws is not None and not self.inplace:
             out = ws.buffer((self.key, "res", x.shape, x.dtype.str), x.shape, x.dtype)
         return backend.residual_add(x, shortcut, inplace=self.inplace, out=out)
+
+
+class _ResidualMulStep(_Step):
+    """Gating join: multiply a saved branch value onto the live activation.
+
+    The elementwise sibling of :class:`_ResidualAddStep` (same slot, layout
+    and in-place semantics — IEEE multiplication is commutative bitwise, so
+    operand order never matters) backed by
+    :meth:`~repro.backend.ArrayBackend.residual_mul`.  This is the join a
+    gated-attention block compiles to: ``value * sigmoid(gate)``.
+    """
+
+    def __init__(self, slot: str, pop: bool, transpose: bool = False, inplace: bool = False) -> None:
+        self.slot = slot
+        self.pop = pop
+        self.transpose = transpose
+        self.inplace = inplace
+
+    def run(self, x: np.ndarray, backend, state, ws=None) -> np.ndarray:
+        gate = state.pop(self.slot) if self.pop else state[self.slot]
+        if self.transpose:
+            gate = gate.transpose(1, 0, 2, 3)
+        out = None
+        if ws is not None and not self.inplace:
+            out = ws.buffer((self.key, "mul", x.shape, x.dtype.str), x.shape, x.dtype)
+        return backend.residual_mul(x, gate, inplace=self.inplace, out=out)
+
+
+class _ConcatStep(_Step):
+    """Channel/feature concatenation, gathered straight into the arena.
+
+    ``parts`` describes each operand in traced order: ``slot`` names the
+    saved branch value (``None`` = the live activation), ``pop`` releases
+    the slot on its last use, ``transpose`` reconciles a part whose saved
+    layout disagrees with the join's output layout (a permuted view — the
+    gather copy materialises it).  ``channel_major`` says which axis is the
+    channel axis of the *output* (0 in CNHW, 1 in NCHW/flat), so the step
+    works in whatever layout the surrounding stages already use; widths are
+    read off the operands at run time, so any batch size serves.  With a
+    workspace the parts are copied directly into one preallocated
+    destination buffer — no ``np.concatenate`` allocation on the hot path —
+    and the result is bitwise-identical either way (pure data movement).
+    """
+
+    def __init__(
+        self, parts: Sequence[Tuple[Optional[str], bool, bool]], channel_major: bool
+    ) -> None:
+        self.parts = list(parts)
+        self.channel_major = channel_major
+
+    def run(self, x: np.ndarray, backend, state, ws=None) -> np.ndarray:
+        arrays = []
+        for slot, pop, transpose in self.parts:
+            part = x if slot is None else (state.pop(slot) if pop else state[slot])
+            if transpose:
+                part = part.transpose(1, 0, 2, 3)
+            arrays.append(part)
+        axis = 0 if self.channel_major else 1
+        if ws is None:
+            return np.concatenate(arrays, axis=axis)
+        shape = list(arrays[0].shape)
+        shape[axis] = sum(a.shape[axis] for a in arrays)
+        shape = tuple(shape)
+        out = ws.buffer((self.key, "cat", shape, arrays[0].dtype.str), shape, arrays[0].dtype)
+        offset = 0
+        for part in arrays:
+            width = part.shape[axis]
+            if axis == 0:
+                np.copyto(out[offset : offset + width], part)
+            else:
+                np.copyto(out[:, offset : offset + width], part)
+            offset += width
+        return out
+
+
+class _OutputsStep(_Step):
+    """Terminal step of a multi-output plan: collect named result slots.
+
+    Each entry reads either the live activation (``slot=None``) or a saved
+    branch value, converts channel-major spatial outputs back to NCHW, and
+    copies the array out of the arena — every returned output is
+    caller-owned, the same contract as a single-output plan's detached
+    logits.  The step returns a ``dict`` which :meth:`InferencePlan.run`
+    passes through unchanged.
+    """
+
+    def __init__(
+        self, entries: Sequence[Tuple[str, Optional[str], bool, bool]]
+    ) -> None:
+        # (name, slot-or-None, pop, channel_major)
+        self.entries = list(entries)
+
+    def run(self, x: np.ndarray, backend, state, ws=None):
+        out: Dict[str, np.ndarray] = {}
+        for name, slot, pop, channel_major in self.entries:
+            part = x if slot is None else (state.pop(slot) if pop else state[slot])
+            if channel_major:
+                part = np.ascontiguousarray(part.transpose(1, 0, 2, 3))
+            else:
+                part = np.array(part)
+            out[name] = part
+        return out
 
 
 def _resolve_activation(act: Optional[Module]):
@@ -695,6 +915,46 @@ class _ActivationStep(_Step):
         return out
 
 
+class _SigmoidStep(_Step):
+    """Standalone logistic sigmoid — the gate activation of attention blocks.
+
+    Computed as ``1 / (1 + exp(-x))`` with every intermediate in the output
+    buffer, matching :meth:`Tensor.sigmoid` op-for-op (negate, exp, add,
+    divide) so the fused plan stays bitwise-aligned with the module path on
+    this step.
+    """
+
+    def run(self, x: np.ndarray, backend, state, ws=None) -> np.ndarray:
+        out = None
+        if ws is not None:
+            out = ws.buffer((self.key, "sig", x.shape, x.dtype.str), x.shape, x.dtype)
+        out = np.negative(x, out=out)
+        np.exp(out, out=out)
+        np.add(out, 1.0, out=out)
+        np.divide(1.0, out, out=out)
+        return out
+
+
+class _ChannelSliceStep(_Step):
+    """Contiguous channel-range view — the grouped-convolution split.
+
+    A pure view in either layout (no copy, no workspace buffer); the
+    consuming convolution's patch fill materialises it.  Because the result
+    aliases its producer, the compiler marks it not-fresh, so joins on it
+    never accumulate in place.
+    """
+
+    def __init__(self, start: int, stop: int, channel_major: bool) -> None:
+        self.start = int(start)
+        self.stop = int(stop)
+        self.channel_major = channel_major
+
+    def run(self, x: np.ndarray, backend, state, ws=None) -> np.ndarray:
+        if self.channel_major:
+            return x[self.start : self.stop]
+        return x[:, self.start : self.stop]
+
+
 class _MaxPoolStep(_Step):
     def __init__(self, kernel: int, stride: int) -> None:
         self.kernel = (int(kernel), int(kernel))
@@ -801,7 +1061,7 @@ class _RefFlattenStep(_Step):
 class _Group:
     """A fused unit of the op graph (or a single op when nothing fuses)."""
 
-    kind: str  # "conv" | "linear" | "module" | "add" | "flatten"
+    kind: str  # "conv" | "linear" | "module" | "add" | "mul" | "cat" | "flatten"
     module: Optional[Module] = None
     bn: Optional[BatchNorm2d] = None
     act: Optional[Module] = None
@@ -834,8 +1094,8 @@ def _fuse_groups(ops: List[_Op], consumers: Dict[int, int], optimize: bool) -> L
     while index < len(ops):
         op = ops[index]
         index += 1
-        if op.kind == "add":
-            groups.append(_Group("add", inputs=list(op.inputs), output=op.output))
+        if op.kind in ("add", "mul", "cat"):
+            groups.append(_Group(op.kind, inputs=list(op.inputs), output=op.output))
             continue
         if op.kind == "flatten":
             groups.append(_Group("flatten", inputs=list(op.inputs), output=op.output))
@@ -876,12 +1136,15 @@ def _fuse_groups(ops: List[_Op], consumers: Dict[int, int], optimize: bool) -> L
     return groups
 
 
-def _count_consumers(ops: List[_Op], final_id: int) -> Dict[int, int]:
+def _count_consumers(
+    ops: List[_Op], final_ids: Sequence[int]
+) -> Dict[int, int]:
     counts: Dict[int, int] = {}
     for op in ops:
         for vid in op.inputs:
             counts[vid] = counts.get(vid, 0) + 1
-    counts[final_id] = counts.get(final_id, 0) + 1  # the return value
+    for vid in final_ids:  # each returned value (result slots count once each)
+        counts[vid] = counts.get(vid, 0) + 1
     return counts
 
 
@@ -904,11 +1167,15 @@ class InferencePlan:
         mode: str,
         optimized: bool = True,
         meta: Optional[Dict[str, int]] = None,
+        output_names: Optional[Tuple[str, ...]] = None,
     ) -> None:
         self.model = model
         self.steps = list(steps)
         self.mode = mode
         self.optimized = optimized
+        # Named result slots for multi-output plans (``None`` = the plan
+        # returns one plain logits array, the historical contract).
+        self.output_names = output_names
         self.meta: Dict[str, int] = dict(meta or {})
         # Optimized plans own a preallocated arena; steps namespace their
         # buffers by position-derived keys.  Reference plans replay module
@@ -956,8 +1223,11 @@ class InferencePlan:
         harness to pin graph-compilation correctness.
 
         Raises :class:`PlanTraceError` when the traced graph uses glue other
-        than residual additions/flattens, :class:`PlanVerifyError` when the
-        compiled plan fails verification.
+        than residual additions, elementwise multiplies, channel
+        concatenations and flattens, :class:`PlanVerifyError` when the
+        compiled plan fails verification.  A model returning a ``dict`` (or
+        ``tuple``) of tensors compiles to a multi-output plan whose
+        :meth:`run` returns ``{name: array}``.
         """
         if mode not in ("float", "integer"):
             raise ValueError(f"unknown plan mode {mode!r}")
@@ -970,11 +1240,15 @@ class InferencePlan:
                 events, output = _trace_graph(model, probe)
                 if not any(isinstance(event, _TraceEvent) for event in events):
                     raise PlanTraceError("no leaf layers were recorded during tracing")
-                ops, table, probe_id, final_id = _build_ops(events, probe, output)
+                ops, table, probe_id, outputs = _build_ops(events, probe, output)
                 steps, meta = cls._compile(
-                    ops, probe_np.ndim, mode, optimize, probe_id, final_id
+                    ops, probe_np.ndim, mode, optimize, probe_id, outputs
                 )
-                plan = cls(model, steps, mode, optimized=optimize, meta=meta)
+                named = len(outputs) > 1 or outputs[0][0] is not None
+                names = tuple(name for name, _ in outputs) if named else None
+                plan = cls(
+                    model, steps, mode, optimized=optimize, meta=meta, output_names=names
+                )
                 if verify:
                     plan._verify(input_shape, rtol, atol)
             return plan
@@ -1010,9 +1284,30 @@ class InferencePlan:
 
             reference = IntegerInferenceSession(self.model).run
         else:
-            def reference(batch: np.ndarray) -> np.ndarray:
+            def reference(batch: np.ndarray):
                 with no_grad():
-                    return self.model(Tensor(batch)).data
+                    out = self.model(Tensor(batch))
+                pairs = _normalize_outputs(out)
+                if len(pairs) == 1 and pairs[0][0] is None:
+                    return pairs[0][1].data
+                return {name: tensor.data for name, tensor in pairs}
+
+        def paired(got, want) -> List[Tuple[np.ndarray, np.ndarray]]:
+            """Align plan and model outputs slot-by-slot for comparison."""
+            if isinstance(want, dict) or isinstance(got, dict):
+                if (
+                    not isinstance(got, dict)
+                    or not isinstance(want, dict)
+                    or set(got) != set(want)
+                ):
+                    got_keys = sorted(got) if isinstance(got, dict) else type(got).__name__
+                    want_keys = sorted(want) if isinstance(want, dict) else type(want).__name__
+                    raise PlanVerifyError(
+                        f"compiled plan output slots {got_keys} do not match "
+                        f"the model output slots {want_keys}"
+                    )
+                return [(got[name], want[name]) for name in sorted(want)]
+            return [(np.asarray(got), np.asarray(want))]
 
         try:
             worst = 0.0
@@ -1023,25 +1318,41 @@ class InferencePlan:
                     .astype(np.float32)
                 )
                 want = reference(probe)
-                got = np.asarray(self.run(probe))
-                if got.shape != want.shape:
-                    raise PlanVerifyError(
-                        f"compiled plan output shape {got.shape} does not match "
-                        f"the model output shape {want.shape}"
+                got = self.run(probe)
+                within_all: List[np.ndarray] = []
+                for got_part, want_part in paired(got, want):
+                    if got_part.shape != want_part.shape:
+                        raise PlanVerifyError(
+                            f"compiled plan output shape {got_part.shape} does "
+                            f"not match the model output shape {want_part.shape}"
+                        )
+                    if not self.optimized:
+                        if not np.array_equal(got_part, want_part):
+                            raise PlanVerifyError(
+                                "reference plan is not bitwise-identical to the "
+                                f"model's forward pass (max diff "
+                                f"{float(np.abs(got_part - want_part).max()):.3e}) — "
+                                "structural mis-compile"
+                            )
+                        continue
+                    within_all.append(
+                        (
+                            np.abs(got_part - want_part)
+                            <= atol + rtol * np.abs(want_part)
+                        ).ravel()
                     )
                 if not self.optimized:
-                    if not np.array_equal(got, want):
-                        raise PlanVerifyError(
-                            "reference plan is not bitwise-identical to the "
-                            f"model's forward pass (max diff "
-                            f"{float(np.abs(got - want).max()):.3e}) — "
-                            "structural mis-compile"
-                        )
                     continue
-                within = np.abs(got - want) <= atol + rtol * np.abs(want)
+                within = np.concatenate(within_all)
                 if within.mean() >= 0.97:
                     return
-                worst = max(worst, float(np.abs(got - want).max()))
+                worst = max(
+                    worst,
+                    max(
+                        float(np.abs(g - w).max())
+                        for g, w in paired(got, want)
+                    ),
+                )
             if not self.optimized:
                 return
             raise PlanVerifyError(
@@ -1062,23 +1373,28 @@ class InferencePlan:
         mode: str,
         optimize: bool,
         probe_id: int,
-        final_id: int,
+        outputs: List[Tuple[Optional[str], int]],
     ) -> Tuple[List[_Step], Dict[str, int]]:
         """Linearise the op graph into steps with save/load/join management."""
-        total_consumers = _count_consumers(ops, final_id)
+        final_ids = [vid for _, vid in outputs]
+        total_consumers = _count_consumers(ops, final_ids)
         groups = _fuse_groups(ops, total_consumers, optimize)
         # Recount over fused groups: values internal to a group disappear.
         remaining: Dict[int, int] = {}
         for group in groups:
             for vid in group.inputs:
                 remaining[vid] = remaining.get(vid, 0) + 1
-        remaining[final_id] = remaining.get(final_id, 0) + 1
+        for vid in final_ids:
+            remaining[vid] = remaining.get(vid, 0) + 1
 
         steps: List[_Step] = []
         meta = {
             "residual_joins": 0,
             "identity_shortcuts": 0,
             "projection_shortcuts": 0,
+            "mul_joins": 0,
+            "concat_joins": 0,
+            "output_slots": len(outputs),
             "saves": 0,
             "loads": 0,
             "fused_conv": 0,
@@ -1117,7 +1433,8 @@ class InferencePlan:
             meta["saves"] += 1
 
         for index, group in enumerate(groups):
-            if group.kind == "add":
+            if group.kind in ("add", "mul"):
+                join = "residual addition" if group.kind == "add" else "elementwise multiplication"
                 lhs, rhs = group.inputs
                 if current == lhs:
                     remaining[lhs] -= 1
@@ -1130,8 +1447,8 @@ class InferencePlan:
                     other = rhs
                 if other not in slots:
                     raise PlanTraceError(
-                        "residual addition consumes a value that is no longer "
-                        "live; the traced graph is not a supported residual DAG"
+                        f"{join} consumes a value that is no longer "
+                        "live; the traced graph is not a supported DAG"
                     )
                 remaining[other] -= 1
                 pop = remaining[other] == 0
@@ -1141,7 +1458,7 @@ class InferencePlan:
                 other_layout = layouts[other]
                 if (layout == _FLAT) != (other_layout == _FLAT):
                     raise PlanTraceError(
-                        "residual addition joins activations of incompatible "
+                        f"{join} joins activations of incompatible "
                         f"layouts ({layout} + {other_layout})"
                     )
                 transpose = layout != other_layout
@@ -1151,14 +1468,51 @@ class InferencePlan:
                     and current not in slots
                     and remaining.get(current, 0) == 0
                 )
+                join_cls = _ResidualAddStep if group.kind == "add" else _ResidualMulStep
                 steps.append(
-                    _ResidualAddStep(slot, pop=pop, transpose=transpose, inplace=inplace)
+                    join_cls(slot, pop=pop, transpose=transpose, inplace=inplace)
                 )
-                meta["residual_joins"] += 1
-                if total_consumers.get(other, 0) >= 2:
-                    meta["identity_shortcuts"] += 1
+                if group.kind == "add":
+                    meta["residual_joins"] += 1
+                    if total_consumers.get(other, 0) >= 2:
+                        meta["identity_shortcuts"] += 1
+                    else:
+                        meta["projection_shortcuts"] += 1
                 else:
-                    meta["projection_shortcuts"] += 1
+                    meta["mul_joins"] += 1
+            elif group.kind == "cat":
+                # Output layout follows the live operand (no conversion for
+                # the part already in the register); a join with no live
+                # part follows its first operand.  Saved parts whose layout
+                # disagrees are reconciled by a per-part permuted view.
+                out_layout = layout if current in group.inputs else layouts[group.inputs[0]]
+                parts: List[Tuple[Optional[str], bool, bool]] = []
+                live_used = False
+                for vid in group.inputs:
+                    part_layout = layouts[vid]
+                    if (part_layout == _FLAT) != (out_layout == _FLAT):
+                        raise PlanTraceError(
+                            "concatenation joins activations of incompatible "
+                            f"layouts ({part_layout} + {out_layout})"
+                        )
+                    remaining[vid] -= 1
+                    if vid == current and not live_used:
+                        live_used = True
+                        parts.append((None, False, False))
+                        continue
+                    if vid not in slots:
+                        raise PlanTraceError(
+                            "concatenation consumes a value that is no longer "
+                            "live; the traced graph is not a supported DAG"
+                        )
+                    pop = remaining[vid] == 0
+                    slot = slots[vid]
+                    if pop:
+                        del slots[vid]
+                    parts.append((slot, pop, part_layout != out_layout))
+                steps.append(_ConcatStep(parts, channel_major=out_layout == _CNHW))
+                meta["concat_joins"] += 1
+                layout = out_layout
             else:
                 source = group.inputs[0]
                 if current == source:
@@ -1169,27 +1523,51 @@ class InferencePlan:
 
             current = group.output
             layouts[current] = layout
-            # Freshness gates the in-place residual add: conv/linear/add and
+            # Freshness gates the in-place joins: conv/linear/join/concat and
             # elementwise/pooling steps materialise a new exclusively-owned
-            # buffer; flattens are reshape views and pass-through modules
-            # alias their input, so they must stay copy-on-join.
-            fresh[current] = group.kind in ("conv", "linear", "add") or (
+            # buffer; flattens are reshape views and pass-through or slice
+            # modules alias their input, so they must stay copy-on-join.
+            fresh[current] = group.kind in ("conv", "linear", "add", "mul", "cat") or (
                 group.kind == "module"
-                and not isinstance(group.module, (Dropout, Identity, Flatten))
+                and not isinstance(group.module, (Dropout, Identity, Flatten, ChannelSlice))
             )
 
             nxt = groups[index + 1] if index + 1 < len(groups) else None
             if nxt is not None:
                 register_uses = 1 if current in nxt.inputs else 0
             else:
-                register_uses = 1 if current == final_id else 0
+                register_uses = sum(1 for _, vid in outputs if vid == current)
             if remaining.get(current, 0) > register_uses:
                 slots[current] = f"v{current}"
                 steps.append(_SaveStep(slots[current]))
                 meta["saves"] += 1
 
-        if optimize and layout == _CNHW:
-            steps.append(_ToBatchMajor())
+        named = len(outputs) > 1 or outputs[0][0] is not None
+        if not named:
+            if optimize and layout == _CNHW:
+                steps.append(_ToBatchMajor())
+            return steps, meta
+        # Named result slots: collect every output (live register or saved
+        # branch value) into a dict, converting channel-major spatial
+        # activations back to NCHW per entry.
+        entries: List[Tuple[str, Optional[str], bool, bool]] = []
+        for name, vid in outputs:
+            if vid == current:
+                remaining[vid] -= 1
+                entries.append((name, None, False, layouts[vid] == _CNHW))
+                continue
+            if vid not in slots:
+                raise PlanTraceError(
+                    f"model output {name!r} is no longer live at the end of "
+                    "the trace; the traced graph is not a supported DAG"
+                )
+            remaining[vid] -= 1
+            pop = remaining[vid] == 0
+            slot = slots[vid]
+            if pop:
+                del slots[vid]
+            entries.append((name, slot, pop, layouts[vid] == _CNHW))
+        steps.append(_OutputsStep(entries))
         return steps, meta
 
     @staticmethod
@@ -1264,6 +1642,16 @@ class InferencePlan:
         if isinstance(module, (PACT, ReLU)):
             steps.append(_ActivationStep(module))
             return layout
+        if isinstance(module, Sigmoid):
+            steps.append(_SigmoidStep())
+            return layout
+        if isinstance(module, ChannelSlice):
+            if layout == _FLAT:
+                raise PlanTraceError("channel slice applied to flattened activations")
+            steps.append(
+                _ChannelSliceStep(module.start, module.stop, channel_major=layout == _CNHW)
+            )
+            return layout
         if isinstance(module, MaxPool2d):
             steps.append(_MaxPoolStep(module.kernel_size, module.stride))
             return layout
@@ -1334,6 +1722,10 @@ class InferencePlan:
             ws.begin_run()
             for step in self.steps:
                 x = step.run(x, backend, state, ws)
+        # Multi-output plans end in an _OutputsStep whose dict entries are
+        # already copied out of the arena.
+        if isinstance(x, dict):
+            return x
         # Detach from the arena: the next run overwrites every buffer.  This
         # copy is the one intentional per-run allocation, and it is excluded
         # from the run_allocations counter by design — the logits must be
@@ -1365,6 +1757,8 @@ class InferencePlan:
                 x = step.run(x, backend, state, ws)
                 totals[index] += clock() - start
                 calls[index] += 1
+        if isinstance(x, dict):
+            return x
         return np.array(x) if ws is not None else x
 
     def enable_profiling(self, enabled: bool = True) -> None:

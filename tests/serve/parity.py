@@ -7,8 +7,13 @@ serving read path:
 * :func:`random_quantized_model` — a seeded generator of small quantizable
   CNNs mixing plain conv/BN/PACT/pool segments with ResNet-style
   :class:`~repro.models.resnet.BasicBlock` residual joins (identity and
-  downsample shortcuts), random per-layer bit assignments, optional bias
-  convs, dropout glue and both flatten-vs-global-pool heads.
+  downsample shortcuts), gated-attention segments (sigmoid gate joined by
+  an elementwise multiply), grouped/depthwise convolutions (channel slices
+  re-joined by ``Tensor.cat``), random per-layer bit assignments, optional
+  bias convs, dropout glue, both flatten-vs-global-pool heads and an
+  occasional second named output head.  Every shape the generator can emit
+  **compiles** — there is no fallback seed; the module path exists only as
+  the parity oracle and behind the ``REPRO_FORCE_FALLBACK`` escape hatch.
 * :func:`assert_serving_parity` — the parity contract for one model:
 
   - the **reference plan** (``optimize=False``) must be **bitwise
@@ -23,20 +28,26 @@ serving read path:
   - the **engine** must compile (no fallback) and serve the fused plan's
     exact numbers.
 
+  Multi-output models are checked slot by slot: the plan's named result
+  dict must carry exactly the module's keys and every slot obeys the same
+  bitwise/tolerance contract.
+
 * :class:`UntraceableNet` / :class:`MendableNet` — models for the fallback
-  boundary: glue the compiler genuinely cannot serve (a multiplicative
-  join), and a repairable variant for testing the fallback->compiled
-  upgrade path.
+  boundary: glue the compiler genuinely cannot serve (a *division* join —
+  additions, elementwise multiplies and channel concats all compile now),
+  and repairable variants for testing the fallback->compiled upgrade path
+  into each supported join kind.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.backend import use_backend
 from repro.models.base import QuantizableModel
+from repro.models.gated import GatedAttentionBlock, GroupedConv2d
 from repro.models.resnet import BasicBlock
 from repro.nn import Tensor
 from repro.nn.modules import (
@@ -88,7 +99,8 @@ class _RandomNet(QuantizableModel):
         index += 1
 
         for _ in range(int(rng.integers(1, 4))):
-            if rng.random() < 0.5:
+            segment = rng.random()
+            if segment < 0.30:
                 # Residual segment: identity shortcut, or a downsample
                 # projection when the stage strides/widens.
                 if rng.random() < 0.5 and spatial >= 4:
@@ -107,6 +119,37 @@ class _RandomNet(QuantizableModel):
                 self.features.append(block)
                 channels = out_channels
                 spatial = (spatial + 1) // 2 if stride == 2 else spatial
+            elif segment < 0.50:
+                # Gated-attention segment: value * sigmoid(gate), projected
+                # and residually added — a multiplicative join plus an add.
+                block = GatedAttentionBlock(channels, 4, rng)
+                lead = f"conv{index}"
+                self.register_qlayer(lead, block.value)
+                self.register_qlayer(f"{lead}.gate", block.gate, tie_to=lead, main=False)
+                self.register_qlayer(f"{lead}.proj", block.proj, tie_to=lead, main=False)
+                index += 1
+                self.features.append(block)
+            elif segment < 0.70:
+                # Grouped (sometimes depthwise) convolution: channel slices
+                # convolved independently, re-joined by a channel concat.
+                divisors = [g for g in (2, 4, channels) if channels % g == 0 and g <= channels]
+                groups = int(rng.choice(divisors)) if divisors else 1
+                out_channels = groups * int(rng.integers(1, 3))
+                grouped = GroupedConv2d(
+                    channels, out_channels, groups, bits=4, rng=rng,
+                )
+                lead = f"conv{index}"
+                for g, conv in enumerate(grouped.convs):
+                    self.register_qlayer(
+                        f"{lead}.g{g}" if g else lead, conv,
+                        tie_to=None if g == 0 else lead, main=g == 0,
+                    )
+                index += 1
+                self.features.append(grouped)
+                channels = out_channels
+                if rng.random() < 0.7:
+                    self.features.append(BatchNorm2d(channels))
+                self.features.append(ReLU())
             else:
                 # Plain segment: conv [+BN] [+act] [+pool] [+dropout glue].
                 kernel, padding = (3, 1) if rng.random() < 0.7 else (1, 0)
@@ -136,6 +179,7 @@ class _RandomNet(QuantizableModel):
         # Head: flatten glue (``x.flatten(1)``) or global average pooling.
         self.use_flatten = bool(rng.random() < 0.5)
         in_features = channels * spatial * spatial if self.use_flatten else channels
+        pooled_width = in_features
         if rng.random() < 0.4:
             hidden = int(rng.integers(6, 13))
             fc = QLinear(in_features, hidden, bits=4, rng=rng)
@@ -149,18 +193,32 @@ class _RandomNet(QuantizableModel):
         self.head.append(classifier)
         self.pool_head = None if self.use_flatten else GlobalAvgPool2d()
 
+        # Occasionally grow a second named head: the plan must then serve a
+        # {"logits", "aux"} result dict through named output slots.
+        self.aux: Optional[QLinear] = None
+        if rng.random() < 0.25:
+            self.aux = QLinear(pooled_width, num_classes, bits=4, rng=rng)
+            self.register_qlayer("aux", self.aux)
+
         # Random bit assignment over the free layers (ties follow set_bits).
         for layer in self.quantizable_layers().values():
             if not layer.pinned:
                 layer.set_bits(int(rng.choice(_BIT_CHOICES)))
 
-    def forward(self, x: Tensor) -> Tensor:
+    @property
+    def multi_output(self) -> bool:
+        return self.aux is not None
+
+    def forward(self, x: Tensor):
         for layer in self.features:
             x = layer(x)
         x = x.flatten(1) if self.use_flatten else self.pool_head(x)
+        pooled = x
         for layer in self.head:
             x = layer(x)
-        return x
+        if self.aux is None:
+            return x
+        return {"logits": x, "aux": self.aux(pooled)}
 
 
 def random_quantized_model(
@@ -182,7 +240,46 @@ def random_quantized_model(
     return model, shape
 
 
-def _assert_fused_close(got: np.ndarray, want: np.ndarray, label: str) -> None:
+Arrays = Union[np.ndarray, Dict[str, np.ndarray]]
+
+
+def _named(value) -> Dict[str, np.ndarray]:
+    """Normalize a module/plan/session output into a ``{slot: array}`` dict.
+
+    Single anonymous outputs get the slot name ``""`` so every comparison
+    below is a dict comparison with identical keys on both sides.
+    """
+    if isinstance(value, dict):
+        return {
+            str(key): (part.data if isinstance(part, Tensor) else np.asarray(part))
+            for key, part in value.items()
+        }
+    if isinstance(value, Tensor):
+        return {"": value.data}
+    return {"": np.asarray(value)}
+
+
+def _paired(got: Arrays, want: Arrays, label: str):
+    """Match outputs slot by slot; a keyset mismatch is itself a failure."""
+    got_named, want_named = _named(got), _named(want)
+    assert set(got_named) == set(want_named), (
+        f"{label}: output slots {sorted(got_named)} != expected {sorted(want_named)}"
+    )
+    return [
+        (f"{label}[{name}]" if name else label, got_named[name], want_named[name])
+        for name in sorted(want_named)
+    ]
+
+
+def _assert_bitwise(got: Arrays, want: Arrays, label: str) -> None:
+    for slot, got_part, want_part in _paired(got, want, label):
+        assert np.array_equal(got_part, want_part), (
+            f"{slot} is not bitwise-identical "
+            f"(max diff {np.abs(got_part - want_part).max():.3e})"
+        )
+
+
+def _assert_fused_close(got: Arrays, want: Arrays, label: str) -> None:
     """Fused-plan tolerance: allow rare one-step PACT staircase flips.
 
     A flip at a rounding boundary shifts every downstream logit of that one
@@ -191,11 +288,17 @@ def _assert_fused_close(got: np.ndarray, want: np.ndarray, label: str) -> None:
     sample of every batch and fail this by a mile (and are *also* caught
     bitwise by the reference-plan check, which is the real gate).
     """
-    within = np.abs(got - want) <= 1e-3 + 1e-3 * np.abs(want)
-    assert within.mean() >= 0.9, (
-        f"{label}: only {within.mean():.3f} of logits within tolerance "
-        f"(max diff {np.abs(got - want).max():.3e})"
-    )
+    for slot, got_part, want_part in _paired(got, want, label):
+        within = np.abs(got_part - want_part) <= 1e-3 + 1e-3 * np.abs(want_part)
+        assert within.mean() >= 0.9, (
+            f"{slot}: only {within.mean():.3f} of logits within tolerance "
+            f"(max diff {np.abs(got_part - want_part).max():.3e})"
+        )
+
+
+def _assert_equal(got: Arrays, want: Arrays, label: str) -> None:
+    for slot, got_part, want_part in _paired(got, want, label):
+        np.testing.assert_array_equal(got_part, want_part, err_msg=slot)
 
 
 def assert_serving_parity(
@@ -211,7 +314,7 @@ def assert_serving_parity(
     Per backend: the reference plans are bitwise-identical to the module
     path (float) and the integer session (integer); the fused plans agree to
     tolerance; the engine compiles (no fallback) and serves the fused plan's
-    exact numbers.
+    exact numbers.  Multi-output models are compared slot by slot.
     """
     rng = np.random.default_rng(seed)
     x = rng.standard_normal((batch, *input_shape)).astype(np.float32)
@@ -219,14 +322,11 @@ def assert_serving_parity(
     for backend in backends:
         with use_backend(backend):
             with no_grad():
-                want = model(Tensor(x)).data
+                want = model(Tensor(x))
 
             reference = InferencePlan.trace(model, input_shape, optimize=False)
-            got = reference.run(x)
-            assert np.array_equal(got, want), (
-                f"float reference plan is not bitwise-identical to the module "
-                f"path on backend {backend!r} "
-                f"(max diff {np.abs(got - want).max():.3e})"
+            _assert_bitwise(
+                reference.run(x), want, f"float reference plan [{backend}]"
             )
 
             fused = InferencePlan.trace(model, input_shape)
@@ -239,18 +339,16 @@ def assert_serving_parity(
                 f"engine fell back on backend {backend!r}: "
                 f"{engine.plan_report()['fallback_reason']}"
             )
-            np.testing.assert_array_equal(engine_logits, fused_logits)
+            _assert_equal(engine_logits, fused_logits, f"engine [{backend}]")
 
             if check_integer:
                 want_int = IntegerInferenceSession(model).run(x)
                 int_reference = InferencePlan.trace(
                     model, input_shape, mode="integer", optimize=False
                 )
-                int_got = int_reference.run(x)
-                assert np.array_equal(int_got, want_int), (
-                    f"integer reference plan is not bitwise-identical to the "
-                    f"integer session on backend {backend!r} "
-                    f"(max diff {np.abs(int_got - want_int).max():.3e})"
+                _assert_bitwise(
+                    int_reference.run(x), want_int,
+                    f"integer reference plan [{backend}]",
                 )
                 int_fused = InferencePlan.trace(model, input_shape, mode="integer")
                 _assert_fused_close(
@@ -262,11 +360,13 @@ def assert_serving_parity(
 # the fallback boundary
 # --------------------------------------------------------------------------- #
 class UntraceableNet(QuantizableModel):
-    """Two conv branches joined by a *multiplication* — genuinely uncompilable.
+    """Two conv branches joined by a *division* — genuinely uncompilable.
 
-    The tracer records additions only; the product's output tensor is
-    unknown to the value table, so the following leaf raises
-    :class:`~repro.serve.PlanTraceError` and the engine must fall back.
+    The tracer records additions, elementwise multiplies and channel concats;
+    a quotient's output tensor is unknown to the value table, so the
+    following leaf raises :class:`~repro.serve.PlanTraceError` and the
+    engine must fall back.  (This model used a multiplicative join before
+    ``*`` learned to compile.)
     """
 
     def __init__(self, channels: int = 4, image_size: int = 8, num_classes: int = 3) -> None:
@@ -283,24 +383,48 @@ class UntraceableNet(QuantizableModel):
         self.register_qlayer("classifier", self.classifier, pinned=True, pinned_bits=8)
 
     def forward(self, x: Tensor) -> Tensor:
-        gated = self.branch_a(x) * self.branch_b(x)  # multiplicative join
-        return self.classifier(self.pool(gated))
+        ratio = self.branch_a(x) / self.branch_b(x)  # division join
+        return self.classifier(self.pool(ratio))
 
 
 class MendableNet(UntraceableNet):
-    """Starts with the multiplicative join; flip ``mended`` to use addition.
+    """Starts with the division join; flip ``mended`` to use a supported one.
 
     Models the operational story behind the engine's upgrade path: a model
     whose glue was rewritten into compilable form after it first fell back —
     ``predict(refresh=True)`` must then compile and clear the fallback.
+    ``mend_to`` picks which supported join the repair lands on (``"add"``,
+    ``"mul"`` or ``"cat"``), so the upgrade path is exercised into every
+    join kind the compiler serves.
     """
 
-    def __init__(self, **kwargs) -> None:
+    def __init__(self, mend_to: str = "add", **kwargs) -> None:
+        if mend_to not in ("add", "mul", "cat"):
+            raise ValueError(f"mend_to must be add/mul/cat, got {mend_to!r}")
         super().__init__(**kwargs)
+        self.mend_to = mend_to
         self.mended = False
+        if mend_to == "cat":
+            # The concat repair doubles the channel count into the head.
+            rng = np.random.default_rng(1)
+            channels = self.branch_a.out_channels
+            self.classifier = QLinear(
+                channels * 2, self.classifier.out_features, bits=8, pinned=True, rng=rng
+            )
+            self._qlayers["classifier"] = self.classifier
 
     def forward(self, x: Tensor) -> Tensor:
         a = self.branch_a(x)
         b = self.branch_b(x)
-        joined = a + b if self.mended else a * b
+        if not self.mended:
+            quotient = a / b  # division join: always untraced
+            joined = (
+                Tensor.cat([quotient, b], axis=1) if self.mend_to == "cat" else quotient
+            )
+        elif self.mend_to == "add":
+            joined = a + b
+        elif self.mend_to == "mul":
+            joined = a * b
+        else:
+            joined = Tensor.cat([a, b], axis=1)
         return self.classifier(self.pool(joined))

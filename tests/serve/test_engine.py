@@ -353,8 +353,16 @@ class TestFallbackBoundary:
 class TestFallbackUpgrade:
     """refresh=True retries the trace and clears the fallback on success."""
 
-    def test_refresh_upgrades_mended_model(self, rng):
-        model = _warmed_model(lambda: MendableNet(), (3, 8, 8), rng)
+    @pytest.mark.parametrize("mend_to", ["add", "mul", "cat"])
+    def test_refresh_upgrades_mended_model(self, rng, mend_to):
+        """The upgrade path lands on every join kind the compiler serves.
+
+        ``mul`` and ``cat`` are the joins that *newly* compile: a model that
+        fell back on its division glue and was repaired into an elementwise
+        multiply or a channel concat must upgrade exactly like the additive
+        repair always did.
+        """
+        model = _warmed_model(lambda: MendableNet(mend_to=mend_to), (3, 8, 8), rng)
         x = rng.standard_normal((2, 3, 8, 8)).astype(np.float32)
         engine = InferenceEngine(model)
         with pytest.warns(RuntimeWarning, match="module path"):
@@ -372,6 +380,8 @@ class TestFallbackUpgrade:
         assert report["state"] == "compiled"
         assert report["upgraded_after_fallback"] is True
         assert report["fallback_reason"] is None
+        expected_joins = {"add": "residual_joins", "mul": "mul_joins", "cat": "concat_joins"}
+        assert report["plan"][expected_joins[mend_to]] == 1
         with no_grad():
             want = model(Tensor(x)).data
         _assert_mostly_close(got, want)
@@ -461,3 +471,98 @@ class TestStepProfiling:
         engine = InferenceEngine(cnn)
         engine.predict_logits(rng.standard_normal((1, 3, 12, 12)).astype(np.float32))
         assert engine.plan_report()["step_timings"] is not None
+
+
+class TestZeroRowRequests:
+    """Regression: a zero-row batch returns empty logits, not a crash.
+
+    The chunk loop used ``range(0, max(n, 1), step)``, which pushed an empty
+    slice through ``plan.run`` / the fallback runner for ``n == 0``.
+    """
+
+    def test_compiled_engine_returns_empty_logits(self, cnn, rng):
+        engine = InferenceEngine(cnn)
+        out = engine.predict_logits(np.empty((0, 3, 12, 12), dtype=np.float32))
+        assert out.shape == (0, 4)
+        assert out.dtype == np.float32
+        assert engine.predict(np.empty((0, 3, 12, 12), dtype=np.float32)).shape == (0,)
+
+    def test_zero_rows_after_nonempty_traffic(self, cnn, rng):
+        engine = InferenceEngine(cnn)
+        x = rng.standard_normal((3, 3, 12, 12)).astype(np.float32)
+        engine.predict_logits(x)
+        assert engine.predict_logits(x[:0]).shape == (0, 4)
+
+    def test_fallback_engine_returns_empty_logits(self, rng):
+        model = _warmed_model(lambda: UntraceableNet(), (3, 8, 8), rng)
+        engine = InferenceEngine(model)
+        with pytest.warns(RuntimeWarning, match="module path"):
+            out = engine.predict_logits(np.empty((0, 3, 8, 8), dtype=np.float32))
+        assert engine.uses_fallback
+        assert out.shape == (0, 3)
+
+    def test_integer_engine_returns_empty_logits(self, cnn):
+        engine = InferenceEngine(cnn, mode="integer")
+        out = engine.predict_logits(np.empty((0, 3, 12, 12), dtype=np.float32))
+        assert out.shape == (0, 4)
+
+    def test_multi_output_engine_returns_empty_slots(self, rng):
+        from repro.models import gated_attention_net
+
+        model = _warmed_model(
+            gated_attention_net, (3, 8, 8), rng,
+            num_classes=5, base_channels=8, num_blocks=1, groups=4,
+            input_size=8, seed=0, aux_head=True,
+        )
+        engine = InferenceEngine(model)
+        out = engine.predict_logits(np.empty((0, 3, 8, 8), dtype=np.float32))
+        assert set(out) == {"logits", "aux"}
+        assert all(value.shape == (0, 5) for value in out.values())
+        assert engine.predict(np.empty((0, 3, 8, 8), dtype=np.float32)).shape == (0,)
+
+
+class TestForcedFallback:
+    """REPRO_FORCE_FALLBACK pins an engine to the module path, silently."""
+
+    def test_kwarg_forces_fallback_without_warning(self, cnn, rng):
+        import warnings as warnings_module
+
+        x = rng.standard_normal((2, 3, 12, 12)).astype(np.float32)
+        engine = InferenceEngine(cnn, force_fallback=True)
+        with warnings_module.catch_warnings(record=True) as caught:
+            warnings_module.simplefilter("always")
+            got = engine.predict_logits(x)
+        assert engine.uses_fallback
+        assert not [w for w in caught if "module path" in str(w.message)]
+        report = engine.plan_report()
+        assert report["forced_fallback"] is True
+        assert "REPRO_FORCE_FALLBACK" in report["fallback_reason"]
+        with no_grad():
+            want = cnn(Tensor(x)).data
+        np.testing.assert_array_equal(got, want)
+
+    def test_env_knob_forces_fallback(self, cnn, rng, monkeypatch):
+        monkeypatch.setenv("REPRO_FORCE_FALLBACK", "1")
+        engine = InferenceEngine(cnn)
+        engine.predict_logits(rng.standard_normal((1, 3, 12, 12)).astype(np.float32))
+        assert engine.uses_fallback
+        assert engine.plan_report()["forced_fallback"] is True
+
+    def test_kwarg_overrides_env(self, cnn, rng, monkeypatch):
+        monkeypatch.setenv("REPRO_FORCE_FALLBACK", "1")
+        engine = InferenceEngine(cnn, force_fallback=False)
+        engine.predict_logits(rng.standard_normal((1, 3, 12, 12)).astype(np.float32))
+        assert not engine.uses_fallback
+
+    def test_strict_warmup_tolerates_forced_fallback(self, cnn):
+        engine = InferenceEngine(cnn, force_fallback=True)
+        engine.warmup(require_compiled=True)  # must not raise
+        assert engine.uses_fallback
+
+    def test_refresh_cannot_upgrade_a_forced_engine(self, cnn, rng):
+        x = rng.standard_normal((2, 3, 12, 12)).astype(np.float32)
+        engine = InferenceEngine(cnn, force_fallback=True)
+        engine.predict_logits(x)
+        engine.predict_logits(x, refresh=True)
+        assert engine.uses_fallback
+        assert engine.plan_report()["upgraded_after_fallback"] is False

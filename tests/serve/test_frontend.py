@@ -577,6 +577,26 @@ class TestServerLifecycleAndAdmission:
         with pytest.raises(ValueError):
             ModelServer(max_delay_ms=-1.0)
 
+    def test_empty_request_rejected_and_server_stays_healthy(self, cnn, rng):
+        """Regression companion to the engine's zero-row fix.
+
+        The frontend refuses a zero-row request up front with a typed
+        ValueError — it must never occupy a batch slot or reach the engine —
+        and the rejection leaves no admission bookkeeping behind: the lane
+        keeps serving normally afterwards.
+        """
+        server = ModelServer(max_batch_size=4, max_delay_ms=1.0)
+        with server:
+            server.register("cnn", cnn)
+            with pytest.raises(ValueError, match="empty request"):
+                server.submit("cnn", np.zeros((0, *CNN_SHAPE), dtype=np.float32))
+            logits = server.predict(
+                "cnn", rng.standard_normal(CNN_SHAPE).astype(np.float32), timeout=60
+            )
+            assert logits.shape == (4,)
+            metrics = server.metrics("cnn")
+            assert metrics["requests"]["completed"] == 1
+
 
 # --------------------------------------------------------------------------- #
 # thread-safety of shared state

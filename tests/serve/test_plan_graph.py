@@ -15,7 +15,7 @@ from repro.quant.qmodules import QConv2d, QLinear
 from repro.serve import InferenceEngine, InferencePlan, PlanTraceError, PlanVerifyError
 from repro.serve.plan import _LoadStep, _ResidualAddStep, _SaveStep
 
-from .parity import UntraceableNet
+from .parity import MendableNet, UntraceableNet
 
 
 class _BlockNet(QuantizableModel):
@@ -127,20 +127,35 @@ class TestResidualJoinDetection:
 
 
 class TestUnsupportedGlue:
-    def test_multiplicative_join_raises(self, rng):
+    def test_division_join_raises(self, rng):
         model = _warm(UntraceableNet(), (3, 8, 8), rng, batches=1)
-        with pytest.raises(PlanTraceError, match="linear chains and residual additions"):
+        with pytest.raises(PlanTraceError, match="elementwise multiplies and channel"):
             InferencePlan.trace(model, (3, 8, 8))
 
     def test_subtraction_join_raises(self, rng):
         model = _warm(_SubtractionJoinNet(), (3, 8, 8), rng, batches=1)
-        with pytest.raises(PlanTraceError, match="linear chains and residual additions"):
+        with pytest.raises(PlanTraceError, match="elementwise multiplies and channel"):
             InferencePlan.trace(model, (3, 8, 8))
 
     def test_error_names_the_blocked_layer(self, rng):
         model = _warm(UntraceableNet(), (3, 8, 8), rng, batches=1)
         with pytest.raises(PlanTraceError, match="GlobalAvgPool2d"):
             InferencePlan.trace(model, (3, 8, 8))
+
+    def test_multiplicative_join_now_compiles(self, rng):
+        """The glue that used to define the fallback class is served now."""
+        model = MendableNet(mend_to="mul")
+        model.mended = True
+        _warm(model, (3, 8, 8), rng, batches=1)
+        plan = InferencePlan.trace(model, (3, 8, 8))
+        assert plan.meta["mul_joins"] == 1
+
+    def test_concat_join_compiles(self, rng):
+        model = MendableNet(mend_to="cat")
+        model.mended = True
+        _warm(model, (3, 8, 8), rng, batches=1)
+        plan = InferencePlan.trace(model, (3, 8, 8))
+        assert plan.meta["concat_joins"] == 1
 
 
 class TestVerification:

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.models import resnet18, resnet20
+from repro.models import gated_attention_net, resnet18, resnet20
 from repro.nn import Tensor
 from repro.serve import InferenceEngine, InferencePlan
 
@@ -56,6 +56,71 @@ class TestRandomizedParity:
         assert any(count == 0 for count in joins), "no pure chains generated"
         assert identity > 0 and projection > 0
         assert 0 < flatten_heads < len(FAST_SEEDS)
+
+    def test_generator_covers_dag_joins_and_never_falls_back(self):
+        """ISSUE 9 acceptance: every seed compiles — there is no fallback
+        class left — and the pool exercises mul joins, concat joins and
+        multi-output heads."""
+        mul = cat = multi = 0
+        for seed in range(24):
+            model, shape = random_quantized_model(seed)
+            plan = InferencePlan.trace(model, shape)  # raises if untraceable
+            mul += plan.meta["mul_joins"]
+            cat += plan.meta["concat_joins"]
+            multi += int(model.multi_output)
+            if model.multi_output:
+                assert plan.meta["output_slots"] == 2
+        assert mul > 0, "no mul-join models generated"
+        assert cat > 0, "no concat-join models generated"
+        assert multi > 0, "no multi-output models generated"
+
+
+class TestDagShapeParity:
+    """Mul joins, concat heads and named output slots hold the parity contract."""
+
+    def _gated(self, rng, **kwargs):
+        config = dict(
+            num_classes=5, base_channels=8, num_blocks=1, groups=4,
+            input_size=8, seed=0,
+        )
+        config.update(kwargs)
+        model = gated_attention_net(**config)
+        model(Tensor(rng.standard_normal((8, 3, 8, 8)).astype(np.float32)))
+        model.eval()
+        return model
+
+    @pytest.mark.parametrize("backend", ["fast", "numpy"])
+    def test_gated_attention_parity(self, rng, backend):
+        model = self._gated(rng)
+        assert_serving_parity(model, (3, 8, 8), batch=2, backends=(backend,))
+
+    @pytest.mark.parametrize("backend", ["fast", "numpy"])
+    def test_multi_output_head_parity(self, rng, backend):
+        model = self._gated(rng, aux_head=True)
+        assert_serving_parity(model, (3, 8, 8), batch=2, backends=(backend,))
+
+    @pytest.mark.parametrize("backend", ["fast", "numpy"])
+    def test_depthwise_grouped_conv_parity(self, rng, backend):
+        # groups == channels: every group convolves a single channel.
+        model = self._gated(rng, groups=8)
+        assert_serving_parity(model, (3, 8, 8), batch=2, backends=(backend,))
+
+    def test_plan_report_classifies_the_new_shapes(self, rng):
+        model = self._gated(rng, num_blocks=2, aux_head=True)
+        engine = InferenceEngine(model)
+        engine.predict_logits(rng.standard_normal((2, 3, 8, 8)).astype(np.float32))
+        assert not engine.uses_fallback
+        plan = engine.plan_report()["plan"]
+        assert plan["mul_joins"] == 2          # one per gated block
+        assert plan["residual_joins"] == 2     # each block ends in an add
+        assert plan["concat_joins"] == 1       # the grouped conv re-join
+        assert plan["output_slots"] == 2       # {"logits", "aux"}
+        kinds = plan["step_kinds"]
+        assert kinds["ResidualMulStep"] == 2
+        assert kinds["ConcatStep"] == 1
+        assert kinds["SigmoidStep"] == 2
+        assert kinds["ChannelSliceStep"] == 4  # one zero-copy view per group
+        assert kinds["OutputsStep"] == 1
 
 
 class TestResNetParity:
