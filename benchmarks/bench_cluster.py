@@ -60,12 +60,13 @@ Run it directly::
 from __future__ import annotations
 
 import json
+import logging
 import os
 import sys
 import tempfile
 import threading
 import time
-import warnings
+from contextlib import contextmanager
 
 import numpy as np
 
@@ -85,10 +86,18 @@ from cluster_workload import INPUT_SHAPE, build_workload_model  # noqa: E402
 from repro.backend import get_backend  # noqa: E402
 from repro.obs import (  # noqa: E402
     SPAN_STAGES,
+    BurnRateRule,
     MetricsExporter,
+    SLOEngine,
+    SLOPoller,
     check_counters_monotonic,
+    default_objectives,
+    get_logger,
     lint_exposition,
+    log_event,
+    make_flight_recorder,
     scrape,
+    server_view,
 )
 from repro.serve import InferenceEngine, ModelServer  # noqa: E402
 from repro.serve.cluster import BreakerPolicy, ClusterServer  # noqa: E402
@@ -105,6 +114,9 @@ from repro.utils import save_quantized_checkpoint  # noqa: E402
 
 OUTPUT_PATH = os.path.join(HERE, "BENCH_cluster.json")
 CHAOS_OUTPUT_PATH = os.path.join(HERE, "BENCH_chaos.json")
+#: Dumped by the SLO engine's on_firing hook during the kill storm; CI uploads
+#: it as an artifact when the chaos smoke raises an alert.
+FLIGHT_RECORDER_PATH = os.path.join(HERE, "chaos_flight_recorder.json")
 
 # Acceptance floor (ISSUE 5): cluster vs single-process ModelServer on the
 # GIL-bound trace, when the cores exist to parallelise across.
@@ -212,19 +224,32 @@ def replay_trace(submit, requests, arrivals):
     return time.perf_counter() - start, logits
 
 
+@contextmanager
+def _fallback_logs_suppressed():
+    """Forced fallback is this bench's premise (REPRO_FORCE_FALLBACK=1);
+    the engine's once-per-instance ``engine_fallback`` log line is expected
+    noise here, so silence just that logger for the scope."""
+    logger = get_logger("serve.engine")
+    previous = logger.level
+    logger.setLevel(logging.ERROR)
+    try:
+        yield
+    finally:
+        logger.setLevel(previous)
+
+
 def run_single_process(model, requests, arrivals):
     """The PR 3 frontend: one worker thread, GIL-bound fallback engine."""
     engine = InferenceEngine(model, batch_size=max(64, MAX_BATCH_SIZE))
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", RuntimeWarning)
+    with _fallback_logs_suppressed():
         engine.predict_logits(requests[:1])  # fallback decision outside timing
-        server = ModelServer(max_batch_size=MAX_BATCH_SIZE, max_delay_ms=MAX_DELAY_MS)
-        server.register("bench", engine=engine)
-        with server:
-            makespan, logits = replay_trace(
-                lambda index: server.submit("bench", requests[index]), requests, arrivals
-            )
-            snapshot = server.metrics("bench")
+    server = ModelServer(max_batch_size=MAX_BATCH_SIZE, max_delay_ms=MAX_DELAY_MS)
+    server.register("bench", engine=engine)
+    with server:
+        makespan, logits = replay_trace(
+            lambda index: server.submit("bench", requests[index]), requests, arrivals
+        )
+        snapshot = server.metrics("bench")
     return makespan, logits, snapshot
 
 
@@ -282,8 +307,7 @@ class BitwiseChecker:
             if len(requests) == 1
             else np.concatenate([r.inputs for r in requests], axis=0)
         )
-        with self._lock, warnings.catch_warnings():
-            warnings.simplefilter("ignore", RuntimeWarning)
+        with self._lock:
             expected = self._engine.predict_logits(stacked)
         offset = 0
         for request in requests:
@@ -300,6 +324,8 @@ class BitwiseChecker:
 
 def run_chaos(model, checkpoint_path) -> int:
     """Kill-storm survivability run; writes BENCH_chaos.json, 1 on violation."""
+    if os.path.exists(FLIGHT_RECORDER_PATH):
+        os.remove(FLIGHT_RECORDER_PATH)  # never report a stale bundle
     trace = generate_trace(
         TrafficSpec(
             variants=["bench"],
@@ -333,8 +359,7 @@ def run_chaos(model, checkpoint_path) -> int:
         kill_storm=storm,
     )
     reference = InferenceEngine(model, batch_size=64)
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", RuntimeWarning)
+    with _fallback_logs_suppressed():
         reference.warmup(require_compiled=False)
     checker = BitwiseChecker(reference)
 
@@ -364,14 +389,79 @@ def run_chaos(model, checkpoint_path) -> int:
             chaos_latency_s=0.01,  # widen the in-flight window the storm targets
         )
         cluster.predict("bench", np.zeros(INPUT_SHAPE, dtype=np.float32), timeout=120)
+        cluster.enable_model_health(shadow_sample_every=0)  # drift gauges, no shadow
         exporter = _mount_exporter(cluster)
         scrape_before = _scrape_report(exporter)
-        started = time.perf_counter()
-        with plan.apply(cluster):
-            outcomes = run_trace(
-                cluster, trace, INPUT_SHAPE, result_timeout_s=300.0
+
+        # SLO acceptance (ISSUE 10): availability must stay silent through a
+        # calm warmup, fire during the kill storm, and resolve once healthy
+        # traffic returns.  Burn windows are scaled to bench time (seconds,
+        # not the minutes a production rule would use).
+        engine_ref: list = []
+        slo = SLOEngine(
+            server_view(cluster),
+            default_objectives(
+                availability_target=0.99,
+                p99_bound_s=None,
+                drift_bound=None,
+                rules=(BurnRateRule(long_s=4.0, short_s=1.0, burn_threshold=2.0),),
+                clear_after_s=1.0,
+            ),
+            on_firing=make_flight_recorder(
+                cluster, FLIGHT_RECORDER_PATH, engine_ref=engine_ref
+            ),
+        )
+        engine_ref.append(slo)
+        calm_trace = generate_trace(
+            TrafficSpec(
+                variants=["bench"],
+                arrivals="poisson",
+                arrival_kwargs={"rate_hz": 60.0},
+                num_requests=48 if CHAOS_SHORT else 96,
+                batch_sizes=(1, 2),
+                batch_weights=(0.8, 0.2),
+                priorities=(0,),
+                priority_weights=(1.0,),
+            ),
+            seed=CHAOS_SEED + 1,
+        )
+        for record in calm_trace:
+            # Keep the calm phase's span trace ids disjoint from the storm's.
+            record["id"] = int(record["id"]) + 1_000_000
+
+        with SLOPoller(slo, interval_s=0.1):
+            calm_outcomes = run_trace(
+                cluster, calm_trace, INPUT_SHAPE, result_timeout_s=60.0
             )
-        makespan = time.perf_counter() - started
+            slo.evaluate()
+            calm_transitions = list(slo.transitions())
+
+            started = time.perf_counter()
+            with plan.apply(cluster):
+                outcomes = run_trace(
+                    cluster, trace, INPUT_SHAPE, result_timeout_s=300.0
+                )
+            makespan = time.perf_counter() - started
+            slo.evaluate()
+            storm_transitions = list(slo.transitions())
+
+            # Post-storm: healthy traffic until the alert clears (bounded).
+            resolve_deadline = time.monotonic() + 30.0
+            while (
+                slo.state("availability") != "ok"
+                and time.monotonic() < resolve_deadline
+            ):
+                try:
+                    cluster.predict(
+                        "bench", np.zeros(INPUT_SHAPE, dtype=np.float32), timeout=10
+                    )
+                except Exception:  # noqa: BLE001 - stragglers don't end the probe
+                    pass
+                time.sleep(0.05)
+            slo.evaluate()
+        slo_transitions = list(slo.transitions())
+        slo_final_state = slo.state("availability")
+
         cluster.drain(timeout=60.0)
         snapshot = cluster.metrics("bench")
         scrape_after = _scrape_report(exporter)
@@ -423,6 +513,7 @@ def run_chaos(model, checkpoint_path) -> int:
         ):
             missing_chain.append(outcome.trace_id)
     outcome_ids = {outcome.trace_id for outcome in outcomes}
+    outcome_ids |= {outcome.trace_id for outcome in calm_outcomes}
     orphan_spans = sorted(
         trace_id
         for trace_id in spans_by_id
@@ -439,6 +530,37 @@ def run_chaos(model, checkpoint_path) -> int:
         "passed": not missing_chain and not orphan_spans and spans_dropped == 0,
     }
 
+    fired_during_storm = any(
+        t["kind"] == "slo_firing" for t in storm_transitions
+    )
+    resolved_after = (
+        any(t["kind"] == "slo_resolved" for t in slo_transitions)
+        and slo_final_state == "ok"
+    )
+    calm_lost = sum(1 for o in calm_outcomes if o.status != "completed")
+    slo_check = {
+        "objective": "availability",
+        "rules": [{"long_s": 4.0, "short_s": 1.0, "burn_threshold": 2.0}],
+        "calm_requests": len(calm_outcomes),
+        "calm_incomplete": calm_lost,
+        "calm_false_positives": len(calm_transitions),
+        "fired_during_storm": fired_during_storm,
+        "resolved_after_storm": resolved_after,
+        "final_state": slo_final_state,
+        "transitions": [
+            {key: value for key, value in t.items() if key != "view"}
+            for t in slo_transitions
+        ],
+        "flight_recorder": (
+            os.path.basename(FLIGHT_RECORDER_PATH)
+            if os.path.exists(FLIGHT_RECORDER_PATH)
+            else None
+        ),
+        "passed": (
+            not calm_transitions and fired_during_storm and resolved_after
+        ),
+    }
+
     contract = {
         "lost_requests": len(lost),
         "bitwise_checked": checker.checked,
@@ -446,11 +568,13 @@ def run_chaos(model, checkpoint_path) -> int:
         "p99_s": round(p99_s, 4),
         "max_p99_s": CHAOS_MAX_P99_S,
         "span_completeness": span_check,
+        "slo": slo_check,
         "passed": (
             not lost
             and checker.mismatched == 0
             and p99_s <= CHAOS_MAX_P99_S
             and span_check["passed"]
+            and slo_check["passed"]
         ),
     }
     report = {
@@ -514,6 +638,13 @@ def run_chaos(model, checkpoint_path) -> int:
         f"{span_check['orphan_span_count']} orphans, "
         f"{span_check['spans_dropped']} dropped"
     )
+    print(
+        f"slo: calm transitions {len(calm_transitions)}, "
+        f"fired during storm {fired_during_storm}, "
+        f"resolved after {resolved_after} (final state {slo_final_state}, "
+        f"{len(slo_transitions)} transitions, "
+        f"flight recorder {slo_check['flight_recorder']})"
+    )
     print(f"wrote {CHAOS_OUTPUT_PATH}")
     if not contract["passed"]:
         for outcome in lost[:5]:
@@ -527,7 +658,8 @@ def run_chaos(model, checkpoint_path) -> int:
             f"(lost={len(lost)}, bitwise_mismatched={checker.mismatched}, "
             f"p99={p99_s:.3f}s > {CHAOS_MAX_P99_S}s allowed "
             f"= {p99_s > CHAOS_MAX_P99_S}, "
-            f"span_completeness={span_check['passed']})",
+            f"span_completeness={span_check['passed']}, "
+            f"slo={slo_check['passed']})",
             file=sys.stderr,
         )
         return 1
@@ -538,13 +670,17 @@ def main() -> int:
     cores = available_cores()
     floor_enforced = cores >= MIN_CORES_FOR_FLOOR
     if not floor_enforced:
-        print(
-            f"WARNING: only {cores} core(s) available "
-            f"(< MIN_CORES_FOR_FLOOR={MIN_CORES_FOR_FLOOR}): the cluster "
-            f"speedup floor is NOT enforced on this box — shards cannot run "
-            f"in parallel, so the numbers below are report-only and the "
-            f"bench cannot gate (\"floor_enforced\": false in the report).",
-            file=sys.stderr,
+        log_event(
+            get_logger("bench.cluster"),
+            logging.WARNING,
+            "speedup_floor_not_enforced",
+            cores=cores,
+            min_cores_for_floor=MIN_CORES_FOR_FLOOR,
+            detail=(
+                "shards cannot run in parallel on this box; the numbers are "
+                'report-only and the bench cannot gate ("floor_enforced": '
+                "false in the report)"
+            ),
         )
     model = build_workload_model()
     model.eval()

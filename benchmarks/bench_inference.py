@@ -54,6 +54,13 @@ from repro.models import resnet18, vgg16
 from repro.nn import CrossEntropyLoss, Tensor
 from repro.nn import functional as F
 from repro.nn.tensor import no_grad
+from repro.obs import (
+    DriftDetector,
+    QuantHealthTap,
+    ShadowExecutor,
+    SLOEngine,
+    default_objectives,
+)
 from repro.quant import IntegerInferenceSession
 from repro.quant import integer_inference as integer_inference_module
 from repro.quant.qmodules import weight_cache_disabled
@@ -78,6 +85,10 @@ RESNET_VS_BATCHED_MIN = 1.5
 # Acceptance ceiling (ISSUE 8): per-plan-step profiling, when switched on,
 # may slow resnet_serving by at most this many percent.
 PROFILE_MAX_OVERHEAD_PCT = 3.0
+# Acceptance ceiling (ISSUE 10): the full model-health stack — quant taps,
+# sampled float shadow, drift detector and SLO evaluation — may slow
+# resnet_serving by at most this many percent, with bitwise-identical logits.
+HEALTH_MAX_OVERHEAD_PCT = 3.0
 
 NUM_REQUESTS = 16
 RESNET_REQUESTS = 32
@@ -416,6 +427,78 @@ def main() -> int:
         ok = False
 
     # ------------------------------------------------------------------ #
+    # 4c. model-health observability (ISSUE 10: taps + shadow + SLO on,
+    #     bitwise-identical logits, overhead under 3%)
+    # ------------------------------------------------------------------ #
+    def resnet_float_reference(batch: np.ndarray) -> np.ndarray:
+        with no_grad():
+            return resnet(Tensor(batch)).data
+
+    health_tap = QuantHealthTap(sample_every=16)
+    health_shadow = ShadowExecutor(resnet_float_reference, sample_every=64)
+    health_drift = DriftDetector()
+    health_counters = {"completed": 0.0, "failed": 0.0, "expired": 0.0}
+    health_slo = SLOEngine(
+        lambda: dict(health_counters, drift_score=health_drift.score()),
+        default_objectives(p99_bound_s=None),
+    )
+
+    def resnet_serve_unhealthy() -> np.ndarray:
+        resnet_engine.enable_health_tap(None)
+        return resnet_engine.predict_logits(resnet_requests)
+
+    def resnet_serve_health() -> np.ndarray:
+        resnet_engine.enable_health_tap(health_tap)
+        logits = resnet_engine.predict_logits(resnet_requests)
+        health_drift.observe(logits)
+        health_shadow.maybe_shadow(resnet_requests, logits)
+        health_counters["completed"] += RESNET_REQUESTS
+        health_slo.evaluate()
+        return logits
+
+    health_bitwise = bool(np.array_equal(resnet_serve_unhealthy(), resnet_serve_health()))
+    plain_latency, health_latency = _interleaved_best(
+        [resnet_serve_unhealthy, resnet_serve_health]
+    )
+    resnet_engine.enable_health_tap(None)
+    health_overhead = health_latency / plain_latency - 1.0
+    tap_snapshot = health_tap.snapshot()
+    shadow_snapshot = health_shadow.snapshot()
+    report["cases"]["model_health"] = {
+        "description": (
+            "resnet_serving with the full health stack on — quant tap "
+            "(1/16 runs), float shadow (1/64 batches), drift detector and "
+            "SLO burn-rate evaluation per call — vs the bare engine"
+        ),
+        "plain_ms": round(plain_latency * 1e3, 3),
+        "health_ms": round(health_latency * 1e3, 3),
+        "overhead_pct": round(health_overhead * 100, 2),
+        "overhead_budget_pct": HEALTH_MAX_OVERHEAD_PCT,
+        "bitwise_identical": health_bitwise,
+        "layers_tapped": len(tap_snapshot["layers"]),
+        "sampled_runs": tap_snapshot["sampled_runs"],
+        "shadow_batches": shadow_snapshot["batches_shadowed"],
+        "shadow_divergence_max": round(shadow_snapshot["divergence_max"], 6),
+        "shadow_top1_agreement": shadow_snapshot["top1_agreement"],
+        "drift_score": round(health_drift.score(), 6),
+        "slo_states": {
+            name: health_slo.state(name)
+            for name in ("availability", "prediction_drift")
+        },
+    }
+    print(
+        f"model health: plain {plain_latency * 1e3:.2f} ms, full stack "
+        f"{health_latency * 1e3:.2f} ms ({health_overhead * 100:+.2f}%, budget "
+        f"{HEALTH_MAX_OVERHEAD_PCT:.0f}%, bitwise={health_bitwise}, "
+        f"{len(tap_snapshot['layers'])} layers tapped, shadow agreement "
+        f"{shadow_snapshot['top1_agreement']:.3f})"
+    )
+    if health_overhead * 100 > HEALTH_MAX_OVERHEAD_PCT or not health_bitwise:
+        ok = False
+    if any(state != "ok" for state in report["cases"]["model_health"]["slo_states"].values()):
+        ok = False
+
+    # ------------------------------------------------------------------ #
     # 5. kernel routes: LUT/codebook accumulation vs float-BLAS GEMM
     # ------------------------------------------------------------------ #
     plan = resnet_engine.plan
@@ -490,8 +573,9 @@ def main() -> int:
         print(
             f"FAIL: below the {EVAL_MIN_SPEEDUP}x eval, {INT_MIN_SPEEDUP}x integer, "
             f"{RESNET_MIN_SPEEDUP}x compiled-ResNet or {RESNET_VS_BATCHED_MIN}x "
-            "vs-batched floor, ResNet fell back, routes disagreed, or a "
-            "steady-state run allocated",
+            "vs-batched floor, ResNet fell back, routes disagreed, a "
+            "steady-state run allocated, or profiling/health overhead "
+            "blew its budget",
             file=sys.stderr,
         )
         return 1

@@ -17,7 +17,11 @@ The observability stack's end-to-end check (ISSUE 8):
    * every submitted request produced a span with the full
      queue_wait/batch/wire/execute stage chain whose stage sum is within
      10% of the span's own end-to-end time,
-   * ``/spans`` and ``/events`` serve JSON.
+   * ``/spans`` and ``/events`` serve JSON,
+   * model-health (``repro_drift_*``, ``repro_quant_shadow_*``) and SLO
+     (``repro_slo_*``) families ride the exposition and lint clean, and
+     ``/alerts`` is well-formed with no alert raised on the healthy cluster
+     (ISSUE 10).
 
 Exit status is non-zero on any violation.  Run it directly::
 
@@ -42,10 +46,14 @@ for entry in (os.path.join(REPO, "src"), REPO):
 from repro.obs import (  # noqa: E402
     SPAN_STAGES,
     MetricsExporter,
+    SLOEngine,
     check_counters_monotonic,
+    default_objectives,
     lint_exposition,
     scrape,
+    server_view,
 )
+from repro.serve import InferenceEngine  # noqa: E402
 from repro.serve.cluster import ClusterServer  # noqa: E402
 from repro.utils import save_quantized_checkpoint  # noqa: E402
 from tests.serve.cluster_models import build_parity_model  # noqa: E402
@@ -74,7 +82,14 @@ def main() -> int:
         )
         with ClusterServer(max_batch_size=8, max_delay_ms=0.0) as cluster:
             cluster.register("m", checkpoint, shards=2)
-            with MetricsExporter(cluster) as exporter:
+            # Model health on the live cluster: drift always, float shadow via
+            # a local reference engine (the worker engines are out of process).
+            reference = InferenceEngine(model, batch_size=8)
+            cluster.enable_model_health(
+                reference=reference.predict_logits, shadow_sample_every=1
+            )
+            slo = SLOEngine(server_view(cluster), default_objectives())
+            with MetricsExporter(cluster, slo=slo) as exporter:
                 print(f"exporter at {exporter.url}")
                 futures = [
                     cluster.submit(
@@ -100,9 +115,38 @@ def main() -> int:
                 ]
                 for future in futures:
                     future.result(timeout=120)
+                slo.evaluate()
                 second = scrape(exporter.url)
                 lint_second = lint_exposition(second)
                 check(not lint_second, f"second scrape lint problems: {lint_second}")
+
+                # Model-health + SLO families must ride the same exposition
+                # (and therefore the same lint gate) as the serving counters.
+                for family in (
+                    "repro_build_info",
+                    "repro_drift_score",
+                    "repro_drift_observations_total",
+                    "repro_quant_shadow_divergence_max",
+                    "repro_quant_shadow_top1_agreement",
+                    "repro_slo_state",
+                    "repro_slo_burn_rate",
+                ):
+                    check(family in second, f"family {family} missing from exposition")
+
+                alerts_url = exporter.url.replace("/metrics", "/alerts")
+                with urllib.request.urlopen(alerts_url, timeout=10) as response:
+                    alerts = json.loads(response.read().decode("utf-8"))
+                for key in ("objectives", "alerts", "transitions", "generated_at"):
+                    check(key in alerts, f"/alerts missing key {key}")
+                objective_names = [o.get("objective") for o in alerts.get("objectives", [])]
+                check(
+                    "availability" in objective_names,
+                    f"/alerts objectives missing availability: {objective_names}",
+                )
+                check(
+                    alerts.get("alerts") == [],
+                    f"healthy CI cluster unexpectedly alerting: {alerts.get('alerts')}",
+                )
 
                 monotonic = check_counters_monotonic(first, second)
                 check(not monotonic, f"counter regressions between scrapes: {monotonic}")

@@ -1,28 +1,53 @@
-"""Observability for the serving stack: tracing, event log, Prometheus export.
+"""Observability for the serving stack: tracing, events, metrics, health, SLOs.
 
 * :mod:`repro.obs.tracing` — per-request :class:`TraceContext` spans with
   queue-wait / batch / wire / execute stages, collected into a bounded
   :class:`SpanRecorder` ring on the owning server.
 * :mod:`repro.obs.events` — :class:`EventLog`, a structured narrative of the
   lifecycle transitions the counters only tally (restarts, breaker trips,
-  sheds, expiries, retries, scaling decisions).
+  sheds, expiries, retries, scaling decisions, SLO alerts).
 * :mod:`repro.obs.prometheus` — text-exposition rendering, an in-repo format
-  linter, and :class:`MetricsExporter`, the stdlib ``/metrics`` endpoint
-  mountable on :class:`ModelServer` and :class:`ClusterServer`.
+  linter, and :class:`MetricsExporter`, the stdlib ``/metrics`` (plus
+  ``/spans`` / ``/events`` / ``/health`` / ``/alerts``) endpoint mountable
+  on :class:`ModelServer` and :class:`ClusterServer`.
+* :mod:`repro.obs.health` — model-health probes: per-layer quantization
+  taps (:class:`QuantHealthTap`), the sampled float-shadow executor
+  (:class:`ShadowExecutor`), and the rolling prediction-drift detector
+  (:class:`DriftDetector`), bundled per served model as
+  :class:`ModelHealth`.
+* :mod:`repro.obs.slo` — the pure burn-rate alerting engine
+  (:class:`SLOEngine`) with declared :class:`Objective` s, plus the
+  :class:`SLOPoller` thread and the flight-recorder firing hook.
+* :mod:`repro.obs.structlog` — stdlib-``logging`` JSON line logger with
+  thread-local trace-id correlation (:func:`get_logger`,
+  :func:`log_event`, :func:`bind_trace`).
 """
 
 from .events import EventLog
+from .health import DriftDetector, ModelHealth, QuantHealthTap, ShadowExecutor
 from .prometheus import (
     CONTENT_TYPE,
     MetricFamily,
     MetricsExporter,
+    build_info,
     check_counters_monotonic,
     collect_families,
+    export_bundle,
     lint_exposition,
     parse_exposition,
     render_exposition,
     scrape,
 )
+from .slo import (
+    BurnRateRule,
+    Objective,
+    SLOEngine,
+    SLOPoller,
+    default_objectives,
+    make_flight_recorder,
+    server_view,
+)
+from .structlog import JsonLineFormatter, bind_trace, get_logger, log_event
 from .tracing import SPAN_STAGES, SpanRecorder, TraceContext, new_trace_id
 
 __all__ = [
@@ -30,12 +55,29 @@ __all__ = [
     "CONTENT_TYPE",
     "MetricFamily",
     "MetricsExporter",
+    "build_info",
     "check_counters_monotonic",
     "collect_families",
+    "export_bundle",
     "lint_exposition",
     "parse_exposition",
     "render_exposition",
     "scrape",
+    "DriftDetector",
+    "ModelHealth",
+    "QuantHealthTap",
+    "ShadowExecutor",
+    "BurnRateRule",
+    "Objective",
+    "SLOEngine",
+    "SLOPoller",
+    "default_objectives",
+    "make_flight_recorder",
+    "server_view",
+    "JsonLineFormatter",
+    "bind_trace",
+    "get_logger",
+    "log_event",
     "SPAN_STAGES",
     "SpanRecorder",
     "TraceContext",

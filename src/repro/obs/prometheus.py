@@ -13,8 +13,10 @@ Three layers, each usable on its own:
   per-model / per-variant / per-shard labels, plus latency summaries,
   queue-depth gauges, span-ring counters, and ``repro_events_total{kind=}``.
 * **Serving** — :class:`MetricsExporter`, a threaded stdlib HTTP server
-  mountable on either server class: ``/metrics`` (exposition),
-  ``/spans`` and ``/events`` (JSON rings), ``/healthz``.
+  mountable on either server class: ``/metrics`` (exposition), ``/spans``
+  (JSON ring, ``?trace_id=``/``?status=`` filters) and ``/events`` (JSON
+  ring), ``/health`` (model-health snapshots), ``/alerts`` (SLO engine
+  document), ``/healthz``.
 
 Also here: :func:`lint_exposition`, the small in-repo format linter CI runs
 against a live scrape (metric-name charset, HELP/TYPE pairing, counter
@@ -26,10 +28,16 @@ the stdlib-only constraint holds.
 
 from __future__ import annotations
 
+import json
+import math
+import platform
+import os
 import re
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Iterable, List, Optional, Tuple
+from urllib.parse import parse_qs
 
 __all__ = [
     "MetricFamily",
@@ -39,6 +47,9 @@ __all__ = [
     "lint_exposition",
     "parse_exposition",
     "check_counters_monotonic",
+    "build_info",
+    "export_bundle",
+    "health_document",
     "CONTENT_TYPE",
 ]
 
@@ -113,6 +124,12 @@ def _format_labels(labels: Dict[str, str]) -> str:
 
 
 def _format_value(value: float) -> str:
+    # The text format spells non-finite values NaN/+Inf/-Inf (and int(value)
+    # would raise on them anyway).
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
     if value == int(value) and abs(value) < 1e15:
         return str(int(value))
     return repr(float(value))
@@ -132,6 +149,145 @@ def render_exposition(families: Iterable[MetricFamily]) -> str:
 # --------------------------------------------------------------------------- #
 # collection from a serving source
 # --------------------------------------------------------------------------- #
+def build_info() -> Dict[str, str]:
+    """Deployment metadata, exported as ``repro_build_info`` labels.
+
+    Backend name, CPU count, the quantized-checkpoint format version and the
+    cluster wire-protocol version — the facts an operator cross-references
+    first when two hosts disagree.  Imports are deferred (and failure-proof)
+    so this module stays import-cycle-free and usable standalone.
+    """
+    info = {
+        "python_version": platform.python_version(),
+        "cpu_count": str(os.cpu_count() or 0),
+    }
+    try:
+        from ..backend import get_backend
+
+        info["backend"] = get_backend().name
+    except Exception:  # pragma: no cover - backend misconfiguration
+        info["backend"] = "unknown"
+    try:
+        from ..utils.serialization import QUANTIZED_CHECKPOINT_VERSION
+
+        info["checkpoint_format_version"] = str(QUANTIZED_CHECKPOINT_VERSION)
+    except Exception:  # pragma: no cover
+        info["checkpoint_format_version"] = "unknown"
+    try:
+        from ..serve.cluster.protocol import PROTOCOL_VERSION
+
+        info["protocol_version"] = str(PROTOCOL_VERSION)
+    except Exception:  # pragma: no cover
+        info["protocol_version"] = "unknown"
+    return info
+
+
+def _health_families(targets: List[Dict[str, object]]) -> List[MetricFamily]:
+    """``repro_quant_*`` / ``repro_drift_*`` families from target health.
+
+    A health object shared by several targets (a cluster variant's health
+    referenced from every shard row) is emitted once, under the target's
+    ``health_labels`` when given (else its ``labels``).
+    """
+    clip = MetricFamily(
+        "repro_quant_clip_ratio",
+        "gauge",
+        "Fraction of activations saturated at the layer's PACT alpha.",
+    )
+    zero = MetricFamily(
+        "repro_quant_zero_ratio", "gauge", "Fraction of activations quantized to zero."
+    )
+    occupancy = MetricFamily(
+        "repro_quant_occupancy",
+        "gauge",
+        "Mean activation magnitude as a fraction of the PACT range.",
+    )
+    headroom = MetricFamily(
+        "repro_quant_headroom_bits",
+        "gauge",
+        "Minimum observed int32-accumulator headroom, bits (integer mode).",
+    )
+    tap_runs = MetricFamily(
+        "repro_quant_tap_runs_total",
+        "counter",
+        "Plan runs sampled by the quantization-health tap.",
+    )
+    shadow_batches = MetricFamily(
+        "repro_quant_shadow_batches_total",
+        "counter",
+        "Served batches rerun through the float shadow reference.",
+    )
+    shadow_div_max = MetricFamily(
+        "repro_quant_shadow_divergence_max",
+        "gauge",
+        "Max per-sample int-vs-float logit divergence seen by shadow runs.",
+    )
+    shadow_div_mean = MetricFamily(
+        "repro_quant_shadow_divergence_mean",
+        "gauge",
+        "Mean per-sample int-vs-float logit divergence over shadowed samples.",
+    )
+    shadow_top1 = MetricFamily(
+        "repro_quant_shadow_top1_agreement",
+        "gauge",
+        "Top-1 agreement between served and shadow-reference predictions.",
+    )
+    drift_score = MetricFamily(
+        "repro_drift_score",
+        "gauge",
+        "PSI drift score: live prediction histogram vs reference window.",
+    )
+    drift_entropy = MetricFamily(
+        "repro_drift_entropy",
+        "gauge",
+        "Mean prediction entropy per drift window (reference vs live).",
+    )
+    drift_observations = MetricFamily(
+        "repro_drift_observations_total",
+        "counter",
+        "Prediction samples observed by the drift detector.",
+    )
+
+    seen: set = set()
+    for target in targets:
+        health = target.get("health")
+        if health is None or id(health) in seen:
+            continue
+        seen.add(id(health))
+        raw_labels = target.get("health_labels") or target["labels"]
+        labels = {str(k): str(v) for k, v in raw_labels.items()}
+        snapshot = health.snapshot()
+        quant = snapshot.get("quant")
+        if quant is not None:
+            tap_runs.add(quant["sampled_runs"], labels)
+            for layer in quant["layers"]:
+                layer_labels = dict(labels, layer=layer["layer"])
+                clip.add(layer["clip_ratio"], layer_labels)
+                zero.add(layer["zero_ratio"], layer_labels)
+                occupancy.add(layer["occupancy"], layer_labels)
+                if layer["headroom_bits"] is not None:
+                    headroom.add(layer["headroom_bits"], layer_labels)
+        shadow = snapshot.get("shadow")
+        if shadow is not None:
+            shadow_batches.add(shadow["batches_shadowed"], labels)
+            shadow_div_max.add(shadow["divergence_max"], labels)
+            shadow_div_mean.add(shadow["divergence_mean"], labels)
+            shadow_top1.add(shadow["top1_agreement"], labels)
+        drift = snapshot.get("drift")
+        if drift is not None:
+            drift_score.add(drift["score"], labels)
+            drift_entropy.add(drift["reference_entropy"], dict(labels, window="reference"))
+            drift_entropy.add(drift["live_entropy"], dict(labels, window="live"))
+            drift_observations.add(drift["observations"], labels)
+
+    candidates = [
+        clip, zero, occupancy, headroom, tap_runs, shadow_batches,
+        shadow_div_max, shadow_div_mean, shadow_top1,
+        drift_score, drift_entropy, drift_observations,
+    ]
+    return [family for family in candidates if family.samples]
+
+
 def collect_families(source: object) -> List[MetricFamily]:
     """Build the full family set from a server-like ``source``.
 
@@ -139,6 +295,13 @@ def collect_families(source: object) -> List[MetricFamily]:
     target is ``{"labels": {...}, "metrics": ServerMetrics,
     "queue_depth": int}``; ``source.spans`` (:class:`SpanRecorder`) and
     ``source.events`` (:class:`EventLog`) are picked up when present.
+    Targets may additionally carry a ``"health"``
+    (:class:`~repro.obs.health.ModelHealth`) entry — emitted as the
+    ``repro_quant_*`` / ``repro_drift_*`` families, once per distinct health
+    object under its ``"health_labels"`` (or the target labels) — and a
+    ``source.slo`` (:class:`~repro.obs.slo.SLOEngine`) contributes the
+    ``repro_slo_*`` families.  A ``repro_build_info`` gauge (value 1, all
+    metadata in labels) rides along on every collection.
     """
     targets = list(source.telemetry_targets())
 
@@ -209,25 +372,68 @@ def collect_families(source: object) -> List[MetricFamily]:
         if family.samples:
             families.append(family)
 
+    families.extend(_health_families(targets))
+
+    slo = getattr(source, "slo", None)
+    if slo is not None and hasattr(slo, "families"):
+        families.extend(slo.families())
+
+    info = MetricFamily(
+        "repro_build_info",
+        "gauge",
+        "Build/deployment metadata carried in labels; value is always 1.",
+    )
+    info.add(1.0, build_info())
+    families.append(info)
+
     return families
+
+
+def health_document(source: object) -> Dict[str, object]:
+    """The ``/health`` endpoint body: every distinct health snapshot by name."""
+    models: Dict[str, object] = {}
+    seen: set = set()
+    targets = getattr(source, "telemetry_targets", None)
+    if callable(targets):
+        for target in targets():
+            health = target.get("health")
+            if health is None or id(health) in seen:
+                continue
+            seen.add(id(health))
+            models[str(getattr(health, "name", len(models)))] = health.snapshot()
+    return {"generated_at": time.time(), "models": models}
 
 
 # --------------------------------------------------------------------------- #
 # the HTTP exporter
 # --------------------------------------------------------------------------- #
 class MetricsExporter:
-    """Serve ``/metrics`` (plus ``/spans``, ``/events``, ``/healthz``) for a server.
+    """Serve ``/metrics`` plus the observability side endpoints for a server.
 
-    Stdlib :class:`~http.server.ThreadingHTTPServer` on a daemon thread;
-    ``port=0`` binds an ephemeral port (read it back from :attr:`port`).
-    Mount on a :class:`ModelServer` or :class:`ClusterServer`::
+    Endpoints: ``/metrics`` (exposition), ``/spans`` (JSON ring, filterable
+    with ``?trace_id=`` / ``?status=``), ``/events`` (JSON ring),
+    ``/health`` (model-health snapshots), ``/alerts`` (the SLO engine's
+    document), ``/healthz`` (liveness).  Stdlib
+    :class:`~http.server.ThreadingHTTPServer` on a daemon thread; ``port=0``
+    binds an ephemeral port (read it back from :attr:`port`).  Mount on a
+    :class:`ModelServer` or :class:`ClusterServer`::
 
-        exporter = MetricsExporter(cluster, port=9100).start()
+        exporter = MetricsExporter(cluster, port=9100, slo=engine).start()
         ...  # curl http://127.0.0.1:9100/metrics
         exporter.close()
+
+    ``slo`` attaches an :class:`~repro.obs.slo.SLOEngine`; a ``source.slo``
+    attribute works too — either way ``/alerts`` serves its document and the
+    ``repro_slo_*`` families join the exposition.
     """
 
-    def __init__(self, source: object, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(
+        self,
+        source: object,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        slo: Optional[object] = None,
+    ) -> None:
         if not hasattr(source, "telemetry_targets"):
             raise TypeError(
                 f"{type(source).__name__} has no telemetry_targets(); "
@@ -235,9 +441,11 @@ class MetricsExporter:
             )
         self.source = source
         self.host = host
+        self.slo = slo
         self._requested_port = int(port)
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
+        self._started_at: Optional[float] = None
 
     @property
     def port(self) -> int:
@@ -249,8 +457,35 @@ class MetricsExporter:
     def url(self) -> str:
         return f"http://{self.host}:{self.port}/metrics"
 
+    @property
+    def uptime_s(self) -> float:
+        """Seconds since :meth:`start` (0.0 before it)."""
+        if self._started_at is None:
+            return 0.0
+        return time.monotonic() - self._started_at
+
+    def _slo_engine(self) -> Optional[object]:
+        return self.slo if self.slo is not None else getattr(self.source, "slo", None)
+
     def render(self) -> str:
-        return render_exposition(collect_families(self.source))
+        families = collect_families(self.source)
+        # An exporter-attached engine that the source itself does not carry
+        # still belongs in the exposition (collect_families only sees the
+        # source).
+        if self.slo is not None and self.slo is not getattr(self.source, "slo", None):
+            families.extend(self.slo.families())
+        return render_exposition(families)
+
+    def alerts_document(self) -> Dict[str, object]:
+        """The ``/alerts`` body — well-formed even without an SLO engine."""
+        engine = self._slo_engine()
+        document: Dict[str, object] = (
+            {"objectives": [], "alerts": [], "transitions": []}
+            if engine is None
+            else engine.document()
+        )
+        document["generated_at"] = time.time()
+        return document
 
     def start(self) -> "MetricsExporter":
         if self._httpd is not None:
@@ -259,16 +494,30 @@ class MetricsExporter:
 
         class _Handler(BaseHTTPRequestHandler):
             def do_GET(self) -> None:  # noqa: N802 (http.server API)
-                path = self.path.split("?", 1)[0]
+                path, _, query = self.path.partition("?")
                 if path == "/metrics":
                     self._reply(200, exporter.render().encode("utf-8"), CONTENT_TYPE)
                 elif path == "/spans":
                     spans = getattr(exporter.source, "spans", None)
-                    body = spans.export_json() if spans is not None else "[]"
+                    if spans is None:
+                        body = "[]"
+                    else:
+                        params = parse_qs(query)
+                        trace_id = params.get("trace_id", [None])[0]
+                        status = params.get("status", [None])[0]
+                        body = json.dumps(
+                            spans.spans(trace_id=trace_id, status=status), default=str
+                        )
                     self._reply(200, body.encode("utf-8"), "application/json")
                 elif path == "/events":
                     events = getattr(exporter.source, "events", None)
                     body = events.export_json() if events is not None else "[]"
+                    self._reply(200, body.encode("utf-8"), "application/json")
+                elif path == "/alerts":
+                    body = json.dumps(exporter.alerts_document(), default=str)
+                    self._reply(200, body.encode("utf-8"), "application/json")
+                elif path == "/health":
+                    body = json.dumps(health_document(exporter.source), default=str)
                     self._reply(200, body.encode("utf-8"), "application/json")
                 elif path == "/healthz":
                     self._reply(200, b"ok\n", "text/plain")
@@ -290,6 +539,7 @@ class MetricsExporter:
         self._thread = threading.Thread(
             target=self._httpd.serve_forever, name="repro-metrics-exporter", daemon=True
         )
+        self._started_at = time.monotonic()
         self._thread.start()
         return self
 
@@ -462,15 +712,30 @@ def check_counters_monotonic(before_text: str, after_text: str) -> List[str]:
     return problems
 
 
-def export_bundle(source: object) -> Dict[str, object]:
-    """One JSON-friendly observability dump: metrics text, spans, events."""
-    bundle: Dict[str, object] = {"metrics": render_exposition(collect_families(source))}
+def export_bundle(source: object, uptime_s: Optional[float] = None) -> Dict[str, object]:
+    """One JSON-friendly observability dump: metrics, spans, events, health.
+
+    Always stamps :func:`build_info` (and ``uptime_s`` when given) so a
+    bundle pulled off a crashed host identifies the build that produced it.
+    """
+    bundle: Dict[str, object] = {
+        "metrics": render_exposition(collect_families(source)),
+        "build_info": build_info(),
+    }
+    if uptime_s is not None:
+        bundle["uptime_s"] = float(uptime_s)
     spans = getattr(source, "spans", None)
     if spans is not None:
         bundle["spans"] = spans.spans()
     events = getattr(source, "events", None)
     if events is not None:
         bundle["events"] = events.events()
+    health = health_document(source)
+    if health["models"]:
+        bundle["health"] = health
+    slo = getattr(source, "slo", None)
+    if slo is not None and hasattr(slo, "document"):
+        bundle["slo"] = slo.document()
     return bundle
 
 

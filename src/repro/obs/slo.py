@@ -1,0 +1,580 @@
+"""A pure, injectable-clock SLO engine with multi-window burn-rate alerts.
+
+Objectives are declared over the flat metric view a server already exposes
+(``ServerMetrics.counters()`` / ``raw_summaries()``, plus the model-health
+gauges): availability as a good/bad event ratio, latency / shed rate /
+drift score / divergence as bounded values.  Evaluation is the standard SRE
+recipe — for ratio objectives the *burn rate* (observed error rate divided
+by the error budget ``1 - target``) must exceed a rule's threshold over
+**both** a long and a short window before the alert advances, which pages
+fast on hard outages without flapping on blips.
+
+The engine itself is pure policy: it reads a ``view()`` callable, keeps a
+ring of ``(time, view)`` snapshots, and advances one alert state machine per
+objective — ``ok -> pending -> firing -> (resolved) -> ok`` — entirely from
+the injected clock.  No threads, no wall time, no I/O: tests drive it with a
+fake clock and hand-fed counters.  Side effects are delegated:
+
+* transitions are mirrored into an :class:`~repro.obs.EventLog` when one is
+  attached (``slo_pending`` / ``slo_firing`` / ``slo_resolved`` /
+  ``slo_cancelled`` events);
+* an ``on_firing`` callback receives the alert when it reaches *firing* —
+  :func:`make_flight_recorder` builds the standard one, dumping a
+  flight-recorder bundle (metrics text, spans, events, health snapshots,
+  the alert itself) to a JSON file for post-incident analysis.
+
+:class:`SLOPoller` is the thin convenience thread that calls
+:meth:`SLOEngine.evaluate` on an interval for live servers; the engine never
+needs it in tests.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from .events import EventLog
+
+__all__ = [
+    "BurnRateRule",
+    "Objective",
+    "SLOEngine",
+    "SLOPoller",
+    "server_view",
+    "default_objectives",
+    "make_flight_recorder",
+]
+
+#: Alert states, in escalation order.
+OK, PENDING, FIRING = "ok", "pending", "firing"
+_STATE_VALUE = {OK: 0, PENDING: 1, FIRING: 2}
+
+
+@dataclass(frozen=True)
+class BurnRateRule:
+    """One multi-window burn-rate rule for a ratio objective.
+
+    The alert condition holds when the burn rate exceeds ``burn_threshold``
+    over the ``long_s`` window **and** the ``short_s`` window — the short
+    window proves the burn is still happening, the long one that it matters.
+    """
+
+    long_s: float
+    short_s: float
+    burn_threshold: float
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One declared SLO.
+
+    ``kind="ratio"`` objectives read event counters: ``good`` is the
+    counter key of successful events, ``bad`` the keys of budget-burning
+    events, and ``target`` the success objective (0.99 = "99% of requests
+    complete").  ``kind="threshold"`` objectives read one gauge key
+    (``value``) and hold while it exceeds ``target`` — latency bounds,
+    drift scores, divergence ceilings.
+
+    ``for_s`` is how long the condition must hold in *pending* before the
+    alert fires; ``clear_after_s`` how long it must stay clear while
+    *firing* before the alert resolves.
+    """
+
+    name: str
+    kind: str = "ratio"
+    target: float = 0.99
+    description: str = ""
+    good: Optional[str] = None
+    bad: Tuple[str, ...] = ()
+    value: Optional[str] = None
+    rules: Tuple[BurnRateRule, ...] = (
+        BurnRateRule(long_s=300.0, short_s=30.0, burn_threshold=6.0),
+        BurnRateRule(long_s=60.0, short_s=5.0, burn_threshold=14.4),
+    )
+    for_s: float = 0.0
+    clear_after_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("ratio", "threshold"):
+            raise ValueError(f"unknown objective kind {self.kind!r}")
+        if self.kind == "ratio":
+            if not self.good or not self.bad:
+                raise ValueError(
+                    f"ratio objective {self.name!r} needs good= and bad= counter keys"
+                )
+            if not 0.0 < self.target < 1.0:
+                raise ValueError(
+                    f"ratio objective {self.name!r} needs 0 < target < 1, "
+                    f"got {self.target}"
+                )
+            if not self.rules:
+                raise ValueError(f"ratio objective {self.name!r} has no burn rules")
+        elif not self.value:
+            raise ValueError(
+                f"threshold objective {self.name!r} needs a value= gauge key"
+            )
+
+
+@dataclass
+class _AlertState:
+    """Mutable per-objective alert bookkeeping."""
+
+    state: str = OK
+    pending_since: Optional[float] = None
+    clear_since: Optional[float] = None
+    fired_count: int = 0
+    last_transition_s: Optional[float] = None
+    burns: Dict[str, float] = field(default_factory=dict)
+    value: Optional[float] = None
+
+
+class SLOEngine:
+    """Evaluate declared objectives against a live metric view.
+
+    Parameters
+    ----------
+    source:
+        Either a flat-view callable ``() -> Dict[str, float]`` or a server
+        object exposing ``telemetry_targets()`` (wrapped with
+        :func:`server_view` automatically).
+    objectives:
+        The :class:`Objective` declarations to evaluate.
+    clock:
+        Injectable monotonic clock; tests pass a fake.
+    events:
+        Optional :class:`~repro.obs.EventLog` that receives every alert
+        transition as a structured event.
+    on_firing:
+        Optional callback invoked with the alert dict each time an
+        objective transitions to *firing* (flight-recorder hook).
+    """
+
+    def __init__(
+        self,
+        source,
+        objectives: Sequence[Objective],
+        *,
+        clock: Callable[[], float] = time.monotonic,
+        events: Optional[EventLog] = None,
+        on_firing: Optional[Callable[[Dict[str, object]], None]] = None,
+        max_transitions: int = 512,
+    ) -> None:
+        names = [objective.name for objective in objectives]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate objective names in {names}")
+        self._view = source if callable(source) else server_view(source)
+        self.objectives: Tuple[Objective, ...] = tuple(objectives)
+        self._clock = clock
+        self.events = events
+        self.on_firing = on_firing
+        self._lock = threading.Lock()
+        self._history: Deque[Tuple[float, Dict[str, float]]] = deque()
+        horizon = 0.0
+        for objective in self.objectives:
+            for rule in objective.rules if objective.kind == "ratio" else ():
+                horizon = max(horizon, rule.long_s)
+        self._horizon_s = horizon + 5.0
+        self._alerts: Dict[str, _AlertState] = {
+            objective.name: _AlertState() for objective in self.objectives
+        }
+        self._transitions: Deque[Dict[str, object]] = deque(maxlen=max_transitions)
+        self._transition_counts: Dict[Tuple[str, str], int] = {}
+
+    # ------------------------------------------------------------------ #
+    # evaluation
+    # ------------------------------------------------------------------ #
+    def evaluate(self, now: Optional[float] = None) -> List[Dict[str, object]]:
+        """Poll the view, advance every alert state machine, return alerts."""
+        now = self._clock() if now is None else float(now)
+        view = {str(k): float(v) for k, v in self._view().items()}
+        fired: List[Dict[str, object]] = []
+        with self._lock:
+            if self._history and now < self._history[-1][0]:
+                raise ValueError(
+                    f"evaluate() time went backwards: {now} < {self._history[-1][0]}"
+                )
+            self._history.append((now, view))
+            while self._history and self._history[0][0] < now - self._horizon_s:
+                self._history.popleft()
+            for objective in self.objectives:
+                alert = self._alerts[objective.name]
+                condition = self._condition(objective, alert, now, view)
+                self._advance(objective, alert, condition, now, fired)
+        for alert_doc in fired:
+            if self.on_firing is not None:
+                self.on_firing(alert_doc)
+        return self.alerts()
+
+    def _condition(
+        self,
+        objective: Objective,
+        alert: _AlertState,
+        now: float,
+        view: Dict[str, float],
+    ) -> bool:
+        if objective.kind == "threshold":
+            value = view.get(objective.value)
+            alert.value = value
+            return value is not None and value > objective.target
+        budget = 1.0 - objective.target
+        alert.burns.clear()
+        holds = False
+        for rule in objective.rules:
+            burn_long = self._burn_rate(objective, now, rule.long_s, budget)
+            burn_short = self._burn_rate(objective, now, rule.short_s, budget)
+            alert.burns[f"{rule.long_s:g}s"] = round(burn_long, 4)
+            alert.burns[f"{rule.short_s:g}s"] = round(burn_short, 4)
+            if burn_long >= rule.burn_threshold and burn_short >= rule.burn_threshold:
+                holds = True
+        return holds
+
+    def _burn_rate(
+        self, objective: Objective, now: float, window_s: float, budget: float
+    ) -> float:
+        """Error rate over the trailing window, in error-budget multiples."""
+        base = self._history[0][1]
+        target_t = now - window_s
+        for t, snapshot in self._history:
+            if t <= target_t:
+                base = snapshot
+            else:
+                break
+        current = self._history[-1][1]
+
+        def delta(key: str) -> float:
+            return max(current.get(key, 0.0) - base.get(key, 0.0), 0.0)
+
+        good = delta(objective.good)
+        bad = sum(delta(key) for key in objective.bad)
+        total = good + bad
+        if total <= 0.0:
+            return 0.0  # no traffic in the window: nothing burned
+        return (bad / total) / budget
+
+    def _advance(
+        self,
+        objective: Objective,
+        alert: _AlertState,
+        condition: bool,
+        now: float,
+        fired: List[Dict[str, object]],
+    ) -> None:
+        if condition:
+            alert.clear_since = None
+            if alert.state == OK:
+                alert.pending_since = now
+                self._transition(objective, alert, PENDING, now)
+            if (
+                alert.state == PENDING
+                and now - (alert.pending_since or now) >= objective.for_s
+            ):
+                self._transition(objective, alert, FIRING, now)
+                alert.fired_count += 1
+                fired.append(self._alert_doc(objective, alert, now))
+        else:
+            alert.pending_since = None
+            if alert.state == PENDING:
+                # Never fired: the pending alert is cancelled, not resolved.
+                self._transition(objective, alert, OK, now, kind="slo_cancelled")
+            elif alert.state == FIRING:
+                if alert.clear_since is None:
+                    alert.clear_since = now
+                if now - alert.clear_since >= objective.clear_after_s:
+                    self._transition(objective, alert, OK, now, kind="slo_resolved")
+                    alert.clear_since = None
+
+    def _transition(
+        self,
+        objective: Objective,
+        alert: _AlertState,
+        to_state: str,
+        now: float,
+        kind: Optional[str] = None,
+    ) -> None:
+        from_state = alert.state
+        alert.state = to_state
+        alert.last_transition_s = now
+        kind = kind or f"slo_{to_state}"
+        record = {
+            "objective": objective.name,
+            "from": from_state,
+            "to": to_state,
+            "kind": kind,
+            "at_s": now,
+        }
+        self._transitions.append(record)
+        key = (objective.name, kind)
+        self._transition_counts[key] = self._transition_counts.get(key, 0) + 1
+        if self.events is not None:
+            self.events.emit(
+                kind,
+                objective=objective.name,
+                from_state=from_state,
+                to_state=to_state,
+            )
+
+    # ------------------------------------------------------------------ #
+    # read side
+    # ------------------------------------------------------------------ #
+    def _alert_doc(
+        self, objective: Objective, alert: _AlertState, now: Optional[float] = None
+    ) -> Dict[str, object]:
+        return {
+            "objective": objective.name,
+            "kind": objective.kind,
+            "description": objective.description,
+            "target": objective.target,
+            "state": alert.state,
+            "since_s": alert.last_transition_s,
+            "fired_count": alert.fired_count,
+            "burn_rates": dict(alert.burns) if objective.kind == "ratio" else None,
+            "value": alert.value if objective.kind == "threshold" else None,
+            "at_s": now,
+        }
+
+    def alerts(self) -> List[Dict[str, object]]:
+        """Current alert document for every objective, JSON-friendly."""
+        with self._lock:
+            return [
+                self._alert_doc(objective, self._alerts[objective.name])
+                for objective in self.objectives
+            ]
+
+    def transitions(self) -> List[Dict[str, object]]:
+        """The recorded transition history (bounded ring), oldest first."""
+        with self._lock:
+            return list(self._transitions)
+
+    def state(self, objective_name: str) -> str:
+        with self._lock:
+            return self._alerts[objective_name].state
+
+    def document(self) -> Dict[str, object]:
+        """The ``/alerts`` endpoint body: objectives, active alerts, history."""
+        docs = self.alerts()
+        return {
+            "objectives": docs,
+            "alerts": [doc for doc in docs if doc["state"] != OK],
+            "transitions": self.transitions(),
+        }
+
+    def families(self):
+        """``repro_slo_*`` Prometheus families for the current alert state."""
+        from .prometheus import MetricFamily
+
+        state = MetricFamily(
+            "repro_slo_state",
+            "gauge",
+            "Alert state per SLO objective (0 ok, 1 pending, 2 firing).",
+        )
+        target = MetricFamily(
+            "repro_slo_target", "gauge", "Declared target per SLO objective."
+        )
+        burn = MetricFamily(
+            "repro_slo_burn_rate",
+            "gauge",
+            "Error-budget burn rate per objective and trailing window.",
+        )
+        value = MetricFamily(
+            "repro_slo_value", "gauge", "Observed value per threshold objective."
+        )
+        fired = MetricFamily(
+            "repro_slo_transitions_total",
+            "counter",
+            "SLO alert state transitions, by objective and transition kind.",
+        )
+        with self._lock:
+            for objective in self.objectives:
+                alert = self._alerts[objective.name]
+                labels = {"objective": objective.name}
+                state.add(_STATE_VALUE[alert.state], labels)
+                target.add(objective.target, labels)
+                if objective.kind == "ratio":
+                    for window, rate in sorted(alert.burns.items()):
+                        burn.add(rate, dict(labels, window=window))
+                elif alert.value is not None:
+                    value.add(alert.value, labels)
+            counts = dict(self._transition_counts)
+        for (name, kind), count in sorted(counts.items()):
+            fired.add(count, {"objective": name, "kind": kind})
+        families = [state, target]
+        for family in (burn, value, fired):
+            if family.samples:
+                families.append(family)
+        return families
+
+
+class SLOPoller:
+    """Drive :meth:`SLOEngine.evaluate` on an interval (daemon thread)."""
+
+    def __init__(self, engine: SLOEngine, interval_s: float = 1.0) -> None:
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be positive, got {interval_s}")
+        self.engine = engine
+        self.interval_s = float(interval_s)
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "SLOPoller":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._loop, name="repro-slo-poller", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.engine.evaluate()
+
+    def close(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "SLOPoller":
+        return self.start()
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+
+# --------------------------------------------------------------------------- #
+# view builders and canned objectives
+# --------------------------------------------------------------------------- #
+def server_view(source) -> Callable[[], Dict[str, float]]:
+    """Flatten a server's telemetry into the view dict objectives read.
+
+    Sums every ``ServerMetrics`` counter across the source's
+    ``telemetry_targets()``, takes the worst per-target latency quantiles
+    (one drowning lane is what an SLO should see), and folds in the
+    model-health gauges (``drift_score``, ``divergence_max``) from any
+    ``health`` entries the targets carry.
+    """
+
+    def view() -> Dict[str, float]:
+        totals: Dict[str, float] = {}
+        p95 = p99 = 0.0
+        queue_depth = 0.0
+        drift = divergence = 0.0
+        seen_health: List[int] = []
+        for target in source.telemetry_targets():
+            counters = target["metrics"].counters()
+            for key, count in counters.items():
+                totals[key] = totals.get(key, 0.0) + float(count)
+            latency = target["metrics"].raw_summaries().get("latency", {})
+            p95 = max(p95, float(latency.get("q0.95", 0.0)))
+            p99 = max(p99, float(latency.get("q0.99", 0.0)))
+            queue_depth += float(target.get("queue_depth") or 0)
+            health = target.get("health")
+            if health is not None and id(health) not in seen_health:
+                seen_health.append(id(health))
+                drift = max(drift, health.drift_score())
+                divergence = max(divergence, health.divergence_max())
+        totals.update(
+            {
+                "p95_latency_s": p95,
+                "p99_latency_s": p99,
+                "queue_depth": queue_depth,
+                "drift_score": drift,
+                "divergence_max": divergence,
+            }
+        )
+        return totals
+
+    return view
+
+
+def default_objectives(
+    *,
+    availability_target: float = 0.99,
+    p99_bound_s: Optional[float] = 1.0,
+    drift_bound: Optional[float] = 0.25,
+    divergence_bound: Optional[float] = None,
+    rules: Optional[Sequence[BurnRateRule]] = None,
+    clear_after_s: float = 30.0,
+) -> List[Objective]:
+    """The standard objective set over the :func:`server_view` keys.
+
+    Availability counts completed requests as good and failed/expired ones
+    as budget burn (a deadline miss is an outage from the caller's seat);
+    pass ``None`` for any bound to skip that objective.
+    """
+    objectives = [
+        Objective(
+            name="availability",
+            kind="ratio",
+            target=availability_target,
+            description="Completed vs failed+expired requests.",
+            good="completed",
+            bad=("failed", "expired"),
+            rules=tuple(rules) if rules is not None else Objective.rules,
+            clear_after_s=clear_after_s,
+        )
+    ]
+    if p99_bound_s is not None:
+        objectives.append(
+            Objective(
+                name="latency_p99",
+                kind="threshold",
+                target=float(p99_bound_s),
+                description="Worst-lane p99 end-to-end latency bound, seconds.",
+                value="p99_latency_s",
+                for_s=0.0,
+                clear_after_s=clear_after_s,
+            )
+        )
+    if drift_bound is not None:
+        objectives.append(
+            Objective(
+                name="prediction_drift",
+                kind="threshold",
+                target=float(drift_bound),
+                description="PSI drift score of live predictions vs reference.",
+                value="drift_score",
+                clear_after_s=clear_after_s,
+            )
+        )
+    if divergence_bound is not None:
+        objectives.append(
+            Objective(
+                name="shadow_divergence",
+                kind="threshold",
+                target=float(divergence_bound),
+                description="Max int-vs-float logit divergence from shadow runs.",
+                value="divergence_max",
+                clear_after_s=clear_after_s,
+            )
+        )
+    return objectives
+
+
+def make_flight_recorder(
+    source, path: str, engine_ref: Optional[List[SLOEngine]] = None
+) -> Callable[[Dict[str, object]], None]:
+    """Build an ``on_firing`` hook dumping a flight-recorder bundle to ``path``.
+
+    The bundle is the full observability state at firing time: the metrics
+    exposition text, the span and event rings, every health snapshot the
+    telemetry targets carry, and the firing alert itself.  ``engine_ref`` is
+    a late-binding single-element list (the engine needs the hook at
+    construction; the hook needs the engine) — when given, the bundle also
+    carries the engine's ``/alerts`` document.
+    """
+
+    def on_firing(alert: Dict[str, object]) -> None:
+        from .prometheus import export_bundle
+
+        bundle = export_bundle(source)
+        bundle["alert"] = alert
+        if engine_ref:
+            bundle["slo"] = engine_ref[0].document()
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(bundle, handle, indent=2, default=str)
+
+    return on_firing

@@ -1,0 +1,145 @@
+"""Structured JSON line logging over the stdlib ``logging`` machinery.
+
+One log record = one JSON object on one line, written to stderr — the format
+every log shipper (journald, fluentd, CloudWatch, ``jq``) ingests without a
+parser.  Three pieces:
+
+* :func:`get_logger` — the ``"repro"`` logger hierarchy with a
+  :class:`JsonLineFormatter` handler installed exactly once (idempotent, so
+  every module can call it at import time).  ``REPRO_LOG_LEVEL`` sets the
+  threshold (default ``INFO``); ``REPRO_LOG_STREAM=stdout`` redirects.
+* :func:`log_event` — the preferred call shape: a short machine-greppable
+  ``event`` name plus arbitrary key/value context fields, which land as
+  top-level JSON keys (non-scalar values are ``repr()``-ed so a log line can
+  never raise from serialisation).
+* :func:`bind_trace` — a thread-local trace-id binding: every record logged
+  inside the ``with`` block carries ``"trace_id"``, correlating log lines
+  with the request's span in the :class:`~repro.obs.SpanRecorder` ring.  An
+  explicit ``trace_id=`` field on the call wins over the binding.
+
+``repro.serve`` logs through this instead of ``warnings.warn`` / ``print``:
+a server emitting human-formatted warnings into a stream nobody tails is
+observability theatre, and ``warnings``' once-per-location dedup is the
+wrong dedup for per-engine/per-model events anyway.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+__all__ = [
+    "JsonLineFormatter",
+    "get_logger",
+    "log_event",
+    "bind_trace",
+    "current_trace_id",
+]
+
+_ROOT_NAME = "repro"
+_context = threading.local()
+
+#: LogRecord attributes that are plumbing, not user context fields.
+_RESERVED = frozenset(
+    {
+        "args", "asctime", "created", "exc_info", "exc_text", "filename",
+        "funcName", "levelname", "levelno", "lineno", "message", "module",
+        "msecs", "msg", "name", "pathname", "process", "processName",
+        "relativeCreated", "stack_info", "taskName", "thread", "threadName",
+    }
+)
+
+
+def current_trace_id() -> Optional[str]:
+    """The trace id bound to this thread (``None`` outside any binding)."""
+    return getattr(_context, "trace_id", None)
+
+
+@contextmanager
+def bind_trace(trace_id: Optional[str]) -> Iterator[None]:
+    """Bind ``trace_id`` to every record this thread logs inside the block."""
+    previous = current_trace_id()
+    _context.trace_id = trace_id
+    try:
+        yield
+    finally:
+        _context.trace_id = previous
+
+
+def _jsonable(value: object) -> object:
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    return repr(value)
+
+
+class JsonLineFormatter(logging.Formatter):
+    """Format every record as one sorted-key JSON object per line."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        trace_id = getattr(record, "trace_id", None) or current_trace_id()
+        if trace_id is not None:
+            payload["trace_id"] = str(trace_id)
+        for key, value in record.__dict__.items():
+            if key in _RESERVED or key.startswith("_") or key in payload:
+                continue
+            payload[key] = _jsonable(value)
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True)
+
+
+class _ReproHandler(logging.StreamHandler):
+    """Marker subclass so idempotent configuration can find its own handler."""
+
+
+def _configure_root() -> logging.Logger:
+    root = logging.getLogger(_ROOT_NAME)
+    if not any(isinstance(handler, _ReproHandler) for handler in root.handlers):
+        stream = (
+            sys.stdout
+            if os.environ.get("REPRO_LOG_STREAM", "").strip().lower() == "stdout"
+            else sys.stderr
+        )
+        handler = _ReproHandler(stream)
+        handler.setFormatter(JsonLineFormatter())
+        root.addHandler(handler)
+        root.propagate = False
+        level_name = os.environ.get("REPRO_LOG_LEVEL", "INFO").strip().upper()
+        root.setLevel(getattr(logging, level_name, logging.INFO))
+    return root
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """The shared JSON logger, or a child of it (``get_logger("serve.engine")``).
+
+    Child loggers propagate to the ``"repro"`` root, which owns the single
+    JSON handler — so the whole tree shares one stream, one formatter, one
+    level knob.  Safe to call at import time from any module.
+    """
+    root = _configure_root()
+    if not name:
+        return root
+    return root.getChild(name)
+
+
+def log_event(
+    logger: logging.Logger, level: int, event: str, **fields: object
+) -> None:
+    """Log ``event`` with ``fields`` as structured top-level JSON keys.
+
+    ``trace_id=`` may be passed explicitly; otherwise the thread's
+    :func:`bind_trace` binding (when any) is attached by the formatter.
+    """
+    if logger.isEnabledFor(level):
+        logger.log(level, event, extra={k: v for k, v in fields.items()})

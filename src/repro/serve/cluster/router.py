@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import itertools
 import json
+import os
 import threading
 import time
 from collections import OrderedDict
@@ -50,6 +51,7 @@ import numpy as np
 
 from ...backend import get_backend
 from ...obs import EventLog, SpanRecorder, TraceContext
+from ...obs.health import DriftDetector, ModelHealth, ShadowExecutor
 from ..frontend.batcher import DynamicBatcher
 from ..frontend.metrics import ServerMetrics
 from ..frontend.queuing import (
@@ -159,6 +161,11 @@ class _Variant:
         self.shards: List[_Shard] = []
         self.lock = threading.Lock()
         self.next_index = 0
+        # Optional repro.obs.health.ModelHealth shared by every shard of the
+        # variant (the engines live in worker processes, so the router feeds
+        # it from served batches; telemetry rows all reference this one
+        # object and the exporter dedups by identity).
+        self.health: Optional[ModelHealth] = None
 
     def live_shards(self) -> List[_Shard]:
         with self.lock:
@@ -789,6 +796,13 @@ class ClusterServer:
                 )
                 self._record_span(shard, request, "completed", finished=done)
                 shard.note_done()
+            if variant.health is not None:
+                # Post-completion so health bookkeeping can never delay (or
+                # fail) a caller's future; the served logits are untouched.
+                try:
+                    variant.health.observe_batch(stacked, logits)
+                except Exception:  # noqa: BLE001 - health must never break serving
+                    pass
             if self._on_batch is not None:
                 self._on_batch(variant.name, requests)
 
@@ -1046,9 +1060,71 @@ class ClusterServer:
                         "labels": {"variant": variant.name, "shard": str(shard.index)},
                         "metrics": shard.metrics,
                         "queue_depth": shard.queue.depth,
+                        # One health object per variant: every shard row
+                        # shares it, and the exporter's identity dedup emits
+                        # the repro_quant_*/repro_drift_* series once under
+                        # the variant-level labels.
+                        "health": variant.health,
+                        "health_labels": {"variant": variant.name},
                     }
                 )
         return targets
+
+    def enable_model_health(
+        self,
+        name: Optional[str] = None,
+        *,
+        reference: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        shadow_sample_every: Optional[int] = None,
+        drift_reference_size: int = 256,
+        drift_window: int = 512,
+        seed: int = 0,
+    ) -> "ModelHealth | Dict[str, ModelHealth]":
+        """Attach drift detection (and optionally a float shadow) per variant.
+
+        The cluster's engines live in worker processes, so per-layer
+        quantization taps are out of reach from the router; what the router
+        *does* see is every served batch, which is enough for the
+        :class:`~repro.obs.health.DriftDetector` and — when the operator
+        supplies a ``reference`` callable (typically
+        ``InferenceEngine(model, mode="float").predict_logits`` over the same
+        checkpoint loaded router-side) — the sampled
+        :class:`~repro.obs.health.ShadowExecutor` comparing wire-served
+        logits against the local float forward.
+
+        ``shadow_sample_every`` defaults to ``REPRO_SHADOW_SAMPLE_EVERY``
+        (else 16); without a ``reference`` no shadow runs.  Returns the
+        health object (or a name-keyed dict); every shard's telemetry row
+        shares the variant's object.
+        """
+        if shadow_sample_every is None:
+            try:
+                shadow_sample_every = int(
+                    os.environ.get("REPRO_SHADOW_SAMPLE_EVERY", "16")
+                )
+            except ValueError:
+                shadow_sample_every = 16
+        variants = (
+            [self._variant(name)] if name is not None else self._variant_list()
+        )
+        built: Dict[str, ModelHealth] = {}
+        for variant in variants:
+            shadow = None
+            if reference is not None and shadow_sample_every > 0:
+                shadow = ShadowExecutor(
+                    reference, sample_every=shadow_sample_every, seed=seed
+                )
+            variant.health = ModelHealth(
+                variant.name,
+                shadow=shadow,
+                drift=DriftDetector(
+                    reference_size=drift_reference_size, window=drift_window
+                ),
+            )
+            built[variant.name] = variant.health
+        if name is not None:
+            return built[name]
+        return built
 
     def metrics(self, name: Optional[str] = None) -> Dict[str, object]:
         """Aggregated cluster telemetry: per-shard, per-variant, and totals.

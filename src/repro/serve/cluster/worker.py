@@ -107,9 +107,10 @@ def worker_main(worker_socket: socket.socket, options: WorkerOptions) -> None:
 
 
 def _boot_engine(options: WorkerOptions):
-    import warnings
+    import logging
 
     from ...backend import set_backend
+    from ...obs.structlog import get_logger
     from ...utils.serialization import load_quantized_checkpoint
     from ..engine import InferenceEngine
 
@@ -123,11 +124,15 @@ def _boot_engine(options: WorkerOptions):
         engine.warmup()
     else:
         # The operator opted into fallback serving; the engine's once-per-
-        # instance warning would repeat once per shard, and HELLO already
-        # reports uses_fallback/plan_state to the router.
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", RuntimeWarning)
+        # instance engine_fallback log line would repeat once per shard, and
+        # HELLO already reports uses_fallback/plan_state to the router.
+        logger = get_logger("serve.engine")
+        previous = logger.level
+        logger.setLevel(logging.ERROR)
+        try:
             engine.warmup(require_compiled=False)
+        finally:
+            logger.setLevel(previous)
     return engine
 
 

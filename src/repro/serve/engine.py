@@ -33,10 +33,10 @@ plan itself does not:
   pins an engine to the module path deliberately, without warnings and
   without tripping ``warmup(require_compiled=True)``, which is how the
   cluster bench keeps measuring the GIL-bound path on purpose.  The
-  fallback is announced with a single warning per
-  engine instance — never per ``predict`` call — so a server hosting such a
-  model does not spam its logs; :meth:`plan_report` says what compiled (or
-  why not) without re-reading warnings.  A ``predict(..., refresh=True)``
+  fallback is announced with a single structured
+  ``engine_fallback`` log line per engine instance — never per ``predict``
+  call — so a server hosting such a model does not spam its logs;
+  :meth:`plan_report` says what compiled (or why not) without grepping them.  A ``predict(..., refresh=True)``
   call retries the trace, and a successful compile *upgrades* the engine off
   the fallback path (clearing the warning state so a later regression warns
   again).  In integer mode the fallback's
@@ -51,9 +51,9 @@ accumulation exactly as in :class:`~repro.quant.IntegerInferenceSession`.
 
 from __future__ import annotations
 
+import logging
 import os
 import threading
-import warnings
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -61,10 +61,13 @@ import numpy as np
 from ..backend import get_backend
 from ..nn.modules import BatchNorm2d
 from ..nn.tensor import Tensor, no_grad
+from ..obs.structlog import get_logger, log_event
 from ..quant.qmodules import QuantizedLayer
 from .plan import InferencePlan, PlanTraceError, PlanVerifyError
 
 __all__ = ["InferenceEngine"]
+
+_log = get_logger("serve.engine")
 
 
 class InferenceEngine:
@@ -130,6 +133,9 @@ class InferenceEngine:
         self._profile_steps = os.environ.get(
             "REPRO_PLAN_PROFILE", ""
         ).strip().lower() in ("1", "true", "yes", "on")
+        # Quantization-health tap (repro.obs.health.QuantHealthTap): applied
+        # to the plan when it compiles, like profiling.  None = off.
+        self._health_tap = None
 
     # ------------------------------------------------------------------ #
     # plan lifecycle
@@ -161,6 +167,8 @@ class InferenceEngine:
             )
             if self._profile_steps:
                 self._plan.enable_profiling()
+            if self._health_tap is not None:
+                self._plan.set_health_tap(self._health_tap)
         except PlanVerifyError as error:
             # The model traced fine but the compiled plan failed numerical
             # verification — that is a compiler problem, not an expected
@@ -168,7 +176,8 @@ class InferenceEngine:
             self._fallback_reason = f"verification failed: {error}"
             self._warn_fallback_once(
                 f"compiled inference plan failed verification; falling back "
-                f"to the module path ({error})"
+                f"to the module path ({error})",
+                kind="verify_failed",
             )
             self._fallback = True
         except PlanTraceError as error:
@@ -177,7 +186,8 @@ class InferenceEngine:
             self._fallback_reason = f"untraceable: {error}"
             self._warn_fallback_once(
                 f"model cannot be compiled to an inference plan; "
-                f"serving through the module path ({error})"
+                f"serving through the module path ({error})",
+                kind="untraceable",
             )
             self._fallback = True
 
@@ -213,11 +223,33 @@ class InferenceEngine:
             if self._plan is not None:
                 self._plan.enable_profiling(enabled)
 
-    def _warn_fallback_once(self, message: str) -> None:
+    def enable_health_tap(self, tap) -> None:
+        """Attach (or with ``None`` detach) a quantization-health tap.
+
+        ``tap`` duck-types :class:`repro.obs.health.QuantHealthTap`.  Takes
+        effect immediately on an already-compiled plan and persists across
+        recompiles (``_ensure_plan`` re-applies it).  Fallback-path engines
+        have no plan steps to tap; the tap simply never observes anything.
+        Served outputs are bitwise-identical with the tap on.
+        """
+        with self._lock:
+            self._health_tap = tap
+            if self._plan is not None:
+                self._plan.set_health_tap(tap)
+
+    def _warn_fallback_once(self, message: str, kind: str) -> None:
         if self._fallback_warned:
             return
         self._fallback_warned = True
-        warnings.warn(message, RuntimeWarning, stacklevel=4)
+        log_event(
+            _log,
+            logging.WARNING,
+            "engine_fallback",
+            model=type(self.model).__name__,
+            mode=self.mode,
+            kind=kind,
+            detail=message,
+        )
 
     def _state_token(self) -> Tuple:
         """Cheap staleness fingerprint of everything a plan bakes in.

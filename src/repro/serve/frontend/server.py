@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import itertools
 import json
+import os
 import threading
 import time
 from collections import OrderedDict
@@ -45,7 +46,9 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ...nn.tensor import no_grad
 from ...obs import EventLog, SpanRecorder, TraceContext
+from ...obs.health import DriftDetector, ModelHealth, QuantHealthTap, ShadowExecutor
 from .batcher import DynamicBatcher
 from .metrics import ServerMetrics
 from .queuing import (
@@ -80,6 +83,9 @@ class _Lane:
         # serve concurrently.  Lanes over distinct models get distinct locks
         # and never contend.
         self.model_lock = model_lock
+        # Optional repro.obs.health.ModelHealth attached by
+        # ModelServer.enable_model_health(); fed after each served batch.
+        self.health: Optional[ModelHealth] = None
         self.worker: Optional[threading.Thread] = None
         self._pending = 0
         self._idle = threading.Condition()
@@ -522,6 +528,13 @@ class ModelServer:
                 )
                 self._record_span(lane, request, "completed", finished=done)
                 lane.note_done()
+            if lane.health is not None:
+                # Post-completion so health bookkeeping can never delay (or
+                # fail) a caller's future; the served logits are untouched.
+                try:
+                    lane.health.observe_batch(stacked, logits)
+                except Exception:  # noqa: BLE001 - health must never break serving
+                    pass
             if self._on_batch is not None:
                 self._on_batch(lane.name, requests)
 
@@ -609,9 +622,97 @@ class ModelServer:
                 "labels": {"model": name},
                 "metrics": lane.metrics,
                 "queue_depth": lane.queue.depth,
+                "health": lane.health,
+                "health_labels": {"model": name},
             }
             for name, lane in lanes.items()
         ]
+
+    def enable_model_health(
+        self,
+        model_name: Optional[str] = None,
+        *,
+        tap_sample_every: int = 16,
+        shadow_sample_every: Optional[int] = None,
+        drift_reference_size: int = 256,
+        drift_window: int = 512,
+        seed: int = 0,
+    ) -> "ModelHealth | Dict[str, ModelHealth]":
+        """Attach quantization taps, a float shadow and drift detection.
+
+        Builds one :class:`~repro.obs.health.ModelHealth` per lane (every
+        lane when ``model_name`` is ``None``): a
+        :class:`~repro.obs.health.QuantHealthTap` installed on the lane's
+        engine (sampling ~1/``tap_sample_every`` plan runs), a
+        :class:`~repro.obs.health.ShadowExecutor` re-running
+        ~1/``shadow_sample_every`` served batches through the float module
+        path of the same model (under the lane's model lock, so it never
+        races the engine), and a :class:`~repro.obs.health.DriftDetector`
+        over served prediction entropy/class histograms.  Served logits stay
+        bitwise-identical — everything here observes after the fact.
+
+        ``shadow_sample_every`` defaults to ``REPRO_SHADOW_SAMPLE_EVERY``
+        (else 16); ``0`` disables the shadow entirely.  Returns the health
+        object (or a name-keyed dict of them) — the exporter picks the same
+        objects up through :meth:`telemetry_targets`.
+        """
+        if shadow_sample_every is None:
+            try:
+                shadow_sample_every = int(
+                    os.environ.get("REPRO_SHADOW_SAMPLE_EVERY", "16")
+                )
+            except ValueError:
+                shadow_sample_every = 16
+        with self._lock:
+            lanes = (
+                {model_name: self._lane(model_name)}
+                if model_name is not None
+                else dict(self._lanes)
+            )
+        built: Dict[str, ModelHealth] = {}
+        for name, lane in lanes.items():
+            tap = QuantHealthTap(sample_every=tap_sample_every, seed=seed)
+            lane.engine.enable_health_tap(tap)
+            shadow = None
+            if shadow_sample_every > 0:
+                shadow = ShadowExecutor(
+                    self._shadow_reference(lane),
+                    sample_every=shadow_sample_every,
+                    seed=seed,
+                )
+            lane.health = ModelHealth(
+                name,
+                quant=tap,
+                shadow=shadow,
+                drift=DriftDetector(
+                    reference_size=drift_reference_size, window=drift_window
+                ),
+            )
+            built[name] = lane.health
+        if model_name is not None:
+            return built[model_name]
+        return built
+
+    @staticmethod
+    def _shadow_reference(lane: _Lane) -> Callable[[np.ndarray], np.ndarray]:
+        """A float module-path forward over the lane's model, made safe.
+
+        Takes the lane's model lock (the engine worker holds it while
+        serving, so the shadow forward can never interleave with a served
+        batch's train/eval flip) and restores the training flag afterwards.
+        """
+
+        def reference(batch: np.ndarray) -> np.ndarray:
+            engine = lane.engine
+            with lane.model_lock, no_grad():
+                was_training = engine.model.training
+                engine.model.eval()
+                try:
+                    return engine._module_forward(batch)
+                finally:
+                    engine.model.train(was_training)
+
+        return reference
 
     def metrics(self, model_name: Optional[str] = None) -> Dict[str, object]:
         """Telemetry snapshot: one model's, or every model's plus totals."""

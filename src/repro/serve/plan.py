@@ -1191,6 +1191,10 @@ class InferencePlan:
         self.profile = False
         self._profile_calls = [0] * len(self.steps)
         self._profile_total_s = [0.0] * len(self.steps)
+        # Opt-in quantization-health tap (repro.obs.health.QuantHealthTap).
+        # Same mirror-loop discipline as profiling: when set, run() routes to
+        # _run_tapped and the production loop stays branch-free per step.
+        self._health_tap = None
 
     @property
     def workspace(self) -> Optional[PlanWorkspace]:
@@ -1711,6 +1715,8 @@ class InferencePlan:
         """
         if self.profile:
             return self._run_profiled(x, workspace)
+        if self._health_tap is not None:
+            return self._run_tapped(x, workspace)
         backend = get_backend()
         ws = workspace if workspace is not None else self._workspace
         state: Dict[str, np.ndarray] = {}
@@ -1760,6 +1766,47 @@ class InferencePlan:
         if isinstance(x, dict):
             return x
         return np.array(x) if ws is not None else x
+
+    def _run_tapped(
+        self, x: np.ndarray, workspace: Optional[PlanWorkspace] = None
+    ) -> np.ndarray:
+        """run() with a quantization-health tap observing each step's output.
+
+        A mirror of the hot loop, like :meth:`_run_profiled`: the untapped
+        path must not pay even a branch per step.  The tap decides per run
+        whether to sample; unsampled runs execute the plain loop.  Observing
+        happens strictly after each step completes, reading (never writing)
+        the step's input and output buffers, so the served values are
+        bitwise-identical to an untapped run.
+        """
+        tap = self._health_tap
+        sampled = tap.begin_run()
+        backend = get_backend()
+        ws = workspace if workspace is not None else self._workspace
+        state: Dict[str, np.ndarray] = {}
+        with no_grad():
+            if ws is not None:
+                ws.begin_run()
+            if not sampled:
+                for step in self.steps:
+                    x = step.run(x, backend, state, ws)
+            else:
+                for step in self.steps:
+                    x_in = x
+                    x = step.run(x_in, backend, state, ws)
+                    tap.observe(step, x_in, x)
+        if isinstance(x, dict):
+            return x
+        return np.array(x) if ws is not None else x
+
+    def set_health_tap(self, tap) -> None:
+        """Attach (or with ``None`` detach) a quantization-health tap.
+
+        ``tap`` duck-types :class:`repro.obs.health.QuantHealthTap`
+        (``begin_run()`` / ``observe(step, inputs, out)``).  While attached,
+        run() dispatches to the tapped mirror loop; outputs are unchanged.
+        """
+        self._health_tap = tap
 
     def enable_profiling(self, enabled: bool = True) -> None:
         """Switch per-step timing on/off (off by default; see :meth:`step_timings`)."""

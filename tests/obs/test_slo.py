@@ -1,0 +1,365 @@
+"""SLO engine: burn rates, alert state machine, families, flight recorder."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import EventLog
+from repro.obs.slo import (
+    BurnRateRule,
+    Objective,
+    SLOEngine,
+    SLOPoller,
+    default_objectives,
+    make_flight_recorder,
+    server_view,
+)
+
+
+class FakeClock:
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def tick(self, seconds: float) -> float:
+        self.now += seconds
+        return self.now
+
+
+def _availability(**overrides) -> Objective:
+    defaults = dict(
+        name="availability",
+        kind="ratio",
+        target=0.9,
+        good="completed",
+        bad=("failed",),
+        rules=(BurnRateRule(long_s=60.0, short_s=10.0, burn_threshold=2.0),),
+        for_s=0.0,
+        clear_after_s=20.0,
+    )
+    defaults.update(overrides)
+    return Objective(**defaults)
+
+
+class TestObjectiveValidation:
+    def test_ratio_needs_good_and_bad(self):
+        with pytest.raises(ValueError, match="good="):
+            Objective(name="x", kind="ratio", good=None, bad=())
+
+    def test_threshold_needs_value(self):
+        with pytest.raises(ValueError, match="value="):
+            Objective(name="x", kind="threshold", target=1.0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            Objective(name="x", kind="exotic")
+
+    def test_ratio_target_must_be_a_proper_fraction(self):
+        with pytest.raises(ValueError, match="target"):
+            Objective(name="x", kind="ratio", target=1.0, good="g", bad=("b",))
+
+    def test_duplicate_objective_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SLOEngine(lambda: {}, [_availability(), _availability()])
+
+
+class TestBurnRateAlerting:
+    def test_calm_traffic_never_alerts(self):
+        clock = FakeClock()
+        counters = {"completed": 0.0, "failed": 0.0}
+        engine = SLOEngine(lambda: dict(counters), [_availability()], clock=clock)
+        for _ in range(30):
+            counters["completed"] += 10
+            clock.tick(5.0)
+            engine.evaluate()
+        assert engine.state("availability") == "ok"
+        assert engine.transitions() == []
+
+    def test_no_traffic_is_not_an_outage(self):
+        clock = FakeClock()
+        engine = SLOEngine(
+            lambda: {"completed": 0.0, "failed": 0.0}, [_availability()], clock=clock
+        )
+        for _ in range(10):
+            clock.tick(5.0)
+            engine.evaluate()
+        assert engine.state("availability") == "ok"
+
+    def test_hard_outage_fires_and_resolves(self):
+        clock = FakeClock()
+        counters = {"completed": 0.0, "failed": 0.0}
+        engine = SLOEngine(lambda: dict(counters), [_availability()], clock=clock)
+        engine.evaluate()
+        # 100% failures: burn = (1.0 error rate) / (0.1 budget) = 10 > 2.
+        for _ in range(4):
+            counters["failed"] += 10
+            clock.tick(5.0)
+            engine.evaluate()
+        assert engine.state("availability") == "firing"
+        # Recovery: healthy traffic, then the clear_after_s dwell.
+        for _ in range(20):
+            counters["completed"] += 50
+            clock.tick(5.0)
+            engine.evaluate()
+        assert engine.state("availability") == "ok"
+        kinds = [t["kind"] for t in engine.transitions()]
+        assert kinds == ["slo_pending", "slo_firing", "slo_resolved"]
+
+    def test_for_s_dwell_gates_firing_and_cancels_blips(self):
+        clock = FakeClock()
+        counters = {"completed": 0.0, "failed": 0.0}
+        engine = SLOEngine(
+            lambda: dict(counters),
+            [_availability(for_s=30.0)],
+            clock=clock,
+        )
+        engine.evaluate()
+        counters["failed"] += 10
+        clock.tick(5.0)
+        engine.evaluate()
+        assert engine.state("availability") == "pending"  # dwelling, not firing
+        # The blip ends before for_s elapses: cancelled, never fired.
+        counters["completed"] += 1000
+        clock.tick(15.0)
+        engine.evaluate()
+        assert engine.state("availability") == "ok"
+        kinds = [t["kind"] for t in engine.transitions()]
+        assert kinds == ["slo_pending", "slo_cancelled"]
+
+    def test_both_windows_must_burn(self):
+        # A long-window burn alone must not hold the alert: once the short
+        # (10s) window is clean the pending alert cancels, even though the
+        # 60s window still carries the failure burst.
+        clock = FakeClock()
+        counters = {"completed": 0.0, "failed": 0.0}
+        engine = SLOEngine(
+            lambda: dict(counters), [_availability(for_s=30.0)], clock=clock
+        )
+        engine.evaluate()
+        counters["failed"] += 10
+        clock.tick(5.0)  # t+5: burst visible in both windows -> pending
+        engine.evaluate()
+        assert engine.state("availability") == "pending"
+        counters["completed"] += 10
+        clock.tick(5.0)  # t+10: short window still spans the burst
+        engine.evaluate()
+        assert engine.state("availability") == "pending"
+        counters["completed"] += 10
+        clock.tick(10.0)  # t+20: short window base is now post-burst
+        engine.evaluate()
+        # Long window: 10 bad / 30 total = 0.33 error rate -> burn 3.3 >= 2,
+        # but the short window burned nothing: the alert cancels.
+        assert engine.state("availability") == "ok"
+        kinds = [t["kind"] for t in engine.transitions()]
+        assert kinds == ["slo_pending", "slo_cancelled"]
+
+    def test_time_going_backwards_raises(self):
+        clock = FakeClock()
+        engine = SLOEngine(lambda: {"completed": 1.0, "failed": 0.0},
+                           [_availability()], clock=clock)
+        engine.evaluate()
+        with pytest.raises(ValueError, match="backwards"):
+            engine.evaluate(now=clock.now - 10.0)
+
+
+class TestThresholdObjectives:
+    def _drift_objective(self, **overrides):
+        defaults = dict(
+            name="drift",
+            kind="threshold",
+            target=0.25,
+            value="drift_score",
+            for_s=0.0,
+            clear_after_s=10.0,
+        )
+        defaults.update(overrides)
+        return Objective(**defaults)
+
+    def test_threshold_fires_above_target_and_resolves_below(self):
+        clock = FakeClock()
+        view = {"drift_score": 0.0}
+        engine = SLOEngine(lambda: dict(view), [self._drift_objective()], clock=clock)
+        engine.evaluate()
+        assert engine.state("drift") == "ok"
+        view["drift_score"] = 0.5
+        clock.tick(1.0)
+        engine.evaluate()
+        assert engine.state("drift") == "firing"
+        view["drift_score"] = 0.01
+        clock.tick(1.0)
+        engine.evaluate()
+        clock.tick(10.0)
+        engine.evaluate()
+        assert engine.state("drift") == "ok"
+
+    def test_missing_gauge_is_ok_not_firing(self):
+        engine = SLOEngine(lambda: {}, [self._drift_objective()], clock=FakeClock())
+        engine.evaluate()
+        assert engine.state("drift") == "ok"
+
+
+class TestSideEffects:
+    def test_transitions_mirrored_into_event_log(self):
+        clock = FakeClock()
+        events = EventLog()
+        counters = {"completed": 0.0, "failed": 0.0}
+        engine = SLOEngine(
+            lambda: dict(counters), [_availability()], clock=clock, events=events
+        )
+        engine.evaluate()
+        counters["failed"] += 10
+        clock.tick(5.0)
+        engine.evaluate()
+        kinds = [e["kind"] for e in events.events()]
+        assert "slo_pending" in kinds and "slo_firing" in kinds
+        firing = [e for e in events.events() if e["kind"] == "slo_firing"][0]
+        assert firing["objective"] == "availability"
+
+    def test_on_firing_called_once_per_firing_with_the_alert_doc(self):
+        clock = FakeClock()
+        fired = []
+        counters = {"completed": 0.0, "failed": 0.0}
+        engine = SLOEngine(
+            lambda: dict(counters),
+            [_availability()],
+            clock=clock,
+            on_firing=fired.append,
+        )
+        engine.evaluate()
+        for _ in range(4):
+            counters["failed"] += 10
+            clock.tick(5.0)
+            engine.evaluate()
+        assert len(fired) == 1
+        assert fired[0]["objective"] == "availability"
+        assert fired[0]["state"] == "firing"
+        assert fired[0]["burn_rates"]
+
+    def test_flight_recorder_writes_a_bundle(self, tmp_path):
+        class _Source:
+            def telemetry_targets(self):
+                return []
+
+        path = tmp_path / "flight.json"
+        clock = FakeClock()
+        counters = {"completed": 0.0, "failed": 0.0}
+        ref: list = []
+        engine = SLOEngine(
+            lambda: dict(counters),
+            [_availability()],
+            clock=clock,
+            on_firing=make_flight_recorder(_Source(), str(path), engine_ref=ref),
+        )
+        ref.append(engine)
+        engine.evaluate()
+        counters["failed"] += 10
+        clock.tick(5.0)
+        engine.evaluate()
+        bundle = json.loads(path.read_text())
+        assert bundle["alert"]["objective"] == "availability"
+        assert bundle["build_info"]["backend"]
+        assert "metrics" in bundle
+        assert bundle["slo"]["alerts"][0]["state"] == "firing"
+
+
+class TestReadSide:
+    def test_document_shape(self):
+        engine = SLOEngine(
+            lambda: {"completed": 1.0, "failed": 0.0}, [_availability()],
+            clock=FakeClock(),
+        )
+        engine.evaluate()
+        document = engine.document()
+        assert [o["objective"] for o in document["objectives"]] == ["availability"]
+        assert document["alerts"] == []  # nothing non-ok
+        assert document["transitions"] == []
+
+    def test_families_render_and_lint(self):
+        from repro.obs import lint_exposition, render_exposition
+
+        clock = FakeClock()
+        counters = {"completed": 0.0, "failed": 0.0}
+        engine = SLOEngine(lambda: dict(counters), [_availability()], clock=clock)
+        engine.evaluate()
+        counters["failed"] += 10
+        clock.tick(5.0)
+        engine.evaluate()
+        text = render_exposition(engine.families())
+        assert lint_exposition(text) == []
+        assert 'repro_slo_state{objective="availability"} 2' in text
+        assert "repro_slo_burn_rate" in text
+        assert 'repro_slo_transitions_total{kind="slo_firing",objective="availability"} 1' in text
+
+
+class TestServerViewAndDefaults:
+    def test_server_view_sums_counters_and_takes_worst_latency(self):
+        class _Metrics:
+            def __init__(self, completed, p99):
+                self._completed = completed
+                self._p99 = p99
+
+            def counters(self):
+                return {"completed": self._completed, "failed": 1}
+
+            def raw_summaries(self):
+                return {"latency": {"q0.95": self._p99 / 2, "q0.99": self._p99}}
+
+        class _Health:
+            def drift_score(self):
+                return 0.4
+
+            def divergence_max(self):
+                return 0.1
+
+        health = _Health()
+
+        class _Server:
+            def telemetry_targets(self):
+                return [
+                    {"labels": {}, "metrics": _Metrics(5, 0.2), "queue_depth": 2,
+                     "health": health},
+                    {"labels": {}, "metrics": _Metrics(7, 0.9), "queue_depth": 3,
+                     "health": health},  # same object: folded once
+                ]
+
+        view = server_view(_Server())()
+        assert view["completed"] == 12
+        assert view["failed"] == 2
+        assert view["p99_latency_s"] == pytest.approx(0.9)
+        assert view["queue_depth"] == 5
+        assert view["drift_score"] == pytest.approx(0.4)
+        assert view["divergence_max"] == pytest.approx(0.1)
+
+    def test_default_objectives_toggle(self):
+        names = [o.name for o in default_objectives()]
+        assert names == ["availability", "latency_p99", "prediction_drift"]
+        names = [
+            o.name
+            for o in default_objectives(
+                p99_bound_s=None, drift_bound=None, divergence_bound=0.5
+            )
+        ]
+        assert names == ["availability", "shadow_divergence"]
+
+
+class TestPoller:
+    def test_poller_drives_evaluate(self):
+        import time as _time
+
+        calls = []
+
+        class _Engine:
+            def evaluate(self):
+                calls.append(1)
+
+        with SLOPoller(_Engine(), interval_s=0.01):
+            _time.sleep(0.1)
+        assert calls
+
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError, match="interval_s"):
+            SLOPoller(object(), interval_s=0.0)

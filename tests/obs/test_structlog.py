@@ -1,0 +1,137 @@
+"""Structured JSON logging: format, trace binding, idempotent config."""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+
+import pytest
+
+from repro.obs.structlog import (
+    JsonLineFormatter,
+    bind_trace,
+    current_trace_id,
+    get_logger,
+    log_event,
+)
+
+
+@pytest.fixture
+def capture():
+    """Attach a handler that formats records at emit time (trace binding is
+    resolved by the formatter from the *current* context, so lines must be
+    rendered inside the binding, not after the test body exits it)."""
+    lines: list = []
+
+    class _Collector(logging.Handler):
+        def emit(self, record: logging.LogRecord) -> None:
+            lines.append(self.format(record))
+
+    logger = get_logger("test.structlog")
+    handler = _Collector(level=logging.DEBUG)
+    handler.setFormatter(JsonLineFormatter())
+    logger.addHandler(handler)
+    yield logger, lines
+    logger.removeHandler(handler)
+
+
+def _format(line: str) -> dict:
+    return json.loads(line)
+
+
+class TestJsonLineFormatter:
+    def test_one_json_object_per_line_with_core_fields(self, capture):
+        logger, records = capture
+        log_event(logger, logging.WARNING, "engine_fallback", model="m", attempts=3)
+        payload = _format(records[0])
+        assert payload["event"] == "engine_fallback"
+        assert payload["level"] == "warning"
+        assert payload["logger"] == "repro.test.structlog"
+        assert payload["model"] == "m"
+        assert payload["attempts"] == 3
+        assert isinstance(payload["ts"], float)
+        assert "\n" not in records[0]
+
+    def test_non_scalar_fields_are_reprd_not_raised(self, capture):
+        logger, records = capture
+        log_event(logger, logging.INFO, "evt", payload={"a": object()})
+        formatted = _format(records[0])
+        assert isinstance(formatted["payload"], str)  # repr()-ed, serialisable
+
+    def test_exception_info_included(self, capture):
+        logger, records = capture
+        try:
+            raise RuntimeError("boom")
+        except RuntimeError:
+            logger.exception("failed")
+        payload = _format(records[0])
+        assert "RuntimeError: boom" in payload["exc"]
+
+    def test_explicit_trace_id_field_wins_over_binding(self, capture):
+        logger, records = capture
+        with bind_trace("bound-id"):
+            log_event(logger, logging.INFO, "evt", trace_id="explicit-id")
+        assert _format(records[0])["trace_id"] == "explicit-id"
+
+
+class TestBindTrace:
+    def test_binding_attaches_and_restores(self, capture):
+        logger, records = capture
+        assert current_trace_id() is None
+        with bind_trace("abc123"):
+            assert current_trace_id() == "abc123"
+            log_event(logger, logging.INFO, "inside")
+        log_event(logger, logging.INFO, "outside")
+        assert current_trace_id() is None
+        assert _format(records[0])["trace_id"] == "abc123"
+        assert "trace_id" not in _format(records[1])
+
+    def test_bindings_nest(self):
+        with bind_trace("outer"):
+            with bind_trace("inner"):
+                assert current_trace_id() == "inner"
+            assert current_trace_id() == "outer"
+
+    def test_binding_is_thread_local(self, capture):
+        logger, records = capture
+        seen = {}
+
+        def worker():
+            seen["worker"] = current_trace_id()
+
+        with bind_trace("main-thread"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen["worker"] is None
+
+
+class TestLoggerConfig:
+    def test_root_handler_installed_exactly_once(self):
+        root_a = get_logger()
+        root_b = get_logger()
+        assert root_a is root_b
+        from repro.obs.structlog import _ReproHandler
+
+        handlers = [h for h in root_a.handlers if isinstance(h, _ReproHandler)]
+        assert len(handlers) == 1
+        assert all(
+            isinstance(h.formatter, JsonLineFormatter) for h in handlers
+        )
+
+    def test_children_propagate_to_the_repro_root_only(self):
+        child = get_logger("serve.engine")
+        assert child.name == "repro.serve.engine"
+        assert child.propagate is True
+        assert get_logger().propagate is False  # stops at "repro"
+
+    def test_log_event_respects_level(self, capture):
+        logger, records = capture
+        logger.setLevel(logging.WARNING)
+        try:
+            log_event(logger, logging.DEBUG, "dropped")
+            log_event(logger, logging.ERROR, "kept")
+        finally:
+            logger.setLevel(logging.NOTSET)
+        assert [_format(r)["event"] for r in records] == ["kept"]

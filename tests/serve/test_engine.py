@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import logging
+from contextlib import contextmanager
+
 import numpy as np
 import pytest
 
@@ -9,10 +12,39 @@ from repro.backend import use_backend
 from repro.models import resnet18, simple_cnn, vgg11
 from repro.nn import Tensor
 from repro.nn.tensor import no_grad
+from repro.obs.structlog import get_logger
 from repro.quant import IntegerInferenceSession
 from repro.serve import InferenceEngine, InferencePlan, PlanTraceError
 
 from .parity import MendableNet, UntraceableNet
+
+
+@contextmanager
+def capture_fallback_logs():
+    """Collect the engine's structured log records for the block.
+
+    The engine announces fallbacks through the ``repro`` JSON logger (which
+    does not propagate to the root logger, so ``caplog`` cannot see it);
+    attaching a handler to the ``serve.engine`` child captures the raw
+    ``LogRecord`` objects with their structured fields as attributes.
+    """
+    records: list = []
+
+    class _Collector(logging.Handler):
+        def emit(self, record: logging.LogRecord) -> None:
+            records.append(record)
+
+    handler = _Collector(level=logging.DEBUG)
+    logger = get_logger("serve.engine")
+    logger.addHandler(handler)
+    try:
+        yield records
+    finally:
+        logger.removeHandler(handler)
+
+
+def _fallback_events(records):
+    return [r for r in records if r.getMessage() == "engine_fallback"]
 
 
 def _warmed_model(builder, shape, rng, **kwargs):
@@ -169,14 +201,16 @@ class TestWarmup:
         # An eager warmup is a request for compiled-plan serving: silent
         # module-path degradation must fail at deploy time, not per request.
         model = _warmed_model(lambda: UntraceableNet(), (3, 8, 8), rng)
-        with pytest.warns(RuntimeWarning):
+        with capture_fallback_logs() as records:
             with pytest.raises(PlanTraceError, match="require_compiled=False"):
                 InferenceEngine(model).warmup()
+        assert len(_fallback_events(records)) == 1
 
     def test_warmup_accepts_fallback_when_asked(self, rng):
         model = _warmed_model(lambda: UntraceableNet(), (3, 8, 8), rng)
-        with pytest.warns(RuntimeWarning):
+        with capture_fallback_logs() as records:
             engine = InferenceEngine(model).warmup(require_compiled=False)
+        assert len(_fallback_events(records)) == 1
         assert engine.uses_fallback
         assert engine.plan_report()["state"] == "fallback"
 
@@ -267,21 +301,22 @@ class TestStalenessCheck:
 
 
 class TestFallbackWarning:
-    def test_fallback_warns_once_per_engine_not_per_predict(self, rng):
+    def test_fallback_logs_once_per_engine_not_per_predict(self, rng):
         model = _warmed_model(lambda: UntraceableNet(), (3, 8, 8), rng)
         x = rng.standard_normal((2, 3, 8, 8)).astype(np.float32)
         engine = InferenceEngine(model)
-        import warnings as warnings_module
-
-        with warnings_module.catch_warnings(record=True) as caught:
-            warnings_module.simplefilter("always")
+        with capture_fallback_logs() as records:
             for _ in range(4):
                 engine.predict_logits(x)
-        fallback_warnings = [
-            w for w in caught if "module path" in str(w.message)
-        ]
-        assert len(fallback_warnings) == 1
+        events = _fallback_events(records)
+        assert len(events) == 1
         assert engine.uses_fallback
+        # The record carries structured context, not a prose-only blob.
+        assert events[0].levelno == logging.WARNING
+        assert events[0].model == "UntraceableNet"
+        assert events[0].mode == "float"
+        assert events[0].kind == "untraceable"
+        assert "module path" in events[0].detail
 
 
 class TestFallbackBoundary:
@@ -306,8 +341,9 @@ class TestFallbackBoundary:
         with no_grad():
             want = model(Tensor(x)).data
         engine = InferenceEngine(model)
-        with pytest.warns(RuntimeWarning, match="module path"):
+        with capture_fallback_logs() as records:
             got = engine.predict_logits(x)
+        assert "module path" in _fallback_events(records)[0].detail
         assert engine.uses_fallback
         # The fallback IS the module path: exact, not merely close.
         np.testing.assert_array_equal(got, want)
@@ -321,8 +357,9 @@ class TestFallbackBoundary:
         model = _warmed_model(lambda: UntraceableNet(), (3, 8, 8), rng)
         engine = InferenceEngine(model)
         assert engine.plan_report()["state"] == "untraced"
-        with pytest.warns(RuntimeWarning):
+        with capture_fallback_logs() as records:
             engine.predict_logits(rng.standard_normal((2, 3, 8, 8)).astype(np.float32))
+        assert len(_fallback_events(records)) == 1
         report = engine.plan_report()
         assert report["state"] == "fallback"
         assert report["uses_fallback"] is True
@@ -333,8 +370,9 @@ class TestFallbackBoundary:
         model = _warmed_model(lambda: UntraceableNet(), (3, 8, 8), rng)
         x = rng.standard_normal((3, 3, 8, 8)).astype(np.float32)
         want = IntegerInferenceSession(model).run(x)
-        with pytest.warns(RuntimeWarning):
+        with capture_fallback_logs() as records:
             got = InferenceEngine(model, mode="integer").predict_logits(x)
+        assert _fallback_events(records)[0].mode == "integer"
         np.testing.assert_array_equal(got, want)
 
     def test_resnet_integer_compiles_and_matches_session(self, rng):
@@ -365,8 +403,9 @@ class TestFallbackUpgrade:
         model = _warmed_model(lambda: MendableNet(mend_to=mend_to), (3, 8, 8), rng)
         x = rng.standard_normal((2, 3, 8, 8)).astype(np.float32)
         engine = InferenceEngine(model)
-        with pytest.warns(RuntimeWarning, match="module path"):
+        with capture_fallback_logs() as records:
             engine.predict_logits(x)
+        assert "module path" in _fallback_events(records)[0].detail
         assert engine.uses_fallback
 
         model.mended = True  # the glue is rewritten into compilable form
@@ -386,30 +425,27 @@ class TestFallbackUpgrade:
             want = model(Tensor(x)).data
         _assert_mostly_close(got, want)
 
-    def test_failed_retry_does_not_rewarn(self, rng):
+    def test_failed_retry_does_not_relog(self, rng):
         model = _warmed_model(lambda: UntraceableNet(), (3, 8, 8), rng)
         x = rng.standard_normal((2, 3, 8, 8)).astype(np.float32)
         engine = InferenceEngine(model)
-        import warnings as warnings_module
-
-        with warnings_module.catch_warnings(record=True) as caught:
-            warnings_module.simplefilter("always")
+        with capture_fallback_logs() as records:
             engine.predict_logits(x)
             engine.predict_logits(x, refresh=True)  # retries, fails again
         assert engine.uses_fallback
-        fallback_warnings = [w for w in caught if "module path" in str(w.message)]
-        assert len(fallback_warnings) == 1
+        assert len(_fallback_events(records)) == 1
 
     def test_upgrade_resets_warning_state_for_later_regressions(self, rng):
         model = _warmed_model(lambda: MendableNet(), (3, 8, 8), rng)
         x = rng.standard_normal((2, 3, 8, 8)).astype(np.float32)
         engine = InferenceEngine(model)
-        with pytest.warns(RuntimeWarning):
+        with capture_fallback_logs() as records:
             engine.predict_logits(x)
+        assert len(_fallback_events(records)) == 1
         model.mended = True
         engine.predict_logits(x, refresh=True)
         assert not engine.uses_fallback
-        # The warning dedup was cleared by the upgrade: a hypothetical later
+        # The log dedup was cleared by the upgrade: a hypothetical later
         # fallback announces itself again instead of being swallowed.
         assert engine._fallback_warned is False
 
@@ -496,8 +532,9 @@ class TestZeroRowRequests:
     def test_fallback_engine_returns_empty_logits(self, rng):
         model = _warmed_model(lambda: UntraceableNet(), (3, 8, 8), rng)
         engine = InferenceEngine(model)
-        with pytest.warns(RuntimeWarning, match="module path"):
+        with capture_fallback_logs() as records:
             out = engine.predict_logits(np.empty((0, 3, 8, 8), dtype=np.float32))
+        assert "module path" in _fallback_events(records)[0].detail
         assert engine.uses_fallback
         assert out.shape == (0, 3)
 
@@ -525,15 +562,12 @@ class TestForcedFallback:
     """REPRO_FORCE_FALLBACK pins an engine to the module path, silently."""
 
     def test_kwarg_forces_fallback_without_warning(self, cnn, rng):
-        import warnings as warnings_module
-
         x = rng.standard_normal((2, 3, 12, 12)).astype(np.float32)
         engine = InferenceEngine(cnn, force_fallback=True)
-        with warnings_module.catch_warnings(record=True) as caught:
-            warnings_module.simplefilter("always")
+        with capture_fallback_logs() as records:
             got = engine.predict_logits(x)
         assert engine.uses_fallback
-        assert not [w for w in caught if "module path" in str(w.message)]
+        assert not _fallback_events(records)
         report = engine.plan_report()
         assert report["forced_fallback"] is True
         assert "REPRO_FORCE_FALLBACK" in report["fallback_reason"]

@@ -715,32 +715,30 @@ class TestServerMetrics:
         assert payload["server"]["models_hosted"]["int"]["mode"] == "integer"
 
     def test_metrics_count_compiled_vs_fallback_requests(self, cnn, rng):
-        import warnings as warnings_module
-
         from .parity import UntraceableNet
 
         fallback_model = UntraceableNet(image_size=12)
         server = ModelServer(max_batch_size=4, max_delay_ms=1.0)
         server.register("compiled", cnn)
         server.register("fallback", fallback_model)
-        with warnings_module.catch_warnings():
-            warnings_module.simplefilter("ignore", RuntimeWarning)
-            with server:
-                for _ in range(3):
-                    server.predict(
-                        "compiled",
-                        rng.standard_normal(CNN_SHAPE).astype(np.float32),
-                        timeout=60,
-                    )
-                for _ in range(2):
-                    server.predict(
-                        "fallback",
-                        rng.standard_normal((3, 12, 12)).astype(np.float32),
-                        timeout=60,
-                    )
-                compiled_metrics = server.metrics("compiled")
-                fallback_metrics = server.metrics("fallback")
-                totals = server.metrics()["server"]
+        # The fallback announcement is a structured log line now, not a
+        # RuntimeWarning — nothing to suppress here.
+        with server:
+            for _ in range(3):
+                server.predict(
+                    "compiled",
+                    rng.standard_normal(CNN_SHAPE).astype(np.float32),
+                    timeout=60,
+                )
+            for _ in range(2):
+                server.predict(
+                    "fallback",
+                    rng.standard_normal((3, 12, 12)).astype(np.float32),
+                    timeout=60,
+                )
+            compiled_metrics = server.metrics("compiled")
+            fallback_metrics = server.metrics("fallback")
+            totals = server.metrics()["server"]
 
         assert compiled_metrics["engine_path"] == {"compiled": 3, "fallback": 0}
         assert fallback_metrics["engine_path"] == {"compiled": 0, "fallback": 2}
